@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the WAMI kernels and characterization
+//! accelerators (host-side throughput of the behavioral models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use presp_accel::{AccelInstance, AccelOp, AcceleratorKind};
+use presp_wami::debayer::debayer;
+use presp_wami::frames::SceneGenerator;
+use presp_wami::lucas_kanade::{register, LkConfig};
+
+fn bench_debayer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("debayer");
+    for size in [64usize, 128] {
+        let mut scene = SceneGenerator::new(size, size, 1);
+        let raw = scene.next_frame();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &raw, |b, raw| {
+            b.iter(|| debayer(raw).expect("debayer"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lucas_kanade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lucas_kanade_register");
+    for size in [48usize, 64] {
+        let mut scene = SceneGenerator::new(size, size, 7).without_objects();
+        let template = scene.next_frame_gray();
+        let input = scene.next_frame_gray();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| register(&template, &input, &LkConfig::default()).expect("registers"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_characterization_accels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterization_accels");
+    group.bench_function("gemm_32", |b| {
+        let mut acc = AccelInstance::new(AcceleratorKind::Gemm);
+        let a = vec![1.5f32; 32 * 32];
+        let m = vec![0.5f32; 32 * 32];
+        b.iter(|| {
+            acc.execute(&AccelOp::Gemm { m: 32, k: 32, n: 32, a: a.clone(), b: m.clone() })
+                .expect("gemm")
+        });
+    });
+    group.bench_function("fft_1024", |b| {
+        let mut acc = AccelInstance::new(AcceleratorKind::Fft);
+        let re: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.1).sin()).collect();
+        b.iter(|| {
+            acc.execute(&AccelOp::Fft { re: re.clone(), im: vec![0.0; 1024] }).expect("fft")
+        });
+    });
+    group.bench_function("sort_4096", |b| {
+        let mut acc = AccelInstance::new(AcceleratorKind::Sort);
+        let data: Vec<f32> = (0..4096).map(|i| ((i * 2654435761u64 as usize) % 9973) as f32).collect();
+        b.iter(|| acc.execute(&AccelOp::Sort { data: data.clone() }).expect("sort"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_debayer, bench_lucas_kanade, bench_characterization_accels
+);
+criterion_main!(benches);

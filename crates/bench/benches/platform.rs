@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the platform substrates: NoC, ICAP/bitstreams,
+//! floorplanner and the CAD runtime model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presp_cad::flow::{CadFlow, Strategy};
+use presp_core::design::SocDesign;
+use presp_floorplan::{Floorplanner, RegionRequest};
+use presp_fpga::bitstream::{BitstreamBuilder, BitstreamKind};
+use presp_fpga::frame::FrameAddress;
+use presp_fpga::icap::Icap;
+use presp_fpga::part::FpgaPart;
+use presp_fpga::resources::Resources;
+use presp_soc::config::TileCoord;
+use presp_soc::noc::{Noc, Plane};
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc_1000_transfers", |b| {
+        b.iter(|| {
+            let mut noc = Noc::new();
+            let mut t = 0;
+            for i in 0..1000u64 {
+                let src = TileCoord::new((i % 3) as usize, 0);
+                let dst = TileCoord::new(2, 2);
+                t = noc.transfer(t, src, dst, 256 + i % 512, Plane::Dma).end;
+            }
+            t
+        });
+    });
+}
+
+fn bench_bitstream_and_icap(c: &mut Criterion) {
+    let device = FpgaPart::Vc707.device();
+    let words = device.part().family().frame_words();
+    let mut builder = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+    for col in 1..30u32 {
+        for minor in 0..20u32 {
+            let content = if minor < 8 { vec![col * 131 + minor; words] } else { vec![0; words] };
+            builder.add_frame(FrameAddress::new(0, col, minor), content).expect("frame");
+        }
+    }
+    c.bench_function("bitstream_build_compressed", |b| {
+        b.iter(|| builder.build(true));
+    });
+    let bs = builder.build(true);
+    c.bench_function("icap_load", |b| {
+        b.iter(|| {
+            let mut icap = Icap::new(&device);
+            icap.load(&bs).expect("loads")
+        });
+    });
+}
+
+fn bench_floorplanner(c: &mut Criterion) {
+    let device = FpgaPart::Vc707.device();
+    let requests: Vec<RegionRequest> = [34_000u64, 30_000, 24_000, 21_500]
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| RegionRequest::new(format!("rt{i}"), Resources::new(l, l * 13 / 10, l / 700, l / 400)))
+        .collect();
+    c.bench_function("floorplan_4_wami_regions", |b| {
+        let planner = Floorplanner::new(&device);
+        b.iter(|| planner.floorplan(&requests).expect("plans"));
+    });
+}
+
+fn bench_cad_schedules(c: &mut Criterion) {
+    let spec = SocDesign::characterization_soc2().unwrap().to_spec().unwrap();
+    let cad = CadFlow::new();
+    c.bench_function("cad_pnr_all_strategies", |b| {
+        b.iter(|| {
+            let serial = cad.run_pnr(&spec, Strategy::Serial).expect("serial");
+            let semi = cad.run_pnr(&spec, Strategy::SemiParallel { tau: 2 }).expect("semi");
+            let full = cad.run_pnr(&spec, Strategy::FullyParallel).expect("full");
+            (serial.wall, semi.wall, full.wall)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_noc, bench_bitstream_and_icap, bench_floorplanner, bench_cad_schedules
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion wrappers around the paper's experiments: `cargo bench` runs
+//! the regenerators for every table and figure (and prints their outputs
+//! once, so a bench run records the reproduced evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presp_bench::experiments;
+
+fn bench_table3(c: &mut Criterion) {
+    // Print the reproduced table once per bench run.
+    for row in experiments::table3() {
+        eprintln!("[table3] {} best τ = {}", row.soc, row.best_tau());
+    }
+    c.bench_function("table3_characterization_sweep", |b| {
+        b.iter(experiments::table3);
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    for r in experiments::table4() {
+        eprintln!(
+            "[table4] {}: chose {} ({:.0} min), best {:.0} min",
+            r.soc,
+            r.chosen,
+            r.chosen_total(),
+            r.best_total()
+        );
+    }
+    c.bench_function("table4_wami_pnr_eval", |b| {
+        b.iter(experiments::table4);
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    for r in experiments::table5() {
+        eprintln!("[table5] {}: {:+.1}% vs monolithic", r.soc, r.improvement_pct());
+    }
+    c.bench_function("table5_flow_vs_monolithic", |b| {
+        b.iter(experiments::table5);
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    for r in experiments::table6() {
+        eprintln!("[table6] {} {}: {:.0} KB", r.soc, r.tile, r.pbs_kb);
+    }
+    c.bench_function("table6_pbs_generation", |b| {
+        b.iter(experiments::table6);
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    for r in experiments::fig3(64) {
+        eprintln!("[fig3] #{} {}: {:.1} µs", r.index, r.name, r.micros);
+    }
+    c.bench_function("fig3_profiling", |b| {
+        b.iter(|| experiments::fig3(64));
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    for r in experiments::fig4(4, 48, 2) {
+        eprintln!(
+            "[fig4] {}: {:.2} ms/frame, {:.2} mJ/frame",
+            r.soc, r.ms_per_frame, r.mj_per_frame
+        );
+    }
+    c.bench_function("fig4_wami_deployments", |b| {
+        b.iter(|| experiments::fig4(4, 48, 2));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3, bench_table4, bench_table5, bench_table6, bench_fig3, bench_fig4
+);
+criterion_main!(benches);

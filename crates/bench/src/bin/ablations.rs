@@ -1,0 +1,45 @@
+//! Ablation studies of PR-ESP's design choices: prefetch (interleaved)
+//! reconfiguration and bitstream compression.
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    println!("Ablation 1 — interleaved (prefetch) vs non-interleaved reconfiguration\n");
+    let rows: Vec<Vec<String>> = experiments::prefetch_ablation(5, 48, 2)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.soc.clone(),
+                format!("{:.2}", r.prefetch_ms),
+                format!("{:.2}", r.no_prefetch_ms),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(&["SoC", "prefetch ms/frame", "no-prefetch ms/frame", "speedup"], &rows)
+    );
+
+    println!("Ablation 2 — bitstream compression (size and ICAP latency per module)\n");
+    let rows: Vec<Vec<String>> = experiments::compression_ablation()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.module.clone(),
+                format!("{:.0}", r.raw_kb),
+                format!("{:.0}", r.compressed_kb),
+                format!("{:.2}", r.raw_ms),
+                format!("{:.2}", r.compressed_ms),
+                format!("{:.1}x", r.raw_kb / r.compressed_kb),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            &["module", "raw KB", "comp KB", "raw ms", "comp ms", "ratio"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,72 @@
+//! Runs every table/figure regenerator in sequence (the full evaluation).
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    println!("=== PR-ESP full evaluation ===\n");
+
+    println!("--- Table I ---");
+    let rows: Vec<Vec<String>> = experiments::table1()
+        .into_iter()
+        .map(|(l, a, b, c)| vec![l.into(), a.into(), b.into(), c.into()])
+        .collect();
+    println!("{}", render::table(&["", "γ < 1", "γ ≈ 1", "γ > 1"], &rows));
+
+    println!("--- Table II ---");
+    let rows: Vec<Vec<String>> = experiments::table2()
+        .into_iter()
+        .map(|r| vec![r.name, r.luts.to_string()])
+        .collect();
+    println!("{}", render::table(&["component", "LUTs"], &rows));
+
+    println!("--- Table III ---");
+    for row in experiments::table3() {
+        println!("{} (best τ = {}):", row.soc, row.best_tau());
+        for p in &row.points {
+            println!(
+                "  τ={:<2}  t_static={:<6} max Ω={:<6} T_tot={:.0}",
+                p.tau,
+                p.t_static.map_or("-".into(), |v| format!("{v:.0}")),
+                p.max_omega.map_or("-".into(), |v| format!("{v:.0}")),
+                p.total
+            );
+        }
+    }
+
+    println!("\n--- Table IV ---");
+    for r in experiments::table4() {
+        println!(
+            "{} ({}): fully={:.0} semi={:.0} serial={:.0} → chose {} ({:.0})",
+            r.soc, r.class, r.fully.2, r.semi.2, r.serial, r.chosen, r.chosen_total()
+        );
+    }
+
+    println!("\n--- Table V ---");
+    for r in experiments::table5() {
+        println!(
+            "{}: PR-ESP {:.0} min vs monolithic {:.0} min ({:+.1}%)",
+            r.soc,
+            r.total,
+            r.mono_total,
+            r.improvement_pct()
+        );
+    }
+
+    println!("\n--- Table VI ---");
+    for r in experiments::table6() {
+        println!("{} {}: {:?} → {:.0} KB", r.soc, r.tile, r.kernels, r.pbs_kb);
+    }
+
+    println!("\n--- Fig. 3 ---");
+    for r in experiments::fig3(128) {
+        println!("#{:<2} {:<18} {:>6} LUTs  {:>8.1} µs", r.index, r.name, r.luts, r.micros);
+    }
+
+    println!("\n--- Fig. 4 ---");
+    for r in experiments::fig4(6, 64, 2) {
+        println!(
+            "{} ({} RTs): {:.2} ms/frame, {:.2} mJ/frame, {:.1} reconf/frame",
+            r.soc, r.tiles, r.ms_per_frame, r.mj_per_frame, r.reconfigs_per_frame
+        );
+    }
+}

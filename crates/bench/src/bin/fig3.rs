@@ -1,0 +1,21 @@
+//! Regenerates Fig. 3's annotations: per-accelerator LUTs and execution
+//! time on a 2×2 profiling SoC.
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    let size = 128;
+    println!("Fig. 3 — WAMI accelerator profile ({size}x{size} frames, 2x2 SoC, VC707)\n");
+    let rows: Vec<Vec<String>> = experiments::fig3(size)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("#{}", r.index),
+                r.name.into(),
+                r.luts.to_string(),
+                format!("{:.1}", r.micros),
+            ]
+        })
+        .collect();
+    println!("{}", render::table(&["idx", "kernel", "LUTs", "exec (µs)"], &rows));
+}

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 4: execution time and energy per frame for the three
+//! deployed WAMI SoCs.
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    let (frames, size, iters) = (6, 64, 2);
+    println!("Fig. 4 — WAMI SoC implementations ({frames} frames of {size}x{size}, {iters} LK iterations)\n");
+    let rows: Vec<Vec<String>> = experiments::fig4(frames, size, iters)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.soc.clone(),
+                r.tiles.to_string(),
+                format!("{:.2}", r.ms_per_frame),
+                format!("{:.2}", r.mj_per_frame),
+                format!("{:.1}", r.reconfigs_per_frame),
+                format!("{:.0}", r.mean_changed_pixels),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            &["SoC", "RTs", "ms/frame", "mJ/frame", "reconf/frame", "changed px"],
+            &rows
+        )
+    );
+}

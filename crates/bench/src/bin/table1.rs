@@ -1,0 +1,12 @@
+//! Regenerates Table I: the size-driven implementation strategies.
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    let rows: Vec<Vec<String>> = experiments::table1()
+        .into_iter()
+        .map(|(label, lo, eq, hi)| vec![label.into(), lo.into(), eq.into(), hi.into()])
+        .collect();
+    println!("Table I — size-driven implementation strategies in PR-ESP\n");
+    println!("{}", render::table(&["", "γ < 1", "γ ≈ 1", "γ > 1"], &rows));
+}

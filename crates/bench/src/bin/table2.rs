@@ -1,0 +1,12 @@
+//! Regenerates Table II: resource utilization of the accelerators.
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    let rows: Vec<Vec<String>> = experiments::table2()
+        .into_iter()
+        .map(|r| vec![r.name, r.luts.to_string()])
+        .collect();
+    println!("Table II — resource utilization of the accelerators (VC707)\n");
+    println!("{}", render::table(&["component", "LUTs"], &rows));
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table III: the Vivado characterization under different
+//! levels of P&R parallelism (simulated minutes).
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    println!("Table III — characterization of the CAD engine under different parallelism\n");
+    for row in experiments::table3() {
+        println!(
+            "{}:  α_av = {:.1}%  κ = {:.1}%  γ = {:.2}   (best: τ = {})",
+            row.soc,
+            row.alpha_av,
+            row.kappa,
+            row.gamma,
+            row.best_tau()
+        );
+        let cells: Vec<Vec<String>> = row
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("τ={}", p.tau),
+                    p.t_static.map_or("-".into(), |v| format!("{v:.0}")),
+                    p.max_omega.map_or("-".into(), |v| format!("{v:.0}")),
+                    format!("{:.0}", p.total),
+                ]
+            })
+            .collect();
+        println!("{}", render::table(&["", "t_static", "max{Ω}", "T_tot"], &cells));
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table IV: P&R parallelism evaluation on the WAMI SoCs.
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    println!("Table IV — evaluation of the P&R parallelism in PR-ESP (minutes)\n");
+    let rows: Vec<Vec<String>> = experiments::table4()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.soc.clone(),
+                format!("{:?}", r.accels),
+                format!("{}", r.class),
+                format!("{:.1}", r.metrics.0),
+                format!("{:.1}", r.metrics.1),
+                format!("{:.2}", r.metrics.2),
+                format!("{:.0}+{:.0}={:.0}", r.fully.0, r.fully.1, r.fully.2),
+                format!("{:.0}+{:.0}={:.0}", r.semi.0, r.semi.1, r.semi.2),
+                format!("{:.0}", r.serial),
+                format!("{} ({:.0})", r.chosen, r.chosen_total()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            &["SoC", "accs", "class", "α_av%", "κ%", "γ", "fully-par", "semi-par", "serial", "PR-ESP choice"],
+            &rows
+        )
+    );
+}

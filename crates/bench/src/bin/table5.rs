@@ -1,0 +1,31 @@
+//! Regenerates Table V: PR-ESP vs monolithic compile time.
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    println!("Table V — PR-ESP vs monolithic implementation (minutes)\n");
+    let rows: Vec<Vec<String>> = experiments::table5()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.soc.clone(),
+                format!("{:.0}", r.synth),
+                format!("{:.0}", r.t_static),
+                format!("{:.0}", r.max_omega),
+                format!("{:.0}", r.total),
+                format!("{}", r.strategy),
+                format!("{:.0}", r.mono_synth),
+                format!("{:.0}", r.mono_pnr),
+                format!("{:.0}", r.mono_total),
+                format!("{:+.1}%", r.improvement_pct()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            &["SoC", "synth", "t_static", "max{Ω}", "T_tot", "τ", "m.synth", "m.P&R", "m.T_tot", "improv."],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table VI: accelerator partitioning and pbs sizes.
+
+use presp_bench::{experiments, render};
+
+fn main() {
+    println!("Table VI — partitioning of accelerators and partial bitstream sizes\n");
+    let rows: Vec<Vec<String>> = experiments::table6()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.soc.clone(),
+                r.tile.clone(),
+                format!("{:?}", r.kernels),
+                format!("{:.0}", r.pbs_kb),
+            ]
+        })
+        .collect();
+    println!("{}", render::table(&["SoC", "tile", "WAMI accs", "pbs (KB)"], &rows));
+}

@@ -1,0 +1,73 @@
+//! Error type for the CAD engine.
+
+use std::fmt;
+
+/// Errors produced by the CAD engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The design specification is inconsistent (empty static part, no name,
+    /// duplicate module names, ...).
+    BadSpec {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A module does not fit the region it is being placed into.
+    RegionOverflow {
+        /// Module being placed.
+        module: String,
+        /// Human-readable capacity summary.
+        detail: String,
+    },
+    /// The whole design exceeds the device.
+    DeviceOverflow {
+        /// Human-readable utilization summary.
+        detail: String,
+    },
+    /// A schedule references an unknown reconfigurable module.
+    UnknownModule {
+        /// The missing module name.
+        name: String,
+    },
+    /// A semi-parallel schedule was requested with an unusable τ.
+    BadParallelism {
+        /// Requested τ.
+        tau: usize,
+        /// Number of reconfigurable modules.
+        modules: usize,
+    },
+    /// Fabric-model error (propagated from `presp-fpga`).
+    Fabric(presp_fpga::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadSpec { detail } => write!(f, "bad design spec: {detail}"),
+            Error::RegionOverflow { module, detail } => {
+                write!(f, "module '{module}' overflows its region: {detail}")
+            }
+            Error::DeviceOverflow { detail } => write!(f, "design exceeds device: {detail}"),
+            Error::UnknownModule { name } => write!(f, "unknown reconfigurable module '{name}'"),
+            Error::BadParallelism { tau, modules } => {
+                write!(f, "invalid parallelism τ={tau} for {modules} reconfigurable modules")
+            }
+            Error::Fabric(e) => write!(f, "fabric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<presp_fpga::Error> for Error {
+    fn from(e: presp_fpga::Error) -> Error {
+        Error::Fabric(e)
+    }
+}

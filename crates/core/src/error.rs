@@ -1,0 +1,94 @@
+//! Error type for the PR-ESP platform.
+
+use std::fmt;
+
+/// Errors produced by the PR-ESP flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The design description is inconsistent.
+    BadDesign {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The size profile is impossible (the paper's blank Table I cells:
+    /// γ < 1 with κ not ≫ α_av cannot occur).
+    ImpossibleProfile {
+        /// The computed (κ, α_av, γ).
+        kappa: f64,
+        /// Average reconfigurable fraction.
+        alpha_av: f64,
+        /// Reconfigurable-to-static ratio.
+        gamma: f64,
+    },
+    /// CAD-flow failure.
+    Cad(presp_cad::Error),
+    /// Floorplanning failure.
+    Floorplan(presp_floorplan::Error),
+    /// SoC construction/simulation failure.
+    Soc(presp_soc::Error),
+    /// Runtime-manager failure.
+    Runtime(presp_runtime::Error),
+    /// Fabric/bitstream failure.
+    Fpga(presp_fpga::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadDesign { detail } => write!(f, "bad design: {detail}"),
+            Error::ImpossibleProfile { kappa, alpha_av, gamma } => write!(
+                f,
+                "impossible size profile: κ={kappa:.3}, α_av={alpha_av:.3}, γ={gamma:.3}"
+            ),
+            Error::Cad(e) => write!(f, "cad flow: {e}"),
+            Error::Floorplan(e) => write!(f, "floorplan: {e}"),
+            Error::Soc(e) => write!(f, "soc: {e}"),
+            Error::Runtime(e) => write!(f, "runtime: {e}"),
+            Error::Fpga(e) => write!(f, "fpga: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Cad(e) => Some(e),
+            Error::Floorplan(e) => Some(e),
+            Error::Soc(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            Error::Fpga(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<presp_cad::Error> for Error {
+    fn from(e: presp_cad::Error) -> Error {
+        Error::Cad(e)
+    }
+}
+
+impl From<presp_floorplan::Error> for Error {
+    fn from(e: presp_floorplan::Error) -> Error {
+        Error::Floorplan(e)
+    }
+}
+
+impl From<presp_soc::Error> for Error {
+    fn from(e: presp_soc::Error) -> Error {
+        Error::Soc(e)
+    }
+}
+
+impl From<presp_runtime::Error> for Error {
+    fn from(e: presp_runtime::Error) -> Error {
+        Error::Runtime(e)
+    }
+}
+
+impl From<presp_fpga::Error> for Error {
+    fn from(e: presp_fpga::Error) -> Error {
+        Error::Fpga(e)
+    }
+}

@@ -1,0 +1,133 @@
+//! Deployment: from flow outputs to a booted, programmable SoC.
+//!
+//! The analogue of flashing the full bitstream and booting Linux: builds
+//! the simulated SoC, accounts the floorplanned regions with the energy
+//! meter, loads every partial bitstream into the runtime manager's
+//! registry, and hands back either a bare [`ReconfigManager`] or a fully
+//! wired WAMI application.
+
+use crate::design::SocDesign;
+use crate::error::Error;
+use crate::flow::FlowOutput;
+use presp_runtime::app::{WamiAllocation, WamiApp};
+use presp_runtime::manager::ReconfigManager;
+use presp_runtime::registry::BitstreamRegistry;
+use presp_soc::config::TileCoord;
+use presp_soc::sim::Soc;
+use presp_wami::graph::WamiKernel;
+
+/// Boots the SoC and loads the bitstream registry.
+///
+/// # Errors
+///
+/// Propagates SoC construction errors.
+pub fn deploy(design: &SocDesign, output: &FlowOutput) -> Result<ReconfigManager, Error> {
+    let mut soc = Soc::with_part(&design.config, design.part)?;
+    // The floorplanned regions are provisioned fabric: they leak/clock for
+    // the whole run whether or not an accelerator occupies them.
+    let device = design.part.device();
+    for pblock in output.floorplan.pblocks().values() {
+        soc.provision_region(device.pblock_resources(pblock)?);
+    }
+    let mut registry = BitstreamRegistry::new();
+    for info in &output.partial_bitstreams {
+        if let Some(tile) = info.tile {
+            registry.register(tile, info.kind, info.bitstream.clone());
+        }
+    }
+    Ok(ReconfigManager::new(soc, registry))
+}
+
+/// Deploys a WAMI design as a ready-to-run application.
+///
+/// The allocation is derived from the design's per-tile accelerator sets;
+/// kernels absent from every tile fall back to the CPU.
+///
+/// # Errors
+///
+/// Propagates deployment errors.
+pub fn deploy_wami(design: &SocDesign, output: &FlowOutput, lk_iterations: usize) -> Result<WamiApp, Error> {
+    let manager = deploy(design, output)?;
+    let rows: Vec<(TileCoord, Vec<usize>)> = design
+        .tile_accels
+        .iter()
+        .map(|(coord, accels)| {
+            let indices = accels
+                .iter()
+                .filter_map(|a| match a {
+                    presp_accel::catalog::AcceleratorKind::Wami(k) => Some(k.index()),
+                    _ => None,
+                })
+                .collect();
+            (*coord, indices)
+        })
+        .collect();
+    let borrowed: Vec<(TileCoord, &[usize])> = rows.iter().map(|(c, v)| (*c, v.as_slice())).collect();
+    let allocation = WamiAllocation::from_rows(&borrowed);
+    Ok(WamiApp::new(manager, allocation, lk_iterations))
+}
+
+/// Kernels of a design that will run in software on the CPU.
+pub fn cpu_fallback_kernels(design: &SocDesign) -> Vec<WamiKernel> {
+    let allocated: Vec<usize> = design
+        .tile_accels
+        .values()
+        .flatten()
+        .filter_map(|a| match a {
+            presp_accel::catalog::AcceleratorKind::Wami(k) => Some(k.index()),
+            _ => None,
+        })
+        .collect();
+    WamiKernel::ALL
+        .iter()
+        .copied()
+        .filter(|k| !allocated.contains(&k.index()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::PrEspFlow;
+    use presp_wami::frames::SceneGenerator;
+
+    #[test]
+    fn deployed_soc_x_processes_frames() {
+        let design = SocDesign::wami_soc_x().unwrap();
+        let output = PrEspFlow::new().run(&design).unwrap();
+        let mut app = deploy_wami(&design, &output, 2).unwrap();
+        let mut scene = SceneGenerator::new(32, 32, 4);
+        let r1 = app.process_frame(&scene.next_frame()).unwrap();
+        let r2 = app.process_frame(&scene.next_frame()).unwrap();
+        assert!(r2.registration.is_some());
+        assert!(r2.reconfigurations > 0, "DPR actually happened");
+        assert!(r2.end > r1.end);
+    }
+
+    #[test]
+    fn soc_x_falls_back_to_cpu_for_unallocated_kernels() {
+        let design = SocDesign::wami_soc_x().unwrap();
+        let fallback = cpu_fallback_kernels(&design);
+        // Table VI's SoC_X omits kernels #5 and #12.
+        assert_eq!(
+            fallback,
+            vec![WamiKernel::Subtract, WamiKernel::ChangeDetection]
+        );
+    }
+
+    #[test]
+    fn soc_z_allocates_everything() {
+        let design = SocDesign::wami_soc_z().unwrap();
+        assert!(cpu_fallback_kernels(&design).is_empty());
+    }
+
+    #[test]
+    fn registry_holds_one_pbs_per_tile_accelerator() {
+        let design = SocDesign::wami_soc_y().unwrap();
+        let output = PrEspFlow::new().run(&design).unwrap();
+        let manager = deploy(&design, &output).unwrap();
+        // SoC_Y: 4 + 3 + 3 accelerators across three tiles.
+        let _ = manager; // registry is internal; count via the flow output
+        assert_eq!(output.partial_bitstreams.len(), 10);
+    }
+}

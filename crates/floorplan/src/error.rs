@@ -1,0 +1,55 @@
+//! Error type for floorplanning.
+
+use std::fmt;
+
+/// Errors produced by the floorplanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A single request exceeds what the whole device can provide.
+    RequestExceedsDevice {
+        /// Name of the offending request.
+        name: String,
+    },
+    /// No legal, non-overlapping rectangle can satisfy the request given the
+    /// regions already placed.
+    NoSpace {
+        /// Name of the request that could not be placed.
+        name: String,
+    },
+    /// Two requests share a name; pblocks are keyed by name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// Device-model error (propagated from `presp-fpga`).
+    Fabric(presp_fpga::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RequestExceedsDevice { name } => {
+                write!(f, "region '{name}' requires more resources than the device provides")
+            }
+            Error::NoSpace { name } => write!(f, "no legal placement found for region '{name}'"),
+            Error::DuplicateName { name } => write!(f, "duplicate region name '{name}'"),
+            Error::Fabric(e) => write!(f, "fabric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<presp_fpga::Error> for Error {
+    fn from(e: presp_fpga::Error) -> Error {
+        Error::Fabric(e)
+    }
+}

@@ -1,0 +1,527 @@
+//! Bitstream construction.
+//!
+//! The format is a faithful simplification of the Xilinx configuration packet
+//! stream: a sync word, type-1 register-write packets, frame payload through
+//! the FDRI register, optional multi-frame-write (MFW) compression, a final
+//! CRC check and a desync. The [`crate::icap`] module parses exactly this
+//! format, so everything that flows to the device round-trips through the same
+//! packet layer the hardware would see.
+
+use crate::config_memory::Frame;
+use crate::error::Error;
+use crate::fabric::Device;
+use crate::frame::FrameAddress;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Dummy pad word at the head of every bitstream.
+pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
+/// Synchronization word.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+
+/// Configuration registers addressed by type-1 packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ConfigReg {
+    /// CRC check register.
+    Crc = 0,
+    /// Frame address register.
+    Far = 1,
+    /// Frame data input register.
+    Fdri = 2,
+    /// Command register.
+    Cmd = 4,
+    /// Multi-frame write register.
+    Mfwr = 10,
+    /// Device IDCODE register.
+    Idcode = 12,
+}
+
+impl ConfigReg {
+    /// Decodes a register index.
+    pub fn from_index(idx: u32) -> Option<ConfigReg> {
+        Some(match idx {
+            0 => ConfigReg::Crc,
+            1 => ConfigReg::Far,
+            2 => ConfigReg::Fdri,
+            4 => ConfigReg::Cmd,
+            10 => ConfigReg::Mfwr,
+            12 => ConfigReg::Idcode,
+            _ => return None,
+        })
+    }
+}
+
+/// Command-register opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Command {
+    /// Write configuration data.
+    Wcfg = 1,
+    /// Multi-frame write mode.
+    Mfw = 2,
+    /// Reset CRC accumulator.
+    Rcrc = 7,
+    /// End of bitstream.
+    Desync = 13,
+}
+
+impl Command {
+    /// Decodes a command opcode.
+    pub fn from_value(v: u32) -> Option<Command> {
+        Some(match v {
+            1 => Command::Wcfg,
+            2 => Command::Mfw,
+            7 => Command::Rcrc,
+            13 => Command::Desync,
+            _ => return None,
+        })
+    }
+}
+
+/// Encodes a type-1 write-packet header: `001 | op=10 | reg | count`.
+pub fn type1_write(reg: ConfigReg, count: u32) -> u32 {
+    assert!(count < (1 << 13), "type-1 payload too large; chunking required");
+    (0b001 << 29) | (0b10 << 27) | ((reg as u32) << 13) | count
+}
+
+/// Encodes a type-2 packet header (large FDRI payloads): `010 | op=10 | count`.
+pub fn type2_write(count: u32) -> u32 {
+    assert!(count < (1 << 27), "type-2 payload too large");
+    (0b010 << 29) | (0b10 << 27) | count
+}
+
+/// Decoded packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketHeader {
+    /// Type-1 write to a register with an inline word count.
+    Type1Write {
+        /// Destination register.
+        reg: ConfigReg,
+        /// Payload word count.
+        count: u32,
+    },
+    /// Type-2 write (payload goes to the last addressed register).
+    Type2Write {
+        /// Payload word count.
+        count: u32,
+    },
+    /// A NOP / padding word.
+    Nop,
+}
+
+/// Decodes one packet-header word.
+///
+/// # Errors
+///
+/// Returns [`Error::MalformedBitstream`] for unknown packet types or
+/// registers.
+pub fn decode_header(word: u32) -> Result<PacketHeader, Error> {
+    let ty = word >> 29;
+    match ty {
+        0b001 => {
+            let op = (word >> 27) & 0b11;
+            if op == 0 {
+                return Ok(PacketHeader::Nop);
+            }
+            if op != 0b10 {
+                return Err(Error::MalformedBitstream { detail: format!("unsupported op {op} in type-1 packet") });
+            }
+            let reg_idx = (word >> 13) & 0x3FFF;
+            let reg = ConfigReg::from_index(reg_idx).ok_or_else(|| Error::MalformedBitstream {
+                detail: format!("unknown register index {reg_idx}"),
+            })?;
+            Ok(PacketHeader::Type1Write { reg, count: word & 0x1FFF })
+        }
+        0b010 => Ok(PacketHeader::Type2Write { count: word & 0x07FF_FFFF }),
+        _ => Err(Error::MalformedBitstream { detail: format!("unknown packet type {ty}") }),
+    }
+}
+
+/// Running CRC accumulator used by both the builder and the ICAP.
+///
+/// A CRC-32 (reflected 0xEDB88320 polynomial) folded over every frame payload
+/// word and FAR value — enough to catch the corruptions the tests inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrcAccumulator(u32);
+
+impl CrcAccumulator {
+    /// Fresh accumulator (also the state after an RCRC command).
+    pub fn new() -> CrcAccumulator {
+        CrcAccumulator(0xFFFF_FFFF)
+    }
+
+    /// Folds one word into the accumulator.
+    pub fn update(&mut self, word: u32) {
+        let mut crc = self.0 ^ word;
+        for _ in 0..32 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+        self.0 = crc;
+    }
+
+    /// Current CRC value.
+    pub fn value(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// Whether a bitstream reconfigures the whole device or a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitstreamKind {
+    /// Full-device bitstream.
+    Full,
+    /// Partial bitstream for one reconfigurable partition.
+    Partial,
+}
+
+/// A built bitstream: the exact word stream an ICAP consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitstream {
+    kind: BitstreamKind,
+    idcode: u32,
+    compressed: bool,
+    words: Vec<u32>,
+    frames: usize,
+}
+
+impl Bitstream {
+    /// Kind of this bitstream.
+    pub fn kind(&self) -> BitstreamKind {
+        self.kind
+    }
+
+    /// Target-device IDCODE.
+    pub fn idcode(&self) -> u32 {
+        self.idcode
+    }
+
+    /// Whether multi-frame-write compression was used.
+    pub fn compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// The raw configuration words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Size in bytes (what gets stored in DRAM and streamed through the ICAP).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Number of distinct frames this bitstream configures.
+    pub fn frame_count(&self) -> usize {
+        self.frames
+    }
+
+    /// Returns a copy of this bitstream with its word stream replaced.
+    ///
+    /// Intended for fault-injection testing (bit flips, truncation): the
+    /// metadata is kept, only the stream changes, so the ICAP's CRC and
+    /// packet-layer checks can be exercised against corrupted transfers.
+    pub fn with_words(&self, words: Vec<u32>) -> Bitstream {
+        Bitstream { words, ..self.clone() }
+    }
+}
+
+impl fmt::Display for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} bitstream: {} frames, {} KB{}",
+            self.kind,
+            self.frames,
+            self.size_bytes() / 1024,
+            if self.compressed { " (compressed)" } else { "" }
+        )
+    }
+}
+
+/// Builds bitstreams from frame data.
+///
+/// # Example
+///
+/// ```
+/// use presp_fpga::bitstream::{BitstreamBuilder, BitstreamKind};
+/// use presp_fpga::frame::FrameAddress;
+/// use presp_fpga::part::FpgaPart;
+///
+/// let device = FpgaPart::Vc707.device();
+/// let mut builder = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+/// let words = device.part().family().frame_words();
+/// builder.add_frame(FrameAddress::new(0, 1, 0), vec![0x1234_5678; words])?;
+/// let bs = builder.build(true);
+/// assert!(bs.size_bytes() > 0);
+/// # Ok::<(), presp_fpga::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitstreamBuilder {
+    device: Device,
+    kind: BitstreamKind,
+    frame_words: usize,
+    frames: BTreeMap<FrameAddress, Frame>,
+}
+
+impl BitstreamBuilder {
+    /// Creates a builder targeting `device`.
+    pub fn new(device: &Device, kind: BitstreamKind) -> BitstreamBuilder {
+        BitstreamBuilder {
+            device: device.clone(),
+            kind,
+            frame_words: device.part().family().frame_words(),
+            frames: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) the payload for one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is invalid for the device or the
+    /// payload has the wrong length.
+    pub fn add_frame(&mut self, addr: FrameAddress, data: Frame) -> Result<(), Error> {
+        self.device.validate_frame(addr)?;
+        if data.len() != self.frame_words {
+            return Err(Error::BadFrameAddress {
+                detail: format!("frame payload {} words, expected {}", data.len(), self.frame_words),
+            });
+        }
+        self.frames.insert(addr, data);
+        Ok(())
+    }
+
+    /// Number of frames staged so far.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Serializes the staged frames into a bitstream.
+    ///
+    /// With `compressed = true` the builder groups identical frame payloads
+    /// and emits each payload once through FDRI followed by FAR+MFWR writes
+    /// for the remaining addresses — the multi-frame-write scheme behind
+    /// Vivado's `BITSTREAM.GENERAL.COMPRESS` option.
+    pub fn build(&self, compressed: bool) -> Bitstream {
+        let mut words = Vec::new();
+        let mut crc = CrcAccumulator::new();
+        words.push(DUMMY_WORD);
+        words.push(SYNC_WORD);
+        // RCRC, IDCODE check, WCFG.
+        words.push(type1_write(ConfigReg::Cmd, 1));
+        words.push(Command::Rcrc as u32);
+        words.push(type1_write(ConfigReg::Idcode, 1));
+        words.push(self.device.part().idcode());
+        words.push(type1_write(ConfigReg::Cmd, 1));
+        words.push(Command::Wcfg as u32);
+
+        if compressed {
+            self.emit_compressed(&mut words, &mut crc);
+        } else {
+            self.emit_linear(&mut words, &mut crc);
+        }
+
+        words.push(type1_write(ConfigReg::Crc, 1));
+        words.push(crc.value());
+        words.push(type1_write(ConfigReg::Cmd, 1));
+        words.push(Command::Desync as u32);
+
+        Bitstream {
+            kind: self.kind,
+            idcode: self.device.part().idcode(),
+            compressed,
+            words,
+            frames: self.frames.len(),
+        }
+    }
+
+    /// Emits frames in address order, merging contiguous runs into one FDRI
+    /// burst per run.
+    fn emit_linear(&self, words: &mut Vec<u32>, crc: &mut CrcAccumulator) {
+        let addrs: Vec<FrameAddress> = self.frames.keys().copied().collect();
+        let mut i = 0;
+        while i < addrs.len() {
+            // Extend a contiguous minor run within the same (row, column).
+            let start = i;
+            while i + 1 < addrs.len()
+                && addrs[i + 1].row == addrs[i].row
+                && addrs[i + 1].column == addrs[i].column
+                && addrs[i + 1].minor == addrs[i].minor + 1
+            {
+                i += 1;
+            }
+            let run = &addrs[start..=i];
+            let far = run[0].pack();
+            words.push(type1_write(ConfigReg::Far, 1));
+            words.push(far);
+            crc.update(far);
+            let payload_words = run.len() * self.frame_words;
+            if payload_words < (1 << 13) {
+                words.push(type1_write(ConfigReg::Fdri, payload_words as u32));
+            } else {
+                words.push(type1_write(ConfigReg::Fdri, 0));
+                words.push(type2_write(payload_words as u32));
+            }
+            for addr in run {
+                for &w in &self.frames[addr] {
+                    words.push(w);
+                    crc.update(w);
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Emits each distinct payload once, then multi-frame-writes it to every
+    /// address that shares it.
+    fn emit_compressed(&self, words: &mut Vec<u32>, crc: &mut CrcAccumulator) {
+        // Group addresses by identical payload (hash-bucketed so full-device
+        // bitstreams stay linear), preserving address order of first
+        // occurrence for determinism.
+        let mut groups: Vec<(&Frame, Vec<FrameAddress>)> = Vec::new();
+        let mut buckets: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+        for (addr, frame) in &self.frames {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &w in frame {
+                h = (h ^ w as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let bucket = buckets.entry(h).or_default();
+            match bucket.iter().find(|&&g| groups[g].0 == frame) {
+                Some(&g) => groups[g].1.push(*addr),
+                None => {
+                    bucket.push(groups.len());
+                    groups.push((frame, vec![*addr]));
+                }
+            }
+        }
+        for (frame, addrs) in groups {
+            if addrs.len() == 1 {
+                let far = addrs[0].pack();
+                words.push(type1_write(ConfigReg::Far, 1));
+                words.push(far);
+                crc.update(far);
+                words.push(type1_write(ConfigReg::Fdri, self.frame_words as u32));
+                for &w in frame {
+                    words.push(w);
+                    crc.update(w);
+                }
+            } else {
+                // Load the frame into the frame-data shadow register, switch
+                // to MFW and replay it at each address.
+                let far = addrs[0].pack();
+                words.push(type1_write(ConfigReg::Far, 1));
+                words.push(far);
+                crc.update(far);
+                words.push(type1_write(ConfigReg::Fdri, self.frame_words as u32));
+                for &w in frame {
+                    words.push(w);
+                    crc.update(w);
+                }
+                words.push(type1_write(ConfigReg::Cmd, 1));
+                words.push(Command::Mfw as u32);
+                for addr in &addrs[1..] {
+                    let far = addr.pack();
+                    words.push(type1_write(ConfigReg::Far, 1));
+                    words.push(far);
+                    crc.update(far);
+                    words.push(type1_write(ConfigReg::Mfwr, 1));
+                    words.push(0);
+                }
+                words.push(type1_write(ConfigReg::Cmd, 1));
+                words.push(Command::Wcfg as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::part::FpgaPart;
+
+    fn device() -> Device {
+        FpgaPart::Vc707.device()
+    }
+
+    fn frame_of(device: &Device, value: u32) -> Frame {
+        vec![value; device.part().family().frame_words()]
+    }
+
+    #[test]
+    fn header_codec_roundtrip() {
+        let h = type1_write(ConfigReg::Fdri, 101);
+        assert_eq!(decode_header(h).unwrap(), PacketHeader::Type1Write { reg: ConfigReg::Fdri, count: 101 });
+        let h2 = type2_write(123_456);
+        assert_eq!(decode_header(h2).unwrap(), PacketHeader::Type2Write { count: 123_456 });
+    }
+
+    #[test]
+    fn dummy_word_is_not_a_valid_packet() {
+        assert!(decode_header(DUMMY_WORD).is_err());
+    }
+
+    #[test]
+    fn bitstream_starts_with_sync_sequence() {
+        let d = device();
+        let builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        let bs = builder.build(false);
+        assert_eq!(bs.words()[0], DUMMY_WORD);
+        assert_eq!(bs.words()[1], SYNC_WORD);
+    }
+
+    #[test]
+    fn compression_shrinks_duplicate_frames() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        for minor in 0..36 {
+            builder.add_frame(FrameAddress::new(0, 1, minor), frame_of(&d, 0xCAFE_F00D)).unwrap();
+        }
+        let raw = builder.build(false);
+        let compressed = builder.build(true);
+        assert!(compressed.size_bytes() < raw.size_bytes() / 4);
+        assert_eq!(raw.frame_count(), 36);
+        assert_eq!(compressed.frame_count(), 36);
+    }
+
+    #[test]
+    fn compression_does_not_help_unique_frames() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        for minor in 0..8 {
+            builder.add_frame(FrameAddress::new(0, 1, minor), frame_of(&d, 0x1000 + minor)).unwrap();
+        }
+        let raw = builder.build(false);
+        let compressed = builder.build(true);
+        // Unique frames gain nothing; per-frame FAR writes cost a little more.
+        assert!(compressed.size_bytes() as f64 >= raw.size_bytes() as f64 * 0.95);
+    }
+
+    #[test]
+    fn crc_changes_with_payload() {
+        let mut a = CrcAccumulator::new();
+        let mut b = CrcAccumulator::new();
+        a.update(1);
+        b.update(2);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn rejects_bad_frames() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        assert!(builder.add_frame(FrameAddress::new(999, 0, 0), frame_of(&d, 0)).is_err());
+        assert!(builder.add_frame(FrameAddress::new(0, 1, 0), vec![0; 3]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_frame_count() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Full);
+        builder.add_frame(FrameAddress::new(0, 1, 0), frame_of(&d, 5)).unwrap();
+        let text = format!("{}", builder.build(false));
+        assert!(text.contains("1 frames"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Device configuration memory: the frame-addressable state the ICAP writes.
+
+use crate::error::Error;
+use crate::fabric::Device;
+use crate::frame::FrameAddress;
+use std::collections::BTreeMap;
+
+/// One configuration frame's payload.
+pub type Frame = Vec<u32>;
+
+/// The frame-addressable configuration memory of a device.
+///
+/// Frames that were never written read back as all-zero (the post-PROG state
+/// of the real device).
+///
+/// # Example
+///
+/// ```
+/// use presp_fpga::config_memory::ConfigMemory;
+/// use presp_fpga::frame::FrameAddress;
+/// use presp_fpga::part::FpgaPart;
+///
+/// let device = FpgaPart::Vc707.device();
+/// let mut mem = ConfigMemory::new(&device);
+/// let addr = FrameAddress::new(0, 1, 0);
+/// mem.write_frame(addr, vec![0xDEAD_BEEF; mem.frame_words()])?;
+/// assert_eq!(mem.frame(addr)[0], 0xDEAD_BEEF);
+/// # Ok::<(), presp_fpga::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigMemory {
+    device: Device,
+    frame_words: usize,
+    frames: BTreeMap<FrameAddress, Frame>,
+}
+
+impl ConfigMemory {
+    /// Creates an all-zero configuration memory for `device`.
+    pub fn new(device: &Device) -> ConfigMemory {
+        ConfigMemory {
+            device: device.clone(),
+            frame_words: device.part().family().frame_words(),
+            frames: BTreeMap::new(),
+        }
+    }
+
+    /// Words per frame on this device.
+    pub fn frame_words(&self) -> usize {
+        self.frame_words
+    }
+
+    /// The device this memory belongs to.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Writes one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadFrameAddress`] if the address does not exist on the
+    /// device or the payload length differs from the frame size.
+    pub fn write_frame(&mut self, addr: FrameAddress, data: Frame) -> Result<(), Error> {
+        self.device.validate_frame(addr)?;
+        if data.len() != self.frame_words {
+            return Err(Error::BadFrameAddress {
+                detail: format!("frame payload {} words, expected {}", data.len(), self.frame_words),
+            });
+        }
+        if data.iter().all(|&w| w == 0) {
+            // All-zero equals the erased state; keep the map sparse.
+            self.frames.remove(&addr);
+        } else {
+            self.frames.insert(addr, data);
+        }
+        Ok(())
+    }
+
+    /// Reads back one frame (all-zero if never written).
+    pub fn frame(&self, addr: FrameAddress) -> Frame {
+        self.frames.get(&addr).cloned().unwrap_or_else(|| vec![0; self.frame_words])
+    }
+
+    /// Returns `true` if the frame was written with non-zero content.
+    pub fn is_configured(&self, addr: FrameAddress) -> bool {
+        self.frames.contains_key(&addr)
+    }
+
+    /// Number of frames holding non-zero content.
+    pub fn configured_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Clears every frame in `addrs` back to the erased state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on the first invalid address.
+    pub fn clear_frames<'a, I: IntoIterator<Item = &'a FrameAddress>>(&mut self, addrs: I) -> Result<(), Error> {
+        for addr in addrs {
+            self.device.validate_frame(*addr)?;
+            self.frames.remove(addr);
+        }
+        Ok(())
+    }
+
+    /// Addresses whose content differs between `self` and `other`.
+    pub fn diff(&self, other: &ConfigMemory) -> Vec<FrameAddress> {
+        let mut addrs: Vec<FrameAddress> = self
+            .frames
+            .keys()
+            .chain(other.frames.keys())
+            .copied()
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs.into_iter().filter(|a| self.frame(*a) != other.frame(*a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::part::FpgaPart;
+
+    fn mem() -> ConfigMemory {
+        ConfigMemory::new(&FpgaPart::Vc707.device())
+    }
+
+    #[test]
+    fn unwritten_frames_read_zero() {
+        let m = mem();
+        let addr = FrameAddress::new(2, 3, 1);
+        assert!(m.frame(addr).iter().all(|&w| w == 0));
+        assert!(!m.is_configured(addr));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = mem();
+        let addr = FrameAddress::new(1, 2, 3);
+        let data: Frame = (0..m.frame_words() as u32).collect();
+        m.write_frame(addr, data.clone()).unwrap();
+        assert_eq!(m.frame(addr), data);
+        assert_eq!(m.configured_frames(), 1);
+    }
+
+    #[test]
+    fn zero_write_erases() {
+        let mut m = mem();
+        let addr = FrameAddress::new(1, 2, 3);
+        m.write_frame(addr, vec![7; m.frame_words()]).unwrap();
+        m.write_frame(addr, vec![0; m.frame_words()]).unwrap();
+        assert!(!m.is_configured(addr));
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let mut m = mem();
+        let addr = FrameAddress::new(0, 1, 0);
+        assert!(m.write_frame(addr, vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn invalid_address_is_rejected() {
+        let mut m = mem();
+        let words = m.frame_words();
+        assert!(m.write_frame(FrameAddress::new(999, 0, 0), vec![1; words]).is_err());
+    }
+
+    #[test]
+    fn diff_reports_changed_frames() {
+        let mut a = mem();
+        let mut b = mem();
+        let f1 = FrameAddress::new(0, 1, 0);
+        let f2 = FrameAddress::new(0, 1, 1);
+        let words = a.frame_words();
+        a.write_frame(f1, vec![1; words]).unwrap();
+        b.write_frame(f1, vec![1; words]).unwrap();
+        b.write_frame(f2, vec![2; words]).unwrap();
+        assert_eq!(a.diff(&b), vec![f2]);
+        assert_eq!(a.diff(&a), Vec::new());
+    }
+
+    #[test]
+    fn clear_frames_restores_erased_state() {
+        let mut m = mem();
+        let addr = FrameAddress::new(3, 4, 2);
+        m.write_frame(addr, vec![9; m.frame_words()]).unwrap();
+        m.clear_frames(std::iter::once(&addr)).unwrap();
+        assert_eq!(m.configured_frames(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the FPGA substrate.
+
+use std::fmt;
+
+/// Errors produced by fabric, pblock, bitstream and ICAP operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A pblock rectangle is degenerate (zero width or height).
+    EmptyPblock,
+    /// A pblock extends past the device fabric.
+    PblockOutOfBounds {
+        /// Human-readable description of the offending extent.
+        detail: String,
+    },
+    /// A pblock overlaps a column that may not be reconfigured (e.g. the
+    /// configuration column).
+    IllegalColumn {
+        /// Index of the offending column.
+        column: usize,
+    },
+    /// Two pblocks overlap.
+    PblockOverlap,
+    /// The bitstream is malformed (bad sync word, truncated packet, ...).
+    MalformedBitstream {
+        /// Human-readable description of the malformation.
+        detail: String,
+    },
+    /// The bitstream CRC check failed inside the ICAP.
+    CrcMismatch {
+        /// CRC computed over the received frames.
+        computed: u32,
+        /// CRC carried by the bitstream.
+        expected: u32,
+    },
+    /// A frame address does not exist on this device.
+    BadFrameAddress {
+        /// Human-readable description of the bad address.
+        detail: String,
+    },
+    /// The bitstream targets a different device.
+    IdcodeMismatch {
+        /// IDCODE found in the bitstream.
+        found: u32,
+        /// IDCODE of the device being configured.
+        device: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyPblock => write!(f, "pblock rectangle is empty"),
+            Error::PblockOutOfBounds { detail } => {
+                write!(f, "pblock out of device bounds: {detail}")
+            }
+            Error::IllegalColumn { column } => {
+                write!(f, "pblock covers non-reconfigurable column {column}")
+            }
+            Error::PblockOverlap => write!(f, "pblocks overlap"),
+            Error::MalformedBitstream { detail } => {
+                write!(f, "malformed bitstream: {detail}")
+            }
+            Error::CrcMismatch { computed, expected } => write!(
+                f,
+                "bitstream crc mismatch: computed {computed:#010x}, expected {expected:#010x}"
+            ),
+            Error::BadFrameAddress { detail } => {
+                write!(f, "invalid frame address: {detail}")
+            }
+            Error::IdcodeMismatch { found, device } => write!(
+                f,
+                "bitstream idcode {found:#010x} does not match device {device:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,392 @@
+//! ICAP (internal configuration access port) model.
+//!
+//! The ICAP consumes the packet stream produced by
+//! [`BitstreamBuilder`](crate::bitstream::BitstreamBuilder) one 32-bit word
+//! per clock cycle and applies frame writes to a [`ConfigMemory`]. The word
+//! count therefore *is* the reconfiguration latency — which is exactly why
+//! the paper generates partial bitstreams in Vivado's compressed mode "to
+//! reduce the memory access latency during reconfiguration" (Section VI).
+
+use crate::bitstream::{
+    decode_header, Bitstream, Command, ConfigReg, CrcAccumulator, PacketHeader, SYNC_WORD,
+};
+use crate::config_memory::ConfigMemory;
+use crate::error::Error;
+use crate::fabric::Device;
+use crate::frame::FrameAddress;
+use serde::{Deserialize, Serialize};
+
+/// Nominal ICAP clock in MHz (both ICAPE2 and ICAPE3 are commonly run at
+/// 100 MHz with a 32-bit data path).
+pub const ICAP_CLOCK_MHZ: f64 = 100.0;
+
+/// Outcome of streaming one bitstream through the ICAP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IcapReport {
+    /// Words consumed (one per ICAP clock cycle).
+    pub words: usize,
+    /// Distinct frames written into configuration memory.
+    pub frames_written: usize,
+    /// Reconfiguration latency in microseconds at [`ICAP_CLOCK_MHZ`].
+    pub micros: f64,
+}
+
+impl IcapReport {
+    /// Latency in ICAP clock cycles.
+    pub fn cycles(&self) -> u64 {
+        self.words as u64
+    }
+}
+
+/// Extracts the single word of a one-word register write.
+fn single(payload: &[u32]) -> Result<u32, Error> {
+    if payload.len() != 1 {
+        return Err(Error::MalformedBitstream {
+            detail: format!("expected 1-word register write, got {} words", payload.len()),
+        });
+    }
+    Ok(payload[0])
+}
+
+/// State machine states of the configuration logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting for the sync word.
+    Unsynced,
+    /// Synced, expecting a packet header.
+    Idle,
+}
+
+/// An ICAPE2/ICAPE3-style configuration port bound to a device's
+/// configuration memory.
+///
+/// # Example
+///
+/// ```
+/// use presp_fpga::bitstream::{BitstreamBuilder, BitstreamKind};
+/// use presp_fpga::frame::FrameAddress;
+/// use presp_fpga::icap::Icap;
+/// use presp_fpga::part::FpgaPart;
+///
+/// let device = FpgaPart::Vc707.device();
+/// let mut builder = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+/// let words = device.part().family().frame_words();
+/// builder.add_frame(FrameAddress::new(0, 1, 0), vec![0xABCD_0123; words])?;
+/// let bs = builder.build(true);
+///
+/// let mut icap = Icap::new(&device);
+/// let report = icap.load(&bs)?;
+/// assert_eq!(report.frames_written, 1);
+/// assert_eq!(icap.memory().frame(FrameAddress::new(0, 1, 0))[0], 0xABCD_0123);
+/// # Ok::<(), presp_fpga::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Icap {
+    device: Device,
+    memory: ConfigMemory,
+    frame_words: usize,
+}
+
+impl Icap {
+    /// Creates an ICAP over a fresh (erased) configuration memory.
+    pub fn new(device: &Device) -> Icap {
+        Icap {
+            device: device.clone(),
+            memory: ConfigMemory::new(device),
+            frame_words: device.part().family().frame_words(),
+        }
+    }
+
+    /// The configuration memory behind the port.
+    pub fn memory(&self) -> &ConfigMemory {
+        &self.memory
+    }
+
+    /// Streams a bitstream through the port, applying frame writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IdcodeMismatch`] when the bitstream targets another
+    /// device, [`Error::CrcMismatch`] when the embedded CRC does not match
+    /// the received payload, and [`Error::MalformedBitstream`] for packet
+    /// layer violations. On error the configuration memory may be partially
+    /// updated — exactly like real silicon, which is why the DFX controller
+    /// resorts to loading a known-good bitstream after a failed transfer.
+    pub fn load(&mut self, bitstream: &Bitstream) -> Result<IcapReport, Error> {
+        let words = bitstream.words();
+        let mut state = State::Unsynced;
+        let mut crc = CrcAccumulator::new();
+        let mut far: Option<FrameAddress> = None;
+        let mut shadow: Vec<u32> = Vec::new();
+        let mut frames_written = 0usize;
+        let mut multi_frame = false;
+        let mut desynced = false;
+        let mut i = 0usize;
+
+        while i < words.len() {
+            let w = words[i];
+            i += 1;
+            match state {
+                State::Unsynced => {
+                    if w == SYNC_WORD {
+                        state = State::Idle;
+                    }
+                    // Dummy/pad words before sync are skipped silently.
+                }
+                State::Idle => {
+                    match decode_header(w)? {
+                        PacketHeader::Nop => {}
+                        PacketHeader::Type2Write { count } => {
+                            // Large FDRI continuation.
+                            let payload = self.take(words, &mut i, count as usize)?;
+                            frames_written += self.write_burst(&mut far, payload, &mut crc, &mut shadow)?;
+                        }
+                        PacketHeader::Type1Write { reg, count } => {
+                            let payload = self.take(words, &mut i, count as usize)?;
+                            match reg {
+                                ConfigReg::Idcode => {
+                                    let id = single(payload)?;
+                                    if id != self.device.part().idcode() {
+                                        return Err(Error::IdcodeMismatch {
+                                            found: id,
+                                            device: self.device.part().idcode(),
+                                        });
+                                    }
+                                }
+                                ConfigReg::Cmd => match Command::from_value(single(payload)?) {
+                                    Some(Command::Rcrc) => crc = CrcAccumulator::new(),
+                                    Some(Command::Wcfg) => multi_frame = false,
+                                    Some(Command::Mfw) => multi_frame = true,
+                                    Some(Command::Desync) => {
+                                        desynced = true;
+                                        state = State::Unsynced;
+                                    }
+                                    None => {
+                                        return Err(Error::MalformedBitstream {
+                                            detail: "unknown command opcode".into(),
+                                        })
+                                    }
+                                },
+                                ConfigReg::Far => {
+                                    let v = single(payload)?;
+                                    crc.update(v);
+                                    far = Some(FrameAddress::unpack(v));
+                                }
+                                ConfigReg::Fdri => {
+                                    if count == 0 {
+                                        // Payload follows in a type-2 packet.
+                                        continue;
+                                    }
+                                    frames_written += self.write_burst(&mut far, payload, &mut crc, &mut shadow)?;
+                                }
+                                ConfigReg::Mfwr => {
+                                    if !multi_frame {
+                                        return Err(Error::MalformedBitstream {
+                                            detail: "MFWR outside multi-frame-write mode".into(),
+                                        });
+                                    }
+                                    let addr = far.ok_or_else(|| Error::MalformedBitstream {
+                                        detail: "MFWR with no FAR set".into(),
+                                    })?;
+                                    if shadow.len() != self.frame_words {
+                                        return Err(Error::MalformedBitstream {
+                                            detail: "MFWR with empty frame shadow register".into(),
+                                        });
+                                    }
+                                    self.memory.write_frame(addr, shadow.clone())?;
+                                    frames_written += 1;
+                                }
+                                ConfigReg::Crc => {
+                                    let expected = single(payload)?;
+                                    let computed = crc.value();
+                                    if computed != expected {
+                                        return Err(Error::CrcMismatch { computed, expected });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if !desynced {
+            return Err(Error::MalformedBitstream { detail: "bitstream ended without DESYNC".into() });
+        }
+        Ok(IcapReport {
+            words: words.len(),
+            frames_written,
+            micros: words.len() as f64 / ICAP_CLOCK_MHZ,
+        })
+    }
+
+    /// Reads `count` payload words, advancing the cursor.
+    fn take<'a>(&self, words: &'a [u32], i: &mut usize, count: usize) -> Result<&'a [u32], Error> {
+        if *i + count > words.len() {
+            return Err(Error::MalformedBitstream {
+                detail: format!("truncated packet: wanted {count} payload words"),
+            });
+        }
+        let s = &words[*i..*i + count];
+        *i += count;
+        Ok(s)
+    }
+
+    /// Writes a burst of whole frames starting at the current FAR,
+    /// auto-incrementing the minor address, and latches the last frame into
+    /// the multi-frame shadow register.
+    fn write_burst(
+        &mut self,
+        far: &mut Option<FrameAddress>,
+        payload: &[u32],
+        crc: &mut CrcAccumulator,
+        shadow: &mut Vec<u32>,
+    ) -> Result<usize, Error> {
+        if payload.len() % self.frame_words != 0 {
+            return Err(Error::MalformedBitstream {
+                detail: format!(
+                    "FDRI payload of {} words is not a multiple of the {}-word frame",
+                    payload.len(),
+                    self.frame_words
+                ),
+            });
+        }
+        let mut addr = far.ok_or_else(|| Error::MalformedBitstream { detail: "FDRI with no FAR set".into() })?;
+        let mut written = 0usize;
+        for chunk in payload.chunks(self.frame_words) {
+            for &w in chunk {
+                crc.update(w);
+            }
+            self.memory.write_frame(addr, chunk.to_vec())?;
+            *shadow = chunk.to_vec();
+            written += 1;
+            addr = FrameAddress::new(addr.row, addr.column, addr.minor + 1);
+        }
+        *far = Some(addr);
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::{BitstreamBuilder, BitstreamKind};
+    use crate::part::FpgaPart;
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        FpgaPart::Vc707.device()
+    }
+
+    fn frame(device: &Device, v: u32) -> Vec<u32> {
+        vec![v; device.part().family().frame_words()]
+    }
+
+    #[test]
+    fn raw_and_compressed_configure_identically() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        for minor in 0..36 {
+            let v = if minor % 3 == 0 { 0xAAAA_0000 } else { 0x5555_0000 + minor };
+            builder.add_frame(FrameAddress::new(2, 5, minor), frame(&d, v)).unwrap();
+        }
+        let mut icap_raw = Icap::new(&d);
+        let mut icap_cmp = Icap::new(&d);
+        icap_raw.load(&builder.build(false)).unwrap();
+        icap_cmp.load(&builder.build(true)).unwrap();
+        assert!(icap_raw.memory().diff(icap_cmp.memory()).is_empty());
+    }
+
+    #[test]
+    fn compressed_load_is_faster() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        for minor in 0..36 {
+            builder.add_frame(FrameAddress::new(0, 2, minor), frame(&d, 0)).unwrap();
+        }
+        // Identical (here: blank) frames compress massively and load faster.
+        let mut icap = Icap::new(&d);
+        let raw = icap.load(&builder.build(false)).unwrap();
+        let cmp = icap.load(&builder.build(true)).unwrap();
+        assert!(cmp.micros < raw.micros / 4.0);
+    }
+
+    #[test]
+    fn idcode_mismatch_is_rejected() {
+        let d707 = device();
+        let d118 = FpgaPart::Vcu118.device();
+        let mut builder = BitstreamBuilder::new(&d118, BitstreamKind::Partial);
+        builder
+            .add_frame(FrameAddress::new(0, 1, 0), frame(&d118, 1))
+            .unwrap();
+        let bs = builder.build(false);
+        let mut icap = Icap::new(&d707);
+        assert!(matches!(icap.load(&bs), Err(Error::IdcodeMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        builder.add_frame(FrameAddress::new(0, 1, 0), frame(&d, 0x1234)).unwrap();
+        let bs = builder.build(false);
+        // Flip one payload bit (late in the stream, inside the frame data).
+        let mut words = bs.words().to_vec();
+        let idx = words.len() - 10;
+        words[idx] ^= 1;
+        let corrupted = bs.with_words(words);
+        let mut icap = Icap::new(&d);
+        assert!(matches!(icap.load(&corrupted), Err(Error::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn truncated_stream_is_malformed() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        builder.add_frame(FrameAddress::new(0, 1, 0), frame(&d, 9)).unwrap();
+        let bs = builder.build(false);
+        let truncated = bs.with_words(bs.words()[..bs.words().len() / 2].to_vec());
+        let mut icap = Icap::new(&d);
+        assert!(icap.load(&truncated).is_err());
+    }
+
+    #[test]
+    fn report_latency_matches_word_count() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        builder.add_frame(FrameAddress::new(1, 1, 1), frame(&d, 3)).unwrap();
+        let bs = builder.build(false);
+        let mut icap = Icap::new(&d);
+        let report = icap.load(&bs).unwrap();
+        assert_eq!(report.words, bs.words().len());
+        assert!((report.micros - report.words as f64 / 100.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn load_restores_every_staged_frame(
+            seeds in proptest::collection::vec((0u32..7, 1u32..140, 0u32..28, 0u32..u32::MAX), 1..20),
+            compressed in proptest::bool::ANY,
+        ) {
+            let d = device();
+            let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+            let mut staged = std::collections::BTreeMap::new();
+            for (row, col, minor, v) in seeds {
+                let addr = FrameAddress::new(row, col, minor);
+                if d.validate_frame(addr).is_ok() {
+                    let f = frame(&d, v);
+                    builder.add_frame(addr, f.clone()).unwrap();
+                    staged.insert(addr, f);
+                }
+            }
+            let bs = builder.build(compressed);
+            let mut icap = Icap::new(&d);
+            let report = icap.load(&bs).unwrap();
+            prop_assert_eq!(report.frames_written, staged.len());
+            for (addr, f) in staged {
+                prop_assert_eq!(icap.memory().frame(addr), f);
+            }
+        }
+    }
+}

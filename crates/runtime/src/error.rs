@@ -1,0 +1,81 @@
+//! Error type for the runtime manager.
+
+use presp_accel::catalog::AcceleratorKind;
+use presp_soc::config::TileCoord;
+use std::fmt;
+
+/// Errors produced by the DPR runtime manager.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// No bitstream is registered for `(tile, accelerator)`.
+    BitstreamNotRegistered {
+        /// Target tile.
+        tile: TileCoord,
+        /// Requested accelerator.
+        kind: AcceleratorKind,
+    },
+    /// An operation was submitted to a tile whose active driver does not
+    /// match.
+    NoDriver {
+        /// Target tile.
+        tile: TileCoord,
+        /// What the operation needed.
+        needed: AcceleratorKind,
+    },
+    /// The manager was shut down while requests were outstanding.
+    ManagerStopped,
+    /// An application kernel has no tile allocation and CPU fallback was
+    /// disabled.
+    Unallocated {
+        /// The kernel's name.
+        kernel: String,
+    },
+    /// SoC-level failure.
+    Soc(presp_soc::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BitstreamNotRegistered { tile, kind } => {
+                write!(f, "no bitstream registered for {kind} on tile {tile}")
+            }
+            Error::NoDriver { tile, needed } => {
+                write!(f, "tile {tile} has no active {needed} driver")
+            }
+            Error::ManagerStopped => write!(f, "runtime manager stopped"),
+            Error::Unallocated { kernel } => {
+                write!(f, "kernel '{kernel}' is not allocated to any tile")
+            }
+            Error::Soc(e) => write!(f, "soc error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<presp_soc::Error> for Error {
+    fn from(e: presp_soc::Error) -> Error {
+        Error::Soc(e)
+    }
+}
+
+impl From<presp_accel::Error> for Error {
+    fn from(e: presp_accel::Error) -> Error {
+        Error::Soc(presp_soc::Error::Accel(e))
+    }
+}
+
+impl From<presp_fpga::Error> for Error {
+    fn from(e: presp_fpga::Error) -> Error {
+        Error::Soc(presp_soc::Error::Fpga(e))
+    }
+}

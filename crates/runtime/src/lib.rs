@@ -1,0 +1,59 @@
+//! The PR-ESP software stack: a user-space rewrite of the paper's Linux
+//! runtime reconfiguration manager (Section V).
+//!
+//! * [`registry`] — the bitstream registry: partial bitstreams are
+//!   registered up-front and the manager keeps "a reference between the
+//!   bitstreams, their physical addresses, the tiles they will be loaded
+//!   into, and their respective drivers".
+//! * [`driver`] — the driver table: per-tile accelerator drivers that are
+//!   registered/unregistered as accelerators are swapped.
+//! * [`manager`] — the reconfiguration manager: wait-for-idle semantics,
+//!   per-tile locking during reconfiguration, decouple → DFXC → re-couple →
+//!   driver-swap sequencing, and reconfiguration statistics.
+//! * [`threaded`] — the workqueue demonstrator: real OS threads submit
+//!   requests through a crossbeam channel into a worker (the analogue of
+//!   the kernel workqueue), with parking_lot locks guarding the device.
+//! * [`app`] — the WAMI application scheduler: maps the Fig. 3 dataflow
+//!   onto a reconfigurable SoC given a tile allocation (Table VI), with
+//!   prefetch reconfiguration and CPU fallback for unallocated kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use presp_runtime::manager::ReconfigManager;
+//! use presp_runtime::registry::BitstreamRegistry;
+//! use presp_soc::config::SocConfig;
+//! use presp_soc::sim::Soc;
+//! use presp_accel::{AccelOp, AccelValue, AcceleratorKind};
+//! # use presp_fpga::bitstream::{BitstreamBuilder, BitstreamKind};
+//! # use presp_fpga::frame::FrameAddress;
+//!
+//! let config = SocConfig::grid_3x3_reconf("demo", 1)?;
+//! let soc = Soc::new(&config)?;
+//! let tile = config.reconfigurable_tiles()[0];
+//!
+//! let mut registry = BitstreamRegistry::new();
+//! # let device = soc.part().device();
+//! # let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+//! # let words = device.part().family().frame_words();
+//! # b.add_frame(FrameAddress::new(0, 1, 0), vec![1; words])?;
+//! # let bitstream = b.build(true);
+//! registry.register(tile, AcceleratorKind::Mac, bitstream);
+//!
+//! let mut manager = ReconfigManager::new(soc, registry);
+//! manager.request_reconfiguration(tile, AcceleratorKind::Mac)?;
+//! let run = manager.run(tile, &AccelOp::Mac { a: vec![2.0], b: vec![8.0] })?;
+//! assert_eq!(run.value, AccelValue::Scalar(16.0));
+//! # Ok::<(), presp_runtime::Error>(())
+//! ```
+
+pub mod app;
+pub mod driver;
+pub mod error;
+pub mod manager;
+pub mod registry;
+pub mod threaded;
+
+pub use error::Error;
+pub use manager::ReconfigManager;
+pub use registry::BitstreamRegistry;

@@ -1,0 +1,292 @@
+//! The reconfiguration manager.
+//!
+//! Implements the protocol of Section V on virtual time: a reconfiguration
+//! request (1) waits for the accelerator in the target tile to finish, (2)
+//! locks the device, (3) unregisters the outgoing driver, (4) decouples the
+//! tile, (5) triggers the DFXC, (6) re-couples on the completion interrupt,
+//! (7) probes the incoming driver and unlocks. Work submitted through a
+//! stale driver is rejected.
+
+use crate::driver::DriverTable;
+use crate::error::Error;
+use crate::registry::BitstreamRegistry;
+use presp_accel::catalog::AcceleratorKind;
+use presp_accel::AccelOp;
+use presp_soc::config::TileCoord;
+use presp_soc::sim::{csr, AccelRun, ReconfigRun, Soc};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate manager statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ManagerStats {
+    /// Reconfigurations performed (cache hits excluded).
+    pub reconfigurations: u64,
+    /// Requests satisfied without reconfiguring (accelerator already
+    /// loaded).
+    pub cache_hits: u64,
+    /// Total cycles spent reconfiguring.
+    pub reconfig_cycles: u64,
+    /// Accelerator invocations dispatched.
+    pub runs: u64,
+}
+
+/// The deterministic (virtual-time) reconfiguration manager.
+///
+/// See the crate-level example for usage; [`crate::threaded`] wraps the
+/// same protocol in an OS-thread workqueue.
+#[derive(Debug)]
+pub struct ReconfigManager {
+    soc: Soc,
+    registry: BitstreamRegistry,
+    drivers: DriverTable,
+    tile_time: BTreeMap<TileCoord, u64>,
+    stats: ManagerStats,
+}
+
+impl ReconfigManager {
+    /// Creates a manager over a booted SoC and a loaded registry.
+    pub fn new(soc: Soc, registry: BitstreamRegistry) -> ReconfigManager {
+        ReconfigManager {
+            soc,
+            registry,
+            drivers: DriverTable::new(),
+            tile_time: BTreeMap::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The underlying SoC (for inspection).
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// Consumes the manager, returning the SoC (e.g. for energy reports).
+    pub fn into_soc(self) -> Soc {
+        self.soc
+    }
+
+    /// Manager statistics.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// The driver table (for inspection).
+    pub fn drivers(&self) -> &DriverTable {
+        &self.drivers
+    }
+
+    /// Virtual time at which `tile` becomes idle.
+    pub fn tile_idle_at(&self, tile: TileCoord) -> u64 {
+        self.tile_time.get(&tile).copied().unwrap_or(0)
+    }
+
+    /// Latest completion across all tiles (the application makespan).
+    pub fn makespan(&self) -> u64 {
+        self.soc.horizon()
+    }
+
+    /// Ensures `kind` is loaded in `tile`, reconfiguring if needed, with the
+    /// request arriving at cycle `at`.
+    ///
+    /// Returns the reconfiguration timing, or `None` when the accelerator
+    /// was already loaded (driver cache hit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BitstreamNotRegistered`] for unknown pairs and SoC
+    /// errors from the decouple/reconfigure sequence.
+    pub fn request_reconfiguration_at(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        at: u64,
+    ) -> Result<Option<ReconfigRun>, Error> {
+        if self.drivers.services(tile, kind) {
+            self.stats.cache_hits += 1;
+            return Ok(None);
+        }
+        let bitstream = self
+            .registry
+            .lookup(tile, kind)
+            .ok_or(Error::BitstreamNotRegistered { tile, kind })?
+            .clone();
+        // Wait for the accelerator in the tile to complete its execution.
+        let idle = at.max(self.tile_idle_at(tile));
+        // Unregister the outgoing driver: from here until probe, other
+        // threads' submissions fail fast instead of touching a tile that is
+        // being rewritten.
+        self.drivers.remove(tile);
+        let decoupled = self.soc.csr_write_at(tile, csr::DECOUPLE, 1, idle)?;
+        let reconf = self.soc.reconfigure_at(tile, kind, &bitstream, decoupled)?;
+        let coupled = self.soc.csr_write_at(tile, csr::DECOUPLE, 0, reconf.end)?;
+        self.drivers.probe(tile, kind);
+        self.tile_time.insert(tile, coupled);
+        self.stats.reconfigurations += 1;
+        self.stats.reconfig_cycles += coupled - idle;
+        Ok(Some(ReconfigRun { end: coupled, ..reconf }))
+    }
+
+    /// [`Self::request_reconfiguration_at`] at the tile's own idle time.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request_reconfiguration_at`].
+    pub fn request_reconfiguration(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+    ) -> Result<Option<ReconfigRun>, Error> {
+        let at = self.tile_idle_at(tile);
+        self.request_reconfiguration_at(tile, kind, at)
+    }
+
+    /// Runs `op` on `tile`, with the request arriving at cycle `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoDriver`] when the tile's active driver does not
+    /// service the operation (e.g. mid-reconfiguration), plus SoC errors.
+    pub fn run_at(&mut self, tile: TileCoord, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
+        let active = self.drivers.active(tile).ok_or(Error::NoDriver { tile, needed: op.kind() })?;
+        if !op.runs_on(active) {
+            return Err(Error::NoDriver { tile, needed: op.kind() });
+        }
+        let start = at.max(self.tile_idle_at(tile));
+        let run = self.soc.run_accelerator_at(tile, op, start)?;
+        self.tile_time.insert(tile, run.end);
+        self.stats.runs += 1;
+        Ok(run)
+    }
+
+    /// Runs `op` on `tile` at the tile's own idle time.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run_at`].
+    pub fn run(&mut self, tile: TileCoord, op: &AccelOp) -> Result<AccelRun, Error> {
+        let at = self.tile_idle_at(tile);
+        self.run_at(tile, op, at)
+    }
+
+    /// Runs `op` in software on the CPU tile at cycle `at` (fallback for
+    /// kernels without a tile allocation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC errors.
+    pub fn run_on_cpu_at(&mut self, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
+        Ok(self.soc.run_on_cpu_at(op, at)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presp_accel::AccelValue;
+    use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
+    use presp_fpga::frame::FrameAddress;
+    use presp_soc::config::SocConfig;
+
+    fn bitstream(soc: &Soc, col: u32, frames: u32) -> Bitstream {
+        let device = soc.part().device();
+        let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        let words = device.part().family().frame_words();
+        for minor in 0..frames {
+            b.add_frame(FrameAddress::new(0, col, minor), vec![col + minor; words]).unwrap();
+        }
+        b.build(true)
+    }
+
+    fn manager(n_tiles: usize) -> (ReconfigManager, Vec<TileCoord>) {
+        let cfg = SocConfig::grid_3x3_reconf("mgr", n_tiles).unwrap();
+        let soc = Soc::new(&cfg).unwrap();
+        let tiles = cfg.reconfigurable_tiles();
+        let mut registry = BitstreamRegistry::new();
+        for (i, &tile) in tiles.iter().enumerate() {
+            registry.register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32, 4));
+            registry.register(tile, AcceleratorKind::Sort, bitstream(&soc, 20 + i as u32, 8));
+        }
+        (ReconfigManager::new(soc, registry), tiles)
+    }
+
+    #[test]
+    fn reconfigure_then_run() {
+        let (mut mgr, tiles) = manager(1);
+        let r = mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
+        assert!(r.is_some());
+        let run = mgr.run(tiles[0], &AccelOp::Mac { a: vec![5.0], b: vec![5.0] }).unwrap();
+        assert_eq!(run.value, AccelValue::Scalar(25.0));
+        assert_eq!(mgr.stats().reconfigurations, 1);
+        assert_eq!(mgr.stats().runs, 1);
+    }
+
+    #[test]
+    fn second_request_is_a_cache_hit() {
+        let (mut mgr, tiles) = manager(1);
+        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
+        let again = mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
+        assert!(again.is_none());
+        assert_eq!(mgr.stats().cache_hits, 1);
+        assert_eq!(mgr.stats().reconfigurations, 1);
+    }
+
+    #[test]
+    fn run_without_driver_fails() {
+        let (mut mgr, tiles) = manager(1);
+        let err = mgr.run(tiles[0], &AccelOp::Sort { data: vec![1.0] });
+        assert!(matches!(err, Err(Error::NoDriver { .. })));
+    }
+
+    #[test]
+    fn run_with_wrong_driver_fails() {
+        let (mut mgr, tiles) = manager(1);
+        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
+        let err = mgr.run(tiles[0], &AccelOp::Sort { data: vec![1.0] });
+        assert!(matches!(err, Err(Error::NoDriver { .. })));
+    }
+
+    #[test]
+    fn unregistered_bitstream_is_reported() {
+        let (mut mgr, tiles) = manager(1);
+        let err = mgr.request_reconfiguration(tiles[0], AcceleratorKind::Gemm);
+        assert!(matches!(err, Err(Error::BitstreamNotRegistered { .. })));
+    }
+
+    #[test]
+    fn swap_sequence_updates_drivers_and_time() {
+        let (mut mgr, tiles) = manager(1);
+        let tile = tiles[0];
+        mgr.request_reconfiguration(tile, AcceleratorKind::Mac).unwrap();
+        let t1 = mgr.tile_idle_at(tile);
+        mgr.run(tile, &AccelOp::Mac { a: vec![1.0; 256], b: vec![1.0; 256] }).unwrap();
+        let t2 = mgr.tile_idle_at(tile);
+        assert!(t2 > t1);
+        // Swap to sort: waits for the run to complete first.
+        let swap = mgr.request_reconfiguration(tile, AcceleratorKind::Sort).unwrap().unwrap();
+        assert!(swap.start >= t2);
+        assert!(mgr.drivers().services(tile, AcceleratorKind::Sort));
+        let sorted = mgr.run(tile, &AccelOp::Sort { data: vec![3.0, 1.0] }).unwrap();
+        assert_eq!(sorted.value, AccelValue::Vector(vec![1.0, 3.0]));
+    }
+
+    #[test]
+    fn tiles_reconfigure_independently() {
+        let (mut mgr, tiles) = manager(2);
+        let r0 = mgr.request_reconfiguration_at(tiles[0], AcceleratorKind::Mac, 0).unwrap().unwrap();
+        let r1 = mgr.request_reconfiguration_at(tiles[1], AcceleratorKind::Sort, 0).unwrap().unwrap();
+        // The shared ICAP serializes the two loads.
+        assert!(r1.end > r0.end || r0.end > r1.end);
+        assert!(mgr.drivers().services(tiles[0], AcceleratorKind::Mac));
+        assert!(mgr.drivers().services(tiles[1], AcceleratorKind::Sort));
+        assert_eq!(mgr.stats().reconfigurations, 2);
+    }
+
+    #[test]
+    fn cpu_fallback_runs_without_reconfiguration() {
+        let (mut mgr, _) = manager(1);
+        let run = mgr.run_on_cpu_at(&AccelOp::Sort { data: vec![2.0, 1.0] }, 0).unwrap();
+        assert_eq!(run.value, AccelValue::Vector(vec![1.0, 2.0]));
+        assert_eq!(mgr.stats().reconfigurations, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The bitstream registry.
+//!
+//! Before an application starts, its partial bitstreams (mmapped in
+//! user-space, copied into kernel memory on the real system) are registered
+//! here, keyed by the tile they will be loaded into and the accelerator
+//! they implement. One accelerator may be registered on several tiles — its
+//! pbs differs per reconfigurable partition, which is why the key is the
+//! pair.
+
+use presp_accel::catalog::AcceleratorKind;
+use presp_fpga::bitstream::Bitstream;
+use presp_soc::config::TileCoord;
+use std::collections::BTreeMap;
+
+/// The registry: `(tile, accelerator) → partial bitstream`.
+#[derive(Debug, Clone, Default)]
+pub struct BitstreamRegistry {
+    entries: BTreeMap<(TileCoord, AcceleratorKind), Bitstream>,
+}
+
+impl BitstreamRegistry {
+    /// An empty registry.
+    pub fn new() -> BitstreamRegistry {
+        BitstreamRegistry::default()
+    }
+
+    /// Registers (or replaces) the bitstream loading `kind` into `tile`.
+    ///
+    /// Returns the previously registered bitstream, if any.
+    pub fn register(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        bitstream: Bitstream,
+    ) -> Option<Bitstream> {
+        self.entries.insert((tile, kind), bitstream)
+    }
+
+    /// Looks up the bitstream for `(tile, kind)`.
+    pub fn lookup(&self, tile: TileCoord, kind: AcceleratorKind) -> Option<&Bitstream> {
+        self.entries.get(&(tile, kind))
+    }
+
+    /// Accelerators registered for a tile.
+    pub fn kinds_for_tile(&self, tile: TileCoord) -> Vec<AcceleratorKind> {
+        self.entries
+            .keys()
+            .filter(|(t, _)| *t == tile)
+            .map(|(_, k)| *k)
+            .collect()
+    }
+
+    /// Number of registered bitstreams.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of registered bitstreams (the DRAM the loader pins).
+    pub fn total_bytes(&self) -> usize {
+        self.entries.values().map(|b| b.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presp_fpga::bitstream::{BitstreamBuilder, BitstreamKind};
+    use presp_fpga::frame::FrameAddress;
+    use presp_fpga::part::FpgaPart;
+
+    fn bitstream(value: u32) -> Bitstream {
+        let device = FpgaPart::Vc707.device();
+        let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        let words = device.part().family().frame_words();
+        b.add_frame(FrameAddress::new(0, 1, 0), vec![value; words]).unwrap();
+        b.build(true)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = BitstreamRegistry::new();
+        let tile = TileCoord::new(1, 0);
+        assert!(reg.lookup(tile, AcceleratorKind::Mac).is_none());
+        reg.register(tile, AcceleratorKind::Mac, bitstream(1));
+        assert!(reg.lookup(tile, AcceleratorKind::Mac).is_some());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn same_kind_different_tiles_are_distinct() {
+        let mut reg = BitstreamRegistry::new();
+        reg.register(TileCoord::new(1, 0), AcceleratorKind::Mac, bitstream(1));
+        reg.register(TileCoord::new(1, 1), AcceleratorKind::Mac, bitstream(2));
+        assert_eq!(reg.len(), 2);
+        assert_ne!(
+            reg.lookup(TileCoord::new(1, 0), AcceleratorKind::Mac),
+            reg.lookup(TileCoord::new(1, 1), AcceleratorKind::Mac)
+        );
+    }
+
+    #[test]
+    fn replacement_returns_old_bitstream() {
+        let mut reg = BitstreamRegistry::new();
+        let tile = TileCoord::new(0, 0);
+        assert!(reg.register(tile, AcceleratorKind::Sort, bitstream(1)).is_none());
+        let old = reg.register(tile, AcceleratorKind::Sort, bitstream(2));
+        assert!(old.is_some());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn kinds_for_tile_lists_registrations() {
+        let mut reg = BitstreamRegistry::new();
+        let tile = TileCoord::new(2, 2);
+        reg.register(tile, AcceleratorKind::Mac, bitstream(1));
+        reg.register(tile, AcceleratorKind::Gemm, bitstream(2));
+        let kinds = reg.kinds_for_tile(tile);
+        assert_eq!(kinds.len(), 2);
+        assert!(kinds.contains(&AcceleratorKind::Gemm));
+        assert!(reg.kinds_for_tile(TileCoord::new(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn total_bytes_sums_sizes() {
+        let mut reg = BitstreamRegistry::new();
+        assert_eq!(reg.total_bytes(), 0);
+        assert!(reg.is_empty());
+        reg.register(TileCoord::new(0, 0), AcceleratorKind::Fft, bitstream(3));
+        assert!(reg.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! The OS-threaded workqueue demonstrator.
+//!
+//! The paper's manager "uses the built-in kernel workqueue to manage
+//! multiple reconfiguration requests": application threads (one per
+//! reconfigurable tile) enqueue requests; the queue executes them as soon
+//! as the PRC is ready; callers wait for completion while the device is
+//! locked. This module reproduces that concurrency structure with real OS
+//! threads — a crossbeam channel as the workqueue, a worker thread as the
+//! kernel work item, and parking_lot primitives guarding the shared
+//! manager — while the deterministic virtual-time manager underneath keeps
+//! results reproducible.
+
+use crate::error::Error;
+use crate::manager::ReconfigManager;
+use crate::registry::BitstreamRegistry;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use presp_accel::catalog::AcceleratorKind;
+use presp_accel::AccelOp;
+use presp_soc::config::TileCoord;
+use presp_soc::sim::{AccelRun, Soc};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A request travelling through the workqueue.
+enum Request {
+    Reconfigure {
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        done: Sender<Result<(), Error>>,
+    },
+    Run {
+        tile: TileCoord,
+        op: Box<AccelOp>,
+        done: Sender<Result<AccelRun, Error>>,
+    },
+    Shutdown,
+}
+
+/// Shared state guarded like the kernel manager guards its device list.
+struct Shared {
+    manager: Mutex<ReconfigManager>,
+    /// Signalled whenever a reconfiguration completes, waking threads that
+    /// blocked on a locked tile.
+    reconfig_done: Condvar,
+}
+
+/// A thread-safe handle to the DPR runtime: clone it into as many
+/// application threads as there are reconfigurable tiles.
+///
+/// # Example
+///
+/// ```no_run
+/// # use presp_runtime::threaded::ThreadedManager;
+/// # use presp_runtime::registry::BitstreamRegistry;
+/// # use presp_soc::{config::SocConfig, sim::Soc};
+/// # use presp_accel::{AccelOp, AcceleratorKind};
+/// # fn demo() -> Result<(), presp_runtime::Error> {
+/// let config = SocConfig::grid_3x3_reconf("demo", 2)?;
+/// let soc = Soc::new(&config)?;
+/// let manager = ThreadedManager::spawn(soc, BitstreamRegistry::new());
+/// let tile = config.reconfigurable_tiles()[0];
+/// manager.reconfigure_blocking(tile, AcceleratorKind::Mac)?;
+/// let run = manager.run_blocking(tile, AccelOp::Mac { a: vec![1.0], b: vec![2.0] })?;
+/// manager.shutdown();
+/// # Ok(()) }
+/// ```
+#[derive(Clone)]
+pub struct ThreadedManager {
+    queue: Sender<Request>,
+    shared: Arc<Shared>,
+    worker: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl ThreadedManager {
+    /// Boots the workqueue worker over a SoC and registry.
+    pub fn spawn(soc: Soc, registry: BitstreamRegistry) -> ThreadedManager {
+        let shared = Arc::new(Shared {
+            manager: Mutex::new(ReconfigManager::new(soc, registry)),
+            reconfig_done: Condvar::new(),
+        });
+        let (tx, rx) = unbounded::<Request>();
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            // The workqueue: requests are "queued up and executed as soon
+            // as the PRC is ready" — one at a time, the ICAP is unique.
+            while let Ok(request) = rx.recv() {
+                match request {
+                    Request::Reconfigure { tile, kind, done } => {
+                        let result = {
+                            let mut mgr = worker_shared.manager.lock();
+                            mgr.request_reconfiguration(tile, kind).map(|_| ())
+                        };
+                        worker_shared.reconfig_done.notify_all();
+                        let _ = done.send(result);
+                    }
+                    Request::Run { tile, op, done } => {
+                        let result = {
+                            let mut mgr = worker_shared.manager.lock();
+                            mgr.run(tile, &op)
+                        };
+                        let _ = done.send(result);
+                    }
+                    Request::Shutdown => break,
+                }
+            }
+        });
+        ThreadedManager { queue: tx, shared, worker: Arc::new(Mutex::new(Some(handle))) }
+    }
+
+    /// Enqueues a reconfiguration and blocks until it completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ManagerStopped`] after shutdown, plus manager
+    /// errors.
+    pub fn reconfigure_blocking(&self, tile: TileCoord, kind: AcceleratorKind) -> Result<(), Error> {
+        let (done_tx, done_rx) = unbounded();
+        self.queue
+            .send(Request::Reconfigure { tile, kind, done: done_tx })
+            .map_err(|_| Error::ManagerStopped)?;
+        done_rx.recv().map_err(|_| Error::ManagerStopped)?
+    }
+
+    /// Enqueues an accelerator invocation and blocks for its result.
+    ///
+    /// If the tile is mid-reconfiguration (its driver is unloaded), the
+    /// call waits for the next reconfiguration completion and retries —
+    /// the paper's "other threads trying to access it must wait until the
+    /// reconfiguration is complete and the new driver is loaded".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ManagerStopped`] after shutdown, plus manager and
+    /// SoC errors.
+    pub fn run_blocking(&self, tile: TileCoord, op: AccelOp) -> Result<AccelRun, Error> {
+        loop {
+            let (done_tx, done_rx) = unbounded();
+            self.queue
+                .send(Request::Run { tile, op: Box::new(op.clone()), done: done_tx })
+                .map_err(|_| Error::ManagerStopped)?;
+            match done_rx.recv().map_err(|_| Error::ManagerStopped)? {
+                Err(Error::NoDriver { .. }) => {
+                    // Wait for a reconfiguration to finish, then retry.
+                    let mut guard = self.shared.manager.lock();
+                    self.shared.reconfig_done.wait_for(&mut guard, std::time::Duration::from_millis(50));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Manager statistics snapshot.
+    pub fn stats(&self) -> crate::manager::ManagerStats {
+        self.shared.manager.lock().stats()
+    }
+
+    /// Stops the worker and joins it. Idempotent.
+    pub fn shutdown(&self) {
+        let _ = self.queue.send(Request::Shutdown);
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presp_accel::AccelValue;
+    use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
+    use presp_fpga::frame::FrameAddress;
+    use presp_soc::config::SocConfig;
+
+    fn bitstream(soc: &Soc, col: u32) -> Bitstream {
+        let device = soc.part().device();
+        let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        let words = device.part().family().frame_words();
+        b.add_frame(FrameAddress::new(0, col, 0), vec![col; words]).unwrap();
+        b.build(true)
+    }
+
+    fn boot(n: usize) -> (ThreadedManager, Vec<TileCoord>) {
+        let cfg = SocConfig::grid_3x3_reconf("threaded", n).unwrap();
+        let soc = Soc::new(&cfg).unwrap();
+        let tiles = cfg.reconfigurable_tiles();
+        let mut registry = BitstreamRegistry::new();
+        for (i, &tile) in tiles.iter().enumerate() {
+            registry.register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32));
+            registry.register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32));
+        }
+        (ThreadedManager::spawn(soc, registry), tiles)
+    }
+
+    #[test]
+    fn blocking_reconfigure_and_run() {
+        let (mgr, tiles) = boot(1);
+        mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac).unwrap();
+        let run = mgr.run_blocking(tiles[0], AccelOp::Mac { a: vec![2.0], b: vec![3.0] }).unwrap();
+        assert_eq!(run.value, AccelValue::Scalar(6.0));
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn one_thread_per_tile_runs_concurrently() {
+        let (mgr, tiles) = boot(2);
+        let handles: Vec<_> = tiles
+            .iter()
+            .enumerate()
+            .map(|(i, &tile)| {
+                let mgr = mgr.clone();
+                std::thread::spawn(move || {
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Mac).unwrap();
+                    let mut total = 0.0f32;
+                    for round in 0..5 {
+                        let v = (i + round) as f32;
+                        let run = mgr
+                            .run_blocking(tile, AccelOp::Mac { a: vec![v; 16], b: vec![1.0; 16] })
+                            .unwrap();
+                        match run.value {
+                            AccelValue::Scalar(s) => total += s,
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    total
+                })
+            })
+            .collect();
+        let results: Vec<f32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Thread i computes Σ_round 16·(i+round) = 16·(5i + 10).
+        assert_eq!(results[0], 160.0);
+        assert_eq!(results[1], 240.0);
+        assert_eq!(mgr.stats().reconfigurations, 2);
+        assert_eq!(mgr.stats().runs, 10);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn swapping_under_contention_stays_consistent() {
+        let (mgr, tiles) = boot(1);
+        let tile = tiles[0];
+        let swapper = {
+            let mgr = mgr.clone();
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Sort).unwrap();
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Mac).unwrap();
+                }
+            })
+        };
+        // This thread hammers the tile with MAC work; whenever the swapper
+        // has SORT loaded the call returns NoDriver internally and retries.
+        let mut successes = 0;
+        for _ in 0..20 {
+            match mgr.run_blocking(tile, AccelOp::Mac { a: vec![1.0], b: vec![1.0] }) {
+                Ok(run) => {
+                    assert_eq!(run.value, AccelValue::Scalar(1.0));
+                    successes += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        swapper.join().unwrap();
+        assert_eq!(successes, 20);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_stops_requests() {
+        let (mgr, tiles) = boot(1);
+        mgr.shutdown();
+        mgr.shutdown();
+        let err = mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac);
+        assert!(matches!(err, Err(Error::ManagerStopped)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the SoC simulator.
+
+use crate::config::TileCoord;
+use std::fmt;
+
+/// Errors produced by SoC configuration and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The SoC configuration is invalid (missing CPU/MEM/AUX, bad grid, ...).
+    BadConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An operation targeted a tile that does not exist.
+    NoSuchTile {
+        /// The offending coordinate.
+        coord: TileCoord,
+    },
+    /// An operation targeted the wrong kind of tile (e.g. starting an
+    /// accelerator on a memory tile).
+    WrongTileKind {
+        /// The targeted tile.
+        coord: TileCoord,
+        /// What the operation expected.
+        expected: &'static str,
+    },
+    /// A reconfigurable tile was used while decoupled, or reconfigured while
+    /// coupled/busy — a violation of the decoupler protocol.
+    DecouplerProtocol {
+        /// The offending tile.
+        coord: TileCoord,
+        /// What went wrong.
+        detail: String,
+    },
+    /// An accelerator was started on an empty reconfigurable tile.
+    TileEmpty {
+        /// The targeted tile.
+        coord: TileCoord,
+    },
+    /// Accelerator execution failed.
+    Accel(presp_accel::Error),
+    /// Bitstream/ICAP failure during reconfiguration.
+    Fpga(presp_fpga::Error),
+    /// An unknown CSR address was accessed.
+    BadRegister {
+        /// The offending register offset.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadConfig { detail } => write!(f, "bad SoC configuration: {detail}"),
+            Error::NoSuchTile { coord } => write!(f, "no tile at {coord}"),
+            Error::WrongTileKind { coord, expected } => {
+                write!(f, "tile at {coord} is not a {expected} tile")
+            }
+            Error::DecouplerProtocol { coord, detail } => {
+                write!(f, "decoupler protocol violation at {coord}: {detail}")
+            }
+            Error::TileEmpty { coord } => write!(f, "reconfigurable tile at {coord} holds no accelerator"),
+            Error::Accel(e) => write!(f, "accelerator error: {e}"),
+            Error::Fpga(e) => write!(f, "configuration error: {e}"),
+            Error::BadRegister { offset } => write!(f, "no register at offset {offset:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Accel(e) => Some(e),
+            Error::Fpga(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<presp_accel::Error> for Error {
+    fn from(e: presp_accel::Error) -> Error {
+        Error::Accel(e)
+    }
+}
+
+impl From<presp_fpga::Error> for Error {
+    fn from(e: presp_fpga::Error) -> Error {
+        Error::Fpga(e)
+    }
+}

@@ -1,0 +1,689 @@
+//! The SoC simulator: virtual time, DMA, accelerator execution, partial
+//! reconfiguration and energy accounting.
+//!
+//! Timing is explicit: every operation takes a start cycle and returns its
+//! completion cycle, with shared resources (NoC links, the DRAM channel,
+//! the ICAP, each tile) arbitrated through reservation times. Callers that
+//! model concurrent software threads (the runtime manager) issue
+//! operations with their own per-thread clocks; the shared reservations
+//! produce the same interleaving a cycle-stepped simulation would at this
+//! granularity.
+
+use crate::config::{SocConfig, TileCoord};
+use crate::dfxc::Dfxc;
+use crate::energy::{EnergyMeter, EnergyReport};
+use crate::error::Error;
+use crate::noc::{Noc, Plane};
+use crate::tile::{TileKind, WrapperState};
+use presp_accel::catalog::AcceleratorKind;
+use presp_accel::latency::{compute_cycles, software_cycles};
+use presp_accel::power::dynamic_power_w;
+use presp_accel::{AccelInstance, AccelOp, AccelValue};
+use presp_fpga::bitstream::Bitstream;
+use presp_fpga::part::FpgaPart;
+use presp_fpga::resources::Resources;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// DRAM channel bandwidth, bytes per SoC cycle (a 64-bit DDR3 channel is
+/// far faster than the 78 MHz NoC; the NoC is the usual bottleneck).
+pub const DRAM_BYTES_PER_CYCLE: u64 = 16;
+/// Fixed DRAM access latency, cycles.
+pub const DRAM_LATENCY: u64 = 24;
+/// ICAP throughput conversion: the ICAP runs at 100 MHz with 4-byte words
+/// while the SoC runs at 78 MHz, so one ICAP microsecond is 78 SoC cycles.
+pub const SOC_CYCLES_PER_MICRO: f64 = 78.0;
+
+/// CSR offsets of a reconfigurable tile (Fig. 2B's configuration
+/// registers).
+pub mod csr {
+    /// Decoupler control: write 1 to decouple, 0 to re-couple.
+    pub const DECOUPLE: u64 = 0x00;
+    /// Wrapper status: 0 = empty, 1 = configured, 2 = decoupled.
+    pub const STATUS: u64 = 0x04;
+}
+
+/// Timing and result of one accelerator invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelRun {
+    /// Computed value.
+    pub value: AccelValue,
+    /// Cycle the invocation was accepted by the tile.
+    pub start: u64,
+    /// Cycle the completion interrupt reached the CPU.
+    pub end: u64,
+    /// Cycles spent in DMA (input + output).
+    pub dma_cycles: u64,
+    /// Cycles spent computing.
+    pub compute_cycles: u64,
+}
+
+impl AccelRun {
+    /// Total latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Timing of one partial reconfiguration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigRun {
+    /// Cycle the DFXC accepted the trigger.
+    pub start: u64,
+    /// Cycle the completion interrupt reached the CPU.
+    pub end: u64,
+    /// Cycles spent fetching the bitstream from DRAM over the NoC.
+    pub fetch_cycles: u64,
+    /// Cycles spent streaming through the ICAP.
+    pub icap_cycles: u64,
+    /// Bitstream size in bytes.
+    pub bytes: usize,
+}
+
+impl ReconfigRun {
+    /// Total reconfiguration latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// An interrupt delivered to the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrqEvent {
+    /// Source tile.
+    pub source: TileCoord,
+    /// Delivery cycle.
+    pub cycle: u64,
+}
+
+/// Per-tile simulation state.
+#[derive(Debug)]
+struct TileState {
+    kind: TileKind,
+    wrapper: WrapperState,
+    busy_until: u64,
+    /// Software kernel instances (CPU tile only): keeps per-kernel state
+    /// like the change-detection background model across software calls.
+    software: HashMap<AcceleratorKind, AccelInstance>,
+}
+
+/// The simulated SoC.
+///
+/// See the crate-level example for basic usage.
+#[derive(Debug)]
+pub struct Soc {
+    config: SocConfig,
+    part: FpgaPart,
+    noc: Noc,
+    dfxc: Dfxc,
+    tiles: HashMap<TileCoord, TileState>,
+    dram_free: u64,
+    icap_free: u64,
+    now: u64,
+    horizon: u64,
+    meter: EnergyMeter,
+    irq_log: Vec<IrqEvent>,
+}
+
+impl Soc {
+    /// Builds a SoC for `config` on the paper's VC707 part.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors.
+    pub fn new(config: &SocConfig) -> Result<Soc, Error> {
+        Soc::with_part(config, FpgaPart::Vc707)
+    }
+
+    /// Builds a SoC on a specific part.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors.
+    pub fn with_part(config: &SocConfig, part: FpgaPart) -> Result<Soc, Error> {
+        let device = part.device();
+        let mut tiles = HashMap::new();
+        let mut meter = EnergyMeter::new();
+        for (coord, kind) in config.iter() {
+            meter.provision(kind.static_resources());
+            let wrapper = match kind {
+                TileKind::Accel(k) => WrapperState::Configured(AccelInstance::new(k)),
+                _ => WrapperState::Empty,
+            };
+            tiles.insert(coord, TileState { kind, wrapper, busy_until: 0, software: HashMap::new() });
+        }
+        Ok(Soc {
+            config: config.clone(),
+            part,
+            noc: Noc::new(),
+            dfxc: Dfxc::new(&device),
+            tiles,
+            dram_free: 0,
+            icap_free: 0,
+            now: 0,
+            horizon: 0,
+            meter,
+            irq_log: Vec::new(),
+        })
+    }
+
+    /// The SoC configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// The FPGA part the SoC is implemented on.
+    pub fn part(&self) -> FpgaPart {
+        self.part
+    }
+
+    /// Current convenience clock (used by the `_at`-less wrappers).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Latest completion cycle observed on any resource.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// All tiles currently able to execute accelerator operations (static
+    /// accelerator tiles and configured reconfigurable tiles).
+    pub fn accelerator_tiles(&self) -> Vec<TileCoord> {
+        let mut coords: Vec<TileCoord> = self
+            .tiles
+            .iter()
+            .filter(|(_, t)| {
+                matches!(t.kind, TileKind::Accel(_)) || t.wrapper.configured_kind().is_some()
+            })
+            .map(|(c, _)| *c)
+            .collect();
+        coords.sort_unstable();
+        coords
+    }
+
+    /// Interrupts delivered so far.
+    pub fn irq_log(&self) -> &[IrqEvent] {
+        &self.irq_log
+    }
+
+    /// The DFX controller (for status inspection).
+    pub fn dfxc(&self) -> &Dfxc {
+        &self.dfxc
+    }
+
+    /// Registers additional provisioned fabric (the floorplanned
+    /// reconfigurable regions) with the energy meter.
+    pub fn provision_region(&mut self, resources: Resources) {
+        self.meter.provision(resources);
+    }
+
+    /// The accelerator kind configured in a reconfigurable tile, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTile`] for unknown coordinates.
+    pub fn configured_kind(&self, tile: TileCoord) -> Result<Option<AcceleratorKind>, Error> {
+        let state = self.tiles.get(&tile).ok_or(Error::NoSuchTile { coord: tile })?;
+        Ok(match &state.kind {
+            TileKind::Accel(k) => Some(*k),
+            _ => state.wrapper.configured_kind(),
+        })
+    }
+
+    fn tile_mut(&mut self, coord: TileCoord) -> Result<&mut TileState, Error> {
+        self.tiles.get_mut(&coord).ok_or(Error::NoSuchTile { coord })
+    }
+
+    /// One DRAM access of `bytes`, no earlier than `at`; returns completion.
+    fn dram_access(&mut self, at: u64, bytes: u64) -> u64 {
+        let start = at.max(self.dram_free);
+        let end = start + DRAM_LATENCY + bytes.div_ceil(DRAM_BYTES_PER_CYCLE);
+        self.dram_free = end;
+        end
+    }
+
+    /// Delivers an interrupt from `source` to the CPU tile.
+    fn deliver_irq(&mut self, at: u64, source: TileCoord) -> u64 {
+        let cpu = self.config.cpu();
+        let t = self.noc.transfer(at, source, cpu, 8, Plane::Irq);
+        self.irq_log.push(IrqEvent { source, cycle: t.end });
+        t.end
+    }
+
+    fn bump_horizon(&mut self, end: u64) {
+        self.horizon = self.horizon.max(end);
+        self.now = self.now.max(end);
+    }
+
+    /// Writes a reconfigurable-tile CSR (models the CPU's APB-over-NoC
+    /// register write, so it costs NoC time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadRegister`] for unknown offsets and tile errors
+    /// for bad coordinates / kinds.
+    pub fn csr_write_at(&mut self, tile: TileCoord, offset: u64, value: u64, at: u64) -> Result<u64, Error> {
+        let cpu = self.config.cpu();
+        let t = self.noc.transfer(at, cpu, tile, 8, Plane::RegAccess);
+        let state = self.tile_mut(tile)?;
+        if !matches!(state.kind, TileKind::Reconfigurable) {
+            return Err(Error::WrongTileKind { coord: tile, expected: "reconfigurable" });
+        }
+        match offset {
+            csr::DECOUPLE => {
+                if value == 1 {
+                    if t.end < state.busy_until {
+                        return Err(Error::DecouplerProtocol {
+                            coord: tile,
+                            detail: "decouple while the accelerator is executing".into(),
+                        });
+                    }
+                    let previous = state.wrapper.configured_kind();
+                    state.wrapper = WrapperState::Decoupled { previous };
+                } else {
+                    // Re-coupling resets the NoC queues; only meaningful
+                    // after a reconfiguration installed a new wrapper, but
+                    // harmless otherwise.
+                    if let WrapperState::Decoupled { previous } = &state.wrapper {
+                        state.wrapper = match previous {
+                            Some(kind) => WrapperState::Configured(AccelInstance::new(*kind)),
+                            None => WrapperState::Empty,
+                        };
+                    }
+                }
+            }
+            _ => return Err(Error::BadRegister { offset }),
+        }
+        let end = t.end;
+        self.bump_horizon(end);
+        Ok(end)
+    }
+
+    /// Reads a reconfigurable-tile CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadRegister`] for unknown offsets and tile errors
+    /// for bad coordinates / kinds.
+    pub fn csr_read(&self, tile: TileCoord, offset: u64) -> Result<u64, Error> {
+        let state = self.tiles.get(&tile).ok_or(Error::NoSuchTile { coord: tile })?;
+        if !matches!(state.kind, TileKind::Reconfigurable) {
+            return Err(Error::WrongTileKind { coord: tile, expected: "reconfigurable" });
+        }
+        match offset {
+            csr::DECOUPLE => Ok(u64::from(state.wrapper.is_decoupled())),
+            csr::STATUS => Ok(match &state.wrapper {
+                WrapperState::Empty => 0,
+                WrapperState::Configured(_) => 1,
+                WrapperState::Decoupled { .. } => 2,
+            }),
+            _ => Err(Error::BadRegister { offset }),
+        }
+    }
+
+    /// Partially reconfigures `tile` with `kind`, streaming `bitstream`
+    /// through the DFXC + ICAP, starting no earlier than `at`.
+    ///
+    /// Protocol (Section III): the tile must be decoupled first; after the
+    /// DFXC interrupt the caller re-couples via [`csr::DECOUPLE`]. The new
+    /// wrapper starts with fresh accelerator state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DecouplerProtocol`] when the tile is not decoupled,
+    /// plus bitstream/ICAP errors.
+    pub fn reconfigure_at(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        bitstream: &Bitstream,
+        at: u64,
+    ) -> Result<ReconfigRun, Error> {
+        let aux = self.config.aux();
+        let mem = self.config.mem();
+        {
+            let state = self.tiles.get(&tile).ok_or(Error::NoSuchTile { coord: tile })?;
+            if !matches!(state.kind, TileKind::Reconfigurable) {
+                return Err(Error::WrongTileKind { coord: tile, expected: "reconfigurable" });
+            }
+            if !state.wrapper.is_decoupled() {
+                return Err(Error::DecouplerProtocol {
+                    coord: tile,
+                    detail: "reconfigure while coupled to the NoC".into(),
+                });
+            }
+        }
+        let bytes = bitstream.size_bytes() as u64;
+        // DFXC fetches the bitstream from DRAM over the DFX plane.
+        let dram_done = self.dram_access(at, bytes);
+        let fetch = self.noc.transfer(dram_done, mem, aux, bytes, Plane::Dfx);
+        // Stream through the (shared) ICAP.
+        let icap_start = fetch.end.max(self.icap_free);
+        let report = self.dfxc.load(bitstream)?;
+        let icap_cycles = (report.micros * SOC_CYCLES_PER_MICRO).ceil() as u64;
+        let icap_done = icap_start + icap_cycles;
+        self.icap_free = icap_done;
+        self.meter.add_reconfiguration(report.micros);
+        // Install the new wrapper (still decoupled until software
+        // re-couples it).
+        let state = self.tile_mut(tile)?;
+        state.wrapper = WrapperState::Decoupled { previous: Some(kind) };
+        state.busy_until = icap_done;
+        let end = self.deliver_irq(icap_done, aux);
+        self.bump_horizon(end);
+        Ok(ReconfigRun {
+            start: at,
+            end,
+            fetch_cycles: fetch.end - at,
+            icap_cycles,
+            bytes: bytes as usize,
+        })
+    }
+
+    /// Runs `op` on the accelerator in `tile`, starting no earlier than
+    /// `at`: DMA in from memory, compute, DMA out, completion interrupt.
+    ///
+    /// # Errors
+    ///
+    /// Returns tile/kind/protocol errors and accelerator execution errors.
+    pub fn run_accelerator_at(&mut self, tile: TileCoord, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
+        let mem = self.config.mem();
+        let state = self.tiles.get(&tile).ok_or(Error::NoSuchTile { coord: tile })?;
+        let kind = match (&state.kind, &state.wrapper) {
+            (TileKind::Accel(k), _) => *k,
+            (TileKind::Reconfigurable, WrapperState::Configured(instance)) => instance.kind(),
+            (TileKind::Reconfigurable, WrapperState::Decoupled { .. }) => {
+                return Err(Error::DecouplerProtocol {
+                    coord: tile,
+                    detail: "accelerator start while decoupled".into(),
+                })
+            }
+            (TileKind::Reconfigurable, WrapperState::Empty) => {
+                return Err(Error::TileEmpty { coord: tile })
+            }
+            _ => return Err(Error::WrongTileKind { coord: tile, expected: "accelerator" }),
+        };
+        if !op.runs_on(kind) {
+            return Err(Error::Accel(presp_accel::Error::WrongOperation {
+                accelerator: kind.name(),
+                operation: "mismatched operation".into(),
+            }));
+        }
+
+        let start = at.max(state.busy_until);
+        // Input DMA: DRAM read then NoC mem → tile.
+        let dram_in = self.dram_access(start, op.input_bytes());
+        let t_in = self.noc.transfer(dram_in, mem, tile, op.input_bytes(), Plane::Dma);
+        // Compute.
+        let cycles = compute_cycles(kind, op);
+        let compute_done = t_in.end + cycles;
+        self.meter.add_active(dynamic_power_w(kind), cycles);
+        // Output DMA: NoC tile → mem then DRAM write.
+        let t_out = self.noc.transfer(compute_done, tile, mem, op.output_bytes(), Plane::Dma);
+        let dram_out = self.dram_access(t_out.end, op.output_bytes());
+        // Execute the behavioral model.
+        let value = match &mut self.tile_mut(tile)?.wrapper {
+            WrapperState::Configured(instance) => instance.execute(op)?,
+            _ => unreachable!("kind resolution guaranteed a configured wrapper"),
+        };
+        let end = self.deliver_irq(dram_out, tile);
+        self.tile_mut(tile)?.busy_until = end;
+        self.bump_horizon(end);
+        Ok(AccelRun {
+            value,
+            start,
+            end,
+            dma_cycles: (t_in.end - dram_in) + (t_out.end - compute_done),
+            compute_cycles: cycles,
+        })
+    }
+
+    /// Runs `op` in software on the CPU tile (the fallback path for WAMI
+    /// kernels not allocated to any reconfigurable tile).
+    ///
+    /// # Errors
+    ///
+    /// Returns accelerator execution errors.
+    pub fn run_on_cpu_at(&mut self, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
+        let cpu = self.config.cpu();
+        let cycles = software_cycles(op);
+        let state = self.tile_mut(cpu)?;
+        let start = at.max(state.busy_until);
+        let end = start + cycles;
+        state.busy_until = end;
+        let instance = state
+            .software
+            .entry(op.kind())
+            .or_insert_with(|| AccelInstance::new(op.kind()));
+        let value = instance.execute(op)?;
+        self.meter.add_active(dynamic_power_w(AcceleratorKind::Cpu), cycles);
+        self.bump_horizon(end);
+        Ok(AccelRun { value, start, end, dma_cycles: 0, compute_cycles: cycles })
+    }
+
+    /// Convenience wrapper: runs at the SoC's own clock and advances it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Soc::run_accelerator_at`].
+    pub fn run_accelerator(&mut self, tile: TileCoord, op: &AccelOp) -> Result<AccelRun, Error> {
+        let at = self.now;
+        self.run_accelerator_at(tile, op, at)
+    }
+
+    /// Finalizes energy accounting over the whole simulated interval.
+    pub fn energy_report(&self) -> EnergyReport {
+        self.meter.report(self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presp_fpga::bitstream::{BitstreamBuilder, BitstreamKind};
+    use presp_fpga::frame::FrameAddress;
+    use presp_wami::graph::WamiKernel;
+
+    fn mac_soc() -> Soc {
+        let cfg = SocConfig::grid_2x2_single(AcceleratorKind::Mac).unwrap();
+        Soc::new(&cfg).unwrap()
+    }
+
+    fn reconf_soc(n: usize) -> Soc {
+        let cfg = SocConfig::grid_3x3_reconf("test", n).unwrap();
+        Soc::new(&cfg).unwrap()
+    }
+
+    fn mac_bitstream(soc: &Soc, column: u32) -> Bitstream {
+        let device = soc.part().device();
+        let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        let words = device.part().family().frame_words();
+        for minor in 0..4 {
+            b.add_frame(FrameAddress::new(0, column, minor), vec![0x5A5A_0000 + minor; words]).unwrap();
+        }
+        b.build(true)
+    }
+
+    #[test]
+    fn static_accelerator_computes_and_interrupts() {
+        let mut soc = mac_soc();
+        let tile = soc.accelerator_tiles()[0];
+        let run = soc
+            .run_accelerator(tile, &AccelOp::Mac { a: vec![1.0; 64], b: vec![2.0; 64] })
+            .unwrap();
+        assert_eq!(run.value, AccelValue::Scalar(128.0));
+        assert!(run.end > run.start);
+        assert!(run.dma_cycles > 0 && run.compute_cycles > 0);
+        assert_eq!(soc.irq_log().len(), 1);
+        assert_eq!(soc.irq_log()[0].source, tile);
+    }
+
+    #[test]
+    fn empty_reconfigurable_tile_rejects_work() {
+        let mut soc = reconf_soc(2);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let err = soc.run_accelerator(tile, &AccelOp::Sort { data: vec![1.0] });
+        assert!(matches!(err, Err(Error::TileEmpty { .. })));
+    }
+
+    #[test]
+    fn reconfiguration_requires_decoupling() {
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let bs = mac_bitstream(&soc, 2);
+        let err = soc.reconfigure_at(tile, AcceleratorKind::Mac, &bs, 0);
+        assert!(matches!(err, Err(Error::DecouplerProtocol { .. })));
+    }
+
+    #[test]
+    fn full_reconfiguration_protocol_works() {
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        // 1. decouple; 2. reconfigure; 3. re-couple; 4. run.
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        assert_eq!(soc.csr_read(tile, csr::STATUS).unwrap(), 2);
+        let bs = mac_bitstream(&soc, 2);
+        let reconf = soc.reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1).unwrap();
+        assert!(reconf.end > t1);
+        assert!(reconf.icap_cycles > 0 && reconf.fetch_cycles > 0);
+        let t2 = soc.csr_write_at(tile, csr::DECOUPLE, 0, reconf.end).unwrap();
+        assert_eq!(soc.csr_read(tile, csr::STATUS).unwrap(), 1);
+        let run = soc
+            .run_accelerator_at(tile, &AccelOp::Mac { a: vec![3.0], b: vec![4.0] }, t2)
+            .unwrap();
+        assert_eq!(run.value, AccelValue::Scalar(12.0));
+    }
+
+    #[test]
+    fn decoupled_tile_rejects_traffic() {
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        let bs = mac_bitstream(&soc, 2);
+        let reconf = soc.reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1).unwrap();
+        // Still decoupled: execution must be rejected until re-coupled.
+        let err = soc.run_accelerator_at(tile, &AccelOp::Mac { a: vec![1.0], b: vec![1.0] }, reconf.end);
+        assert!(matches!(err, Err(Error::DecouplerProtocol { .. })));
+    }
+
+    #[test]
+    fn change_detection_model_survives_reconfiguration_via_dram() {
+        use presp_wami::change_detection::{ChangeDetector, GmmConfig};
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let cd = AcceleratorKind::Wami(WamiKernel::ChangeDetection);
+        let mut frame = presp_wami::image::GrayImage::zeroed(8, 8);
+        for p in frame.pixels_mut() {
+            *p = 50.0;
+        }
+        // Load change detection, train the (DRAM-resident) model.
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        let r1 = soc.reconfigure_at(tile, cd, &mac_bitstream(&soc, 2), t1).unwrap();
+        let t2 = soc.csr_write_at(tile, csr::DECOUPLE, 0, r1.end).unwrap();
+        let model = Box::new(ChangeDetector::new(8, 8, GmmConfig::default()));
+        let run = soc
+            .run_accelerator_at(tile, &AccelOp::ChangeDetection { frame: frame.clone(), model }, t2)
+            .unwrap();
+        let trained = match run.value {
+            AccelValue::ChangeDetection { model, .. } => model,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Swap the accelerator out and back in: the model survived in DRAM
+        // and still recognizes a change.
+        let t3 = soc.csr_write_at(tile, csr::DECOUPLE, 1, soc.horizon()).unwrap();
+        let r2 = soc.reconfigure_at(tile, cd, &mac_bitstream(&soc, 2), t3).unwrap();
+        let t4 = soc.csr_write_at(tile, csr::DECOUPLE, 0, r2.end).unwrap();
+        let mut bright = frame.clone();
+        bright.set(0, 0, 255.0);
+        let run = soc
+            .run_accelerator_at(tile, &AccelOp::ChangeDetection { frame: bright, model: trained }, t4)
+            .unwrap();
+        match run.value {
+            AccelValue::ChangeDetection { changed, .. } => assert_eq!(changed, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn larger_bitstreams_reconfigure_slower() {
+        let mut soc = reconf_soc(2);
+        let tiles = soc.config().reconfigurable_tiles();
+        let device = soc.part().device();
+        let words = device.part().family().frame_words();
+        let mut small = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        small.add_frame(FrameAddress::new(0, 2, 0), vec![1; words]).unwrap();
+        let mut large = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        for minor in 0..30 {
+            large.add_frame(FrameAddress::new(1, 2, minor), vec![minor + 1; words]).unwrap();
+        }
+        let t1 = soc.csr_write_at(tiles[0], csr::DECOUPLE, 1, 0).unwrap();
+        let r_small = soc.reconfigure_at(tiles[0], AcceleratorKind::Mac, &small.build(true), t1).unwrap();
+        let t2 = soc.csr_write_at(tiles[1], csr::DECOUPLE, 1, 0).unwrap();
+        let r_large = soc.reconfigure_at(tiles[1], AcceleratorKind::Mac, &large.build(true), t2).unwrap();
+        assert!(r_large.latency() > r_small.latency());
+    }
+
+    #[test]
+    fn cpu_fallback_is_slower_than_hardware() {
+        let mut soc = mac_soc();
+        let tile = soc.accelerator_tiles()[0];
+        let op = AccelOp::Mac { a: vec![1.0; 4096], b: vec![1.0; 4096] };
+        let hw = soc.run_accelerator_at(tile, &op, 0).unwrap();
+        let sw = soc.run_on_cpu_at(&op, 0).unwrap();
+        assert_eq!(hw.value, sw.value);
+        assert!(sw.compute_cycles > 5 * hw.compute_cycles);
+    }
+
+    #[test]
+    fn concurrent_tiles_share_the_dram_channel() {
+        let cfg = SocConfig::new(
+            "dual",
+            2,
+            3,
+            vec![
+                TileKind::Cpu,
+                TileKind::Mem,
+                TileKind::Aux,
+                TileKind::Accel(AcceleratorKind::Mac),
+                TileKind::Accel(AcceleratorKind::Mac),
+                TileKind::Empty,
+            ],
+        )
+        .unwrap();
+        let mut soc = Soc::new(&cfg).unwrap();
+        let tiles = soc.accelerator_tiles();
+        let op = AccelOp::Mac { a: vec![1.0; 100_000], b: vec![1.0; 100_000] };
+        let a = soc.run_accelerator_at(tiles[0], &op, 0).unwrap();
+        let b = soc.run_accelerator_at(tiles[1], &op, 0).unwrap();
+        // Issued at the same cycle, but DRAM + shared NoC links near the
+        // memory tile serialize the input DMA.
+        assert!(b.end > a.end);
+    }
+
+    #[test]
+    fn energy_report_accounts_all_terms() {
+        let mut soc = mac_soc();
+        let tile = soc.accelerator_tiles()[0];
+        soc.run_accelerator(tile, &AccelOp::Mac { a: vec![1.0; 1024], b: vec![1.0; 1024] }).unwrap();
+        let report = soc.energy_report();
+        assert!(report.dynamic_j > 0.0);
+        assert!(report.leakage_j > 0.0);
+        assert!(report.base_j > 0.0);
+        assert!(report.elapsed_s > 0.0);
+        assert!(report.total_j() >= report.dynamic_j);
+    }
+
+    #[test]
+    fn csr_errors() {
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        assert!(matches!(soc.csr_write_at(tile, 0x99, 1, 0), Err(Error::BadRegister { .. })));
+        assert!(matches!(soc.csr_read(tile, 0x99), Err(Error::BadRegister { .. })));
+        let cpu = soc.config().cpu();
+        assert!(matches!(
+            soc.csr_read(cpu, csr::STATUS),
+            Err(Error::WrongTileKind { .. })
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the WAMI kernels.
+
+use std::fmt;
+
+/// Errors produced by WAMI kernels and the reference pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two images that must share dimensions do not.
+    DimensionMismatch {
+        /// Dimensions of the first operand.
+        a: (usize, usize),
+        /// Dimensions of the second operand.
+        b: (usize, usize),
+    },
+    /// An image dimension is zero or otherwise unusable.
+    BadDimensions {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A matrix to invert is singular (or numerically so).
+    SingularMatrix,
+    /// The Lucas-Kanade solver failed to make progress.
+    RegistrationDiverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { a, b } => {
+                write!(f, "image dimensions differ: {}x{} vs {}x{}", a.0, a.1, b.0, b.1)
+            }
+            Error::BadDimensions { detail } => write!(f, "bad image dimensions: {detail}"),
+            Error::SingularMatrix => write!(f, "matrix is singular"),
+            Error::RegistrationDiverged { iterations } => {
+                write!(f, "registration diverged after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

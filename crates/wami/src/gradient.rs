@@ -1,0 +1,95 @@
+//! Image gradient kernel — WAMI accelerator #3.
+
+use crate::error::Error;
+use crate::image::GrayImage;
+
+/// Horizontal and vertical central-difference gradients of an image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    /// ∂I/∂x.
+    pub dx: GrayImage,
+    /// ∂I/∂y.
+    pub dy: GrayImage,
+}
+
+/// Computes central-difference gradients with clamped borders.
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` keeps the kernel signature uniform
+/// with the rest of the pipeline.
+///
+/// # Example
+///
+/// ```
+/// use presp_wami::gradient::gradient;
+/// use presp_wami::image::GrayImage;
+///
+/// // A horizontal ramp has constant dx = 1 and zero dy in the interior.
+/// let mut img = GrayImage::zeroed(8, 8);
+/// for y in 0..8 { for x in 0..8 { img.set(x, y, x as f32); } }
+/// let g = gradient(&img)?;
+/// assert!((g.dx.get(4, 4) - 1.0).abs() < 1e-6);
+/// assert_eq!(g.dy.get(4, 4), 0.0);
+/// # Ok::<(), presp_wami::Error>(())
+/// ```
+pub fn gradient(img: &GrayImage) -> Result<Gradients, Error> {
+    let (w, h) = img.dims();
+    let mut dx = GrayImage::zeroed(w, h);
+    let mut dy = GrayImage::zeroed(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let xi = x as isize;
+            let yi = y as isize;
+            dx.set(x, y, (img.get_clamped(xi + 1, yi) - img.get_clamped(xi - 1, yi)) / 2.0);
+            dy.set(x, y, (img.get_clamped(xi, yi + 1) - img.get_clamped(xi, yi - 1)) / 2.0);
+        }
+    }
+    Ok(Gradients { dx, dy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_image_has_zero_gradient() {
+        let mut img = GrayImage::zeroed(6, 6);
+        for p in img.pixels_mut() {
+            *p = 3.5;
+        }
+        let g = gradient(&img).unwrap();
+        assert!(g.dx.pixels().iter().all(|&v| v == 0.0));
+        assert!(g.dy.pixels().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn vertical_ramp_has_unit_dy() {
+        let mut img = GrayImage::zeroed(5, 7);
+        for y in 0..7 {
+            for x in 0..5 {
+                img.set(x, y, 2.0 * y as f32);
+            }
+        }
+        let g = gradient(&img).unwrap();
+        assert!((g.dy.get(2, 3) - 2.0).abs() < 1e-6);
+        assert_eq!(g.dx.get(2, 3), 0.0);
+        // Borders use clamped (one-sided) differences: half magnitude.
+        assert!((g.dy.get(2, 0) - 1.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn gradient_is_linear(pixels in proptest::collection::vec(-10.0f32..10.0, 36), k in 0.5f32..4.0) {
+            let img = GrayImage::from_vec(6, 6, pixels.clone()).unwrap();
+            let scaled = GrayImage::from_vec(6, 6, pixels.iter().map(|&p| k * p).collect()).unwrap();
+            let g = gradient(&img).unwrap();
+            let gs = gradient(&scaled).unwrap();
+            for (a, b) in g.dx.pixels().iter().zip(gs.dx.pixels()) {
+                prop_assert!((k * a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Grayscale conversion kernel — WAMI accelerator #2.
+
+use crate::error::Error;
+use crate::image::{GrayImage, RgbImage};
+
+/// ITU-R BT.601 luma weights.
+const LUMA: [f32; 3] = [0.299, 0.587, 0.114];
+
+/// Converts an RGB image to luminance.
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` keeps the kernel signature uniform
+/// with the rest of the pipeline.
+///
+/// # Example
+///
+/// ```
+/// use presp_wami::grayscale::grayscale;
+/// use presp_wami::image::RgbImage;
+///
+/// let mut rgb = RgbImage::zeroed(2, 2);
+/// rgb.set(0, 0, [1.0, 1.0, 1.0]);
+/// let gray = grayscale(&rgb)?;
+/// assert!((gray.get(0, 0) - 1.0).abs() < 1e-6);
+/// # Ok::<(), presp_wami::Error>(())
+/// ```
+pub fn grayscale(rgb: &RgbImage) -> Result<GrayImage, Error> {
+    Ok(rgb.map(|[r, g, b]| r * LUMA[0] + g * LUMA[1] + b * LUMA[2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        assert!((LUMA.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn green_dominates_luma() {
+        let mut rgb = RgbImage::zeroed(1, 1);
+        rgb.set(0, 0, [0.0, 1.0, 0.0]);
+        let g = grayscale(&rgb).unwrap().get(0, 0);
+        rgb.set(0, 0, [1.0, 0.0, 0.0]);
+        let r = grayscale(&rgb).unwrap().get(0, 0);
+        rgb.set(0, 0, [0.0, 0.0, 1.0]);
+        let b = grayscale(&rgb).unwrap().get(0, 0);
+        assert!(g > r && r > b);
+    }
+
+    proptest! {
+        #[test]
+        fn gray_pixels_are_fixed_points(v in 0.0f32..1000.0) {
+            let mut rgb = RgbImage::zeroed(1, 1);
+            rgb.set(0, 0, [v, v, v]);
+            let out = grayscale(&rgb).unwrap().get(0, 0);
+            prop_assert!((out - v).abs() < v.max(1.0) * 1e-5);
+        }
+
+        #[test]
+        fn luma_is_monotone_in_each_channel(
+            base in 0.0f32..100.0,
+            delta in 0.01f32..50.0,
+            ch in 0usize..3,
+        ) {
+            let mut lo = [base; 3];
+            let mut hi = [base; 3];
+            hi[ch] = base + delta;
+            let mut img = RgbImage::zeroed(1, 1);
+            img.set(0, 0, lo);
+            let vlo = grayscale(&img).unwrap().get(0, 0);
+            img.set(0, 0, hi);
+            let vhi = grayscale(&img).unwrap().get(0, 0);
+            prop_assert!(vhi > vlo);
+            lo[ch] = 0.0; // silence unused-assignment lint on `lo`
+            let _ = lo;
+        }
+    }
+}

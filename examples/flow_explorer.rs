@@ -1,0 +1,61 @@
+//! Flow explorer: classify and compile every paper design, comparing the
+//! size-driven strategy choice against forced alternatives and the
+//! monolithic baseline.
+//!
+//! Run with: `cargo run --release --example flow_explorer`
+
+use presp::cad::flow::{CadFlow, Strategy};
+use presp::core::design::SocDesign;
+use presp::core::flow::PrEspFlow;
+use presp::core::strategy::choose_strategy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designs = vec![
+        SocDesign::characterization_soc1()?,
+        SocDesign::characterization_soc2()?,
+        SocDesign::characterization_soc3()?,
+        SocDesign::characterization_soc4()?,
+        SocDesign::wami_table4("soc_a", &[4, 8, 10, 9])?,
+        SocDesign::wami_table4("soc_b", &[2, 3, 11, 1])?,
+        SocDesign::wami_table4("soc_c", &[7, 11, 8, 2])?,
+        SocDesign::wami_table4("soc_d", &[4, 5, 9, 2])?,
+    ];
+
+    let cad = CadFlow::new();
+    let flow = PrEspFlow::new();
+
+    println!(
+        "{:<8} {:<10} {:<22} {:>8} {:>8} {:>8} {:>10}",
+        "design", "class", "chosen strategy", "serial", "semi-2", "fully", "monolithic"
+    );
+    for design in designs {
+        let spec = design.to_spec()?;
+        let n = spec.reconfigurable().len();
+        let (class, chosen) = choose_strategy(&spec)?;
+
+        let wall = |strategy: Strategy| -> String {
+            match cad.run_pnr(&spec, strategy) {
+                Ok(r) => format!("{:.0}", r.wall.value()),
+                Err(_) => "-".into(),
+            }
+        };
+        let serial = wall(Strategy::Serial);
+        let semi = if n > 2 { wall(Strategy::SemiParallel { tau: 2 }) } else { "-".into() };
+        let fully = if n >= 2 { wall(Strategy::FullyParallel) } else { "-".into() };
+        let output = flow.run(&design)?;
+
+        println!(
+            "{:<8} {:<10} {:<22} {:>8} {:>8} {:>8} {:>10.0}",
+            design.name,
+            format!("{class}"),
+            format!("{chosen}"),
+            serial,
+            semi,
+            fully,
+            output.monolithic.pnr.value(),
+        );
+    }
+
+    println!("\n(time in simulated minutes; P&R only, synthesis excluded except the last column's baseline)");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: design → flow → bitstreams → deployed SoC → frames.
+//!
+//! Builds the paper's SoC_Y (three reconfigurable tiles hosting the twelve
+//! WAMI accelerators minus two CPU-fallback kernels), runs the full PR-ESP
+//! RTL-to-bitstream flow, deploys the result on the simulated VC707 and
+//! processes a short synthetic WAMI sequence.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use presp::core::design::SocDesign;
+use presp::core::flow::PrEspFlow;
+use presp::core::platform::deploy_wami;
+use presp::wami::frames::SceneGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The design: SoC_Y from Table VI.
+    let design = SocDesign::wami_soc_y()?;
+    println!("design: {} on {}", design.name, design.part);
+
+    // 2. The fully automated flow (Fig. 1): parse, parallel synthesis,
+    //    floorplan, size-driven strategy, scheduled P&R, bitstreams.
+    let output = PrEspFlow::new().run(&design)?;
+    println!("size class:      {}", output.class);
+    println!("chosen strategy: {}", output.strategy);
+    println!(
+        "compile time:    {} (monolithic baseline: {})",
+        output.report.total, output.monolithic.total
+    );
+    println!("partial bitstreams:");
+    for info in &output.partial_bitstreams {
+        println!(
+            "  {:<10} {:<22} {:>5} KB",
+            info.region,
+            info.kind.name(),
+            info.bitstream.size_bytes() / 1024
+        );
+    }
+
+    // 3. Deploy: boot the SoC, load the bitstream registry, wire the
+    //    runtime manager and the WAMI application scheduler.
+    let mut app = deploy_wami(&design, &output, 2)?;
+
+    // 4. Process frames.
+    let mut scene = SceneGenerator::new(64, 64, 7);
+    for i in 0..4 {
+        let report = app.process_frame(&scene.next_frame())?;
+        println!(
+            "frame {i}: {:>7} cycles, {:>2} reconfigurations, {} changed pixels",
+            report.latency(),
+            report.reconfigurations,
+            report.changed_pixels
+        );
+    }
+
+    // 5. Energy accounting.
+    let manager = app.into_manager();
+    let energy = manager.soc().energy_report();
+    println!(
+        "energy: {:.1} mJ total over {:.2} ms ({:.2} W average)",
+        energy.total_j() * 1e3,
+        energy.elapsed_s * 1e3,
+        energy.average_w()
+    );
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! The PR-ESP command-line front-end — the analogue of the paper's "single
+//! make target" that turns an SoC configuration into full and partial
+//! bitstreams.
+//!
+//! ```text
+//! presp designs                      list the built-in paper designs
+//! presp classify <design>            size metrics, class and strategy
+//! presp flow <design> [--no-compress]  run the full flow, print the report
+//! presp config <design>              dump the SoC configuration as JSON
+//! ```
+
+use presp::core::design::SocDesign;
+use presp::core::flow::PrEspFlow;
+use presp::core::strategy::choose_strategy;
+use std::process::ExitCode;
+
+fn builtin(name: &str) -> Option<SocDesign> {
+    let design = match name {
+        "soc_1" => SocDesign::characterization_soc1(),
+        "soc_2" => SocDesign::characterization_soc2(),
+        "soc_3" => SocDesign::characterization_soc3(),
+        "soc_4" => SocDesign::characterization_soc4(),
+        "soc_a" => SocDesign::wami_table4("soc_a", &[4, 8, 10, 9]),
+        "soc_b" => SocDesign::wami_table4("soc_b", &[2, 3, 11, 1]),
+        "soc_c" => SocDesign::wami_table4("soc_c", &[7, 11, 8, 2]),
+        "soc_d" => SocDesign::wami_table4("soc_d", &[4, 5, 9, 2]),
+        "soc_x" => SocDesign::wami_soc_x(),
+        "soc_y" => SocDesign::wami_soc_y(),
+        "soc_z" => SocDesign::wami_soc_z(),
+        _ => return None,
+    };
+    Some(design.expect("built-in designs are valid"))
+}
+
+const DESIGNS: [&str; 11] = [
+    "soc_1", "soc_2", "soc_3", "soc_4", "soc_a", "soc_b", "soc_c", "soc_d", "soc_x", "soc_y",
+    "soc_z",
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: presp <designs|classify|flow|config> [design] [--no-compress]");
+    eprintln!("       designs: {}", DESIGNS.join(", "));
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { return usage() };
+
+    match command.as_str() {
+        "designs" => {
+            for name in DESIGNS {
+                let d = builtin(name).expect("listed designs exist");
+                let spec = d.to_spec().expect("built-ins are buildable");
+                let (kappa, alpha, gamma) = spec.size_metrics();
+                println!(
+                    "{name:<6} {} tiles={} rms={} κ={:.3} α_av={:.3} γ={:.2}",
+                    d.part,
+                    d.config.rows() * d.config.cols(),
+                    spec.reconfigurable().len(),
+                    kappa,
+                    alpha,
+                    gamma
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "classify" | "flow" | "config" => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(design) = builtin(name) else {
+                eprintln!("unknown design '{name}' — try `presp designs`");
+                return ExitCode::FAILURE;
+            };
+            match command.as_str() {
+                "config" => {
+                    println!("{}", design.config.to_json());
+                    ExitCode::SUCCESS
+                }
+                "classify" => {
+                    let spec = design.to_spec().expect("built-ins are buildable");
+                    let (kappa, alpha, gamma) = spec.size_metrics();
+                    match choose_strategy(&spec) {
+                        Ok((class, strategy)) => {
+                            println!("κ = {kappa:.3}, α_av = {alpha:.3}, γ = {gamma:.2}");
+                            println!("{class} → {strategy}");
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("classification failed: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                _ => {
+                    let compressed = !args.iter().any(|a| a == "--no-compress");
+                    let flow = PrEspFlow::new().with_compression(compressed);
+                    match flow.run(&design) {
+                        Ok(out) => {
+                            println!("design:     {}", design.name);
+                            println!("class:      {}", out.class);
+                            println!("strategy:   {}", out.strategy);
+                            println!("synthesis:  {}", out.report.synth.wall);
+                            if let Some(t) = out.report.pnr.t_static {
+                                println!("t_static:   {t}");
+                            }
+                            if let Some(o) = out.report.pnr.max_omega {
+                                println!("max Omega:  {o}");
+                            }
+                            println!("total:      {}  (monolithic: {})", out.report.total, out.monolithic.total);
+                            println!("full bitstream: {} KB", out.full_bitstream.size_bytes() / 1024);
+                            for info in &out.partial_bitstreams {
+                                println!(
+                                    "  pbs {:<10} {:<24} {:>6} KB",
+                                    info.region,
+                                    info.kind.name(),
+                                    info.bitstream.size_bytes() / 1024
+                                );
+                            }
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("flow failed: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,46 @@
+//! PR-ESP: an open-source platform for design and programming of partially
+//! reconfigurable SoCs — a simulation-based reproduction of the DATE 2023
+//! paper by Seyoum, Giri, Chiu, Natter and Carloni.
+//!
+//! This meta-crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`fpga`] — FPGA fabric, pblocks, configuration frames, bitstreams,
+//!   ICAP.
+//! * [`wami`] — the WAMI-App benchmark kernels and synthetic scenes.
+//! * [`accel`] — the accelerator catalog with behavioral models.
+//! * [`floorplan`] — FLORA-style automated DPR floorplanning.
+//! * [`cad`] — the Vivado-substitute CAD engine and its calibrated runtime
+//!   model.
+//! * [`soc`] — the ESP-style tile/NoC SoC simulator with DPR support.
+//! * [`runtime`] — the DPR runtime manager and the WAMI application
+//!   scheduler.
+//! * [`core`] — the PR-ESP flow: parse → synthesize → floorplan →
+//!   size-driven parallel P&R → bitstreams → deploy.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use presp::core::design::SocDesign;
+//! use presp::core::flow::PrEspFlow;
+//! use presp::core::platform::deploy_wami;
+//! use presp::wami::frames::SceneGenerator;
+//!
+//! // Build SoC_Y from the paper, run the full RTL-to-bitstream flow,
+//! // deploy it, and process a frame.
+//! let design = SocDesign::wami_soc_y()?;
+//! let output = PrEspFlow::new().run(&design)?;
+//! let mut app = deploy_wami(&design, &output, 2)?;
+//! let mut scene = SceneGenerator::new(48, 48, 1);
+//! let report = app.process_frame(&scene.next_frame())?;
+//! assert!(report.end > report.start);
+//! # Ok::<(), presp::core::Error>(())
+//! ```
+
+pub use presp_accel as accel;
+pub use presp_cad as cad;
+pub use presp_core as core;
+pub use presp_floorplan as floorplan;
+pub use presp_fpga as fpga;
+pub use presp_runtime as runtime;
+pub use presp_soc as soc;
+pub use presp_wami as wami;

@@ -1,0 +1,137 @@
+//! The paper's headline evaluation claims, asserted against the regenerated
+//! tables (the same code paths the `table*`/`fig*` binaries print).
+
+use presp_bench::experiments;
+
+#[test]
+fn table3_class_1_1_serial_beats_every_parallel_config() {
+    let rows = experiments::table3();
+    let soc1 = rows.iter().find(|r| r.soc == "soc_1").expect("soc_1 row");
+    assert_eq!(soc1.best_tau(), 1, "the paper's counter-intuitive SOC_1 result");
+}
+
+#[test]
+fn table3_class_1_2_and_2_1_prefer_maximum_parallelism() {
+    let rows = experiments::table3();
+    let soc2 = rows.iter().find(|r| r.soc == "soc_2").expect("soc_2 row");
+    let soc4 = rows.iter().find(|r| r.soc == "soc_4").expect("soc_4 row");
+    assert_eq!(soc2.best_tau(), 4);
+    assert_eq!(soc4.best_tau(), 5);
+}
+
+#[test]
+fn table3_totals_decrease_monotonically_with_tau_for_soc2() {
+    let rows = experiments::table3();
+    let soc2 = rows.iter().find(|r| r.soc == "soc_2").expect("soc_2 row");
+    let totals: Vec<f64> = soc2.points.iter().map(|p| p.total).collect();
+    assert!(
+        totals.windows(2).all(|w| w[1] < w[0]),
+        "SOC_2 totals should fall with τ: {totals:?}"
+    );
+}
+
+#[test]
+fn table3_magnitudes_track_the_paper() {
+    // Anchor points of the calibration (simulated vs measured minutes).
+    let rows = experiments::table3();
+    let serial_total = |soc: &str| {
+        rows.iter()
+            .find(|r| r.soc == soc)
+            .and_then(|r| r.points.iter().find(|p| p.tau == 1))
+            .map(|p| p.total)
+            .expect("serial point")
+    };
+    assert!((serial_total("soc_1") - 89.0).abs() < 5.0);
+    assert!((serial_total("soc_2") - 181.0).abs() < 8.0);
+}
+
+#[test]
+fn table4_chosen_strategy_is_always_near_optimal() {
+    for row in experiments::table4() {
+        let chosen = row.chosen_total();
+        let best = row.best_total();
+        // The paper's choice is the measured best; our CAD model agrees
+        // exactly for classes 1.1/1.2/2.1 and within a few percent for the
+        // near-tie class 1.3 (see EXPERIMENTS.md).
+        assert!(
+            chosen <= best * 1.07,
+            "{}: chose {} ({chosen:.0}) vs best {best:.0}",
+            row.soc,
+            row.chosen
+        );
+    }
+}
+
+#[test]
+fn table4_chosen_strategy_is_exactly_optimal_outside_class_1_3() {
+    use presp::core::strategy::SizeClass;
+    for row in experiments::table4() {
+        if row.class != SizeClass::Class1_3 {
+            assert!(
+                (row.chosen_total() - row.best_total()).abs() < 1e-9,
+                "{}: chose {:.1}, best {:.1}",
+                row.soc,
+                row.chosen_total(),
+                row.best_total()
+            );
+        }
+    }
+}
+
+#[test]
+fn table5_improvements_match_paper_directions() {
+    let rows = experiments::table5();
+    let row = |soc: &str| rows.iter().find(|r| r.soc == soc).expect("row");
+    // SoC_A (Class 1.2) and SoC_D (Class 2.1): clear wins (paper: +19 %, +24 %).
+    assert!(row("soc_a").improvement_pct() > 10.0);
+    assert!(row("soc_d").improvement_pct() > 15.0);
+    // SoC_C (Class 1.3): a modest win (paper: +4.4 %).
+    assert!(row("soc_c").improvement_pct() > 0.0);
+    // SoC_B (Class 1.1): PR-ESP as good as or slightly worse (paper: −2.5 %).
+    let b = row("soc_b").improvement_pct();
+    assert!(b < 3.0 && b > -8.0, "SoC_B improvement {b:.1}%");
+}
+
+#[test]
+fn table6_pbs_sizes_are_in_the_paper_range() {
+    for row in experiments::table6() {
+        assert!(
+            row.pbs_kb > 100.0 && row.pbs_kb < 600.0,
+            "{} {}: {:.0} KB outside the Table VI ballpark",
+            row.soc,
+            row.tile,
+            row.pbs_kb
+        );
+    }
+}
+
+#[test]
+fn fig3_profiles_every_kernel() {
+    let rows = experiments::fig3(64);
+    assert_eq!(rows.len(), 12);
+    for r in &rows {
+        assert!(r.micros > 0.0, "#{} has zero latency", r.index);
+        assert!(r.luts > 0);
+    }
+    // Pixel-streaming kernels dominate the tiny linear-algebra ones.
+    let warp = rows.iter().find(|r| r.name == "warp").unwrap();
+    let invert = rows.iter().find(|r| r.name == "matrix-invert").unwrap();
+    assert!(warp.micros > 4.0 * invert.micros);
+}
+
+#[test]
+fn fig4_reproduces_the_energy_latency_tradeoff() {
+    let rows = experiments::fig4(5, 48, 2);
+    assert_eq!(rows.len(), 3);
+    let x = rows.iter().find(|r| r.soc == "soc_x").unwrap();
+    let y = rows.iter().find(|r| r.soc == "soc_y").unwrap();
+    let z = rows.iter().find(|r| r.soc == "soc_z").unwrap();
+    // Fewer tiles → best energy per frame, worst latency (Fig. 4's shape).
+    assert!(x.mj_per_frame < y.mj_per_frame && y.mj_per_frame < z.mj_per_frame,
+        "energy: x={:.1} y={:.1} z={:.1}", x.mj_per_frame, y.mj_per_frame, z.mj_per_frame);
+    assert!(x.ms_per_frame > z.ms_per_frame,
+        "latency: x={:.2} z={:.2}", x.ms_per_frame, z.ms_per_frame);
+    // All three compute identical results.
+    assert_eq!(x.mean_changed_pixels, y.mean_changed_pixels);
+    assert_eq!(y.mean_changed_pixels, z.mean_changed_pixels);
+}

@@ -1,0 +1,76 @@
+//! Cross-deployment equivalence: the three Table VI SoCs and the software
+//! pipeline all compute identical WAMI results on the same input sequence —
+//! partitioning changes performance, never functionality.
+
+use presp::core::design::SocDesign;
+use presp::core::flow::PrEspFlow;
+use presp::core::platform::deploy_wami;
+use presp::wami::change_detection::GmmConfig;
+use presp::wami::frames::SceneGenerator;
+use presp::wami::lucas_kanade::LkConfig;
+use presp::wami::pipeline::{Pipeline, PipelineConfig};
+
+const ITERATIONS: usize = 2;
+const FRAMES: usize = 4;
+const SIZE: usize = 40;
+const SEED: u64 = 99;
+
+fn run_deployment(design: SocDesign) -> Vec<usize> {
+    let out = PrEspFlow::new().run(&design).unwrap();
+    let mut app = deploy_wami(&design, &out, ITERATIONS).unwrap();
+    let mut scene = SceneGenerator::new(SIZE, SIZE, SEED);
+    (0..FRAMES)
+        .map(|_| app.process_frame(&scene.next_frame()).unwrap().changed_pixels)
+        .collect()
+}
+
+fn run_software() -> Vec<usize> {
+    let mut pipeline = Pipeline::new(PipelineConfig {
+        lk: LkConfig { max_iterations: ITERATIONS, epsilon: 0.0, border_margin: 4 },
+        gmm: GmmConfig::default(),
+    });
+    let mut scene = SceneGenerator::new(SIZE, SIZE, SEED);
+    (0..FRAMES)
+        .map(|_| pipeline.process(&scene.next_frame()).unwrap().changed_pixels)
+        .collect()
+}
+
+#[test]
+fn all_deployments_match_the_software_reference() {
+    let software = run_software();
+    let x = run_deployment(SocDesign::wami_soc_x().unwrap());
+    let y = run_deployment(SocDesign::wami_soc_y().unwrap());
+    let z = run_deployment(SocDesign::wami_soc_z().unwrap());
+    assert_eq!(x, software, "SoC_X diverged from software");
+    assert_eq!(y, software, "SoC_Y diverged from software");
+    assert_eq!(z, software, "SoC_Z diverged from software");
+}
+
+#[test]
+fn more_tiles_do_not_change_results_only_timing() {
+    let design_x = SocDesign::wami_soc_x().unwrap();
+    let design_z = SocDesign::wami_soc_z().unwrap();
+    let flow = PrEspFlow::new();
+    let out_x = flow.run(&design_x).unwrap();
+    let out_z = flow.run(&design_z).unwrap();
+    let mut app_x = deploy_wami(&design_x, &out_x, ITERATIONS).unwrap();
+    let mut app_z = deploy_wami(&design_z, &out_z, ITERATIONS).unwrap();
+    let mut scene_x = SceneGenerator::new(SIZE, SIZE, SEED);
+    let mut scene_z = SceneGenerator::new(SIZE, SIZE, SEED);
+    let mut cycles_x = 0;
+    let mut cycles_z = 0;
+    for i in 0..FRAMES {
+        let rx = app_x.process_frame(&scene_x.next_frame()).unwrap();
+        let rz = app_z.process_frame(&scene_z.next_frame()).unwrap();
+        assert_eq!(rx.changed_pixels, rz.changed_pixels, "frame {i}");
+        if i > 0 {
+            cycles_x += rx.latency();
+            cycles_z += rz.latency();
+        }
+    }
+    // Fig. 4: the four-tile SoC_Z is faster per frame than two-tile SoC_X.
+    assert!(
+        cycles_z < cycles_x,
+        "SoC_Z ({cycles_z} cycles) should beat SoC_X ({cycles_x} cycles)"
+    );
+}
