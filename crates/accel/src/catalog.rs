@@ -92,9 +92,10 @@ impl AcceleratorKind {
     pub fn hls_flow(&self) -> HlsFlow {
         match self {
             AcceleratorKind::Mac | AcceleratorKind::Wami(_) => HlsFlow::VivadoHls,
-            AcceleratorKind::Conv2d | AcceleratorKind::Gemm | AcceleratorKind::Fft | AcceleratorKind::Sort => {
-                HlsFlow::StratusHls
-            }
+            AcceleratorKind::Conv2d
+            | AcceleratorKind::Gemm
+            | AcceleratorKind::Fft
+            | AcceleratorKind::Sort => HlsFlow::StratusHls,
             AcceleratorKind::Cpu => HlsFlow::Rtl,
         }
     }
@@ -153,14 +154,19 @@ mod tests {
         // class memberships (γ computed against the static sizes used by
         // presp-core; here we check the raw sums that drive them).
         let sum = |idxs: &[usize]| -> u64 {
-            idxs.iter().map(|&i| AcceleratorKind::wami(i).unwrap().resources().lut).sum()
+            idxs.iter()
+                .map(|&i| AcceleratorKind::wami(i).unwrap().resources().lut)
+                .sum()
         };
         let soc_a = sum(&[4, 8, 10, 9]); // Class 1.2: γ > 1 for static ≈ 85k
         let soc_b = sum(&[2, 3, 11, 1]); // Class 1.1: γ < 1
         let soc_c = sum(&[7, 11, 8, 2]); // Class 1.3: γ ≈ 1
         assert!(soc_a > 100_000, "SoC_A reconfigurable total {soc_a}");
         assert!(soc_b < 60_000, "SoC_B reconfigurable total {soc_b}");
-        assert!(soc_c > 75_000 && soc_c < 90_000, "SoC_C reconfigurable total {soc_c}");
+        assert!(
+            soc_c > 75_000 && soc_c < 90_000,
+            "SoC_C reconfigurable total {soc_c}"
+        );
     }
 
     #[test]

@@ -26,8 +26,14 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::WrongOperation { accelerator, operation } => {
-                write!(f, "operation {operation} submitted to {accelerator} accelerator")
+            Error::WrongOperation {
+                accelerator,
+                operation,
+            } => {
+                write!(
+                    f,
+                    "operation {operation} submitted to {accelerator} accelerator"
+                )
             }
             Error::BadOperands { detail } => write!(f, "bad operands: {detail}"),
             Error::Kernel(e) => write!(f, "kernel error: {e}"),

@@ -139,7 +139,9 @@ mod tests {
 
     #[test]
     fn tiny_ops_still_cost_software_time() {
-        let op = AccelOp::MatrixInvert { m: presp_wami::matrix::identity6() };
+        let op = AccelOp::MatrixInvert {
+            m: presp_wami::matrix::identity6(),
+        };
         assert!(software_cycles(&op) >= SOFTWARE_SLOWDOWN);
     }
 }

@@ -12,8 +12,8 @@ use crate::error::Error;
 use presp_wami::change_detection::{changed_pixels, ChangeDetector};
 use presp_wami::debayer::debayer;
 use presp_wami::gradient::{gradient, Gradients};
-use presp_wami::grayscale::grayscale;
 use presp_wami::graph::WamiKernel;
+use presp_wami::grayscale::grayscale;
 use presp_wami::image::{BayerImage, GrayImage, RgbImage};
 use presp_wami::lucas_kanade::{
     delta_p, hessian, sd_update, steepest_descent, update_params, SdImages,
@@ -175,7 +175,10 @@ impl AccelOp {
         }
         matches!(
             (self, kind),
-            (AccelOp::Warp { .. }, AcceleratorKind::Wami(WamiKernel::WarpIwxp))
+            (
+                AccelOp::Warp { .. },
+                AcceleratorKind::Wami(WamiKernel::WarpIwxp)
+            )
         )
     }
 
@@ -329,9 +332,15 @@ impl AccelInstance {
                         detail: format!("mac operands {} vs {}", a.len(), b.len()),
                     });
                 }
-                Ok(AccelValue::Scalar(a.iter().zip(b).map(|(x, y)| x * y).sum()))
+                Ok(AccelValue::Scalar(
+                    a.iter().zip(b).map(|(x, y)| x * y).sum(),
+                ))
             }
-            AccelOp::Conv2d { image, kernel, side } => {
+            AccelOp::Conv2d {
+                image,
+                kernel,
+                side,
+            } => {
                 if side % 2 == 0 || kernel.len() != side * side {
                     return Err(Error::BadOperands {
                         detail: format!("conv kernel {}x{} with {} taps", side, side, kernel.len()),
@@ -342,7 +351,15 @@ impl AccelInstance {
             AccelOp::Gemm { m, k, n, a, b } => {
                 if a.len() != m * k || b.len() != k * n {
                     return Err(Error::BadOperands {
-                        detail: format!("gemm {}x{} · {}x{} with {}/{} elements", m, k, k, n, a.len(), b.len()),
+                        detail: format!(
+                            "gemm {}x{} · {}x{} with {}/{} elements",
+                            m,
+                            k,
+                            k,
+                            n,
+                            a.len(),
+                            b.len()
+                        ),
                     });
                 }
                 Ok(AccelValue::Vector(gemm(*m, *k, *n, a, b)))
@@ -350,7 +367,11 @@ impl AccelInstance {
             AccelOp::Fft { re, im } => {
                 if re.len() != im.len() || !re.len().is_power_of_two() {
                     return Err(Error::BadOperands {
-                        detail: format!("fft lengths {}/{} (need equal power of two)", re.len(), im.len()),
+                        detail: format!(
+                            "fft lengths {}/{} (need equal power of two)",
+                            re.len(),
+                            im.len()
+                        ),
                     });
                 }
                 let (r, i) = fft(re.clone(), im.clone());
@@ -377,7 +398,10 @@ impl AccelInstance {
             AccelOp::ChangeDetection { frame, model } => {
                 let mut model = model.clone();
                 let mask = model.update(frame)?;
-                Ok(AccelValue::ChangeDetection { changed: changed_pixels(&mask), model })
+                Ok(AccelValue::ChangeDetection {
+                    changed: changed_pixels(&mask),
+                    model,
+                })
             }
         }
     }
@@ -465,7 +489,10 @@ mod tests {
     fn mac_computes_dot_product() {
         let mut acc = AccelInstance::new(AcceleratorKind::Mac);
         let v = acc
-            .execute(&AccelOp::Mac { a: vec![1.0, 2.0, 3.0], b: vec![4.0, 5.0, 6.0] })
+            .execute(&AccelOp::Mac {
+                a: vec![1.0, 2.0, 3.0],
+                b: vec![4.0, 5.0, 6.0],
+            })
             .unwrap();
         assert_eq!(v, AccelValue::Scalar(32.0));
     }
@@ -474,7 +501,10 @@ mod tests {
     fn mac_rejects_length_mismatch() {
         let mut acc = AccelInstance::new(AcceleratorKind::Mac);
         assert!(matches!(
-            acc.execute(&AccelOp::Mac { a: vec![1.0], b: vec![1.0, 2.0] }),
+            acc.execute(&AccelOp::Mac {
+                a: vec![1.0],
+                b: vec![1.0, 2.0]
+            }),
             Err(Error::BadOperands { .. })
         ));
     }
@@ -483,7 +513,10 @@ mod tests {
     fn wrong_operation_is_rejected() {
         let mut acc = AccelInstance::new(AcceleratorKind::Sort);
         assert!(matches!(
-            acc.execute(&AccelOp::Mac { a: vec![], b: vec![] }),
+            acc.execute(&AccelOp::Mac {
+                a: vec![],
+                b: vec![]
+            }),
             Err(Error::WrongOperation { .. })
         ));
     }
@@ -491,7 +524,10 @@ mod tests {
     #[test]
     fn warp_op_runs_on_both_warp_accelerators() {
         let img = GrayImage::zeroed(4, 4);
-        let op = AccelOp::Warp { image: img, params: AffineParams::identity() };
+        let op = AccelOp::Warp {
+            image: img,
+            params: AffineParams::identity(),
+        };
         assert!(op.runs_on(AcceleratorKind::Wami(WamiKernel::Warp)));
         assert!(op.runs_on(AcceleratorKind::Wami(WamiKernel::WarpIwxp)));
         assert!(!op.runs_on(AcceleratorKind::Wami(WamiKernel::Debayer)));
@@ -503,7 +539,14 @@ mod tests {
         img.set(3, 2, 5.0);
         let mut acc = AccelInstance::new(AcceleratorKind::Conv2d);
         let kernel = vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
-        match acc.execute(&AccelOp::Conv2d { image: img.clone(), kernel, side: 3 }).unwrap() {
+        match acc
+            .execute(&AccelOp::Conv2d {
+                image: img.clone(),
+                kernel,
+                side: 3,
+            })
+            .unwrap()
+        {
             AccelValue::Image(out) => assert_eq!(out, img),
             other => panic!("unexpected {other:?}"),
         }
@@ -515,7 +558,14 @@ mod tests {
         img.set(4, 4, 9.0);
         let mut acc = AccelInstance::new(AcceleratorKind::Conv2d);
         let kernel = vec![1.0 / 9.0; 9];
-        match acc.execute(&AccelOp::Conv2d { image: img, kernel, side: 3 }).unwrap() {
+        match acc
+            .execute(&AccelOp::Conv2d {
+                image: img,
+                kernel,
+                side: 3,
+            })
+            .unwrap()
+        {
             AccelValue::Image(out) => {
                 let total: f32 = out.pixels().iter().sum();
                 assert!((total - 9.0).abs() < 1e-4);
@@ -530,7 +580,16 @@ mod tests {
         let mut acc = AccelInstance::new(AcceleratorKind::Gemm);
         let a = vec![1.0, 0.0, 0.0, 1.0]; // 2x2 identity
         let b = vec![3.0, 4.0, 5.0, 6.0];
-        match acc.execute(&AccelOp::Gemm { m: 2, k: 2, n: 2, a, b: b.clone() }).unwrap() {
+        match acc
+            .execute(&AccelOp::Gemm {
+                m: 2,
+                k: 2,
+                n: 2,
+                a,
+                b: b.clone(),
+            })
+            .unwrap()
+        {
             AccelValue::Vector(out) => assert_eq!(out, b),
             other => panic!("unexpected {other:?}"),
         }
@@ -541,7 +600,13 @@ mod tests {
         let mut acc = AccelInstance::new(AcceleratorKind::Fft);
         let mut re = vec![0.0f32; 8];
         re[0] = 1.0;
-        match acc.execute(&AccelOp::Fft { re, im: vec![0.0; 8] }).unwrap() {
+        match acc
+            .execute(&AccelOp::Fft {
+                re,
+                im: vec![0.0; 8],
+            })
+            .unwrap()
+        {
             AccelValue::VectorPair(r, i) => {
                 for k in 0..8 {
                     assert!((r[k] - 1.0).abs() < 1e-5);
@@ -557,7 +622,13 @@ mod tests {
         let mut acc = AccelInstance::new(AcceleratorKind::Fft);
         let re: Vec<f32> = (0..16).map(|i| ((i * 7) % 5) as f32 - 2.0).collect();
         let time_energy: f32 = re.iter().map(|v| v * v).sum();
-        match acc.execute(&AccelOp::Fft { re, im: vec![0.0; 16] }).unwrap() {
+        match acc
+            .execute(&AccelOp::Fft {
+                re,
+                im: vec![0.0; 16],
+            })
+            .unwrap()
+        {
             AccelValue::VectorPair(r, i) => {
                 let freq_energy: f32 = r.iter().zip(&i).map(|(a, b)| a * a + b * b).sum();
                 assert!((freq_energy / 16.0 - time_energy).abs() < 1e-3);
@@ -569,13 +640,23 @@ mod tests {
     #[test]
     fn fft_rejects_non_power_of_two() {
         let mut acc = AccelInstance::new(AcceleratorKind::Fft);
-        assert!(acc.execute(&AccelOp::Fft { re: vec![0.0; 6], im: vec![0.0; 6] }).is_err());
+        assert!(acc
+            .execute(&AccelOp::Fft {
+                re: vec![0.0; 6],
+                im: vec![0.0; 6]
+            })
+            .is_err());
     }
 
     #[test]
     fn sort_orders_data() {
         let mut acc = AccelInstance::new(AcceleratorKind::Sort);
-        match acc.execute(&AccelOp::Sort { data: vec![3.0, 1.0, 2.0] }).unwrap() {
+        match acc
+            .execute(&AccelOp::Sort {
+                data: vec![3.0, 1.0, 2.0],
+            })
+            .unwrap()
+        {
             AccelValue::Vector(out) => assert_eq!(out, vec![1.0, 2.0, 3.0]),
             other => panic!("unexpected {other:?}"),
         }
@@ -593,7 +674,10 @@ mod tests {
         // First frame trains the model (no changes reported).
         let model = Box::new(ChangeDetector::new(8, 8, GmmConfig::default()));
         let trained = match acc
-            .execute(&AccelOp::ChangeDetection { frame: frame.clone(), model })
+            .execute(&AccelOp::ChangeDetection {
+                frame: frame.clone(),
+                model,
+            })
             .unwrap()
         {
             AccelValue::ChangeDetection { changed, model } => {
@@ -608,7 +692,10 @@ mod tests {
         // reconfiguration of the tile) flags the new bright pixel.
         let mut fresh_instance = AccelInstance::new(kind);
         match fresh_instance
-            .execute(&AccelOp::ChangeDetection { frame: bright.clone(), model: trained })
+            .execute(&AccelOp::ChangeDetection {
+                frame: bright.clone(),
+                model: trained,
+            })
             .unwrap()
         {
             AccelValue::ChangeDetection { changed, .. } => assert_eq!(changed, 1),
@@ -617,7 +704,10 @@ mod tests {
         // A fresh model only initializes on its first frame.
         let fresh_model = Box::new(ChangeDetector::new(8, 8, GmmConfig::default()));
         match fresh_instance
-            .execute(&AccelOp::ChangeDetection { frame: bright, model: fresh_model })
+            .execute(&AccelOp::ChangeDetection {
+                frame: bright,
+                model: fresh_model,
+            })
             .unwrap()
         {
             AccelValue::ChangeDetection { changed, .. } => assert_eq!(changed, 0),
@@ -628,10 +718,17 @@ mod tests {
     #[test]
     fn work_and_dma_sizes_are_positive() {
         let ops = [
-            AccelOp::Mac { a: vec![0.0; 8], b: vec![0.0; 8] },
+            AccelOp::Mac {
+                a: vec![0.0; 8],
+                b: vec![0.0; 8],
+            },
             AccelOp::Sort { data: vec![0.0; 8] },
-            AccelOp::Debayer { raw: BayerImage::zeroed(4, 4) },
-            AccelOp::MatrixInvert { m: presp_wami::matrix::identity6() },
+            AccelOp::Debayer {
+                raw: BayerImage::zeroed(4, 4),
+            },
+            AccelOp::MatrixInvert {
+                m: presp_wami::matrix::identity6(),
+            },
         ];
         for op in &ops {
             assert!(op.work_items() > 0, "{op:?}");

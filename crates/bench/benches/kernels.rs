@@ -39,21 +39,36 @@ fn bench_characterization_accels(c: &mut Criterion) {
         let a = vec![1.5f32; 32 * 32];
         let m = vec![0.5f32; 32 * 32];
         b.iter(|| {
-            acc.execute(&AccelOp::Gemm { m: 32, k: 32, n: 32, a: a.clone(), b: m.clone() })
-                .expect("gemm")
+            acc.execute(&AccelOp::Gemm {
+                m: 32,
+                k: 32,
+                n: 32,
+                a: a.clone(),
+                b: m.clone(),
+            })
+            .expect("gemm")
         });
     });
     group.bench_function("fft_1024", |b| {
         let mut acc = AccelInstance::new(AcceleratorKind::Fft);
         let re: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.1).sin()).collect();
         b.iter(|| {
-            acc.execute(&AccelOp::Fft { re: re.clone(), im: vec![0.0; 1024] }).expect("fft")
+            acc.execute(&AccelOp::Fft {
+                re: re.clone(),
+                im: vec![0.0; 1024],
+            })
+            .expect("fft")
         });
     });
     group.bench_function("sort_4096", |b| {
         let mut acc = AccelInstance::new(AcceleratorKind::Sort);
-        let data: Vec<f32> = (0..4096).map(|i| ((i * 2654435761u64 as usize) % 9973) as f32).collect();
-        b.iter(|| acc.execute(&AccelOp::Sort { data: data.clone() }).expect("sort"));
+        let data: Vec<f32> = (0..4096)
+            .map(|i| ((i * 2654435761u64 as usize) % 9973) as f32)
+            .collect();
+        b.iter(|| {
+            acc.execute(&AccelOp::Sort { data: data.clone() })
+                .expect("sort")
+        });
     });
     group.finish();
 }

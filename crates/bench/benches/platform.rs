@@ -34,8 +34,14 @@ fn bench_bitstream_and_icap(c: &mut Criterion) {
     let mut builder = BitstreamBuilder::new(&device, BitstreamKind::Partial);
     for col in 1..30u32 {
         for minor in 0..20u32 {
-            let content = if minor < 8 { vec![col * 131 + minor; words] } else { vec![0; words] };
-            builder.add_frame(FrameAddress::new(0, col, minor), content).expect("frame");
+            let content = if minor < 8 {
+                vec![col * 131 + minor; words]
+            } else {
+                vec![0; words]
+            };
+            builder
+                .add_frame(FrameAddress::new(0, col, minor), content)
+                .expect("frame");
         }
     }
     c.bench_function("bitstream_build_compressed", |b| {
@@ -55,7 +61,12 @@ fn bench_floorplanner(c: &mut Criterion) {
     let requests: Vec<RegionRequest> = [34_000u64, 30_000, 24_000, 21_500]
         .iter()
         .enumerate()
-        .map(|(i, &l)| RegionRequest::new(format!("rt{i}"), Resources::new(l, l * 13 / 10, l / 700, l / 400)))
+        .map(|(i, &l)| {
+            RegionRequest::new(
+                format!("rt{i}"),
+                Resources::new(l, l * 13 / 10, l / 700, l / 400),
+            )
+        })
         .collect();
     c.bench_function("floorplan_4_wami_regions", |b| {
         let planner = Floorplanner::new(&device);
@@ -64,12 +75,17 @@ fn bench_floorplanner(c: &mut Criterion) {
 }
 
 fn bench_cad_schedules(c: &mut Criterion) {
-    let spec = SocDesign::characterization_soc2().unwrap().to_spec().unwrap();
+    let spec = SocDesign::characterization_soc2()
+        .unwrap()
+        .to_spec()
+        .unwrap();
     let cad = CadFlow::new();
     c.bench_function("cad_pnr_all_strategies", |b| {
         b.iter(|| {
             let serial = cad.run_pnr(&spec, Strategy::Serial).expect("serial");
-            let semi = cad.run_pnr(&spec, Strategy::SemiParallel { tau: 2 }).expect("semi");
+            let semi = cad
+                .run_pnr(&spec, Strategy::SemiParallel { tau: 2 })
+                .expect("semi");
             let full = cad.run_pnr(&spec, Strategy::FullyParallel).expect("full");
             (serial.wall, semi.wall, full.wall)
         });

@@ -32,7 +32,11 @@ fn bench_table4(c: &mut Criterion) {
 
 fn bench_table5(c: &mut Criterion) {
     for r in experiments::table5() {
-        eprintln!("[table5] {}: {:+.1}% vs monolithic", r.soc, r.improvement_pct());
+        eprintln!(
+            "[table5] {}: {:+.1}% vs monolithic",
+            r.soc,
+            r.improvement_pct()
+        );
     }
     c.bench_function("table5_flow_vs_monolithic", |b| {
         b.iter(experiments::table5);

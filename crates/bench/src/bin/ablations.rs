@@ -18,7 +18,15 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render::table(&["SoC", "prefetch ms/frame", "no-prefetch ms/frame", "speedup"], &rows)
+        render::table(
+            &[
+                "SoC",
+                "prefetch ms/frame",
+                "no-prefetch ms/frame",
+                "speedup"
+            ],
+            &rows
+        )
     );
 
     println!("Ablation 2 — bitstream compression (size and ICAP latency per module)\n");

@@ -37,7 +37,13 @@ fn main() {
     for r in experiments::table4() {
         println!(
             "{} ({}): fully={:.0} semi={:.0} serial={:.0} → chose {} ({:.0})",
-            r.soc, r.class, r.fully.2, r.semi.2, r.serial, r.chosen, r.chosen_total()
+            r.soc,
+            r.class,
+            r.fully.2,
+            r.semi.2,
+            r.serial,
+            r.chosen,
+            r.chosen_total()
         );
     }
 
@@ -59,7 +65,10 @@ fn main() {
 
     println!("\n--- Fig. 3 ---");
     for r in experiments::fig3(128) {
-        println!("#{:<2} {:<18} {:>6} LUTs  {:>8.1} µs", r.index, r.name, r.luts, r.micros);
+        println!(
+            "#{:<2} {:<18} {:>6} LUTs  {:>8.1} µs",
+            r.index, r.name, r.luts, r.micros
+        );
     }
 
     println!("\n--- Fig. 4 ---");

@@ -17,5 +17,8 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render::table(&["idx", "kernel", "LUTs", "exec (µs)"], &rows));
+    println!(
+        "{}",
+        render::table(&["idx", "kernel", "LUTs", "exec (µs)"], &rows)
+    );
 }

@@ -22,7 +22,14 @@ fn main() {
     println!(
         "{}",
         render::table(
-            &["SoC", "RTs", "ms/frame", "mJ/frame", "reconf/frame", "changed px"],
+            &[
+                "SoC",
+                "RTs",
+                "ms/frame",
+                "mJ/frame",
+                "reconf/frame",
+                "changed px"
+            ],
             &rows
         )
     );

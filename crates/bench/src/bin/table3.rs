@@ -26,6 +26,9 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", render::table(&["", "t_static", "max{Ω}", "T_tot"], &cells));
+        println!(
+            "{}",
+            render::table(&["", "t_static", "max{Ω}", "T_tot"], &cells)
+        );
     }
 }

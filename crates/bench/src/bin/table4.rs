@@ -24,7 +24,18 @@ fn main() {
     println!(
         "{}",
         render::table(
-            &["SoC", "accs", "class", "α_av%", "κ%", "γ", "fully-par", "semi-par", "serial", "PR-ESP choice"],
+            &[
+                "SoC",
+                "accs",
+                "class",
+                "α_av%",
+                "κ%",
+                "γ",
+                "fully-par",
+                "semi-par",
+                "serial",
+                "PR-ESP choice"
+            ],
             &rows
         )
     );

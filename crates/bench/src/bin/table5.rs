@@ -24,7 +24,10 @@ fn main() {
     println!(
         "{}",
         render::table(
-            &["SoC", "synth", "t_static", "max{Ω}", "T_tot", "τ", "m.synth", "m.P&R", "m.T_tot", "improv."],
+            &[
+                "SoC", "synth", "t_static", "max{Ω}", "T_tot", "τ", "m.synth", "m.P&R", "m.T_tot",
+                "improv."
+            ],
             &rows
         )
     );

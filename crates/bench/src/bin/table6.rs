@@ -15,5 +15,8 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render::table(&["SoC", "tile", "WAMI accs", "pbs (KB)"], &rows));
+    println!(
+        "{}",
+        render::table(&["SoC", "tile", "WAMI accs", "pbs (KB)"], &rows)
+    );
 }

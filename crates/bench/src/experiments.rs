@@ -11,8 +11,8 @@ use presp_core::strategy::{choose_strategy, SizeClass};
 use presp_soc::config::SocConfig;
 use presp_soc::sim::Soc;
 use presp_wami::frames::SceneGenerator;
-use presp_wami::graph::WamiKernel;
 use presp_wami::gradient::gradient;
+use presp_wami::graph::WamiKernel;
 use presp_wami::lucas_kanade::{hessian, steepest_descent};
 use presp_wami::matrix::invert6;
 use presp_wami::warp::AffineParams;
@@ -41,13 +41,22 @@ pub fn table2() -> Vec<Table2Row> {
     use presp_soc::tile::TileKind;
     let mut rows: Vec<Table2Row> = AcceleratorKind::CHARACTERIZATION
         .iter()
-        .map(|a| Table2Row { name: a.name(), luts: a.resources().lut })
+        .map(|a| Table2Row {
+            name: a.name(),
+            luts: a.resources().lut,
+        })
         .collect();
-    rows.push(Table2Row { name: "cpu".into(), luts: AcceleratorKind::Cpu.resources().lut });
+    rows.push(Table2Row {
+        name: "cpu".into(),
+        luts: AcceleratorKind::Cpu.resources().lut,
+    });
     let static_full = TileKind::Cpu.static_resources()
         + TileKind::Mem.static_resources()
         + TileKind::Aux.static_resources();
-    rows.push(Table2Row { name: "static".into(), luts: static_full.lut });
+    rows.push(Table2Row {
+        name: "static".into(),
+        luts: static_full.lut,
+    });
     rows.push(Table2Row {
         name: "static (w/o cpu)".into(),
         luts: static_full.lut - TileKind::Cpu.static_resources().lut,
@@ -125,10 +134,16 @@ fn sweep(design: &SocDesign, taus: &[usize]) -> Table3Row {
 /// parallelism levels (simulated minutes from the calibrated CAD model).
 pub fn table3() -> Vec<Table3Row> {
     vec![
-        sweep(&SocDesign::characterization_soc1().unwrap(), &[1, 2, 3, 4, 5, 16]),
+        sweep(
+            &SocDesign::characterization_soc1().unwrap(),
+            &[1, 2, 3, 4, 5, 16],
+        ),
         sweep(&SocDesign::characterization_soc2().unwrap(), &[1, 2, 3, 4]),
         sweep(&SocDesign::characterization_soc3().unwrap(), &[1, 2, 3]),
-        sweep(&SocDesign::characterization_soc4().unwrap(), &[1, 2, 3, 4, 5]),
+        sweep(
+            &SocDesign::characterization_soc4().unwrap(),
+            &[1, 2, 3, 4, 5],
+        ),
     ]
 }
 
@@ -172,10 +187,22 @@ impl Table4Row {
 /// The four Table IV WAMI SoCs.
 pub fn table4_designs() -> Vec<(SocDesign, Vec<usize>)> {
     vec![
-        (SocDesign::wami_table4("soc_a", &[4, 8, 10, 9]).unwrap(), vec![4, 8, 10, 9]),
-        (SocDesign::wami_table4("soc_b", &[2, 3, 11, 1]).unwrap(), vec![2, 3, 11, 1]),
-        (SocDesign::wami_table4("soc_c", &[7, 11, 8, 2]).unwrap(), vec![7, 11, 8, 2]),
-        (SocDesign::wami_table4("soc_d", &[4, 5, 9, 2]).unwrap(), vec![4, 5, 9, 2]),
+        (
+            SocDesign::wami_table4("soc_a", &[4, 8, 10, 9]).unwrap(),
+            vec![4, 8, 10, 9],
+        ),
+        (
+            SocDesign::wami_table4("soc_b", &[2, 3, 11, 1]).unwrap(),
+            vec![2, 3, 11, 1],
+        ),
+        (
+            SocDesign::wami_table4("soc_c", &[7, 11, 8, 2]).unwrap(),
+            vec![7, 11, 8, 2],
+        ),
+        (
+            SocDesign::wami_table4("soc_d", &[4, 5, 9, 2]).unwrap(),
+            vec![4, 5, 9, 2],
+        ),
     ]
 }
 
@@ -351,20 +378,35 @@ pub fn fig3(size: usize) -> Vec<Fig3Row> {
             let op = match kernel {
                 WamiKernel::Debayer => AccelOp::Debayer { raw: raw.clone() },
                 WamiKernel::Grayscale => AccelOp::Grayscale { rgb: rgb.clone() },
-                WamiKernel::Gradient => AccelOp::Gradient { image: gray_prev.clone() },
-                WamiKernel::Warp => AccelOp::Warp { image: gray.clone(), params },
-                WamiKernel::Subtract => AccelOp::Subtract { a: gray.clone(), b: gray_prev.clone() },
-                WamiKernel::SteepestDescent => AccelOp::SteepestDescent { grad: grads.clone() },
+                WamiKernel::Gradient => AccelOp::Gradient {
+                    image: gray_prev.clone(),
+                },
+                WamiKernel::Warp => AccelOp::Warp {
+                    image: gray.clone(),
+                    params,
+                },
+                WamiKernel::Subtract => AccelOp::Subtract {
+                    a: gray.clone(),
+                    b: gray_prev.clone(),
+                },
+                WamiKernel::SteepestDescent => AccelOp::SteepestDescent {
+                    grad: grads.clone(),
+                },
                 WamiKernel::Hessian => AccelOp::Hessian { sd: sd.clone() },
-                WamiKernel::SdUpdate => {
-                    AccelOp::SdUpdate { sd: sd.clone(), error: gray.clone() }
-                }
+                WamiKernel::SdUpdate => AccelOp::SdUpdate {
+                    sd: sd.clone(),
+                    error: gray.clone(),
+                },
                 WamiKernel::MatrixInvert => AccelOp::MatrixInvert { m: hess },
                 WamiKernel::DeltaP => AccelOp::DeltaP { h_inv, b, params },
-                WamiKernel::WarpIwxp => AccelOp::Warp { image: gray.clone(), params },
-                WamiKernel::ChangeDetection => {
-                    AccelOp::ChangeDetection { frame: gray.clone(), model: model.clone() }
-                }
+                WamiKernel::WarpIwxp => AccelOp::Warp {
+                    image: gray.clone(),
+                    params,
+                },
+                WamiKernel::ChangeDetection => AccelOp::ChangeDetection {
+                    frame: gray.clone(),
+                    model: model.clone(),
+                },
             };
             let kind = AcceleratorKind::Wami(*kernel);
             let config = SocConfig::grid_2x2_single(kind).expect("2x2 profile soc");
@@ -403,33 +445,40 @@ impl PrefetchAblationRow {
 /// Ablation: interleaved (prefetch) vs non-interleaved reconfiguration on
 /// the Table VI deployments — quantifies the paper's observation that
 /// SoC_X suffers "a higher non-interleaved reconfiguration".
-pub fn prefetch_ablation(frames: usize, size: usize, lk_iterations: usize) -> Vec<PrefetchAblationRow> {
+pub fn prefetch_ablation(
+    frames: usize,
+    size: usize,
+    lk_iterations: usize,
+) -> Vec<PrefetchAblationRow> {
     let flow = PrEspFlow::new();
-    [SocDesign::wami_soc_x().unwrap(), SocDesign::wami_soc_z().unwrap()]
-        .into_iter()
-        .map(|design| {
-            let out = flow.run(&design).expect("flow runs");
-            let run = |prefetch: bool| -> f64 {
-                let mut app = deploy_wami(&design, &out, lk_iterations)
-                    .expect("deploys")
-                    .with_prefetch(prefetch);
-                let mut scene = SceneGenerator::new(size, size, 5);
-                let mut cycles = 0;
-                for i in 0..frames {
-                    let r = app.process_frame(&scene.next_frame()).expect("frame");
-                    if i > 0 {
-                        cycles += r.latency();
-                    }
+    [
+        SocDesign::wami_soc_x().unwrap(),
+        SocDesign::wami_soc_z().unwrap(),
+    ]
+    .into_iter()
+    .map(|design| {
+        let out = flow.run(&design).expect("flow runs");
+        let run = |prefetch: bool| -> f64 {
+            let mut app = deploy_wami(&design, &out, lk_iterations)
+                .expect("deploys")
+                .with_prefetch(prefetch);
+            let mut scene = SceneGenerator::new(size, size, 5);
+            let mut cycles = 0;
+            for i in 0..frames {
+                let r = app.process_frame(&scene.next_frame()).expect("frame");
+                if i > 0 {
+                    cycles += r.latency();
                 }
-                cycles_to_micros(cycles) / 1000.0 / (frames - 1) as f64
-            };
-            PrefetchAblationRow {
-                soc: design.name.clone(),
-                prefetch_ms: run(true),
-                no_prefetch_ms: run(false),
             }
-        })
-        .collect()
+            cycles_to_micros(cycles) / 1000.0 / (frames - 1) as f64
+        };
+        PrefetchAblationRow {
+            soc: design.name.clone(),
+            prefetch_ms: run(true),
+            no_prefetch_ms: run(false),
+        }
+    })
+    .collect()
 }
 
 /// One compression-ablation row: a partial bitstream raw vs compressed.
@@ -454,7 +503,10 @@ pub struct CompressionAblationRow {
 pub fn compression_ablation() -> Vec<CompressionAblationRow> {
     use presp_fpga::icap::Icap;
     let design = SocDesign::wami_soc_y().unwrap();
-    let raw_out = PrEspFlow::new().with_compression(false).run(&design).expect("raw flow");
+    let raw_out = PrEspFlow::new()
+        .with_compression(false)
+        .run(&design)
+        .expect("raw flow");
     let comp_out = PrEspFlow::new().run(&design).expect("compressed flow");
     let device = design.part.device();
     raw_out
@@ -501,7 +553,10 @@ pub struct Fig4Row {
 /// pipelining; per-frame numbers average over the steady-state frames
 /// (the first frame only trains the pipeline).
 pub fn fig4(frames: usize, size: usize, lk_iterations: usize) -> Vec<Fig4Row> {
-    assert!(frames >= 3, "need at least 3 frames for a steady-state window");
+    assert!(
+        frames >= 3,
+        "need at least 3 frames for a steady-state window"
+    );
     let flow = PrEspFlow::new();
     let designs = [
         SocDesign::wami_soc_x().unwrap(),

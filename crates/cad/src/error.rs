@@ -50,7 +50,10 @@ impl fmt::Display for Error {
             Error::DeviceOverflow { detail } => write!(f, "design exceeds device: {detail}"),
             Error::UnknownModule { name } => write!(f, "unknown reconfigurable module '{name}'"),
             Error::BadParallelism { tau, modules } => {
-                write!(f, "invalid parallelism τ={tau} for {modules} reconfigurable modules")
+                write!(
+                    f,
+                    "invalid parallelism τ={tau} for {modules} reconfigurable modules"
+                )
             }
             Error::Fabric(e) => write!(f, "fabric error: {e}"),
         }

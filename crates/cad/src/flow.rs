@@ -3,9 +3,7 @@
 
 use crate::error::Error;
 use crate::host::HostMachine;
-use crate::model::{
-    rm_group_run, serial_pnr, static_only_pnr, Minutes, PBLOCK_FILL,
-};
+use crate::model::{rm_group_run, serial_pnr, static_only_pnr, Minutes, PBLOCK_FILL};
 use crate::spec::DprDesignSpec;
 use crate::synth::{monolithic_synthesis, parallel_synthesis, SynthReport};
 use serde::{Deserialize, Serialize};
@@ -153,7 +151,13 @@ impl CadFlow {
         match strategy {
             Strategy::Serial => {
                 let wall = serial_pnr(total_kluts);
-                Ok(PnrReport { strategy, t_static: None, groups: Vec::new(), max_omega: None, wall })
+                Ok(PnrReport {
+                    strategy,
+                    t_static: None,
+                    groups: Vec::new(),
+                    max_omega: None,
+                    wall,
+                })
             }
             Strategy::SemiParallel { tau } if tau < 2 || tau >= n => {
                 Err(Error::BadParallelism { tau, modules: n })
@@ -162,16 +166,22 @@ impl CadFlow {
             _ => {
                 let tau = strategy.tau(n);
                 // Pblocks block off requirement / fill of fabric.
-                let blocked_kluts =
-                    spec.reconfigurable_total().lut as f64 / 1000.0 / PBLOCK_FILL;
+                let blocked_kluts = spec.reconfigurable_total().lut as f64 / 1000.0 / PBLOCK_FILL;
                 let t_static = static_only_pnr(static_kluts, blocked_kluts, n);
                 let groups = lpt_groups(spec, tau);
                 let runs: Vec<GroupRun> = groups
                     .into_iter()
                     .map(|members| {
-                        let kluts: Vec<f64> =
-                            members.iter().map(|m| spec.rm(m).expect("grouped from spec").resources.lut as f64 / 1000.0).collect();
-                        GroupRun { modules: members, solo: rm_group_run(static_kluts, &kluts) }
+                        let kluts: Vec<f64> = members
+                            .iter()
+                            .map(|m| {
+                                spec.rm(m).expect("grouped from spec").resources.lut as f64 / 1000.0
+                            })
+                            .collect();
+                        GroupRun {
+                            modules: members,
+                            solo: rm_group_run(static_kluts, &kluts),
+                        }
                     })
                     .collect();
                 let solos: Vec<Minutes> = runs.iter().map(|g| g.solo).collect();
@@ -192,7 +202,11 @@ impl CadFlow {
     /// # Errors
     ///
     /// Propagates spec and parallelism errors.
-    pub fn run_full_flow(&self, spec: &DprDesignSpec, strategy: Strategy) -> Result<FullFlowReport, Error> {
+    pub fn run_full_flow(
+        &self,
+        spec: &DprDesignSpec,
+        strategy: Strategy,
+    ) -> Result<FullFlowReport, Error> {
         let synth = parallel_synthesis(spec, &self.host)?;
         let pnr = self.run_pnr(spec, strategy)?;
         let total = synth.wall + pnr.wall;
@@ -205,7 +219,11 @@ impl CadFlow {
         let total_kluts = spec.total_resources().lut as f64 / 1000.0;
         let synth = monolithic_synthesis(spec);
         let pnr = crate::model::monolithic_pnr(total_kluts);
-        MonolithicReport { synth, pnr, total: synth + pnr }
+        MonolithicReport {
+            synth,
+            pnr,
+            total: synth + pnr,
+        }
     }
 }
 
@@ -228,7 +246,11 @@ fn lpt_groups(spec: &DprDesignSpec, tau: usize) -> Vec<Vec<String>> {
         g.0 += luts;
         g.1.push(name.to_string());
     }
-    groups.into_iter().filter(|(_, m)| !m.is_empty()).map(|(_, m)| m).collect()
+    groups
+        .into_iter()
+        .filter(|(_, m)| !m.is_empty())
+        .map(|(_, m)| m)
+        .collect()
 }
 
 #[cfg(test)]
@@ -251,7 +273,8 @@ mod tests {
 
     /// SOC_1 of the characterization (Class 1.1): sixteen small MACs.
     fn soc1() -> DprDesignSpec {
-        let mut b = DprDesignSpec::builder("soc1", FpgaPart::Vc707).static_part(Resources::luts(82_267));
+        let mut b =
+            DprDesignSpec::builder("soc1", FpgaPart::Vc707).static_part(Resources::luts(82_267));
         for i in 0..16 {
             b = b.reconfigurable(format!("mac{i}"), Resources::luts(2_450));
         }
@@ -261,7 +284,10 @@ mod tests {
     #[test]
     fn strategy_from_tau() {
         assert_eq!(Strategy::from_tau(1, 4).unwrap(), Strategy::Serial);
-        assert_eq!(Strategy::from_tau(2, 4).unwrap(), Strategy::SemiParallel { tau: 2 });
+        assert_eq!(
+            Strategy::from_tau(2, 4).unwrap(),
+            Strategy::SemiParallel { tau: 2 }
+        );
         assert_eq!(Strategy::from_tau(4, 4).unwrap(), Strategy::FullyParallel);
         assert!(Strategy::from_tau(0, 4).is_err());
         assert!(Strategy::from_tau(5, 4).is_err());
@@ -289,7 +315,9 @@ mod tests {
     #[test]
     fn semi_parallel_balances_groups() {
         let flow = CadFlow::new();
-        let report = flow.run_pnr(&soc2(), Strategy::SemiParallel { tau: 2 }).unwrap();
+        let report = flow
+            .run_pnr(&soc2(), Strategy::SemiParallel { tau: 2 })
+            .unwrap();
         assert_eq!(report.groups.len(), 2);
         let sizes: Vec<usize> = report.groups.iter().map(|g| g.modules.len()).collect();
         assert_eq!(sizes, vec![2, 2]);
@@ -300,11 +328,25 @@ mod tests {
         // The headline Table III result for SOC_2: τ=4 beats τ=2,3 and serial.
         let flow = CadFlow::new();
         let serial = flow.run_pnr(&soc2(), Strategy::Serial).unwrap().wall.0;
-        let semi2 = flow.run_pnr(&soc2(), Strategy::SemiParallel { tau: 2 }).unwrap().wall.0;
-        let semi3 = flow.run_pnr(&soc2(), Strategy::SemiParallel { tau: 3 }).unwrap().wall.0;
-        let full = flow.run_pnr(&soc2(), Strategy::FullyParallel).unwrap().wall.0;
-        assert!(full < semi3 && semi3 < semi2 && semi2 < serial,
-            "full {full:.0}, semi3 {semi3:.0}, semi2 {semi2:.0}, serial {serial:.0}");
+        let semi2 = flow
+            .run_pnr(&soc2(), Strategy::SemiParallel { tau: 2 })
+            .unwrap()
+            .wall
+            .0;
+        let semi3 = flow
+            .run_pnr(&soc2(), Strategy::SemiParallel { tau: 3 })
+            .unwrap()
+            .wall
+            .0;
+        let full = flow
+            .run_pnr(&soc2(), Strategy::FullyParallel)
+            .unwrap()
+            .wall
+            .0;
+        assert!(
+            full < semi3 && semi3 < semi2 && semi2 < serial,
+            "full {full:.0}, semi3 {semi3:.0}, semi2 {semi2:.0}, serial {serial:.0}"
+        );
     }
 
     #[test]
@@ -323,14 +365,20 @@ mod tests {
     #[test]
     fn bad_parallelism_is_rejected() {
         let flow = CadFlow::new();
-        assert!(flow.run_pnr(&soc2(), Strategy::SemiParallel { tau: 4 }).is_err());
-        assert!(flow.run_pnr(&soc2(), Strategy::SemiParallel { tau: 1 }).is_err());
+        assert!(flow
+            .run_pnr(&soc2(), Strategy::SemiParallel { tau: 4 })
+            .is_err());
+        assert!(flow
+            .run_pnr(&soc2(), Strategy::SemiParallel { tau: 1 })
+            .is_err());
     }
 
     #[test]
     fn full_flow_totals_add_up() {
         let flow = CadFlow::new();
-        let report = flow.run_full_flow(&soc2(), Strategy::FullyParallel).unwrap();
+        let report = flow
+            .run_full_flow(&soc2(), Strategy::FullyParallel)
+            .unwrap();
         assert!((report.total.0 - report.synth.wall.0 - report.pnr.wall.0).abs() < 1e-9);
     }
 
@@ -338,7 +386,11 @@ mod tests {
     fn pr_esp_beats_monolithic_on_class_1_2() {
         // Table V: SoC_A (Class 1.2) improves by ~19 % over monolithic.
         let flow = CadFlow::new();
-        let presp = flow.run_full_flow(&soc2(), Strategy::FullyParallel).unwrap().total.0;
+        let presp = flow
+            .run_full_flow(&soc2(), Strategy::FullyParallel)
+            .unwrap()
+            .total
+            .0;
         let mono = flow.run_monolithic(&soc2()).total.0;
         assert!(presp < mono, "PR-ESP {presp:.0} vs monolithic {mono:.0}");
     }
@@ -347,9 +399,15 @@ mod tests {
     fn monolithic_beats_pr_esp_serial_slightly_on_class_1_1() {
         // Table V: SoC_B (Class 1.1) is ~2.5 % slower in PR-ESP.
         let flow = CadFlow::new();
-        let presp = flow.run_full_flow(&soc1(), Strategy::Serial).unwrap().total.0;
+        let presp = flow
+            .run_full_flow(&soc1(), Strategy::Serial)
+            .unwrap()
+            .total
+            .0;
         let mono = flow.run_monolithic(&soc1()).total.0;
-        assert!(presp > mono * 0.95 && presp < mono * 1.25,
-            "PR-ESP serial {presp:.0} vs monolithic {mono:.0}");
+        assert!(
+            presp > mono * 0.95 && presp < mono * 1.25,
+            "PR-ESP serial {presp:.0} vs monolithic {mono:.0}"
+        );
     }
 }

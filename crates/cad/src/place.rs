@@ -134,7 +134,10 @@ pub fn placement_frames(
             for minor in 0..total {
                 let addr = FrameAddress::new(row as u32, col as u32, minor as u32);
                 let content = if minor < used {
-                    frame_words(seed ^ ((row as u64) << 40) ^ ((col as u64) << 16) ^ minor as u64, words)
+                    frame_words(
+                        seed ^ ((row as u64) << 40) ^ ((col as u64) << 16) ^ minor as u64,
+                        words,
+                    )
                 } else {
                     vec![0u32; words]
                 };

@@ -113,7 +113,10 @@ impl DprDesignSpecBuilder {
 
     /// Adds a reconfigurable module.
     pub fn reconfigurable(mut self, name: impl Into<String>, resources: Resources) -> Self {
-        self.reconfigurable.push(RmSpec { name: name.into(), resources });
+        self.reconfigurable.push(RmSpec {
+            name: name.into(),
+            resources,
+        });
         self
     }
 
@@ -127,18 +130,26 @@ impl DprDesignSpecBuilder {
     /// capacity.
     pub fn build(self) -> Result<DprDesignSpec, Error> {
         if self.name.is_empty() {
-            return Err(Error::BadSpec { detail: "design name is empty".into() });
+            return Err(Error::BadSpec {
+                detail: "design name is empty".into(),
+            });
         }
         if self.static_resources.lut == 0 {
-            return Err(Error::BadSpec { detail: "static part has no logic".into() });
+            return Err(Error::BadSpec {
+                detail: "static part has no logic".into(),
+            });
         }
         let mut names = BTreeSet::new();
         for rm in &self.reconfigurable {
             if rm.resources.lut == 0 {
-                return Err(Error::BadSpec { detail: format!("module '{}' has no logic", rm.name) });
+                return Err(Error::BadSpec {
+                    detail: format!("module '{}' has no logic", rm.name),
+                });
             }
             if !names.insert(&rm.name) {
-                return Err(Error::BadSpec { detail: format!("duplicate module name '{}'", rm.name) });
+                return Err(Error::BadSpec {
+                    detail: format!("duplicate module name '{}'", rm.name),
+                });
             }
         }
         let spec = DprDesignSpec {
@@ -150,7 +161,9 @@ impl DprDesignSpecBuilder {
         let total = spec.total_resources();
         let cap = spec.part.nominal_capacity();
         if !total.fits_in(&cap) {
-            return Err(Error::DeviceOverflow { detail: format!("need {total}, device has {cap}") });
+            return Err(Error::DeviceOverflow {
+                detail: format!("need {total}, device has {cap}"),
+            });
         }
         Ok(spec)
     }

@@ -46,13 +46,19 @@ pub struct SynthReport {
 pub fn parallel_synthesis(spec: &DprDesignSpec, host: &HostMachine) -> Result<SynthReport, Error> {
     let static_kluts = spec.static_resources().lut as f64 / 1000.0;
     if static_kluts <= 0.0 {
-        return Err(Error::BadSpec { detail: "static part has no logic".into() });
+        return Err(Error::BadSpec {
+            detail: "static part has no logic".into(),
+        });
     }
     let static_checkpoint = SynthCheckpoint {
         module: format!("{}_static", spec.name()),
         resources: spec.static_resources(),
         ooc: false,
-        blackboxes: spec.reconfigurable().iter().map(|r| r.name.clone()).collect(),
+        blackboxes: spec
+            .reconfigurable()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect(),
     };
     let mut job_minutes = vec![(static_checkpoint.module.clone(), static_synth(static_kluts))];
     let mut rm_checkpoints = Vec::new();
@@ -67,7 +73,12 @@ pub fn parallel_synthesis(spec: &DprDesignSpec, host: &HostMachine) -> Result<Sy
     }
     let jobs: Vec<Minutes> = job_minutes.iter().map(|(_, m)| *m).collect();
     let wall = host.concurrent_wall(&jobs);
-    Ok(SynthReport { static_checkpoint, rm_checkpoints, job_minutes, wall })
+    Ok(SynthReport {
+        static_checkpoint,
+        rm_checkpoints,
+        job_minutes,
+        wall,
+    })
 }
 
 /// Runs the monolithic (single-instance, whole-design) synthesis the
@@ -104,7 +115,10 @@ mod tests {
     fn static_checkpoint_blackboxes_every_rm() {
         let report = parallel_synthesis(&spec(), &HostMachine::default()).unwrap();
         assert_eq!(report.static_checkpoint.blackboxes.len(), 4);
-        assert!(report.static_checkpoint.blackboxes.contains(&"warp".to_string()));
+        assert!(report
+            .static_checkpoint
+            .blackboxes
+            .contains(&"warp".to_string()));
     }
 
     #[test]
@@ -113,7 +127,11 @@ mod tests {
         let sum: Minutes = report.job_minutes.iter().map(|(_, m)| *m).sum();
         assert!(report.wall.0 < sum.0);
         // Wall is at least the slowest job.
-        let max = report.job_minutes.iter().map(|(_, m)| m.0).fold(0.0f64, f64::max);
+        let max = report
+            .job_minutes
+            .iter()
+            .map(|(_, m)| m.0)
+            .fold(0.0f64, f64::max);
         assert!(report.wall.0 >= max);
     }
 
@@ -121,7 +139,9 @@ mod tests {
     fn parallel_synthesis_beats_monolithic() {
         // Table V: PR-ESP synthesis (47–54 min) vs monolithic (60–91 min).
         let s = spec();
-        let par = parallel_synthesis(&s, &HostMachine::default()).unwrap().wall;
+        let par = parallel_synthesis(&s, &HostMachine::default())
+            .unwrap()
+            .wall;
         let mono = monolithic_synthesis(&s);
         assert!(par.0 < mono.0, "parallel {par} vs monolithic {mono}");
     }
@@ -130,7 +150,9 @@ mod tests {
     fn synthesis_minutes_are_in_paper_range() {
         // SoC_A-sized design: paper reports 47 (PR-ESP) and 91 (monolithic).
         let s = spec();
-        let par = parallel_synthesis(&s, &HostMachine::default()).unwrap().wall;
+        let par = parallel_synthesis(&s, &HostMachine::default())
+            .unwrap()
+            .wall;
         let mono = monolithic_synthesis(&s);
         assert!(par.0 > 30.0 && par.0 < 70.0, "parallel = {par}");
         assert!(mono.0 > 65.0 && mono.0 < 120.0, "monolithic = {mono}");

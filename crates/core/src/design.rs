@@ -52,12 +52,20 @@ impl SocDesign {
     ) -> Result<SocDesign, Error> {
         let name = name.into();
         if tile_accels.is_empty() || tile_accels.iter().any(|set| set.is_empty()) {
-            return Err(Error::BadDesign { detail: "every reconfigurable tile needs ≥1 accelerator".into() });
+            return Err(Error::BadDesign {
+                detail: "every reconfigurable tile needs ≥1 accelerator".into(),
+            });
         }
         let config = SocConfig::grid_3x3_reconf(name.clone(), tile_accels.len())?;
         let coords = config.reconfigurable_tiles();
         let map = coords.into_iter().zip(tile_accels).collect();
-        Ok(SocDesign { name, part: FpgaPart::Vc707, config, tile_accels: map, cpu_reconfigurable })
+        Ok(SocDesign {
+            name,
+            part: FpgaPart::Vc707,
+            config,
+            tile_accels: map,
+            cpu_reconfigurable,
+        })
     }
 
     /// SOC_1 of the characterization (Table III): a 4×5 grid with sixteen
@@ -68,7 +76,7 @@ impl SocDesign {
     /// Never fails in practice; mirrors the fallible constructors.
     pub fn characterization_soc1() -> Result<SocDesign, Error> {
         let mut tiles = vec![TileKind::Cpu, TileKind::Mem, TileKind::Aux, TileKind::Empty];
-        tiles.extend(std::iter::repeat(TileKind::Reconfigurable).take(16));
+        tiles.extend(std::iter::repeat_n(TileKind::Reconfigurable, 16));
         let config = SocConfig::new("soc_1", 4, 5, tiles)?;
         let map = config
             .reconfigurable_tiles()
@@ -150,8 +158,9 @@ impl SocDesign {
         let cpu_reconfigurable = name.ends_with('d'); // SoC_D moves the CPU
         let mut sets = Vec::new();
         for &i in indices {
-            let kind = AcceleratorKind::wami(i)
-                .ok_or_else(|| Error::BadDesign { detail: format!("bad WAMI kernel index {i}") })?;
+            let kind = AcceleratorKind::wami(i).ok_or_else(|| Error::BadDesign {
+                detail: format!("bad WAMI kernel index {i}"),
+            })?;
             sets.push(vec![kind]);
         }
         SocDesign::grid_3x3(name, sets, cpu_reconfigurable)
@@ -169,10 +178,9 @@ impl SocDesign {
         for indices in tiles {
             let mut set = Vec::new();
             for &i in *indices {
-                set.push(
-                    AcceleratorKind::wami(i)
-                        .ok_or_else(|| Error::BadDesign { detail: format!("bad WAMI kernel index {i}") })?,
-                );
+                set.push(AcceleratorKind::wami(i).ok_or_else(|| Error::BadDesign {
+                    detail: format!("bad WAMI kernel index {i}"),
+                })?);
             }
             sets.push(set);
         }
@@ -203,7 +211,10 @@ impl SocDesign {
     ///
     /// Never fails in practice; mirrors the fallible constructors.
     pub fn wami_soc_z() -> Result<SocDesign, Error> {
-        SocDesign::wami_table6("soc_z", &[&[1, 6, 12], &[2, 5, 11], &[4, 10, 7], &[3, 8, 9]])
+        SocDesign::wami_table6(
+            "soc_z",
+            &[&[1, 6, 12], &[2, 5, 11], &[4, 10, 7], &[3, 8, 9]],
+        )
     }
 
     /// Resource requirement of one reconfigurable region: the
@@ -233,9 +244,12 @@ impl SocDesign {
     ///
     /// Propagates spec-builder errors (e.g. device overflow).
     pub fn to_spec(&self) -> Result<DprDesignSpec, Error> {
-        let mut b = DprDesignSpec::builder(self.name.clone(), self.part).static_part(self.static_resources());
-        for (coord, _) in &self.tile_accels {
-            let req = self.region_requirement(*coord).expect("coord comes from the map");
+        let mut b = DprDesignSpec::builder(self.name.clone(), self.part)
+            .static_part(self.static_resources());
+        for coord in self.tile_accels.keys() {
+            let req = self
+                .region_requirement(*coord)
+                .expect("coord comes from the map");
             b = b.reconfigurable(region_name(*coord), req);
         }
         if self.cpu_reconfigurable {
@@ -252,7 +266,10 @@ mod tests {
 
     #[test]
     fn characterization_specs_match_paper_metrics() {
-        let soc2 = SocDesign::characterization_soc2().unwrap().to_spec().unwrap();
+        let soc2 = SocDesign::characterization_soc2()
+            .unwrap()
+            .to_spec()
+            .unwrap();
         let (kappa, alpha, gamma) = soc2.size_metrics();
         assert!((kappa - 0.271).abs() < 0.005);
         assert!((alpha - 0.100).abs() < 0.005);
@@ -287,7 +304,10 @@ mod tests {
             ("soc_d", &[4, 5, 9, 2][..], SizeClass::Class2_1),
         ];
         for (name, indices, expected) in expectations {
-            let spec = SocDesign::wami_table4(name, indices).unwrap().to_spec().unwrap();
+            let spec = SocDesign::wami_table4(name, indices)
+                .unwrap()
+                .to_spec()
+                .unwrap();
             assert_eq!(classify(&spec).unwrap(), expected, "{name}");
         }
     }
@@ -315,8 +335,17 @@ mod tests {
 
     #[test]
     fn bad_designs_are_rejected() {
-        assert!(matches!(SocDesign::grid_3x3("x", vec![], false), Err(Error::BadDesign { .. })));
-        assert!(matches!(SocDesign::wami_table4("x", &[0]), Err(Error::BadDesign { .. })));
-        assert!(matches!(SocDesign::wami_table4("x", &[13]), Err(Error::BadDesign { .. })));
+        assert!(matches!(
+            SocDesign::grid_3x3("x", vec![], false),
+            Err(Error::BadDesign { .. })
+        ));
+        assert!(matches!(
+            SocDesign::wami_table4("x", &[0]),
+            Err(Error::BadDesign { .. })
+        ));
+        assert!(matches!(
+            SocDesign::wami_table4("x", &[13]),
+            Err(Error::BadDesign { .. })
+        ));
     }
 }

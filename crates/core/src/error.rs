@@ -37,7 +37,11 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::BadDesign { detail } => write!(f, "bad design: {detail}"),
-            Error::ImpossibleProfile { kappa, alpha_av, gamma } => write!(
+            Error::ImpossibleProfile {
+                kappa,
+                alpha_av,
+                gamma,
+            } => write!(
                 f,
                 "impossible size profile: κ={kappa:.3}, α_av={alpha_av:.3}, γ={gamma:.3}"
             ),

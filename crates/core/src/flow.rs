@@ -7,13 +7,13 @@ use crate::strategy::{choose_strategy, SizeClass};
 use presp_accel::catalog::AcceleratorKind;
 use presp_cad::flow::{CadFlow, FullFlowReport, MonolithicReport, Strategy};
 use presp_cad::place::{build_partial_bitstream, place_in_region, FRAME_CONTENT_DENSITY};
+use presp_floorplan::{Floorplan, Floorplanner, RegionRequest};
 use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
 use presp_fpga::fabric::{ColumnKind, Device};
 use presp_fpga::frame::frames_per_column;
 use presp_fpga::frame::FrameAddress;
 use presp_fpga::pblock::Pblock;
 use presp_fpga::resources::Resources;
-use presp_floorplan::{Floorplan, Floorplanner, RegionRequest};
 use presp_soc::config::TileCoord;
 
 /// One generated partial bitstream.
@@ -51,7 +51,10 @@ pub struct FlowOutput {
 impl FlowOutput {
     /// The partial bitstreams targeting `tile`.
     pub fn bitstreams_for_tile(&self, tile: TileCoord) -> Vec<&PartialBitstreamInfo> {
-        self.partial_bitstreams.iter().filter(|p| p.tile == Some(tile)).collect()
+        self.partial_bitstreams
+            .iter()
+            .filter(|p| p.tile == Some(tile))
+            .collect()
     }
 
     /// Mean compressed pbs size per region, in KB (Table VI's `pbs (KB)`).
@@ -80,7 +83,10 @@ pub struct PrEspFlow {
 
 impl Default for PrEspFlow {
     fn default() -> PrEspFlow {
-        PrEspFlow { cad: CadFlow::new(), compressed: true }
+        PrEspFlow {
+            cad: CadFlow::new(),
+            compressed: true,
+        }
     }
 }
 
@@ -137,7 +143,8 @@ impl PrEspFlow {
             for (i, kind) in accels.iter().enumerate() {
                 let placement = place_in_region(&device, &region, pblock, kind.resources())?;
                 let seed = seed_for(&region, i);
-                let bitstream = build_partial_bitstream(&device, &placement, seed, self.compressed)?;
+                let bitstream =
+                    build_partial_bitstream(&device, &placement, seed, self.compressed)?;
                 partial_bitstreams.push(PartialBitstreamInfo {
                     region: region.clone(),
                     tile: Some(*coord),
@@ -149,8 +156,14 @@ impl PrEspFlow {
         if design.cpu_reconfigurable {
             let region = "rt_cpu".to_string();
             let pblock = *floorplan.pblock(&region).expect("cpu region floorplanned");
-            let placement = place_in_region(&device, &region, pblock, AcceleratorKind::Cpu.resources())?;
-            let bitstream = build_partial_bitstream(&device, &placement, seed_for(&region, 0), self.compressed)?;
+            let placement =
+                place_in_region(&device, &region, pblock, AcceleratorKind::Cpu.resources())?;
+            let bitstream = build_partial_bitstream(
+                &device,
+                &placement,
+                seed_for(&region, 0),
+                self.compressed,
+            )?;
             partial_bitstreams.push(PartialBitstreamInfo {
                 region,
                 tile: None,
@@ -195,7 +208,11 @@ fn build_full_bitstream(
     let blocked: Resources = floorplan
         .pblocks()
         .values()
-        .map(|pb| device.pblock_resources(pb).expect("floorplanned pblocks are legal"))
+        .map(|pb| {
+            device
+                .pblock_resources(pb)
+                .expect("floorplanned pblocks are legal")
+        })
         .sum();
     let available = total.saturating_sub(&blocked);
     let fill = if available.lut == 0 {
@@ -212,7 +229,9 @@ fn build_full_bitstream(
                 .values()
                 .any(|pb| pb.col_range().contains(&col) && pb.row_range().contains(&row));
             let n = frames_per_column(kind);
-            let used = if in_region || !matches!(kind, ColumnKind::Clb | ColumnKind::Bram | ColumnKind::Dsp) {
+            let used = if in_region
+                || !matches!(kind, ColumnKind::Clb | ColumnKind::Bram | ColumnKind::Dsp)
+            {
                 0
             } else {
                 ((n as f64) * fill * FRAME_CONTENT_DENSITY).ceil() as usize
@@ -242,7 +261,11 @@ fn build_full_bitstream(
 
 /// Returns `(pblock, region)` pairs for convenience in reports.
 pub fn region_pblocks(floorplan: &Floorplan) -> Vec<(String, Pblock)> {
-    floorplan.pblocks().iter().map(|(n, p)| (n.clone(), *p)).collect()
+    floorplan
+        .pblocks()
+        .iter()
+        .map(|(n, p)| (n.clone(), *p))
+        .collect()
 }
 
 #[cfg(test)]
@@ -292,9 +315,13 @@ mod tests {
         let design = SocDesign::wami_soc_y().unwrap();
         let out = PrEspFlow::new().run(&design).unwrap();
         // Table VI reports 247–397 KB per tile for SoC_Y.
-        for (coord, _) in &design.tile_accels {
+        for coord in design.tile_accels.keys() {
             let kb = out.mean_pbs_kb(&region_name(*coord)).unwrap();
-            assert!(kb > 80.0 && kb < 900.0, "{}: {kb:.0} KB", region_name(*coord));
+            assert!(
+                kb > 80.0 && kb < 900.0,
+                "{}: {kb:.0} KB",
+                region_name(*coord)
+            );
         }
     }
 
@@ -302,9 +329,15 @@ mod tests {
     fn compression_flag_changes_pbs_sizes() {
         let design = SocDesign::wami_table4("soc_b", &[2, 3, 11, 1]).unwrap();
         let compressed = PrEspFlow::new().run(&design).unwrap();
-        let raw = PrEspFlow::new().with_compression(false).run(&design).unwrap();
+        let raw = PrEspFlow::new()
+            .with_compression(false)
+            .run(&design)
+            .unwrap();
         let sum = |o: &FlowOutput| -> usize {
-            o.partial_bitstreams.iter().map(|p| p.bitstream.size_bytes()).sum()
+            o.partial_bitstreams
+                .iter()
+                .map(|p| p.bitstream.size_bytes())
+                .sum()
         };
         assert!(sum(&compressed) < sum(&raw) / 2);
     }

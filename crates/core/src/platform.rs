@@ -9,8 +9,9 @@
 use crate::design::SocDesign;
 use crate::error::Error;
 use crate::flow::FlowOutput;
+use presp_fpga::fault::{FaultConfig, FaultPlan};
 use presp_runtime::app::{WamiAllocation, WamiApp};
-use presp_runtime::manager::ReconfigManager;
+use presp_runtime::manager::{ReconfigManager, RecoveryPolicy};
 use presp_runtime::registry::BitstreamRegistry;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::Soc;
@@ -38,6 +39,31 @@ pub fn deploy(design: &SocDesign, output: &FlowOutput) -> Result<ReconfigManager
     Ok(ReconfigManager::new(soc, registry))
 }
 
+/// Boots the SoC with a seeded fault plan armed on its reconfiguration
+/// datapath and the given recovery policy on the manager.
+///
+/// This is the entry point for resilience studies: the same `seed` +
+/// `faults` pair always injects the same fault sequence, so a run is
+/// reproducible end to end.
+///
+/// # Errors
+///
+/// Propagates SoC construction errors.
+pub fn deploy_with_faults(
+    design: &SocDesign,
+    output: &FlowOutput,
+    seed: u64,
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+) -> Result<ReconfigManager, Error> {
+    let mut manager = deploy(design, output)?;
+    manager
+        .soc_mut()
+        .set_fault_plan(Some(FaultPlan::new(seed, faults)));
+    manager.set_policy(policy);
+    Ok(manager)
+}
+
 /// Deploys a WAMI design as a ready-to-run application.
 ///
 /// The allocation is derived from the design's per-tile accelerator sets;
@@ -46,7 +72,11 @@ pub fn deploy(design: &SocDesign, output: &FlowOutput) -> Result<ReconfigManager
 /// # Errors
 ///
 /// Propagates deployment errors.
-pub fn deploy_wami(design: &SocDesign, output: &FlowOutput, lk_iterations: usize) -> Result<WamiApp, Error> {
+pub fn deploy_wami(
+    design: &SocDesign,
+    output: &FlowOutput,
+    lk_iterations: usize,
+) -> Result<WamiApp, Error> {
     let manager = deploy(design, output)?;
     let rows: Vec<(TileCoord, Vec<usize>)> = design
         .tile_accels
@@ -62,7 +92,8 @@ pub fn deploy_wami(design: &SocDesign, output: &FlowOutput, lk_iterations: usize
             (*coord, indices)
         })
         .collect();
-    let borrowed: Vec<(TileCoord, &[usize])> = rows.iter().map(|(c, v)| (*c, v.as_slice())).collect();
+    let borrowed: Vec<(TileCoord, &[usize])> =
+        rows.iter().map(|(c, v)| (*c, v.as_slice())).collect();
     let allocation = WamiAllocation::from_rows(&borrowed);
     Ok(WamiApp::new(manager, allocation, lk_iterations))
 }

@@ -62,7 +62,9 @@ impl fmt::Display for SizeClass {
 /// reconfigurable modules.
 pub fn classify(spec: &DprDesignSpec) -> Result<SizeClass, Error> {
     if spec.reconfigurable().is_empty() {
-        return Err(Error::BadDesign { detail: "design has no reconfigurable modules".into() });
+        return Err(Error::BadDesign {
+            detail: "design has no reconfigurable modules".into(),
+        });
     }
     let (kappa, alpha_av, gamma) = spec.size_metrics();
     let ratio = kappa / alpha_av;
@@ -81,9 +83,17 @@ pub fn classify(spec: &DprDesignSpec) -> Result<SizeClass, Error> {
     } else {
         // κ ≈ α_av or κ ≪ α_av.
         if gamma_low {
-            return Err(Error::ImpossibleProfile { kappa, alpha_av, gamma });
+            return Err(Error::ImpossibleProfile {
+                kappa,
+                alpha_av,
+                gamma,
+            });
         }
-        Ok(if gamma_high { SizeClass::Class2_1 } else { SizeClass::Class2_2 })
+        Ok(if gamma_high {
+            SizeClass::Class2_1
+        } else {
+            SizeClass::Class2_2
+        })
     }
 }
 
@@ -104,7 +114,9 @@ pub fn choose_strategy(spec: &DprDesignSpec) -> Result<(SizeClass, Strategy), Er
         SizeClass::Class1_2 => Strategy::FullyParallel,
         // For γ ≈ 1, κ/α_av ≈ N, so Class 1.3 (κ ≫ α_av) implies N ≥ 3 and
         // τ = 2 is always a genuine grouping.
-        SizeClass::Class1_3 => Strategy::SemiParallel { tau: SEMI_PARALLEL_TAU },
+        SizeClass::Class1_3 => Strategy::SemiParallel {
+            tau: SEMI_PARALLEL_TAU,
+        },
         SizeClass::Class2_1 => Strategy::FullyParallel,
         SizeClass::Class2_2 => Strategy::Serial,
     };
@@ -120,7 +132,8 @@ mod tests {
     use proptest::prelude::*;
 
     fn spec(static_luts: u64, rms: &[u64]) -> DprDesignSpec {
-        let mut b = DprDesignSpec::builder("t", FpgaPart::Vc707).static_part(Resources::luts(static_luts));
+        let mut b =
+            DprDesignSpec::builder("t", FpgaPart::Vc707).static_part(Resources::luts(static_luts));
         for (i, &l) in rms.iter().enumerate() {
             b = b.reconfigurable(format!("rm{i}"), Resources::luts(l));
         }
@@ -142,7 +155,10 @@ mod tests {
         // SOC_3: conv2d/gemm/sort — Class 1.3 → semi-parallel (τ=2).
         let soc3 = spec(82_267, &[36_741, 30_617, 20_468]);
         assert_eq!(classify(&soc3).unwrap(), SizeClass::Class1_3);
-        assert_eq!(choose_strategy(&soc3).unwrap().1, Strategy::SemiParallel { tau: 2 });
+        assert_eq!(
+            choose_strategy(&soc3).unwrap().1,
+            Strategy::SemiParallel { tau: 2 }
+        );
 
         // SOC_4: CPU moved into the reconfigurable part — Class 2.1 →
         // fully-parallel.
@@ -189,7 +205,88 @@ mod tests {
     fn class_1_3_needs_three_or_more_rms() {
         let s = spec(82_267, &[28_000, 27_000, 26_000]);
         assert_eq!(classify(&s).unwrap(), SizeClass::Class1_3);
-        assert_eq!(choose_strategy(&s).unwrap().1, Strategy::SemiParallel { tau: 2 });
+        assert_eq!(
+            choose_strategy(&s).unwrap().1,
+            Strategy::SemiParallel { tau: 2 }
+        );
+    }
+
+    // --- Table I band boundaries -----------------------------------------
+    //
+    // Both bands are inclusive: γ is "≈ 1" for γ ∈ [0.85, 1.15] exactly,
+    // and the static part "dominates" only for κ/α_av strictly above 2.5.
+    // With Eq. (1)'s metrics κ/α_av = N·S/ΣR and γ = ΣR/S, so boundary
+    // values are pinned with integer LUT counts whose single-division
+    // results round to the same doubles as the band literals.
+
+    #[test]
+    fn gamma_at_lower_band_edge_is_inside_the_band() {
+        // γ = 85 000 / 100 000 rounds to the same double as the 0.85
+        // literal, so `gamma < GAMMA_BAND.0` must be false: γ ≈ 1.
+        let group2 = spec(100_000, &[85_000]);
+        assert_eq!(classify(&group2).unwrap(), SizeClass::Class2_2);
+        assert_eq!(choose_strategy(&group2).unwrap().1, Strategy::Serial);
+        // Same γ with the static dominating (N = 4 → κ/α_av ≈ 4.7).
+        let group1 = spec(100_000, &[21_250; 4]);
+        assert_eq!(classify(&group1).unwrap(), SizeClass::Class1_3);
+        assert_eq!(
+            choose_strategy(&group1).unwrap().1,
+            Strategy::SemiParallel { tau: 2 }
+        );
+    }
+
+    #[test]
+    fn gamma_at_upper_band_edge_is_inside_the_band() {
+        // γ = 115 000 / 100 000 == the 1.15 literal: still ≈ 1.
+        let group2 = spec(100_000, &[115_000]);
+        assert_eq!(classify(&group2).unwrap(), SizeClass::Class2_2);
+        let group1 = spec(100_000, &[28_750; 4]);
+        assert_eq!(classify(&group1).unwrap(), SizeClass::Class1_3);
+    }
+
+    #[test]
+    fn gamma_just_outside_the_band_changes_class() {
+        // One LUT below the band: γ < 0.85.
+        assert!(matches!(
+            classify(&spec(100_000, &[84_999])),
+            Err(Error::ImpossibleProfile { .. })
+        ));
+        assert_eq!(
+            classify(&spec(100_000, &[21_249, 21_250, 21_250, 21_250])).unwrap(),
+            SizeClass::Class1_1
+        );
+        // One LUT above the band: γ > 1.15.
+        assert_eq!(
+            classify(&spec(100_000, &[115_001])).unwrap(),
+            SizeClass::Class2_1
+        );
+        assert_eq!(
+            classify(&spec(100_000, &[28_751, 28_750, 28_750, 28_750])).unwrap(),
+            SizeClass::Class1_2
+        );
+    }
+
+    #[test]
+    fn kappa_alpha_ratio_at_upper_band_edge_does_not_dominate() {
+        // κ/α_av = 3·50 000 / 60 000 = 2.5 exactly: the band is inclusive,
+        // so the static part does NOT dominate and (γ = 1.2 > 1.15) the
+        // design is Class 2.1, not 1.2.
+        let s = spec(50_000, &[20_000; 3]);
+        assert_eq!(classify(&s).unwrap(), SizeClass::Class2_1);
+        // One static LUT more tips the ratio above 2.5: Class 1.2.
+        let s = spec(50_001, &[20_000; 3]);
+        assert_eq!(classify(&s).unwrap(), SizeClass::Class1_2);
+    }
+
+    #[test]
+    fn kappa_alpha_ratio_at_lower_band_edge_behaves_like_the_middle_band() {
+        // κ/α_av = 10 000 / 25 000 = 0.4 exactly (N = 1): κ ≪ α_av and
+        // κ ≈ α_av share a Table I row, so the inclusive lower edge must
+        // classify identically to a mid-band profile with the same γ.
+        let edge = spec(10_000, &[25_000]);
+        let mid = spec(20_000, &[50_000]); // ratio 1.0, same γ = 2.5
+        assert_eq!(classify(&edge).unwrap(), SizeClass::Class2_1);
+        assert_eq!(classify(&edge).unwrap(), classify(&mid).unwrap());
     }
 
     proptest! {

@@ -30,7 +30,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::RequestExceedsDevice { name } => {
-                write!(f, "region '{name}' requires more resources than the device provides")
+                write!(
+                    f,
+                    "region '{name}' requires more resources than the device provides"
+                )
             }
             Error::NoSpace { name } => write!(f, "no legal placement found for region '{name}'"),
             Error::DuplicateName { name } => write!(f, "duplicate region name '{name}'"),

@@ -20,7 +20,10 @@ pub struct RegionRequest {
 impl RegionRequest {
     /// Creates a request.
     pub fn new(name: impl Into<String>, resources: Resources) -> RegionRequest {
-        RegionRequest { name: name.into(), resources }
+        RegionRequest {
+            name: name.into(),
+            resources,
+        }
     }
 }
 
@@ -35,7 +38,9 @@ pub struct PlannerConfig {
 
 impl Default for PlannerConfig {
     fn default() -> PlannerConfig {
-        PlannerConfig { max_utilization: 0.8 }
+        PlannerConfig {
+            max_utilization: 0.8,
+        }
     }
 }
 
@@ -82,12 +87,18 @@ pub struct Floorplanner {
 impl Floorplanner {
     /// Creates a floorplanner with default configuration.
     pub fn new(device: &Device) -> Floorplanner {
-        Floorplanner { device: device.clone(), config: PlannerConfig::default() }
+        Floorplanner {
+            device: device.clone(),
+            config: PlannerConfig::default(),
+        }
     }
 
     /// Creates a floorplanner with explicit configuration.
     pub fn with_config(device: &Device, config: PlannerConfig) -> Floorplanner {
-        Floorplanner { device: device.clone(), config }
+        Floorplanner {
+            device: device.clone(),
+            config,
+        }
     }
 
     /// Floorplans all requests.
@@ -107,12 +118,19 @@ impl Floorplanner {
         let mut seen = std::collections::BTreeSet::new();
         for r in requests {
             if !seen.insert(&r.name) {
-                return Err(Error::DuplicateName { name: r.name.clone() });
+                return Err(Error::DuplicateName {
+                    name: r.name.clone(),
+                });
             }
         }
 
         let mut order: Vec<&RegionRequest> = requests.iter().collect();
-        order.sort_by(|a, b| b.resources.lut.cmp(&a.resources.lut).then(a.name.cmp(&b.name)));
+        order.sort_by(|a, b| {
+            b.resources
+                .lut
+                .cmp(&a.resources.lut)
+                .then(a.name.cmp(&b.name))
+        });
 
         let device_total = self.device.total_resources();
         let mut placed: Vec<Pblock> = Vec::new();
@@ -122,13 +140,19 @@ impl Floorplanner {
         let mut provided_total = Resources::ZERO;
 
         for request in order {
-            let need = request.resources.scale_ceil(1.0 / self.config.max_utilization);
+            let need = request
+                .resources
+                .scale_ceil(1.0 / self.config.max_utilization);
             if !need.fits_in(&device_total) {
-                return Err(Error::RequestExceedsDevice { name: request.name.clone() });
+                return Err(Error::RequestExceedsDevice {
+                    name: request.name.clone(),
+                });
             }
             let pblock = self
                 .best_rectangle(&need, &placed)
-                .ok_or_else(|| Error::NoSpace { name: request.name.clone() })?;
+                .ok_or_else(|| Error::NoSpace {
+                    name: request.name.clone(),
+                })?;
             let capacity = self.device.pblock_resources(&pblock)?;
             provided_luts += capacity.lut;
             requested_luts += request.resources.lut;
@@ -163,8 +187,9 @@ impl Floorplanner {
                         if !self.device.column_kind(col).reconfigurable() {
                             break;
                         }
-                        let candidate = Pblock::new(col_start, col_end, row_start, row_start + row_span)
-                            .expect("non-empty by construction");
+                        let candidate =
+                            Pblock::new(col_start, col_end, row_start, row_start + row_span)
+                                .expect("non-empty by construction");
                         if placed.iter().any(|p| p.overlaps(&candidate)) {
                             break;
                         }
@@ -219,7 +244,10 @@ mod tests {
     #[test]
     fn places_single_small_region() {
         let d = device();
-        let reqs = vec![RegionRequest::new("rt0", Resources::new(2_450, 3_150, 2, 5))];
+        let reqs = vec![RegionRequest::new(
+            "rt0",
+            Resources::new(2_450, 3_150, 2, 5),
+        )];
         let plan = Floorplanner::new(&d).floorplan(&reqs).unwrap();
         check_plan(&d, &reqs, &plan, 0.8);
         // A MAC-sized region should fit in a single clock-region row.
@@ -239,7 +267,11 @@ mod tests {
         check_plan(&d, &reqs, &plan, 0.8);
         // The static part must keep meaningful headroom (CPU+MEM+AUX need
         // ~85k LUTs).
-        assert!(plan.static_headroom().lut > 85_000, "headroom {}", plan.static_headroom());
+        assert!(
+            plan.static_headroom().lut > 85_000,
+            "headroom {}",
+            plan.static_headroom()
+        );
     }
 
     #[test]
@@ -261,7 +293,9 @@ mod tests {
         let reqs = vec![RegionRequest::new("huge", Resources::luts(10_000_000))];
         assert_eq!(
             Floorplanner::new(&d).floorplan(&reqs),
-            Err(Error::RequestExceedsDevice { name: "huge".into() })
+            Err(Error::RequestExceedsDevice {
+                name: "huge".into()
+            })
         );
     }
 
@@ -282,12 +316,22 @@ mod tests {
     fn utilization_margin_grows_pblocks() {
         let d = device();
         let reqs = vec![RegionRequest::new("rt", Resources::luts(20_000))];
-        let tight = Floorplanner::with_config(&d, PlannerConfig { max_utilization: 1.0 })
-            .floorplan(&reqs)
-            .unwrap();
-        let slack = Floorplanner::with_config(&d, PlannerConfig { max_utilization: 0.5 })
-            .floorplan(&reqs)
-            .unwrap();
+        let tight = Floorplanner::with_config(
+            &d,
+            PlannerConfig {
+                max_utilization: 1.0,
+            },
+        )
+        .floorplan(&reqs)
+        .unwrap();
+        let slack = Floorplanner::with_config(
+            &d,
+            PlannerConfig {
+                max_utilization: 0.5,
+            },
+        )
+        .floorplan(&reqs)
+        .unwrap();
         let cap = |p: &Floorplan| d.pblock_resources(p.pblock("rt").unwrap()).unwrap().lut;
         assert!(cap(&slack) >= 2 * reqs[0].resources.lut);
         assert!(cap(&tight) < cap(&slack));

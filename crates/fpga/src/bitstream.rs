@@ -82,7 +82,10 @@ impl Command {
 
 /// Encodes a type-1 write-packet header: `001 | op=10 | reg | count`.
 pub fn type1_write(reg: ConfigReg, count: u32) -> u32 {
-    assert!(count < (1 << 13), "type-1 payload too large; chunking required");
+    assert!(
+        count < (1 << 13),
+        "type-1 payload too large; chunking required"
+    );
     (0b001 << 29) | (0b10 << 27) | ((reg as u32) << 13) | count
 }
 
@@ -126,16 +129,25 @@ pub fn decode_header(word: u32) -> Result<PacketHeader, Error> {
                 return Ok(PacketHeader::Nop);
             }
             if op != 0b10 {
-                return Err(Error::MalformedBitstream { detail: format!("unsupported op {op} in type-1 packet") });
+                return Err(Error::MalformedBitstream {
+                    detail: format!("unsupported op {op} in type-1 packet"),
+                });
             }
             let reg_idx = (word >> 13) & 0x3FFF;
             let reg = ConfigReg::from_index(reg_idx).ok_or_else(|| Error::MalformedBitstream {
                 detail: format!("unknown register index {reg_idx}"),
             })?;
-            Ok(PacketHeader::Type1Write { reg, count: word & 0x1FFF })
+            Ok(PacketHeader::Type1Write {
+                reg,
+                count: word & 0x1FFF,
+            })
         }
-        0b010 => Ok(PacketHeader::Type2Write { count: word & 0x07FF_FFFF }),
-        _ => Err(Error::MalformedBitstream { detail: format!("unknown packet type {ty}") }),
+        0b010 => Ok(PacketHeader::Type2Write {
+            count: word & 0x07FF_FFFF,
+        }),
+        _ => Err(Error::MalformedBitstream {
+            detail: format!("unknown packet type {ty}"),
+        }),
     }
 }
 
@@ -224,7 +236,10 @@ impl Bitstream {
     /// metadata is kept, only the stream changes, so the ICAP's CRC and
     /// packet-layer checks can be exercised against corrupted transfers.
     pub fn with_words(&self, words: Vec<u32>) -> Bitstream {
-        Bitstream { words, ..self.clone() }
+        Bitstream {
+            words,
+            ..self.clone()
+        }
     }
 }
 
@@ -287,7 +302,11 @@ impl BitstreamBuilder {
         self.device.validate_frame(addr)?;
         if data.len() != self.frame_words {
             return Err(Error::BadFrameAddress {
-                detail: format!("frame payload {} words, expected {}", data.len(), self.frame_words),
+                detail: format!(
+                    "frame payload {} words, expected {}",
+                    data.len(),
+                    self.frame_words
+                ),
             });
         }
         self.frames.insert(addr, data);
@@ -382,7 +401,8 @@ impl BitstreamBuilder {
         // bitstreams stay linear), preserving address order of first
         // occurrence for determinism.
         let mut groups: Vec<(&Frame, Vec<FrameAddress>)> = Vec::new();
-        let mut buckets: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+        let mut buckets: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
         for (addr, frame) in &self.frames {
             let mut h = 0xcbf2_9ce4_8422_2325u64;
             for &w in frame {
@@ -453,9 +473,18 @@ mod tests {
     #[test]
     fn header_codec_roundtrip() {
         let h = type1_write(ConfigReg::Fdri, 101);
-        assert_eq!(decode_header(h).unwrap(), PacketHeader::Type1Write { reg: ConfigReg::Fdri, count: 101 });
+        assert_eq!(
+            decode_header(h).unwrap(),
+            PacketHeader::Type1Write {
+                reg: ConfigReg::Fdri,
+                count: 101
+            }
+        );
         let h2 = type2_write(123_456);
-        assert_eq!(decode_header(h2).unwrap(), PacketHeader::Type2Write { count: 123_456 });
+        assert_eq!(
+            decode_header(h2).unwrap(),
+            PacketHeader::Type2Write { count: 123_456 }
+        );
     }
 
     #[test]
@@ -477,7 +506,9 @@ mod tests {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
         for minor in 0..36 {
-            builder.add_frame(FrameAddress::new(0, 1, minor), frame_of(&d, 0xCAFE_F00D)).unwrap();
+            builder
+                .add_frame(FrameAddress::new(0, 1, minor), frame_of(&d, 0xCAFE_F00D))
+                .unwrap();
         }
         let raw = builder.build(false);
         let compressed = builder.build(true);
@@ -491,7 +522,9 @@ mod tests {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
         for minor in 0..8 {
-            builder.add_frame(FrameAddress::new(0, 1, minor), frame_of(&d, 0x1000 + minor)).unwrap();
+            builder
+                .add_frame(FrameAddress::new(0, 1, minor), frame_of(&d, 0x1000 + minor))
+                .unwrap();
         }
         let raw = builder.build(false);
         let compressed = builder.build(true);
@@ -512,16 +545,117 @@ mod tests {
     fn rejects_bad_frames() {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
-        assert!(builder.add_frame(FrameAddress::new(999, 0, 0), frame_of(&d, 0)).is_err());
-        assert!(builder.add_frame(FrameAddress::new(0, 1, 0), vec![0; 3]).is_err());
+        assert!(builder
+            .add_frame(FrameAddress::new(999, 0, 0), frame_of(&d, 0))
+            .is_err());
+        assert!(builder
+            .add_frame(FrameAddress::new(0, 1, 0), vec![0; 3])
+            .is_err());
     }
 
     #[test]
     fn display_mentions_frame_count() {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Full);
-        builder.add_frame(FrameAddress::new(0, 1, 0), frame_of(&d, 5)).unwrap();
+        builder
+            .add_frame(FrameAddress::new(0, 1, 0), frame_of(&d, 5))
+            .unwrap();
         let text = format!("{}", builder.build(false));
         assert!(text.contains("1 frames"));
+    }
+
+    mod roundtrip {
+        use super::*;
+        use crate::icap::Icap;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Compress → decompress identity: streaming the MFW-compressed
+            /// form through the ICAP configures the exact same fabric state
+            /// as the linear form. The small value space forces duplicate
+            /// payloads, so the MFW path is really exercised.
+            #[test]
+            fn compressed_and_raw_streams_configure_identical_fabric(
+                values in proptest::collection::vec(0u32..4, 1..24),
+                row in 0u32..7,
+                col in 1u32..100,
+            ) {
+                let d = device();
+                let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+                for (minor, v) in values.iter().enumerate() {
+                    builder.add_frame(FrameAddress::new(row, col, minor as u32), frame_of(&d, *v)).unwrap();
+                }
+                let raw = builder.build(false);
+                let compressed = builder.build(true);
+                prop_assert_eq!(raw.frame_count(), values.len());
+                prop_assert_eq!(compressed.frame_count(), values.len());
+                let mut icap_raw = Icap::new(&d);
+                let mut icap_cmp = Icap::new(&d);
+                icap_raw.load(&raw).unwrap();
+                icap_cmp.load(&compressed).unwrap();
+                prop_assert!(icap_raw.memory().diff(icap_cmp.memory()).is_empty());
+            }
+
+            /// Any single-bit flip in a CRC-covered word — a frame payload
+            /// word or the embedded CRC value itself — fails the load with
+            /// a CRC mismatch; corruption is never silent.
+            #[test]
+            fn crc_detects_any_single_bit_flip_in_covered_words(
+                n_frames in 1usize..8,
+                pick in 0usize..1_000_000,
+                bit in 0u32..32,
+            ) {
+                let d = device();
+                let fw = d.part().family().frame_words();
+                let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+                for minor in 0..n_frames {
+                    builder.add_frame(
+                        FrameAddress::new(1, 2, minor as u32),
+                        frame_of(&d, 0xA5A5_0000 + minor as u32),
+                    ).unwrap();
+                }
+                let bs = builder.build(false);
+                // Linear single-run layout: 8 preamble words, FAR write (2),
+                // FDRI header (1), payload, then [CRC hdr, CRC, CMD hdr,
+                // DESYNC].
+                let payload = n_frames * fw;
+                prop_assert_eq!(bs.words().len(), 11 + payload + 4);
+                let k = pick % (payload + 1);
+                let index = if k == payload { bs.words().len() - 3 } else { 11 + k };
+                let mut words = bs.words().to_vec();
+                words[index] ^= 1 << bit;
+                let mut icap = Icap::new(&d);
+                let result = icap.load(&bs.with_words(words));
+                prop_assert!(
+                    matches!(result, Err(Error::CrcMismatch { .. })),
+                    "flip at word {} bit {} was not detected: {:?}", index, bit, result
+                );
+            }
+
+            /// Frame-count accounting survives the round trip: re-adding an
+            /// address replaces its payload (no double count), and both
+            /// serialized forms report exactly the staged frames.
+            #[test]
+            fn frame_count_accounts_distinct_addresses(
+                seeds in proptest::collection::vec((0u32..7, 1u32..100, 0u32..28, 0u32..u32::MAX), 1..20),
+            ) {
+                let d = device();
+                let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+                let mut staged = std::collections::BTreeSet::new();
+                for (row, col, minor, v) in seeds {
+                    let addr = FrameAddress::new(row, col, minor);
+                    if d.validate_frame(addr).is_ok() {
+                        builder.add_frame(addr, frame_of(&d, v)).unwrap();
+                        staged.insert(addr);
+                    }
+                }
+                prop_assume!(!staged.is_empty());
+                prop_assert_eq!(builder.frame_count(), staged.len());
+                prop_assert_eq!(builder.build(false).frame_count(), staged.len());
+                prop_assert_eq!(builder.build(true).frame_count(), staged.len());
+            }
+        }
     }
 }

@@ -64,7 +64,11 @@ impl ConfigMemory {
         self.device.validate_frame(addr)?;
         if data.len() != self.frame_words {
             return Err(Error::BadFrameAddress {
-                detail: format!("frame payload {} words, expected {}", data.len(), self.frame_words),
+                detail: format!(
+                    "frame payload {} words, expected {}",
+                    data.len(),
+                    self.frame_words
+                ),
             });
         }
         if data.iter().all(|&w| w == 0) {
@@ -78,7 +82,10 @@ impl ConfigMemory {
 
     /// Reads back one frame (all-zero if never written).
     pub fn frame(&self, addr: FrameAddress) -> Frame {
-        self.frames.get(&addr).cloned().unwrap_or_else(|| vec![0; self.frame_words])
+        self.frames
+            .get(&addr)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.frame_words])
     }
 
     /// Returns `true` if the frame was written with non-zero content.
@@ -96,7 +103,10 @@ impl ConfigMemory {
     /// # Errors
     ///
     /// Returns an error on the first invalid address.
-    pub fn clear_frames<'a, I: IntoIterator<Item = &'a FrameAddress>>(&mut self, addrs: I) -> Result<(), Error> {
+    pub fn clear_frames<'a, I: IntoIterator<Item = &'a FrameAddress>>(
+        &mut self,
+        addrs: I,
+    ) -> Result<(), Error> {
         for addr in addrs {
             self.device.validate_frame(*addr)?;
             self.frames.remove(addr);
@@ -114,7 +124,10 @@ impl ConfigMemory {
             .collect();
         addrs.sort_unstable();
         addrs.dedup();
-        addrs.into_iter().filter(|a| self.frame(*a) != other.frame(*a)).collect()
+        addrs
+            .into_iter()
+            .filter(|a| self.frame(*a) != other.frame(*a))
+            .collect()
     }
 }
 
@@ -165,7 +178,9 @@ mod tests {
     fn invalid_address_is_rejected() {
         let mut m = mem();
         let words = m.frame_words();
-        assert!(m.write_frame(FrameAddress::new(999, 0, 0), vec![1; words]).is_err());
+        assert!(m
+            .write_frame(FrameAddress::new(999, 0, 0), vec![1; words])
+            .is_err());
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl Device {
             FpgaPart::Vcu128 => (217, 13, 30),
         };
         let columns = interleave_columns(clb, bram, dsp);
-        Device { part, rows: part.clock_region_rows(), columns }
+        Device {
+            part,
+            rows: part.clock_region_rows(),
+            columns,
+        }
     }
 
     /// The part this device models.
@@ -184,7 +188,12 @@ impl Device {
 
     /// Total number of configuration frames on the device.
     pub fn total_frames(&self) -> usize {
-        self.rows * self.columns.iter().map(|&c| frames_per_column(c)).sum::<usize>()
+        self.rows
+            * self
+                .columns
+                .iter()
+                .map(|&c| frames_per_column(c))
+                .sum::<usize>()
     }
 
     /// Checks that a frame address exists on this device.
@@ -265,7 +274,9 @@ mod tests {
     fn all_parts_have_expected_column_mix() {
         for part in FpgaPart::ALL {
             let device = part.device();
-            let kinds: Vec<ColumnKind> = (0..device.columns()).map(|i| device.column_kind(i)).collect();
+            let kinds: Vec<ColumnKind> = (0..device.columns())
+                .map(|i| device.column_kind(i))
+                .collect();
             assert_eq!(kinds.iter().filter(|&&k| k == ColumnKind::Cfg).count(), 1);
             assert_eq!(kinds.iter().filter(|&&k| k == ColumnKind::Clk).count(), 1);
             assert_eq!(kinds.iter().filter(|&&k| k == ColumnKind::Io).count(), 2);
@@ -281,21 +292,31 @@ mod tests {
             .find(|&i| device.column_kind(i) == ColumnKind::Cfg)
             .expect("device has a cfg column");
         let pb = Pblock::new(cfg_col, cfg_col + 1, 0, 1).expect("valid rectangle");
-        assert_eq!(device.validate_pblock(&pb), Err(Error::IllegalColumn { column: cfg_col }));
+        assert_eq!(
+            device.validate_pblock(&pb),
+            Err(Error::IllegalColumn { column: cfg_col })
+        );
     }
 
     #[test]
     fn pblock_out_of_bounds_is_rejected() {
         let device = FpgaPart::Vc707.device();
         let pb = Pblock::new(0, 4, 0, device.rows() + 1).expect("valid rectangle");
-        assert!(matches!(device.validate_pblock(&pb), Err(Error::PblockOutOfBounds { .. })));
+        assert!(matches!(
+            device.validate_pblock(&pb),
+            Err(Error::PblockOutOfBounds { .. })
+        ));
     }
 
     #[test]
     fn pblock_resources_scale_with_rows() {
         let device = FpgaPart::Vc707.device();
-        let one = device.pblock_resources(&Pblock::new(1, 20, 0, 1).unwrap()).unwrap();
-        let two = device.pblock_resources(&Pblock::new(1, 20, 0, 2).unwrap()).unwrap();
+        let one = device
+            .pblock_resources(&Pblock::new(1, 20, 0, 1).unwrap())
+            .unwrap();
+        let two = device
+            .pblock_resources(&Pblock::new(1, 20, 0, 2).unwrap())
+            .unwrap();
         assert_eq!(two, one * 2);
     }
 
@@ -308,7 +329,9 @@ mod tests {
         assert!(device.validate_pblock(&full).is_err());
         let legal = Pblock::new(0, 10, 0, device.rows()).unwrap();
         let frames = device.pblock_frames(&legal).unwrap();
-        let per_row: usize = (0..10).map(|c| frames_per_column(device.column_kind(c))).sum();
+        let per_row: usize = (0..10)
+            .map(|c| frames_per_column(device.column_kind(c)))
+            .sum();
         assert_eq!(frames.len(), per_row * device.rows());
     }
 
@@ -317,7 +340,11 @@ mod tests {
         let device = FpgaPart::Vc707.device();
         assert!(device.validate_frame(FrameAddress::new(0, 1, 0)).is_ok());
         assert!(device.validate_frame(FrameAddress::new(99, 1, 0)).is_err());
-        assert!(device.validate_frame(FrameAddress::new(0, 9999, 0)).is_err());
-        assert!(device.validate_frame(FrameAddress::new(0, 1, 9999)).is_err());
+        assert!(device
+            .validate_frame(FrameAddress::new(0, 9999, 0))
+            .is_err());
+        assert!(device
+            .validate_frame(FrameAddress::new(0, 1, 9999))
+            .is_err());
     }
 }

@@ -55,8 +55,16 @@ impl FrameAddress {
     /// or minors ≥ 256 do not occur on the modeled parts).
     pub fn pack(&self) -> u32 {
         assert!(self.row < 1 << 10, "row {} exceeds FAR field", self.row);
-        assert!(self.column < 1 << 14, "column {} exceeds FAR field", self.column);
-        assert!(self.minor < 1 << 8, "minor {} exceeds FAR field", self.minor);
+        assert!(
+            self.column < 1 << 14,
+            "column {} exceeds FAR field",
+            self.column
+        );
+        assert!(
+            self.minor < 1 << 8,
+            "minor {} exceeds FAR field",
+            self.minor
+        );
         (self.row << 22) | (self.column << 8) | self.minor
     }
 
@@ -82,7 +90,11 @@ impl FrameAddress {
 
 impl fmt::Display for FrameAddress {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FAR(row={}, col={}, minor={})", self.row, self.column, self.minor)
+        write!(
+            f,
+            "FAR(row={}, col={}, minor={})",
+            self.row, self.column, self.minor
+        )
     }
 }
 

@@ -42,7 +42,10 @@ impl IcapReport {
 fn single(payload: &[u32]) -> Result<u32, Error> {
     if payload.len() != 1 {
         return Err(Error::MalformedBitstream {
-            detail: format!("expected 1-word register write, got {} words", payload.len()),
+            detail: format!(
+                "expected 1-word register write, got {} words",
+                payload.len()
+            ),
         });
     }
     Ok(payload[0])
@@ -139,7 +142,8 @@ impl Icap {
                         PacketHeader::Type2Write { count } => {
                             // Large FDRI continuation.
                             let payload = self.take(words, &mut i, count as usize)?;
-                            frames_written += self.write_burst(&mut far, payload, &mut crc, &mut shadow)?;
+                            frames_written +=
+                                self.write_burst(&mut far, payload, &mut crc, &mut shadow)?;
                         }
                         PacketHeader::Type1Write { reg, count } => {
                             let payload = self.take(words, &mut i, count as usize)?;
@@ -177,7 +181,8 @@ impl Icap {
                                         // Payload follows in a type-2 packet.
                                         continue;
                                     }
-                                    frames_written += self.write_burst(&mut far, payload, &mut crc, &mut shadow)?;
+                                    frames_written +=
+                                        self.write_burst(&mut far, payload, &mut crc, &mut shadow)?;
                                 }
                                 ConfigReg::Mfwr => {
                                     if !multi_frame {
@@ -211,7 +216,9 @@ impl Icap {
         }
 
         if !desynced {
-            return Err(Error::MalformedBitstream { detail: "bitstream ended without DESYNC".into() });
+            return Err(Error::MalformedBitstream {
+                detail: "bitstream ended without DESYNC".into(),
+            });
         }
         Ok(IcapReport {
             words: words.len(),
@@ -242,7 +249,7 @@ impl Icap {
         crc: &mut CrcAccumulator,
         shadow: &mut Vec<u32>,
     ) -> Result<usize, Error> {
-        if payload.len() % self.frame_words != 0 {
+        if !payload.len().is_multiple_of(self.frame_words) {
             return Err(Error::MalformedBitstream {
                 detail: format!(
                     "FDRI payload of {} words is not a multiple of the {}-word frame",
@@ -251,7 +258,9 @@ impl Icap {
                 ),
             });
         }
-        let mut addr = far.ok_or_else(|| Error::MalformedBitstream { detail: "FDRI with no FAR set".into() })?;
+        let mut addr = far.ok_or_else(|| Error::MalformedBitstream {
+            detail: "FDRI with no FAR set".into(),
+        })?;
         let mut written = 0usize;
         for chunk in payload.chunks(self.frame_words) {
             for &w in chunk {
@@ -287,8 +296,14 @@ mod tests {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
         for minor in 0..36 {
-            let v = if minor % 3 == 0 { 0xAAAA_0000 } else { 0x5555_0000 + minor };
-            builder.add_frame(FrameAddress::new(2, 5, minor), frame(&d, v)).unwrap();
+            let v = if minor % 3 == 0 {
+                0xAAAA_0000
+            } else {
+                0x5555_0000 + minor
+            };
+            builder
+                .add_frame(FrameAddress::new(2, 5, minor), frame(&d, v))
+                .unwrap();
         }
         let mut icap_raw = Icap::new(&d);
         let mut icap_cmp = Icap::new(&d);
@@ -302,7 +317,9 @@ mod tests {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
         for minor in 0..36 {
-            builder.add_frame(FrameAddress::new(0, 2, minor), frame(&d, 0)).unwrap();
+            builder
+                .add_frame(FrameAddress::new(0, 2, minor), frame(&d, 0))
+                .unwrap();
         }
         // Identical (here: blank) frames compress massively and load faster.
         let mut icap = Icap::new(&d);
@@ -328,7 +345,9 @@ mod tests {
     fn corrupted_payload_fails_crc() {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
-        builder.add_frame(FrameAddress::new(0, 1, 0), frame(&d, 0x1234)).unwrap();
+        builder
+            .add_frame(FrameAddress::new(0, 1, 0), frame(&d, 0x1234))
+            .unwrap();
         let bs = builder.build(false);
         // Flip one payload bit (late in the stream, inside the frame data).
         let mut words = bs.words().to_vec();
@@ -336,14 +355,19 @@ mod tests {
         words[idx] ^= 1;
         let corrupted = bs.with_words(words);
         let mut icap = Icap::new(&d);
-        assert!(matches!(icap.load(&corrupted), Err(Error::CrcMismatch { .. })));
+        assert!(matches!(
+            icap.load(&corrupted),
+            Err(Error::CrcMismatch { .. })
+        ));
     }
 
     #[test]
     fn truncated_stream_is_malformed() {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
-        builder.add_frame(FrameAddress::new(0, 1, 0), frame(&d, 9)).unwrap();
+        builder
+            .add_frame(FrameAddress::new(0, 1, 0), frame(&d, 9))
+            .unwrap();
         let bs = builder.build(false);
         let truncated = bs.with_words(bs.words()[..bs.words().len() / 2].to_vec());
         let mut icap = Icap::new(&d);
@@ -354,7 +378,9 @@ mod tests {
     fn report_latency_matches_word_count() {
         let d = device();
         let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
-        builder.add_frame(FrameAddress::new(1, 1, 1), frame(&d, 3)).unwrap();
+        builder
+            .add_frame(FrameAddress::new(1, 1, 1), frame(&d, 3))
+            .unwrap();
         let bs = builder.build(false);
         let mut icap = Icap::new(&d);
         let report = icap.load(&bs).unwrap();

@@ -34,6 +34,7 @@ pub mod bitstream;
 pub mod config_memory;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod frame;
 pub mod icap;
 pub mod part;

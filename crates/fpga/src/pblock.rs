@@ -37,11 +37,21 @@ impl Pblock {
     /// # Errors
     ///
     /// Returns [`Error::EmptyPblock`] if either range is empty or inverted.
-    pub fn new(col_start: usize, col_end: usize, row_start: usize, row_end: usize) -> Result<Pblock, Error> {
+    pub fn new(
+        col_start: usize,
+        col_end: usize,
+        row_start: usize,
+        row_end: usize,
+    ) -> Result<Pblock, Error> {
         if col_start >= col_end || row_start >= row_end {
             return Err(Error::EmptyPblock);
         }
-        Ok(Pblock { col_start, col_end, row_start, row_end })
+        Ok(Pblock {
+            col_start,
+            col_end,
+            row_start,
+            row_end,
+        })
     }
 
     /// First covered column.
@@ -159,7 +169,10 @@ mod tests {
         let b = Pblock::new(20, 30, 0, 1).unwrap();
         let c = Pblock::new(5, 25, 0, 1).unwrap();
         assert!(Pblock::check_disjoint(&[a, b]).is_ok());
-        assert_eq!(Pblock::check_disjoint(&[a, b, c]), Err(Error::PblockOverlap));
+        assert_eq!(
+            Pblock::check_disjoint(&[a, b, c]),
+            Err(Error::PblockOverlap)
+        );
     }
 
     fn arb_pblock() -> impl Strategy<Value = Pblock> {

@@ -35,7 +35,12 @@ pub struct Resources {
 
 impl Resources {
     /// Zero resources.
-    pub const ZERO: Resources = Resources { lut: 0, ff: 0, bram: 0, dsp: 0 };
+    pub const ZERO: Resources = Resources {
+        lut: 0,
+        ff: 0,
+        bram: 0,
+        dsp: 0,
+    };
 
     /// Creates a resource vector.
     pub const fn new(lut: u64, ff: u64, bram: u64, dsp: u64) -> Self {
@@ -47,12 +52,20 @@ impl Resources {
     /// LUT count is the size measure used by the paper's characterization
     /// (Section IV); many call-sites only care about LUTs.
     pub const fn luts(lut: u64) -> Self {
-        Resources { lut, ff: 0, bram: 0, dsp: 0 }
+        Resources {
+            lut,
+            ff: 0,
+            bram: 0,
+            dsp: 0,
+        }
     }
 
     /// Returns `true` when every component of `self` fits within `other`.
     pub fn fits_in(&self, other: &Resources) -> bool {
-        self.lut <= other.lut && self.ff <= other.ff && self.bram <= other.bram && self.dsp <= other.dsp
+        self.lut <= other.lut
+            && self.ff <= other.ff
+            && self.bram <= other.bram
+            && self.dsp <= other.dsp
     }
 
     /// Component-wise saturating subtraction (headroom computation).
@@ -81,7 +94,12 @@ impl Resources {
     /// over the exact requirement for the router to close timing).
     pub fn scale_ceil(&self, factor: f64) -> Resources {
         let s = |v: u64| ((v as f64) * factor).ceil() as u64;
-        Resources { lut: s(self.lut), ff: s(self.ff), bram: s(self.bram), dsp: s(self.dsp) }
+        Resources {
+            lut: s(self.lut),
+            ff: s(self.ff),
+            bram: s(self.bram),
+            dsp: s(self.dsp),
+        }
     }
 
     /// Returns `true` if every component is zero.
@@ -196,7 +214,7 @@ mod tests {
 
     #[test]
     fn sum_of_iterator() {
-        let total: Resources = (1..=4).map(|i| Resources::luts(i)).sum();
+        let total: Resources = (1..=4).map(Resources::luts).sum();
         assert_eq!(total, Resources::luts(10));
     }
 

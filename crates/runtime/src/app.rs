@@ -45,8 +45,12 @@ impl WamiAllocation {
         let mut map = BTreeMap::new();
         for (tile, indices) in rows {
             for &i in *indices {
-                let kernel = WamiKernel::from_index(i).unwrap_or_else(|| panic!("bad kernel index {i}"));
-                assert!(map.insert(kernel, *tile).is_none(), "kernel #{i} allocated twice");
+                let kernel =
+                    WamiKernel::from_index(i).unwrap_or_else(|| panic!("bad kernel index {i}"));
+                assert!(
+                    map.insert(kernel, *tile).is_none(),
+                    "kernel #{i} allocated twice"
+                );
             }
         }
         WamiAllocation { map }
@@ -59,12 +63,20 @@ impl WamiAllocation {
 
     /// All kernels allocated to `tile`.
     pub fn kernels_on(&self, tile: TileCoord) -> Vec<WamiKernel> {
-        self.map.iter().filter(|(_, t)| **t == tile).map(|(k, _)| *k).collect()
+        self.map
+            .iter()
+            .filter(|(_, t)| **t == tile)
+            .map(|(k, _)| *k)
+            .collect()
     }
 
     /// Kernels with no tile (CPU fallback).
     pub fn unallocated(&self) -> Vec<WamiKernel> {
-        WamiKernel::ALL.iter().copied().filter(|k| !self.map.contains_key(k)).collect()
+        WamiKernel::ALL
+            .iter()
+            .copied()
+            .filter(|k| !self.map.contains_key(k))
+            .collect()
     }
 
     /// Distinct tiles used by this allocation.
@@ -91,6 +103,9 @@ pub struct FrameReport {
     pub reconfigurations: u64,
     /// Cycles spent in those reconfigurations (tile-blocking time).
     pub reconfig_cycles: u64,
+    /// Allocated kernels that degraded to the CPU software path this frame
+    /// (quarantined tile, exhausted retries, or missing bitstream).
+    pub cpu_fallbacks: u64,
 }
 
 impl FrameReport {
@@ -98,6 +113,14 @@ impl FrameReport {
     pub fn latency(&self) -> u64 {
         self.end - self.start
     }
+}
+
+/// Per-frame accounting accumulated across `exec` calls.
+#[derive(Debug, Default)]
+struct FrameStats {
+    reconfigurations: u64,
+    reconfig_cycles: u64,
+    cpu_fallbacks: u64,
 }
 
 /// A deployed WAMI application: SoC + manager + allocation + LK settings.
@@ -118,7 +141,11 @@ impl WamiApp {
     ///
     /// `lk_iterations` fixes the Gauss-Newton iteration count per frame
     /// (fixed for timing comparability across SoCs).
-    pub fn new(manager: ReconfigManager, allocation: WamiAllocation, lk_iterations: usize) -> WamiApp {
+    pub fn new(
+        manager: ReconfigManager,
+        allocation: WamiAllocation,
+        lk_iterations: usize,
+    ) -> WamiApp {
         WamiApp {
             manager,
             allocation,
@@ -147,6 +174,12 @@ impl WamiApp {
         &self.manager
     }
 
+    /// Mutable access to the manager (e.g. to arm a fault plan on the SoC
+    /// or swap the recovery policy).
+    pub fn manager_mut(&mut self) -> &mut ReconfigManager {
+        &mut self.manager
+    }
+
     /// Consumes the app, returning the manager (and through it the SoC).
     pub fn into_manager(self) -> ReconfigManager {
         self.manager
@@ -159,7 +192,19 @@ impl WamiApp {
 
     /// Executes `kernel`'s `op` with inputs ready at `ready`; returns the
     /// value and completion cycle.
-    fn exec(&mut self, kernel: WamiKernel, op: AccelOp, ready: u64, frame_stats: &mut (u64, u64)) -> Result<(AccelValue, u64), Error> {
+    ///
+    /// If the accelerator path is unavailable for a degradable reason
+    /// (quarantined tile, exhausted reconfiguration retries, missing
+    /// bitstream), the kernel degrades to the CPU software path so the
+    /// frame still completes; the software kernels are bit-identical, only
+    /// timing changes.
+    fn exec(
+        &mut self,
+        kernel: WamiKernel,
+        op: AccelOp,
+        ready: u64,
+        frame_stats: &mut FrameStats,
+    ) -> Result<(AccelValue, u64), Error> {
         match self.allocation.tile_for(kernel) {
             Some(tile) => {
                 // Prefetch: the reconfiguration request is issued at the
@@ -170,13 +215,23 @@ impl WamiApp {
                 } else {
                     ready.max(self.manager.tile_idle_at(tile))
                 };
-                if let Some(reconf) = self.manager.request_reconfiguration_at(
+                match self.manager.request_reconfiguration_at(
                     tile,
                     AcceleratorKind::Wami(kernel),
                     request_at,
-                )? {
-                    frame_stats.0 += 1;
-                    frame_stats.1 += reconf.latency();
+                ) {
+                    Ok(Some(reconf)) => {
+                        frame_stats.reconfigurations += 1;
+                        frame_stats.reconfig_cycles += reconf.latency();
+                    }
+                    Ok(None) => {}
+                    Err(e) if e.is_degradable() => {
+                        frame_stats.cpu_fallbacks += 1;
+                        let at = ready.max(self.manager.tile_idle_at(tile));
+                        let run = self.manager.run_on_cpu_at(&op, at)?;
+                        return Ok((run.value, run.end));
+                    }
+                    Err(e) => return Err(e),
                 }
                 let run = self.manager.run_at(tile, &op, ready)?;
                 Ok((run.value, run.end))
@@ -197,17 +252,23 @@ impl WamiApp {
     pub fn process_frame(&mut self, raw: &BayerImage) -> Result<FrameReport, Error> {
         use WamiKernel::*;
         let start = self.manager.makespan();
-        let mut stats = (0u64, 0u64);
+        let mut stats = FrameStats::default();
 
         // Sensor front-end: #1 debayer → #2 grayscale.
-        let (rgb, t_rgb) = match self.exec(Debayer, AccelOp::Debayer { raw: raw.clone() }, start, &mut stats)? {
+        let (rgb, t_rgb) = match self.exec(
+            Debayer,
+            AccelOp::Debayer { raw: raw.clone() },
+            start,
+            &mut stats,
+        )? {
             (AccelValue::Rgb(rgb), t) => (rgb, t),
             (other, _) => unreachable!("debayer returned {other:?}"),
         };
-        let (gray, t_gray) = match self.exec(Grayscale, AccelOp::Grayscale { rgb }, t_rgb, &mut stats)? {
-            (AccelValue::Image(g), t) => (g, t),
-            (other, _) => unreachable!("grayscale returned {other:?}"),
-        };
+        let (gray, t_gray) =
+            match self.exec(Grayscale, AccelOp::Grayscale { rgb }, t_rgb, &mut stats)? {
+                (AccelValue::Image(g), t) => (g, t),
+                (other, _) => unreachable!("grayscale returned {other:?}"),
+            };
         let (w, h) = gray.dims();
 
         let mut registration = None;
@@ -217,7 +278,14 @@ impl WamiApp {
         if let Some(template) = self.template.clone() {
             // Template-side precomputation (#3, #6, #7, #9) — independent of
             // the current frame's front-end, so it starts at frame start.
-            let (grads, t3) = match self.exec(Gradient, AccelOp::Gradient { image: template.clone() }, start, &mut stats)? {
+            let (grads, t3) = match self.exec(
+                Gradient,
+                AccelOp::Gradient {
+                    image: template.clone(),
+                },
+                start,
+                &mut stats,
+            )? {
                 (AccelValue::Gradients(g), t) => (g, t),
                 (other, _) => unreachable!("gradient returned {other:?}"),
             };
@@ -226,15 +294,26 @@ impl WamiApp {
             let mut grads = grads;
             mask_border(&mut grads.dx, self.border_margin);
             mask_border(&mut grads.dy, self.border_margin);
-            let (sd, t6) = match self.exec(SteepestDescent, AccelOp::SteepestDescent { grad: grads }, t3, &mut stats)? {
+            let (sd, t6) = match self.exec(
+                SteepestDescent,
+                AccelOp::SteepestDescent { grad: grads },
+                t3,
+                &mut stats,
+            )? {
                 (AccelValue::Sd(sd), t) => (sd, t),
                 (other, _) => unreachable!("steepest-descent returned {other:?}"),
             };
-            let (hess, t7) = match self.exec(Hessian, AccelOp::Hessian { sd: sd.clone() }, t6, &mut stats)? {
-                (AccelValue::Mat(m), t) => (m, t),
-                (other, _) => unreachable!("hessian returned {other:?}"),
-            };
-            let (h_inv, t9) = match self.exec(MatrixInvert, AccelOp::MatrixInvert { m: hess }, t7, &mut stats)? {
+            let (hess, t7) =
+                match self.exec(Hessian, AccelOp::Hessian { sd: sd.clone() }, t6, &mut stats)? {
+                    (AccelValue::Mat(m), t) => (m, t),
+                    (other, _) => unreachable!("hessian returned {other:?}"),
+                };
+            let (h_inv, t9) = match self.exec(
+                MatrixInvert,
+                AccelOp::MatrixInvert { m: hess },
+                t7,
+                &mut stats,
+            )? {
                 (AccelValue::Mat(m), t) => (m, t),
                 (other, _) => unreachable!("matrix-invert returned {other:?}"),
             };
@@ -243,19 +322,48 @@ impl WamiApp {
             let mut params = AffineParams::identity();
             let mut t_loop = t9.max(t_gray);
             for _ in 0..self.lk_iterations {
-                let (warped, t4) = match self.exec(Warp, AccelOp::Warp { image: gray.clone(), params }, t_loop, &mut stats)? {
+                let (warped, t4) = match self.exec(
+                    Warp,
+                    AccelOp::Warp {
+                        image: gray.clone(),
+                        params,
+                    },
+                    t_loop,
+                    &mut stats,
+                )? {
                     (AccelValue::Image(img), t) => (img, t),
                     (other, _) => unreachable!("warp returned {other:?}"),
                 };
-                let (error, t5) = match self.exec(Subtract, AccelOp::Subtract { a: warped, b: template.clone() }, t4, &mut stats)? {
+                let (error, t5) = match self.exec(
+                    Subtract,
+                    AccelOp::Subtract {
+                        a: warped,
+                        b: template.clone(),
+                    },
+                    t4,
+                    &mut stats,
+                )? {
                     (AccelValue::Image(img), t) => (img, t),
                     (other, _) => unreachable!("subtract returned {other:?}"),
                 };
-                let (b, t8) = match self.exec(SdUpdate, AccelOp::SdUpdate { sd: sd.clone(), error }, t5, &mut stats)? {
+                let (b, t8) = match self.exec(
+                    SdUpdate,
+                    AccelOp::SdUpdate {
+                        sd: sd.clone(),
+                        error,
+                    },
+                    t5,
+                    &mut stats,
+                )? {
                     (AccelValue::Vec6(v), t) => (v, t),
                     (other, _) => unreachable!("sd-update returned {other:?}"),
                 };
-                let (new_params, t10) = match self.exec(DeltaP, AccelOp::DeltaP { h_inv, b, params }, t8, &mut stats)? {
+                let (new_params, t10) = match self.exec(
+                    DeltaP,
+                    AccelOp::DeltaP { h_inv, b, params },
+                    t8,
+                    &mut stats,
+                )? {
                     (AccelValue::Params(p), t) => (p, t),
                     (other, _) => unreachable!("delta-p returned {other:?}"),
                 };
@@ -264,7 +372,15 @@ impl WamiApp {
             }
 
             // Final warp (#11) with the converged parameters.
-            let (final_warp, t11) = match self.exec(WarpIwxp, AccelOp::Warp { image: gray.clone(), params }, t_loop, &mut stats)? {
+            let (final_warp, t11) = match self.exec(
+                WarpIwxp,
+                AccelOp::Warp {
+                    image: gray.clone(),
+                    params,
+                },
+                t_loop,
+                &mut stats,
+            )? {
                 (AccelValue::Image(img), t) => (img, t),
                 (other, _) => unreachable!("warp-iwxp returned {other:?}"),
             };
@@ -280,7 +396,10 @@ impl WamiApp {
             .unwrap_or_else(|| Box::new(ChangeDetector::new(w, h, GmmConfig::default())));
         let (changed, t12) = match self.exec(
             ChangeDetection,
-            AccelOp::ChangeDetection { frame: aligned, model },
+            AccelOp::ChangeDetection {
+                frame: aligned,
+                model,
+            },
             t_aligned,
             &mut stats,
         )? {
@@ -298,8 +417,9 @@ impl WamiApp {
             registration,
             start,
             end: t12,
-            reconfigurations: stats.0,
-            reconfig_cycles: stats.1,
+            reconfigurations: stats.reconfigurations,
+            reconfig_cycles: stats.reconfig_cycles,
+            cpu_fallbacks: stats.cpu_fallbacks,
         })
     }
 }
@@ -364,7 +484,11 @@ mod tests {
                 seed += 97;
             }
         }
-        WamiApp::new(ReconfigManager::new(soc, registry), allocation, lk_iterations)
+        WamiApp::new(
+            ReconfigManager::new(soc, registry),
+            allocation,
+            lk_iterations,
+        )
     }
 
     #[test]
@@ -408,7 +532,11 @@ mod tests {
         // epsilon = 0 forces the software solver to run exactly
         // `iterations` Gauss-Newton steps, like the fixed-count app.
         let mut sw = Pipeline::new(PipelineConfig {
-            lk: LkConfig { max_iterations: iterations, epsilon: 0.0, border_margin: 4 },
+            lk: LkConfig {
+                max_iterations: iterations,
+                epsilon: 0.0,
+                border_margin: 4,
+            },
             gmm: GmmConfig::default(),
         });
         let mut scene = SceneGenerator::new(32, 32, 9);
@@ -416,7 +544,10 @@ mod tests {
             let frame = scene.next_frame();
             let hw = app.process_frame(&frame).unwrap();
             let sw_out = sw.process(&frame).unwrap();
-            assert_eq!(hw.changed_pixels, sw_out.changed_pixels, "CD outputs diverged");
+            assert_eq!(
+                hw.changed_pixels, sw_out.changed_pixels,
+                "CD outputs diverged"
+            );
             match (&hw.registration, &sw_out.registration) {
                 (None, None) => {}
                 (Some(p), Some(reg)) => {
@@ -447,7 +578,10 @@ mod tests {
         };
         let with = run(true);
         let without = run(false);
-        assert!(with <= without, "prefetch {with} vs non-interleaved {without}");
+        assert!(
+            with <= without,
+            "prefetch {with} vs non-interleaved {without}"
+        );
     }
 
     #[test]

@@ -108,9 +108,18 @@ mod tests {
         assert_eq!(
             table.events(),
             &[
-                DriverEvent::Probed { tile, kind: AcceleratorKind::Mac },
-                DriverEvent::Removed { tile, kind: AcceleratorKind::Mac },
-                DriverEvent::Probed { tile, kind: AcceleratorKind::Gemm },
+                DriverEvent::Probed {
+                    tile,
+                    kind: AcceleratorKind::Mac
+                },
+                DriverEvent::Removed {
+                    tile,
+                    kind: AcceleratorKind::Mac
+                },
+                DriverEvent::Probed {
+                    tile,
+                    kind: AcceleratorKind::Gemm
+                },
             ]
         );
     }

@@ -25,6 +25,22 @@ pub enum Error {
     },
     /// The manager was shut down while requests were outstanding.
     ManagerStopped,
+    /// Reconfiguration of `(tile, kind)` failed every attempt the recovery
+    /// policy allowed.
+    RetriesExhausted {
+        /// Target tile (left decoupled — isolated from the NoC).
+        tile: TileCoord,
+        /// Requested accelerator.
+        kind: AcceleratorKind,
+        /// Attempts made (first try plus retries).
+        attempts: u32,
+    },
+    /// The tile accumulated too many failed reconfigurations and was
+    /// quarantined; requests are rejected until it is released.
+    TileQuarantined {
+        /// The quarantined tile.
+        tile: TileCoord,
+    },
     /// An application kernel has no tile allocation and CPU fallback was
     /// disabled.
     Unallocated {
@@ -33,6 +49,20 @@ pub enum Error {
     },
     /// SoC-level failure.
     Soc(presp_soc::Error),
+}
+
+impl Error {
+    /// Whether CPU fallback is the sanctioned response: the accelerator
+    /// path is unavailable (quarantined tile, exhausted retries, missing
+    /// bitstream), but the computation itself can still run in software.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            Error::TileQuarantined { .. }
+                | Error::RetriesExhausted { .. }
+                | Error::BitstreamNotRegistered { .. }
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -45,6 +75,22 @@ impl fmt::Display for Error {
                 write!(f, "tile {tile} has no active {needed} driver")
             }
             Error::ManagerStopped => write!(f, "runtime manager stopped"),
+            Error::RetriesExhausted {
+                tile,
+                kind,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "loading {kind} on tile {tile} failed after {attempts} attempts"
+                )
+            }
+            Error::TileQuarantined { tile } => {
+                write!(
+                    f,
+                    "tile {tile} is quarantined after repeated reconfiguration failures"
+                )
+            }
             Error::Unallocated { kernel } => {
                 write!(f, "kernel '{kernel}' is not allocated to any tile")
             }

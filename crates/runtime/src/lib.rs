@@ -11,8 +11,8 @@
 //!   per-tile locking during reconfiguration, decouple → DFXC → re-couple →
 //!   driver-swap sequencing, and reconfiguration statistics.
 //! * [`threaded`] — the workqueue demonstrator: real OS threads submit
-//!   requests through a crossbeam channel into a worker (the analogue of
-//!   the kernel workqueue), with parking_lot locks guarding the device.
+//!   requests through an mpsc channel into a worker (the analogue of
+//!   the kernel workqueue), with mutex/condvar locks guarding the device.
 //! * [`app`] — the WAMI application scheduler: maps the Fig. 3 dataflow
 //!   onto a reconfigurable SoC given a tile allocation (Table VI), with
 //!   prefetch reconfiguration and CPU fallback for unallocated kernels.
@@ -55,5 +55,5 @@ pub mod registry;
 pub mod threaded;
 
 pub use error::Error;
-pub use manager::ReconfigManager;
+pub use manager::{ExecPath, ReconfigManager, RecoveryPolicy};
 pub use registry::BitstreamRegistry;

@@ -6,29 +6,103 @@
 //! tile, (5) triggers the DFXC, (6) re-couples on the completion interrupt,
 //! (7) probes the incoming driver and unlocks. Work submitted through a
 //! stale driver is rejected.
+//!
+//! Failures along the way (a corrupted bitstream failing its CRC check, a
+//! stale registry read) are handled by a [`RecoveryPolicy`]: bounded
+//! retries with exponential backoff in virtual time, per-tile quarantine
+//! after repeated exhaustion, and graceful degradation to the CPU software
+//! path so application-level work still completes. A tile whose load
+//! failed is always left decoupled — a partially-written wrapper must
+//! never observe NoC traffic.
 
 use crate::driver::DriverTable;
 use crate::error::Error;
 use crate::registry::BitstreamRegistry;
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::AccelOp;
+use presp_fpga::fault::FaultPlan;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::{csr, AccelRun, ReconfigRun, Soc};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How the manager responds to reconfiguration failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Retries allowed after the first failed attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual cycles.
+    pub backoff_cycles: u64,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_multiplier: u64,
+    /// Consecutive retry-exhausted requests on one tile before it is
+    /// quarantined.
+    pub quarantine_after: u32,
+    /// Whether [`ReconfigManager::run_with_fallback_at`] may degrade to
+    /// the CPU software path when the accelerator path is unavailable.
+    pub cpu_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_cycles: 64,
+            backoff_multiplier: 2,
+            quarantine_after: 2,
+            cpu_fallback: true,
+        }
+    }
+}
+
+/// Which path actually executed an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// The accelerator in the requested tile.
+    Accelerator,
+    /// The CPU software implementation (graceful degradation).
+    CpuFallback,
+}
 
 /// Aggregate manager statistics.
+///
+/// The reconfiguration counters satisfy the bookkeeping invariant checked
+/// by [`ManagerStats::consistent`]: every request is accounted exactly
+/// once as a performed reconfiguration, a cache hit, a retry-exhausted
+/// failure or a rejection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ManagerStats {
+    /// Reconfiguration requests received (including ones that failed).
+    pub reconfig_requests: u64,
     /// Reconfigurations performed (cache hits excluded).
     pub reconfigurations: u64,
     /// Requests satisfied without reconfiguring (accelerator already
     /// loaded).
     pub cache_hits: u64,
+    /// Requests that failed every attempt the recovery policy allowed.
+    pub retries_exhausted: u64,
+    /// Requests rejected without retry (quarantined tile, unregistered
+    /// bitstream, protocol violations).
+    pub rejected: u64,
+    /// Individual retry attempts performed across all requests.
+    pub retries: u64,
+    /// Tiles quarantined.
+    pub quarantines: u64,
     /// Total cycles spent reconfiguring.
     pub reconfig_cycles: u64,
     /// Accelerator invocations dispatched.
     pub runs: u64,
+    /// Operations that degraded to the CPU software path.
+    pub fallback_runs: u64,
+}
+
+impl ManagerStats {
+    /// Checks the request-accounting invariant: no request is lost and
+    /// none is counted twice.
+    pub fn consistent(&self) -> bool {
+        self.reconfig_requests
+            == self.reconfigurations + self.cache_hits + self.retries_exhausted + self.rejected
+    }
 }
 
 /// The deterministic (virtual-time) reconfiguration manager.
@@ -42,23 +116,71 @@ pub struct ReconfigManager {
     drivers: DriverTable,
     tile_time: BTreeMap<TileCoord, u64>,
     stats: ManagerStats,
+    policy: RecoveryPolicy,
+    quarantined: BTreeSet<TileCoord>,
+    failure_streak: BTreeMap<TileCoord, u32>,
 }
 
 impl ReconfigManager {
-    /// Creates a manager over a booted SoC and a loaded registry.
+    /// Creates a manager over a booted SoC and a loaded registry, with the
+    /// default [`RecoveryPolicy`].
     pub fn new(soc: Soc, registry: BitstreamRegistry) -> ReconfigManager {
+        ReconfigManager::with_policy(soc, registry, RecoveryPolicy::default())
+    }
+
+    /// Creates a manager with an explicit recovery policy.
+    pub fn with_policy(
+        soc: Soc,
+        registry: BitstreamRegistry,
+        policy: RecoveryPolicy,
+    ) -> ReconfigManager {
         ReconfigManager {
             soc,
             registry,
             drivers: DriverTable::new(),
             tile_time: BTreeMap::new(),
             stats: ManagerStats::default(),
+            policy,
+            quarantined: BTreeSet::new(),
+            failure_streak: BTreeMap::new(),
         }
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Replaces the recovery policy.
+    pub fn set_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Whether `tile` is quarantined.
+    pub fn is_quarantined(&self, tile: TileCoord) -> bool {
+        self.quarantined.contains(&tile)
+    }
+
+    /// All quarantined tiles, in coordinate order.
+    pub fn quarantined_tiles(&self) -> Vec<TileCoord> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Releases `tile` from quarantine (e.g. after operator intervention),
+    /// clearing its failure streak. Returns whether it was quarantined.
+    pub fn release_quarantine(&mut self, tile: TileCoord) -> bool {
+        self.failure_streak.remove(&tile);
+        self.quarantined.remove(&tile)
     }
 
     /// The underlying SoC (for inspection).
     pub fn soc(&self) -> &Soc {
         &self.soc
+    }
+
+    /// Mutable access to the underlying SoC (e.g. to arm a fault plan).
+    pub fn soc_mut(&mut self) -> &mut Soc {
+        &mut self.soc
     }
 
     /// Consumes the manager, returning the SoC (e.g. for energy reports).
@@ -92,39 +214,160 @@ impl ReconfigManager {
     /// Returns the reconfiguration timing, or `None` when the accelerator
     /// was already loaded (driver cache hit).
     ///
+    /// Transient failures (a corrupted stream failing the ICAP's CRC
+    /// check, a stale registry read) are retried per the
+    /// [`RecoveryPolicy`], with exponential backoff in virtual time; the
+    /// tile stays decoupled between attempts so the partially-written
+    /// wrapper never observes NoC traffic. When every allowed attempt
+    /// fails the request ends with [`Error::RetriesExhausted`], the tile
+    /// is left decoupled, and repeated exhaustion quarantines it.
+    ///
     /// # Errors
     ///
-    /// Returns [`Error::BitstreamNotRegistered`] for unknown pairs and SoC
-    /// errors from the decouple/reconfigure sequence.
+    /// Returns [`Error::TileQuarantined`] for quarantined tiles,
+    /// [`Error::BitstreamNotRegistered`] for unknown pairs,
+    /// [`Error::RetriesExhausted`] when recovery gives up, and SoC errors
+    /// from the decouple/reconfigure sequence.
     pub fn request_reconfiguration_at(
         &mut self,
         tile: TileCoord,
         kind: AcceleratorKind,
         at: u64,
     ) -> Result<Option<ReconfigRun>, Error> {
+        self.stats.reconfig_requests += 1;
+        if self.quarantined.contains(&tile) {
+            self.stats.rejected += 1;
+            return Err(Error::TileQuarantined { tile });
+        }
         if self.drivers.services(tile, kind) {
             self.stats.cache_hits += 1;
             return Ok(None);
         }
-        let bitstream = self
-            .registry
-            .lookup(tile, kind)
-            .ok_or(Error::BitstreamNotRegistered { tile, kind })?
-            .clone();
+        // A pair that was never registered is a permanent error; transient
+        // staleness is injected per attempt below.
+        if self.registry.lookup(tile, kind).is_none() {
+            self.stats.rejected += 1;
+            return Err(Error::BitstreamNotRegistered { tile, kind });
+        }
         // Wait for the accelerator in the tile to complete its execution.
         let idle = at.max(self.tile_idle_at(tile));
         // Unregister the outgoing driver: from here until probe, other
         // threads' submissions fail fast instead of touching a tile that is
         // being rewritten.
         self.drivers.remove(tile);
-        let decoupled = self.soc.csr_write_at(tile, csr::DECOUPLE, 1, idle)?;
-        let reconf = self.soc.reconfigure_at(tile, kind, &bitstream, decoupled)?;
-        let coupled = self.soc.csr_write_at(tile, csr::DECOUPLE, 0, reconf.end)?;
-        self.drivers.probe(tile, kind);
-        self.tile_time.insert(tile, coupled);
-        self.stats.reconfigurations += 1;
-        self.stats.reconfig_cycles += coupled - idle;
-        Ok(Some(ReconfigRun { end: coupled, ..reconf }))
+        let mut decoupled_at: Option<u64> = None;
+        let mut when = idle;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.attempt_load(tile, kind, when, &mut decoupled_at) {
+                Ok(reconf) => {
+                    let coupled = match self.soc.csr_write_at(tile, csr::DECOUPLE, 0, reconf.end) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            self.stats.rejected += 1;
+                            return Err(e.into());
+                        }
+                    };
+                    self.drivers.probe(tile, kind);
+                    self.tile_time.insert(tile, coupled);
+                    self.failure_streak.remove(&tile);
+                    self.stats.reconfigurations += 1;
+                    self.stats.reconfig_cycles += coupled - idle;
+                    return Ok(Some(ReconfigRun {
+                        end: coupled,
+                        ..reconf
+                    }));
+                }
+                Err(e) if Self::is_transient(&e) => {
+                    if attempts > self.policy.max_retries {
+                        return self.give_up(tile, kind, attempts);
+                    }
+                    self.stats.retries += 1;
+                    let backoff = self.policy.backoff_cycles.saturating_mul(
+                        self.policy.backoff_multiplier.saturating_pow(attempts - 1),
+                    );
+                    when = self.soc.horizon().max(when).saturating_add(backoff);
+                }
+                Err(e) => {
+                    self.stats.rejected += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One load attempt: (re-)read the registry, decouple if this is the
+    /// first attempt, and trigger the DFXC.
+    fn attempt_load(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        when: u64,
+        decoupled_at: &mut Option<u64>,
+    ) -> Result<ReconfigRun, Error> {
+        // Fault hook: a stale registry read fails this attempt at the
+        // software level; the retry re-reads the registry.
+        if self
+            .soc
+            .fault_plan_mut()
+            .is_some_and(FaultPlan::next_registry_miss)
+        {
+            return Err(Error::BitstreamNotRegistered { tile, kind });
+        }
+        let bitstream = self
+            .registry
+            .lookup(tile, kind)
+            .ok_or(Error::BitstreamNotRegistered { tile, kind })?
+            .clone();
+        let start = match *decoupled_at {
+            // Still decoupled from the previous failed attempt.
+            Some(t) => t.max(when),
+            None => {
+                let t = self.soc.csr_write_at(tile, csr::DECOUPLE, 1, when)?;
+                *decoupled_at = Some(t);
+                t
+            }
+        };
+        Ok(self.soc.reconfigure_at(tile, kind, &bitstream, start)?)
+    }
+
+    /// Whether a failed attempt is worth retrying: data corruption caught
+    /// in flight and stale software state are; protocol violations and
+    /// wrong-device bitstreams are not.
+    fn is_transient(e: &Error) -> bool {
+        match e {
+            Error::BitstreamNotRegistered { .. } => true,
+            Error::Soc(presp_soc::Error::Fpga(fe)) => matches!(
+                fe,
+                presp_fpga::Error::CrcMismatch { .. }
+                    | presp_fpga::Error::MalformedBitstream { .. }
+            ),
+            _ => false,
+        }
+    }
+
+    /// Ends a request whose every attempt failed: the tile stays decoupled
+    /// (isolated), its failure streak grows, and repeated exhaustion
+    /// quarantines it.
+    fn give_up(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        attempts: u32,
+    ) -> Result<Option<ReconfigRun>, Error> {
+        self.stats.retries_exhausted += 1;
+        self.tile_time.insert(tile, self.soc.horizon());
+        let streak = self.failure_streak.entry(tile).or_insert(0);
+        *streak += 1;
+        if *streak >= self.policy.quarantine_after && self.quarantined.insert(tile) {
+            self.stats.quarantines += 1;
+        }
+        Err(Error::RetriesExhausted {
+            tile,
+            kind,
+            attempts,
+        })
     }
 
     /// [`Self::request_reconfiguration_at`] at the tile's own idle time.
@@ -148,9 +391,15 @@ impl ReconfigManager {
     /// Returns [`Error::NoDriver`] when the tile's active driver does not
     /// service the operation (e.g. mid-reconfiguration), plus SoC errors.
     pub fn run_at(&mut self, tile: TileCoord, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
-        let active = self.drivers.active(tile).ok_or(Error::NoDriver { tile, needed: op.kind() })?;
+        let active = self.drivers.active(tile).ok_or(Error::NoDriver {
+            tile,
+            needed: op.kind(),
+        })?;
         if !op.runs_on(active) {
-            return Err(Error::NoDriver { tile, needed: op.kind() });
+            return Err(Error::NoDriver {
+                tile,
+                needed: op.kind(),
+            });
         }
         let start = at.max(self.tile_idle_at(tile));
         let run = self.soc.run_accelerator_at(tile, op, start)?;
@@ -178,6 +427,56 @@ impl ReconfigManager {
     pub fn run_on_cpu_at(&mut self, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
         Ok(self.soc.run_on_cpu_at(op, at)?)
     }
+
+    /// Ensures `kind` is loaded in `tile` and runs `op` there, degrading to
+    /// the CPU software path when the accelerator path is unavailable
+    /// (quarantined tile, exhausted retries, missing bitstream) and the
+    /// policy allows it — the application-level operation completes either
+    /// way.
+    ///
+    /// # Errors
+    ///
+    /// Returns non-degradable errors, and degradable ones when
+    /// [`RecoveryPolicy::cpu_fallback`] is disabled.
+    pub fn run_with_fallback_at(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        op: &AccelOp,
+        at: u64,
+    ) -> Result<(AccelRun, ExecPath), Error> {
+        let attempted = self
+            .request_reconfiguration_at(tile, kind, at)
+            .map(|_| ())
+            .and_then(|()| self.run_at(tile, op, at));
+        match attempted {
+            Ok(run) => Ok((run, ExecPath::Accelerator)),
+            Err(e) if e.is_degradable() && self.policy.cpu_fallback => {
+                // Start the software run after the failed recovery
+                // concluded on this tile's timeline.
+                let start = at.max(self.tile_idle_at(tile));
+                let run = self.soc.run_on_cpu_at(op, start)?;
+                self.stats.fallback_runs += 1;
+                Ok((run, ExecPath::CpuFallback))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`Self::run_with_fallback_at`] at the tile's own idle time.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run_with_fallback_at`].
+    pub fn run_with_fallback(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        op: &AccelOp,
+    ) -> Result<(AccelRun, ExecPath), Error> {
+        let at = self.tile_idle_at(tile);
+        self.run_with_fallback_at(tile, kind, op, at)
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +492,8 @@ mod tests {
         let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
         let words = device.part().family().frame_words();
         for minor in 0..frames {
-            b.add_frame(FrameAddress::new(0, col, minor), vec![col + minor; words]).unwrap();
+            b.add_frame(FrameAddress::new(0, col, minor), vec![col + minor; words])
+                .unwrap();
         }
         b.build(true)
     }
@@ -205,7 +505,11 @@ mod tests {
         let mut registry = BitstreamRegistry::new();
         for (i, &tile) in tiles.iter().enumerate() {
             registry.register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32, 4));
-            registry.register(tile, AcceleratorKind::Sort, bitstream(&soc, 20 + i as u32, 8));
+            registry.register(
+                tile,
+                AcceleratorKind::Sort,
+                bitstream(&soc, 20 + i as u32, 8),
+            );
         }
         (ReconfigManager::new(soc, registry), tiles)
     }
@@ -213,9 +517,19 @@ mod tests {
     #[test]
     fn reconfigure_then_run() {
         let (mut mgr, tiles) = manager(1);
-        let r = mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
+        let r = mgr
+            .request_reconfiguration(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
         assert!(r.is_some());
-        let run = mgr.run(tiles[0], &AccelOp::Mac { a: vec![5.0], b: vec![5.0] }).unwrap();
+        let run = mgr
+            .run(
+                tiles[0],
+                &AccelOp::Mac {
+                    a: vec![5.0],
+                    b: vec![5.0],
+                },
+            )
+            .unwrap();
         assert_eq!(run.value, AccelValue::Scalar(25.0));
         assert_eq!(mgr.stats().reconfigurations, 1);
         assert_eq!(mgr.stats().runs, 1);
@@ -224,8 +538,11 @@ mod tests {
     #[test]
     fn second_request_is_a_cache_hit() {
         let (mut mgr, tiles) = manager(1);
-        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
-        let again = mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
+        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
+        let again = mgr
+            .request_reconfiguration(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
         assert!(again.is_none());
         assert_eq!(mgr.stats().cache_hits, 1);
         assert_eq!(mgr.stats().reconfigurations, 1);
@@ -241,7 +558,8 @@ mod tests {
     #[test]
     fn run_with_wrong_driver_fails() {
         let (mut mgr, tiles) = manager(1);
-        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
+        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
         let err = mgr.run(tiles[0], &AccelOp::Sort { data: vec![1.0] });
         assert!(matches!(err, Err(Error::NoDriver { .. })));
     }
@@ -257,24 +575,48 @@ mod tests {
     fn swap_sequence_updates_drivers_and_time() {
         let (mut mgr, tiles) = manager(1);
         let tile = tiles[0];
-        mgr.request_reconfiguration(tile, AcceleratorKind::Mac).unwrap();
+        mgr.request_reconfiguration(tile, AcceleratorKind::Mac)
+            .unwrap();
         let t1 = mgr.tile_idle_at(tile);
-        mgr.run(tile, &AccelOp::Mac { a: vec![1.0; 256], b: vec![1.0; 256] }).unwrap();
+        mgr.run(
+            tile,
+            &AccelOp::Mac {
+                a: vec![1.0; 256],
+                b: vec![1.0; 256],
+            },
+        )
+        .unwrap();
         let t2 = mgr.tile_idle_at(tile);
         assert!(t2 > t1);
         // Swap to sort: waits for the run to complete first.
-        let swap = mgr.request_reconfiguration(tile, AcceleratorKind::Sort).unwrap().unwrap();
+        let swap = mgr
+            .request_reconfiguration(tile, AcceleratorKind::Sort)
+            .unwrap()
+            .unwrap();
         assert!(swap.start >= t2);
         assert!(mgr.drivers().services(tile, AcceleratorKind::Sort));
-        let sorted = mgr.run(tile, &AccelOp::Sort { data: vec![3.0, 1.0] }).unwrap();
+        let sorted = mgr
+            .run(
+                tile,
+                &AccelOp::Sort {
+                    data: vec![3.0, 1.0],
+                },
+            )
+            .unwrap();
         assert_eq!(sorted.value, AccelValue::Vector(vec![1.0, 3.0]));
     }
 
     #[test]
     fn tiles_reconfigure_independently() {
         let (mut mgr, tiles) = manager(2);
-        let r0 = mgr.request_reconfiguration_at(tiles[0], AcceleratorKind::Mac, 0).unwrap().unwrap();
-        let r1 = mgr.request_reconfiguration_at(tiles[1], AcceleratorKind::Sort, 0).unwrap().unwrap();
+        let r0 = mgr
+            .request_reconfiguration_at(tiles[0], AcceleratorKind::Mac, 0)
+            .unwrap()
+            .unwrap();
+        let r1 = mgr
+            .request_reconfiguration_at(tiles[1], AcceleratorKind::Sort, 0)
+            .unwrap()
+            .unwrap();
         // The shared ICAP serializes the two loads.
         assert!(r1.end > r0.end || r0.end > r1.end);
         assert!(mgr.drivers().services(tiles[0], AcceleratorKind::Mac));
@@ -285,7 +627,14 @@ mod tests {
     #[test]
     fn cpu_fallback_runs_without_reconfiguration() {
         let (mut mgr, _) = manager(1);
-        let run = mgr.run_on_cpu_at(&AccelOp::Sort { data: vec![2.0, 1.0] }, 0).unwrap();
+        let run = mgr
+            .run_on_cpu_at(
+                &AccelOp::Sort {
+                    data: vec![2.0, 1.0],
+                },
+                0,
+            )
+            .unwrap();
         assert_eq!(run.value, AccelValue::Vector(vec![1.0, 2.0]));
         assert_eq!(mgr.stats().reconfigurations, 0);
     }

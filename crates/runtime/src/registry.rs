@@ -77,7 +77,8 @@ mod tests {
         let device = FpgaPart::Vc707.device();
         let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
         let words = device.part().family().frame_words();
-        b.add_frame(FrameAddress::new(0, 1, 0), vec![value; words]).unwrap();
+        b.add_frame(FrameAddress::new(0, 1, 0), vec![value; words])
+            .unwrap();
         b.build(true)
     }
 
@@ -107,7 +108,9 @@ mod tests {
     fn replacement_returns_old_bitstream() {
         let mut reg = BitstreamRegistry::new();
         let tile = TileCoord::new(0, 0);
-        assert!(reg.register(tile, AcceleratorKind::Sort, bitstream(1)).is_none());
+        assert!(reg
+            .register(tile, AcceleratorKind::Sort, bitstream(1))
+            .is_none());
         let old = reg.register(tile, AcceleratorKind::Sort, bitstream(2));
         assert!(old.is_some());
         assert_eq!(reg.len(), 1);

@@ -5,21 +5,20 @@
 //! reconfigurable tile) enqueue requests; the queue executes them as soon
 //! as the PRC is ready; callers wait for completion while the device is
 //! locked. This module reproduces that concurrency structure with real OS
-//! threads — a crossbeam channel as the workqueue, a worker thread as the
-//! kernel work item, and parking_lot primitives guarding the shared
+//! threads — an mpsc channel as the workqueue, a worker thread as the
+//! kernel work item, and a mutex/condvar pair guarding the shared
 //! manager — while the deterministic virtual-time manager underneath keeps
 //! results reproducible.
 
 use crate::error::Error;
-use crate::manager::ReconfigManager;
+use crate::manager::{ExecPath, ReconfigManager, RecoveryPolicy};
 use crate::registry::BitstreamRegistry;
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::AccelOp;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::{AccelRun, Soc};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// A request travelling through the workqueue.
@@ -33,6 +32,12 @@ enum Request {
         tile: TileCoord,
         op: Box<AccelOp>,
         done: Sender<Result<AccelRun, Error>>,
+    },
+    Execute {
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        op: Box<AccelOp>,
+        done: Sender<Result<(AccelRun, ExecPath), Error>>,
     },
     Shutdown,
 }
@@ -73,13 +78,23 @@ pub struct ThreadedManager {
 }
 
 impl ThreadedManager {
-    /// Boots the workqueue worker over a SoC and registry.
+    /// Boots the workqueue worker over a SoC and registry, with the
+    /// default [`RecoveryPolicy`].
     pub fn spawn(soc: Soc, registry: BitstreamRegistry) -> ThreadedManager {
+        ThreadedManager::spawn_with_policy(soc, registry, RecoveryPolicy::default())
+    }
+
+    /// Boots the workqueue worker with an explicit recovery policy.
+    pub fn spawn_with_policy(
+        soc: Soc,
+        registry: BitstreamRegistry,
+        policy: RecoveryPolicy,
+    ) -> ThreadedManager {
         let shared = Arc::new(Shared {
-            manager: Mutex::new(ReconfigManager::new(soc, registry)),
+            manager: Mutex::new(ReconfigManager::with_policy(soc, registry, policy)),
             reconfig_done: Condvar::new(),
         });
-        let (tx, rx) = unbounded::<Request>();
+        let (tx, rx) = channel::<Request>();
         let worker_shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
             // The workqueue: requests are "queued up and executed as soon
@@ -88,7 +103,7 @@ impl ThreadedManager {
                 match request {
                     Request::Reconfigure { tile, kind, done } => {
                         let result = {
-                            let mut mgr = worker_shared.manager.lock();
+                            let mut mgr = worker_shared.manager.lock().expect("manager lock");
                             mgr.request_reconfiguration(tile, kind).map(|_| ())
                         };
                         worker_shared.reconfig_done.notify_all();
@@ -96,16 +111,52 @@ impl ThreadedManager {
                     }
                     Request::Run { tile, op, done } => {
                         let result = {
-                            let mut mgr = worker_shared.manager.lock();
+                            let mut mgr = worker_shared.manager.lock().expect("manager lock");
                             mgr.run(tile, &op)
                         };
+                        let _ = done.send(result);
+                    }
+                    Request::Execute {
+                        tile,
+                        kind,
+                        op,
+                        done,
+                    } => {
+                        let result = {
+                            let mut mgr = worker_shared.manager.lock().expect("manager lock");
+                            mgr.run_with_fallback(tile, kind, &op)
+                        };
+                        worker_shared.reconfig_done.notify_all();
                         let _ = done.send(result);
                     }
                     Request::Shutdown => break,
                 }
             }
+            // Drain the queue so no caller is left waiting on a dropped
+            // `done` sender: every pending request is answered with
+            // `ManagerStopped` before the worker exits.
+            while let Ok(request) = rx.try_recv() {
+                match request {
+                    Request::Reconfigure { done, .. } => {
+                        let _ = done.send(Err(Error::ManagerStopped));
+                    }
+                    Request::Run { done, .. } => {
+                        let _ = done.send(Err(Error::ManagerStopped));
+                    }
+                    Request::Execute { done, .. } => {
+                        let _ = done.send(Err(Error::ManagerStopped));
+                    }
+                    Request::Shutdown => {}
+                }
+            }
+            // Unblock any thread parked in `run_blocking`'s wait loop.
+            worker_shared.reconfig_done.notify_all();
         });
-        ThreadedManager { queue: tx, shared, worker: Arc::new(Mutex::new(Some(handle))) }
+        ThreadedManager {
+            queue: tx,
+            shared,
+            worker: Arc::new(Mutex::new(Some(handle))),
+        }
     }
 
     /// Enqueues a reconfiguration and blocks until it completes.
@@ -114,10 +165,18 @@ impl ThreadedManager {
     ///
     /// Returns [`Error::ManagerStopped`] after shutdown, plus manager
     /// errors.
-    pub fn reconfigure_blocking(&self, tile: TileCoord, kind: AcceleratorKind) -> Result<(), Error> {
-        let (done_tx, done_rx) = unbounded();
+    pub fn reconfigure_blocking(
+        &self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+    ) -> Result<(), Error> {
+        let (done_tx, done_rx) = channel();
         self.queue
-            .send(Request::Reconfigure { tile, kind, done: done_tx })
+            .send(Request::Reconfigure {
+                tile,
+                kind,
+                done: done_tx,
+            })
             .map_err(|_| Error::ManagerStopped)?;
         done_rx.recv().map_err(|_| Error::ManagerStopped)?
     }
@@ -135,30 +194,71 @@ impl ThreadedManager {
     /// SoC errors.
     pub fn run_blocking(&self, tile: TileCoord, op: AccelOp) -> Result<AccelRun, Error> {
         loop {
-            let (done_tx, done_rx) = unbounded();
+            let (done_tx, done_rx) = channel();
             self.queue
-                .send(Request::Run { tile, op: Box::new(op.clone()), done: done_tx })
+                .send(Request::Run {
+                    tile,
+                    op: Box::new(op.clone()),
+                    done: done_tx,
+                })
                 .map_err(|_| Error::ManagerStopped)?;
             match done_rx.recv().map_err(|_| Error::ManagerStopped)? {
                 Err(Error::NoDriver { .. }) => {
-                    // Wait for a reconfiguration to finish, then retry.
-                    let mut guard = self.shared.manager.lock();
-                    self.shared.reconfig_done.wait_for(&mut guard, std::time::Duration::from_millis(50));
+                    // Wait for a reconfiguration to finish, then retry —
+                    // unless the tile was quarantined, in which case no
+                    // reconfiguration will ever complete here.
+                    let guard = self.shared.manager.lock().expect("manager lock");
+                    if guard.is_quarantined(tile) {
+                        return Err(Error::TileQuarantined { tile });
+                    }
+                    let _unused = self
+                        .shared
+                        .reconfig_done
+                        .wait_timeout(guard, std::time::Duration::from_millis(50))
+                        .expect("manager lock");
                 }
                 other => return other,
             }
         }
     }
 
+    /// Enqueues an ensure-loaded-then-run request and blocks for its
+    /// result: the worker reconfigures if needed (with the manager's
+    /// retry/backoff recovery) and degrades to the CPU software path when
+    /// the accelerator path is unavailable, so the call completes even on
+    /// a faulty tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ManagerStopped`] after shutdown, plus
+    /// non-degradable manager errors.
+    pub fn execute_blocking(
+        &self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        op: AccelOp,
+    ) -> Result<(AccelRun, ExecPath), Error> {
+        let (done_tx, done_rx) = channel();
+        self.queue
+            .send(Request::Execute {
+                tile,
+                kind,
+                op: Box::new(op),
+                done: done_tx,
+            })
+            .map_err(|_| Error::ManagerStopped)?;
+        done_rx.recv().map_err(|_| Error::ManagerStopped)?
+    }
+
     /// Manager statistics snapshot.
     pub fn stats(&self) -> crate::manager::ManagerStats {
-        self.shared.manager.lock().stats()
+        self.shared.manager.lock().expect("manager lock").stats()
     }
 
     /// Stops the worker and joins it. Idempotent.
     pub fn shutdown(&self) {
         let _ = self.queue.send(Request::Shutdown);
-        if let Some(handle) = self.worker.lock().take() {
+        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
             let _ = handle.join();
         }
     }
@@ -176,7 +276,8 @@ mod tests {
         let device = soc.part().device();
         let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
         let words = device.part().family().frame_words();
-        b.add_frame(FrameAddress::new(0, col, 0), vec![col; words]).unwrap();
+        b.add_frame(FrameAddress::new(0, col, 0), vec![col; words])
+            .unwrap();
         b.build(true)
     }
 
@@ -195,8 +296,17 @@ mod tests {
     #[test]
     fn blocking_reconfigure_and_run() {
         let (mgr, tiles) = boot(1);
-        mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac).unwrap();
-        let run = mgr.run_blocking(tiles[0], AccelOp::Mac { a: vec![2.0], b: vec![3.0] }).unwrap();
+        mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
+        let run = mgr
+            .run_blocking(
+                tiles[0],
+                AccelOp::Mac {
+                    a: vec![2.0],
+                    b: vec![3.0],
+                },
+            )
+            .unwrap();
         assert_eq!(run.value, AccelValue::Scalar(6.0));
         mgr.shutdown();
     }
@@ -210,12 +320,19 @@ mod tests {
             .map(|(i, &tile)| {
                 let mgr = mgr.clone();
                 std::thread::spawn(move || {
-                    mgr.reconfigure_blocking(tile, AcceleratorKind::Mac).unwrap();
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                        .unwrap();
                     let mut total = 0.0f32;
                     for round in 0..5 {
                         let v = (i + round) as f32;
                         let run = mgr
-                            .run_blocking(tile, AccelOp::Mac { a: vec![v; 16], b: vec![1.0; 16] })
+                            .run_blocking(
+                                tile,
+                                AccelOp::Mac {
+                                    a: vec![v; 16],
+                                    b: vec![1.0; 16],
+                                },
+                            )
                             .unwrap();
                         match run.value {
                             AccelValue::Scalar(s) => total += s,
@@ -243,8 +360,10 @@ mod tests {
             let mgr = mgr.clone();
             std::thread::spawn(move || {
                 for _ in 0..4 {
-                    mgr.reconfigure_blocking(tile, AcceleratorKind::Sort).unwrap();
-                    mgr.reconfigure_blocking(tile, AcceleratorKind::Mac).unwrap();
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Sort)
+                        .unwrap();
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                        .unwrap();
                 }
             })
         };
@@ -252,7 +371,13 @@ mod tests {
         // has SORT loaded the call returns NoDriver internally and retries.
         let mut successes = 0;
         for _ in 0..20 {
-            match mgr.run_blocking(tile, AccelOp::Mac { a: vec![1.0], b: vec![1.0] }) {
+            match mgr.run_blocking(
+                tile,
+                AccelOp::Mac {
+                    a: vec![1.0],
+                    b: vec![1.0],
+                },
+            ) {
                 Ok(run) => {
                     assert_eq!(run.value, AccelValue::Scalar(1.0));
                     successes += 1;
@@ -271,6 +396,60 @@ mod tests {
         mgr.shutdown();
         mgr.shutdown();
         let err = mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac);
+        assert!(matches!(err, Err(Error::ManagerStopped)));
+    }
+
+    #[test]
+    fn shutdown_under_load_answers_every_caller() {
+        // Shut down while four threads are mid-burst: every call must get
+        // an answer — a result or ManagerStopped — and every thread must
+        // join. A dropped `done` sender or a hung worker fails this test.
+        let (mgr, tiles) = boot(2);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let mgr = mgr.clone();
+                let tile = tiles[i % 2];
+                std::thread::spawn(move || {
+                    let mut answered = 0;
+                    for j in 0..50 {
+                        let (kind, op) = if (i + j) % 2 == 0 {
+                            (
+                                AcceleratorKind::Mac,
+                                AccelOp::Mac {
+                                    a: vec![1.0],
+                                    b: vec![2.0],
+                                },
+                            )
+                        } else {
+                            (
+                                AcceleratorKind::Sort,
+                                AccelOp::Sort {
+                                    data: vec![2.0, 1.0],
+                                },
+                            )
+                        };
+                        match mgr.execute_blocking(tile, kind, op) {
+                            Ok(_) | Err(Error::ManagerStopped) => answered += 1,
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        mgr.shutdown();
+        for h in handles {
+            assert_eq!(h.join().expect("worker thread panicked"), 50);
+        }
+        // The worker is joined; a fresh request is refused, not lost.
+        let err = mgr.run_blocking(
+            tiles[0],
+            AccelOp::Mac {
+                a: vec![1.0],
+                b: vec![1.0],
+            },
+        );
         assert!(matches!(err, Err(Error::ManagerStopped)));
     }
 }

@@ -1,6 +1,7 @@
 //! SoC configurations: the tile-grid description the PR-ESP flow parses.
 
 use crate::error::Error;
+use crate::json::{self, JsonValue};
 use crate::tile::TileKind;
 use presp_accel::catalog::AcceleratorKind;
 use presp_fpga::resources::Resources;
@@ -36,8 +37,9 @@ impl fmt::Display for TileCoord {
 
 /// A validated SoC configuration: a grid of tiles.
 ///
-/// Serializable with serde — the PR-ESP flow parses these from JSON files
-/// (the analogue of ESP's `esp_defconfig`).
+/// Round-trips through JSON files (the analogue of ESP's `esp_defconfig`)
+/// via [`SocConfig::to_json`] / [`SocConfig::from_json`]; tiles are encoded
+/// as variant strings such as `"Aux"` or `"Accel(gemm)"`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SocConfig {
     name: String,
@@ -66,17 +68,34 @@ impl SocConfig {
         }
         let count = |k: fn(&TileKind) -> bool| tiles.iter().filter(|t| k(t)).count();
         if count(|t| matches!(t, TileKind::Cpu)) == 0 {
-            return Err(Error::BadConfig { detail: "no CPU tile".into() });
+            return Err(Error::BadConfig {
+                detail: "no CPU tile".into(),
+            });
         }
         if count(|t| matches!(t, TileKind::Mem)) == 0 {
-            return Err(Error::BadConfig { detail: "no memory tile".into() });
+            return Err(Error::BadConfig {
+                detail: "no memory tile".into(),
+            });
         }
         match count(|t| matches!(t, TileKind::Aux)) {
-            0 => return Err(Error::BadConfig { detail: "no auxiliary tile (DFXC/ICAP host)".into() }),
+            0 => {
+                return Err(Error::BadConfig {
+                    detail: "no auxiliary tile (DFXC/ICAP host)".into(),
+                })
+            }
             1 => {}
-            n => return Err(Error::BadConfig { detail: format!("{n} auxiliary tiles (need exactly 1)") }),
+            n => {
+                return Err(Error::BadConfig {
+                    detail: format!("{n} auxiliary tiles (need exactly 1)"),
+                })
+            }
         }
-        Ok(SocConfig { name: name.into(), rows, cols, tiles })
+        Ok(SocConfig {
+            name: name.into(),
+            rows,
+            cols,
+            tiles,
+        })
     }
 
     /// Parses a configuration from its JSON form.
@@ -85,14 +104,54 @@ impl SocConfig {
     ///
     /// Returns [`Error::BadConfig`] on malformed JSON or an invalid grid.
     pub fn from_json(json: &str) -> Result<SocConfig, Error> {
-        let raw: SocConfig = serde_json::from_str(json)
-            .map_err(|e| Error::BadConfig { detail: format!("json: {e}") })?;
-        SocConfig::new(raw.name, raw.rows, raw.cols, raw.tiles)
+        let bad = |detail: String| Error::BadConfig { detail };
+        let doc = json::parse(json).map_err(|e| bad(format!("json: {e}")))?;
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| bad(format!("missing field '{key}'")))
+        };
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| bad("'name' must be a string".into()))?
+            .to_string();
+        let dim = |key: &str| {
+            field(key)?
+                .as_usize()
+                .ok_or_else(|| bad(format!("'{key}' must be a non-negative integer")))
+        };
+        let rows = dim("rows")?;
+        let cols = dim("cols")?;
+        let tiles = field("tiles")?
+            .as_array()
+            .ok_or_else(|| bad("'tiles' must be an array".into()))?
+            .iter()
+            .map(|t| {
+                let token = t
+                    .as_str()
+                    .ok_or_else(|| bad("tile entries must be strings".into()))?;
+                tile_from_token(token).ok_or_else(|| bad(format!("unknown tile kind '{token}'")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        SocConfig::new(name, rows, cols, tiles)
     }
 
-    /// Serializes to JSON.
+    /// Serializes to pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::String(self.name.clone())),
+            ("rows".into(), JsonValue::Number(self.rows as f64)),
+            ("cols".into(), JsonValue::Number(self.cols as f64)),
+            (
+                "tiles".into(),
+                JsonValue::Array(
+                    self.tiles
+                        .iter()
+                        .map(|t| JsonValue::String(tile_to_token(*t)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
     }
 
     /// A 2×2 profiling SoC with one static accelerator tile — the paper's
@@ -107,7 +166,12 @@ impl SocConfig {
             format!("profile_{kind}"),
             2,
             2,
-            vec![TileKind::Cpu, TileKind::Mem, TileKind::Aux, TileKind::Accel(kind)],
+            vec![
+                TileKind::Cpu,
+                TileKind::Mem,
+                TileKind::Aux,
+                TileKind::Accel(kind),
+            ],
         )
     }
 
@@ -119,10 +183,12 @@ impl SocConfig {
     /// Returns [`Error::BadConfig`] when `n > 6`.
     pub fn grid_3x3_reconf(name: impl Into<String>, n: usize) -> Result<SocConfig, Error> {
         if n > 6 {
-            return Err(Error::BadConfig { detail: format!("{n} reconfigurable tiles exceed a 3x3 grid") });
+            return Err(Error::BadConfig {
+                detail: format!("{n} reconfigurable tiles exceed a 3x3 grid"),
+            });
         }
         let mut tiles = vec![TileKind::Cpu, TileKind::Mem, TileKind::Aux];
-        tiles.extend(std::iter::repeat(TileKind::Reconfigurable).take(n));
+        tiles.extend(std::iter::repeat_n(TileKind::Reconfigurable, n));
         tiles.resize(9, TileKind::Empty);
         SocConfig::new(name, 3, 3, tiles)
     }
@@ -164,7 +230,10 @@ impl SocConfig {
 
     /// Coordinates of every tile matching a predicate.
     pub fn find_tiles(&self, pred: impl Fn(TileKind) -> bool) -> Vec<TileCoord> {
-        self.iter().filter(|(_, k)| pred(*k)).map(|(c, _)| c).collect()
+        self.iter()
+            .filter(|(_, k)| pred(*k))
+            .map(|(c, _)| c)
+            .collect()
     }
 
     /// The (single) CPU tile closest to the grid origin.
@@ -196,6 +265,41 @@ impl SocConfig {
     }
 }
 
+/// The JSON token for a tile kind: the variant name (`"Aux"`), with
+/// accelerator tiles written as `"Accel(<kind>)"`.
+fn tile_to_token(kind: TileKind) -> String {
+    match kind {
+        TileKind::Cpu => "Cpu".into(),
+        TileKind::Mem => "Mem".into(),
+        TileKind::Aux => "Aux".into(),
+        TileKind::Slm => "Slm".into(),
+        TileKind::Accel(accel) => format!("Accel({accel})"),
+        TileKind::Reconfigurable => "Reconfigurable".into(),
+        TileKind::Empty => "Empty".into(),
+    }
+}
+
+/// Inverse of [`tile_to_token`].
+fn tile_from_token(token: &str) -> Option<TileKind> {
+    match token {
+        "Cpu" => Some(TileKind::Cpu),
+        "Mem" => Some(TileKind::Mem),
+        "Aux" => Some(TileKind::Aux),
+        "Slm" => Some(TileKind::Slm),
+        "Reconfigurable" => Some(TileKind::Reconfigurable),
+        "Empty" => Some(TileKind::Empty),
+        _ => {
+            let inner = token.strip_prefix("Accel(")?.strip_suffix(')')?;
+            AcceleratorKind::CHARACTERIZATION
+                .into_iter()
+                .chain([AcceleratorKind::Cpu])
+                .chain(AcceleratorKind::wami_all())
+                .find(|k| k.name() == inner)
+                .map(TileKind::Accel)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,9 +325,19 @@ mod tests {
 
     #[test]
     fn validation_catches_missing_tiles() {
-        let no_cpu = SocConfig::new("x", 1, 3, vec![TileKind::Mem, TileKind::Aux, TileKind::Empty]);
+        let no_cpu = SocConfig::new(
+            "x",
+            1,
+            3,
+            vec![TileKind::Mem, TileKind::Aux, TileKind::Empty],
+        );
         assert!(matches!(no_cpu, Err(Error::BadConfig { .. })));
-        let no_aux = SocConfig::new("x", 1, 3, vec![TileKind::Cpu, TileKind::Mem, TileKind::Empty]);
+        let no_aux = SocConfig::new(
+            "x",
+            1,
+            3,
+            vec![TileKind::Cpu, TileKind::Mem, TileKind::Empty],
+        );
         assert!(matches!(no_aux, Err(Error::BadConfig { .. })));
         let two_aux = SocConfig::new(
             "x",
@@ -257,6 +371,15 @@ mod tests {
         // Tampered JSON (drop the aux tile) fails validation.
         let bad = json.replace("\"Aux\"", "\"Empty\"");
         assert!(SocConfig::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_keeps_accelerator_tiles() {
+        let cfg = SocConfig::grid_2x2_single(AcceleratorKind::Gemm).unwrap();
+        let json = cfg.to_json();
+        assert!(json.contains("\"Accel(gemm)\""));
+        assert_eq!(SocConfig::from_json(&json).unwrap(), cfg);
+        assert!(SocConfig::from_json(&json.replace("gemm", "warp9")).is_err());
     }
 
     #[test]

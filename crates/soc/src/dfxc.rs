@@ -41,7 +41,12 @@ pub struct Dfxc {
 impl Dfxc {
     /// Creates a controller for `device`.
     pub fn new(device: &Device) -> Dfxc {
-        Dfxc { icap: Icap::new(device), status: DfxcStatus::Idle, completed: 0, failed: 0 }
+        Dfxc {
+            icap: Icap::new(device),
+            status: DfxcStatus::Idle,
+            completed: 0,
+            failed: 0,
+        }
     }
 
     /// Current status register value.
@@ -102,7 +107,8 @@ mod tests {
     fn small_bitstream(d: &Device) -> Bitstream {
         let mut b = BitstreamBuilder::new(d, BitstreamKind::Partial);
         let words = d.part().family().frame_words();
-        b.add_frame(FrameAddress::new(0, 1, 0), vec![0xAB; words]).unwrap();
+        b.add_frame(FrameAddress::new(0, 1, 0), vec![0xAB; words])
+            .unwrap();
         b.build(true)
     }
 

@@ -60,7 +60,9 @@ impl fmt::Display for Error {
             Error::DecouplerProtocol { coord, detail } => {
                 write!(f, "decoupler protocol violation at {coord}: {detail}")
             }
-            Error::TileEmpty { coord } => write!(f, "reconfigurable tile at {coord} holds no accelerator"),
+            Error::TileEmpty { coord } => {
+                write!(f, "reconfigurable tile at {coord} holds no accelerator")
+            }
             Error::Accel(e) => write!(f, "accelerator error: {e}"),
             Error::Fpga(e) => write!(f, "configuration error: {e}"),
             Error::BadRegister { offset } => write!(f, "no register at offset {offset:#x}"),

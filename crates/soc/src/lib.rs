@@ -41,6 +41,7 @@ pub mod config;
 pub mod dfxc;
 pub mod energy;
 pub mod error;
+pub mod json;
 pub mod noc;
 pub mod sim;
 pub mod tile;

@@ -75,6 +75,7 @@ type LinkKey = (TileCoord, TileCoord, Plane);
 #[derive(Debug, Clone, Default)]
 pub struct Noc {
     link_free: HashMap<LinkKey, u64>,
+    transfers: u64,
 }
 
 impl Noc {
@@ -83,16 +84,30 @@ impl Noc {
         Noc::default()
     }
 
+    /// Total transfers injected so far (all planes). Fault-injection tests
+    /// use this to prove that rejected operations never reached the NoC.
+    pub fn transfer_count(&self) -> u64 {
+        self.transfers
+    }
+
     /// The XY route from `src` to `dst` (inclusive of both endpoints).
     pub fn route(src: TileCoord, dst: TileCoord) -> Vec<TileCoord> {
         let mut path = vec![src];
         let mut cur = src;
         while cur.col != dst.col {
-            cur.col = if dst.col > cur.col { cur.col + 1 } else { cur.col - 1 };
+            cur.col = if dst.col > cur.col {
+                cur.col + 1
+            } else {
+                cur.col - 1
+            };
             path.push(cur);
         }
         while cur.row != dst.row {
-            cur.row = if dst.row > cur.row { cur.row + 1 } else { cur.row - 1 };
+            cur.row = if dst.row > cur.row {
+                cur.row + 1
+            } else {
+                cur.row - 1
+            };
             path.push(cur);
         }
         path
@@ -103,12 +118,25 @@ impl Noc {
     /// Returns the transfer timing. Links along the path are reserved for
     /// the packet's serialization time; a same-plane transfer crossing a
     /// busy link waits for it.
-    pub fn transfer(&mut self, now: u64, src: TileCoord, dst: TileCoord, bytes: u64, plane: Plane) -> Transfer {
+    pub fn transfer(
+        &mut self,
+        now: u64,
+        src: TileCoord,
+        dst: TileCoord,
+        bytes: u64,
+        plane: Plane,
+    ) -> Transfer {
+        self.transfers += 1;
         let flits = HEADER_FLITS + bytes.div_ceil(FLIT_BYTES);
         let path = Self::route(src, dst);
         if path.len() == 1 {
             // Local access: no links, just serialization.
-            return Transfer { start: now, end: now + flits, hops: 0, flits };
+            return Transfer {
+                start: now,
+                end: now + flits,
+                hops: 0,
+                flits,
+            };
         }
         let mut head = now;
         let mut start = None;
@@ -125,14 +153,24 @@ impl Noc {
         // Last flit arrives after the head reaches the sink plus the body
         // streams through.
         let end = head + flits;
-        Transfer { start: start.unwrap_or(now), end, hops: path.len() - 1, flits }
+        Transfer {
+            start: start.unwrap_or(now),
+            end,
+            hops: path.len() - 1,
+            flits,
+        }
     }
 
     /// Cycle at which every link of `plane` between `src` and `dst` is free.
     pub fn path_free_at(&self, src: TileCoord, dst: TileCoord, plane: Plane) -> u64 {
         Noc::route(src, dst)
             .windows(2)
-            .map(|pair| self.link_free.get(&(pair[0], pair[1], plane)).copied().unwrap_or(0))
+            .map(|pair| {
+                self.link_free
+                    .get(&(pair[0], pair[1], plane))
+                    .copied()
+                    .unwrap_or(0)
+            })
             .max()
             .unwrap_or(0)
     }

@@ -20,6 +20,8 @@ use presp_accel::latency::{compute_cycles, software_cycles};
 use presp_accel::power::dynamic_power_w;
 use presp_accel::{AccelInstance, AccelOp, AccelValue};
 use presp_fpga::bitstream::Bitstream;
+use presp_fpga::fault::FaultPlan;
+use presp_fpga::icap::ICAP_CLOCK_MHZ;
 use presp_fpga::part::FpgaPart;
 use presp_fpga::resources::Resources;
 use serde::{Deserialize, Serialize};
@@ -123,6 +125,8 @@ pub struct Soc {
     horizon: u64,
     meter: EnergyMeter,
     irq_log: Vec<IrqEvent>,
+    fault_plan: Option<FaultPlan>,
+    decoupled_rejections: u64,
 }
 
 impl Soc {
@@ -150,7 +154,15 @@ impl Soc {
                 TileKind::Accel(k) => WrapperState::Configured(AccelInstance::new(k)),
                 _ => WrapperState::Empty,
             };
-            tiles.insert(coord, TileState { kind, wrapper, busy_until: 0, software: HashMap::new() });
+            tiles.insert(
+                coord,
+                TileState {
+                    kind,
+                    wrapper,
+                    busy_until: 0,
+                    software: HashMap::new(),
+                },
+            );
         }
         Ok(Soc {
             config: config.clone(),
@@ -164,6 +176,8 @@ impl Soc {
             horizon: 0,
             meter,
             irq_log: Vec::new(),
+            fault_plan: None,
+            decoupled_rejections: 0,
         })
     }
 
@@ -212,6 +226,38 @@ impl Soc {
         &self.dfxc
     }
 
+    /// Installs a fault-injection plan; `None` disables injection.
+    ///
+    /// The plan's hooks fire inside [`Soc::csr_write_at`] (decoupler ack
+    /// delay) and [`Soc::reconfigure_at`] (DFXC BUSY stall, bitstream
+    /// corruption caught by the ICAP's CRC check).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Mutable access to the installed fault plan (runtime layers consult
+    /// their own hooks, e.g. registry staleness, through this).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault_plan.as_mut()
+    }
+
+    /// Total NoC transfers injected so far (all planes).
+    pub fn noc_transfers(&self) -> u64 {
+        self.noc.transfer_count()
+    }
+
+    /// Operations rejected because they targeted a decoupled tile. Each
+    /// rejection happened *before* any DMA was issued — decoupled tiles
+    /// never observe NoC traffic.
+    pub fn decoupled_rejections(&self) -> u64 {
+        self.decoupled_rejections
+    }
+
     /// Registers additional provisioned fabric (the floorplanned
     /// reconfigurable regions) with the energy meter.
     pub fn provision_region(&mut self, resources: Resources) {
@@ -224,7 +270,10 @@ impl Soc {
     ///
     /// Returns [`Error::NoSuchTile`] for unknown coordinates.
     pub fn configured_kind(&self, tile: TileCoord) -> Result<Option<AcceleratorKind>, Error> {
-        let state = self.tiles.get(&tile).ok_or(Error::NoSuchTile { coord: tile })?;
+        let state = self
+            .tiles
+            .get(&tile)
+            .ok_or(Error::NoSuchTile { coord: tile })?;
         Ok(match &state.kind {
             TileKind::Accel(k) => Some(*k),
             _ => state.wrapper.configured_kind(),
@@ -232,7 +281,9 @@ impl Soc {
     }
 
     fn tile_mut(&mut self, coord: TileCoord) -> Result<&mut TileState, Error> {
-        self.tiles.get_mut(&coord).ok_or(Error::NoSuchTile { coord })
+        self.tiles
+            .get_mut(&coord)
+            .ok_or(Error::NoSuchTile { coord })
     }
 
     /// One DRAM access of `bytes`, no earlier than `at`; returns completion.
@@ -247,7 +298,10 @@ impl Soc {
     fn deliver_irq(&mut self, at: u64, source: TileCoord) -> u64 {
         let cpu = self.config.cpu();
         let t = self.noc.transfer(at, source, cpu, 8, Plane::Irq);
-        self.irq_log.push(IrqEvent { source, cycle: t.end });
+        self.irq_log.push(IrqEvent {
+            source,
+            cycle: t.end,
+        });
         t.end
     }
 
@@ -263,12 +317,21 @@ impl Soc {
     ///
     /// Returns [`Error::BadRegister`] for unknown offsets and tile errors
     /// for bad coordinates / kinds.
-    pub fn csr_write_at(&mut self, tile: TileCoord, offset: u64, value: u64, at: u64) -> Result<u64, Error> {
+    pub fn csr_write_at(
+        &mut self,
+        tile: TileCoord,
+        offset: u64,
+        value: u64,
+        at: u64,
+    ) -> Result<u64, Error> {
         let cpu = self.config.cpu();
         let t = self.noc.transfer(at, cpu, tile, 8, Plane::RegAccess);
         let state = self.tile_mut(tile)?;
         if !matches!(state.kind, TileKind::Reconfigurable) {
-            return Err(Error::WrongTileKind { coord: tile, expected: "reconfigurable" });
+            return Err(Error::WrongTileKind {
+                coord: tile,
+                expected: "reconfigurable",
+            });
         }
         match offset {
             csr::DECOUPLE => {
@@ -295,7 +358,14 @@ impl Soc {
             }
             _ => return Err(Error::BadRegister { offset }),
         }
-        let end = t.end;
+        // Fault hook: the decoupler may acknowledge late (e.g. draining
+        // in-flight NoC transactions); the CSR write still takes effect,
+        // only its completion is pushed out.
+        let delay = self
+            .fault_plan
+            .as_mut()
+            .map_or(0, FaultPlan::next_decoupler_delay);
+        let end = t.end + delay;
         self.bump_horizon(end);
         Ok(end)
     }
@@ -307,9 +377,15 @@ impl Soc {
     /// Returns [`Error::BadRegister`] for unknown offsets and tile errors
     /// for bad coordinates / kinds.
     pub fn csr_read(&self, tile: TileCoord, offset: u64) -> Result<u64, Error> {
-        let state = self.tiles.get(&tile).ok_or(Error::NoSuchTile { coord: tile })?;
+        let state = self
+            .tiles
+            .get(&tile)
+            .ok_or(Error::NoSuchTile { coord: tile })?;
         if !matches!(state.kind, TileKind::Reconfigurable) {
-            return Err(Error::WrongTileKind { coord: tile, expected: "reconfigurable" });
+            return Err(Error::WrongTileKind {
+                coord: tile,
+                expected: "reconfigurable",
+            });
         }
         match offset {
             csr::DECOUPLE => Ok(u64::from(state.wrapper.is_decoupled())),
@@ -343,9 +419,15 @@ impl Soc {
         let aux = self.config.aux();
         let mem = self.config.mem();
         {
-            let state = self.tiles.get(&tile).ok_or(Error::NoSuchTile { coord: tile })?;
+            let state = self
+                .tiles
+                .get(&tile)
+                .ok_or(Error::NoSuchTile { coord: tile })?;
             if !matches!(state.kind, TileKind::Reconfigurable) {
-                return Err(Error::WrongTileKind { coord: tile, expected: "reconfigurable" });
+                return Err(Error::WrongTileKind {
+                    coord: tile,
+                    expected: "reconfigurable",
+                });
             }
             if !state.wrapper.is_decoupled() {
                 return Err(Error::DecouplerProtocol {
@@ -358,9 +440,43 @@ impl Soc {
         // DFXC fetches the bitstream from DRAM over the DFX plane.
         let dram_done = self.dram_access(at, bytes);
         let fetch = self.noc.transfer(dram_done, mem, aux, bytes, Plane::Dfx);
+        // Fault hook: the DFXC may report BUSY for a while before
+        // accepting the trigger.
+        let stall = self
+            .fault_plan
+            .as_mut()
+            .map_or(0, FaultPlan::next_dfxc_stall);
         // Stream through the (shared) ICAP.
-        let icap_start = fetch.end.max(self.icap_free);
-        let report = self.dfxc.load(bitstream)?;
+        let icap_start = fetch.end.max(self.icap_free) + stall;
+        // Fault hook: one word of the stream may arrive corrupted; the
+        // flip goes through the real ICAP machinery, whose CRC check
+        // detects it and fails the load with the fabric partially written.
+        let fault = {
+            let words = bitstream.words().len();
+            self.fault_plan
+                .as_mut()
+                .and_then(|p| p.next_icap_fault(words))
+        };
+        let loaded = match fault {
+            Some(flip) => {
+                let corrupted = bitstream.with_words(flip.corrupt(bitstream.words()));
+                self.dfxc.load(&corrupted)
+            }
+            None => self.dfxc.load(bitstream),
+        };
+        let report = match loaded {
+            Ok(report) => report,
+            Err(e) => {
+                // A failed stream still occupied the ICAP for its full
+                // length, and virtual time advances past the attempt.
+                let wasted = (bitstream.words().len() as f64 / ICAP_CLOCK_MHZ
+                    * SOC_CYCLES_PER_MICRO)
+                    .ceil() as u64;
+                self.icap_free = icap_start + wasted;
+                self.bump_horizon(self.icap_free);
+                return Err(e);
+            }
+        };
         let icap_cycles = (report.micros * SOC_CYCLES_PER_MICRO).ceil() as u64;
         let icap_done = icap_start + icap_cycles;
         self.icap_free = icap_done;
@@ -368,7 +484,9 @@ impl Soc {
         // Install the new wrapper (still decoupled until software
         // re-couples it).
         let state = self.tile_mut(tile)?;
-        state.wrapper = WrapperState::Decoupled { previous: Some(kind) };
+        state.wrapper = WrapperState::Decoupled {
+            previous: Some(kind),
+        };
         state.busy_until = icap_done;
         let end = self.deliver_irq(icap_done, aux);
         self.bump_horizon(end);
@@ -387,22 +505,38 @@ impl Soc {
     /// # Errors
     ///
     /// Returns tile/kind/protocol errors and accelerator execution errors.
-    pub fn run_accelerator_at(&mut self, tile: TileCoord, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
+    pub fn run_accelerator_at(
+        &mut self,
+        tile: TileCoord,
+        op: &AccelOp,
+        at: u64,
+    ) -> Result<AccelRun, Error> {
         let mem = self.config.mem();
-        let state = self.tiles.get(&tile).ok_or(Error::NoSuchTile { coord: tile })?;
+        let state = self
+            .tiles
+            .get(&tile)
+            .ok_or(Error::NoSuchTile { coord: tile })?;
         let kind = match (&state.kind, &state.wrapper) {
             (TileKind::Accel(k), _) => *k,
             (TileKind::Reconfigurable, WrapperState::Configured(instance)) => instance.kind(),
             (TileKind::Reconfigurable, WrapperState::Decoupled { .. }) => {
+                // Rejected here, before any DMA is issued: decoupled tiles
+                // never observe NoC traffic.
+                self.decoupled_rejections += 1;
                 return Err(Error::DecouplerProtocol {
                     coord: tile,
                     detail: "accelerator start while decoupled".into(),
-                })
+                });
             }
             (TileKind::Reconfigurable, WrapperState::Empty) => {
                 return Err(Error::TileEmpty { coord: tile })
             }
-            _ => return Err(Error::WrongTileKind { coord: tile, expected: "accelerator" }),
+            _ => {
+                return Err(Error::WrongTileKind {
+                    coord: tile,
+                    expected: "accelerator",
+                })
+            }
         };
         if !op.runs_on(kind) {
             return Err(Error::Accel(presp_accel::Error::WrongOperation {
@@ -414,13 +548,17 @@ impl Soc {
         let start = at.max(state.busy_until);
         // Input DMA: DRAM read then NoC mem → tile.
         let dram_in = self.dram_access(start, op.input_bytes());
-        let t_in = self.noc.transfer(dram_in, mem, tile, op.input_bytes(), Plane::Dma);
+        let t_in = self
+            .noc
+            .transfer(dram_in, mem, tile, op.input_bytes(), Plane::Dma);
         // Compute.
         let cycles = compute_cycles(kind, op);
         let compute_done = t_in.end + cycles;
         self.meter.add_active(dynamic_power_w(kind), cycles);
         // Output DMA: NoC tile → mem then DRAM write.
-        let t_out = self.noc.transfer(compute_done, tile, mem, op.output_bytes(), Plane::Dma);
+        let t_out = self
+            .noc
+            .transfer(compute_done, tile, mem, op.output_bytes(), Plane::Dma);
         let dram_out = self.dram_access(t_out.end, op.output_bytes());
         // Execute the behavioral model.
         let value = match &mut self.tile_mut(tile)?.wrapper {
@@ -457,9 +595,16 @@ impl Soc {
             .entry(op.kind())
             .or_insert_with(|| AccelInstance::new(op.kind()));
         let value = instance.execute(op)?;
-        self.meter.add_active(dynamic_power_w(AcceleratorKind::Cpu), cycles);
+        self.meter
+            .add_active(dynamic_power_w(AcceleratorKind::Cpu), cycles);
         self.bump_horizon(end);
-        Ok(AccelRun { value, start, end, dma_cycles: 0, compute_cycles: cycles })
+        Ok(AccelRun {
+            value,
+            start,
+            end,
+            dma_cycles: 0,
+            compute_cycles: cycles,
+        })
     }
 
     /// Convenience wrapper: runs at the SoC's own clock and advances it.
@@ -500,7 +645,11 @@ mod tests {
         let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
         let words = device.part().family().frame_words();
         for minor in 0..4 {
-            b.add_frame(FrameAddress::new(0, column, minor), vec![0x5A5A_0000 + minor; words]).unwrap();
+            b.add_frame(
+                FrameAddress::new(0, column, minor),
+                vec![0x5A5A_0000 + minor; words],
+            )
+            .unwrap();
         }
         b.build(true)
     }
@@ -510,7 +659,13 @@ mod tests {
         let mut soc = mac_soc();
         let tile = soc.accelerator_tiles()[0];
         let run = soc
-            .run_accelerator(tile, &AccelOp::Mac { a: vec![1.0; 64], b: vec![2.0; 64] })
+            .run_accelerator(
+                tile,
+                &AccelOp::Mac {
+                    a: vec![1.0; 64],
+                    b: vec![2.0; 64],
+                },
+            )
             .unwrap();
         assert_eq!(run.value, AccelValue::Scalar(128.0));
         assert!(run.end > run.start);
@@ -544,13 +699,24 @@ mod tests {
         let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
         assert_eq!(soc.csr_read(tile, csr::STATUS).unwrap(), 2);
         let bs = mac_bitstream(&soc, 2);
-        let reconf = soc.reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1).unwrap();
+        let reconf = soc
+            .reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1)
+            .unwrap();
         assert!(reconf.end > t1);
         assert!(reconf.icap_cycles > 0 && reconf.fetch_cycles > 0);
-        let t2 = soc.csr_write_at(tile, csr::DECOUPLE, 0, reconf.end).unwrap();
+        let t2 = soc
+            .csr_write_at(tile, csr::DECOUPLE, 0, reconf.end)
+            .unwrap();
         assert_eq!(soc.csr_read(tile, csr::STATUS).unwrap(), 1);
         let run = soc
-            .run_accelerator_at(tile, &AccelOp::Mac { a: vec![3.0], b: vec![4.0] }, t2)
+            .run_accelerator_at(
+                tile,
+                &AccelOp::Mac {
+                    a: vec![3.0],
+                    b: vec![4.0],
+                },
+                t2,
+            )
             .unwrap();
         assert_eq!(run.value, AccelValue::Scalar(12.0));
     }
@@ -561,9 +727,18 @@ mod tests {
         let tile = soc.config().reconfigurable_tiles()[0];
         let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
         let bs = mac_bitstream(&soc, 2);
-        let reconf = soc.reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1).unwrap();
+        let reconf = soc
+            .reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1)
+            .unwrap();
         // Still decoupled: execution must be rejected until re-coupled.
-        let err = soc.run_accelerator_at(tile, &AccelOp::Mac { a: vec![1.0], b: vec![1.0] }, reconf.end);
+        let err = soc.run_accelerator_at(
+            tile,
+            &AccelOp::Mac {
+                a: vec![1.0],
+                b: vec![1.0],
+            },
+            reconf.end,
+        );
         assert!(matches!(err, Err(Error::DecouplerProtocol { .. })));
     }
 
@@ -579,11 +754,20 @@ mod tests {
         }
         // Load change detection, train the (DRAM-resident) model.
         let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
-        let r1 = soc.reconfigure_at(tile, cd, &mac_bitstream(&soc, 2), t1).unwrap();
+        let r1 = soc
+            .reconfigure_at(tile, cd, &mac_bitstream(&soc, 2), t1)
+            .unwrap();
         let t2 = soc.csr_write_at(tile, csr::DECOUPLE, 0, r1.end).unwrap();
         let model = Box::new(ChangeDetector::new(8, 8, GmmConfig::default()));
         let run = soc
-            .run_accelerator_at(tile, &AccelOp::ChangeDetection { frame: frame.clone(), model }, t2)
+            .run_accelerator_at(
+                tile,
+                &AccelOp::ChangeDetection {
+                    frame: frame.clone(),
+                    model,
+                },
+                t2,
+            )
             .unwrap();
         let trained = match run.value {
             AccelValue::ChangeDetection { model, .. } => model,
@@ -591,13 +775,24 @@ mod tests {
         };
         // Swap the accelerator out and back in: the model survived in DRAM
         // and still recognizes a change.
-        let t3 = soc.csr_write_at(tile, csr::DECOUPLE, 1, soc.horizon()).unwrap();
-        let r2 = soc.reconfigure_at(tile, cd, &mac_bitstream(&soc, 2), t3).unwrap();
+        let t3 = soc
+            .csr_write_at(tile, csr::DECOUPLE, 1, soc.horizon())
+            .unwrap();
+        let r2 = soc
+            .reconfigure_at(tile, cd, &mac_bitstream(&soc, 2), t3)
+            .unwrap();
         let t4 = soc.csr_write_at(tile, csr::DECOUPLE, 0, r2.end).unwrap();
         let mut bright = frame.clone();
         bright.set(0, 0, 255.0);
         let run = soc
-            .run_accelerator_at(tile, &AccelOp::ChangeDetection { frame: bright, model: trained }, t4)
+            .run_accelerator_at(
+                tile,
+                &AccelOp::ChangeDetection {
+                    frame: bright,
+                    model: trained,
+                },
+                t4,
+            )
             .unwrap();
         match run.value {
             AccelValue::ChangeDetection { changed, .. } => assert_eq!(changed, 1),
@@ -612,15 +807,23 @@ mod tests {
         let device = soc.part().device();
         let words = device.part().family().frame_words();
         let mut small = BitstreamBuilder::new(&device, BitstreamKind::Partial);
-        small.add_frame(FrameAddress::new(0, 2, 0), vec![1; words]).unwrap();
+        small
+            .add_frame(FrameAddress::new(0, 2, 0), vec![1; words])
+            .unwrap();
         let mut large = BitstreamBuilder::new(&device, BitstreamKind::Partial);
         for minor in 0..30 {
-            large.add_frame(FrameAddress::new(1, 2, minor), vec![minor + 1; words]).unwrap();
+            large
+                .add_frame(FrameAddress::new(1, 2, minor), vec![minor + 1; words])
+                .unwrap();
         }
         let t1 = soc.csr_write_at(tiles[0], csr::DECOUPLE, 1, 0).unwrap();
-        let r_small = soc.reconfigure_at(tiles[0], AcceleratorKind::Mac, &small.build(true), t1).unwrap();
+        let r_small = soc
+            .reconfigure_at(tiles[0], AcceleratorKind::Mac, &small.build(true), t1)
+            .unwrap();
         let t2 = soc.csr_write_at(tiles[1], csr::DECOUPLE, 1, 0).unwrap();
-        let r_large = soc.reconfigure_at(tiles[1], AcceleratorKind::Mac, &large.build(true), t2).unwrap();
+        let r_large = soc
+            .reconfigure_at(tiles[1], AcceleratorKind::Mac, &large.build(true), t2)
+            .unwrap();
         assert!(r_large.latency() > r_small.latency());
     }
 
@@ -628,7 +831,10 @@ mod tests {
     fn cpu_fallback_is_slower_than_hardware() {
         let mut soc = mac_soc();
         let tile = soc.accelerator_tiles()[0];
-        let op = AccelOp::Mac { a: vec![1.0; 4096], b: vec![1.0; 4096] };
+        let op = AccelOp::Mac {
+            a: vec![1.0; 4096],
+            b: vec![1.0; 4096],
+        };
         let hw = soc.run_accelerator_at(tile, &op, 0).unwrap();
         let sw = soc.run_on_cpu_at(&op, 0).unwrap();
         assert_eq!(hw.value, sw.value);
@@ -653,7 +859,10 @@ mod tests {
         .unwrap();
         let mut soc = Soc::new(&cfg).unwrap();
         let tiles = soc.accelerator_tiles();
-        let op = AccelOp::Mac { a: vec![1.0; 100_000], b: vec![1.0; 100_000] };
+        let op = AccelOp::Mac {
+            a: vec![1.0; 100_000],
+            b: vec![1.0; 100_000],
+        };
         let a = soc.run_accelerator_at(tiles[0], &op, 0).unwrap();
         let b = soc.run_accelerator_at(tiles[1], &op, 0).unwrap();
         // Issued at the same cycle, but DRAM + shared NoC links near the
@@ -665,7 +874,14 @@ mod tests {
     fn energy_report_accounts_all_terms() {
         let mut soc = mac_soc();
         let tile = soc.accelerator_tiles()[0];
-        soc.run_accelerator(tile, &AccelOp::Mac { a: vec![1.0; 1024], b: vec![1.0; 1024] }).unwrap();
+        soc.run_accelerator(
+            tile,
+            &AccelOp::Mac {
+                a: vec![1.0; 1024],
+                b: vec![1.0; 1024],
+            },
+        )
+        .unwrap();
         let report = soc.energy_report();
         assert!(report.dynamic_j > 0.0);
         assert!(report.leakage_j > 0.0);
@@ -678,8 +894,14 @@ mod tests {
     fn csr_errors() {
         let mut soc = reconf_soc(1);
         let tile = soc.config().reconfigurable_tiles()[0];
-        assert!(matches!(soc.csr_write_at(tile, 0x99, 1, 0), Err(Error::BadRegister { .. })));
-        assert!(matches!(soc.csr_read(tile, 0x99), Err(Error::BadRegister { .. })));
+        assert!(matches!(
+            soc.csr_write_at(tile, 0x99, 1, 0),
+            Err(Error::BadRegister { .. })
+        ));
+        assert!(matches!(
+            soc.csr_read(tile, 0x99),
+            Err(Error::BadRegister { .. })
+        ));
         let cpu = soc.config().cpu();
         assert!(matches!(
             soc.csr_read(cpu, csr::STATUS),

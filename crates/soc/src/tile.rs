@@ -148,7 +148,9 @@ mod tests {
         let empty = WrapperState::Empty;
         assert_eq!(empty.configured_kind(), None);
         assert!(!empty.is_decoupled());
-        let dec = WrapperState::Decoupled { previous: Some(AcceleratorKind::Mac) };
+        let dec = WrapperState::Decoupled {
+            previous: Some(AcceleratorKind::Mac),
+        };
         assert!(dec.is_decoupled());
         let cfg = WrapperState::Configured(presp_accel::AccelInstance::new(AcceleratorKind::Mac));
         assert_eq!(cfg.configured_kind(), Some(AcceleratorKind::Mac));

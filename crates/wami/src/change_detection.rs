@@ -24,7 +24,11 @@ pub struct Component {
 
 impl Default for Component {
     fn default() -> Component {
-        Component { weight: 0.0, mean: 0.0, var: 1.0 }
+        Component {
+            weight: 0.0,
+            mean: 0.0,
+            var: 1.0,
+        }
     }
 }
 
@@ -43,7 +47,12 @@ pub struct GmmConfig {
 
 impl Default for GmmConfig {
     fn default() -> GmmConfig {
-        GmmConfig { alpha: 0.05, match_sigma: 2.5, initial_var: 36.0, background_threshold: 0.7 }
+        GmmConfig {
+            alpha: 0.05,
+            match_sigma: 2.5,
+            initial_var: 36.0,
+            background_threshold: 0.7,
+        }
     }
 }
 
@@ -78,7 +87,10 @@ impl ChangeDetector {
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize, config: GmmConfig) -> ChangeDetector {
-        assert!(width > 0 && height > 0, "detector dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "detector dimensions must be non-zero"
+        );
         ChangeDetector {
             width,
             height,
@@ -101,12 +113,19 @@ impl ChangeDetector {
     /// the detector's.
     pub fn update(&mut self, frame: &GrayImage) -> Result<Image<bool>, Error> {
         if frame.dims() != (self.width, self.height) {
-            return Err(Error::DimensionMismatch { a: frame.dims(), b: (self.width, self.height) });
+            return Err(Error::DimensionMismatch {
+                a: frame.dims(),
+                b: (self.width, self.height),
+            });
         }
         let mut mask = Image::<bool>::zeroed(self.width, self.height);
         if !self.initialized {
             for (pixel, mix) in frame.pixels().iter().zip(self.model.iter_mut()) {
-                mix[0] = Component { weight: 1.0, mean: *pixel, var: self.config.initial_var };
+                mix[0] = Component {
+                    weight: 1.0,
+                    mean: *pixel,
+                    var: self.config.initial_var,
+                };
             }
             self.initialized = true;
             return Ok(mask);
@@ -141,9 +160,9 @@ fn update_pixel(mix: &mut [Component; K], x: f32, cfg: &GmmConfig) -> bool {
     });
 
     // Find the first matching component.
-    let matched = mix.iter().position(|c| {
-        c.weight > 0.0 && (x - c.mean).abs() <= cfg.match_sigma * c.var.sqrt()
-    });
+    let matched = mix
+        .iter()
+        .position(|c| c.weight > 0.0 && (x - c.mean).abs() <= cfg.match_sigma * c.var.sqrt());
 
     // Background test: does x match a component within the cumulative
     // background_threshold prefix?
@@ -178,9 +197,18 @@ fn update_pixel(mix: &mut [Component; K], x: f32, cfg: &GmmConfig) -> bool {
         None => {
             // Replace the weakest component with a new Gaussian centred at x.
             let weakest = (0..K)
-                .min_by(|&i, &j| mix[i].weight.partial_cmp(&mix[j].weight).expect("finite weight"))
+                .min_by(|&i, &j| {
+                    mix[i]
+                        .weight
+                        .partial_cmp(&mix[j].weight)
+                        .expect("finite weight")
+                })
                 .expect("K > 0");
-            mix[weakest] = Component { weight: cfg.alpha, mean: x, var: cfg.initial_var };
+            mix[weakest] = Component {
+                weight: cfg.alpha,
+                mean: x,
+                var: cfg.initial_var,
+            };
         }
     }
 
@@ -238,7 +266,10 @@ mod tests {
 
     #[test]
     fn persistent_object_is_absorbed_into_background() {
-        let cfg = GmmConfig { alpha: 0.2, ..GmmConfig::default() };
+        let cfg = GmmConfig {
+            alpha: 0.2,
+            ..GmmConfig::default()
+        };
         let mut det = ChangeDetector::new(4, 4, cfg);
         for _ in 0..10 {
             det.update(&constant_frame(4, 4, 50.0)).unwrap();
@@ -272,7 +303,8 @@ mod tests {
     fn weights_stay_normalized() {
         let mut det = ChangeDetector::new(2, 2, GmmConfig::default());
         for i in 0..30 {
-            det.update(&constant_frame(2, 2, (i * 37 % 256) as f32)).unwrap();
+            det.update(&constant_frame(2, 2, (i * 37 % 256) as f32))
+                .unwrap();
         }
         let total: f32 = det.components(0, 0).iter().map(|c| c.weight).sum();
         assert!((total - 1.0).abs() < 1e-4);

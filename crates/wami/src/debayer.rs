@@ -58,7 +58,9 @@ pub fn debayer(raw: &BayerImage) -> Result<RgbImage, Error> {
             let xi = x as isize;
             let yi = y as isize;
             let cross_g = (px(xi - 1, yi) + px(xi + 1, yi) + px(xi, yi - 1) + px(xi, yi + 1)) / 4.0;
-            let diag = (px(xi - 1, yi - 1) + px(xi + 1, yi - 1) + px(xi - 1, yi + 1) + px(xi + 1, yi + 1)) / 4.0;
+            let diag =
+                (px(xi - 1, yi - 1) + px(xi + 1, yi - 1) + px(xi - 1, yi + 1) + px(xi + 1, yi + 1))
+                    / 4.0;
             let horiz = (px(xi - 1, yi) + px(xi + 1, yi)) / 2.0;
             let vert = (px(xi, yi - 1) + px(xi, yi + 1)) / 2.0;
             let rgb = match site(x, y) {

@@ -31,7 +31,11 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::DimensionMismatch { a, b } => {
-                write!(f, "image dimensions differ: {}x{} vs {}x{}", a.0, a.1, b.0, b.1)
+                write!(
+                    f,
+                    "image dimensions differ: {}x{} vs {}x{}",
+                    a.0, a.1, b.0, b.1
+                )
             }
             Error::BadDimensions { detail } => write!(f, "bad image dimensions: {detail}"),
             Error::SingularMatrix => write!(f, "matrix is singular"),

@@ -72,7 +72,16 @@ impl SceneGenerator {
             })
             .collect();
         let drift = (rng.gen_range(-0.8..0.8), rng.gen_range(-0.8..0.8));
-        SceneGenerator { width, height, rng, background, objects, drift, frame_index: 0, noise_sigma: 1.0 }
+        SceneGenerator {
+            width,
+            height,
+            rng,
+            background,
+            objects,
+            drift,
+            frame_index: 0,
+            noise_sigma: 1.0,
+        }
     }
 
     /// Removes the moving foreground objects, leaving pure platform motion —
@@ -165,10 +174,10 @@ fn smooth_texture(width: usize, height: usize, rng: &mut StdRng) -> GrayImage {
     let waves: Vec<(f64, f64, f64, f64)> = (0..12)
         .map(|_| {
             (
-                rng.gen_range(0.02..0.15),  // fx
-                rng.gen_range(0.02..0.15),  // fy
+                rng.gen_range(0.02..0.15),                 // fx
+                rng.gen_range(0.02..0.15),                 // fy
                 rng.gen_range(0.0..std::f64::consts::TAU), // phase
-                rng.gen_range(10.0..30.0),  // amplitude
+                rng.gen_range(10.0..30.0),                 // amplitude
             )
         })
         .collect();
@@ -225,8 +234,18 @@ mod tests {
         let reg = register(&f0, &f1, &LkConfig::default()).unwrap();
         // frame1(x) = frame0(x + drift), so the warp aligning frame1 onto
         // frame0 translates by -drift.
-        assert!((reg.params.p[4] + dx).abs() < 0.15, "dx {} vs {}", reg.params.p[4], -dx);
-        assert!((reg.params.p[5] + dy).abs() < 0.15, "dy {} vs {}", reg.params.p[5], -dy);
+        assert!(
+            (reg.params.p[4] + dx).abs() < 0.15,
+            "dx {} vs {}",
+            reg.params.p[4],
+            -dx
+        );
+        assert!(
+            (reg.params.p[5] + dy).abs() < 0.15,
+            "dy {} vs {}",
+            reg.params.p[5],
+            -dy
+        );
     }
 
     #[test]

@@ -41,8 +41,16 @@ pub fn gradient(img: &GrayImage) -> Result<Gradients, Error> {
         for x in 0..w {
             let xi = x as isize;
             let yi = y as isize;
-            dx.set(x, y, (img.get_clamped(xi + 1, yi) - img.get_clamped(xi - 1, yi)) / 2.0);
-            dy.set(x, y, (img.get_clamped(xi, yi + 1) - img.get_clamped(xi, yi - 1)) / 2.0);
+            dx.set(
+                x,
+                y,
+                (img.get_clamped(xi + 1, yi) - img.get_clamped(xi - 1, yi)) / 2.0,
+            );
+            dy.set(
+                x,
+                y,
+                (img.get_clamped(xi, yi + 1) - img.get_clamped(xi, yi - 1)) / 2.0,
+            );
         }
     }
     Ok(Gradients { dx, dy })

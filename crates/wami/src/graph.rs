@@ -55,7 +55,11 @@ impl WamiKernel {
 
     /// 1-based Fig. 3 index.
     pub fn index(&self) -> usize {
-        WamiKernel::ALL.iter().position(|k| k == self).expect("kernel is in ALL") + 1
+        WamiKernel::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("kernel is in ALL")
+            + 1
     }
 
     /// Kernel for a 1-based Fig. 3 index.
@@ -213,6 +217,9 @@ mod tests {
     fn inner_loop_kernels_are_marked() {
         assert!(WamiKernel::Warp.per_iteration());
         assert!(!WamiKernel::Hessian.per_iteration());
-        assert_eq!(WamiKernel::ALL.iter().filter(|k| k.per_iteration()).count(), 4);
+        assert_eq!(
+            WamiKernel::ALL.iter().filter(|k| k.per_iteration()).count(),
+            4
+        );
     }
 }

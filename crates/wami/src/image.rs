@@ -37,7 +37,11 @@ impl<T: Copy + Default> Image<T> {
     /// Panics if either dimension is zero.
     pub fn zeroed(width: usize, height: usize) -> Image<T> {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        Image { width, height, data: vec![T::default(); width * height] }
+        Image {
+            width,
+            height,
+            data: vec![T::default(); width * height],
+        }
     }
 
     /// Creates an image from row-major data.
@@ -48,14 +52,20 @@ impl<T: Copy + Default> Image<T> {
     /// or a dimension is zero.
     pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Result<Image<T>, Error> {
         if width == 0 || height == 0 {
-            return Err(Error::BadDimensions { detail: format!("{width}x{height}") });
+            return Err(Error::BadDimensions {
+                detail: format!("{width}x{height}"),
+            });
         }
         if data.len() != width * height {
             return Err(Error::BadDimensions {
                 detail: format!("{} pixels for a {width}x{height} image", data.len()),
             });
         }
-        Ok(Image { width, height, data })
+        Ok(Image {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Image width in pixels.
@@ -132,7 +142,10 @@ impl<T: Copy + Default> Image<T> {
     /// Returns [`Error::DimensionMismatch`] when they do not.
     pub fn check_same_dims<U: Copy + Default>(&self, other: &Image<U>) -> Result<(), Error> {
         if self.dims() != other.dims() {
-            return Err(Error::DimensionMismatch { a: self.dims(), b: other.dims() });
+            return Err(Error::DimensionMismatch {
+                a: self.dims(),
+                b: other.dims(),
+            });
         }
         Ok(())
     }

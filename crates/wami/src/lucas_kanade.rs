@@ -61,7 +61,8 @@ pub fn hessian(sd: &SdImages) -> Mat6 {
             }
         }
     }
-    // Mirror the upper triangle.
+    // Mirror the upper triangle (indices alias across rows, so no iterator).
+    #[allow(clippy::needless_range_loop)]
     for i in 0..6 {
         for j in 0..i {
             h[i][j] = h[j][i];
@@ -89,7 +90,9 @@ pub fn sd_update(sd: &SdImages, error: &GrayImage) -> Result<Vec6, Error> {
 
 /// Solves `Δp = H⁻¹ · b` — accelerator #10 (using accelerator #9's inverse).
 pub fn delta_p(h_inv: &Mat6, b: &Vec6) -> AffineParams {
-    AffineParams { p: matvec6(h_inv, b) }
+    AffineParams {
+        p: matvec6(h_inv, b),
+    }
 }
 
 /// Inverse-compositional parameter update: `p ← p ∘ W(Δp)⁻¹`.
@@ -135,7 +138,11 @@ pub struct LkConfig {
 
 impl Default for LkConfig {
     fn default() -> LkConfig {
-        LkConfig { max_iterations: 30, epsilon: 1e-4, border_margin: 4 }
+        LkConfig {
+            max_iterations: 30,
+            epsilon: 1e-4,
+            border_margin: 4,
+        }
     }
 }
 
@@ -179,7 +186,11 @@ pub struct Registration {
 /// [`Error::SingularMatrix`] when the Hessian is singular (featureless
 /// template), and [`Error::RegistrationDiverged`] when the update stops
 /// being finite.
-pub fn register(template: &GrayImage, input: &GrayImage, config: &LkConfig) -> Result<Registration, Error> {
+pub fn register(
+    template: &GrayImage,
+    input: &GrayImage,
+    config: &LkConfig,
+) -> Result<Registration, Error> {
     template.check_same_dims(input)?;
     // Template-side precomputation (once per template — the reason the
     // decomposition pays off on hardware).
@@ -207,7 +218,11 @@ pub fn register(template: &GrayImage, input: &GrayImage, config: &LkConfig) -> R
             break;
         }
     }
-    Ok(Registration { params, iterations, final_error })
+    Ok(Registration {
+        params,
+        iterations,
+        final_error,
+    })
 }
 
 #[cfg(test)]
@@ -218,7 +233,12 @@ mod tests {
     /// Smooth test pattern: a sum of Gaussian blobs (plenty of gradient
     /// information everywhere, band-limited enough for bilinear sampling).
     fn blobs(w: usize, h: usize) -> GrayImage {
-        let centers = [(0.3, 0.25, 8.0), (0.7, 0.6, 6.0), (0.45, 0.8, 10.0), (0.15, 0.7, 7.0)];
+        let centers = [
+            (0.3, 0.25, 8.0),
+            (0.7, 0.6, 6.0),
+            (0.45, 0.8, 10.0),
+            (0.15, 0.7, 7.0),
+        ];
         let mut img = GrayImage::zeroed(w, h);
         for y in 0..h {
             for x in 0..w {
@@ -250,6 +270,7 @@ mod tests {
         let img = blobs(24, 24);
         let sd = steepest_descent(&gradient(&img).unwrap()).unwrap();
         let h = hessian(&sd);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..6 {
             assert!(h[i][i] >= 0.0);
             for j in 0..6 {
@@ -293,7 +314,10 @@ mod tests {
     fn mismatched_dims_are_rejected() {
         let a = blobs(16, 16);
         let b = blobs(17, 16);
-        assert!(matches!(register(&a, &b, &LkConfig::default()), Err(Error::DimensionMismatch { .. })));
+        assert!(matches!(
+            register(&a, &b, &LkConfig::default()),
+            Err(Error::DimensionMismatch { .. })
+        ));
     }
 
     proptest! {

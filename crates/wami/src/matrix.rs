@@ -37,7 +37,12 @@ pub fn invert6(m: &Mat6) -> Result<Mat6, Error> {
     for col in 0..6 {
         // Partial pivot.
         let pivot_row = (col..6)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         if a[pivot_row][col].abs() < 1e-12 {
             return Err(Error::SingularMatrix);

@@ -61,7 +61,12 @@ pub struct Pipeline {
 impl Pipeline {
     /// Creates a pipeline.
     pub fn new(config: PipelineConfig) -> Pipeline {
-        Pipeline { config, previous: None, detector: None, frames: 0 }
+        Pipeline {
+            config,
+            previous: None,
+            detector: None,
+            frames: 0,
+        }
     }
 
     /// Frames processed so far.
@@ -101,7 +106,11 @@ impl Pipeline {
 
         self.previous = Some(gray);
         self.frames += 1;
-        Ok(FrameOutput { registration, changed_pixels: changed, luma_mean })
+        Ok(FrameOutput {
+            registration,
+            changed_pixels: changed,
+            luma_mean,
+        })
     }
 }
 
@@ -130,8 +139,18 @@ mod tests {
         let (dx, dy) = scene.drift();
         // The warp aligning the new frame onto the previous one undoes the
         // platform drift (Bayer mosaic + demosaic add a little blur noise).
-        assert!((reg.params.p[4] + dx).abs() < 0.3, "dx {} vs {}", reg.params.p[4], -dx);
-        assert!((reg.params.p[5] + dy).abs() < 0.3, "dy {} vs {}", reg.params.p[5], -dy);
+        assert!(
+            (reg.params.p[4] + dx).abs() < 0.3,
+            "dx {} vs {}",
+            reg.params.p[4],
+            -dx
+        );
+        assert!(
+            (reg.params.p[5] + dy).abs() < 0.3,
+            "dy {} vs {}",
+            reg.params.p[5],
+            -dy
+        );
     }
 
     #[test]
@@ -158,6 +177,9 @@ mod tests {
         }
         let out = pipe.process(&scene.next_frame()).unwrap();
         let frac = out.changed_pixels as f64 / (64.0 * 64.0);
-        assert!(frac < 0.2, "changed fraction {frac} too large: registration failed?");
+        assert!(
+            frac < 0.2,
+            "changed fraction {frac} too large: registration failed?"
+        );
     }
 }

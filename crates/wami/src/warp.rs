@@ -41,7 +41,9 @@ impl AffineParams {
 
     /// A pure translation by `(tx, ty)`.
     pub fn translation(tx: f64, ty: f64) -> AffineParams {
-        AffineParams { p: [0.0, 0.0, 0.0, 0.0, tx, ty] }
+        AffineParams {
+            p: [0.0, 0.0, 0.0, 0.0, tx, ty],
+        }
     }
 
     /// Applies the warp to a point.
@@ -73,7 +75,16 @@ impl AffineParams {
                 a[1][0] * b[0][2] + a[1][1] * b[1][2] + a[1][2],
             ],
         ];
-        AffineParams { p: [m[0][0] - 1.0, m[1][0], m[0][1], m[1][1] - 1.0, m[0][2], m[1][2]] }
+        AffineParams {
+            p: [
+                m[0][0] - 1.0,
+                m[1][0],
+                m[0][1],
+                m[1][1] - 1.0,
+                m[0][2],
+                m[1][2],
+            ],
+        }
     }
 
     /// Inverse warp.
@@ -93,7 +104,9 @@ impl AffineParams {
         let id = m[0][0] / det;
         let ie = -(ia * m[0][2] + ic * m[1][2]);
         let if_ = -(ib * m[0][2] + id * m[1][2]);
-        Ok(AffineParams { p: [ia - 1.0, ib, ic, id - 1.0, ie, if_] })
+        Ok(AffineParams {
+            p: [ia - 1.0, ib, ic, id - 1.0, ie, if_],
+        })
     }
 
     /// Euclidean norm of the parameter vector (convergence measure).
@@ -140,7 +153,11 @@ pub fn subtract(a: &GrayImage, b: &GrayImage) -> Result<GrayImage, Error> {
     a.check_same_dims(b)?;
     let (w, h) = a.dims();
     let mut out = GrayImage::zeroed(w, h);
-    for (o, (&pa, &pb)) in out.pixels_mut().iter_mut().zip(a.pixels().iter().zip(b.pixels())) {
+    for (o, (&pa, &pb)) in out
+        .pixels_mut()
+        .iter_mut()
+        .zip(a.pixels().iter().zip(b.pixels()))
+    {
         *o = pa - pb;
     }
     Ok(out)
@@ -182,7 +199,9 @@ mod tests {
     #[test]
     fn singular_warp_has_no_inverse() {
         // Collapse everything onto a line: linear part rank 1.
-        let degenerate = AffineParams { p: [-1.0, 0.0, 0.0, -1.0, 0.0, 0.0] };
+        let degenerate = AffineParams {
+            p: [-1.0, 0.0, 0.0, -1.0, 0.0, 0.0],
+        };
         assert_eq!(degenerate.invert(), Err(Error::SingularMatrix));
     }
 
@@ -205,7 +224,9 @@ mod tests {
             -5.0f64..5.0,
             -5.0f64..5.0,
         )
-            .prop_map(|(p1, p2, p3, p4, p5, p6)| AffineParams { p: [p1, p2, p3, p4, p5, p6] })
+            .prop_map(|(p1, p2, p3, p4, p5, p6)| AffineParams {
+                p: [p1, p2, p3, p4, p5, p6],
+            })
     }
 
     proptest! {

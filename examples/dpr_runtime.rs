@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             registry.register(tile, info.kind, info.bitstream.clone());
         }
     }
-    println!("registered {} partial bitstreams ({} KB pinned)", registry.len(), registry.total_bytes() / 1024);
+    println!(
+        "registered {} partial bitstreams ({} KB pinned)",
+        registry.len(),
+        registry.total_bytes() / 1024
+    );
 
     let manager = ThreadedManager::spawn(soc, registry);
     let tiles = design.config.reconfigurable_tiles();
@@ -45,15 +49,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::thread::spawn(move || {
             for round in 0..6 {
                 if round % 2 == 0 {
-                    mgr.reconfigure_blocking(tile, AcceleratorKind::Mac).unwrap();
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                        .unwrap();
                     let run = mgr
-                        .run_blocking(tile, AccelOp::Mac { a: vec![2.0; 128], b: vec![3.0; 128] })
+                        .run_blocking(
+                            tile,
+                            AccelOp::Mac {
+                                a: vec![2.0; 128],
+                                b: vec![3.0; 128],
+                            },
+                        )
                         .unwrap();
                     assert_eq!(run.value, AccelValue::Scalar(768.0));
                 } else {
-                    mgr.reconfigure_blocking(tile, AcceleratorKind::Sort).unwrap();
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Sort)
+                        .unwrap();
                     let run = mgr
-                        .run_blocking(tile, AccelOp::Sort { data: (0..64).rev().map(|i| i as f32).collect() })
+                        .run_blocking(
+                            tile,
+                            AccelOp::Sort {
+                                data: (0..64).rev().map(|i| i as f32).collect(),
+                            },
+                        )
                         .unwrap();
                     match run.value {
                         AccelValue::Vector(v) => assert!(v.windows(2).all(|w| w[0] <= w[1])),
@@ -71,15 +88,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::thread::spawn(move || {
             for round in 0..6 {
                 if round % 2 == 0 {
-                    mgr.reconfigure_blocking(tile, AcceleratorKind::Fft).unwrap();
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Fft)
+                        .unwrap();
                     let mut re = vec![0.0f32; 256];
                     re[1] = 1.0;
-                    mgr.run_blocking(tile, AccelOp::Fft { re, im: vec![0.0; 256] }).unwrap();
+                    mgr.run_blocking(
+                        tile,
+                        AccelOp::Fft {
+                            re,
+                            im: vec![0.0; 256],
+                        },
+                    )
+                    .unwrap();
                 } else {
-                    mgr.reconfigure_blocking(tile, AcceleratorKind::Gemm).unwrap();
+                    mgr.reconfigure_blocking(tile, AcceleratorKind::Gemm)
+                        .unwrap();
                     let a = vec![1.0f32; 16];
                     let b = vec![2.0f32; 16];
-                    mgr.run_blocking(tile, AccelOp::Gemm { m: 4, k: 4, n: 4, a, b }).unwrap();
+                    mgr.run_blocking(
+                        tile,
+                        AccelOp::Gemm {
+                            m: 4,
+                            k: 4,
+                            n: 4,
+                            a,
+                            b,
+                        },
+                    )
+                    .unwrap();
                 }
             }
         })

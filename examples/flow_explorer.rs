@@ -40,8 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let serial = wall(Strategy::Serial);
-        let semi = if n > 2 { wall(Strategy::SemiParallel { tau: 2 }) } else { "-".into() };
-        let fully = if n >= 2 { wall(Strategy::FullyParallel) } else { "-".into() };
+        let semi = if n > 2 {
+            wall(Strategy::SemiParallel { tau: 2 })
+        } else {
+            "-".into()
+        };
+        let fully = if n >= 2 {
+            wall(Strategy::FullyParallel)
+        } else {
+            "-".into()
+        };
         let output = flow.run(&design)?;
 
         println!(

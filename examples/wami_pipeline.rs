@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The software reference with solver settings matched to the fixed
     // iteration count of the deployment.
     let mut sw = Pipeline::new(PipelineConfig {
-        lk: LkConfig { max_iterations: iterations, epsilon: 0.0, border_margin: 4 },
+        lk: LkConfig {
+            max_iterations: iterations,
+            epsilon: 0.0,
+            border_margin: 4,
+        },
         gmm: GmmConfig::default(),
     });
 

@@ -45,7 +45,9 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else { return usage() };
+    let Some(command) = args.first() else {
+        return usage();
+    };
 
     match command.as_str() {
         "designs" => {
@@ -66,7 +68,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "classify" | "flow" | "config" => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(design) = builtin(name) else {
                 eprintln!("unknown design '{name}' — try `presp designs`");
                 return ExitCode::FAILURE;
@@ -106,8 +110,14 @@ fn main() -> ExitCode {
                             if let Some(o) = out.report.pnr.max_omega {
                                 println!("max Omega:  {o}");
                             }
-                            println!("total:      {}  (monolithic: {})", out.report.total, out.monolithic.total);
-                            println!("full bitstream: {} KB", out.full_bitstream.size_bytes() / 1024);
+                            println!(
+                                "total:      {}  (monolithic: {})",
+                                out.report.total, out.monolithic.total
+                            );
+                            println!(
+                                "full bitstream: {} KB",
+                                out.full_bitstream.size_bytes() / 1024
+                            );
                             for info in &out.partial_bitstreams {
                                 println!(
                                     "  pbs {:<10} {:<24} {:>6} KB",

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6762cf7d44f43d02.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6762cf7d44f43d02: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-a63588a2075a3770.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-a63588a2075a3770: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-ab0aed64d5898998.d: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-ab0aed64d5898998.rmeta: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+crates/bench/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpr_protocol-447c7b78f8b5e042.d: tests/dpr_protocol.rs
+
+/root/repo/target/debug/deps/dpr_protocol-447c7b78f8b5e042: tests/dpr_protocol.rs
+
+tests/dpr_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpr_protocol-90ad99a3dd68d4fc.d: tests/dpr_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpr_protocol-90ad99a3dd68d4fc.rmeta: tests/dpr_protocol.rs Cargo.toml
+
+tests/dpr_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

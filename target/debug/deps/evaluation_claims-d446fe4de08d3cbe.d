@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation_claims-d446fe4de08d3cbe.d: tests/evaluation_claims.rs
+
+/root/repo/target/debug/deps/evaluation_claims-d446fe4de08d3cbe: tests/evaluation_claims.rs
+
+tests/evaluation_claims.rs:

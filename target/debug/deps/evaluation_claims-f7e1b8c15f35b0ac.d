@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluation_claims-f7e1b8c15f35b0ac.d: tests/evaluation_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluation_claims-f7e1b8c15f35b0ac.rmeta: tests/evaluation_claims.rs Cargo.toml
+
+tests/evaluation_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

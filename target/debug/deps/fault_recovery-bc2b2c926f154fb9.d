@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-bc2b2c926f154fb9.d: tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-bc2b2c926f154fb9: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-0a77c7d952a2eea3.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-0a77c7d952a2eea3: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

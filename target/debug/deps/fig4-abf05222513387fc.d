@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-abf05222513387fc.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-abf05222513387fc: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_flow-2a3b8e4004a7f33d.d: tests/full_flow.rs
+
+/root/repo/target/debug/deps/full_flow-2a3b8e4004a7f33d: tests/full_flow.rs
+
+tests/full_flow.rs:

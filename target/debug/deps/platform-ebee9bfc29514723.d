@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform-ebee9bfc29514723.d: crates/bench/benches/platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform-ebee9bfc29514723.rmeta: crates/bench/benches/platform.rs Cargo.toml
+
+crates/bench/benches/platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

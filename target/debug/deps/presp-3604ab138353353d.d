@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/presp-3604ab138353353d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpresp-3604ab138353353d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpresp-3604ab138353353d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/presp-38fdca9b366a439a.d: src/bin/presp.rs
+
+/root/repo/target/debug/deps/presp-38fdca9b366a439a: src/bin/presp.rs
+
+src/bin/presp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/presp-4d030c0f8ad2ab46.d: src/bin/presp.rs
+
+/root/repo/target/debug/deps/presp-4d030c0f8ad2ab46: src/bin/presp.rs
+
+src/bin/presp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/presp-7841ad0290ecc2f2.d: src/bin/presp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp-7841ad0290ecc2f2.rmeta: src/bin/presp.rs Cargo.toml
+
+src/bin/presp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/presp-a1d0d23671d8fd9f.d: src/bin/presp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp-a1d0d23671d8fd9f.rmeta: src/bin/presp.rs Cargo.toml
+
+src/bin/presp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

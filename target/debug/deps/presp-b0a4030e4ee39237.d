@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/presp-b0a4030e4ee39237.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp-b0a4030e4ee39237.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/presp-cff91f85c1880c27.d: src/lib.rs
+
+/root/repo/target/debug/deps/presp-cff91f85c1880c27: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/presp_accel-0afa32697753691a.d: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs
+
+/root/repo/target/debug/deps/presp_accel-0afa32697753691a: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/catalog.rs:
+crates/accel/src/error.rs:
+crates/accel/src/latency.rs:
+crates/accel/src/op.rs:
+crates/accel/src/power.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/presp_accel-92cf717fe71f6440.d: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_accel-92cf717fe71f6440.rmeta: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/catalog.rs:
+crates/accel/src/error.rs:
+crates/accel/src/latency.rs:
+crates/accel/src/op.rs:
+crates/accel/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

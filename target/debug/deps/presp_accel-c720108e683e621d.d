@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/presp_accel-c720108e683e621d.d: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs
+
+/root/repo/target/debug/deps/libpresp_accel-c720108e683e621d.rlib: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs
+
+/root/repo/target/debug/deps/libpresp_accel-c720108e683e621d.rmeta: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/catalog.rs:
+crates/accel/src/error.rs:
+crates/accel/src/latency.rs:
+crates/accel/src/op.rs:
+crates/accel/src/power.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/presp_bench-5f069f094d83b8e7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/presp_bench-5f069f094d83b8e7: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/render.rs:

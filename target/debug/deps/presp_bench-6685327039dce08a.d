@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/presp_bench-6685327039dce08a.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_bench-6685327039dce08a.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/presp_bench-a76f5ef9d5f1d357.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libpresp_bench-a76f5ef9d5f1d357.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libpresp_bench-a76f5ef9d5f1d357.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/presp_bench-ac7b6ee9d8cd77e8.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_bench-ac7b6ee9d8cd77e8.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

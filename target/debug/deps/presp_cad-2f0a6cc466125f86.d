@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/presp_cad-2f0a6cc466125f86.d: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_cad-2f0a6cc466125f86.rmeta: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs Cargo.toml
+
+crates/cad/src/lib.rs:
+crates/cad/src/error.rs:
+crates/cad/src/flow.rs:
+crates/cad/src/host.rs:
+crates/cad/src/model.rs:
+crates/cad/src/place.rs:
+crates/cad/src/spec.rs:
+crates/cad/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

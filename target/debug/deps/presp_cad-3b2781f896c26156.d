@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/presp_cad-3b2781f896c26156.d: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs
+
+/root/repo/target/debug/deps/presp_cad-3b2781f896c26156: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs
+
+crates/cad/src/lib.rs:
+crates/cad/src/error.rs:
+crates/cad/src/flow.rs:
+crates/cad/src/host.rs:
+crates/cad/src/model.rs:
+crates/cad/src/place.rs:
+crates/cad/src/spec.rs:
+crates/cad/src/synth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/presp_cad-4f3fa1a248fe2db0.d: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs
+
+/root/repo/target/debug/deps/libpresp_cad-4f3fa1a248fe2db0.rlib: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs
+
+/root/repo/target/debug/deps/libpresp_cad-4f3fa1a248fe2db0.rmeta: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs
+
+crates/cad/src/lib.rs:
+crates/cad/src/error.rs:
+crates/cad/src/flow.rs:
+crates/cad/src/host.rs:
+crates/cad/src/model.rs:
+crates/cad/src/place.rs:
+crates/cad/src/spec.rs:
+crates/cad/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/presp_core-103e0fdda4d93ade.d: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/libpresp_core-103e0fdda4d93ade.rlib: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/libpresp_core-103e0fdda4d93ade.rmeta: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/design.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/platform.rs:
+crates/core/src/strategy.rs:

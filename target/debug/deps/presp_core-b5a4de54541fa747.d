@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/presp_core-b5a4de54541fa747.d: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/presp_core-b5a4de54541fa747: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/design.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/platform.rs:
+crates/core/src/strategy.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/presp_core-e7efd0eac23bbd14.d: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_core-e7efd0eac23bbd14.rmeta: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/design.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/platform.rs:
+crates/core/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

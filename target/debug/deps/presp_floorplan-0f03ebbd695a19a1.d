@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/presp_floorplan-0f03ebbd695a19a1.d: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs
+
+/root/repo/target/debug/deps/presp_floorplan-0f03ebbd695a19a1: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/error.rs:
+crates/floorplan/src/planner.rs:

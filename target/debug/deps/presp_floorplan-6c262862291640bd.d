@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/presp_floorplan-6c262862291640bd.d: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_floorplan-6c262862291640bd.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs Cargo.toml
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/error.rs:
+crates/floorplan/src/planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/presp_floorplan-c97f0393b0edd558.d: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs
+
+/root/repo/target/debug/deps/libpresp_floorplan-c97f0393b0edd558.rlib: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs
+
+/root/repo/target/debug/deps/libpresp_floorplan-c97f0393b0edd558.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/error.rs:
+crates/floorplan/src/planner.rs:

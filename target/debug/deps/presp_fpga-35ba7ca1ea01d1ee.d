@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/presp_fpga-35ba7ca1ea01d1ee.d: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_fpga-35ba7ca1ea01d1ee.rmeta: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs Cargo.toml
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/bitstream.rs:
+crates/fpga/src/config_memory.rs:
+crates/fpga/src/error.rs:
+crates/fpga/src/fabric.rs:
+crates/fpga/src/fault.rs:
+crates/fpga/src/frame.rs:
+crates/fpga/src/icap.rs:
+crates/fpga/src/part.rs:
+crates/fpga/src/pblock.rs:
+crates/fpga/src/resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/presp_fpga-9e471a741d43d581.d: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs
+
+/root/repo/target/debug/deps/presp_fpga-9e471a741d43d581: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/bitstream.rs:
+crates/fpga/src/config_memory.rs:
+crates/fpga/src/error.rs:
+crates/fpga/src/fabric.rs:
+crates/fpga/src/fault.rs:
+crates/fpga/src/frame.rs:
+crates/fpga/src/icap.rs:
+crates/fpga/src/part.rs:
+crates/fpga/src/pblock.rs:
+crates/fpga/src/resources.rs:

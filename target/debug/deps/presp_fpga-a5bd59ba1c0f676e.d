@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/presp_fpga-a5bd59ba1c0f676e.d: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs
+
+/root/repo/target/debug/deps/libpresp_fpga-a5bd59ba1c0f676e.rlib: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs
+
+/root/repo/target/debug/deps/libpresp_fpga-a5bd59ba1c0f676e.rmeta: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/bitstream.rs:
+crates/fpga/src/config_memory.rs:
+crates/fpga/src/error.rs:
+crates/fpga/src/fabric.rs:
+crates/fpga/src/fault.rs:
+crates/fpga/src/frame.rs:
+crates/fpga/src/icap.rs:
+crates/fpga/src/part.rs:
+crates/fpga/src/pblock.rs:
+crates/fpga/src/resources.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/presp_runtime-00d59367ece3a9b6.d: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/debug/deps/presp_runtime-00d59367ece3a9b6: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/app.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/manager.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/threaded.rs:

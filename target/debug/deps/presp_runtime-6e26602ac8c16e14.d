@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/presp_runtime-6e26602ac8c16e14.d: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/debug/deps/libpresp_runtime-6e26602ac8c16e14.rlib: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/debug/deps/libpresp_runtime-6e26602ac8c16e14.rmeta: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/app.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/manager.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/threaded.rs:

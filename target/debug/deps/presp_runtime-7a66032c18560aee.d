@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/presp_runtime-7a66032c18560aee.d: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_runtime-7a66032c18560aee.rmeta: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/app.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/manager.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

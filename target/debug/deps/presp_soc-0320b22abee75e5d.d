@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/presp_soc-0320b22abee75e5d.d: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs
+
+/root/repo/target/debug/deps/presp_soc-0320b22abee75e5d: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/config.rs:
+crates/soc/src/dfxc.rs:
+crates/soc/src/energy.rs:
+crates/soc/src/error.rs:
+crates/soc/src/json.rs:
+crates/soc/src/noc.rs:
+crates/soc/src/sim.rs:
+crates/soc/src/tile.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/presp_soc-6099a66a7390d9c0.d: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs
+
+/root/repo/target/debug/deps/libpresp_soc-6099a66a7390d9c0.rlib: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs
+
+/root/repo/target/debug/deps/libpresp_soc-6099a66a7390d9c0.rmeta: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/config.rs:
+crates/soc/src/dfxc.rs:
+crates/soc/src/energy.rs:
+crates/soc/src/error.rs:
+crates/soc/src/json.rs:
+crates/soc/src/noc.rs:
+crates/soc/src/sim.rs:
+crates/soc/src/tile.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/presp_soc-eab325e444a6528d.d: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_soc-eab325e444a6528d.rmeta: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs Cargo.toml
+
+crates/soc/src/lib.rs:
+crates/soc/src/config.rs:
+crates/soc/src/dfxc.rs:
+crates/soc/src/energy.rs:
+crates/soc/src/error.rs:
+crates/soc/src/json.rs:
+crates/soc/src/noc.rs:
+crates/soc/src/sim.rs:
+crates/soc/src/tile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/presp_wami-53ef5471a9618322.d: crates/wami/src/lib.rs crates/wami/src/change_detection.rs crates/wami/src/debayer.rs crates/wami/src/error.rs crates/wami/src/frames.rs crates/wami/src/gradient.rs crates/wami/src/graph.rs crates/wami/src/grayscale.rs crates/wami/src/image.rs crates/wami/src/lucas_kanade.rs crates/wami/src/matrix.rs crates/wami/src/pipeline.rs crates/wami/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpresp_wami-53ef5471a9618322.rmeta: crates/wami/src/lib.rs crates/wami/src/change_detection.rs crates/wami/src/debayer.rs crates/wami/src/error.rs crates/wami/src/frames.rs crates/wami/src/gradient.rs crates/wami/src/graph.rs crates/wami/src/grayscale.rs crates/wami/src/image.rs crates/wami/src/lucas_kanade.rs crates/wami/src/matrix.rs crates/wami/src/pipeline.rs crates/wami/src/warp.rs Cargo.toml
+
+crates/wami/src/lib.rs:
+crates/wami/src/change_detection.rs:
+crates/wami/src/debayer.rs:
+crates/wami/src/error.rs:
+crates/wami/src/frames.rs:
+crates/wami/src/gradient.rs:
+crates/wami/src/graph.rs:
+crates/wami/src/grayscale.rs:
+crates/wami/src/image.rs:
+crates/wami/src/lucas_kanade.rs:
+crates/wami/src/matrix.rs:
+crates/wami/src/pipeline.rs:
+crates/wami/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

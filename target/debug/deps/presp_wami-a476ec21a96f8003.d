@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/presp_wami-a476ec21a96f8003.d: crates/wami/src/lib.rs crates/wami/src/change_detection.rs crates/wami/src/debayer.rs crates/wami/src/error.rs crates/wami/src/frames.rs crates/wami/src/gradient.rs crates/wami/src/graph.rs crates/wami/src/grayscale.rs crates/wami/src/image.rs crates/wami/src/lucas_kanade.rs crates/wami/src/matrix.rs crates/wami/src/pipeline.rs crates/wami/src/warp.rs
+
+/root/repo/target/debug/deps/presp_wami-a476ec21a96f8003: crates/wami/src/lib.rs crates/wami/src/change_detection.rs crates/wami/src/debayer.rs crates/wami/src/error.rs crates/wami/src/frames.rs crates/wami/src/gradient.rs crates/wami/src/graph.rs crates/wami/src/grayscale.rs crates/wami/src/image.rs crates/wami/src/lucas_kanade.rs crates/wami/src/matrix.rs crates/wami/src/pipeline.rs crates/wami/src/warp.rs
+
+crates/wami/src/lib.rs:
+crates/wami/src/change_detection.rs:
+crates/wami/src/debayer.rs:
+crates/wami/src/error.rs:
+crates/wami/src/frames.rs:
+crates/wami/src/gradient.rs:
+crates/wami/src/graph.rs:
+crates/wami/src/grayscale.rs:
+crates/wami/src/image.rs:
+crates/wami/src/lucas_kanade.rs:
+crates/wami/src/matrix.rs:
+crates/wami/src/pipeline.rs:
+crates/wami/src/warp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_dpr-ad9ce48df4446da3.d: tests/stress_dpr.rs
+
+/root/repo/target/debug/deps/stress_dpr-ad9ce48df4446da3: tests/stress_dpr.rs
+
+tests/stress_dpr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress_dpr-e95184a2fd5ff045.d: tests/stress_dpr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress_dpr-e95184a2fd5ff045.rmeta: tests/stress_dpr.rs Cargo.toml
+
+tests/stress_dpr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ba761f5de8cd134d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ba761f5de8cd134d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ea678cac7ae48d6c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ea678cac7ae48d6c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

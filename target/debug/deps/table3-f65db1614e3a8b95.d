@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f65db1614e3a8b95.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-f65db1614e3a8b95: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

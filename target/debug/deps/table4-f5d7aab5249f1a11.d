@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-f5d7aab5249f1a11.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-f5d7aab5249f1a11: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

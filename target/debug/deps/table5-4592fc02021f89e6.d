@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-4592fc02021f89e6.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-4592fc02021f89e6: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-ee9c94879a55622f.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-ee9c94879a55622f: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wami_equivalence-17ff72045f9be6e1.d: tests/wami_equivalence.rs
+
+/root/repo/target/debug/deps/wami_equivalence-17ff72045f9be6e1: tests/wami_equivalence.rs
+
+tests/wami_equivalence.rs:

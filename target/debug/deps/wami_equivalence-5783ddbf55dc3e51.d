@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wami_equivalence-5783ddbf55dc3e51.d: tests/wami_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwami_equivalence-5783ddbf55dc3e51.rmeta: tests/wami_equivalence.rs Cargo.toml
+
+tests/wami_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dpr_runtime-6575d86a9b2f0e4b.d: examples/dpr_runtime.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdpr_runtime-6575d86a9b2f0e4b.rmeta: examples/dpr_runtime.rs Cargo.toml
+
+examples/dpr_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

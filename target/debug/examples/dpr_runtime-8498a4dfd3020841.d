@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dpr_runtime-8498a4dfd3020841.d: examples/dpr_runtime.rs
+
+/root/repo/target/debug/examples/dpr_runtime-8498a4dfd3020841: examples/dpr_runtime.rs
+
+examples/dpr_runtime.rs:

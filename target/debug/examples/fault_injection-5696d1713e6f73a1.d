@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-5696d1713e6f73a1.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-5696d1713e6f73a1: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flow_explorer-355db5c5a6a35d18.d: examples/flow_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflow_explorer-355db5c5a6a35d18.rmeta: examples/flow_explorer.rs Cargo.toml
+
+examples/flow_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flow_explorer-38bc2fd04ed7563d.d: examples/flow_explorer.rs
+
+/root/repo/target/debug/examples/flow_explorer-38bc2fd04ed7563d: examples/flow_explorer.rs
+
+examples/flow_explorer.rs:

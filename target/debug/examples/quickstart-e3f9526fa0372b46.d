@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e3f9526fa0372b46.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e3f9526fa0372b46: examples/quickstart.rs
+
+examples/quickstart.rs:

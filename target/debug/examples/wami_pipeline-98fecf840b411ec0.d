@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wami_pipeline-98fecf840b411ec0.d: examples/wami_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwami_pipeline-98fecf840b411ec0.rmeta: examples/wami_pipeline.rs Cargo.toml
+
+examples/wami_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

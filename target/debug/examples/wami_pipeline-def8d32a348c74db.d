@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wami_pipeline-def8d32a348c74db.d: examples/wami_pipeline.rs
+
+/root/repo/target/debug/examples/wami_pipeline-def8d32a348c74db: examples/wami_pipeline.rs
+
+examples/wami_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/presp-344b837b97061735.d: src/bin/presp.rs
+
+/root/repo/target/release/deps/presp-344b837b97061735: src/bin/presp.rs
+
+src/bin/presp.rs:

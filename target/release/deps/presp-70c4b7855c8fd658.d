@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/presp-70c4b7855c8fd658.d: src/lib.rs
+
+/root/repo/target/release/deps/libpresp-70c4b7855c8fd658.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpresp-70c4b7855c8fd658.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/presp_accel-fa743e4fd060f78c.d: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs
+
+/root/repo/target/release/deps/libpresp_accel-fa743e4fd060f78c.rlib: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs
+
+/root/repo/target/release/deps/libpresp_accel-fa743e4fd060f78c.rmeta: crates/accel/src/lib.rs crates/accel/src/catalog.rs crates/accel/src/error.rs crates/accel/src/latency.rs crates/accel/src/op.rs crates/accel/src/power.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/catalog.rs:
+crates/accel/src/error.rs:
+crates/accel/src/latency.rs:
+crates/accel/src/op.rs:
+crates/accel/src/power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/presp_bench-cd8a4532755cea3e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libpresp_bench-cd8a4532755cea3e.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libpresp_bench-cd8a4532755cea3e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/presp_cad-c7cc53f388d8ad23.d: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs
+
+/root/repo/target/release/deps/libpresp_cad-c7cc53f388d8ad23.rlib: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs
+
+/root/repo/target/release/deps/libpresp_cad-c7cc53f388d8ad23.rmeta: crates/cad/src/lib.rs crates/cad/src/error.rs crates/cad/src/flow.rs crates/cad/src/host.rs crates/cad/src/model.rs crates/cad/src/place.rs crates/cad/src/spec.rs crates/cad/src/synth.rs
+
+crates/cad/src/lib.rs:
+crates/cad/src/error.rs:
+crates/cad/src/flow.rs:
+crates/cad/src/host.rs:
+crates/cad/src/model.rs:
+crates/cad/src/place.rs:
+crates/cad/src/spec.rs:
+crates/cad/src/synth.rs:

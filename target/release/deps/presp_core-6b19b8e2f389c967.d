@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/presp_core-6b19b8e2f389c967.d: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/libpresp_core-6b19b8e2f389c967.rlib: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/libpresp_core-6b19b8e2f389c967.rmeta: crates/core/src/lib.rs crates/core/src/design.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/platform.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/design.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/platform.rs:
+crates/core/src/strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/presp_floorplan-548b277f6baa7f0e.d: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs
+
+/root/repo/target/release/deps/libpresp_floorplan-548b277f6baa7f0e.rlib: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs
+
+/root/repo/target/release/deps/libpresp_floorplan-548b277f6baa7f0e.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/error.rs crates/floorplan/src/planner.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/error.rs:
+crates/floorplan/src/planner.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/presp_fpga-b74b4324fda30245.d: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs
+
+/root/repo/target/release/deps/libpresp_fpga-b74b4324fda30245.rlib: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs
+
+/root/repo/target/release/deps/libpresp_fpga-b74b4324fda30245.rmeta: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/config_memory.rs crates/fpga/src/error.rs crates/fpga/src/fabric.rs crates/fpga/src/fault.rs crates/fpga/src/frame.rs crates/fpga/src/icap.rs crates/fpga/src/part.rs crates/fpga/src/pblock.rs crates/fpga/src/resources.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/bitstream.rs:
+crates/fpga/src/config_memory.rs:
+crates/fpga/src/error.rs:
+crates/fpga/src/fabric.rs:
+crates/fpga/src/fault.rs:
+crates/fpga/src/frame.rs:
+crates/fpga/src/icap.rs:
+crates/fpga/src/part.rs:
+crates/fpga/src/pblock.rs:
+crates/fpga/src/resources.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/presp_runtime-e6cdc0fbc67b1b5c.d: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/release/deps/libpresp_runtime-e6cdc0fbc67b1b5c.rlib: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/release/deps/libpresp_runtime-e6cdc0fbc67b1b5c.rmeta: crates/runtime/src/lib.rs crates/runtime/src/app.rs crates/runtime/src/driver.rs crates/runtime/src/error.rs crates/runtime/src/manager.rs crates/runtime/src/registry.rs crates/runtime/src/threaded.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/app.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/manager.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/threaded.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/presp_soc-3df3a4a662ef0c82.d: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs
+
+/root/repo/target/release/deps/libpresp_soc-3df3a4a662ef0c82.rlib: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs
+
+/root/repo/target/release/deps/libpresp_soc-3df3a4a662ef0c82.rmeta: crates/soc/src/lib.rs crates/soc/src/config.rs crates/soc/src/dfxc.rs crates/soc/src/energy.rs crates/soc/src/error.rs crates/soc/src/json.rs crates/soc/src/noc.rs crates/soc/src/sim.rs crates/soc/src/tile.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/config.rs:
+crates/soc/src/dfxc.rs:
+crates/soc/src/energy.rs:
+crates/soc/src/error.rs:
+crates/soc/src/json.rs:
+crates/soc/src/noc.rs:
+crates/soc/src/sim.rs:
+crates/soc/src/tile.rs:

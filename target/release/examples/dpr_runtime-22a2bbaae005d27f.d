@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dpr_runtime-22a2bbaae005d27f.d: examples/dpr_runtime.rs
+
+/root/repo/target/release/examples/dpr_runtime-22a2bbaae005d27f: examples/dpr_runtime.rs
+
+examples/dpr_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_injection-319ed4a254ef420d.d: examples/fault_injection.rs
+
+/root/repo/target/release/examples/fault_injection-319ed4a254ef420d: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a440d9bbaa56f890.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a440d9bbaa56f890: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -13,7 +13,10 @@ use presp::soc::Error as SocError;
 fn flow_deployment() -> (SocDesign, ReconfigManager) {
     let design = SocDesign::grid_3x3(
         "protocol",
-        vec![vec![AcceleratorKind::Mac, AcceleratorKind::Sort], vec![AcceleratorKind::Gemm]],
+        vec![
+            vec![AcceleratorKind::Mac, AcceleratorKind::Sort],
+            vec![AcceleratorKind::Gemm],
+        ],
         false,
     )
     .unwrap();
@@ -27,13 +30,34 @@ fn flow_bitstreams_drive_the_full_swap_protocol() {
     let (design, mut manager) = flow_deployment();
     let tiles = design.config.reconfigurable_tiles();
     // MAC → run → SORT → run → MAC again (cache-miss swap back).
-    manager.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
-    let r = manager.run(tiles[0], &AccelOp::Mac { a: vec![4.0], b: vec![2.5] }).unwrap();
+    manager
+        .request_reconfiguration(tiles[0], AcceleratorKind::Mac)
+        .unwrap();
+    let r = manager
+        .run(
+            tiles[0],
+            &AccelOp::Mac {
+                a: vec![4.0],
+                b: vec![2.5],
+            },
+        )
+        .unwrap();
     assert_eq!(r.value, AccelValue::Scalar(10.0));
-    manager.request_reconfiguration(tiles[0], AcceleratorKind::Sort).unwrap();
-    let r = manager.run(tiles[0], &AccelOp::Sort { data: vec![9.0, 5.0, 7.0] }).unwrap();
+    manager
+        .request_reconfiguration(tiles[0], AcceleratorKind::Sort)
+        .unwrap();
+    let r = manager
+        .run(
+            tiles[0],
+            &AccelOp::Sort {
+                data: vec![9.0, 5.0, 7.0],
+            },
+        )
+        .unwrap();
     assert_eq!(r.value, AccelValue::Vector(vec![5.0, 7.0, 9.0]));
-    manager.request_reconfiguration(tiles[0], AcceleratorKind::Mac).unwrap();
+    manager
+        .request_reconfiguration(tiles[0], AcceleratorKind::Mac)
+        .unwrap();
     assert_eq!(manager.stats().reconfigurations, 3);
     assert_eq!(manager.stats().cache_hits, 0);
 }
@@ -52,12 +76,32 @@ fn corrupted_bitstream_is_rejected_by_the_icap_crc() {
 
     let soc = Soc::with_part(&design.config, design.part).unwrap();
     let mut registry = BitstreamRegistry::new();
-    registry.register(tile, AcceleratorKind::Mac, corrupted);
+    registry.register(tile, AcceleratorKind::Mac, corrupted.clone());
     let mut manager = ReconfigManager::new(soc, registry);
+    // The CRC failure is transient from the runtime's point of view, so the
+    // manager retries it with backoff before giving up; a permanently
+    // corrupted stream therefore exhausts every allowed attempt.
     let err = manager.request_reconfiguration(tile, AcceleratorKind::Mac);
     match err {
-        Err(RuntimeError::Soc(SocError::Fpga(presp::fpga::Error::CrcMismatch { .. }))) => {}
-        Err(RuntimeError::Soc(SocError::Fpga(presp::fpga::Error::MalformedBitstream { .. }))) => {}
+        Err(RuntimeError::RetriesExhausted { attempts, .. }) => {
+            assert_eq!(attempts, manager.policy().max_retries + 1);
+        }
+        other => panic!("expected retry exhaustion from the CRC rejection, got {other:?}"),
+    }
+    assert_eq!(
+        manager.stats().retries,
+        u64::from(manager.policy().max_retries)
+    );
+    assert_eq!(manager.stats().retries_exhausted, 1);
+    assert_eq!(manager.stats().reconfigurations, 0);
+    assert!(manager.stats().consistent());
+    // Direct ICAP programming (no runtime in between) still reports the
+    // configuration-layer error itself.
+    let mut soc = manager.into_soc();
+    let raw = soc.reconfigure_at(tile, AcceleratorKind::Mac, &corrupted, 0);
+    match raw {
+        Err(SocError::Fpga(presp::fpga::Error::CrcMismatch { .. })) => {}
+        Err(SocError::Fpga(presp::fpga::Error::MalformedBitstream { .. })) => {}
         other => panic!("expected a configuration-layer error, got {other:?}"),
     }
 }
@@ -69,8 +113,18 @@ fn decoupler_gates_traffic_at_the_soc_level() {
     let mut soc = manager.into_soc();
     // Manually decouple and verify the wrapper rejects execution.
     let t = soc.csr_write_at(tiles[0], csr::DECOUPLE, 1, 0).unwrap();
-    let err = soc.run_accelerator_at(tiles[0], &AccelOp::Mac { a: vec![1.0], b: vec![1.0] }, t);
-    assert!(matches!(err, Err(SocError::DecouplerProtocol { .. }) | Err(SocError::TileEmpty { .. })));
+    let err = soc.run_accelerator_at(
+        tiles[0],
+        &AccelOp::Mac {
+            a: vec![1.0],
+            b: vec![1.0],
+        },
+        t,
+    );
+    assert!(matches!(
+        err,
+        Err(SocError::DecouplerProtocol { .. }) | Err(SocError::TileEmpty { .. })
+    ));
 }
 
 #[test]
@@ -87,7 +141,11 @@ fn reconfigurations_serialize_on_the_shared_icap() {
         .request_reconfiguration_at(tiles[1], AcceleratorKind::Gemm, 0)
         .unwrap()
         .expect("reconfigures");
-    let (first, second) = if r0.end < r1.end { (&r0, &r1) } else { (&r1, &r0) };
+    let (first, second) = if r0.end < r1.end {
+        (&r0, &r1)
+    } else {
+        (&r1, &r0)
+    };
     assert!(
         second.end - second.icap_cycles >= first.end - first.latency() + first.icap_cycles / 2,
         "ICAP loads should not fully overlap: {first:?} vs {second:?}"
@@ -99,15 +157,28 @@ fn driver_events_record_the_swap_history() {
     use presp::runtime::driver::DriverEvent;
     let (design, mut manager) = flow_deployment();
     let tile = design.config.reconfigurable_tiles()[0];
-    manager.request_reconfiguration(tile, AcceleratorKind::Mac).unwrap();
-    manager.request_reconfiguration(tile, AcceleratorKind::Sort).unwrap();
+    manager
+        .request_reconfiguration(tile, AcceleratorKind::Mac)
+        .unwrap();
+    manager
+        .request_reconfiguration(tile, AcceleratorKind::Sort)
+        .unwrap();
     let events = manager.drivers().events().to_vec();
     assert_eq!(
         events,
         vec![
-            DriverEvent::Probed { tile, kind: AcceleratorKind::Mac },
-            DriverEvent::Removed { tile, kind: AcceleratorKind::Mac },
-            DriverEvent::Probed { tile, kind: AcceleratorKind::Sort },
+            DriverEvent::Probed {
+                tile,
+                kind: AcceleratorKind::Mac
+            },
+            DriverEvent::Removed {
+                tile,
+                kind: AcceleratorKind::Mac
+            },
+            DriverEvent::Probed {
+                tile,
+                kind: AcceleratorKind::Sort
+            },
         ]
     );
 }

@@ -7,7 +7,11 @@ use presp_bench::experiments;
 fn table3_class_1_1_serial_beats_every_parallel_config() {
     let rows = experiments::table3();
     let soc1 = rows.iter().find(|r| r.soc == "soc_1").expect("soc_1 row");
-    assert_eq!(soc1.best_tau(), 1, "the paper's counter-intuitive SOC_1 result");
+    assert_eq!(
+        soc1.best_tau(),
+        1,
+        "the paper's counter-intuitive SOC_1 result"
+    );
 }
 
 #[test]
@@ -127,10 +131,19 @@ fn fig4_reproduces_the_energy_latency_tradeoff() {
     let y = rows.iter().find(|r| r.soc == "soc_y").unwrap();
     let z = rows.iter().find(|r| r.soc == "soc_z").unwrap();
     // Fewer tiles → best energy per frame, worst latency (Fig. 4's shape).
-    assert!(x.mj_per_frame < y.mj_per_frame && y.mj_per_frame < z.mj_per_frame,
-        "energy: x={:.1} y={:.1} z={:.1}", x.mj_per_frame, y.mj_per_frame, z.mj_per_frame);
-    assert!(x.ms_per_frame > z.ms_per_frame,
-        "latency: x={:.2} z={:.2}", x.ms_per_frame, z.ms_per_frame);
+    assert!(
+        x.mj_per_frame < y.mj_per_frame && y.mj_per_frame < z.mj_per_frame,
+        "energy: x={:.1} y={:.1} z={:.1}",
+        x.mj_per_frame,
+        y.mj_per_frame,
+        z.mj_per_frame
+    );
+    assert!(
+        x.ms_per_frame > z.ms_per_frame,
+        "latency: x={:.2} z={:.2}",
+        x.ms_per_frame,
+        z.ms_per_frame
+    );
     // All three compute identical results.
     assert_eq!(x.mean_changed_pixels, y.mean_changed_pixels);
     assert_eq!(y.mean_changed_pixels, z.mean_changed_pixels);

@@ -29,7 +29,9 @@ fn all_paper_designs() -> Vec<SocDesign> {
 fn every_paper_design_compiles_end_to_end() {
     let flow = PrEspFlow::new();
     for design in all_paper_designs() {
-        let out = flow.run(&design).unwrap_or_else(|e| panic!("{} failed: {e}", design.name));
+        let out = flow
+            .run(&design)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", design.name));
         assert!(out.report.total.value() > 0.0, "{}", design.name);
         assert!(!out.partial_bitstreams.is_empty(), "{}", design.name);
         // A design's pbs count equals Σ per-tile accelerators (+1 for a
@@ -51,12 +53,14 @@ fn every_generated_bitstream_loads_through_a_fresh_icap() {
         let device = design.part.device();
         let mut icap = Icap::new(&device);
         // Full bitstream first (boot), then every partial.
-        let boot = icap.load(&out.full_bitstream).expect("full bitstream loads");
+        let boot = icap
+            .load(&out.full_bitstream)
+            .expect("full bitstream loads");
         assert!(boot.frames_written > 0);
         for info in &out.partial_bitstreams {
-            let report = icap.load(&info.bitstream).unwrap_or_else(|e| {
-                panic!("{}: pbs for {} failed: {e}", design.name, info.kind)
-            });
+            let report = icap
+                .load(&info.bitstream)
+                .unwrap_or_else(|e| panic!("{}: pbs for {} failed: {e}", design.name, info.kind));
             assert!(report.frames_written > 0);
             assert!(report.micros > 0.0);
         }
@@ -107,8 +111,13 @@ fn deployed_characterization_soc_runs_its_accelerators() {
                     a: vec![1.0, 0.0, 0.0, 1.0],
                     b: vec![5.0, 6.0, 7.0, 8.0],
                 },
-                AcceleratorKind::Fft => AccelOp::Fft { re: vec![0.0; 8], im: vec![0.0; 8] },
-                AcceleratorKind::Sort => AccelOp::Sort { data: vec![2.0, 1.0, 3.0] },
+                AcceleratorKind::Fft => AccelOp::Fft {
+                    re: vec![0.0; 8],
+                    im: vec![0.0; 8],
+                },
+                AcceleratorKind::Sort => AccelOp::Sort {
+                    data: vec![2.0, 1.0, 3.0],
+                },
                 other => panic!("unexpected accelerator {other}"),
             };
             let run = manager.run(*coord, &op).unwrap();
@@ -138,7 +147,8 @@ fn flow_supports_the_other_evaluation_boards() {
         let device = part.device();
         let mut icap = Icap::new(&device);
         for info in &out.partial_bitstreams {
-            icap.load(&info.bitstream).unwrap_or_else(|e| panic!("{part}: {e}"));
+            icap.load(&info.bitstream)
+                .unwrap_or_else(|e| panic!("{part}: {e}"));
         }
     }
 }
@@ -165,9 +175,15 @@ fn deployed_wami_soc_detects_motion() {
     let mut scene = SceneGenerator::new(48, 48, 77);
     let mut total_changed = 0;
     for _ in 0..5 {
-        total_changed += app.process_frame(&scene.next_frame()).unwrap().changed_pixels;
+        total_changed += app
+            .process_frame(&scene.next_frame())
+            .unwrap()
+            .changed_pixels;
     }
     assert!(total_changed > 0, "moving objects must register as change");
     let stats = app.manager().stats();
-    assert!(stats.reconfigurations > 10, "the dataflow swaps accelerators continuously");
+    assert!(
+        stats.reconfigurations > 10,
+        "the dataflow swaps accelerators continuously"
+    );
 }

@@ -20,18 +20,31 @@ fn run_deployment(design: SocDesign) -> Vec<usize> {
     let mut app = deploy_wami(&design, &out, ITERATIONS).unwrap();
     let mut scene = SceneGenerator::new(SIZE, SIZE, SEED);
     (0..FRAMES)
-        .map(|_| app.process_frame(&scene.next_frame()).unwrap().changed_pixels)
+        .map(|_| {
+            app.process_frame(&scene.next_frame())
+                .unwrap()
+                .changed_pixels
+        })
         .collect()
 }
 
 fn run_software() -> Vec<usize> {
     let mut pipeline = Pipeline::new(PipelineConfig {
-        lk: LkConfig { max_iterations: ITERATIONS, epsilon: 0.0, border_margin: 4 },
+        lk: LkConfig {
+            max_iterations: ITERATIONS,
+            epsilon: 0.0,
+            border_margin: 4,
+        },
         gmm: GmmConfig::default(),
     });
     let mut scene = SceneGenerator::new(SIZE, SIZE, SEED);
     (0..FRAMES)
-        .map(|_| pipeline.process(&scene.next_frame()).unwrap().changed_pixels)
+        .map(|_| {
+            pipeline
+                .process(&scene.next_frame())
+                .unwrap()
+                .changed_pixels
+        })
         .collect()
 }
 

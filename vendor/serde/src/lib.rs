@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two names the workspace imports — `Serialize` and
+//! `Deserialize` — in both the trait and derive-macro namespaces, so
+//! `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` keep compiling without network
+//! access. The derives expand to nothing; no crate in the workspace relies
+//! on generic serde serialization (JSON handling in `presp-soc::config` is
+//! hand-rolled).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

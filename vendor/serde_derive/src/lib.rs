@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The reproduction's container has no access to crates.io, and nothing in
+//! the workspace performs generic serde serialization (the one JSON
+//! consumer, `presp-soc::config`, uses a hand-rolled parser). The derive
+//! macros therefore expand to nothing: `#[derive(Serialize, Deserialize)]`
+//! stays valid on every type without pulling in the real framework.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
