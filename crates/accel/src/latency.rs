@@ -9,8 +9,7 @@ use crate::catalog::AcceleratorKind;
 use crate::op::AccelOp;
 use presp_wami::graph::WamiKernel;
 
-/// SoC clock frequency used in the paper's evaluation (Section VI).
-pub const SOC_CLOCK_MHZ: f64 = 78.0;
+pub use presp_events::SOC_CLOCK_MHZ;
 
 /// Cycles-per-item expressed as a rational to keep the model in integers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,10 +83,7 @@ pub fn software_cycles(op: &AccelOp) -> u64 {
     SOFTWARE_SLOWDOWN * (op.work_items() * cpi.num / cpi.den).max(1)
 }
 
-/// Converts cycles at the SoC clock to microseconds.
-pub fn cycles_to_micros(cycles: u64) -> f64 {
-    cycles as f64 / SOC_CLOCK_MHZ
-}
+pub use presp_events::cycles_to_micros;
 
 #[cfg(test)]
 mod tests {

@@ -1,11 +1,29 @@
 //! Ablation studies of PR-ESP's design choices: prefetch (interleaved)
 //! reconfiguration and bitstream compression.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
+use presp_events::json::JsonValue;
 
 fn main() {
+    let prefetch = experiments::prefetch_ablation(5, 48, 2);
+    let compression = experiments::compression_ablation();
+    if export::json_requested() {
+        let doc = JsonValue::Object(vec![
+            (
+                "prefetch".to_string(),
+                export::prefetch_ablation_json(&prefetch),
+            ),
+            (
+                "compression".to_string(),
+                export::compression_ablation_json(&compression),
+            ),
+        ]);
+        println!("{}", doc.pretty());
+        return;
+    }
+
     println!("Ablation 1 — interleaved (prefetch) vs non-interleaved reconfiguration\n");
-    let rows: Vec<Vec<String>> = experiments::prefetch_ablation(5, 48, 2)
+    let rows: Vec<Vec<String>> = prefetch
         .into_iter()
         .map(|r| {
             vec![
@@ -30,7 +48,7 @@ fn main() {
     );
 
     println!("Ablation 2 — bitstream compression (size and ICAP latency per module)\n");
-    let rows: Vec<Vec<String>> = experiments::compression_ablation()
+    let rows: Vec<Vec<String>> = compression
         .into_iter()
         .map(|r| {
             vec![

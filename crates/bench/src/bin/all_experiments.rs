@@ -1,26 +1,31 @@
-//! Runs every table/figure regenerator in sequence (the full evaluation).
+//! Runs every table/figure regenerator in sequence (the full evaluation)
+//! and writes the machine-readable result documents `BENCH_tables.json`
+//! and `BENCH_wami.json` next to the rendered tables.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
     println!("=== PR-ESP full evaluation ===\n");
 
     println!("--- Table I ---");
-    let rows: Vec<Vec<String>> = experiments::table1()
-        .into_iter()
-        .map(|(l, a, b, c)| vec![l.into(), a.into(), b.into(), c.into()])
+    let t1 = experiments::table1();
+    let rows: Vec<Vec<String>> = t1
+        .iter()
+        .map(|(l, a, b, c)| vec![(*l).into(), (*a).into(), (*b).into(), (*c).into()])
         .collect();
     println!("{}", render::table(&["", "γ < 1", "γ ≈ 1", "γ > 1"], &rows));
 
     println!("--- Table II ---");
-    let rows: Vec<Vec<String>> = experiments::table2()
-        .into_iter()
-        .map(|r| vec![r.name, r.luts.to_string()])
+    let t2 = experiments::table2();
+    let rows: Vec<Vec<String>> = t2
+        .iter()
+        .map(|r| vec![r.name.clone(), r.luts.to_string()])
         .collect();
     println!("{}", render::table(&["component", "LUTs"], &rows));
 
     println!("--- Table III ---");
-    for row in experiments::table3() {
+    let t3 = experiments::table3();
+    for row in &t3 {
         println!("{} (best τ = {}):", row.soc, row.best_tau());
         for p in &row.points {
             println!(
@@ -34,7 +39,8 @@ fn main() {
     }
 
     println!("\n--- Table IV ---");
-    for r in experiments::table4() {
+    let t4 = experiments::table4();
+    for r in &t4 {
         println!(
             "{} ({}): fully={:.0} semi={:.0} serial={:.0} → chose {} ({:.0})",
             r.soc,
@@ -48,7 +54,8 @@ fn main() {
     }
 
     println!("\n--- Table V ---");
-    for r in experiments::table5() {
+    let t5 = experiments::table5();
+    for r in &t5 {
         println!(
             "{}: PR-ESP {:.0} min vs monolithic {:.0} min ({:+.1}%)",
             r.soc,
@@ -59,12 +66,14 @@ fn main() {
     }
 
     println!("\n--- Table VI ---");
-    for r in experiments::table6() {
+    let t6 = experiments::table6();
+    for r in &t6 {
         println!("{} {}: {:?} → {:.0} KB", r.soc, r.tile, r.kernels, r.pbs_kb);
     }
 
     println!("\n--- Fig. 3 ---");
-    for r in experiments::fig3(128) {
+    let f3 = experiments::fig3(128);
+    for r in &f3 {
         println!(
             "#{:<2} {:<18} {:>6} LUTs  {:>8.1} µs",
             r.index, r.name, r.luts, r.micros
@@ -72,10 +81,20 @@ fn main() {
     }
 
     println!("\n--- Fig. 4 ---");
-    for r in experiments::fig4(6, 64, 2) {
+    let f4 = experiments::fig4(6, 64, 2);
+    for r in &f4 {
         println!(
             "{} ({} RTs): {:.2} ms/frame, {:.2} mJ/frame, {:.1} reconf/frame",
             r.soc, r.tiles, r.ms_per_frame, r.mj_per_frame, r.reconfigs_per_frame
         );
+    }
+
+    let tables = export::tables_document(&t1, &t2, &t3, &t4, &t5, &t6, &f3);
+    let wami = export::wami_document(&f4);
+    for (path, doc) in [("BENCH_tables.json", &tables), ("BENCH_wami.json", &wami)] {
+        match export::write_json(path, doc) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        }
     }
 }

@@ -1,12 +1,17 @@
 //! Regenerates Fig. 3's annotations: per-accelerator LUTs and execution
 //! time on a 2×2 profiling SoC.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
     let size = 128;
+    let rows = experiments::fig3(size);
+    if export::json_requested() {
+        println!("{}", export::fig3_json(&rows).pretty());
+        return;
+    }
     println!("Fig. 3 — WAMI accelerator profile ({size}x{size} frames, 2x2 SoC, VC707)\n");
-    let rows: Vec<Vec<String>> = experiments::fig3(size)
+    let cells: Vec<Vec<String>> = rows
         .into_iter()
         .map(|r| {
             vec![
@@ -19,6 +24,6 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render::table(&["idx", "kernel", "LUTs", "exec (µs)"], &rows)
+        render::table(&["idx", "kernel", "LUTs", "exec (µs)"], &cells)
     );
 }

@@ -1,12 +1,17 @@
 //! Regenerates Fig. 4: execution time and energy per frame for the three
 //! deployed WAMI SoCs.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
     let (frames, size, iters) = (6, 64, 2);
+    let rows = experiments::fig4(frames, size, iters);
+    if export::json_requested() {
+        println!("{}", export::fig4_json(&rows).pretty());
+        return;
+    }
     println!("Fig. 4 — WAMI SoC implementations ({frames} frames of {size}x{size}, {iters} LK iterations)\n");
-    let rows: Vec<Vec<String>> = experiments::fig4(frames, size, iters)
+    let cells: Vec<Vec<String>> = rows
         .into_iter()
         .map(|r| {
             vec![
@@ -30,7 +35,7 @@ fn main() {
                 "reconf/frame",
                 "changed px"
             ],
-            &rows
+            &cells
         )
     );
 }

@@ -1,12 +1,20 @@
 //! Regenerates Table I: the size-driven implementation strategies.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
-    let rows: Vec<Vec<String>> = experiments::table1()
+    let rows = experiments::table1();
+    if export::json_requested() {
+        println!("{}", export::table1_json(&rows).pretty());
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
         .into_iter()
         .map(|(label, lo, eq, hi)| vec![label.into(), lo.into(), eq.into(), hi.into()])
         .collect();
     println!("Table I — size-driven implementation strategies in PR-ESP\n");
-    println!("{}", render::table(&["", "γ < 1", "γ ≈ 1", "γ > 1"], &rows));
+    println!(
+        "{}",
+        render::table(&["", "γ < 1", "γ ≈ 1", "γ > 1"], &cells)
+    );
 }

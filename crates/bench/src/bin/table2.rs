@@ -1,12 +1,17 @@
 //! Regenerates Table II: resource utilization of the accelerators.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
-    let rows: Vec<Vec<String>> = experiments::table2()
+    let rows = experiments::table2();
+    if export::json_requested() {
+        println!("{}", export::table2_json(&rows).pretty());
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
         .into_iter()
         .map(|r| vec![r.name, r.luts.to_string()])
         .collect();
     println!("Table II — resource utilization of the accelerators (VC707)\n");
-    println!("{}", render::table(&["component", "LUTs"], &rows));
+    println!("{}", render::table(&["component", "LUTs"], &cells));
 }

@@ -1,11 +1,16 @@
 //! Regenerates Table III: the Vivado characterization under different
 //! levels of P&R parallelism (simulated minutes).
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
+    let rows = experiments::table3();
+    if export::json_requested() {
+        println!("{}", export::table3_json(&rows).pretty());
+        return;
+    }
     println!("Table III — characterization of the CAD engine under different parallelism\n");
-    for row in experiments::table3() {
+    for row in rows {
         println!(
             "{}:  α_av = {:.1}%  κ = {:.1}%  γ = {:.2}   (best: τ = {})",
             row.soc,

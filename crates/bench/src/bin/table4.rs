@@ -1,10 +1,15 @@
 //! Regenerates Table IV: P&R parallelism evaluation on the WAMI SoCs.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
+    let rows = experiments::table4();
+    if export::json_requested() {
+        println!("{}", export::table4_json(&rows).pretty());
+        return;
+    }
     println!("Table IV — evaluation of the P&R parallelism in PR-ESP (minutes)\n");
-    let rows: Vec<Vec<String>> = experiments::table4()
+    let cells: Vec<Vec<String>> = rows
         .into_iter()
         .map(|r| {
             vec![
@@ -36,7 +41,7 @@ fn main() {
                 "serial",
                 "PR-ESP choice"
             ],
-            &rows
+            &cells
         )
     );
 }

@@ -1,10 +1,15 @@
 //! Regenerates Table V: PR-ESP vs monolithic compile time.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
+    let rows = experiments::table5();
+    if export::json_requested() {
+        println!("{}", export::table5_json(&rows).pretty());
+        return;
+    }
     println!("Table V — PR-ESP vs monolithic implementation (minutes)\n");
-    let rows: Vec<Vec<String>> = experiments::table5()
+    let cells: Vec<Vec<String>> = rows
         .into_iter()
         .map(|r| {
             vec![
@@ -28,7 +33,7 @@ fn main() {
                 "SoC", "synth", "t_static", "max{Ω}", "T_tot", "τ", "m.synth", "m.P&R", "m.T_tot",
                 "improv."
             ],
-            &rows
+            &cells
         )
     );
 }

@@ -1,10 +1,15 @@
 //! Regenerates Table VI: accelerator partitioning and pbs sizes.
 
-use presp_bench::{experiments, render};
+use presp_bench::{experiments, export, render};
 
 fn main() {
+    let rows = experiments::table6();
+    if export::json_requested() {
+        println!("{}", export::table6_json(&rows).pretty());
+        return;
+    }
     println!("Table VI — partitioning of accelerators and partial bitstream sizes\n");
-    let rows: Vec<Vec<String>> = experiments::table6()
+    let cells: Vec<Vec<String>> = rows
         .into_iter()
         .map(|r| {
             vec![
@@ -17,6 +22,6 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render::table(&["SoC", "tile", "WAMI accs", "pbs (KB)"], &rows)
+        render::table(&["SoC", "tile", "WAMI accs", "pbs (KB)"], &cells)
     );
 }

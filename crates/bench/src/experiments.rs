@@ -8,6 +8,7 @@ use presp_core::design::{region_name, SocDesign};
 use presp_core::flow::PrEspFlow;
 use presp_core::platform::deploy_wami;
 use presp_core::strategy::{choose_strategy, SizeClass};
+use presp_events::{MemorySink, TraceEvent, Tracer};
 use presp_soc::config::SocConfig;
 use presp_soc::sim::Soc;
 use presp_wami::frames::SceneGenerator;
@@ -310,6 +311,11 @@ pub struct Table6Row {
 
 /// Table VI: accelerator partitioning and partial bitstream sizes for
 /// SoC_X, SoC_Y and SoC_Z.
+///
+/// The `pbs (KB)` column is cross-checked against the flow's structured
+/// trace: the mean of the [`TraceEvent::BitstreamGenerated`] sizes per
+/// region must reproduce [`presp_core::flow::FlowOutput::mean_pbs_kb`]
+/// exactly.
 pub fn table6() -> Vec<Table6Row> {
     let flow = PrEspFlow::new();
     let designs = [
@@ -319,9 +325,27 @@ pub fn table6() -> Vec<Table6Row> {
     ];
     let mut rows = Vec::new();
     for design in designs {
-        let out = flow.run(&design).expect("flow runs");
+        let sink = MemorySink::shared();
+        let mut tracer = Tracer::to_sink(sink.clone());
+        let out = flow.run_traced(&design, &mut tracer).expect("flow runs");
+        let records = sink.lock().expect("sink lock").take();
         for (i, (coord, accels)) in design.tile_accels.iter().enumerate() {
             let region = region_name(*coord);
+            let pbs_kb = out.mean_pbs_kb(&region).expect("region has bitstreams");
+            let traced: Vec<f64> = records
+                .iter()
+                .filter_map(|r| match &r.event {
+                    TraceEvent::BitstreamGenerated {
+                        region: rg, bytes, ..
+                    } if *rg == region => Some(*bytes as f64),
+                    _ => None,
+                })
+                .collect();
+            let traced_kb = traced.iter().sum::<f64>() / traced.len() as f64 / 1024.0;
+            assert!(
+                (traced_kb - pbs_kb).abs() < 1e-9,
+                "{region}: trace says {traced_kb} KB, flow says {pbs_kb} KB"
+            );
             rows.push(Table6Row {
                 soc: design.name.clone(),
                 tile: format!("RT_{}", i + 1),
@@ -332,7 +356,7 @@ pub fn table6() -> Vec<Table6Row> {
                         _ => None,
                     })
                     .collect(),
-                pbs_kb: out.mean_pbs_kb(&region).expect("region has bitstreams"),
+                pbs_kb,
             });
         }
     }

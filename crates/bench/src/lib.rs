@@ -3,4 +3,5 @@
 //! integration tests.
 
 pub mod experiments;
+pub mod export;
 pub mod render;

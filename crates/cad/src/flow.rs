@@ -6,6 +6,8 @@ use crate::host::HostMachine;
 use crate::model::{rm_group_run, serial_pnr, static_only_pnr, Minutes, PBLOCK_FILL};
 use crate::spec::DprDesignSpec;
 use crate::synth::{monolithic_synthesis, parallel_synthesis, SynthReport};
+use presp_events::trace::ClockDomain;
+use presp_events::{milliminutes, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// A P&R implementation strategy (Section IV).
@@ -144,6 +146,27 @@ impl CadFlow {
     /// semi-parallel on a single-RM design — the paper's Class 2.2, which
     /// "can only be implemented in a serial mode").
     pub fn run_pnr(&self, spec: &DprDesignSpec, strategy: Strategy) -> Result<PnrReport, Error> {
+        self.run_pnr_traced(spec, strategy, &mut Tracer::disabled())
+    }
+
+    /// Like [`CadFlow::run_pnr`], emitting [`TraceEvent::FlowStage`] spans
+    /// (on the CAD milliminute timeline, starting at 0) through `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CadFlow::run_pnr`].
+    pub fn run_pnr_traced(
+        &self,
+        spec: &DprDesignSpec,
+        strategy: Strategy,
+        tracer: &mut Tracer,
+    ) -> Result<PnrReport, Error> {
+        let report = self.pnr(spec, strategy)?;
+        trace_pnr(spec.name(), &report, 0, tracer);
+        Ok(report)
+    }
+
+    fn pnr(&self, spec: &DprDesignSpec, strategy: Strategy) -> Result<PnrReport, Error> {
         let n = spec.reconfigurable().len();
         let static_kluts = spec.static_resources().lut as f64 / 1000.0;
         let total_kluts = spec.total_resources().lut as f64 / 1000.0;
@@ -207,8 +230,34 @@ impl CadFlow {
         spec: &DprDesignSpec,
         strategy: Strategy,
     ) -> Result<FullFlowReport, Error> {
+        self.run_full_flow_traced(spec, strategy, &mut Tracer::disabled())
+    }
+
+    /// Like [`CadFlow::run_full_flow`], emitting [`TraceEvent::FlowStage`]
+    /// spans through `tracer`: synthesis from 0, P&R stages after it, all on
+    /// the CAD milliminute timeline. Table V's PR-ESP column is the end of
+    /// the last span.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CadFlow::run_full_flow`].
+    pub fn run_full_flow_traced(
+        &self,
+        spec: &DprDesignSpec,
+        strategy: Strategy,
+        tracer: &mut Tracer,
+    ) -> Result<FullFlowReport, Error> {
         let synth = parallel_synthesis(spec, &self.host)?;
-        let pnr = self.run_pnr(spec, strategy)?;
+        let pnr = self.pnr(spec, strategy)?;
+        let synth_mm = milliminutes(synth.wall.value());
+        tracer.emit(ClockDomain::CadMilliMinutes, 0, synth_mm, || {
+            TraceEvent::FlowStage {
+                design: spec.name().to_string(),
+                stage: "synthesis".to_string(),
+                region: String::new(),
+            }
+        });
+        trace_pnr(spec.name(), &pnr, synth_mm, tracer);
         let total = synth.wall + pnr.wall;
         Ok(FullFlowReport { synth, pnr, total })
     }
@@ -216,13 +265,93 @@ impl CadFlow {
     /// Runs the monolithic baseline (standard Xilinx DPR flow, always a
     /// single Vivado instance).
     pub fn run_monolithic(&self, spec: &DprDesignSpec) -> MonolithicReport {
+        self.run_monolithic_traced(spec, &mut Tracer::disabled())
+    }
+
+    /// Like [`CadFlow::run_monolithic`], emitting the baseline's two
+    /// [`TraceEvent::FlowStage`] spans (`synthesis-monolithic`,
+    /// `pnr-monolithic`) through `tracer` so Table V's comparison is
+    /// derivable from one trace.
+    pub fn run_monolithic_traced(
+        &self,
+        spec: &DprDesignSpec,
+        tracer: &mut Tracer,
+    ) -> MonolithicReport {
         let total_kluts = spec.total_resources().lut as f64 / 1000.0;
         let synth = monolithic_synthesis(spec);
         let pnr = crate::model::monolithic_pnr(total_kluts);
+        let stage = |name: &str| TraceEvent::FlowStage {
+            design: spec.name().to_string(),
+            stage: name.to_string(),
+            region: String::new(),
+        };
+        tracer.emit(
+            ClockDomain::CadMilliMinutes,
+            0,
+            milliminutes(synth.value()),
+            || stage("synthesis-monolithic"),
+        );
+        tracer.emit(
+            ClockDomain::CadMilliMinutes,
+            milliminutes(synth.value()),
+            milliminutes(pnr.value()),
+            || stage("pnr-monolithic"),
+        );
         MonolithicReport {
             synth,
             pnr,
             total: synth + pnr,
+        }
+    }
+}
+
+/// Emits one span per P&R scheduling step, starting at `at` milliminutes:
+/// `pnr-serial` for the single-instance schedule, or `pnr-static` followed
+/// by one `pnr-group` span per concurrent instance (tagged with its RM
+/// group in `region`) and a `pnr-parallel` envelope covering the
+/// host-contended `max{Ω_i}`.
+fn trace_pnr(design: &str, report: &PnrReport, at: u64, tracer: &mut Tracer) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let stage = |name: &str, region: String| TraceEvent::FlowStage {
+        design: design.to_string(),
+        stage: name.to_string(),
+        region,
+    };
+    match report.t_static {
+        None => {
+            tracer.emit(
+                ClockDomain::CadMilliMinutes,
+                at,
+                milliminutes(report.wall.value()),
+                || stage("pnr-serial", String::new()),
+            );
+        }
+        Some(t_static) => {
+            tracer.emit(
+                ClockDomain::CadMilliMinutes,
+                at,
+                milliminutes(t_static.value()),
+                || stage("pnr-static", String::new()),
+            );
+            let groups_at = at + milliminutes(t_static.value());
+            for group in &report.groups {
+                tracer.emit(
+                    ClockDomain::CadMilliMinutes,
+                    groups_at,
+                    milliminutes(group.solo.value()),
+                    || stage("pnr-group", group.modules.join("+")),
+                );
+            }
+            if let Some(max_omega) = report.max_omega {
+                tracer.emit(
+                    ClockDomain::CadMilliMinutes,
+                    groups_at,
+                    milliminutes(max_omega.value()),
+                    || stage("pnr-parallel", String::new()),
+                );
+            }
         }
     }
 }

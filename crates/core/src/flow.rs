@@ -7,11 +7,12 @@ use crate::strategy::{choose_strategy, SizeClass};
 use presp_accel::catalog::AcceleratorKind;
 use presp_cad::flow::{CadFlow, FullFlowReport, MonolithicReport, Strategy};
 use presp_cad::place::{build_partial_bitstream, place_in_region, FRAME_CONTENT_DENSITY};
+use presp_events::trace::ClockDomain;
+use presp_events::{milliminutes, TraceEvent, Tracer};
 use presp_floorplan::{Floorplan, Floorplanner, RegionRequest};
 use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
 use presp_fpga::fabric::{ColumnKind, Device};
-use presp_fpga::frame::frames_per_column;
-use presp_fpga::frame::FrameAddress;
+use presp_fpga::frame::{frames_per_column, FrameAddress};
 use presp_fpga::pblock::Pblock;
 use presp_fpga::resources::Resources;
 use presp_soc::config::TileCoord;
@@ -117,6 +118,20 @@ impl PrEspFlow {
     /// Propagates design, classification, floorplanning, CAD and bitstream
     /// errors.
     pub fn run(&self, design: &SocDesign) -> Result<FlowOutput, Error> {
+        self.run_traced(design, &mut Tracer::disabled())
+    }
+
+    /// Like [`PrEspFlow::run`], emitting the flow's structured trace
+    /// through `tracer`: [`TraceEvent::FlowStage`] spans for synthesis and
+    /// every P&R step (PR-ESP and monolithic baseline, both from 0 on the
+    /// CAD milliminute timeline) and one [`TraceEvent::BitstreamGenerated`]
+    /// instant per emitted bitstream — Table V and Table VI's `pbs (KB)`
+    /// column are both derivable from the trace alone.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PrEspFlow::run`].
+    pub fn run_traced(&self, design: &SocDesign, tracer: &mut Tracer) -> Result<FlowOutput, Error> {
         let spec = design.to_spec()?;
         let device = design.part.device();
 
@@ -127,11 +142,16 @@ impl PrEspFlow {
             .map(|rm| RegionRequest::new(rm.name.clone(), rm.resources))
             .collect();
         let floorplan = Floorplanner::new(&device).floorplan(&requests)?;
+        tracer.instant(ClockDomain::CadMilliMinutes, 0, || TraceEvent::FlowStage {
+            design: spec.name().to_string(),
+            stage: "floorplan".to_string(),
+            region: String::new(),
+        });
 
         // Size-driven strategy selection (Table I) and scheduled P&R.
         let (class, strategy) = choose_strategy(&spec)?;
-        let report = self.cad.run_full_flow(&spec, strategy)?;
-        let monolithic = self.cad.run_monolithic(&spec);
+        let report = self.cad.run_full_flow_traced(&spec, strategy, tracer)?;
+        let monolithic = self.cad.run_monolithic_traced(&spec, tracer);
 
         // Partial bitstreams: one per (region, loadable accelerator).
         let mut partial_bitstreams = Vec::new();
@@ -173,6 +193,27 @@ impl PrEspFlow {
         }
 
         let full_bitstream = build_full_bitstream(&device, &floorplan, spec.static_resources())?;
+
+        // Bitstream generation happens at the end of the PR-ESP flow.
+        let done = milliminutes(report.total.value());
+        for info in &partial_bitstreams {
+            tracer.instant(ClockDomain::CadMilliMinutes, done, || {
+                TraceEvent::BitstreamGenerated {
+                    design: spec.name().to_string(),
+                    region: info.region.clone(),
+                    kind: info.kind.name(),
+                    bytes: info.bitstream.size_bytes() as u64,
+                }
+            });
+        }
+        tracer.instant(ClockDomain::CadMilliMinutes, done, || {
+            TraceEvent::BitstreamGenerated {
+                design: spec.name().to_string(),
+                region: "static".to_string(),
+                kind: "full".to_string(),
+                bytes: full_bitstream.size_bytes() as u64,
+            }
+        });
 
         Ok(FlowOutput {
             class,

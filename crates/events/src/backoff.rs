@@ -1,0 +1,29 @@
+//! Retry backoff arithmetic shared by the runtime layers.
+
+/// Exponential backoff before the retry following failed attempt number
+/// `attempt` (1-based): `base * multiplier^(attempt - 1)`, saturating.
+/// With `multiplier == 1` the backoff is constant; with `base == 0`
+/// retries are immediate.
+pub fn exponential(base: u64, multiplier: u64, attempt: u32) -> u64 {
+    base.saturating_mul(multiplier.saturating_pow(attempt.saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_geometrically() {
+        assert_eq!(exponential(100, 2, 1), 100);
+        assert_eq!(exponential(100, 2, 2), 200);
+        assert_eq!(exponential(100, 2, 3), 400);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_safe() {
+        assert_eq!(exponential(0, 2, 5), 0);
+        assert_eq!(exponential(100, 1, 9), 100);
+        assert_eq!(exponential(u64::MAX, 2, 3), u64::MAX);
+        assert_eq!(exponential(100, 2, 0), 100);
+    }
+}

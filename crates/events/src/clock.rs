@@ -1,0 +1,73 @@
+//! The shared SoC clock: a monotonic `now` / `horizon` pair.
+
+/// SoC clock frequency used in the paper's evaluation (Section VI): the
+/// 78 MHz the VC707 systems run at. Cycle↔wall-clock conversions across
+/// the workspace all go through this constant.
+pub const SOC_CLOCK_MHZ: f64 = 78.0;
+
+/// Converts cycles at the SoC clock to microseconds.
+pub fn cycles_to_micros(cycles: u64) -> f64 {
+    cycles as f64 / SOC_CLOCK_MHZ
+}
+
+/// Converts cycles at the SoC clock to seconds.
+pub fn cycles_to_seconds(cycles: u64) -> f64 {
+    cycles as f64 / (SOC_CLOCK_MHZ * 1e6)
+}
+
+/// A monotonic virtual clock.
+///
+/// The simulator issues operations with explicit start cycles and folds
+/// every completion back into the clock: `now` is the convenience clock
+/// used by the `_at`-less wrappers, `horizon` the latest completion
+/// observed on any resource. Both only move forward.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: u64,
+    horizon: u64,
+}
+
+impl VirtualClock {
+    /// A clock at cycle zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current convenience clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Latest completion cycle observed on any resource.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Folds a completion time into the clock; earlier times are no-ops.
+    pub fn observe(&mut self, end: u64) {
+        self.horizon = self.horizon.max(end);
+        self.now = self.now.max(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut clock = VirtualClock::new();
+        clock.observe(100);
+        clock.observe(40);
+        assert_eq!(clock.now(), 100);
+        assert_eq!(clock.horizon(), 100);
+        clock.observe(150);
+        assert_eq!(clock.horizon(), 150);
+    }
+
+    #[test]
+    fn conversions_use_the_soc_clock() {
+        assert!((cycles_to_micros(78) - 1.0).abs() < 1e-9);
+        assert!((cycles_to_seconds(78_000_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Trace sinks: where emitted records go.
+
+use crate::trace::{TraceRecord, TraceSink};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The shared handle a [`crate::Tracer`] writes through. `Arc<Mutex<_>>`
+/// so one sink can collect records from several traced components (e.g.
+/// a SoC and the runtime manager driving it) and cross thread
+/// boundaries.
+pub type SharedSink = Arc<Mutex<dyn TraceSink + Send>>;
+
+/// An unbounded in-memory sink; the default for tests and exports.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    records: Vec<TraceRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A shareable empty sink, ready to attach to tracers (the concrete
+    /// `Arc` coerces to [`SharedSink`]).
+    pub fn shared() -> Arc<Mutex<MemorySink>> {
+        Arc::new(Mutex::new(MemorySink::new()))
+    }
+
+    /// Records collected so far, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Takes all collected records, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+}
+
+/// A bounded sink that keeps only the most recent records — the
+/// always-on flight recorder for long simulations.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` records.
+    pub fn new(capacity: usize) -> RingBufferSink {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A shareable ring, ready to attach to tracers.
+    pub fn shared(capacity: usize) -> Arc<Mutex<RingBufferSink>> {
+        Arc::new(Mutex::new(RingBufferSink::new(capacity)))
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.iter().cloned().collect()
+    }
+
+    /// Records evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, record: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ClockDomain, Loc, TraceEvent};
+
+    fn irq(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            domain: ClockDomain::SocCycles,
+            ts: seq * 10,
+            dur: 0,
+            event: TraceEvent::Irq {
+                source: Loc::new(0, 0),
+            },
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_everything() {
+        let mut sink = MemorySink::new();
+        for i in 0..5 {
+            sink.record(irq(i));
+        }
+        assert_eq!(sink.records().len(), 5);
+        assert_eq!(sink.take().len(), 5);
+        assert!(sink.records().is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_most_recent() {
+        let mut ring = RingBufferSink::new(3);
+        for i in 0..10 {
+            ring.record(irq(i));
+        }
+        let kept = ring.records();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].seq, 7);
+        assert_eq!(kept[2].seq, 9);
+        assert_eq!(ring.dropped(), 7);
+    }
+}

@@ -1,0 +1,866 @@
+//! Structured trace records and the zero-overhead-when-disabled tracer.
+//!
+//! Every timed operation in the stack — DMA bursts, NoC transfers,
+//! decoupler handshakes, ICAP writes, runtime retries and quarantine
+//! transitions, WAMI frame stages, CAD flow stages — can emit a typed
+//! [`TraceRecord`] through a [`Tracer`]. Event payloads are built inside
+//! closures that never run unless a sink is attached, so a disabled
+//! tracer costs one branch per operation.
+//!
+//! Records serialize two ways: [`chrome_trace_json`] produces a Chrome
+//! trace-event JSON document (open in `chrome://tracing` or Perfetto),
+//! and [`log_lines`] produces deterministic one-line-per-record text used
+//! by the byte-identical-replay tests.
+
+use crate::clock::cycles_to_micros;
+use crate::json::JsonValue;
+use crate::sink::SharedSink;
+use std::fmt;
+
+/// The clock a trace timestamp is expressed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockDomain {
+    /// SoC fabric cycles at 78 MHz (simulator + runtime).
+    SocCycles,
+    /// CAD-flow minutes stored as integer milliminutes.
+    CadMilliMinutes,
+    /// Unitless ordering (software pipeline stages with no cycle model).
+    Ordinal,
+}
+
+impl ClockDomain {
+    /// Stable label used in log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockDomain::SocCycles => "soc-cycles",
+            ClockDomain::CadMilliMinutes => "cad-milliminutes",
+            ClockDomain::Ordinal => "ordinal",
+        }
+    }
+
+    /// Maps a timestamp to Chrome trace microseconds: SoC cycles convert
+    /// at the real 78 MHz clock; one CAD milliminute renders as 1 ms (so
+    /// an hours-long flow stays navigable); ordinal ticks render 1:1.
+    pub fn to_trace_micros(self, t: u64) -> f64 {
+        match self {
+            ClockDomain::SocCycles => cycles_to_micros(t),
+            ClockDomain::CadMilliMinutes => t as f64 * 1000.0,
+            ClockDomain::Ordinal => t as f64,
+        }
+    }
+
+    fn pid(self) -> u64 {
+        match self {
+            ClockDomain::SocCycles => 1,
+            ClockDomain::CadMilliMinutes => 2,
+            ClockDomain::Ordinal => 3,
+        }
+    }
+
+    fn process_name(self) -> &'static str {
+        match self {
+            ClockDomain::SocCycles => "soc (78 MHz cycles)",
+            ClockDomain::CadMilliMinutes => "cad flow (minutes)",
+            ClockDomain::Ordinal => "software pipeline",
+        }
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Converts analytic CAD minutes to the integer milliminutes
+/// [`ClockDomain::CadMilliMinutes`] timestamps use.
+pub fn milliminutes(minutes: f64) -> u64 {
+    (minutes * 1000.0).round().max(0.0) as u64
+}
+
+/// A tile location. `presp-events` sits below the SoC crate, so this is
+/// the structural twin of its `TileCoord`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc {
+    /// Mesh row.
+    pub row: u64,
+    /// Mesh column.
+    pub col: u64,
+}
+
+impl Loc {
+    /// A location from row/column indices.
+    pub fn new(row: u64, col: u64) -> Loc {
+        Loc { row, col }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}", self.row, self.col)
+    }
+}
+
+/// One typed trace event. Variants cover the full stack: SoC fabric
+/// operations, runtime recovery decisions, WAMI frame stages and CAD
+/// flow stages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One DRAM channel access.
+    DramAccess {
+        /// Bytes moved.
+        bytes: u64,
+        /// Cycles spent waiting for the channel.
+        waited: u64,
+    },
+    /// One NoC packet, source to sink.
+    NocTransfer {
+        /// Physical plane name.
+        plane: &'static str,
+        /// Source tile.
+        src: Loc,
+        /// Destination tile.
+        dst: Loc,
+        /// Payload bytes.
+        bytes: u64,
+        /// Flits moved (including header).
+        flits: u64,
+        /// Hops traversed.
+        hops: u64,
+        /// Cycles lost to link contention along the path.
+        waited: u64,
+    },
+    /// One accelerator DMA burst (DRAM access + NoC transfer).
+    DmaBurst {
+        /// Accelerator tile.
+        tile: Loc,
+        /// Bytes moved.
+        bytes: u64,
+        /// `"in"` (memory → tile) or `"out"` (tile → memory).
+        direction: &'static str,
+    },
+    /// A decoupler handshake on a reconfigurable tile.
+    DecouplerHandshake {
+        /// The tile.
+        tile: Loc,
+        /// `true` = decouple, `false` = re-couple.
+        decouple: bool,
+        /// Fault-injected acknowledge delay, cycles.
+        delay: u64,
+    },
+    /// One bitstream streamed through the ICAP.
+    IcapWrite {
+        /// Target tile.
+        tile: Loc,
+        /// Configuration words streamed.
+        words: u64,
+        /// Whether the CRC check passed.
+        ok: bool,
+        /// Cycles spent waiting for the shared ICAP (plus DFXC stalls).
+        waited: u64,
+    },
+    /// A full partial reconfiguration (fetch + ICAP + completion IRQ).
+    Reconfiguration {
+        /// Target tile.
+        tile: Loc,
+        /// Accelerator kind loaded.
+        kind: String,
+        /// Bitstream size, bytes.
+        bytes: u64,
+        /// Whether the load succeeded.
+        ok: bool,
+    },
+    /// An accelerator compute interval.
+    Compute {
+        /// The tile.
+        tile: Loc,
+        /// Accelerator kind.
+        kind: String,
+        /// Compute cycles.
+        cycles: u64,
+    },
+    /// A software kernel run on the CPU tile.
+    CpuCompute {
+        /// Kernel kind.
+        kind: String,
+        /// Compute cycles.
+        cycles: u64,
+    },
+    /// An interrupt delivered to the CPU.
+    Irq {
+        /// Source tile.
+        source: Loc,
+    },
+    /// One runtime reconfiguration attempt (manager retry loop).
+    ReconfigAttempt {
+        /// Target tile.
+        tile: Loc,
+        /// Accelerator kind.
+        kind: String,
+        /// 1-based attempt number.
+        attempt: u64,
+        /// Whether the attempt succeeded.
+        ok: bool,
+    },
+    /// A backoff wait between reconfiguration attempts.
+    RetryBackoff {
+        /// Target tile.
+        tile: Loc,
+        /// The attempt that just failed (1-based).
+        attempt: u64,
+        /// Backoff length, cycles.
+        cycles: u64,
+    },
+    /// A tile entering or leaving quarantine.
+    Quarantine {
+        /// The tile.
+        tile: Loc,
+        /// `true` on entry, `false` on release.
+        entered: bool,
+    },
+    /// A reconfiguration skipped because the kind was already loaded.
+    BitstreamCacheHit {
+        /// The tile.
+        tile: Loc,
+        /// Accelerator kind.
+        kind: String,
+    },
+    /// An operation degraded to the CPU software path.
+    CpuFallback {
+        /// Kernel kind.
+        kind: String,
+    },
+    /// One WAMI pipeline stage of one frame.
+    FrameStage {
+        /// Frame index.
+        frame: u64,
+        /// Stage (kernel) name.
+        stage: String,
+    },
+    /// One complete WAMI frame.
+    FrameDone {
+        /// Frame index.
+        frame: u64,
+        /// Reconfigurations triggered while processing it.
+        reconfigurations: u64,
+    },
+    /// One CAD flow stage (synthesis, placement, routing, ...).
+    FlowStage {
+        /// Design / SoC name.
+        design: String,
+        /// Stage name.
+        stage: String,
+        /// Reconfigurable region, or empty for design-wide stages.
+        region: String,
+    },
+    /// A (partial) bitstream emitted by the implementation flow.
+    BitstreamGenerated {
+        /// Design / SoC name.
+        design: String,
+        /// Region the bitstream targets.
+        region: String,
+        /// Accelerator kind implemented.
+        kind: String,
+        /// Bitstream size, bytes.
+        bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name (used as the Chrome trace `name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::DramAccess { .. } => "dram.access",
+            TraceEvent::NocTransfer { .. } => "noc.transfer",
+            TraceEvent::DmaBurst { .. } => "dma.burst",
+            TraceEvent::DecouplerHandshake { .. } => "decoupler.handshake",
+            TraceEvent::IcapWrite { .. } => "icap.write",
+            TraceEvent::Reconfiguration { .. } => "reconfiguration",
+            TraceEvent::Compute { .. } => "accel.compute",
+            TraceEvent::CpuCompute { .. } => "cpu.compute",
+            TraceEvent::Irq { .. } => "irq.deliver",
+            TraceEvent::ReconfigAttempt { .. } => "reconfig.attempt",
+            TraceEvent::RetryBackoff { .. } => "retry.backoff",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::BitstreamCacheHit { .. } => "bitstream.cache_hit",
+            TraceEvent::CpuFallback { .. } => "cpu.fallback",
+            TraceEvent::FrameStage { .. } => "frame.stage",
+            TraceEvent::FrameDone { .. } => "frame",
+            TraceEvent::FlowStage { .. } => "flow.stage",
+            TraceEvent::BitstreamGenerated { .. } => "bitstream.generated",
+        }
+    }
+
+    /// Layer the event belongs to (Chrome trace `cat` / thread).
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::DramAccess { .. }
+            | TraceEvent::DmaBurst { .. }
+            | TraceEvent::DecouplerHandshake { .. }
+            | TraceEvent::IcapWrite { .. }
+            | TraceEvent::Reconfiguration { .. }
+            | TraceEvent::Compute { .. }
+            | TraceEvent::CpuCompute { .. }
+            | TraceEvent::Irq { .. } => "soc",
+            TraceEvent::NocTransfer { .. } => "noc",
+            TraceEvent::ReconfigAttempt { .. }
+            | TraceEvent::RetryBackoff { .. }
+            | TraceEvent::Quarantine { .. }
+            | TraceEvent::BitstreamCacheHit { .. }
+            | TraceEvent::CpuFallback { .. } => "runtime",
+            TraceEvent::FrameStage { .. } | TraceEvent::FrameDone { .. } => "wami",
+            TraceEvent::FlowStage { .. } | TraceEvent::BitstreamGenerated { .. } => "cad",
+        }
+    }
+
+    /// The event payload as ordered key/value pairs.
+    pub fn args(&self) -> Vec<(&'static str, JsonValue)> {
+        fn n(v: u64) -> JsonValue {
+            JsonValue::Number(v as f64)
+        }
+        fn s(v: &str) -> JsonValue {
+            JsonValue::String(v.to_string())
+        }
+        fn loc(v: Loc) -> JsonValue {
+            JsonValue::String(v.to_string())
+        }
+        match self {
+            TraceEvent::DramAccess { bytes, waited } => {
+                vec![("bytes", n(*bytes)), ("waited", n(*waited))]
+            }
+            TraceEvent::NocTransfer {
+                plane,
+                src,
+                dst,
+                bytes,
+                flits,
+                hops,
+                waited,
+            } => vec![
+                ("plane", s(plane)),
+                ("src", loc(*src)),
+                ("dst", loc(*dst)),
+                ("bytes", n(*bytes)),
+                ("flits", n(*flits)),
+                ("hops", n(*hops)),
+                ("waited", n(*waited)),
+            ],
+            TraceEvent::DmaBurst {
+                tile,
+                bytes,
+                direction,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("bytes", n(*bytes)),
+                ("direction", s(direction)),
+            ],
+            TraceEvent::DecouplerHandshake {
+                tile,
+                decouple,
+                delay,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("decouple", JsonValue::Bool(*decouple)),
+                ("delay", n(*delay)),
+            ],
+            TraceEvent::IcapWrite {
+                tile,
+                words,
+                ok,
+                waited,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("words", n(*words)),
+                ("ok", JsonValue::Bool(*ok)),
+                ("waited", n(*waited)),
+            ],
+            TraceEvent::Reconfiguration {
+                tile,
+                kind,
+                bytes,
+                ok,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("kind", s(kind)),
+                ("bytes", n(*bytes)),
+                ("ok", JsonValue::Bool(*ok)),
+            ],
+            TraceEvent::Compute { tile, kind, cycles } => vec![
+                ("tile", loc(*tile)),
+                ("kind", s(kind)),
+                ("cycles", n(*cycles)),
+            ],
+            TraceEvent::CpuCompute { kind, cycles } => {
+                vec![("kind", s(kind)), ("cycles", n(*cycles))]
+            }
+            TraceEvent::Irq { source } => vec![("source", loc(*source))],
+            TraceEvent::ReconfigAttempt {
+                tile,
+                kind,
+                attempt,
+                ok,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("kind", s(kind)),
+                ("attempt", n(*attempt)),
+                ("ok", JsonValue::Bool(*ok)),
+            ],
+            TraceEvent::RetryBackoff {
+                tile,
+                attempt,
+                cycles,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("attempt", n(*attempt)),
+                ("cycles", n(*cycles)),
+            ],
+            TraceEvent::Quarantine { tile, entered } => {
+                vec![("tile", loc(*tile)), ("entered", JsonValue::Bool(*entered))]
+            }
+            TraceEvent::BitstreamCacheHit { tile, kind } => {
+                vec![("tile", loc(*tile)), ("kind", s(kind))]
+            }
+            TraceEvent::CpuFallback { kind } => vec![("kind", s(kind))],
+            TraceEvent::FrameStage { frame, stage } => {
+                vec![("frame", n(*frame)), ("stage", s(stage))]
+            }
+            TraceEvent::FrameDone {
+                frame,
+                reconfigurations,
+            } => vec![
+                ("frame", n(*frame)),
+                ("reconfigurations", n(*reconfigurations)),
+            ],
+            TraceEvent::FlowStage {
+                design,
+                stage,
+                region,
+            } => vec![
+                ("design", s(design)),
+                ("stage", s(stage)),
+                ("region", s(region)),
+            ],
+            TraceEvent::BitstreamGenerated {
+                design,
+                region,
+                kind,
+                bytes,
+            } => vec![
+                ("design", s(design)),
+                ("region", s(region)),
+                ("kind", s(kind)),
+                ("bytes", n(*bytes)),
+            ],
+        }
+    }
+}
+
+/// One emitted record: a typed event plus where it sits in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Emission order, dense from 0 per tracer.
+    pub seq: u64,
+    /// Clock domain `ts`/`dur` are expressed in.
+    pub domain: ClockDomain,
+    /// Start timestamp in the domain's unit.
+    pub ts: u64,
+    /// Duration in the domain's unit (0 = instant event).
+    pub dur: u64,
+    /// The typed payload.
+    pub event: TraceEvent,
+}
+
+/// Where emitted records go. Implementations must be `Send` so traced
+/// components can cross thread boundaries (the threaded runtime moves
+/// the whole SoC into a worker thread).
+pub trait TraceSink: Send {
+    /// Accepts one record.
+    fn record(&mut self, record: TraceRecord);
+}
+
+/// The per-component trace handle.
+///
+/// A disabled tracer (the default) skips payload construction entirely:
+/// [`Tracer::emit`] takes the event as a closure and returns before
+/// calling it when no sink is attached.
+#[derive(Default)]
+pub struct Tracer {
+    sink: Option<SharedSink>,
+    seq: u64,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.sink.is_some())
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer with no sink: every emit is a cheap no-op.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer writing to `sink`.
+    pub fn to_sink(sink: SharedSink) -> Tracer {
+        Tracer {
+            sink: Some(sink),
+            seq: 0,
+        }
+    }
+
+    /// Attaches `sink`; subsequent emits are recorded.
+    pub fn attach(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the current sink, disabling the tracer.
+    pub fn detach(&mut self) -> Option<SharedSink> {
+        self.sink.take()
+    }
+
+    /// Whether a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records a span of `dur` starting at `ts`. `build` only runs when a
+    /// sink is attached.
+    #[inline]
+    pub fn emit(
+        &mut self,
+        domain: ClockDomain,
+        ts: u64,
+        dur: u64,
+        build: impl FnOnce() -> TraceEvent,
+    ) {
+        let Some(sink) = &self.sink else { return };
+        let record = TraceRecord {
+            seq: self.seq,
+            domain,
+            ts,
+            dur,
+            event: build(),
+        };
+        self.seq += 1;
+        if let Ok(mut sink) = sink.lock() {
+            sink.record(record);
+        }
+    }
+
+    /// Records an instant event at `ts`.
+    #[inline]
+    pub fn instant(&mut self, domain: ClockDomain, ts: u64, build: impl FnOnce() -> TraceEvent) {
+        self.emit(domain, ts, 0, build);
+    }
+}
+
+fn categories(records: &[TraceRecord]) -> Vec<&'static str> {
+    let mut cats: Vec<&'static str> = Vec::new();
+    for r in records {
+        let c = r.event.category();
+        if !cats.contains(&c) {
+            cats.push(c);
+        }
+    }
+    cats.sort_unstable();
+    cats
+}
+
+/// Serializes records as a Chrome trace-event JSON document, loadable in
+/// `chrome://tracing` or Perfetto. Processes map to clock domains,
+/// threads to event categories; durations become complete (`"X"`) events
+/// and instants become instant (`"i"`) events.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let cats = categories(records);
+    let tid_of = |c: &str| cats.iter().position(|x| *x == c).unwrap_or(0) as f64 + 1.0;
+    let mut events = Vec::new();
+    let mut domains: Vec<ClockDomain> = Vec::new();
+    for r in records {
+        if !domains.contains(&r.domain) {
+            domains.push(r.domain);
+        }
+    }
+    for d in &domains {
+        events.push(JsonValue::Object(vec![
+            ("name".into(), JsonValue::String("process_name".into())),
+            ("ph".into(), JsonValue::String("M".into())),
+            ("pid".into(), JsonValue::Number(d.pid() as f64)),
+            (
+                "args".into(),
+                JsonValue::Object(vec![(
+                    "name".into(),
+                    JsonValue::String(d.process_name().into()),
+                )]),
+            ),
+        ]));
+        for c in &cats {
+            events.push(JsonValue::Object(vec![
+                ("name".into(), JsonValue::String("thread_name".into())),
+                ("ph".into(), JsonValue::String("M".into())),
+                ("pid".into(), JsonValue::Number(d.pid() as f64)),
+                ("tid".into(), JsonValue::Number(tid_of(c))),
+                (
+                    "args".into(),
+                    JsonValue::Object(vec![("name".into(), JsonValue::String((*c).into()))]),
+                ),
+            ]));
+        }
+    }
+    for r in records {
+        let mut fields = vec![
+            ("name".into(), JsonValue::String(r.event.name().into())),
+            ("cat".into(), JsonValue::String(r.event.category().into())),
+        ];
+        if r.dur > 0 {
+            fields.push(("ph".into(), JsonValue::String("X".into())));
+        } else {
+            fields.push(("ph".into(), JsonValue::String("i".into())));
+            fields.push(("s".into(), JsonValue::String("t".into())));
+        }
+        fields.push((
+            "ts".into(),
+            JsonValue::Number(r.domain.to_trace_micros(r.ts)),
+        ));
+        if r.dur > 0 {
+            fields.push((
+                "dur".into(),
+                JsonValue::Number(r.domain.to_trace_micros(r.dur)),
+            ));
+        }
+        fields.push(("pid".into(), JsonValue::Number(r.domain.pid() as f64)));
+        fields.push(("tid".into(), JsonValue::Number(tid_of(r.event.category()))));
+        let args = r
+            .event
+            .args()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        fields.push(("args".into(), JsonValue::Object(args)));
+        events.push(JsonValue::Object(fields));
+    }
+    JsonValue::Object(vec![
+        ("traceEvents".into(), JsonValue::Array(events)),
+        ("displayTimeUnit".into(), JsonValue::String("ms".into())),
+    ])
+    .pretty()
+}
+
+/// Serializes records as deterministic one-line-per-record text:
+/// `seq domain ts=.. dur=.. name key=value ...`. Two identical runs
+/// produce byte-identical output, which the determinism tests rely on.
+pub fn log_lines(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "{:06} {} ts={} dur={} {}",
+            r.seq,
+            r.domain.label(),
+            r.ts,
+            r.dur,
+            r.event.name()
+        ));
+        for (k, v) in r.event.args() {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.pretty());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let mut tracer = Tracer::disabled();
+        let mut built = false;
+        tracer.emit(ClockDomain::SocCycles, 0, 10, || {
+            built = true;
+            TraceEvent::Irq {
+                source: Loc::new(0, 0),
+            }
+        });
+        assert!(!built);
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn attached_tracer_records_in_sequence() {
+        let sink = MemorySink::shared();
+        let mut tracer = Tracer::to_sink(sink.clone());
+        tracer.emit(ClockDomain::SocCycles, 5, 10, || TraceEvent::DramAccess {
+            bytes: 64,
+            waited: 0,
+        });
+        tracer.instant(ClockDomain::SocCycles, 15, || TraceEvent::Irq {
+            source: Loc::new(1, 2),
+        });
+        let records = sink.lock().unwrap().records().to_vec();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 1);
+        assert_eq!(records[1].dur, 0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_metadata() {
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                domain: ClockDomain::SocCycles,
+                ts: 78,
+                dur: 78,
+                event: TraceEvent::DramAccess {
+                    bytes: 128,
+                    waited: 4,
+                },
+            },
+            TraceRecord {
+                seq: 1,
+                domain: ClockDomain::CadMilliMinutes,
+                ts: 1500,
+                dur: 0,
+                event: TraceEvent::FlowStage {
+                    design: "soc_1".into(),
+                    stage: "synthesis".into(),
+                    region: String::new(),
+                },
+            },
+        ];
+        let doc = chrome_trace_json(&records);
+        let v = json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 domains × (1 process + 2 threads) metadata + 2 payload events.
+        assert_eq!(events.len(), 8);
+        let payload = &events[events.len() - 2];
+        assert_eq!(payload.get("name").unwrap().as_str(), Some("dram.access"));
+        assert_eq!(payload.get("ph").unwrap().as_str(), Some("X"));
+    }
+
+    #[test]
+    fn log_lines_are_deterministic() {
+        let records = vec![TraceRecord {
+            seq: 0,
+            domain: ClockDomain::SocCycles,
+            ts: 10,
+            dur: 5,
+            event: TraceEvent::Quarantine {
+                tile: Loc::new(2, 1),
+                entered: true,
+            },
+        }];
+        let a = log_lines(&records);
+        let b = log_lines(&records);
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "000000 soc-cycles ts=10 dur=5 quarantine tile=\"2,1\" entered=true\n"
+        );
+    }
+
+    #[test]
+    fn every_event_has_consistent_metadata() {
+        let loc = Loc::new(0, 0);
+        let events = vec![
+            TraceEvent::DramAccess {
+                bytes: 1,
+                waited: 0,
+            },
+            TraceEvent::NocTransfer {
+                plane: "dma",
+                src: loc,
+                dst: loc,
+                bytes: 1,
+                flits: 1,
+                hops: 0,
+                waited: 0,
+            },
+            TraceEvent::DmaBurst {
+                tile: loc,
+                bytes: 1,
+                direction: "in",
+            },
+            TraceEvent::DecouplerHandshake {
+                tile: loc,
+                decouple: true,
+                delay: 0,
+            },
+            TraceEvent::IcapWrite {
+                tile: loc,
+                words: 1,
+                ok: true,
+                waited: 0,
+            },
+            TraceEvent::Reconfiguration {
+                tile: loc,
+                kind: "mac".into(),
+                bytes: 1,
+                ok: true,
+            },
+            TraceEvent::Compute {
+                tile: loc,
+                kind: "mac".into(),
+                cycles: 1,
+            },
+            TraceEvent::CpuCompute {
+                kind: "mac".into(),
+                cycles: 1,
+            },
+            TraceEvent::Irq { source: loc },
+            TraceEvent::ReconfigAttempt {
+                tile: loc,
+                kind: "mac".into(),
+                attempt: 1,
+                ok: true,
+            },
+            TraceEvent::RetryBackoff {
+                tile: loc,
+                attempt: 1,
+                cycles: 1,
+            },
+            TraceEvent::Quarantine {
+                tile: loc,
+                entered: true,
+            },
+            TraceEvent::BitstreamCacheHit {
+                tile: loc,
+                kind: "mac".into(),
+            },
+            TraceEvent::CpuFallback { kind: "mac".into() },
+            TraceEvent::FrameStage {
+                frame: 0,
+                stage: "debayer".into(),
+            },
+            TraceEvent::FrameDone {
+                frame: 0,
+                reconfigurations: 0,
+            },
+            TraceEvent::FlowStage {
+                design: "d".into(),
+                stage: "synth".into(),
+                region: String::new(),
+            },
+            TraceEvent::BitstreamGenerated {
+                design: "d".into(),
+                region: "r".into(),
+                kind: "mac".into(),
+                bytes: 1,
+            },
+        ];
+        for e in events {
+            assert!(!e.name().is_empty());
+            assert!(!e.category().is_empty());
+            assert!(!e.args().is_empty());
+        }
+    }
+}

@@ -70,7 +70,7 @@ impl FpgaPart {
 
     /// Nominal device capacity as published in the data sheet.
     ///
-    /// The columnar [`Device`](crate::fabric::Device) model approximates these
+    /// The columnar [`Device`] model approximates these
     /// within a fraction of a percent; `LUT_tot` in the paper's Eq. (1) is the
     /// *nominal* capacity, so κ/α_av computations use this value.
     pub fn nominal_capacity(&self) -> Resources {

@@ -19,6 +19,8 @@ use crate::error::Error;
 use crate::manager::ReconfigManager;
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::{AccelOp, AccelValue};
+use presp_events::trace::ClockDomain;
+use presp_events::TraceEvent;
 use presp_soc::config::TileCoord;
 use presp_wami::change_detection::{ChangeDetector, GmmConfig};
 use presp_wami::graph::WamiKernel;
@@ -205,42 +207,55 @@ impl WamiApp {
         ready: u64,
         frame_stats: &mut FrameStats,
     ) -> Result<(AccelValue, u64), Error> {
-        match self.allocation.tile_for(kernel) {
-            Some(tile) => {
-                // Prefetch: the reconfiguration request is issued at the
-                // tile's idle time, independent of `ready`; non-interleaved
-                // mode waits for the data to be ready first.
-                let request_at = if self.prefetch {
-                    self.manager.tile_idle_at(tile)
-                } else {
-                    ready.max(self.manager.tile_idle_at(tile))
-                };
-                match self.manager.request_reconfiguration_at(
-                    tile,
-                    AcceleratorKind::Wami(kernel),
-                    request_at,
-                ) {
-                    Ok(Some(reconf)) => {
-                        frame_stats.reconfigurations += 1;
-                        frame_stats.reconfig_cycles += reconf.latency();
+        let (value, end) = 'run: {
+            match self.allocation.tile_for(kernel) {
+                Some(tile) => {
+                    // Prefetch: the reconfiguration request is issued at the
+                    // tile's idle time, independent of `ready`; non-interleaved
+                    // mode waits for the data to be ready first.
+                    let request_at = if self.prefetch {
+                        self.manager.tile_idle_at(tile)
+                    } else {
+                        ready.max(self.manager.tile_idle_at(tile))
+                    };
+                    match self.manager.request_reconfiguration_at(
+                        tile,
+                        AcceleratorKind::Wami(kernel),
+                        request_at,
+                    ) {
+                        Ok(Some(reconf)) => {
+                            frame_stats.reconfigurations += 1;
+                            frame_stats.reconfig_cycles += reconf.latency();
+                        }
+                        Ok(None) => {}
+                        Err(e) if e.is_degradable() => {
+                            frame_stats.cpu_fallbacks += 1;
+                            let at = ready.max(self.manager.tile_idle_at(tile));
+                            let run = self.manager.run_on_cpu_at(&op, at)?;
+                            break 'run (run.value, run.end);
+                        }
+                        Err(e) => return Err(e),
                     }
-                    Ok(None) => {}
-                    Err(e) if e.is_degradable() => {
-                        frame_stats.cpu_fallbacks += 1;
-                        let at = ready.max(self.manager.tile_idle_at(tile));
-                        let run = self.manager.run_on_cpu_at(&op, at)?;
-                        return Ok((run.value, run.end));
-                    }
-                    Err(e) => return Err(e),
+                    let run = self.manager.run_at(tile, &op, ready)?;
+                    (run.value, run.end)
                 }
-                let run = self.manager.run_at(tile, &op, ready)?;
-                Ok((run.value, run.end))
+                None => {
+                    let run = self.manager.run_on_cpu_at(&op, ready)?;
+                    (run.value, run.end)
+                }
             }
-            None => {
-                let run = self.manager.run_on_cpu_at(&op, ready)?;
-                Ok((run.value, run.end))
-            }
-        }
+        };
+        let frame = self.frames as u64;
+        self.manager.soc_mut().tracer_mut().emit(
+            ClockDomain::SocCycles,
+            ready,
+            end.saturating_sub(ready),
+            || TraceEvent::FrameStage {
+                frame,
+                stage: kernel.name().to_string(),
+            },
+        );
+        Ok((value, end))
     }
 
     /// Processes one raw Bayer frame through the full accelerated dataflow.
@@ -409,6 +424,17 @@ impl WamiApp {
             }
             (other, _) => unreachable!("change-detection returned {other:?}"),
         };
+
+        let frame = self.frames as u64;
+        self.manager.soc_mut().tracer_mut().emit(
+            ClockDomain::SocCycles,
+            start,
+            t12.saturating_sub(start),
+            || TraceEvent::FrameDone {
+                frame,
+                reconfigurations: stats.reconfigurations,
+            },
+        );
 
         self.template = Some(gray);
         self.frames += 1;

@@ -20,11 +20,18 @@ use crate::error::Error;
 use crate::registry::BitstreamRegistry;
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::AccelOp;
+use presp_events::trace::ClockDomain;
+use presp_events::{backoff, Loc, TraceEvent};
 use presp_fpga::fault::FaultPlan;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::{csr, AccelRun, ReconfigRun, Soc};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The tile's location as a trace record coordinate.
+fn loc(coord: TileCoord) -> Loc {
+    Loc::new(coord.row as u64, coord.col as u64)
+}
 
 /// How the manager responds to reconfiguration failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -170,7 +177,17 @@ impl ReconfigManager {
     /// clearing its failure streak. Returns whether it was quarantined.
     pub fn release_quarantine(&mut self, tile: TileCoord) -> bool {
         self.failure_streak.remove(&tile);
-        self.quarantined.remove(&tile)
+        let released = self.quarantined.remove(&tile);
+        if released {
+            let now = self.soc.horizon();
+            self.soc
+                .tracer_mut()
+                .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
+                    tile: loc(tile),
+                    entered: false,
+                });
+        }
+        released
     }
 
     /// The underlying SoC (for inspection).
@@ -241,6 +258,14 @@ impl ReconfigManager {
         }
         if self.drivers.services(tile, kind) {
             self.stats.cache_hits += 1;
+            self.soc
+                .tracer_mut()
+                .instant(ClockDomain::SocCycles, at, || {
+                    TraceEvent::BitstreamCacheHit {
+                        tile: loc(tile),
+                        kind: kind.name(),
+                    }
+                });
             return Ok(None);
         }
         // A pair that was never registered is a permanent error; transient
@@ -269,6 +294,17 @@ impl ReconfigManager {
                             return Err(e.into());
                         }
                     };
+                    self.soc.tracer_mut().emit(
+                        ClockDomain::SocCycles,
+                        reconf.start,
+                        coupled - reconf.start,
+                        || TraceEvent::ReconfigAttempt {
+                            tile: loc(tile),
+                            kind: kind.name(),
+                            attempt: u64::from(attempts),
+                            ok: true,
+                        },
+                    );
                     self.drivers.probe(tile, kind);
                     self.tile_time.insert(tile, coupled);
                     self.failure_streak.remove(&tile);
@@ -280,14 +316,37 @@ impl ReconfigManager {
                     }));
                 }
                 Err(e) if Self::is_transient(&e) => {
+                    let failed_at = self.soc.horizon().max(when);
+                    self.soc.tracer_mut().emit(
+                        ClockDomain::SocCycles,
+                        when,
+                        failed_at - when,
+                        || TraceEvent::ReconfigAttempt {
+                            tile: loc(tile),
+                            kind: kind.name(),
+                            attempt: u64::from(attempts),
+                            ok: false,
+                        },
+                    );
                     if attempts > self.policy.max_retries {
                         return self.give_up(tile, kind, attempts);
                     }
                     self.stats.retries += 1;
-                    let backoff = self.policy.backoff_cycles.saturating_mul(
-                        self.policy.backoff_multiplier.saturating_pow(attempts - 1),
+                    let backoff = backoff::exponential(
+                        self.policy.backoff_cycles,
+                        self.policy.backoff_multiplier,
+                        attempts,
                     );
-                    when = self.soc.horizon().max(when).saturating_add(backoff);
+                    self.soc
+                        .tracer_mut()
+                        .emit(ClockDomain::SocCycles, failed_at, backoff, || {
+                            TraceEvent::RetryBackoff {
+                                tile: loc(tile),
+                                attempt: u64::from(attempts),
+                                cycles: backoff,
+                            }
+                        });
+                    when = failed_at.saturating_add(backoff);
                 }
                 Err(e) => {
                     self.stats.rejected += 1;
@@ -357,11 +416,18 @@ impl ReconfigManager {
         attempts: u32,
     ) -> Result<Option<ReconfigRun>, Error> {
         self.stats.retries_exhausted += 1;
-        self.tile_time.insert(tile, self.soc.horizon());
+        let now = self.soc.horizon();
+        self.tile_time.insert(tile, now);
         let streak = self.failure_streak.entry(tile).or_insert(0);
         *streak += 1;
         if *streak >= self.policy.quarantine_after && self.quarantined.insert(tile) {
             self.stats.quarantines += 1;
+            self.soc
+                .tracer_mut()
+                .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
+                    tile: loc(tile),
+                    entered: true,
+                });
         }
         Err(Error::RetriesExhausted {
             tile,
@@ -455,6 +521,11 @@ impl ReconfigManager {
                 // Start the software run after the failed recovery
                 // concluded on this tile's timeline.
                 let start = at.max(self.tile_idle_at(tile));
+                self.soc
+                    .tracer_mut()
+                    .instant(ClockDomain::SocCycles, start, || TraceEvent::CpuFallback {
+                        kind: kind.name(),
+                    });
                 let run = self.soc.run_on_cpu_at(op, start)?;
                 self.stats.fallback_runs += 1;
                 Ok((run, ExecPath::CpuFallback))

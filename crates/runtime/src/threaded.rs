@@ -255,6 +255,25 @@ impl ThreadedManager {
         self.shared.manager.lock().expect("manager lock").stats()
     }
 
+    /// Latest completion cycle on the shared virtual clock — the
+    /// application makespan across everything the worker dispatched.
+    /// OS-thread interleaving varies between runs; this virtual-time
+    /// reading is still exact for the operations performed.
+    pub fn makespan(&self) -> u64 {
+        self.shared.manager.lock().expect("manager lock").makespan()
+    }
+
+    /// Attaches a trace sink to the underlying SoC: worker-dispatched
+    /// operations emit structured records through it.
+    pub fn attach_tracer(&self, sink: presp_events::SharedSink) {
+        self.shared
+            .manager
+            .lock()
+            .expect("manager lock")
+            .soc_mut()
+            .attach_tracer(sink);
+    }
+
     /// Stops the worker and joins it. Idempotent.
     pub fn shutdown(&self) {
         let _ = self.queue.send(Request::Shutdown);

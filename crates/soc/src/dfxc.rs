@@ -36,6 +36,7 @@ pub struct Dfxc {
     status: DfxcStatus,
     completed: u64,
     failed: u64,
+    busy_micros: f64,
 }
 
 impl Dfxc {
@@ -46,6 +47,7 @@ impl Dfxc {
             status: DfxcStatus::Idle,
             completed: 0,
             failed: 0,
+            busy_micros: 0.0,
         }
     }
 
@@ -62,6 +64,13 @@ impl Dfxc {
     /// Reconfigurations that failed.
     pub fn failed(&self) -> u64 {
         self.failed
+    }
+
+    /// Total ICAP streaming time of successful loads, microseconds —
+    /// the controller's share of the shared-ICAP occupancy the simulator
+    /// arbitrates.
+    pub fn busy_micros(&self) -> f64 {
+        self.busy_micros
     }
 
     /// The configuration memory behind the ICAP.
@@ -82,6 +91,7 @@ impl Dfxc {
             Ok(report) => {
                 self.status = DfxcStatus::Done;
                 self.completed += 1;
+                self.busy_micros += report.micros;
                 Ok(report)
             }
             Err(e) => {

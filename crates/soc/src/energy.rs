@@ -8,15 +8,11 @@
 //! leakage and base power integrating over a longer frame time versus more
 //! provisioned fabric leaking in parallel.
 
-use presp_accel::latency::SOC_CLOCK_MHZ;
 use presp_accel::power::{leakage_w, BASE_POWER_W, RECONFIG_POWER_W};
 use presp_fpga::resources::Resources;
 use serde::{Deserialize, Serialize};
 
-/// Converts SoC cycles to seconds.
-pub fn cycles_to_seconds(cycles: u64) -> f64 {
-    cycles as f64 / (SOC_CLOCK_MHZ * 1e6)
-}
+pub use presp_events::cycles_to_seconds;
 
 /// An energy meter for one simulation.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]

@@ -14,10 +14,14 @@
 //! * the auxiliary tile hosts the **DFX controller** and the ICAP: it
 //!   fetches partial bitstreams from DRAM over the NoC, streams them through
 //!   the ICAP, and raises an interrupt on completion ([`dfxc`]);
-//! * a [`sim`]ulator advances virtual time (78 MHz SoC clock), accounts DMA
-//!   transfers with link-level NoC contention, executes accelerator
-//!   behaviors from `presp-accel` for real results, and meters energy
-//!   ([`energy`]).
+//! * a [`sim`]ulator advances virtual time (78 MHz SoC clock) through the
+//!   shared `presp-events` kernel — every shared resource (NoC links, the
+//!   DRAM channel, the ICAP, each tile) is a reservation
+//!   [`presp_events::ResourceTimeline`] — accounts DMA transfers with
+//!   link-level NoC contention, executes accelerator behaviors from
+//!   `presp-accel` for real results, meters energy ([`energy`]), and can
+//!   emit a structured trace of every operation
+//!   ([`sim::Soc::attach_tracer`]).
 //!
 //! # Example
 //!
@@ -41,10 +45,11 @@ pub mod config;
 pub mod dfxc;
 pub mod energy;
 pub mod error;
-pub mod json;
 pub mod noc;
 pub mod sim;
 pub mod tile;
+
+pub use presp_events::json;
 
 pub use config::{SocConfig, TileCoord};
 pub use error::Error;

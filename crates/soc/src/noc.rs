@@ -9,6 +9,7 @@
 //! reconfigurable tiles faster but not linearly so.
 
 use crate::config::TileCoord;
+use presp_events::ResourceTimeline;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -46,6 +47,18 @@ impl Plane {
         Plane::RegAccess,
         Plane::Irq,
     ];
+
+    /// Stable lowercase name (used in trace records).
+    pub fn name(self) -> &'static str {
+        match self {
+            Plane::Coherence => "coherence",
+            Plane::CoherenceRsp => "coherence-rsp",
+            Plane::Dma => "dma",
+            Plane::Dfx => "dfx",
+            Plane::RegAccess => "reg-access",
+            Plane::Irq => "irq",
+        }
+    }
 }
 
 /// A completed transfer's timing.
@@ -59,6 +72,8 @@ pub struct Transfer {
     pub hops: usize,
     /// Flits moved (including header).
     pub flits: u64,
+    /// Cycles lost waiting for busy links along the path.
+    pub waited: u64,
 }
 
 impl Transfer {
@@ -71,10 +86,11 @@ impl Transfer {
 /// Directed link key: one hop of one plane.
 type LinkKey = (TileCoord, TileCoord, Plane);
 
-/// The mesh NoC state: per-link reservations.
+/// The mesh NoC state: one reservation timeline per directed link per
+/// plane.
 #[derive(Debug, Clone, Default)]
 pub struct Noc {
-    link_free: HashMap<LinkKey, u64>,
+    links: HashMap<LinkKey, ResourceTimeline>,
     transfers: u64,
 }
 
@@ -88,6 +104,16 @@ impl Noc {
     /// use this to prove that rejected operations never reached the NoC.
     pub fn transfer_count(&self) -> u64 {
         self.transfers
+    }
+
+    /// Total cycles packets spent waiting for busy links, all planes —
+    /// the mesh-level contention the Fig. 4 scaling study trades against
+    /// tile count.
+    pub fn contention_cycles(&self) -> u64 {
+        self.links
+            .values()
+            .map(ResourceTimeline::contention_cycles)
+            .sum()
     }
 
     /// The XY route from `src` to `dst` (inclusive of both endpoints).
@@ -136,19 +162,22 @@ impl Noc {
                 end: now + flits,
                 hops: 0,
                 flits,
+                waited: 0,
             };
         }
         let mut head = now;
         let mut start = None;
+        let mut waited = 0;
         for pair in path.windows(2) {
             let key = (pair[0], pair[1], plane);
-            let free = self.link_free.get(&key).copied().unwrap_or(0);
-            let link_start = head.max(free);
-            self.link_free.insert(key, link_start + flits);
+            // Each link is held for the packet's serialization time; the
+            // head advances one router pipeline per hop.
+            let r = self.links.entry(key).or_default().reserve(head, flits);
             if start.is_none() {
-                start = Some(link_start);
+                start = Some(r.start);
             }
-            head = link_start + HOP_LATENCY;
+            waited += r.waited;
+            head = r.start + HOP_LATENCY;
         }
         // Last flit arrives after the head reaches the sink plus the body
         // streams through.
@@ -158,6 +187,7 @@ impl Noc {
             end,
             hops: path.len() - 1,
             flits,
+            waited,
         }
     }
 
@@ -166,10 +196,9 @@ impl Noc {
         Noc::route(src, dst)
             .windows(2)
             .map(|pair| {
-                self.link_free
+                self.links
                     .get(&(pair[0], pair[1], plane))
-                    .copied()
-                    .unwrap_or(0)
+                    .map_or(0, ResourceTimeline::free_at)
             })
             .max()
             .unwrap_or(0)

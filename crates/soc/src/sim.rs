@@ -3,22 +3,31 @@
 //!
 //! Timing is explicit: every operation takes a start cycle and returns its
 //! completion cycle, with shared resources (NoC links, the DRAM channel,
-//! the ICAP, each tile) arbitrated through reservation times. Callers that
-//! model concurrent software threads (the runtime manager) issue
-//! operations with their own per-thread clocks; the shared reservations
-//! produce the same interleaving a cycle-stepped simulation would at this
-//! granularity.
+//! the ICAP, each tile) arbitrated through `presp-events`
+//! [`ResourceTimeline`]s. Callers that model concurrent software threads
+//! (the runtime manager) issue operations with their own per-thread
+//! clocks; the shared reservations produce the same interleaving a
+//! cycle-stepped simulation would at this granularity.
+//!
+//! Attach a trace sink ([`Soc::attach_tracer`]) and every timed operation
+//! — DRAM accesses, NoC packets, DMA bursts, decoupler handshakes, ICAP
+//! writes, compute intervals, interrupts — emits a typed
+//! [`presp_events::TraceRecord`] in the `SocCycles` clock domain.
 
 use crate::config::{SocConfig, TileCoord};
 use crate::dfxc::Dfxc;
 use crate::energy::{EnergyMeter, EnergyReport};
 use crate::error::Error;
-use crate::noc::{Noc, Plane};
+use crate::noc::{Noc, Plane, Transfer};
 use crate::tile::{TileKind, WrapperState};
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::latency::{compute_cycles, software_cycles};
 use presp_accel::power::dynamic_power_w;
 use presp_accel::{AccelInstance, AccelOp, AccelValue};
+use presp_events::trace::ClockDomain;
+use presp_events::{
+    Loc, Reservation, ResourceTimeline, SharedSink, TraceEvent, Tracer, VirtualClock,
+};
 use presp_fpga::bitstream::Bitstream;
 use presp_fpga::fault::FaultPlan;
 use presp_fpga::icap::ICAP_CLOCK_MHZ;
@@ -26,6 +35,11 @@ use presp_fpga::part::FpgaPart;
 use presp_fpga::resources::Resources;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// The tile's location as a trace record coordinate.
+fn loc(coord: TileCoord) -> Loc {
+    Loc::new(coord.row as u64, coord.col as u64)
+}
 
 /// DRAM channel bandwidth, bytes per SoC cycle (a 64-bit DDR3 channel is
 /// far faster than the 78 MHz NoC; the NoC is the usual bottleneck).
@@ -103,7 +117,8 @@ pub struct IrqEvent {
 struct TileState {
     kind: TileKind,
     wrapper: WrapperState,
-    busy_until: u64,
+    /// Occupancy of the tile's wrapper (accelerator runs, ICAP writes).
+    timeline: ResourceTimeline,
     /// Software kernel instances (CPU tile only): keeps per-kernel state
     /// like the change-detection background model across software calls.
     software: HashMap<AcceleratorKind, AccelInstance>,
@@ -119,10 +134,10 @@ pub struct Soc {
     noc: Noc,
     dfxc: Dfxc,
     tiles: HashMap<TileCoord, TileState>,
-    dram_free: u64,
-    icap_free: u64,
-    now: u64,
-    horizon: u64,
+    dram: ResourceTimeline,
+    icap: ResourceTimeline,
+    clock: VirtualClock,
+    tracer: Tracer,
     meter: EnergyMeter,
     irq_log: Vec<IrqEvent>,
     fault_plan: Option<FaultPlan>,
@@ -159,7 +174,7 @@ impl Soc {
                 TileState {
                     kind,
                     wrapper,
-                    busy_until: 0,
+                    timeline: ResourceTimeline::new(),
                     software: HashMap::new(),
                 },
             );
@@ -170,10 +185,10 @@ impl Soc {
             noc: Noc::new(),
             dfxc: Dfxc::new(&device),
             tiles,
-            dram_free: 0,
-            icap_free: 0,
-            now: 0,
-            horizon: 0,
+            dram: ResourceTimeline::new(),
+            icap: ResourceTimeline::new(),
+            clock: VirtualClock::new(),
+            tracer: Tracer::disabled(),
             meter,
             irq_log: Vec::new(),
             fault_plan: None,
@@ -193,12 +208,51 @@ impl Soc {
 
     /// Current convenience clock (used by the `_at`-less wrappers).
     pub fn now(&self) -> u64 {
-        self.now
+        self.clock.now()
     }
 
     /// Latest completion cycle observed on any resource.
     pub fn horizon(&self) -> u64 {
-        self.horizon
+        self.clock.horizon()
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Attaches a trace sink: every subsequent timed operation emits a
+    /// structured record. Tracing is disabled (and free) by default.
+    pub fn attach_tracer(&mut self, sink: SharedSink) {
+        self.tracer.attach(sink);
+    }
+
+    /// Detaches the trace sink, if any, disabling tracing.
+    pub fn detach_tracer(&mut self) -> Option<SharedSink> {
+        self.tracer.detach()
+    }
+
+    /// The SoC's tracer. Runtime layers driving this SoC emit their own
+    /// records (retries, quarantine transitions) through the same handle
+    /// so one sink sees the whole story in order.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Cycles requests spent waiting for the DRAM channel.
+    pub fn dram_contention_cycles(&self) -> u64 {
+        self.dram.contention_cycles()
+    }
+
+    /// Cycles reconfigurations spent waiting for the shared ICAP
+    /// (including fault-injected DFXC stalls).
+    pub fn icap_contention_cycles(&self) -> u64 {
+        self.icap.contention_cycles()
+    }
+
+    /// Cycles packets spent waiting for busy NoC links, all planes.
+    pub fn noc_contention_cycles(&self) -> u64 {
+        self.noc.contention_cycles()
     }
 
     /// All tiles currently able to execute accelerator operations (static
@@ -286,28 +340,59 @@ impl Soc {
             .ok_or(Error::NoSuchTile { coord })
     }
 
-    /// One DRAM access of `bytes`, no earlier than `at`; returns completion.
-    fn dram_access(&mut self, at: u64, bytes: u64) -> u64 {
-        let start = at.max(self.dram_free);
-        let end = start + DRAM_LATENCY + bytes.div_ceil(DRAM_BYTES_PER_CYCLE);
-        self.dram_free = end;
-        end
+    /// One DRAM access of `bytes`, no earlier than `at`.
+    fn dram_access(&mut self, at: u64, bytes: u64) -> Reservation {
+        let r = self
+            .dram
+            .reserve(at, DRAM_LATENCY + bytes.div_ceil(DRAM_BYTES_PER_CYCLE));
+        self.tracer
+            .emit(ClockDomain::SocCycles, r.start, r.duration(), || {
+                TraceEvent::DramAccess {
+                    bytes,
+                    waited: r.waited,
+                }
+            });
+        r
+    }
+
+    /// One NoC packet, no earlier than `at`, with trace emission.
+    fn noc_transfer(
+        &mut self,
+        at: u64,
+        src: TileCoord,
+        dst: TileCoord,
+        bytes: u64,
+        plane: Plane,
+    ) -> Transfer {
+        let t = self.noc.transfer(at, src, dst, bytes, plane);
+        self.tracer
+            .emit(ClockDomain::SocCycles, t.start, t.latency(), || {
+                TraceEvent::NocTransfer {
+                    plane: plane.name(),
+                    src: loc(src),
+                    dst: loc(dst),
+                    bytes,
+                    flits: t.flits,
+                    hops: t.hops as u64,
+                    waited: t.waited,
+                }
+            });
+        t
     }
 
     /// Delivers an interrupt from `source` to the CPU tile.
     fn deliver_irq(&mut self, at: u64, source: TileCoord) -> u64 {
         let cpu = self.config.cpu();
-        let t = self.noc.transfer(at, source, cpu, 8, Plane::Irq);
+        let t = self.noc_transfer(at, source, cpu, 8, Plane::Irq);
         self.irq_log.push(IrqEvent {
             source,
             cycle: t.end,
         });
+        self.tracer
+            .instant(ClockDomain::SocCycles, t.end, || TraceEvent::Irq {
+                source: loc(source),
+            });
         t.end
-    }
-
-    fn bump_horizon(&mut self, end: u64) {
-        self.horizon = self.horizon.max(end);
-        self.now = self.now.max(end);
     }
 
     /// Writes a reconfigurable-tile CSR (models the CPU's APB-over-NoC
@@ -325,7 +410,7 @@ impl Soc {
         at: u64,
     ) -> Result<u64, Error> {
         let cpu = self.config.cpu();
-        let t = self.noc.transfer(at, cpu, tile, 8, Plane::RegAccess);
+        let t = self.noc_transfer(at, cpu, tile, 8, Plane::RegAccess);
         let state = self.tile_mut(tile)?;
         if !matches!(state.kind, TileKind::Reconfigurable) {
             return Err(Error::WrongTileKind {
@@ -336,7 +421,7 @@ impl Soc {
         match offset {
             csr::DECOUPLE => {
                 if value == 1 {
-                    if t.end < state.busy_until {
+                    if t.end < state.timeline.free_at() {
                         return Err(Error::DecouplerProtocol {
                             coord: tile,
                             detail: "decouple while the accelerator is executing".into(),
@@ -366,7 +451,14 @@ impl Soc {
             .as_mut()
             .map_or(0, FaultPlan::next_decoupler_delay);
         let end = t.end + delay;
-        self.bump_horizon(end);
+        self.tracer.emit(ClockDomain::SocCycles, t.end, delay, || {
+            TraceEvent::DecouplerHandshake {
+                tile: loc(tile),
+                decouple: value == 1,
+                delay,
+            }
+        });
+        self.clock.observe(end);
         Ok(end)
     }
 
@@ -437,9 +529,10 @@ impl Soc {
             }
         }
         let bytes = bitstream.size_bytes() as u64;
+        let words = bitstream.words().len() as u64;
         // DFXC fetches the bitstream from DRAM over the DFX plane.
-        let dram_done = self.dram_access(at, bytes);
-        let fetch = self.noc.transfer(dram_done, mem, aux, bytes, Plane::Dfx);
+        let dram_done = self.dram_access(at, bytes).end;
+        let fetch = self.noc_transfer(dram_done, mem, aux, bytes, Plane::Dfx);
         // Fault hook: the DFXC may report BUSY for a while before
         // accepting the trigger.
         let stall = self
@@ -447,7 +540,7 @@ impl Soc {
             .as_mut()
             .map_or(0, FaultPlan::next_dfxc_stall);
         // Stream through the (shared) ICAP.
-        let icap_start = fetch.end.max(self.icap_free) + stall;
+        let icap_start = fetch.end.max(self.icap.free_at()) + stall;
         // Fault hook: one word of the stream may arrive corrupted; the
         // flip goes through the real ICAP machinery, whose CRC check
         // detects it and fails the load with the fabric partially written.
@@ -472,24 +565,60 @@ impl Soc {
                 let wasted = (bitstream.words().len() as f64 / ICAP_CLOCK_MHZ
                     * SOC_CYCLES_PER_MICRO)
                     .ceil() as u64;
-                self.icap_free = icap_start + wasted;
-                self.bump_horizon(self.icap_free);
+                let r = self.icap.claim(fetch.end, icap_start, icap_start + wasted);
+                self.tracer
+                    .emit(ClockDomain::SocCycles, r.start, r.duration(), || {
+                        TraceEvent::IcapWrite {
+                            tile: loc(tile),
+                            words,
+                            ok: false,
+                            waited: r.waited,
+                        }
+                    });
+                self.tracer
+                    .emit(ClockDomain::SocCycles, at, r.end - at, || {
+                        TraceEvent::Reconfiguration {
+                            tile: loc(tile),
+                            kind: kind.name(),
+                            bytes,
+                            ok: false,
+                        }
+                    });
+                self.clock.observe(r.end);
                 return Err(e);
             }
         };
         let icap_cycles = (report.micros * SOC_CYCLES_PER_MICRO).ceil() as u64;
         let icap_done = icap_start + icap_cycles;
-        self.icap_free = icap_done;
+        let icap_r = self.icap.claim(fetch.end, icap_start, icap_done);
+        self.tracer
+            .emit(ClockDomain::SocCycles, icap_start, icap_cycles, || {
+                TraceEvent::IcapWrite {
+                    tile: loc(tile),
+                    words,
+                    ok: true,
+                    waited: icap_r.waited,
+                }
+            });
         self.meter.add_reconfiguration(report.micros);
         // Install the new wrapper (still decoupled until software
-        // re-couples it).
+        // re-couples it). The tile is occupied while its fabric is
+        // written.
         let state = self.tile_mut(tile)?;
         state.wrapper = WrapperState::Decoupled {
             previous: Some(kind),
         };
-        state.busy_until = icap_done;
+        state.timeline.claim(at, icap_start, icap_done);
         let end = self.deliver_irq(icap_done, aux);
-        self.bump_horizon(end);
+        self.tracer.emit(ClockDomain::SocCycles, at, end - at, || {
+            TraceEvent::Reconfiguration {
+                tile: loc(tile),
+                kind: kind.name(),
+                bytes,
+                ok: true,
+            }
+        });
+        self.clock.observe(end);
         Ok(ReconfigRun {
             start: at,
             end,
@@ -545,29 +674,51 @@ impl Soc {
             }));
         }
 
-        let start = at.max(state.busy_until);
+        let start = at.max(state.timeline.free_at());
         // Input DMA: DRAM read then NoC mem → tile.
-        let dram_in = self.dram_access(start, op.input_bytes());
-        let t_in = self
-            .noc
-            .transfer(dram_in, mem, tile, op.input_bytes(), Plane::Dma);
+        let dram_in = self.dram_access(start, op.input_bytes()).end;
+        let t_in = self.noc_transfer(dram_in, mem, tile, op.input_bytes(), Plane::Dma);
+        self.tracer
+            .emit(ClockDomain::SocCycles, start, t_in.end - start, || {
+                TraceEvent::DmaBurst {
+                    tile: loc(tile),
+                    bytes: op.input_bytes(),
+                    direction: "in",
+                }
+            });
         // Compute.
         let cycles = compute_cycles(kind, op);
         let compute_done = t_in.end + cycles;
         self.meter.add_active(dynamic_power_w(kind), cycles);
+        self.tracer
+            .emit(ClockDomain::SocCycles, t_in.end, cycles, || {
+                TraceEvent::Compute {
+                    tile: loc(tile),
+                    kind: kind.name(),
+                    cycles,
+                }
+            });
         // Output DMA: NoC tile → mem then DRAM write.
-        let t_out = self
-            .noc
-            .transfer(compute_done, tile, mem, op.output_bytes(), Plane::Dma);
-        let dram_out = self.dram_access(t_out.end, op.output_bytes());
+        let t_out = self.noc_transfer(compute_done, tile, mem, op.output_bytes(), Plane::Dma);
+        let dram_out = self.dram_access(t_out.end, op.output_bytes()).end;
+        self.tracer.emit(
+            ClockDomain::SocCycles,
+            compute_done,
+            dram_out - compute_done,
+            || TraceEvent::DmaBurst {
+                tile: loc(tile),
+                bytes: op.output_bytes(),
+                direction: "out",
+            },
+        );
         // Execute the behavioral model.
         let value = match &mut self.tile_mut(tile)?.wrapper {
             WrapperState::Configured(instance) => instance.execute(op)?,
             _ => unreachable!("kind resolution guaranteed a configured wrapper"),
         };
         let end = self.deliver_irq(dram_out, tile);
-        self.tile_mut(tile)?.busy_until = end;
-        self.bump_horizon(end);
+        self.tile_mut(tile)?.timeline.claim(at, start, end);
+        self.clock.observe(end);
         Ok(AccelRun {
             value,
             start,
@@ -587,9 +738,8 @@ impl Soc {
         let cpu = self.config.cpu();
         let cycles = software_cycles(op);
         let state = self.tile_mut(cpu)?;
-        let start = at.max(state.busy_until);
-        let end = start + cycles;
-        state.busy_until = end;
+        let r = state.timeline.reserve(at, cycles);
+        let (start, end) = (r.start, r.end);
         let instance = state
             .software
             .entry(op.kind())
@@ -597,7 +747,13 @@ impl Soc {
         let value = instance.execute(op)?;
         self.meter
             .add_active(dynamic_power_w(AcceleratorKind::Cpu), cycles);
-        self.bump_horizon(end);
+        self.tracer.emit(ClockDomain::SocCycles, start, cycles, || {
+            TraceEvent::CpuCompute {
+                kind: op.kind().name(),
+                cycles,
+            }
+        });
+        self.clock.observe(end);
         Ok(AccelRun {
             value,
             start,
@@ -613,13 +769,13 @@ impl Soc {
     ///
     /// See [`Soc::run_accelerator_at`].
     pub fn run_accelerator(&mut self, tile: TileCoord, op: &AccelOp) -> Result<AccelRun, Error> {
-        let at = self.now;
+        let at = self.clock.now();
         self.run_accelerator_at(tile, op, at)
     }
 
     /// Finalizes energy accounting over the whole simulated interval.
     pub fn energy_report(&self) -> EnergyReport {
-        self.meter.report(self.horizon)
+        self.meter.report(self.clock.horizon())
     }
 }
 

@@ -1,0 +1,49 @@
+//! Structured-tracing demo: deploy a WAMI SoC, attach a trace sink,
+//! process a few frames and export the result as Chrome trace-event JSON
+//! (open in `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! Run with: `cargo run --release --example trace_export [frames] [out.json]`
+//! The trace shows every DRAM access, NoC transfer, DMA burst, decoupler
+//! handshake, ICAP write, reconfiguration attempt and WAMI frame stage on
+//! the shared 78 MHz virtual clock.
+
+use presp::core::design::SocDesign;
+use presp::core::flow::PrEspFlow;
+use presp::core::platform::deploy_wami;
+use presp::events::trace::chrome_trace_json;
+use presp::events::{MemorySink, Tracer};
+use presp::wami::frames::SceneGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let frames: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(3);
+    let out_path = args.next().unwrap_or_else(|| "wami.trace.json".to_string());
+
+    // Run the CAD flow with tracing on, so the export also carries the
+    // compile-time FlowStage spans and per-bitstream events.
+    let design = SocDesign::wami_soc_y()?;
+    let sink = MemorySink::shared();
+    let mut flow_tracer = Tracer::to_sink(sink.clone());
+    let output = PrEspFlow::new().run_traced(&design, &mut flow_tracer)?;
+
+    // Deploy and attach the same sink to the SoC: runtime, NoC, ICAP and
+    // application events land in the same trace, on their own timeline.
+    let mut app = deploy_wami(&design, &output, 2)?;
+    app.manager_mut().soc_mut().attach_tracer(sink.clone());
+
+    let mut scene = SceneGenerator::new(48, 48, 7);
+    for i in 0..frames {
+        let report = app.process_frame(&scene.next_frame())?;
+        println!(
+            "frame {i}: {} cycles, {} reconfigurations",
+            report.latency(),
+            report.reconfigurations
+        );
+    }
+
+    let records = sink.lock().expect("sink lock").take();
+    println!("captured {} trace records", records.len());
+    std::fs::write(&out_path, chrome_trace_json(&records))?;
+    println!("wrote {out_path} — load it in chrome://tracing or ui.perfetto.dev");
+    Ok(())
+}

@@ -8,6 +8,8 @@
 //!   ICAP.
 //! * [`wami`] — the WAMI-App benchmark kernels and synthetic scenes.
 //! * [`accel`] — the accelerator catalog with behavioral models.
+//! * [`events`] — the virtual-time kernel: clocks, resource timelines and
+//!   the structured trace layer every other crate emits through.
 //! * [`floorplan`] — FLORA-style automated DPR floorplanning.
 //! * [`cad`] — the Vivado-substitute CAD engine and its calibrated runtime
 //!   model.
@@ -39,6 +41,7 @@
 pub use presp_accel as accel;
 pub use presp_cad as cad;
 pub use presp_core as core;
+pub use presp_events as events;
 pub use presp_floorplan as floorplan;
 pub use presp_fpga as fpga;
 pub use presp_runtime as runtime;

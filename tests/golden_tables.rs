@@ -1,0 +1,103 @@
+//! Golden-file regression test: Tables II–VI must be bit-identical across
+//! refactors of the timing kernel.
+//!
+//! The golden file was generated from the pre-`presp-events` tree, so any
+//! drift in virtual-time arithmetic, CAD-model evaluation order or
+//! bitstream generation shows up as a diff here. Regenerate deliberately
+//! with `UPDATE_GOLDEN=1 cargo test --test golden_tables`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Formats Tables II–VI into one deterministic text document. Floats are
+/// rendered with `{:?}` (shortest round-trip), so any bit-level change in a
+/// result is visible.
+fn render_tables() -> String {
+    let mut out = String::new();
+
+    writeln!(out, "## Table II").unwrap();
+    for r in presp_bench::experiments::table2() {
+        writeln!(out, "{} {}", r.name, r.luts).unwrap();
+    }
+
+    writeln!(out, "## Table III").unwrap();
+    for row in presp_bench::experiments::table3() {
+        writeln!(
+            out,
+            "{} alpha_av={:?} kappa={:?} gamma={:?} best_tau={}",
+            row.soc,
+            row.alpha_av,
+            row.kappa,
+            row.gamma,
+            row.best_tau()
+        )
+        .unwrap();
+        for p in &row.points {
+            writeln!(
+                out,
+                "  tau={} t_static={:?} max_omega={:?} total={:?}",
+                p.tau, p.t_static, p.max_omega, p.total
+            )
+            .unwrap();
+        }
+    }
+
+    writeln!(out, "## Table IV").unwrap();
+    for r in presp_bench::experiments::table4() {
+        writeln!(
+            out,
+            "{} accels={:?} class={} metrics={:?} chosen={} fully={:?} semi={:?} serial={:?}",
+            r.soc, r.accels, r.class, r.metrics, r.chosen, r.fully, r.semi, r.serial
+        )
+        .unwrap();
+    }
+
+    writeln!(out, "## Table V").unwrap();
+    for r in presp_bench::experiments::table5() {
+        writeln!(
+            out,
+            "{} synth={:?} t_static={:?} max_omega={:?} total={:?} strategy={} mono_synth={:?} mono_pnr={:?} mono_total={:?}",
+            r.soc,
+            r.synth,
+            r.t_static,
+            r.max_omega,
+            r.total,
+            r.strategy,
+            r.mono_synth,
+            r.mono_pnr,
+            r.mono_total
+        )
+        .unwrap();
+    }
+
+    writeln!(out, "## Table VI").unwrap();
+    for r in presp_bench::experiments::table6() {
+        writeln!(
+            out,
+            "{} {} kernels={:?} pbs_kb={:?}",
+            r.soc, r.tile, r.kernels, r.pbs_kb
+        )
+        .unwrap();
+    }
+
+    out
+}
+
+#[test]
+fn tables_2_to_6_match_golden() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/tables_2_to_6.txt");
+    let rendered = render_tables();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("golden file updated: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "Tables II–VI drifted from the golden output; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,102 @@
+//! Trace determinism: the structured trace of a faulty, retrying,
+//! quarantining WAMI deployment is a pure function of the seed. Two runs
+//! with the same seed must serialize to byte-identical event logs, and the
+//! Chrome trace export must stay parseable JSON.
+
+use presp::core::design::SocDesign;
+use presp::core::flow::PrEspFlow;
+use presp::core::platform::deploy_wami;
+use presp::events::trace::{chrome_trace_json, log_lines};
+use presp::events::{json, MemorySink, TraceRecord};
+use presp::fpga::fault::{FaultConfig, FaultPlan};
+use presp::runtime::manager::RecoveryPolicy;
+use presp::wami::frames::SceneGenerator;
+
+/// Runs a seeded WAMI deployment under injected ICAP faults with tracing
+/// on, and returns every record the SoC, manager and app emitted.
+///
+/// Uses the deterministic in-process [`presp::runtime::manager::ReconfigManager`]
+/// (not the OS-threaded runtime): virtual time makes the whole run, faults
+/// included, a function of the seeds alone.
+fn traced_run(fault_seed: u64, scene_seed: u64, frames: usize) -> Vec<TraceRecord> {
+    let design = SocDesign::wami_soc_x().unwrap();
+    let out = PrEspFlow::new().run(&design).unwrap();
+    let mut app = deploy_wami(&design, &out, 2).unwrap();
+
+    let sink = MemorySink::shared();
+    {
+        let manager = app.manager_mut();
+        manager.set_policy(RecoveryPolicy {
+            max_retries: 2,
+            backoff_cycles: 64,
+            backoff_multiplier: 2,
+            quarantine_after: 2,
+            cpu_fallback: true,
+        });
+        manager.soc_mut().set_fault_plan(Some(FaultPlan::new(
+            fault_seed,
+            FaultConfig {
+                icap_flip_rate: 0.35,
+                ..FaultConfig::default()
+            },
+        )));
+        manager.soc_mut().attach_tracer(sink.clone());
+    }
+
+    let mut scene = SceneGenerator::new(32, 32, scene_seed);
+    for _ in 0..frames {
+        app.process_frame(&scene.next_frame())
+            .expect("frame completes");
+    }
+
+    let records = sink.lock().expect("sink lock").take();
+    assert!(!records.is_empty(), "traced run emitted nothing");
+    records
+}
+
+#[test]
+fn same_seed_runs_serialize_byte_identically() {
+    let a = log_lines(&traced_run(17, 3, 3));
+    let b = log_lines(&traced_run(17, 3, 3));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed trace logs diverged");
+}
+
+#[test]
+fn faulty_run_traces_the_recovery_machinery() {
+    let records = traced_run(29, 5, 3);
+    let log = log_lines(&records);
+    for needle in [
+        "reconfig.attempt",
+        "retry.backoff",
+        "icap.write",
+        "dma.burst",
+        "noc.transfer",
+        "frame.stage",
+        "frame ",
+    ] {
+        assert!(log.contains(needle), "missing {needle:?} in trace log");
+    }
+    // At least one failed attempt given a 35 % flip rate over 3 frames.
+    assert!(log.contains("ok=false"), "no injected failure was traced");
+}
+
+#[test]
+fn chrome_export_of_a_faulty_run_stays_valid_json() {
+    let records = traced_run(17, 3, 2);
+    let doc = chrome_trace_json(&records);
+    let parsed = json::parse(&doc).expect("chrome trace is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(events.len() > records.len(), "payload plus metadata events");
+}
+
+#[test]
+fn sequence_numbers_are_dense_and_ordered() {
+    let records = traced_run(17, 3, 2);
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "gap in trace sequence at {i}");
+    }
+}
