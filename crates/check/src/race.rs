@@ -1,0 +1,59 @@
+//! Race-checked shared cells.
+//!
+//! A [`RaceCell`] is storage that *claims* to be safely shared without a
+//! lock. Under the checker, every access is checked against the vector
+//! clocks of prior accesses: two accesses with no happens-before edge, at
+//! least one a write, fail the execution as a data race. Outside the
+//! checker (production / plain unit tests) a `RaceCell` degrades to an
+//! internally locked cell — safe in the host process, so instrumented
+//! protocol structs can embed one unconditionally.
+//!
+//! Per-execution cell ids are assigned lazily on first checked access, so
+//! construction is context-free — but a given instance must not be reused
+//! across `explore` runs (create model state fresh inside the body).
+
+use crate::scheduler::Execution;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Shared storage whose cross-thread ordering is verified by the checker.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    label: &'static str,
+    id: OnceLock<usize>,
+    value: Mutex<T>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// A new cell. The label names the cell in race reports.
+    pub fn new(label: &'static str, value: T) -> RaceCell<T> {
+        RaceCell {
+            label,
+            id: OnceLock::new(),
+            value: Mutex::new(value),
+        }
+    }
+
+    fn checked(&self) -> Option<(std::sync::Arc<Execution>, usize)> {
+        let (exec, _) = Execution::try_current()?;
+        let id = *self.id.get_or_init(|| exec.cell_create(self.label));
+        Some((exec, id))
+    }
+
+    /// Reads the value; under the checker, verifies the read is ordered
+    /// after every prior write.
+    pub fn read(&self) -> T {
+        if let Some((exec, id)) = self.checked() {
+            exec.cell_read(id);
+        }
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Writes the value; under the checker, verifies the write is ordered
+    /// after every prior access.
+    pub fn write(&self, value: T) {
+        if let Some((exec, id)) = self.checked() {
+            exec.cell_write(id);
+        }
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+}

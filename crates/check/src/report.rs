@@ -1,0 +1,140 @@
+//! Exploration outcomes: failures with replayable schedules, and the
+//! aggregate report of an exploration run.
+
+use std::fmt;
+
+/// What went wrong in one explored schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FailureKind {
+    /// No thread was runnable and no timed wait was pending, but some
+    /// threads had not finished: a real deadlock.
+    Deadlock {
+        /// One line per stuck thread: its name, what it is blocked on and
+        /// the locks it holds.
+        waiting: Vec<String>,
+    },
+    /// Two unordered accesses (no happens-before edge) touched the same
+    /// shared cell, at least one of them a write.
+    Race {
+        /// The racy cell's label.
+        cell: String,
+        /// Description of the two conflicting accesses.
+        access: String,
+    },
+    /// A thread in the model panicked.
+    Panic {
+        /// The panicking thread's name.
+        thread: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The schedule exceeded the per-execution step budget — the model
+    /// livelocked (or the budget is too small for the scenario).
+    StepLimit {
+        /// The configured budget that was exhausted.
+        steps: usize,
+    },
+    /// A user-supplied replay schedule named a thread that was not
+    /// enabled at that point: the model diverged from the recording.
+    ReplayDivergence {
+        /// What diverged.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Deadlock { waiting } => {
+                write!(f, "deadlock: ")?;
+                for (i, w) in waiting.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                Ok(())
+            }
+            FailureKind::Race { cell, access } => {
+                write!(f, "data race on {cell}: {access}")
+            }
+            FailureKind::Panic { thread, message } => {
+                write!(f, "thread '{thread}' panicked: {message}")
+            }
+            FailureKind::StepLimit { steps } => {
+                write!(f, "step limit exceeded ({steps} steps): likely livelock")
+            }
+            FailureKind::ReplayDivergence { detail } => {
+                write!(f, "replay diverged: {detail}")
+            }
+        }
+    }
+}
+
+/// A failed schedule: the failure plus the schedule string that replays it
+/// deterministically via [`crate::Checker::replay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// What failed.
+    pub kind: FailureKind,
+    /// Dot-separated thread ids, one per scheduling decision — feed back
+    /// into [`crate::Checker::replay`] to reproduce the failure.
+    pub schedule: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n  replay schedule: {}", self.kind, self.schedule)
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules fully executed.
+    pub schedules: usize,
+    /// Whether the bounded schedule space was exhausted (as opposed to
+    /// stopping at the schedule budget).
+    pub exhausted: bool,
+    /// The first failing schedule, if any (exploration stops at the first
+    /// failure so the schedule string stays minimal-prefix-deterministic).
+    pub failure: Option<Failure>,
+    /// Cycles in the accumulated lock-order graph: each entry is a set of
+    /// lock labels that were acquired in conflicting orders across the
+    /// explored schedules — a potential deadlock even if no explored
+    /// schedule deadlocked.
+    pub lock_cycles: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// No failing schedule and no lock-order cycle.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none() && self.lock_cycles.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} schedule(s) explored{}",
+            self.schedules,
+            if self.exhausted {
+                " (space exhausted)"
+            } else {
+                ""
+            }
+        )?;
+        if let Some(failure) = &self.failure {
+            write!(f, "\nFAIL: {failure}")?;
+        }
+        for cycle in &self.lock_cycles {
+            write!(f, "\nLOCK-ORDER CYCLE: {}", cycle.join(" -> "))?;
+        }
+        if self.ok() {
+            write!(f, "\nno races, no deadlocks, no lock-order cycles")?;
+        }
+        Ok(())
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`threaded`] — the workqueue demonstrator: real OS threads submit
 //!   requests through an mpsc channel into a worker (the analogue of
 //!   the kernel workqueue), with mutex/condvar locks guarding the device.
+//!   Generic over [`sync::SyncFacade`], so the same protocol runs in
+//!   production (`std::sync`) and under the `presp-check` model checker.
+//! * [`sync`] — the sync facade: the runtime's only doorway to
+//!   synchronization primitives, enforced by the `presp-lint` tool.
 //! * [`app`] — the WAMI application scheduler: maps the Fig. 3 dataflow
 //!   onto a reconfigurable SoC given a tile allocation (Table VI), with
 //!   prefetch reconfiguration and CPU fallback for unallocated kernels.
@@ -52,6 +56,7 @@ pub mod driver;
 pub mod error;
 pub mod manager;
 pub mod registry;
+pub mod sync;
 pub mod threaded;
 
 pub use error::Error;

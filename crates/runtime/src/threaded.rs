@@ -9,45 +9,77 @@
 //! kernel work item, and a mutex/condvar pair guarding the shared
 //! manager — while the deterministic virtual-time manager underneath keeps
 //! results reproducible.
+//!
+//! The whole protocol is generic over [`SyncFacade`]: production code
+//! instantiates [`ThreadedManager`] (= `ThreadedManager<StdSync>`, plain
+//! `std::sync` primitives), while the model-check suites instantiate
+//! `ThreadedManager<CheckSync>` and run the *same* request/reply/notify
+//! protocol under `presp-check`'s schedule explorer. Lock labels
+//! (`"manager"`, `"worker"`) feed its lock-order graph.
 
 use crate::error::Error;
 use crate::manager::{ExecPath, ReconfigManager, RecoveryPolicy};
 use crate::registry::BitstreamRegistry;
+use crate::sync::{Arc, StdSync, SyncFacade, TryRecv};
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::AccelOp;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::{AccelRun, Soc};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A request travelling through the workqueue.
-enum Request {
+enum Request<S: SyncFacade> {
     Reconfigure {
         tile: TileCoord,
         kind: AcceleratorKind,
-        done: Sender<Result<(), Error>>,
+        done: S::Sender<Result<(), Error>>,
     },
     Run {
         tile: TileCoord,
         op: Box<AccelOp>,
-        done: Sender<Result<AccelRun, Error>>,
+        done: S::Sender<Result<AccelRun, Error>>,
     },
     Execute {
         tile: TileCoord,
         kind: AcceleratorKind,
         op: Box<AccelOp>,
-        done: Sender<Result<(AccelRun, ExecPath), Error>>,
+        done: S::Sender<Result<(AccelRun, ExecPath), Error>>,
     },
     Shutdown,
 }
 
+/// Deliberate concurrency-bug switches for checker validation: the
+/// mutants below are *committed known-bad protocol variants* that the
+/// model-check suite must detect (and replay deterministically). They are
+/// compiled only into this crate's own test build and are all off by
+/// default.
+#[cfg(test)]
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MutantConfig {
+    /// The worker acquires `manager` → `audit` while a caller-side probe
+    /// acquires `audit` → `manager`: a classic lock-order inversion.
+    pub lock_inversion: bool,
+    /// The worker bumps a run counter *after* replying, outside any lock,
+    /// while callers read it after `recv` — no happens-before edge.
+    pub unsynced_stats: bool,
+}
+
 /// Shared state guarded like the kernel manager guards its device list.
-struct Shared {
-    manager: Mutex<ReconfigManager>,
+struct Shared<S: SyncFacade> {
+    manager: S::Mutex<ReconfigManager>,
     /// Signalled whenever a reconfiguration completes, waking threads that
     /// blocked on a locked tile.
-    reconfig_done: Condvar,
+    reconfig_done: S::Condvar,
+    #[cfg(test)]
+    mutants: MutantConfig,
+    /// A secondary lock only the mutants touch (stands in for any
+    /// ancillary structure a real driver would guard separately).
+    #[cfg(test)]
+    audit: S::Mutex<Vec<&'static str>>,
+    /// Storage the `unsynced_stats` mutant shares without a lock; under
+    /// the checker every access is happens-before verified.
+    #[cfg(test)]
+    racy_runs: presp_check::RaceCell<u64>,
 }
 
 /// A thread-safe handle to the DPR runtime: clone it into as many
@@ -70,51 +102,104 @@ struct Shared {
 /// manager.shutdown();
 /// # Ok(()) }
 /// ```
-#[derive(Clone)]
-pub struct ThreadedManager {
-    queue: Sender<Request>,
-    shared: Arc<Shared>,
-    worker: Arc<Mutex<Option<JoinHandle<()>>>>,
+pub struct ThreadedManager<S: SyncFacade = StdSync> {
+    queue: S::Sender<Request<S>>,
+    shared: Arc<Shared<S>>,
+    worker: Arc<S::Mutex<Option<S::JoinHandle<()>>>>,
 }
 
-impl ThreadedManager {
+impl<S: SyncFacade> Clone for ThreadedManager<S> {
+    fn clone(&self) -> ThreadedManager<S> {
+        ThreadedManager {
+            queue: S::clone_sender(&self.queue),
+            shared: Arc::clone(&self.shared),
+            worker: Arc::clone(&self.worker),
+        }
+    }
+}
+
+impl ThreadedManager<StdSync> {
     /// Boots the workqueue worker over a SoC and registry, with the
     /// default [`RecoveryPolicy`].
     pub fn spawn(soc: Soc, registry: BitstreamRegistry) -> ThreadedManager {
         ThreadedManager::spawn_with_policy(soc, registry, RecoveryPolicy::default())
     }
+}
 
-    /// Boots the workqueue worker with an explicit recovery policy.
+impl<S: SyncFacade> ThreadedManager<S> {
+    /// Boots the workqueue worker with an explicit recovery policy, under
+    /// any sync facade.
     pub fn spawn_with_policy(
         soc: Soc,
         registry: BitstreamRegistry,
         policy: RecoveryPolicy,
-    ) -> ThreadedManager {
-        let shared = Arc::new(Shared {
-            manager: Mutex::new(ReconfigManager::with_policy(soc, registry, policy)),
-            reconfig_done: Condvar::new(),
+    ) -> ThreadedManager<S> {
+        Self::boot(
+            soc,
+            registry,
+            policy,
+            #[cfg(test)]
+            MutantConfig::default(),
+        )
+    }
+
+    /// Boots with explicit mutants enabled — checker-validation only.
+    #[cfg(test)]
+    pub(crate) fn spawn_with_mutants(
+        soc: Soc,
+        registry: BitstreamRegistry,
+        policy: RecoveryPolicy,
+        mutants: MutantConfig,
+    ) -> ThreadedManager<S> {
+        Self::boot(soc, registry, policy, mutants)
+    }
+
+    fn boot(
+        soc: Soc,
+        registry: BitstreamRegistry,
+        policy: RecoveryPolicy,
+        #[cfg(test)] mutants: MutantConfig,
+    ) -> ThreadedManager<S> {
+        let shared = Arc::new(Shared::<S> {
+            manager: S::mutex_labeled(
+                "manager",
+                ReconfigManager::with_policy(soc, registry, policy),
+            ),
+            reconfig_done: S::condvar(),
+            #[cfg(test)]
+            mutants,
+            #[cfg(test)]
+            audit: S::mutex_labeled("audit", Vec::new()),
+            #[cfg(test)]
+            racy_runs: presp_check::RaceCell::new("racy_runs", 0),
         });
-        let (tx, rx) = channel::<Request>();
+        let (tx, rx) = S::channel::<Request<S>>();
         let worker_shared = Arc::clone(&shared);
-        let handle = std::thread::spawn(move || {
+        let handle = S::spawn("presp-worker", move || {
             // The workqueue: requests are "queued up and executed as soon
             // as the PRC is ready" — one at a time, the ICAP is unique.
-            while let Ok(request) = rx.recv() {
+            while let Some(request) = S::recv(&rx) {
                 match request {
                     Request::Reconfigure { tile, kind, done } => {
                         let result = {
-                            let mut mgr = worker_shared.manager.lock().expect("manager lock");
+                            let mut mgr = S::lock(&worker_shared.manager);
+                            #[cfg(test)]
+                            if worker_shared.mutants.lock_inversion {
+                                // MUTANT: nested acquisition opposite to
+                                // `audit_probe` — manager → audit.
+                                S::lock(&worker_shared.audit).push("reconfigure");
+                            }
                             mgr.request_reconfiguration(tile, kind).map(|_| ())
                         };
-                        worker_shared.reconfig_done.notify_all();
-                        let _ = done.send(result);
+                        S::notify_all(&worker_shared.reconfig_done);
+                        let _ = S::send(&done, result);
                     }
                     Request::Run { tile, op, done } => {
                         let result = {
-                            let mut mgr = worker_shared.manager.lock().expect("manager lock");
+                            let mut mgr = S::lock(&worker_shared.manager);
                             mgr.run(tile, &op)
                         };
-                        let _ = done.send(result);
+                        let _ = S::send(&done, result);
                     }
                     Request::Execute {
                         tile,
@@ -123,11 +208,18 @@ impl ThreadedManager {
                         done,
                     } => {
                         let result = {
-                            let mut mgr = worker_shared.manager.lock().expect("manager lock");
+                            let mut mgr = S::lock(&worker_shared.manager);
                             mgr.run_with_fallback(tile, kind, &op)
                         };
-                        worker_shared.reconfig_done.notify_all();
-                        let _ = done.send(result);
+                        S::notify_all(&worker_shared.reconfig_done);
+                        let _ = S::send(&done, result);
+                        #[cfg(test)]
+                        if worker_shared.mutants.unsynced_stats {
+                            // MUTANT: bookkeeping after the reply, outside
+                            // any lock — races with `unsynced_runs()`.
+                            let n = worker_shared.racy_runs.read();
+                            worker_shared.racy_runs.write(n + 1);
+                        }
                     }
                     Request::Shutdown => break,
                 }
@@ -135,27 +227,28 @@ impl ThreadedManager {
             // Drain the queue so no caller is left waiting on a dropped
             // `done` sender: every pending request is answered with
             // `ManagerStopped` before the worker exits.
-            while let Ok(request) = rx.try_recv() {
-                match request {
-                    Request::Reconfigure { done, .. } => {
-                        let _ = done.send(Err(Error::ManagerStopped));
+            loop {
+                match S::try_recv(&rx) {
+                    TryRecv::Value(Request::Reconfigure { done, .. }) => {
+                        let _ = S::send(&done, Err(Error::ManagerStopped));
                     }
-                    Request::Run { done, .. } => {
-                        let _ = done.send(Err(Error::ManagerStopped));
+                    TryRecv::Value(Request::Run { done, .. }) => {
+                        let _ = S::send(&done, Err(Error::ManagerStopped));
                     }
-                    Request::Execute { done, .. } => {
-                        let _ = done.send(Err(Error::ManagerStopped));
+                    TryRecv::Value(Request::Execute { done, .. }) => {
+                        let _ = S::send(&done, Err(Error::ManagerStopped));
                     }
-                    Request::Shutdown => {}
+                    TryRecv::Value(Request::Shutdown) => {}
+                    TryRecv::Empty | TryRecv::Disconnected => break,
                 }
             }
             // Unblock any thread parked in `run_blocking`'s wait loop.
-            worker_shared.reconfig_done.notify_all();
+            S::notify_all(&worker_shared.reconfig_done);
         });
         ThreadedManager {
             queue: tx,
             shared,
-            worker: Arc::new(Mutex::new(Some(handle))),
+            worker: Arc::new(S::mutex_labeled("worker", Some(handle))),
         }
     }
 
@@ -170,15 +263,17 @@ impl ThreadedManager {
         tile: TileCoord,
         kind: AcceleratorKind,
     ) -> Result<(), Error> {
-        let (done_tx, done_rx) = channel();
-        self.queue
-            .send(Request::Reconfigure {
+        let (done_tx, done_rx) = S::channel();
+        S::send(
+            &self.queue,
+            Request::Reconfigure {
                 tile,
                 kind,
                 done: done_tx,
-            })
-            .map_err(|_| Error::ManagerStopped)?;
-        done_rx.recv().map_err(|_| Error::ManagerStopped)?
+            },
+        )
+        .map_err(|_| Error::ManagerStopped)?;
+        S::recv(&done_rx).ok_or(Error::ManagerStopped)?
     }
 
     /// Enqueues an accelerator invocation and blocks for its result.
@@ -194,28 +289,30 @@ impl ThreadedManager {
     /// SoC errors.
     pub fn run_blocking(&self, tile: TileCoord, op: AccelOp) -> Result<AccelRun, Error> {
         loop {
-            let (done_tx, done_rx) = channel();
-            self.queue
-                .send(Request::Run {
+            let (done_tx, done_rx) = S::channel();
+            S::send(
+                &self.queue,
+                Request::Run {
                     tile,
                     op: Box::new(op.clone()),
                     done: done_tx,
-                })
-                .map_err(|_| Error::ManagerStopped)?;
-            match done_rx.recv().map_err(|_| Error::ManagerStopped)? {
+                },
+            )
+            .map_err(|_| Error::ManagerStopped)?;
+            match S::recv(&done_rx).ok_or(Error::ManagerStopped)? {
                 Err(Error::NoDriver { .. }) => {
                     // Wait for a reconfiguration to finish, then retry —
                     // unless the tile was quarantined, in which case no
                     // reconfiguration will ever complete here.
-                    let guard = self.shared.manager.lock().expect("manager lock");
+                    let guard = S::lock(&self.shared.manager);
                     if guard.is_quarantined(tile) {
                         return Err(Error::TileQuarantined { tile });
                     }
-                    let _unused = self
-                        .shared
-                        .reconfig_done
-                        .wait_timeout(guard, std::time::Duration::from_millis(50))
-                        .expect("manager lock");
+                    let _unused = S::wait_timeout(
+                        &self.shared.reconfig_done,
+                        guard,
+                        Duration::from_millis(50),
+                    );
                 }
                 other => return other,
             }
@@ -238,48 +335,66 @@ impl ThreadedManager {
         kind: AcceleratorKind,
         op: AccelOp,
     ) -> Result<(AccelRun, ExecPath), Error> {
-        let (done_tx, done_rx) = channel();
-        self.queue
-            .send(Request::Execute {
+        let (done_tx, done_rx) = S::channel();
+        S::send(
+            &self.queue,
+            Request::Execute {
                 tile,
                 kind,
                 op: Box::new(op),
                 done: done_tx,
-            })
-            .map_err(|_| Error::ManagerStopped)?;
-        done_rx.recv().map_err(|_| Error::ManagerStopped)?
+            },
+        )
+        .map_err(|_| Error::ManagerStopped)?;
+        S::recv(&done_rx).ok_or(Error::ManagerStopped)?
     }
 
     /// Manager statistics snapshot.
+    ///
+    /// Read-only post-mortem path: recovers from a poisoned manager lock
+    /// (a panicking worker must not take crash forensics down with it).
     pub fn stats(&self) -> crate::manager::ManagerStats {
-        self.shared.manager.lock().expect("manager lock").stats()
+        S::lock_recover(&self.shared.manager).stats()
     }
 
     /// Latest completion cycle on the shared virtual clock — the
     /// application makespan across everything the worker dispatched.
     /// OS-thread interleaving varies between runs; this virtual-time
     /// reading is still exact for the operations performed.
+    ///
+    /// Like [`ThreadedManager::stats`], survives a poisoned manager lock.
     pub fn makespan(&self) -> u64 {
-        self.shared.manager.lock().expect("manager lock").makespan()
+        S::lock_recover(&self.shared.manager).makespan()
     }
 
     /// Attaches a trace sink to the underlying SoC: worker-dispatched
     /// operations emit structured records through it.
     pub fn attach_tracer(&self, sink: presp_events::SharedSink) {
-        self.shared
-            .manager
-            .lock()
-            .expect("manager lock")
-            .soc_mut()
-            .attach_tracer(sink);
+        S::lock(&self.shared.manager).soc_mut().attach_tracer(sink);
     }
 
-    /// Stops the worker and joins it. Idempotent.
+    /// Stops the worker and joins it. Idempotent, and — like the other
+    /// post-mortem paths — tolerant of poisoned locks.
     pub fn shutdown(&self) {
-        let _ = self.queue.send(Request::Shutdown);
-        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
-            let _ = handle.join();
+        let _ = S::send(&self.queue, Request::Shutdown);
+        if let Some(handle) = S::lock_recover(&self.worker).take() {
+            let _ = S::join(handle);
         }
+    }
+
+    /// Caller-side probe of the mutant-only audit log: acquires `audit` →
+    /// `manager`, the reverse of the `lock_inversion` worker path.
+    #[cfg(test)]
+    pub(crate) fn audit_probe(&self) -> (usize, u64) {
+        let audit = S::lock(&self.shared.audit);
+        let mgr = S::lock(&self.shared.manager);
+        (audit.len(), mgr.stats().reconfigurations)
+    }
+
+    /// Caller-side unlocked read the `unsynced_stats` mutant races with.
+    #[cfg(test)]
+    pub(crate) fn unsynced_runs(&self) -> u64 {
+        self.shared.racy_runs.read()
     }
 }
 
@@ -287,6 +402,7 @@ impl ThreadedManager {
 mod tests {
     use super::*;
     use presp_accel::AccelValue;
+    use presp_check::{CheckSync, Checker, Config, FailureKind};
     use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
     use presp_fpga::frame::FrameAddress;
     use presp_soc::config::SocConfig;
@@ -310,6 +426,30 @@ mod tests {
             registry.register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32));
         }
         (ThreadedManager::spawn(soc, registry), tiles)
+    }
+
+    /// Boots a model-checked manager inside an exploration body.
+    fn boot_checked(mutants: MutantConfig) -> (ThreadedManager<CheckSync>, Vec<TileCoord>) {
+        let cfg = SocConfig::grid_3x3_reconf("model", 1).unwrap();
+        let soc = Soc::new(&cfg).unwrap();
+        let tiles = cfg.reconfigurable_tiles();
+        let mut registry = BitstreamRegistry::new();
+        registry.register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2));
+        let mgr = ThreadedManager::<CheckSync>::spawn_with_mutants(
+            soc,
+            registry,
+            RecoveryPolicy::default(),
+            mutants,
+        );
+        (mgr, tiles)
+    }
+
+    fn mutant_checker() -> Checker {
+        Checker::new(Config {
+            max_schedules: 5_000,
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+        })
     }
 
     #[test]
@@ -470,5 +610,129 @@ mod tests {
             },
         );
         assert!(matches!(err, Err(Error::ManagerStopped)));
+    }
+
+    #[test]
+    fn stats_survive_a_poisoned_manager_lock() {
+        // Regression: post-mortem paths used `.expect("manager lock")` and
+        // panicked if any thread had crashed inside a critical section,
+        // losing exactly the stats needed to debug the crash.
+        let (mgr, tiles) = boot(1);
+        mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
+        let poisoner = mgr.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shared.manager.lock().unwrap();
+            panic!("crash while holding the manager lock");
+        })
+        .join();
+        // The lock is now poisoned; forensics must still work.
+        let stats = mgr.stats();
+        assert_eq!(stats.reconfigurations, 1);
+        assert!(stats.consistent());
+        assert!(mgr.makespan() > 0);
+        mgr.shutdown();
+        mgr.shutdown(); // still idempotent post-poison
+    }
+
+    // ---- model-checked protocol (CheckSync) ---------------------------
+
+    fn lock_inversion_model() {
+        let (mgr, tiles) = boot_checked(MutantConfig {
+            lock_inversion: true,
+            ..MutantConfig::default()
+        });
+        let app = mgr.clone();
+        let tile = tiles[0];
+        let h = presp_check::sync::spawn_named("app", move || {
+            app.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                .unwrap();
+        });
+        let _probe = mgr.audit_probe();
+        h.join().unwrap();
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn checker_catches_lock_order_inversion_mutant() {
+        let report = mutant_checker().explore(lock_inversion_model);
+        let failure = report
+            .failure
+            .expect("the inversion mutant must deadlock some schedule");
+        assert!(
+            matches!(failure.kind, FailureKind::Deadlock { .. }),
+            "expected deadlock, got: {failure}"
+        );
+        // The printed schedule replays the identical deadlock.
+        let replay = mutant_checker().replay(&failure.schedule, lock_inversion_model);
+        assert!(
+            matches!(
+                replay.failure.as_ref().map(|f| &f.kind),
+                Some(FailureKind::Deadlock { .. })
+            ),
+            "replay must reproduce the deadlock: {replay}"
+        );
+    }
+
+    fn unsynced_stats_model() {
+        let (mgr, tiles) = boot_checked(MutantConfig {
+            unsynced_stats: true,
+            ..MutantConfig::default()
+        });
+        let (run, _path) = mgr
+            .execute_blocking(
+                tiles[0],
+                AcceleratorKind::Mac,
+                AccelOp::Mac {
+                    a: vec![1.0],
+                    b: vec![2.0],
+                },
+            )
+            .unwrap();
+        assert_eq!(run.value, AccelValue::Scalar(2.0));
+        let _count = mgr.unsynced_runs();
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn checker_catches_unsynced_stats_mutant() {
+        let report = mutant_checker().explore(unsynced_stats_model);
+        let failure = report.failure.expect("the unsynced-stats mutant must race");
+        assert!(
+            matches!(failure.kind, FailureKind::Race { .. }),
+            "expected race, got: {failure}"
+        );
+        let replay = mutant_checker().replay(&failure.schedule, unsynced_stats_model);
+        assert_eq!(
+            replay.failure.as_ref().map(|f| &f.kind),
+            Some(&failure.kind),
+            "replay must reproduce the race: {replay}"
+        );
+    }
+
+    #[test]
+    fn clean_protocol_explores_without_findings() {
+        // Same protocol, mutants off: a quick bounded sweep here; the
+        // 10k-schedule sweep lives in the workspace-level model_check
+        // suite.
+        let report = Checker::new(Config {
+            max_schedules: 500,
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+        })
+        .explore(|| {
+            let (mgr, tiles) = boot_checked(MutantConfig::default());
+            let app = mgr.clone();
+            let tile = tiles[0];
+            let h = presp_check::sync::spawn_named("app", move || {
+                app.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                    .unwrap();
+            });
+            h.join().unwrap();
+            let stats = mgr.stats();
+            assert!(stats.consistent(), "inconsistent stats: {stats:?}");
+            mgr.shutdown();
+        });
+        assert!(report.ok(), "{report}");
     }
 }

@@ -16,6 +16,9 @@
 //! * [`soc`] — the ESP-style tile/NoC SoC simulator with DPR support.
 //! * [`runtime`] — the DPR runtime manager and the WAMI application
 //!   scheduler.
+//! * [`check`] — the deterministic concurrency checker (schedule
+//!   exploration, happens-before race detection, lock-order analysis)
+//!   the runtime's threaded protocol is verified with.
 //! * [`core`] — the PR-ESP flow: parse → synthesize → floorplan →
 //!   size-driven parallel P&R → bitstreams → deploy.
 //!
@@ -40,6 +43,7 @@
 
 pub use presp_accel as accel;
 pub use presp_cad as cad;
+pub use presp_check as check;
 pub use presp_core as core;
 pub use presp_events as events;
 pub use presp_floorplan as floorplan;

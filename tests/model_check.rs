@@ -1,0 +1,176 @@
+//! Workspace-level model checking of the DPR runtime.
+//!
+//! The flagship test runs the *production* `ThreadedManager` protocol —
+//! the same source that ships, instantiated with `CheckSync` instead of
+//! `StdSync` — under `presp-check`'s bounded schedule explorer: two
+//! application threads contend over two reconfigurable tiles, swapping
+//! accelerators and dispatching work through the workqueue, and every
+//! explored terminal state must be race-free, deadlock-free, lock-order
+//! acyclic, and leave `ManagerStats` consistent.
+//!
+//! The schedule budget defaults to 10 000 and can be turned up or down
+//! with `PRESP_CHECK_MAX_SCHEDULES` (CI uses it as a wall-clock knob).
+
+use presp::accel::catalog::AcceleratorKind;
+use presp::accel::{AccelOp, AccelValue};
+use presp::check::{CheckSync, Checker, Config};
+use presp::events::timeline::ResourceTimeline;
+use presp::fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
+use presp::fpga::frame::FrameAddress;
+use presp::runtime::registry::BitstreamRegistry;
+use presp::runtime::threaded::ThreadedManager;
+use presp::runtime::RecoveryPolicy;
+use presp::soc::config::{SocConfig, TileCoord};
+use presp::soc::sim::Soc;
+
+fn bitstream(soc: &Soc, col: u32) -> Bitstream {
+    let device = soc.part().device();
+    let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+    let words = device.part().family().frame_words();
+    b.add_frame(FrameAddress::new(0, col, 0), vec![col; words])
+        .unwrap();
+    b.build(true)
+}
+
+/// Boots the production protocol under the checking facade. Everything is
+/// constructed inside the exploration body: model state must be fresh and
+/// deterministic per schedule.
+fn boot_checked() -> (ThreadedManager<CheckSync>, Vec<TileCoord>) {
+    let cfg = SocConfig::grid_3x3_reconf("model", 2).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    registry.register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2));
+    registry.register(tiles[0], AcceleratorKind::Sort, bitstream(&soc, 30));
+    registry.register(tiles[1], AcceleratorKind::Mac, bitstream(&soc, 3));
+    let mgr =
+        ThreadedManager::<CheckSync>::spawn_with_policy(soc, registry, RecoveryPolicy::default());
+    (mgr, tiles)
+}
+
+/// Two app threads × two tiles over the full request surface:
+/// reconfigure (with an accelerator swap racing the caller), the
+/// `run_blocking` NoDriver wait/retry loop, `execute_blocking`'s
+/// ensure-loaded path, and shutdown.
+fn contended_dpr_model() {
+    let (mgr, tiles) = boot_checked();
+    let (tile_a, tile_b) = (tiles[0], tiles[1]);
+
+    // Swapper thread: takes tile A through SORT and back to MAC, so the
+    // main thread's MAC work can observe a mid-swap NoDriver and must
+    // wait on the reconfig_done condvar.
+    let swapper = {
+        let mgr = mgr.clone();
+        presp::check::sync::spawn_named("swapper", move || {
+            mgr.reconfigure_blocking(tile_a, AcceleratorKind::Sort)
+                .unwrap();
+            mgr.reconfigure_blocking(tile_a, AcceleratorKind::Mac)
+                .unwrap();
+        })
+    };
+
+    // Main thread: MAC work on tile A (racing the swap) and an
+    // ensure-loaded execute on tile B.
+    mgr.reconfigure_blocking(tile_a, AcceleratorKind::Mac)
+        .unwrap();
+    for _ in 0..2 {
+        let run = mgr
+            .run_blocking(
+                tile_a,
+                AccelOp::Mac {
+                    a: vec![2.0],
+                    b: vec![3.0],
+                },
+            )
+            .unwrap();
+        assert_eq!(run.value, AccelValue::Scalar(6.0));
+    }
+    let (run, _path) = mgr
+        .execute_blocking(
+            tile_b,
+            AcceleratorKind::Mac,
+            AccelOp::Mac {
+                a: vec![1.0],
+                b: vec![4.0],
+            },
+        )
+        .unwrap();
+    assert_eq!(run.value, AccelValue::Scalar(4.0));
+
+    swapper.join().unwrap();
+
+    // Terminal-state invariant, checked in every explored schedule.
+    let stats = mgr.stats();
+    assert!(stats.consistent(), "inconsistent stats: {stats:?}");
+    assert!(stats.reconfigurations + stats.cache_hits >= 3);
+    mgr.shutdown();
+}
+
+fn schedule_budget() -> usize {
+    std::env::var("PRESP_CHECK_MAX_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+#[test]
+fn dpr_runtime_protocol_is_clean_across_schedules() {
+    let budget = schedule_budget();
+    let checker = Checker::new(Config {
+        max_schedules: budget,
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(contended_dpr_model);
+    assert!(report.ok(), "{report}");
+    assert!(
+        report.exhausted || report.schedules >= budget,
+        "explorer stopped early: {report}"
+    );
+    assert!(
+        report.schedules > 100,
+        "scenario too small to be meaningful: {report}"
+    );
+}
+
+// ---- ResourceTimeline edge cases ------------------------------------
+//
+// The timeline arbitrates every shared resource the model-checked worker
+// dispatches onto; these edges (zero-length holds, back-to-back
+// contention) are exactly where off-by-one accounting would skew the
+// contention numbers the paper's Fig. 4 comparison rests on.
+
+#[test]
+fn zero_length_reservation_holds_nothing_but_counts() {
+    let mut tl = ResourceTimeline::new();
+    let r = tl.reserve(7, 0);
+    assert_eq!((r.start, r.end, r.waited), (7, 7, 0));
+    assert_eq!(r.duration(), 0);
+    assert_eq!(tl.free_at(), 7, "a zero-length hold still moves free_at");
+    assert_eq!(tl.reservations(), 1);
+    assert_eq!(tl.busy_cycles(), 0, "zero-length holds add no busy time");
+    assert_eq!(tl.contention_cycles(), 0);
+
+    // A zero-length reservation behind a busy period still waits.
+    tl.reserve(7, 10);
+    let r = tl.reserve(7, 0);
+    assert_eq!((r.start, r.end, r.waited), (17, 17, 10));
+    assert_eq!(tl.contention_cycles(), 10);
+}
+
+#[test]
+fn back_to_back_contention_accumulates_exactly() {
+    let mut tl = ResourceTimeline::new();
+    // Three requests all issued at cycle 0, each holding 5 cycles: they
+    // serialize 0–5, 5–10, 10–15 and wait 0, 5, 10 respectively.
+    let waits: Vec<u64> = (0..3).map(|_| tl.reserve(0, 5).waited).collect();
+    assert_eq!(waits, vec![0, 5, 10]);
+    assert_eq!(tl.free_at(), 15);
+    assert_eq!(tl.busy_cycles(), 15);
+    assert_eq!(tl.contention_cycles(), 15);
+
+    // A request issued exactly at free_at is back-to-back, not contended.
+    let r = tl.reserve(15, 5);
+    assert_eq!(r.waited, 0);
+    assert_eq!(tl.contention_cycles(), 15);
+}

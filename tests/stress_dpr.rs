@@ -308,7 +308,8 @@ fn os_thread_stress_with_faults_completes_and_shuts_down_cleanly() {
         registry.register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32));
         registry.register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32));
     }
-    let manager = ThreadedManager::spawn_with_policy(soc, registry, stress_policy());
+    let manager: ThreadedManager =
+        ThreadedManager::spawn_with_policy(soc, registry, stress_policy());
 
     let handles: Vec<_> = (0..APP_THREADS)
         .map(|t| {
