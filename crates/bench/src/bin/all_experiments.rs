@@ -84,8 +84,15 @@ fn main() {
     let f4 = experiments::fig4(6, 64, 2);
     for r in &f4 {
         println!(
-            "{} ({} RTs): {:.2} ms/frame, {:.2} mJ/frame, {:.1} reconf/frame",
-            r.soc, r.tiles, r.ms_per_frame, r.mj_per_frame, r.reconfigs_per_frame
+            "{} ({} RTs): {:.2} ms/frame, {:.2} mJ/frame, {:.1} reconf/frame, \
+             {:.2} scrub ms/frame ({:.0} wait cyc)",
+            r.soc,
+            r.tiles,
+            r.ms_per_frame,
+            r.mj_per_frame,
+            r.reconfigs_per_frame,
+            r.scrub_ms_per_frame,
+            r.scrub_wait_cycles_per_frame
         );
     }
 

@@ -21,6 +21,8 @@ fn main() {
                 format!("{:.2}", r.mj_per_frame),
                 format!("{:.1}", r.reconfigs_per_frame),
                 format!("{:.0}", r.mean_changed_pixels),
+                format!("{:.2}", r.scrub_ms_per_frame),
+                format!("{:.0}", r.scrub_wait_cycles_per_frame),
             ]
         })
         .collect();
@@ -33,7 +35,9 @@ fn main() {
                 "ms/frame",
                 "mJ/frame",
                 "reconf/frame",
-                "changed px"
+                "changed px",
+                "scrub ms/frame",
+                "scrub wait cyc"
             ],
             &cells
         )

@@ -568,6 +568,13 @@ pub struct Fig4Row {
     pub reconfigs_per_frame: f64,
     /// Average change-detection output over the run (sanity signal).
     pub mean_changed_pixels: f64,
+    /// Readback-scrub overhead per frame, milliseconds: one full sweep of
+    /// every configured region after each frame, SEU-free, so the number
+    /// is the pure cost of the integrity protection.
+    pub scrub_ms_per_frame: f64,
+    /// Cycles per frame the scrub sweeps spent waiting on the shared ICAP
+    /// (contention between scrubbing and reconfiguration).
+    pub scrub_wait_cycles_per_frame: f64,
 }
 
 /// Fig. 4: total execution time and energy efficiency of the WAMI
@@ -594,8 +601,19 @@ pub fn fig4(frames: usize, size: usize, lk_iterations: usize) -> Vec<Fig4Row> {
             let mut app = deploy_wami(&design, &out, lk_iterations).expect("deploys");
             let mut scene = SceneGenerator::new(size, size, 2023);
             let mut reports = Vec::new();
+            let mut scrub_cycles = 0u64;
+            let mut scrub_waited = 0u64;
             for _ in 0..frames {
                 reports.push(app.process_frame(&scene.next_frame()).expect("frame runs"));
+                // Scrub-overhead accounting: a full readback sweep after
+                // every frame, like a background scrubber on a per-frame
+                // period.
+                let mgr = app.manager_mut();
+                let at = mgr.makespan();
+                for (_, scrub) in mgr.scrub_all_at(at).expect("scrub sweeps") {
+                    scrub_cycles += scrub.end - scrub.start;
+                    scrub_waited += scrub.waited;
+                }
             }
             let steady = &reports[1..];
             let cycles: u64 = steady.iter().map(|r| r.latency()).sum();
@@ -611,6 +629,10 @@ pub fn fig4(frames: usize, size: usize, lk_iterations: usize) -> Vec<Fig4Row> {
                 mj_per_frame: energy.total_j() * 1000.0 / (reports.len() as f64),
                 reconfigs_per_frame: reconfigs as f64 / n,
                 mean_changed_pixels: changed as f64 / n,
+                scrub_ms_per_frame: cycles_to_micros(scrub_cycles)
+                    / 1000.0
+                    / (reports.len() as f64),
+                scrub_wait_cycles_per_frame: scrub_waited as f64 / (reports.len() as f64),
             }
         })
         .collect()

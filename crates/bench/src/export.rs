@@ -187,6 +187,11 @@ pub fn fig4_json(rows: &[Fig4Row]) -> JsonValue {
             ("mj_per_frame", num(r.mj_per_frame)),
             ("reconfigs_per_frame", num(r.reconfigs_per_frame)),
             ("mean_changed_pixels", num(r.mean_changed_pixels)),
+            ("scrub_ms_per_frame", num(r.scrub_ms_per_frame)),
+            (
+                "scrub_wait_cycles_per_frame",
+                num(r.scrub_wait_cycles_per_frame),
+            ),
         ])
     })
 }

@@ -21,7 +21,8 @@ use presp_wami::graph::WamiKernel;
 ///
 /// # Errors
 ///
-/// Propagates SoC construction errors.
+/// Propagates SoC construction errors and duplicate bitstream
+/// registrations from the flow output.
 pub fn deploy(design: &SocDesign, output: &FlowOutput) -> Result<ReconfigManager, Error> {
     let mut soc = Soc::with_part(&design.config, design.part)?;
     // The floorplanned regions are provisioned fabric: they leak/clock for
@@ -33,7 +34,9 @@ pub fn deploy(design: &SocDesign, output: &FlowOutput) -> Result<ReconfigManager
     let mut registry = BitstreamRegistry::new();
     for info in &output.partial_bitstreams {
         if let Some(tile) = info.tile {
-            registry.register(tile, info.kind, info.bitstream.clone());
+            registry
+                .register(tile, info.kind, info.bitstream.clone())
+                .map_err(Error::Runtime)?;
         }
     }
     Ok(ReconfigManager::new(soc, registry))

@@ -191,6 +191,42 @@ pub enum TraceEvent {
         /// Source tile.
         source: Loc,
     },
+    /// A single-event upset striking configuration memory.
+    SeuInjected {
+        /// Packed frame address (FAR encoding) of the struck frame.
+        frame: u64,
+        /// Word index within the frame.
+        word: u64,
+        /// First flipped bit.
+        bit: u64,
+        /// Whether a second bit of the same word flipped (uncorrectable).
+        double_bit: bool,
+    },
+    /// One readback-scrub pass over a frame region.
+    ScrubPass {
+        /// Frames read back.
+        frames: u64,
+        /// Frames repaired by SECDED.
+        corrected: u64,
+        /// Frames found uncorrectable.
+        uncorrectable: u64,
+        /// Cycles the readback waited for the shared ICAP.
+        waited: u64,
+    },
+    /// One frame repaired in place by ECC during scrubbing.
+    FrameRepaired {
+        /// Packed frame address (FAR encoding).
+        frame: u64,
+        /// Words corrected within the frame.
+        words: u64,
+    },
+    /// A failed reconfiguration rolled back to the pre-transaction state.
+    RollbackCompleted {
+        /// The tile whose region was rolled back.
+        tile: Loc,
+        /// Frames restored to their pre-transaction content.
+        frames: u64,
+    },
     /// One runtime reconfiguration attempt (manager retry loop).
     ReconfigAttempt {
         /// Target tile.
@@ -279,6 +315,10 @@ impl TraceEvent {
             TraceEvent::Compute { .. } => "accel.compute",
             TraceEvent::CpuCompute { .. } => "cpu.compute",
             TraceEvent::Irq { .. } => "irq.deliver",
+            TraceEvent::SeuInjected { .. } => "seu.injected",
+            TraceEvent::ScrubPass { .. } => "scrub.pass",
+            TraceEvent::FrameRepaired { .. } => "frame.repaired",
+            TraceEvent::RollbackCompleted { .. } => "rollback.completed",
             TraceEvent::ReconfigAttempt { .. } => "reconfig.attempt",
             TraceEvent::RetryBackoff { .. } => "retry.backoff",
             TraceEvent::Quarantine { .. } => "quarantine",
@@ -301,7 +341,11 @@ impl TraceEvent {
             | TraceEvent::Reconfiguration { .. }
             | TraceEvent::Compute { .. }
             | TraceEvent::CpuCompute { .. }
-            | TraceEvent::Irq { .. } => "soc",
+            | TraceEvent::Irq { .. }
+            | TraceEvent::SeuInjected { .. }
+            | TraceEvent::ScrubPass { .. }
+            | TraceEvent::FrameRepaired { .. }
+            | TraceEvent::RollbackCompleted { .. } => "soc",
             TraceEvent::NocTransfer { .. } => "noc",
             TraceEvent::ReconfigAttempt { .. }
             | TraceEvent::RetryBackoff { .. }
@@ -394,6 +438,34 @@ impl TraceEvent {
                 vec![("kind", s(kind)), ("cycles", n(*cycles))]
             }
             TraceEvent::Irq { source } => vec![("source", loc(*source))],
+            TraceEvent::SeuInjected {
+                frame,
+                word,
+                bit,
+                double_bit,
+            } => vec![
+                ("frame", n(*frame)),
+                ("word", n(*word)),
+                ("bit", n(*bit)),
+                ("double_bit", JsonValue::Bool(*double_bit)),
+            ],
+            TraceEvent::ScrubPass {
+                frames,
+                corrected,
+                uncorrectable,
+                waited,
+            } => vec![
+                ("frames", n(*frames)),
+                ("corrected", n(*corrected)),
+                ("uncorrectable", n(*uncorrectable)),
+                ("waited", n(*waited)),
+            ],
+            TraceEvent::FrameRepaired { frame, words } => {
+                vec![("frame", n(*frame)), ("words", n(*words))]
+            }
+            TraceEvent::RollbackCompleted { tile, frames } => {
+                vec![("tile", loc(*tile)), ("frames", n(*frames))]
+            }
             TraceEvent::ReconfigAttempt {
                 tile,
                 kind,
@@ -817,6 +889,23 @@ mod tests {
                 cycles: 1,
             },
             TraceEvent::Irq { source: loc },
+            TraceEvent::SeuInjected {
+                frame: 1,
+                word: 0,
+                bit: 3,
+                double_bit: false,
+            },
+            TraceEvent::ScrubPass {
+                frames: 1,
+                corrected: 1,
+                uncorrectable: 0,
+                waited: 0,
+            },
+            TraceEvent::FrameRepaired { frame: 1, words: 1 },
+            TraceEvent::RollbackCompleted {
+                tile: loc,
+                frames: 1,
+            },
             TraceEvent::ReconfigAttempt {
                 tile: loc,
                 kind: "mac".into(),

@@ -197,9 +197,23 @@ pub struct Bitstream {
     compressed: bool,
     words: Vec<u32>,
     frames: usize,
+    integrity: u32,
 }
 
 impl Bitstream {
+    /// CRC-32 over the full word stream, computed once at build time.
+    ///
+    /// This is a storage-integrity check (does the stream the registry holds
+    /// still match what the builder produced?), distinct from the in-stream
+    /// CRC word the ICAP verifies during a load.
+    fn stream_integrity(words: &[u32]) -> u32 {
+        let mut crc = CrcAccumulator::new();
+        for &word in words {
+            crc.update(word);
+        }
+        crc.value()
+    }
+
     /// Kind of this bitstream.
     pub fn kind(&self) -> BitstreamKind {
         self.kind
@@ -230,11 +244,26 @@ impl Bitstream {
         self.frames
     }
 
+    /// The build-time storage-integrity CRC over the word stream.
+    pub fn integrity(&self) -> u32 {
+        self.integrity
+    }
+
+    /// Recomputes the storage CRC and compares it to the build-time value.
+    ///
+    /// `false` means the stream was corrupted after the builder produced it
+    /// (bit rot, a faulty copy, a tampered registry entry).
+    pub fn verify_integrity(&self) -> bool {
+        Bitstream::stream_integrity(&self.words) == self.integrity
+    }
+
     /// Returns a copy of this bitstream with its word stream replaced.
     ///
     /// Intended for fault-injection testing (bit flips, truncation): the
-    /// metadata is kept, only the stream changes, so the ICAP's CRC and
-    /// packet-layer checks can be exercised against corrupted transfers.
+    /// metadata — including the build-time integrity CRC — is kept while
+    /// only the stream changes, so both the ICAP's in-stream checks and the
+    /// registry's at-lookup [`Bitstream::verify_integrity`] can be exercised
+    /// against corrupted copies.
     pub fn with_words(&self, words: Vec<u32>) -> Bitstream {
         Bitstream {
             words,
@@ -309,7 +338,7 @@ impl BitstreamBuilder {
                 ),
             });
         }
-        self.frames.insert(addr, data);
+        self.frames.insert(addr, data); // presp-lint: allow — builder staging map, not live config memory
         Ok(())
     }
 
@@ -348,12 +377,14 @@ impl BitstreamBuilder {
         words.push(type1_write(ConfigReg::Cmd, 1));
         words.push(Command::Desync as u32);
 
+        let integrity = Bitstream::stream_integrity(&words);
         Bitstream {
             kind: self.kind,
             idcode: self.device.part().idcode(),
             compressed,
             words,
             frames: self.frames.len(),
+            integrity,
         }
     }
 

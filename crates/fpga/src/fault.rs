@@ -68,6 +68,13 @@ pub struct FaultConfig {
     pub decoupler_delay_rate: f64,
     /// Maximum decoupler ack delay, in SoC cycles (uniform in `[1, max]`).
     pub decoupler_delay_max_cycles: u64,
+    /// Mean configuration-memory upsets (SEUs) per million SoC cycles.
+    /// Arrivals follow a Poisson process over virtual time: exponential
+    /// inter-arrival gaps drawn from the plan's dedicated SEU stream.
+    pub seu_per_mcycle: f64,
+    /// Probability that an upset flips two bits of the same frame word
+    /// (uncorrectable by SECDED) instead of one.
+    pub seu_double_bit_rate: f64,
 }
 
 impl FaultConfig {
@@ -81,7 +88,16 @@ impl FaultConfig {
             registry_miss_rate: rate,
             decoupler_delay_rate: rate,
             decoupler_delay_max_cycles: 64,
+            seu_per_mcycle: 0.0,
+            seu_double_bit_rate: 0.0,
         }
+    }
+
+    /// Enables the SEU arrival process on top of this configuration.
+    pub fn with_seu(mut self, per_mcycle: f64, double_bit_rate: f64) -> FaultConfig {
+        self.seu_per_mcycle = per_mcycle;
+        self.seu_double_bit_rate = double_bit_rate;
+        self
     }
 }
 
@@ -118,12 +134,20 @@ pub struct InjectedFaults {
     pub decoupler_delays: u64,
     /// Total decoupler delay cycles added.
     pub decoupler_delay_cycles: u64,
+    /// Configuration-memory upsets delivered (single- and double-bit).
+    pub seu_upsets: u64,
+    /// The subset of upsets that were double-bit (uncorrectable).
+    pub seu_double_bits: u64,
 }
 
 impl InjectedFaults {
     /// Total faults injected across all classes.
     pub fn total(&self) -> u64 {
-        self.icap_corruptions + self.dfxc_stalls + self.registry_misses + self.decoupler_delays
+        self.icap_corruptions
+            + self.dfxc_stalls
+            + self.registry_misses
+            + self.decoupler_delays
+            + self.seu_upsets
     }
 }
 
@@ -156,6 +180,29 @@ impl Hook {
     }
 }
 
+/// One configuration-memory upset decided by the plan.
+///
+/// The plan stays passive: it picks abstract selectors and the SoC
+/// simulator maps them onto concrete frames (biased toward the frames of
+/// active pblocks) and applies the flips through the config-memory SEU
+/// backdoor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeuUpset {
+    /// Virtual cycle the upset strikes at.
+    pub cycle: u64,
+    /// Whether two bits of the same word flip (uncorrectable by SECDED).
+    pub double_bit: bool,
+    /// Raw selector the consumer reduces modulo its candidate-frame count.
+    pub frame_select: u64,
+    /// Raw selector reduced modulo the frame word count.
+    pub word_select: u64,
+    /// First flipped bit, `0..32`.
+    pub bit: u32,
+    /// Second flipped bit (distinct from `bit`); only used when
+    /// `double_bit` is set.
+    pub second_bit: u32,
+}
+
 /// A seeded, scripted fault schedule for one SoC.
 ///
 /// # Example
@@ -177,6 +224,15 @@ pub struct FaultPlan {
     dfxc: Hook,
     registry: Hook,
     decoupler: Hook,
+    seu_rng: SplitMix64,
+    /// Next pending seeded SEU arrival, in (fractional) cycles. Scheduled
+    /// lazily on the first drain so a zero-rate plan never draws.
+    seu_next: Option<f64>,
+    /// Forced upsets: `(cycle, double_bit)`, drained alongside the seeded
+    /// stream but drawing selectors from their own generator so forcing
+    /// never shifts seeded outcomes.
+    seu_forced: Vec<(u64, bool)>,
+    seu_forced_rng: SplitMix64,
     injected: InjectedFaults,
 }
 
@@ -189,6 +245,10 @@ impl FaultPlan {
             dfxc: Hook::new(seed ^ 0xDF0C_DF0C_DF0C_DF0C),
             registry: Hook::new(seed ^ 0x4E61_4E61_4E61_4E61),
             decoupler: Hook::new(seed ^ 0xDECC_DECC_DECC_DECC),
+            seu_rng: SplitMix64::new(seed ^ 0x05E0_05E0_05E0_05E0),
+            seu_next: None,
+            seu_forced: Vec::new(),
+            seu_forced_rng: SplitMix64::new(seed ^ 0xF05E_F05E_F05E_F05E),
             injected: InjectedFaults::default(),
         }
     }
@@ -222,6 +282,85 @@ impl FaultPlan {
     /// Forces the `nth` decoupler CSR write to acknowledge late.
     pub fn force_decoupler_delay(&mut self, nth: u64) {
         self.decoupler.forced.insert(nth);
+    }
+
+    /// Schedules one upset at `cycle` regardless of the seeded rate. The
+    /// upset's selectors come from a dedicated generator, so forcing never
+    /// shifts the seeded SEU stream.
+    pub fn force_seu(&mut self, cycle: u64, double_bit: bool) {
+        self.seu_forced.push((cycle, double_bit));
+        self.seu_forced.sort_unstable();
+    }
+
+    fn exponential_gap(&mut self) -> f64 {
+        // Mean gap 1e6 / seu_per_mcycle cycles; the caller guards rate > 0.
+        let lambda = self.config.seu_per_mcycle / 1_000_000.0;
+        let u = self.seu_rng.next_f64();
+        -(1.0 - u).ln() / lambda
+    }
+
+    fn draw_upset(cycle: u64, double_bit: bool, rng: &mut SplitMix64) -> SeuUpset {
+        let frame_select = rng.next_u64();
+        let word_select = rng.next_u64();
+        let bit = (rng.next_u64() % 32) as u32;
+        let mut second_bit = (rng.next_u64() % 31) as u32;
+        if second_bit >= bit {
+            second_bit += 1;
+        }
+        SeuUpset {
+            cycle,
+            double_bit,
+            frame_select,
+            word_select,
+            bit,
+            second_bit,
+        }
+    }
+
+    /// SEU hook: drains every upset (forced and seeded) arriving at or
+    /// before `upto_cycle`, in arrival order.
+    ///
+    /// Successive calls must pass non-decreasing cycles (the SoC's virtual
+    /// clock guarantees this); a pending arrival beyond `upto_cycle` stays
+    /// scheduled, so how the caller slices time never changes the stream.
+    pub fn next_seu_upsets(&mut self, upto_cycle: u64) -> Vec<SeuUpset> {
+        let mut upsets = Vec::new();
+        while let Some(&(cycle, double_bit)) = self.seu_forced.first() {
+            if cycle > upto_cycle {
+                break;
+            }
+            self.seu_forced.remove(0);
+            upsets.push(Self::draw_upset(
+                cycle,
+                double_bit,
+                &mut self.seu_forced_rng,
+            ));
+        }
+        if self.config.seu_per_mcycle > 0.0 {
+            if self.seu_next.is_none() {
+                let gap = self.exponential_gap();
+                self.seu_next = Some(gap);
+            }
+            while self.seu_next.is_some_and(|t| t <= upto_cycle as f64) {
+                let t = self.seu_next.unwrap_or_default();
+                let double_bit = self.seu_rng.next_f64() < self.config.seu_double_bit_rate;
+                upsets.push(Self::draw_upset(
+                    t.max(0.0) as u64,
+                    double_bit,
+                    &mut self.seu_rng,
+                ));
+                let gap = self.exponential_gap();
+                self.seu_next = Some(t + gap.max(1.0));
+            }
+        }
+        upsets.sort_by_key(|u| u.cycle);
+        for upset in &upsets {
+            self.injected.seu_upsets += 1;
+            if upset.double_bit {
+                self.injected.seu_double_bits += 1;
+            }
+        }
+        upsets
     }
 
     /// ICAP hook: decides whether the upcoming load of a `words`-word
@@ -348,6 +487,47 @@ mod tests {
             assert_eq!(plan.next_decoupler_delay(), 0);
         }
         assert_eq!(plan.injected().total(), 0);
+    }
+
+    #[test]
+    fn seu_stream_is_seed_deterministic_and_slice_invariant() {
+        let config = FaultConfig::default().with_seu(500.0, 0.25);
+        let mut coarse = FaultPlan::new(11, config);
+        let mut fine = FaultPlan::new(11, config);
+        let all = coarse.next_seu_upsets(100_000);
+        let mut sliced = Vec::new();
+        for upto in (10_000..=100_000).step_by(10_000) {
+            sliced.extend(fine.next_seu_upsets(upto));
+        }
+        assert_eq!(all, sliced, "time slicing must not change the stream");
+        assert!(all.len() > 10, "~50 expected upsets over 100k cycles");
+        assert!(all.iter().any(|u| u.double_bit));
+        assert!(all.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert_eq!(coarse.injected().seu_upsets, all.len() as u64);
+    }
+
+    #[test]
+    fn forcing_seu_does_not_shift_seeded_arrivals() {
+        let config = FaultConfig::default().with_seu(200.0, 0.0);
+        let mut plain = FaultPlan::new(21, config);
+        let mut forced = FaultPlan::new(21, config);
+        forced.force_seu(5_000, true);
+        let seeded: Vec<SeuUpset> = plain.next_seu_upsets(200_000);
+        let mixed: Vec<SeuUpset> = forced.next_seu_upsets(200_000);
+        let forced_only: Vec<&SeuUpset> = mixed.iter().filter(|u| u.double_bit).collect();
+        assert_eq!(forced_only.len(), 1);
+        assert_eq!(forced_only[0].cycle, 5_000);
+        assert_ne!(forced_only[0].bit, forced_only[0].second_bit);
+        let seeded_in_mixed: Vec<SeuUpset> =
+            mixed.iter().filter(|u| !u.double_bit).copied().collect();
+        assert_eq!(seeded, seeded_in_mixed);
+    }
+
+    #[test]
+    fn zero_seu_rate_draws_nothing() {
+        let mut plan = FaultPlan::new(2, FaultConfig::uniform(0.4));
+        assert!(plan.next_seu_upsets(1_000_000).is_empty());
+        assert_eq!(plan.injected().seu_upsets, 0);
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub struct Icap {
     device: Device,
     memory: ConfigMemory,
     frame_words: usize,
+    last_written: Vec<FrameAddress>,
 }
 
 impl Icap {
@@ -97,12 +98,28 @@ impl Icap {
             device: device.clone(),
             memory: ConfigMemory::new(device),
             frame_words: device.part().family().frame_words(),
+            last_written: Vec::new(),
         }
     }
 
     /// The configuration memory behind the port.
     pub fn memory(&self) -> &ConfigMemory {
         &self.memory
+    }
+
+    /// Mutable access to the configuration memory — the hook SEU injection,
+    /// readback scrubbing, and transactional rollback operate through. All
+    /// mutation still funnels through [`ConfigMemory`]'s own doorway methods.
+    pub fn memory_mut(&mut self) -> &mut ConfigMemory {
+        &mut self.memory
+    }
+
+    /// Frame addresses written by the most recent [`Icap::load`] call, in
+    /// write order (duplicates possible under multi-frame writes). This is
+    /// what lets the runtime associate a tile with the region its partial
+    /// bitstreams actually touch.
+    pub fn last_written(&self) -> &[FrameAddress] {
+        &self.last_written
     }
 
     /// Streams a bitstream through the port, applying frame writes.
@@ -116,6 +133,7 @@ impl Icap {
     /// updated — exactly like real silicon, which is why the DFX controller
     /// resorts to loading a known-good bitstream after a failed transfer.
     pub fn load(&mut self, bitstream: &Bitstream) -> Result<IcapReport, Error> {
+        self.last_written.clear();
         let words = bitstream.words();
         let mut state = State::Unsynced;
         let mut crc = CrcAccumulator::new();
@@ -199,6 +217,7 @@ impl Icap {
                                         });
                                     }
                                     self.memory.write_frame(addr, shadow.clone())?;
+                                    self.last_written.push(addr);
                                     frames_written += 1;
                                 }
                                 ConfigReg::Crc => {
@@ -267,6 +286,7 @@ impl Icap {
                 crc.update(w);
             }
             self.memory.write_frame(addr, chunk.to_vec())?;
+            self.last_written.push(addr);
             *shadow = chunk.to_vec();
             written += 1;
             addr = FrameAddress::new(addr.row, addr.column, addr.minor + 1);

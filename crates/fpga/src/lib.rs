@@ -16,6 +16,8 @@
 //!   multi-frame-write compression used by Vivado's compressed mode.
 //! * [`icap`] — an ICAPE2/ICAPE3-style configuration port that parses
 //!   bitstreams into configuration memory and models reconfiguration latency.
+//! * [`ecc`] — per-word SECDED check codes layered under the bitstream CRC,
+//!   so in-fabric upsets (SEUs) are correctable by readback scrubbing.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 
 pub mod bitstream;
 pub mod config_memory;
+pub mod ecc;
 pub mod error;
 pub mod fabric;
 pub mod fault;

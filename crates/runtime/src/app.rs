@@ -502,11 +502,13 @@ mod tests {
         let mut seed = 1u32;
         for (tile, kernels) in [(rts[0], [1usize, 4, 9, 10, 8]), (rts[1], [2, 3, 6, 7, 11])] {
             for k in kernels {
-                registry.register(
-                    tile,
-                    AcceleratorKind::wami(k).unwrap(),
-                    bitstream(&soc, seed),
-                );
+                registry
+                    .register(
+                        tile,
+                        AcceleratorKind::wami(k).unwrap(),
+                        bitstream(&soc, seed),
+                    )
+                    .unwrap();
                 seed += 97;
             }
         }

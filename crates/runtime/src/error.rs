@@ -15,6 +15,22 @@ pub enum Error {
         /// Requested accelerator.
         kind: AcceleratorKind,
     },
+    /// A bitstream is already registered for `(tile, accelerator)`;
+    /// re-registration must go through an explicit replacement.
+    AlreadyRegistered {
+        /// Target tile.
+        tile: TileCoord,
+        /// Requested accelerator.
+        kind: AcceleratorKind,
+    },
+    /// The registered bitstream for `(tile, accelerator)` no longer passes
+    /// its build-time integrity check — it was corrupted in storage.
+    CorruptBitstream {
+        /// Target tile.
+        tile: TileCoord,
+        /// Requested accelerator.
+        kind: AcceleratorKind,
+    },
     /// An operation was submitted to a tile whose active driver does not
     /// match.
     NoDriver {
@@ -61,6 +77,7 @@ impl Error {
             Error::TileQuarantined { .. }
                 | Error::RetriesExhausted { .. }
                 | Error::BitstreamNotRegistered { .. }
+                | Error::CorruptBitstream { .. }
         )
     }
 }
@@ -70,6 +87,15 @@ impl fmt::Display for Error {
         match self {
             Error::BitstreamNotRegistered { tile, kind } => {
                 write!(f, "no bitstream registered for {kind} on tile {tile}")
+            }
+            Error::AlreadyRegistered { tile, kind } => {
+                write!(f, "a {kind} bitstream is already registered on tile {tile}")
+            }
+            Error::CorruptBitstream { tile, kind } => {
+                write!(
+                    f,
+                    "registered {kind} bitstream for tile {tile} failed its integrity check"
+                )
             }
             Error::NoDriver { tile, needed } => {
                 write!(f, "tile {tile} has no active {needed} driver")

@@ -15,6 +15,10 @@
 //!   the kernel workqueue), with mutex/condvar locks guarding the device.
 //!   Generic over [`sync::SyncFacade`], so the same protocol runs in
 //!   production (`std::sync`) and under the `presp-check` model checker.
+//! * [`scrubber`] — the configuration-memory scrubber daemon: a second
+//!   worker sharing the manager's device lock that walks configuration
+//!   frames, repairs SEUs with the per-frame ECC, and quarantines tiles
+//!   with uncorrectable damage. Model-checked alongside the manager.
 //! * [`sync`] — the sync facade: the runtime's only doorway to
 //!   synchronization primitives, enforced by the `presp-lint` tool.
 //! * [`app`] — the WAMI application scheduler: maps the Fig. 3 dataflow
@@ -42,7 +46,7 @@
 //! # let words = device.part().family().frame_words();
 //! # b.add_frame(FrameAddress::new(0, 1, 0), vec![1; words])?;
 //! # let bitstream = b.build(true);
-//! registry.register(tile, AcceleratorKind::Mac, bitstream);
+//! registry.register(tile, AcceleratorKind::Mac, bitstream)?;
 //!
 //! let mut manager = ReconfigManager::new(soc, registry);
 //! manager.request_reconfiguration(tile, AcceleratorKind::Mac)?;
@@ -56,9 +60,11 @@ pub mod driver;
 pub mod error;
 pub mod manager;
 pub mod registry;
+pub mod scrubber;
 pub mod sync;
 pub mod threaded;
 
 pub use error::Error;
-pub use manager::{ExecPath, ReconfigManager, RecoveryPolicy};
+pub use manager::{ExecPath, ReconfigManager, RecoveryPolicy, TileHealth};
 pub use registry::BitstreamRegistry;
+pub use scrubber::{ScrubberDaemon, ScrubberStats};

@@ -24,7 +24,7 @@ use presp_events::trace::ClockDomain;
 use presp_events::{backoff, Loc, TraceEvent};
 use presp_fpga::fault::FaultPlan;
 use presp_soc::config::TileCoord;
-use presp_soc::sim::{csr, AccelRun, ReconfigRun, Soc};
+use presp_soc::sim::{csr, AccelRun, ReconfigRun, ScrubReport, Soc};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -60,6 +60,28 @@ impl Default for RecoveryPolicy {
             cpu_fallback: true,
         }
     }
+}
+
+/// Configuration-memory health of one reconfigurable tile, as tracked by
+/// the scrubbing machinery.
+///
+/// `Healthy → Scrubbing → {Healthy, Degraded, Quarantined}`: a scrub pass
+/// moves the tile through `Scrubbing`; a clean readback returns it to
+/// `Healthy`, repaired single-bit upsets leave it `Degraded` (the fabric
+/// is correct again but took hits), and an uncorrectable upset removes it
+/// from service. A successful reconfiguration rewrites every frame and
+/// resets the tile to `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TileHealth {
+    /// No known upsets.
+    Healthy,
+    /// A scrub pass is reading the tile's frames back.
+    Scrubbing,
+    /// Correctable upsets were detected and repaired by the last pass.
+    Degraded,
+    /// An uncorrectable upset (or repeated load failure) removed the tile
+    /// from service; work degrades to the CPU until it is restored.
+    Quarantined,
 }
 
 /// Which path actually executed an operation.
@@ -101,6 +123,14 @@ pub struct ManagerStats {
     pub runs: u64,
     /// Operations that degraded to the CPU software path.
     pub fallback_runs: u64,
+    /// Scrub passes performed (outside the request-accounting invariant:
+    /// scrubs are maintenance, not reconfiguration requests).
+    pub scrub_passes: u64,
+    /// Frames repaired by scrub passes.
+    pub frames_repaired: u64,
+    /// Quarantines triggered by uncorrectable upsets (also counted in
+    /// [`ManagerStats::quarantines`]).
+    pub scrub_quarantines: u64,
 }
 
 impl ManagerStats {
@@ -126,6 +156,7 @@ pub struct ReconfigManager {
     policy: RecoveryPolicy,
     quarantined: BTreeSet<TileCoord>,
     failure_streak: BTreeMap<TileCoord, u32>,
+    health: BTreeMap<TileCoord, TileHealth>,
 }
 
 impl ReconfigManager {
@@ -150,6 +181,7 @@ impl ReconfigManager {
             policy,
             quarantined: BTreeSet::new(),
             failure_streak: BTreeMap::new(),
+            health: BTreeMap::new(),
         }
     }
 
@@ -173,10 +205,113 @@ impl ReconfigManager {
         self.quarantined.iter().copied().collect()
     }
 
+    /// Configuration-memory health of `tile`.
+    pub fn tile_health(&self, tile: TileCoord) -> TileHealth {
+        if self.quarantined.contains(&tile) {
+            return TileHealth::Quarantined;
+        }
+        self.health
+            .get(&tile)
+            .copied()
+            .unwrap_or(TileHealth::Healthy)
+    }
+
+    /// Reads back `tile`'s configuration frames through the ICAP and
+    /// repairs what SECDED can, starting no earlier than `at`.
+    ///
+    /// The tile transitions `Scrubbing →` [`TileHealth::Healthy`] (clean
+    /// pass), [`TileHealth::Degraded`] (correctable upsets repaired) or
+    /// [`TileHealth::Quarantined`] (an uncorrectable upset: the driver is
+    /// unloaded and requests degrade to the CPU until the tile's golden
+    /// image is restored and it is released).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TileQuarantined`] for already-quarantined tiles,
+    /// plus SoC-level frame errors.
+    pub fn scrub_tile_at(&mut self, tile: TileCoord, at: u64) -> Result<ScrubReport, Error> {
+        if self.quarantined.contains(&tile) {
+            return Err(Error::TileQuarantined { tile });
+        }
+        let region = self.soc.tile_region(tile);
+        self.health.insert(tile, TileHealth::Scrubbing);
+        let report = match self.soc.scrub_frames_at(&region, at) {
+            Ok(report) => report,
+            Err(e) => {
+                self.health.insert(tile, TileHealth::Healthy);
+                return Err(e.into());
+            }
+        };
+        self.stats.scrub_passes += 1;
+        self.stats.frames_repaired += report.corrected.len() as u64;
+        if !report.uncorrectable.is_empty() {
+            // An uncorrectable upset: the fabric cannot be trusted, so the
+            // tile leaves service exactly like a retry-exhausted tile — the
+            // driver is unloaded and further requests degrade to the CPU.
+            self.drivers.remove(tile);
+            self.health.insert(tile, TileHealth::Quarantined);
+            if self.quarantined.insert(tile) {
+                self.stats.quarantines += 1;
+                self.stats.scrub_quarantines += 1;
+                let now = self.soc.horizon();
+                self.soc
+                    .tracer_mut()
+                    .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
+                        tile: loc(tile),
+                        entered: true,
+                    });
+            }
+        } else if report.corrected.is_empty() {
+            self.health.insert(tile, TileHealth::Healthy);
+        } else {
+            self.health.insert(tile, TileHealth::Degraded);
+        }
+        Ok(report)
+    }
+
+    /// Scrubs every tile that has been loaded at least once, in coordinate
+    /// order, starting no earlier than `at`. Quarantined tiles are
+    /// skipped. Returns the per-tile reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC-level frame errors.
+    pub fn scrub_all_at(&mut self, at: u64) -> Result<Vec<(TileCoord, ScrubReport)>, Error> {
+        let mut tiles: Vec<TileCoord> = self
+            .soc
+            .config()
+            .reconfigurable_tiles()
+            .into_iter()
+            .filter(|t| !self.quarantined.contains(t) && !self.soc.tile_region(*t).is_empty())
+            .collect();
+        tiles.sort_unstable();
+        let mut reports = Vec::with_capacity(tiles.len());
+        for tile in tiles {
+            let report = self.scrub_tile_at(tile, at)?;
+            reports.push((tile, report));
+        }
+        Ok(reports)
+    }
+
+    /// Restores `tile`'s region bit-for-bit from its golden (post-load)
+    /// frame image — the recovery path for uncorrectable upsets. Returns
+    /// the number of frames rewritten. The caller still re-registers the
+    /// driver via a reconfiguration request (or releases the quarantine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the SoC error when no golden image exists.
+    pub fn restore_golden(&mut self, tile: TileCoord) -> Result<usize, Error> {
+        let frames = self.soc.restore_golden(tile)?;
+        self.health.insert(tile, TileHealth::Healthy);
+        Ok(frames)
+    }
+
     /// Releases `tile` from quarantine (e.g. after operator intervention),
     /// clearing its failure streak. Returns whether it was quarantined.
     pub fn release_quarantine(&mut self, tile: TileCoord) -> bool {
         self.failure_streak.remove(&tile);
+        self.health.remove(&tile);
         let released = self.quarantined.remove(&tile);
         if released {
             let now = self.soc.horizon();
@@ -243,8 +378,9 @@ impl ReconfigManager {
     ///
     /// Returns [`Error::TileQuarantined`] for quarantined tiles,
     /// [`Error::BitstreamNotRegistered`] for unknown pairs,
-    /// [`Error::RetriesExhausted`] when recovery gives up, and SoC errors
-    /// from the decouple/reconfigure sequence.
+    /// [`Error::CorruptBitstream`] when the stored stream fails its
+    /// integrity re-check, [`Error::RetriesExhausted`] when recovery gives
+    /// up, and SoC errors from the decouple/reconfigure sequence.
     pub fn request_reconfiguration_at(
         &mut self,
         tile: TileCoord,
@@ -268,11 +404,12 @@ impl ReconfigManager {
                 });
             return Ok(None);
         }
-        // A pair that was never registered is a permanent error; transient
+        // A pair that was never registered — or whose stored stream fails
+        // its integrity re-check — is a permanent error; transient
         // staleness is injected per attempt below.
-        if self.registry.lookup(tile, kind).is_none() {
+        if let Err(e) = self.registry.lookup(tile, kind) {
             self.stats.rejected += 1;
-            return Err(Error::BitstreamNotRegistered { tile, kind });
+            return Err(e);
         }
         // Wait for the accelerator in the tile to complete its execution.
         let idle = at.max(self.tile_idle_at(tile));
@@ -308,6 +445,9 @@ impl ReconfigManager {
                     self.drivers.probe(tile, kind);
                     self.tile_time.insert(tile, coupled);
                     self.failure_streak.remove(&tile);
+                    // Every frame of the region was rewritten (and its
+                    // golden image refreshed): the tile is healthy again.
+                    self.health.insert(tile, TileHealth::Healthy);
                     self.stats.reconfigurations += 1;
                     self.stats.reconfig_cycles += coupled - idle;
                     return Ok(Some(ReconfigRun {
@@ -374,11 +514,7 @@ impl ReconfigManager {
         {
             return Err(Error::BitstreamNotRegistered { tile, kind });
         }
-        let bitstream = self
-            .registry
-            .lookup(tile, kind)
-            .ok_or(Error::BitstreamNotRegistered { tile, kind })?
-            .clone();
+        let bitstream = self.registry.lookup(tile, kind)?.clone();
         let start = match *decoupled_at {
             // Still decoupled from the previous failed attempt.
             Some(t) => t.max(when),
@@ -575,12 +711,16 @@ mod tests {
         let tiles = cfg.reconfigurable_tiles();
         let mut registry = BitstreamRegistry::new();
         for (i, &tile) in tiles.iter().enumerate() {
-            registry.register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32, 4));
-            registry.register(
-                tile,
-                AcceleratorKind::Sort,
-                bitstream(&soc, 20 + i as u32, 8),
-            );
+            registry
+                .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32, 4))
+                .unwrap();
+            registry
+                .register(
+                    tile,
+                    AcceleratorKind::Sort,
+                    bitstream(&soc, 20 + i as u32, 8),
+                )
+                .unwrap();
         }
         (ReconfigManager::new(soc, registry), tiles)
     }
@@ -693,6 +833,91 @@ mod tests {
         assert!(mgr.drivers().services(tiles[0], AcceleratorKind::Mac));
         assert!(mgr.drivers().services(tiles[1], AcceleratorKind::Sort));
         assert_eq!(mgr.stats().reconfigurations, 2);
+    }
+
+    #[test]
+    fn scrub_state_machine_tracks_repairs() {
+        use presp_fpga::fault::FaultConfig;
+        let (mut mgr, tiles) = manager(1);
+        let tile = tiles[0];
+        assert_eq!(mgr.tile_health(tile), TileHealth::Healthy);
+        mgr.request_reconfiguration(tile, AcceleratorKind::Mac)
+            .unwrap();
+        // Clean pass: back to Healthy.
+        let report = mgr.scrub_tile_at(tile, mgr.makespan()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(mgr.tile_health(tile), TileHealth::Healthy);
+        // Single-bit upset: repaired, tile marked Degraded.
+        let mut plan = FaultPlan::new(5, FaultConfig::uniform(0.0));
+        plan.force_seu(mgr.makespan() + 1, false);
+        mgr.soc_mut().set_fault_plan(Some(plan));
+        let report = mgr.scrub_tile_at(tile, mgr.makespan() + 10).unwrap();
+        assert_eq!(report.corrected.len(), 1);
+        assert_eq!(mgr.tile_health(tile), TileHealth::Degraded);
+        assert_eq!(mgr.stats().scrub_passes, 2);
+        assert_eq!(mgr.stats().frames_repaired, 1);
+        // A successful reconfiguration rewrites the region: Healthy again.
+        mgr.request_reconfiguration(tile, AcceleratorKind::Sort)
+            .unwrap();
+        assert_eq!(mgr.tile_health(tile), TileHealth::Healthy);
+        assert!(mgr.stats().consistent());
+    }
+
+    #[test]
+    fn uncorrectable_upset_quarantines_and_golden_restore_recovers() {
+        use presp_fpga::fault::FaultConfig;
+        let (mut mgr, tiles) = manager(1);
+        let tile = tiles[0];
+        mgr.request_reconfiguration(tile, AcceleratorKind::Mac)
+            .unwrap();
+        let mut plan = FaultPlan::new(6, FaultConfig::uniform(0.0));
+        plan.force_seu(mgr.makespan() + 1, true);
+        mgr.soc_mut().set_fault_plan(Some(plan));
+        let report = mgr.scrub_tile_at(tile, mgr.makespan() + 10).unwrap();
+        assert_eq!(report.uncorrectable.len(), 1);
+        assert_eq!(mgr.tile_health(tile), TileHealth::Quarantined);
+        assert!(mgr.is_quarantined(tile));
+        assert_eq!(mgr.stats().scrub_quarantines, 1);
+        // Work still completes — degraded to the CPU software path.
+        let (run, path) = mgr
+            .run_with_fallback(
+                tile,
+                AcceleratorKind::Mac,
+                &AccelOp::Mac {
+                    a: vec![2.0],
+                    b: vec![3.0],
+                },
+            )
+            .unwrap();
+        assert_eq!(path, ExecPath::CpuFallback);
+        assert_eq!(run.value, AccelValue::Scalar(6.0));
+        // Recovery: golden restore + quarantine release → clean scrubs.
+        assert!(mgr.restore_golden(tile).unwrap() > 0);
+        assert!(mgr.release_quarantine(tile));
+        let report = mgr.scrub_tile_at(tile, mgr.makespan()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(mgr.tile_health(tile), TileHealth::Healthy);
+        assert!(mgr.stats().consistent());
+    }
+
+    #[test]
+    fn corrupt_registry_entry_is_rejected_at_request_time() {
+        let cfg = SocConfig::grid_3x3_reconf("corrupt", 1).unwrap();
+        let soc = Soc::new(&cfg).unwrap();
+        let tile = cfg.reconfigurable_tiles()[0];
+        let good = bitstream(&soc, 2, 4);
+        let mut words = good.words().to_vec();
+        let idx = words.len() / 2;
+        words[idx] ^= 1;
+        let mut registry = BitstreamRegistry::new();
+        registry
+            .register(tile, AcceleratorKind::Mac, good.with_words(words))
+            .unwrap();
+        let mut mgr = ReconfigManager::new(soc, registry);
+        let err = mgr.request_reconfiguration(tile, AcceleratorKind::Mac);
+        assert!(matches!(err, Err(Error::CorruptBitstream { .. })));
+        assert_eq!(mgr.stats().rejected, 1);
+        assert!(mgr.stats().consistent());
     }
 
     #[test]

@@ -65,11 +65,15 @@ pub(crate) struct MutantConfig {
 }
 
 /// Shared state guarded like the kernel manager guards its device list.
-struct Shared<S: SyncFacade> {
-    manager: S::Mutex<ReconfigManager>,
+///
+/// `pub(crate)` so the scrubber daemon ([`crate::scrubber`]) can attach to
+/// the *same* device lock — both workers serialize on `manager`, exactly
+/// like two kernel work items contending for one PRC.
+pub(crate) struct Shared<S: SyncFacade> {
+    pub(crate) manager: S::Mutex<ReconfigManager>,
     /// Signalled whenever a reconfiguration completes, waking threads that
     /// blocked on a locked tile.
-    reconfig_done: S::Condvar,
+    pub(crate) reconfig_done: S::Condvar,
     #[cfg(test)]
     mutants: MutantConfig,
     /// A secondary lock only the mutants touch (stands in for any
@@ -104,7 +108,7 @@ struct Shared<S: SyncFacade> {
 /// ```
 pub struct ThreadedManager<S: SyncFacade = StdSync> {
     queue: S::Sender<Request<S>>,
-    shared: Arc<Shared<S>>,
+    pub(crate) shared: Arc<Shared<S>>,
     worker: Arc<S::Mutex<Option<S::JoinHandle<()>>>>,
 }
 
@@ -422,8 +426,12 @@ mod tests {
         let tiles = cfg.reconfigurable_tiles();
         let mut registry = BitstreamRegistry::new();
         for (i, &tile) in tiles.iter().enumerate() {
-            registry.register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32));
-            registry.register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32));
+            registry
+                .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+                .unwrap();
+            registry
+                .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+                .unwrap();
         }
         (ThreadedManager::spawn(soc, registry), tiles)
     }
@@ -434,7 +442,9 @@ mod tests {
         let soc = Soc::new(&cfg).unwrap();
         let tiles = cfg.reconfigurable_tiles();
         let mut registry = BitstreamRegistry::new();
-        registry.register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2));
+        registry
+            .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+            .unwrap();
         let mgr = ThreadedManager::<CheckSync>::spawn_with_mutants(
             soc,
             registry,

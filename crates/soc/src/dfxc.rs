@@ -78,6 +78,19 @@ impl Dfxc {
         self.icap.memory()
     }
 
+    /// Mutable access to the configuration memory, for SEU injection,
+    /// readback scrubbing and transactional rollback. Every mutation still
+    /// goes through [`ConfigMemory`](presp_fpga::config_memory::ConfigMemory)'s
+    /// own doorway methods.
+    pub fn config_memory_mut(&mut self) -> &mut presp_fpga::config_memory::ConfigMemory {
+        self.icap.memory_mut()
+    }
+
+    /// Frame addresses written by the most recent load (write order).
+    pub fn last_written(&self) -> &[presp_fpga::frame::FrameAddress] {
+        self.icap.last_written()
+    }
+
     /// Streams a (fetched) bitstream through the ICAP.
     ///
     /// # Errors

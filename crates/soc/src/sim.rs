@@ -29,12 +29,15 @@ use presp_events::{
     Loc, Reservation, ResourceTimeline, SharedSink, TraceEvent, Tracer, VirtualClock,
 };
 use presp_fpga::bitstream::Bitstream;
+use presp_fpga::config_memory::RegionSnapshot;
+use presp_fpga::ecc::FrameRepair;
 use presp_fpga::fault::FaultPlan;
+use presp_fpga::frame::FrameAddress;
 use presp_fpga::icap::ICAP_CLOCK_MHZ;
 use presp_fpga::part::FpgaPart;
 use presp_fpga::resources::Resources;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// The tile's location as a trace record coordinate.
 fn loc(coord: TileCoord) -> Loc {
@@ -103,6 +106,43 @@ impl ReconfigRun {
     }
 }
 
+/// One configuration-memory upset applied by the fault plan's SEU stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeuRecord {
+    /// Cycle the upset struck.
+    pub cycle: u64,
+    /// Upset frame.
+    pub addr: FrameAddress,
+    /// Word index within the frame.
+    pub word: usize,
+    /// Flipped bit.
+    pub bit: u32,
+    /// Second flipped bit of a double-bit upset, if any.
+    pub second_bit: Option<u32>,
+}
+
+/// Timing and outcome of one scrubber readback pass over a set of frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Cycle the readback actually started on the ICAP.
+    pub start: u64,
+    /// Cycle the pass completed.
+    pub end: u64,
+    /// Cycles spent waiting for the shared ICAP port.
+    pub waited: u64,
+    /// Frames repaired, with the number of words corrected in each.
+    pub corrected: Vec<(FrameAddress, usize)>,
+    /// Frames holding an uncorrectable (double-bit) upset, left untouched.
+    pub uncorrectable: Vec<FrameAddress>,
+}
+
+impl ScrubReport {
+    /// `true` when every frame read back clean.
+    pub fn is_clean(&self) -> bool {
+        self.corrected.is_empty() && self.uncorrectable.is_empty()
+    }
+}
+
 /// An interrupt delivered to the CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IrqEvent {
@@ -142,6 +182,11 @@ pub struct Soc {
     irq_log: Vec<IrqEvent>,
     fault_plan: Option<FaultPlan>,
     decoupled_rejections: u64,
+    /// Union of every frame each tile's successful loads have written.
+    tile_regions: HashMap<TileCoord, BTreeSet<FrameAddress>>,
+    /// Per-tile golden (known-good, post-load) frame images.
+    golden: HashMap<TileCoord, RegionSnapshot>,
+    seu_log: Vec<SeuRecord>,
 }
 
 impl Soc {
@@ -193,6 +238,9 @@ impl Soc {
             irq_log: Vec::new(),
             fault_plan: None,
             decoupled_rejections: 0,
+            tile_regions: HashMap::new(),
+            golden: HashMap::new(),
+            seu_log: Vec::new(),
         })
     }
 
@@ -298,6 +346,162 @@ impl Soc {
     /// their own hooks, e.g. registry staleness, through this).
     pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
         self.fault_plan.as_mut()
+    }
+
+    /// Upsets injected into configuration memory so far, in arrival order.
+    pub fn seu_log(&self) -> &[SeuRecord] {
+        &self.seu_log
+    }
+
+    /// Frame addresses of `tile`'s reconfigurable region: the union of
+    /// every frame its successful loads have written. Empty before the
+    /// first load.
+    pub fn tile_region(&self, tile: TileCoord) -> Vec<FrameAddress> {
+        self.tile_regions
+            .get(&tile)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The tile's golden (post-load, known-good) frame image, if any load
+    /// has succeeded.
+    pub fn golden_snapshot(&self, tile: TileCoord) -> Option<&RegionSnapshot> {
+        self.golden.get(&tile)
+    }
+
+    /// Restores `tile`'s region bit-for-bit from its golden store,
+    /// clearing any upsets — correctable or not. Returns the number of
+    /// frames rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTile`] when the tile has never been
+    /// successfully loaded (no golden image exists).
+    pub fn restore_golden(&mut self, tile: TileCoord) -> Result<usize, Error> {
+        let snap = self
+            .golden
+            .get(&tile)
+            .cloned()
+            .ok_or(Error::NoSuchTile { coord: tile })?;
+        self.dfxc
+            .config_memory_mut()
+            .restore(&snap)
+            .map_err(Error::Fpga)?;
+        Ok(snap.len())
+    }
+
+    /// Drains the fault plan's SEU stream up to `cycle`, flipping bits in
+    /// configuration memory. Upsets strike configured frames (the active
+    /// pblocks); with nothing configured there is no state to upset and
+    /// the arrival is dropped.
+    fn advance_seus_to(&mut self, cycle: u64) {
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return;
+        };
+        let upsets = plan.next_seu_upsets(cycle);
+        if upsets.is_empty() {
+            return;
+        }
+        let frame_words = self.dfxc.config_memory().frame_words() as u64;
+        for upset in upsets {
+            let configured = self.dfxc.config_memory().configured_addresses();
+            if configured.is_empty() {
+                continue;
+            }
+            let addr = configured[(upset.frame_select % configured.len() as u64) as usize];
+            let word = (upset.word_select % frame_words) as usize;
+            self.dfxc
+                .config_memory_mut()
+                .corrupt_bit(addr, word, upset.bit)
+                .expect("configured address with bounded word/bit is valid");
+            let second_bit = if upset.double_bit {
+                self.dfxc
+                    .config_memory_mut()
+                    .corrupt_bit(addr, word, upset.second_bit)
+                    .expect("configured address with bounded word/bit is valid");
+                Some(upset.second_bit)
+            } else {
+                None
+            };
+            self.seu_log.push(SeuRecord {
+                cycle: upset.cycle,
+                addr,
+                word,
+                bit: upset.bit,
+                second_bit,
+            });
+            self.tracer
+                .instant(ClockDomain::SocCycles, upset.cycle, || {
+                    TraceEvent::SeuInjected {
+                        frame: u64::from(addr.pack()),
+                        word: word as u64,
+                        bit: u64::from(upset.bit),
+                        double_bit: upset.double_bit,
+                    }
+                });
+        }
+    }
+
+    /// Reads back `addrs` through the ICAP and repairs what SECDED can.
+    ///
+    /// Readback streams at the ICAP word rate and competes for the shared
+    /// ICAP port, so scrub traffic visibly delays (and is delayed by)
+    /// concurrent reconfigurations. Correctable upsets are repaired in
+    /// place; uncorrectable frames are reported untouched so the caller
+    /// can fall back to a golden restore.
+    ///
+    /// # Errors
+    ///
+    /// Returns frame-address errors from the underlying memory.
+    pub fn scrub_frames_at(
+        &mut self,
+        addrs: &[FrameAddress],
+        at: u64,
+    ) -> Result<ScrubReport, Error> {
+        self.advance_seus_to(at);
+        let words = addrs.len() as u64 * self.dfxc.config_memory().frame_words() as u64;
+        let cycles = (words as f64 / ICAP_CLOCK_MHZ * SOC_CYCLES_PER_MICRO).ceil() as u64;
+        let r = self.icap.reserve(at, cycles);
+        let mut corrected = Vec::new();
+        let mut uncorrectable = Vec::new();
+        for &addr in addrs {
+            match self
+                .dfxc
+                .config_memory_mut()
+                .scrub_frame(addr)
+                .map_err(Error::Fpga)?
+            {
+                FrameRepair::Clean => {}
+                FrameRepair::Corrected { words } => {
+                    let repaired = words.len();
+                    corrected.push((addr, repaired));
+                    self.tracer.instant(ClockDomain::SocCycles, r.end, || {
+                        TraceEvent::FrameRepaired {
+                            frame: u64::from(addr.pack()),
+                            words: repaired as u64,
+                        }
+                    });
+                }
+                FrameRepair::Uncorrectable { .. } => uncorrectable.push(addr),
+            }
+        }
+        self.tracer
+            .emit(ClockDomain::SocCycles, r.start, r.duration(), || {
+                TraceEvent::ScrubPass {
+                    frames: addrs.len() as u64,
+                    corrected: corrected.len() as u64,
+                    uncorrectable: uncorrectable.len() as u64,
+                    waited: r.waited,
+                }
+            });
+        self.clock.observe(r.end);
+        Ok(ScrubReport {
+            start: r.start,
+            end: r.end,
+            waited: r.waited,
+            corrected,
+            uncorrectable,
+        })
     }
 
     /// Total NoC transfers injected so far (all planes).
@@ -508,6 +712,7 @@ impl Soc {
         bitstream: &Bitstream,
         at: u64,
     ) -> Result<ReconfigRun, Error> {
+        self.advance_seus_to(at);
         let aux = self.config.aux();
         let mem = self.config.mem();
         {
@@ -550,6 +755,10 @@ impl Soc {
                 .as_mut()
                 .and_then(|p| p.next_icap_fault(words))
         };
+        // Transactional write: capture the pre-transaction image so a
+        // stream that faults mid-write can roll the fabric back instead of
+        // leaving it partially configured.
+        let pre_image = self.dfxc.config_memory().clone();
         let loaded = match fault {
             Some(flip) => {
                 let corrupted = bitstream.with_words(flip.corrupt(bitstream.words()));
@@ -584,6 +793,17 @@ impl Soc {
                             ok: false,
                         }
                     });
+                // Roll the configuration memory back to the
+                // pre-transaction image: the failed stream's partial
+                // writes never become visible fabric state.
+                let dirty = pre_image.diff(self.dfxc.config_memory()).len() as u64;
+                *self.dfxc.config_memory_mut() = pre_image;
+                self.tracer.instant(ClockDomain::SocCycles, r.end, || {
+                    TraceEvent::RollbackCompleted {
+                        tile: loc(tile),
+                        frames: dirty,
+                    }
+                });
                 self.clock.observe(r.end);
                 return Err(e);
             }
@@ -609,6 +829,17 @@ impl Soc {
             previous: Some(kind),
         };
         state.timeline.claim(at, icap_start, icap_done);
+        // Region bookkeeping: the union of frames this tile's loads have
+        // written defines its region, and the post-load image becomes its
+        // golden (known-good) store for scrubber escalation and rollback.
+        let written: Vec<FrameAddress> = self.dfxc.last_written().to_vec();
+        self.tile_regions.entry(tile).or_default().extend(written);
+        let snap = self
+            .dfxc
+            .config_memory()
+            .snapshot(self.tile_regions[&tile].iter())
+            .expect("region addresses were validated when written");
+        self.golden.insert(tile, snap);
         let end = self.deliver_irq(icap_done, aux);
         self.tracer.emit(ClockDomain::SocCycles, at, end - at, || {
             TraceEvent::Reconfiguration {
@@ -640,6 +871,7 @@ impl Soc {
         op: &AccelOp,
         at: u64,
     ) -> Result<AccelRun, Error> {
+        self.advance_seus_to(at);
         let mem = self.config.mem();
         let state = self
             .tiles
@@ -1044,6 +1276,123 @@ mod tests {
         assert!(report.base_j > 0.0);
         assert!(report.elapsed_s > 0.0);
         assert!(report.total_j() >= report.dynamic_j);
+    }
+
+    #[test]
+    fn forced_seu_is_applied_and_scrubbed() {
+        use presp_fpga::fault::FaultConfig;
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        let bs = mac_bitstream(&soc, 2);
+        let r = soc
+            .reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1)
+            .unwrap();
+        let region = soc.tile_region(tile);
+        assert_eq!(region.len(), 4, "four frames were loaded");
+        let mut plan = FaultPlan::new(7, FaultConfig::uniform(0.0));
+        plan.force_seu(r.end + 10, false);
+        soc.set_fault_plan(Some(plan));
+        let report = soc.scrub_frames_at(&region, r.end + 100).unwrap();
+        assert_eq!(report.corrected.len(), 1);
+        assert!(report.uncorrectable.is_empty());
+        assert_eq!(soc.seu_log().len(), 1);
+        assert!(region.contains(&soc.seu_log()[0].addr));
+        // A second pass reads back clean.
+        let report = soc.scrub_frames_at(&region, report.end).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn double_bit_seu_needs_a_golden_restore() {
+        use presp_fpga::fault::FaultConfig;
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        let bs = mac_bitstream(&soc, 2);
+        let r = soc
+            .reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1)
+            .unwrap();
+        let mut plan = FaultPlan::new(11, FaultConfig::uniform(0.0));
+        plan.force_seu(r.end + 1, true);
+        soc.set_fault_plan(Some(plan));
+        let region = soc.tile_region(tile);
+        let report = soc.scrub_frames_at(&region, r.end + 50).unwrap();
+        assert_eq!(report.uncorrectable.len(), 1);
+        assert!(soc.seu_log()[0].second_bit.is_some());
+        // ECC cannot fix it; the golden store can.
+        assert_eq!(soc.restore_golden(tile).unwrap(), 4);
+        let report = soc.scrub_frames_at(&region, report.end).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn faulted_load_rolls_back_to_pre_transaction_image() {
+        use presp_fpga::fault::FaultConfig;
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        let r1 = soc
+            .reconfigure_at(tile, AcceleratorKind::Mac, &mac_bitstream(&soc, 2), t1)
+            .unwrap();
+        let before = soc.dfxc().config_memory().clone();
+        let mut plan = FaultPlan::new(3, FaultConfig::uniform(0.0));
+        plan.force_icap_fault(0);
+        soc.set_fault_plan(Some(plan));
+        let err = soc.reconfigure_at(tile, AcceleratorKind::Mac, &mac_bitstream(&soc, 3), r1.end);
+        assert!(err.is_err());
+        assert!(
+            before.diff(soc.dfxc().config_memory()).is_empty(),
+            "rollback restored the pre-transaction image bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn scrubbing_contends_with_reconfiguration_for_the_icap() {
+        let mut soc = reconf_soc(2);
+        let tiles = soc.config().reconfigurable_tiles();
+        let t1 = soc.csr_write_at(tiles[0], csr::DECOUPLE, 1, 0).unwrap();
+        let r1 = soc
+            .reconfigure_at(tiles[0], AcceleratorKind::Mac, &mac_bitstream(&soc, 2), t1)
+            .unwrap();
+        let region = soc.tile_region(tiles[0]);
+        // Launch a second reconfiguration, then scrub at the same cycle:
+        // the readback must queue behind the ICAP write.
+        let t2 = soc
+            .csr_write_at(tiles[1], csr::DECOUPLE, 1, r1.end)
+            .unwrap();
+        soc.reconfigure_at(tiles[1], AcceleratorKind::Mac, &mac_bitstream(&soc, 3), t2)
+            .unwrap();
+        let before = soc.icap_contention_cycles();
+        let scrub = soc.scrub_frames_at(&region, t2).unwrap();
+        assert!(scrub.waited > 0, "scrub waited for the shared ICAP");
+        assert!(soc.icap_contention_cycles() > before);
+        assert!(scrub.is_clean());
+    }
+
+    #[test]
+    fn seeded_seu_stream_targets_configured_frames() {
+        use presp_fpga::fault::FaultConfig;
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        let r = soc
+            .reconfigure_at(tile, AcceleratorKind::Mac, &mac_bitstream(&soc, 2), t1)
+            .unwrap();
+        let plan = FaultPlan::new(42, FaultConfig::uniform(0.0).with_seu(300.0, 0.0));
+        soc.set_fault_plan(Some(plan));
+        let region = soc.tile_region(tile);
+        let report = soc.scrub_frames_at(&region, r.end + 50_000).unwrap();
+        assert!(
+            !soc.seu_log().is_empty(),
+            "the seeded stream produced upsets"
+        );
+        for record in soc.seu_log() {
+            assert!(region.contains(&record.addr), "upsets strike active frames");
+        }
+        // Everything lands in the scrubbed region, so the pass sees every
+        // upset (two hits on one word escalate to uncorrectable instead).
+        assert!(!report.is_clean());
     }
 
     #[test]

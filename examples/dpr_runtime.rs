@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry = BitstreamRegistry::new();
     for info in &output.partial_bitstreams {
         if let Some(tile) = info.tile {
-            registry.register(tile, info.kind, info.bitstream.clone());
+            registry.register(tile, info.kind, info.bitstream.clone())?;
         }
     }
     println!(

@@ -48,7 +48,9 @@ fn dpr_protocol_model() {
     let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
     b.add_frame(FrameAddress::new(0, 2, 0), vec![2; words])
         .unwrap();
-    registry.register(tile, AcceleratorKind::Mac, b.build(true));
+    registry
+        .register(tile, AcceleratorKind::Mac, b.build(true))
+        .expect("fresh registry");
 
     let mgr =
         ThreadedManager::<CheckSync>::spawn_with_policy(soc, registry, RecoveryPolicy::default());

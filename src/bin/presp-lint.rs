@@ -1,7 +1,7 @@
 //! `presp-lint`: workspace source discipline, enforced mechanically.
 //!
-//! Two properties of this codebase are architectural, not stylistic, and
-//! neither is expressible as a rustc/clippy lint:
+//! Three properties of this codebase are architectural, not stylistic,
+//! and none is expressible as a rustc/clippy lint:
 //!
 //! 1. **Sync discipline** — `crates/runtime` must route every
 //!    synchronization primitive through its `sync` facade module so the
@@ -14,6 +14,11 @@
 //!    `fpga`) operate on virtual time; wall-clock reads or real sleeps
 //!    (`SystemTime::now`, `Instant::now`, `thread::sleep`) would make
 //!    results irreproducible and break schedule replay.
+//!
+//! 3. **Configuration-memory doorway** — inside `crates/fpga`, frames and
+//!    their ECC shadow may only be mutated through `ConfigMemory`'s
+//!    methods. A direct `frames.insert(...)` elsewhere would bypass the
+//!    ECC refresh and silently defeat the SEU scrubber.
 //!
 //! The lint is a plain substring scanner over non-comment, non-test
 //! source lines: deliberately dumb, zero dependencies, and fast enough to
@@ -68,6 +73,19 @@ const RULES: &[Rule] = &[
         exempt_files: &[],
         forbidden: &["SystemTime::now", "Instant::now", "thread::sleep"],
         why: "simulation crates are virtual-time only (determinism)",
+    },
+    Rule {
+        root: "crates/fpga/src",
+        exempt_files: &["config_memory.rs"],
+        forbidden: &[
+            "frames.insert(",
+            "frames.remove(",
+            "frames.get_mut(",
+            "ecc.insert(",
+            "ecc.remove(",
+        ],
+        why: "configuration frames and their ECC shadow mutate only through \
+              the ConfigMemory doorway (SEU-scrubbing integrity)",
     },
 ];
 

@@ -76,29 +76,28 @@ fn corrupted_bitstream_is_rejected_by_the_icap_crc() {
 
     let soc = Soc::with_part(&design.config, design.part).unwrap();
     let mut registry = BitstreamRegistry::new();
-    registry.register(tile, AcceleratorKind::Mac, corrupted.clone());
+    registry
+        .register(tile, AcceleratorKind::Mac, corrupted.clone())
+        .unwrap();
     let mut manager = ReconfigManager::new(soc, registry);
-    // The CRC failure is transient from the runtime's point of view, so the
-    // manager retries it with backoff before giving up; a permanently
-    // corrupted stream therefore exhausts every allowed attempt.
+    // The registry re-verifies the build-time integrity checksum at lookup,
+    // so the corruption is caught before the ICAP is ever touched: no
+    // retries, no reconfiguration attempt, a permanent rejection.
     let err = manager.request_reconfiguration(tile, AcceleratorKind::Mac);
     match err {
-        Err(RuntimeError::RetriesExhausted { attempts, .. }) => {
-            assert_eq!(attempts, manager.policy().max_retries + 1);
-        }
-        other => panic!("expected retry exhaustion from the CRC rejection, got {other:?}"),
+        Err(RuntimeError::CorruptBitstream { .. }) => {}
+        other => panic!("expected the registry integrity check to reject, got {other:?}"),
     }
-    assert_eq!(
-        manager.stats().retries,
-        u64::from(manager.policy().max_retries)
-    );
-    assert_eq!(manager.stats().retries_exhausted, 1);
+    assert_eq!(manager.stats().retries, 0);
+    assert_eq!(manager.stats().rejected, 1);
     assert_eq!(manager.stats().reconfigurations, 0);
     assert!(manager.stats().consistent());
     // Direct ICAP programming (no runtime in between) still reports the
-    // configuration-layer error itself.
+    // configuration-layer error itself. The rejected request never started
+    // the swap protocol, so decouple the tile manually first.
     let mut soc = manager.into_soc();
-    let raw = soc.reconfigure_at(tile, AcceleratorKind::Mac, &corrupted, 0);
+    let t = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+    let raw = soc.reconfigure_at(tile, AcceleratorKind::Mac, &corrupted, t);
     match raw {
         Err(SocError::Fpga(presp::fpga::Error::CrcMismatch { .. })) => {}
         Err(SocError::Fpga(presp::fpga::Error::MalformedBitstream { .. })) => {}

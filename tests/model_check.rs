@@ -40,9 +40,15 @@ fn boot_checked() -> (ThreadedManager<CheckSync>, Vec<TileCoord>) {
     let soc = Soc::new(&cfg).unwrap();
     let tiles = cfg.reconfigurable_tiles();
     let mut registry = BitstreamRegistry::new();
-    registry.register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2));
-    registry.register(tiles[0], AcceleratorKind::Sort, bitstream(&soc, 30));
-    registry.register(tiles[1], AcceleratorKind::Mac, bitstream(&soc, 3));
+    registry
+        .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+        .unwrap();
+    registry
+        .register(tiles[0], AcceleratorKind::Sort, bitstream(&soc, 30))
+        .unwrap();
+    registry
+        .register(tiles[1], AcceleratorKind::Mac, bitstream(&soc, 3))
+        .unwrap();
     let mgr =
         ThreadedManager::<CheckSync>::spawn_with_policy(soc, registry, RecoveryPolicy::default());
     (mgr, tiles)
@@ -122,6 +128,63 @@ fn dpr_runtime_protocol_is_clean_across_schedules() {
         max_steps: 50_000,
     });
     let report = checker.explore(contended_dpr_model);
+    assert!(report.ok(), "{report}");
+    assert!(
+        report.exhausted || report.schedules >= budget,
+        "explorer stopped early: {report}"
+    );
+    assert!(
+        report.schedules > 100,
+        "scenario too small to be meaningful: {report}"
+    );
+}
+
+/// Scrubber + manager: the scrub daemon shares the device lock with the
+/// reconfiguration worker, so its readback passes interleave with swaps
+/// and stats snapshots. Every explored schedule must stay race-free,
+/// deadlock-free, and lock-order acyclic (`manager` → `scrub_stats`).
+fn scrubbed_dpr_model() {
+    use presp::runtime::scrubber::ScrubberDaemon;
+    let (mgr, tiles) = boot_checked();
+    let tile = tiles[0];
+    let scrubber = ScrubberDaemon::attach(&mgr);
+
+    let swapper = {
+        let mgr = mgr.clone();
+        presp::check::sync::spawn_named("swapper", move || {
+            mgr.reconfigure_blocking(tile, AcceleratorKind::Sort)
+                .unwrap();
+        })
+    };
+    let scrub_caller = {
+        let scrubber = scrubber.clone();
+        presp::check::sync::spawn_named("scrub_caller", move || {
+            let report = scrubber.scrub_blocking(tile).unwrap();
+            assert!(report.uncorrectable.is_empty());
+        })
+    };
+
+    // Main thread races a stats snapshot (manager → scrub_stats order)
+    // against both workers.
+    let _snapshot = scrubber.stats();
+    swapper.join().unwrap();
+    scrub_caller.join().unwrap();
+
+    let stats = mgr.stats();
+    assert!(stats.consistent(), "inconsistent stats: {stats:?}");
+    scrubber.shutdown();
+    mgr.shutdown();
+}
+
+#[test]
+fn scrubber_protocol_is_clean_across_schedules() {
+    let budget = schedule_budget();
+    let checker = Checker::new(Config {
+        max_schedules: budget,
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(scrubbed_dpr_model);
     assert!(report.ok(), "{report}");
     assert!(
         report.exhausted || report.schedules >= budget,

@@ -58,8 +58,12 @@ fn boot(seed: u64, rate: f64) -> (ReconfigManager, Vec<TileCoord>) {
     let tiles = cfg.reconfigurable_tiles();
     let mut registry = BitstreamRegistry::new();
     for (i, &tile) in tiles.iter().enumerate() {
-        registry.register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32));
-        registry.register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32));
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+        registry
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .unwrap();
     }
     (
         ReconfigManager::with_policy(soc, registry, stress_policy()),
@@ -297,6 +301,177 @@ fn fault_free_schedules_never_degrade() {
     }
 }
 
+// ---- scrubber-enabled seed matrix ---------------------------------------
+
+/// Everything observable about one scrubbed run; same-seed runs must be
+/// byte-identical down to the trace log.
+struct ScrubOutcome {
+    stats: ManagerStats,
+    quarantined: Vec<TileCoord>,
+    seu_events: usize,
+    repaired_events: usize,
+    trace: String,
+}
+
+/// Replays a seeded interleaving with SEUs striking configuration memory
+/// and a periodic scrub sweep interleaved with the request storm.
+fn run_scrubbed_schedule(seed: u64) -> ScrubOutcome {
+    use presp::events::trace::{log_lines, TraceEvent};
+    use presp::events::MemorySink;
+
+    let cfg = SocConfig::grid_3x3_reconf("scrub-stress", TILES).unwrap();
+    let mut soc = Soc::new(&cfg).unwrap();
+    // CRC faults exercise retry/fallback; SEUs (some double-bit) exercise
+    // the ECC repair and quarantine paths.
+    soc.set_fault_plan(Some(FaultPlan::new(
+        seed,
+        FaultConfig::uniform(0.08).with_seu(200.0, 0.15),
+    )));
+    let sink = MemorySink::shared();
+    soc.attach_tracer(sink.clone());
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    for (i, &tile) in tiles.iter().enumerate() {
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+        registry
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .unwrap();
+    }
+    let mut manager = ReconfigManager::with_policy(soc, registry, stress_policy());
+
+    let mut queues: Vec<VecDeque<(TileCoord, AcceleratorKind, AccelOp, AccelValue)>> = (0
+        ..APP_THREADS)
+        .map(|t| {
+            (0..OPS_PER_THREAD)
+                .map(|j| {
+                    let (kind, op, expected) = job_op(t, j);
+                    (tiles[(t + j) % tiles.len()], kind, op, expected)
+                })
+                .collect()
+        })
+        .collect();
+    let mut sched = SplitMix64::new(seed ^ 0x5C7B_5C7B_5C7B_5C7B);
+    let mut submitted = 0u64;
+    loop {
+        let alive: Vec<usize> = (0..queues.len())
+            .filter(|&i| !queues[i].is_empty())
+            .collect();
+        if alive.is_empty() {
+            break;
+        }
+        let pick = alive[sched.below(alive.len() as u64) as usize];
+        let (tile, kind, op, expected) = queues[pick].pop_front().unwrap();
+        submitted += 1;
+        // Invariant: no lost requests, even with the scrubber interleaved.
+        let (run, path) = manager
+            .run_with_fallback(tile, kind, &op)
+            .unwrap_or_else(|e| panic!("seed {seed}: lost request on {tile}: {e}"));
+        assert_eq!(
+            run.value, expected,
+            "seed {seed}: wrong result via {path:?}"
+        );
+        // Periodic scrub sweep, like a background scrubber waking up.
+        if submitted.is_multiple_of(4) {
+            let at = manager.makespan();
+            manager.scrub_all_at(at).unwrap();
+        }
+    }
+    assert_eq!(submitted, (APP_THREADS * OPS_PER_THREAD) as u64);
+
+    // Drain whatever struck during the storm, disarm the SEU source, and
+    // confirm: a final sweep over every non-quarantined tile must come
+    // back clean — every upset was repaired, or its tile quarantined.
+    let at = manager.makespan();
+    manager.scrub_all_at(at).unwrap();
+    manager.soc_mut().set_fault_plan(None);
+    let confirm = manager.scrub_all_at(manager.makespan()).unwrap();
+    for (tile, report) in &confirm {
+        assert!(
+            report.is_clean(),
+            "seed {seed}: latent damage on {tile} survived the final sweep"
+        );
+    }
+
+    let stats = manager.stats();
+    assert!(
+        stats.consistent(),
+        "seed {seed}: inconsistent stats {stats:?}"
+    );
+    let quarantined = manager.quarantined_tiles();
+    let records = sink.lock().unwrap().records().to_vec();
+    let seu_events = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::SeuInjected { .. }))
+        .count();
+    let repaired_events = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::FrameRepaired { .. }))
+        .count();
+    // Every repair the manager counted is visible in the trace.
+    assert_eq!(
+        repaired_events as u64, stats.frames_repaired,
+        "seed {seed}: trace and stats disagree on repairs"
+    );
+    // Every quarantine decision is visible in the trace.
+    let quarantine_events = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::Quarantine { entered: true, .. }))
+        .count() as u64;
+    assert!(
+        quarantine_events >= stats.scrub_quarantines,
+        "seed {seed}: scrub quarantines missing from the trace"
+    );
+    ScrubOutcome {
+        stats,
+        quarantined,
+        seu_events,
+        repaired_events,
+        trace: log_lines(&records),
+    }
+}
+
+#[test]
+fn scrubbed_seed_matrix_repairs_or_quarantines_every_upset() {
+    let mut total_seus = 0usize;
+    let mut total_repairs = 0usize;
+    let mut total_quarantines = 0u64;
+    for seed in 0..30 {
+        let outcome = run_scrubbed_schedule(seed);
+        total_seus += outcome.seu_events;
+        total_repairs += outcome.repaired_events;
+        total_quarantines += outcome.stats.scrub_quarantines;
+        assert_eq!(
+            !outcome.quarantined.is_empty(),
+            outcome.stats.quarantines >= 1
+        );
+    }
+    // The matrix must actually exercise both outcomes, not pass vacuously.
+    assert!(
+        total_seus > 50,
+        "SEUs were injected across seeds: {total_seus}"
+    );
+    assert!(total_repairs > 0, "some upsets were ECC-repaired");
+    assert!(
+        total_quarantines > 0,
+        "some double-bit upsets forced a quarantine"
+    );
+}
+
+#[test]
+fn scrubbed_runs_are_trace_identical_per_seed() {
+    for seed in [3, 11, 27] {
+        let first = run_scrubbed_schedule(seed);
+        let second = run_scrubbed_schedule(seed);
+        assert_eq!(first.stats, second.stats, "seed {seed} stats diverged");
+        assert_eq!(
+            first.trace, second.trace,
+            "seed {seed}: trace logs are not byte-identical"
+        );
+    }
+}
+
 #[test]
 fn os_thread_stress_with_faults_completes_and_shuts_down_cleanly() {
     let cfg = SocConfig::grid_3x3_reconf("os-stress", TILES).unwrap();
@@ -305,8 +480,12 @@ fn os_thread_stress_with_faults_completes_and_shuts_down_cleanly() {
     let tiles = cfg.reconfigurable_tiles();
     let mut registry = BitstreamRegistry::new();
     for (i, &tile) in tiles.iter().enumerate() {
-        registry.register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32));
-        registry.register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32));
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+        registry
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .unwrap();
     }
     let manager: ThreadedManager =
         ThreadedManager::spawn_with_policy(soc, registry, stress_policy());
