@@ -266,6 +266,33 @@ pub enum TraceEvent {
         /// Kernel kind.
         kind: String,
     },
+    /// A scheduler worker committed a queued request to the device core.
+    SchedDispatch {
+        /// The tile whose queue the request travelled through.
+        tile: Loc,
+        /// Global admission ticket (commit order across all tiles).
+        ticket: u64,
+        /// Backlog depth of the tile's queue when the request was
+        /// admitted (the request itself included).
+        depth: u64,
+    },
+    /// A queued reconfiguration folded into an identical pending one.
+    RequestCoalesced {
+        /// The tile.
+        tile: Loc,
+        /// Accelerator kind.
+        kind: String,
+        /// Callers answered by the single underlying reconfiguration.
+        waiters: u64,
+    },
+    /// A verified partial bitstream was served from the LRU cache,
+    /// skipping the registry's integrity re-check.
+    PbsCacheHit {
+        /// The tile.
+        tile: Loc,
+        /// Accelerator kind.
+        kind: String,
+    },
     /// One WAMI pipeline stage of one frame.
     FrameStage {
         /// Frame index.
@@ -324,6 +351,9 @@ impl TraceEvent {
             TraceEvent::Quarantine { .. } => "quarantine",
             TraceEvent::BitstreamCacheHit { .. } => "bitstream.cache_hit",
             TraceEvent::CpuFallback { .. } => "cpu.fallback",
+            TraceEvent::SchedDispatch { .. } => "sched.dispatch",
+            TraceEvent::RequestCoalesced { .. } => "sched.coalesced",
+            TraceEvent::PbsCacheHit { .. } => "pbs_cache.hit",
             TraceEvent::FrameStage { .. } => "frame.stage",
             TraceEvent::FrameDone { .. } => "frame",
             TraceEvent::FlowStage { .. } => "flow.stage",
@@ -351,7 +381,10 @@ impl TraceEvent {
             | TraceEvent::RetryBackoff { .. }
             | TraceEvent::Quarantine { .. }
             | TraceEvent::BitstreamCacheHit { .. }
-            | TraceEvent::CpuFallback { .. } => "runtime",
+            | TraceEvent::CpuFallback { .. }
+            | TraceEvent::SchedDispatch { .. }
+            | TraceEvent::RequestCoalesced { .. }
+            | TraceEvent::PbsCacheHit { .. } => "runtime",
             TraceEvent::FrameStage { .. } | TraceEvent::FrameDone { .. } => "wami",
             TraceEvent::FlowStage { .. } | TraceEvent::BitstreamGenerated { .. } => "cad",
         }
@@ -493,6 +526,27 @@ impl TraceEvent {
                 vec![("tile", loc(*tile)), ("kind", s(kind))]
             }
             TraceEvent::CpuFallback { kind } => vec![("kind", s(kind))],
+            TraceEvent::SchedDispatch {
+                tile,
+                ticket,
+                depth,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("ticket", n(*ticket)),
+                ("depth", n(*depth)),
+            ],
+            TraceEvent::RequestCoalesced {
+                tile,
+                kind,
+                waiters,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("kind", s(kind)),
+                ("waiters", n(*waiters)),
+            ],
+            TraceEvent::PbsCacheHit { tile, kind } => {
+                vec![("tile", loc(*tile)), ("kind", s(kind))]
+            }
             TraceEvent::FrameStage { frame, stage } => {
                 vec![("frame", n(*frame)), ("stage", s(stage))]
             }
@@ -926,6 +980,20 @@ mod tests {
                 kind: "mac".into(),
             },
             TraceEvent::CpuFallback { kind: "mac".into() },
+            TraceEvent::SchedDispatch {
+                tile: loc,
+                ticket: 7,
+                depth: 2,
+            },
+            TraceEvent::RequestCoalesced {
+                tile: loc,
+                kind: "mac".into(),
+                waiters: 3,
+            },
+            TraceEvent::PbsCacheHit {
+                tile: loc,
+                kind: "mac".into(),
+            },
             TraceEvent::FrameStage {
                 frame: 0,
                 stage: "debayer".into(),

@@ -1,0 +1,221 @@
+//! LRU cache of verified partial bitstreams.
+//!
+//! [`crate::registry::BitstreamRegistry::lookup`] re-verifies the stored
+//! stream's build-time integrity checksum on every call — the right
+//! default for a safety-critical load path, but pure overhead when the
+//! same working set of (tile, accelerator) pairs swaps back and forth
+//! under load. [`BitstreamCache`] fronts the registry with a bounded LRU
+//! of already-verified streams: a hit returns a cheap `Arc` clone and
+//! skips the re-verification; a miss pays the full verified lookup once
+//! and caches the result.
+//!
+//! A capacity of zero disables the cache entirely (every lookup goes to
+//! the registry) — the default for the deterministic
+//! [`crate::manager::ReconfigManager`], whose trace log is a
+//! semantics-preservation oracle and must not change.
+
+use crate::error::Error;
+use crate::registry::BitstreamRegistry;
+use crate::sync::Arc;
+use presp_accel::catalog::AcceleratorKind;
+use presp_fpga::bitstream::Bitstream;
+use presp_soc::config::TileCoord;
+use std::collections::BTreeMap;
+
+/// Hit/miss counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache (integrity re-check skipped).
+    pub hits: u64,
+    /// Lookups that went through to the verified registry path.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU of verified bitstreams keyed by (tile, accelerator).
+#[derive(Debug, Default)]
+pub struct BitstreamCache {
+    capacity: usize,
+    entries: BTreeMap<(TileCoord, AcceleratorKind), Entry>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+#[derive(Debug)]
+struct Entry {
+    stream: Arc<Bitstream>,
+    last_used: u64,
+}
+
+impl BitstreamCache {
+    /// A cache holding at most `capacity` verified streams. Zero disables
+    /// caching: every lookup re-verifies through the registry.
+    pub fn new(capacity: usize) -> BitstreamCache {
+        BitstreamCache {
+            capacity,
+            ..BitstreamCache::default()
+        }
+    }
+
+    /// A disabled cache (capacity zero).
+    pub fn disabled() -> BitstreamCache {
+        BitstreamCache::new(0)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up the verified stream for `(tile, kind)`, going to
+    /// `registry` (which re-verifies integrity) only on a miss. Returns
+    /// whether the lookup hit alongside the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::registry::BitstreamRegistry::lookup`] errors
+    /// on the miss path.
+    pub fn lookup(
+        &mut self,
+        registry: &BitstreamRegistry,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+    ) -> Result<(Arc<Bitstream>, bool), Error> {
+        self.stamp += 1;
+        if self.capacity > 0 {
+            if let Some(entry) = self.entries.get_mut(&(tile, kind)) {
+                entry.last_used = self.stamp;
+                self.stats.hits += 1;
+                return Ok((Arc::clone(&entry.stream), true));
+            }
+        }
+        self.stats.misses += 1;
+        let stream = Arc::new(registry.lookup(tile, kind)?.clone());
+        if self.capacity > 0 {
+            if self.entries.len() >= self.capacity {
+                // Evict the least-recently-used entry.
+                if let Some(&victim) = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k)
+                {
+                    self.entries.remove(&victim);
+                    self.stats.evictions += 1;
+                }
+            }
+            self.entries.insert(
+                (tile, kind),
+                Entry {
+                    stream: Arc::clone(&stream),
+                    last_used: self.stamp,
+                },
+            );
+        }
+        Ok((stream, false))
+    }
+
+    /// Drops the cached entry for `(tile, kind)`, if any — e.g. after the
+    /// registry's stream was replaced.
+    pub fn invalidate(&mut self, tile: TileCoord, kind: AcceleratorKind) {
+        self.entries.remove(&(tile, kind));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presp_fpga::bitstream::{BitstreamBuilder, BitstreamKind};
+    use presp_fpga::frame::FrameAddress;
+    use presp_fpga::part::FpgaPart;
+
+    fn registry_with(pairs: &[(TileCoord, AcceleratorKind, u32)]) -> BitstreamRegistry {
+        let device = FpgaPart::Vc707.device();
+        let mut registry = BitstreamRegistry::new();
+        for &(tile, kind, col) in pairs {
+            let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+            let words = device.part().family().frame_words();
+            b.add_frame(FrameAddress::new(0, col, 0), vec![col; words])
+                .unwrap();
+            registry.register(tile, kind, b.build(true)).unwrap();
+        }
+        registry
+    }
+
+    #[test]
+    fn second_lookup_hits_and_skips_reverification() {
+        let t = TileCoord::new(1, 0);
+        let registry = registry_with(&[(t, AcceleratorKind::Mac, 2)]);
+        let mut cache = BitstreamCache::new(4);
+        let (_, hit) = cache.lookup(&registry, t, AcceleratorKind::Mac).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.lookup(&registry, t, AcceleratorKind::Mac).unwrap();
+        assert!(hit);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.stats().hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let t = TileCoord::new(1, 0);
+        let registry = registry_with(&[
+            (t, AcceleratorKind::Mac, 2),
+            (t, AcceleratorKind::Sort, 3),
+            (t, AcceleratorKind::Gemm, 4),
+        ]);
+        let mut cache = BitstreamCache::new(2);
+        cache.lookup(&registry, t, AcceleratorKind::Mac).unwrap();
+        cache.lookup(&registry, t, AcceleratorKind::Sort).unwrap();
+        // Touch Mac so Sort becomes the LRU victim.
+        cache.lookup(&registry, t, AcceleratorKind::Mac).unwrap();
+        cache.lookup(&registry, t, AcceleratorKind::Gemm).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, hit) = cache.lookup(&registry, t, AcceleratorKind::Mac).unwrap();
+        assert!(hit, "the recently-touched entry survived");
+        let (_, hit) = cache.lookup(&registry, t, AcceleratorKind::Sort).unwrap();
+        assert!(!hit, "the LRU entry was evicted");
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let t = TileCoord::new(1, 0);
+        let registry = registry_with(&[(t, AcceleratorKind::Mac, 2)]);
+        let mut cache = BitstreamCache::disabled();
+        for _ in 0..3 {
+            let (_, hit) = cache.lookup(&registry, t, AcceleratorKind::Mac).unwrap();
+            assert!(!hit);
+        }
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn miss_on_unregistered_pair_propagates() {
+        let t = TileCoord::new(1, 0);
+        let registry = registry_with(&[]);
+        let mut cache = BitstreamCache::new(4);
+        assert!(matches!(
+            cache.lookup(&registry, t, AcceleratorKind::Mac),
+            Err(Error::BitstreamNotRegistered { .. })
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! The device core: the genuinely shared half of the sharded runtime.
+//!
+//! After the god-object split, everything whose consistency is *per-tile*
+//! lives in a tile shard ([`crate::tile`]); what remains here is the
+//! state every request on every tile contends for no matter how the
+//! runtime is sharded: the SoC simulator (one ICAP/DFXC write port, one
+//! configuration memory, one NoC and their shared virtual-time
+//! timelines), the aggregate [`crate::manager::ManagerStats`], the
+//! [`crate::registry::BitstreamRegistry`] and the
+//! [`crate::cache::BitstreamCache`] fronting it.
+//!
+//! On the deterministic path the [`crate::manager::ReconfigManager`] owns
+//! a `DeviceCore` directly; on the OS-threaded path the
+//! [`crate::scheduler`] wraps it in a single mutex (label `"core"`) that
+//! is held only for the serial ICAP/NoC portion of each request — the
+//! short critical section the multi-worker scheduler is built around.
+
+use crate::cache::{BitstreamCache, CacheStats};
+use crate::error::Error;
+use crate::manager::ManagerStats;
+use crate::registry::BitstreamRegistry;
+use crate::sync::Arc;
+use presp_accel::catalog::AcceleratorKind;
+use presp_events::trace::ClockDomain;
+use presp_events::{Loc, TraceEvent};
+use presp_fpga::bitstream::Bitstream;
+use presp_soc::config::TileCoord;
+use presp_soc::sim::Soc;
+
+/// The tile's location as a trace record coordinate.
+pub(crate) fn loc(coord: TileCoord) -> Loc {
+    Loc::new(coord.row as u64, coord.col as u64)
+}
+
+/// The shared device resources: SoC, registry (+ verified-bitstream
+/// cache) and aggregate statistics.
+#[derive(Debug)]
+pub struct DeviceCore {
+    soc: Soc,
+    registry: BitstreamRegistry,
+    cache: BitstreamCache,
+    stats: ManagerStats,
+}
+
+impl DeviceCore {
+    /// A core over a booted SoC and a loaded registry. `cache` fronts the
+    /// registry's verified lookups; pass
+    /// [`BitstreamCache::disabled`] to re-verify on every load.
+    pub(crate) fn new(soc: Soc, registry: BitstreamRegistry, cache: BitstreamCache) -> DeviceCore {
+        DeviceCore {
+            soc,
+            registry,
+            cache,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The underlying SoC.
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// Mutable access to the underlying SoC.
+    pub fn soc_mut(&mut self) -> &mut Soc {
+        &mut self.soc
+    }
+
+    /// Consumes the core, returning the SoC.
+    pub(crate) fn into_soc(self) -> Soc {
+        self.soc
+    }
+
+    /// The bitstream registry.
+    pub fn registry(&self) -> &BitstreamRegistry {
+        &self.registry
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Mutable access to the aggregate statistics.
+    pub(crate) fn stats_mut(&mut self) -> &mut ManagerStats {
+        &mut self.stats
+    }
+
+    /// Hit/miss counters of the verified-bitstream cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Replaces the verified-bitstream cache (e.g. to change capacity).
+    pub(crate) fn set_cache(&mut self, cache: BitstreamCache) {
+        self.cache = cache;
+    }
+
+    /// The verified bitstream for `(tile, kind)`, served from the LRU
+    /// cache when possible. A hit skips the registry's integrity re-check
+    /// and is traced as [`TraceEvent::PbsCacheHit`] at cycle `at`; a miss
+    /// pays the full verified lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BitstreamRegistry::lookup`] errors on the miss path.
+    pub(crate) fn fetch_bitstream(
+        &mut self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        at: u64,
+    ) -> Result<Arc<Bitstream>, Error> {
+        let (stream, hit) = self.cache.lookup(&self.registry, tile, kind)?;
+        if hit {
+            self.soc
+                .tracer_mut()
+                .instant(ClockDomain::SocCycles, at, || TraceEvent::PbsCacheHit {
+                    tile: loc(tile),
+                    kind: kind.name(),
+                });
+        }
+        Ok(stream)
+    }
+}

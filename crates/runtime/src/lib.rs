@@ -10,15 +10,24 @@
 //! * [`manager`] — the reconfiguration manager: wait-for-idle semantics,
 //!   per-tile locking during reconfiguration, decouple → DFXC → re-couple →
 //!   driver-swap sequencing, and reconfiguration statistics.
-//! * [`threaded`] — the workqueue demonstrator: real OS threads submit
-//!   requests through an mpsc channel into a worker (the analogue of
-//!   the kernel workqueue), with mutex/condvar locks guarding the device.
-//!   Generic over [`sync::SyncFacade`], so the same protocol runs in
-//!   production (`std::sync`) and under the `presp-check` model checker.
-//! * [`scrubber`] — the configuration-memory scrubber daemon: a second
-//!   worker sharing the manager's device lock that walks configuration
-//!   frames, repairs SEUs with the per-frame ECC, and quarantines tiles
-//!   with uncorrectable damage. Model-checked alongside the manager.
+//! * [`tile`] / [`device`] — the sharded state split: per-tile
+//!   bookkeeping lives in one [`tile::TileState`] per tile, while the
+//!   genuinely shared resources (ICAP/DFXC timelines, configuration
+//!   memory, NoC, the registry and its verified-bitstream [`cache`])
+//!   live in one [`device::DeviceCore`].
+//! * [`scheduler`] — the multi-worker scheduler: per-tile request
+//!   queues drained by a worker pool, with request coalescing, a
+//!   commit-order ticket gate that keeps results identical for any
+//!   worker count, and lock-free evaluation of behavioral results.
+//! * [`threaded`] — the workqueue front-end over the scheduler: blocking
+//!   and asynchronous submission APIs for real OS threads. Generic over
+//!   [`sync::SyncFacade`], so the same protocol runs in production
+//!   (`std::sync`) and under the `presp-check` model checker.
+//! * [`scrubber`] — the configuration-memory scrubber daemon: a
+//!   maintenance worker sharing the scheduler's tile shards and device
+//!   core that walks configuration frames, repairs SEUs with the
+//!   per-frame ECC, and quarantines tiles with uncorrectable damage.
+//!   Model-checked alongside the scheduler.
 //! * [`sync`] — the sync facade: the runtime's only doorway to
 //!   synchronization primitives, enforced by the `presp-lint` tool.
 //! * [`app`] — the WAMI application scheduler: maps the Fig. 3 dataflow
@@ -56,13 +65,18 @@
 //! ```
 
 pub mod app;
+pub mod cache;
+pub mod device;
 pub mod driver;
 pub mod error;
 pub mod manager;
+pub(crate) mod protocol;
 pub mod registry;
+pub mod scheduler;
 pub mod scrubber;
 pub mod sync;
 pub mod threaded;
+pub mod tile;
 
 pub use error::Error;
 pub use manager::{ExecPath, ReconfigManager, RecoveryPolicy, TileHealth};

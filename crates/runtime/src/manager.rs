@@ -14,24 +14,31 @@
 //! path so application-level work still completes. A tile whose load
 //! failed is always left decoupled — a partially-written wrapper must
 //! never observe NoC traffic.
+//!
+//! Structurally the manager is a thin deterministic facade over the
+//! sharded runtime: per-tile bookkeeping lives in [`crate::tile`] shards,
+//! the genuinely shared device resources in a [`crate::device::DeviceCore`],
+//! and the protocol itself in `protocol` functions shared verbatim with
+//! the OS-threaded [`crate::scheduler::Scheduler`]. The facade calls them
+//! single-threaded, in submission order, with the verified-bitstream
+//! cache disabled — which is what makes its trace log a pure function of
+//! the seeds.
 
-use crate::driver::DriverTable;
+use crate::cache::{BitstreamCache, CacheStats};
+use crate::device::DeviceCore;
+use crate::driver::DriverEvent;
 use crate::error::Error;
+use crate::protocol;
 use crate::registry::BitstreamRegistry;
+use crate::tile::TileState;
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::AccelOp;
-use presp_events::trace::ClockDomain;
-use presp_events::{backoff, Loc, TraceEvent};
-use presp_fpga::fault::FaultPlan;
 use presp_soc::config::TileCoord;
-use presp_soc::sim::{csr, AccelRun, ReconfigRun, ScrubReport, Soc};
+use presp_soc::sim::{AccelRun, ReconfigRun, ScrubReport, Soc};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
-/// The tile's location as a trace record coordinate.
-fn loc(coord: TileCoord) -> Loc {
-    Loc::new(coord.row as u64, coord.col as u64)
-}
+pub use crate::tile::TileHealth;
 
 /// How the manager responds to reconfiguration failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,28 +69,6 @@ impl Default for RecoveryPolicy {
     }
 }
 
-/// Configuration-memory health of one reconfigurable tile, as tracked by
-/// the scrubbing machinery.
-///
-/// `Healthy → Scrubbing → {Healthy, Degraded, Quarantined}`: a scrub pass
-/// moves the tile through `Scrubbing`; a clean readback returns it to
-/// `Healthy`, repaired single-bit upsets leave it `Degraded` (the fabric
-/// is correct again but took hits), and an uncorrectable upset removes it
-/// from service. A successful reconfiguration rewrites every frame and
-/// resets the tile to `Healthy`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum TileHealth {
-    /// No known upsets.
-    Healthy,
-    /// A scrub pass is reading the tile's frames back.
-    Scrubbing,
-    /// Correctable upsets were detected and repaired by the last pass.
-    Degraded,
-    /// An uncorrectable upset (or repeated load failure) removed the tile
-    /// from service; work degrades to the CPU until it is restored.
-    Quarantined,
-}
-
 /// Which path actually executed an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecPath {
@@ -97,8 +82,8 @@ pub enum ExecPath {
 ///
 /// The reconfiguration counters satisfy the bookkeeping invariant checked
 /// by [`ManagerStats::consistent`]: every request is accounted exactly
-/// once as a performed reconfiguration, a cache hit, a retry-exhausted
-/// failure or a rejection.
+/// once as a performed reconfiguration, a cache hit, a coalesced
+/// duplicate, a retry-exhausted failure or a rejection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ManagerStats {
     /// Reconfiguration requests received (including ones that failed).
@@ -108,6 +93,11 @@ pub struct ManagerStats {
     /// Requests satisfied without reconfiguring (accelerator already
     /// loaded).
     pub cache_hits: u64,
+    /// Requests folded into an identical in-flight or queued request and
+    /// answered by its single underlying reconfiguration (the threaded
+    /// scheduler's request coalescing; the deterministic manager never
+    /// coalesces).
+    pub coalesced: u64,
     /// Requests that failed every attempt the recovery policy allowed.
     pub retries_exhausted: u64,
     /// Requests rejected without retry (quarantined tile, unregistered
@@ -138,25 +128,23 @@ impl ManagerStats {
     /// none is counted twice.
     pub fn consistent(&self) -> bool {
         self.reconfig_requests
-            == self.reconfigurations + self.cache_hits + self.retries_exhausted + self.rejected
+            == self.reconfigurations
+                + self.cache_hits
+                + self.coalesced
+                + self.retries_exhausted
+                + self.rejected
     }
 }
 
 /// The deterministic (virtual-time) reconfiguration manager.
 ///
 /// See the crate-level example for usage; [`crate::threaded`] wraps the
-/// same protocol in an OS-thread workqueue.
+/// same protocol in an OS-thread worker pool.
 #[derive(Debug)]
 pub struct ReconfigManager {
-    soc: Soc,
-    registry: BitstreamRegistry,
-    drivers: DriverTable,
-    tile_time: BTreeMap<TileCoord, u64>,
-    stats: ManagerStats,
+    tiles: BTreeMap<TileCoord, TileState>,
+    core: DeviceCore,
     policy: RecoveryPolicy,
-    quarantined: BTreeSet<TileCoord>,
-    failure_streak: BTreeMap<TileCoord, u32>,
-    health: BTreeMap<TileCoord, TileHealth>,
 }
 
 impl ReconfigManager {
@@ -173,15 +161,9 @@ impl ReconfigManager {
         policy: RecoveryPolicy,
     ) -> ReconfigManager {
         ReconfigManager {
-            soc,
-            registry,
-            drivers: DriverTable::new(),
-            tile_time: BTreeMap::new(),
-            stats: ManagerStats::default(),
+            tiles: BTreeMap::new(),
+            core: DeviceCore::new(soc, registry, BitstreamCache::disabled()),
             policy,
-            quarantined: BTreeSet::new(),
-            failure_streak: BTreeMap::new(),
-            health: BTreeMap::new(),
         }
     }
 
@@ -195,24 +177,38 @@ impl ReconfigManager {
         self.policy = policy;
     }
 
+    /// Enables (capacity > 0) or disables (capacity 0) the LRU cache of
+    /// verified bitstreams in front of the registry. Disabled by default:
+    /// the deterministic manager's trace log doubles as a
+    /// semantics-preservation oracle and must not gain cache events.
+    pub fn set_bitstream_cache_capacity(&mut self, capacity: usize) {
+        self.core.set_cache(BitstreamCache::new(capacity));
+    }
+
+    /// Hit/miss counters of the verified-bitstream cache.
+    pub fn bitstream_cache_stats(&self) -> CacheStats {
+        self.core.cache_stats()
+    }
+
     /// Whether `tile` is quarantined.
     pub fn is_quarantined(&self, tile: TileCoord) -> bool {
-        self.quarantined.contains(&tile)
+        self.tiles.get(&tile).is_some_and(TileState::is_quarantined)
     }
 
     /// All quarantined tiles, in coordinate order.
     pub fn quarantined_tiles(&self) -> Vec<TileCoord> {
-        self.quarantined.iter().copied().collect()
+        self.tiles
+            .values()
+            .filter(|s| s.is_quarantined())
+            .map(TileState::coord)
+            .collect()
     }
 
     /// Configuration-memory health of `tile`.
     pub fn tile_health(&self, tile: TileCoord) -> TileHealth {
-        if self.quarantined.contains(&tile) {
-            return TileHealth::Quarantined;
-        }
-        self.health
+        self.tiles
             .get(&tile)
-            .copied()
+            .map(TileState::health)
             .unwrap_or(TileHealth::Healthy)
     }
 
@@ -230,43 +226,11 @@ impl ReconfigManager {
     /// Returns [`Error::TileQuarantined`] for already-quarantined tiles,
     /// plus SoC-level frame errors.
     pub fn scrub_tile_at(&mut self, tile: TileCoord, at: u64) -> Result<ScrubReport, Error> {
-        if self.quarantined.contains(&tile) {
-            return Err(Error::TileQuarantined { tile });
-        }
-        let region = self.soc.tile_region(tile);
-        self.health.insert(tile, TileHealth::Scrubbing);
-        let report = match self.soc.scrub_frames_at(&region, at) {
-            Ok(report) => report,
-            Err(e) => {
-                self.health.insert(tile, TileHealth::Healthy);
-                return Err(e.into());
-            }
-        };
-        self.stats.scrub_passes += 1;
-        self.stats.frames_repaired += report.corrected.len() as u64;
-        if !report.uncorrectable.is_empty() {
-            // An uncorrectable upset: the fabric cannot be trusted, so the
-            // tile leaves service exactly like a retry-exhausted tile — the
-            // driver is unloaded and further requests degrade to the CPU.
-            self.drivers.remove(tile);
-            self.health.insert(tile, TileHealth::Quarantined);
-            if self.quarantined.insert(tile) {
-                self.stats.quarantines += 1;
-                self.stats.scrub_quarantines += 1;
-                let now = self.soc.horizon();
-                self.soc
-                    .tracer_mut()
-                    .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
-                        tile: loc(tile),
-                        entered: true,
-                    });
-            }
-        } else if report.corrected.is_empty() {
-            self.health.insert(tile, TileHealth::Healthy);
-        } else {
-            self.health.insert(tile, TileHealth::Degraded);
-        }
-        Ok(report)
+        let shard = self
+            .tiles
+            .entry(tile)
+            .or_insert_with(|| TileState::new(tile));
+        protocol::scrub_tile_at(shard, &mut self.core, at)
     }
 
     /// Scrubs every tile that has been loaded at least once, in coordinate
@@ -278,11 +242,12 @@ impl ReconfigManager {
     /// Propagates SoC-level frame errors.
     pub fn scrub_all_at(&mut self, at: u64) -> Result<Vec<(TileCoord, ScrubReport)>, Error> {
         let mut tiles: Vec<TileCoord> = self
-            .soc
+            .core
+            .soc()
             .config()
             .reconfigurable_tiles()
             .into_iter()
-            .filter(|t| !self.quarantined.contains(t) && !self.soc.tile_region(*t).is_empty())
+            .filter(|t| !self.is_quarantined(*t) && !self.core.soc().tile_region(*t).is_empty())
             .collect();
         tiles.sort_unstable();
         let mut reports = Vec::with_capacity(tiles.len());
@@ -302,62 +267,69 @@ impl ReconfigManager {
     ///
     /// Propagates the SoC error when no golden image exists.
     pub fn restore_golden(&mut self, tile: TileCoord) -> Result<usize, Error> {
-        let frames = self.soc.restore_golden(tile)?;
-        self.health.insert(tile, TileHealth::Healthy);
-        Ok(frames)
+        let shard = self
+            .tiles
+            .entry(tile)
+            .or_insert_with(|| TileState::new(tile));
+        protocol::restore_golden(shard, &mut self.core)
     }
 
     /// Releases `tile` from quarantine (e.g. after operator intervention),
     /// clearing its failure streak. Returns whether it was quarantined.
     pub fn release_quarantine(&mut self, tile: TileCoord) -> bool {
-        self.failure_streak.remove(&tile);
-        self.health.remove(&tile);
-        let released = self.quarantined.remove(&tile);
-        if released {
-            let now = self.soc.horizon();
-            self.soc
-                .tracer_mut()
-                .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
-                    tile: loc(tile),
-                    entered: false,
-                });
-        }
-        released
+        let shard = self
+            .tiles
+            .entry(tile)
+            .or_insert_with(|| TileState::new(tile));
+        protocol::release_quarantine(shard, &mut self.core)
     }
 
     /// The underlying SoC (for inspection).
     pub fn soc(&self) -> &Soc {
-        &self.soc
+        self.core.soc()
     }
 
     /// Mutable access to the underlying SoC (e.g. to arm a fault plan).
     pub fn soc_mut(&mut self) -> &mut Soc {
-        &mut self.soc
+        self.core.soc_mut()
     }
 
     /// Consumes the manager, returning the SoC (e.g. for energy reports).
     pub fn into_soc(self) -> Soc {
-        self.soc
+        self.core.into_soc()
     }
 
     /// Manager statistics.
     pub fn stats(&self) -> ManagerStats {
-        self.stats
+        self.core.stats()
     }
 
-    /// The driver table (for inspection).
-    pub fn drivers(&self) -> &DriverTable {
-        &self.drivers
+    /// The driver currently bound to `tile`.
+    pub fn active_driver(&self, tile: TileCoord) -> Option<AcceleratorKind> {
+        self.tiles.get(&tile).and_then(TileState::active_driver)
+    }
+
+    /// Whether `tile`'s active driver services operations of `kind`.
+    pub fn driver_services(&self, tile: TileCoord, kind: AcceleratorKind) -> bool {
+        self.tiles.get(&tile).is_some_and(|s| s.services(kind))
+    }
+
+    /// The driver lifecycle events recorded on `tile`, oldest first.
+    pub fn driver_events(&self, tile: TileCoord) -> Vec<DriverEvent> {
+        self.tiles
+            .get(&tile)
+            .map(|s| s.driver_events().to_vec())
+            .unwrap_or_default()
     }
 
     /// Virtual time at which `tile` becomes idle.
     pub fn tile_idle_at(&self, tile: TileCoord) -> u64 {
-        self.tile_time.get(&tile).copied().unwrap_or(0)
+        self.tiles.get(&tile).map(TileState::idle_at).unwrap_or(0)
     }
 
     /// Latest completion across all tiles (the application makespan).
     pub fn makespan(&self) -> u64 {
-        self.soc.horizon()
+        self.core.soc().horizon()
     }
 
     /// Ensures `kind` is loaded in `tile`, reconfiguring if needed, with the
@@ -387,189 +359,11 @@ impl ReconfigManager {
         kind: AcceleratorKind,
         at: u64,
     ) -> Result<Option<ReconfigRun>, Error> {
-        self.stats.reconfig_requests += 1;
-        if self.quarantined.contains(&tile) {
-            self.stats.rejected += 1;
-            return Err(Error::TileQuarantined { tile });
-        }
-        if self.drivers.services(tile, kind) {
-            self.stats.cache_hits += 1;
-            self.soc
-                .tracer_mut()
-                .instant(ClockDomain::SocCycles, at, || {
-                    TraceEvent::BitstreamCacheHit {
-                        tile: loc(tile),
-                        kind: kind.name(),
-                    }
-                });
-            return Ok(None);
-        }
-        // A pair that was never registered — or whose stored stream fails
-        // its integrity re-check — is a permanent error; transient
-        // staleness is injected per attempt below.
-        if let Err(e) = self.registry.lookup(tile, kind) {
-            self.stats.rejected += 1;
-            return Err(e);
-        }
-        // Wait for the accelerator in the tile to complete its execution.
-        let idle = at.max(self.tile_idle_at(tile));
-        // Unregister the outgoing driver: from here until probe, other
-        // threads' submissions fail fast instead of touching a tile that is
-        // being rewritten.
-        self.drivers.remove(tile);
-        let mut decoupled_at: Option<u64> = None;
-        let mut when = idle;
-        let mut attempts = 0u32;
-        loop {
-            attempts += 1;
-            match self.attempt_load(tile, kind, when, &mut decoupled_at) {
-                Ok(reconf) => {
-                    let coupled = match self.soc.csr_write_at(tile, csr::DECOUPLE, 0, reconf.end) {
-                        Ok(t) => t,
-                        Err(e) => {
-                            self.stats.rejected += 1;
-                            return Err(e.into());
-                        }
-                    };
-                    self.soc.tracer_mut().emit(
-                        ClockDomain::SocCycles,
-                        reconf.start,
-                        coupled - reconf.start,
-                        || TraceEvent::ReconfigAttempt {
-                            tile: loc(tile),
-                            kind: kind.name(),
-                            attempt: u64::from(attempts),
-                            ok: true,
-                        },
-                    );
-                    self.drivers.probe(tile, kind);
-                    self.tile_time.insert(tile, coupled);
-                    self.failure_streak.remove(&tile);
-                    // Every frame of the region was rewritten (and its
-                    // golden image refreshed): the tile is healthy again.
-                    self.health.insert(tile, TileHealth::Healthy);
-                    self.stats.reconfigurations += 1;
-                    self.stats.reconfig_cycles += coupled - idle;
-                    return Ok(Some(ReconfigRun {
-                        end: coupled,
-                        ..reconf
-                    }));
-                }
-                Err(e) if Self::is_transient(&e) => {
-                    let failed_at = self.soc.horizon().max(when);
-                    self.soc.tracer_mut().emit(
-                        ClockDomain::SocCycles,
-                        when,
-                        failed_at - when,
-                        || TraceEvent::ReconfigAttempt {
-                            tile: loc(tile),
-                            kind: kind.name(),
-                            attempt: u64::from(attempts),
-                            ok: false,
-                        },
-                    );
-                    if attempts > self.policy.max_retries {
-                        return self.give_up(tile, kind, attempts);
-                    }
-                    self.stats.retries += 1;
-                    let backoff = backoff::exponential(
-                        self.policy.backoff_cycles,
-                        self.policy.backoff_multiplier,
-                        attempts,
-                    );
-                    self.soc
-                        .tracer_mut()
-                        .emit(ClockDomain::SocCycles, failed_at, backoff, || {
-                            TraceEvent::RetryBackoff {
-                                tile: loc(tile),
-                                attempt: u64::from(attempts),
-                                cycles: backoff,
-                            }
-                        });
-                    when = failed_at.saturating_add(backoff);
-                }
-                Err(e) => {
-                    self.stats.rejected += 1;
-                    return Err(e);
-                }
-            }
-        }
-    }
-
-    /// One load attempt: (re-)read the registry, decouple if this is the
-    /// first attempt, and trigger the DFXC.
-    fn attempt_load(
-        &mut self,
-        tile: TileCoord,
-        kind: AcceleratorKind,
-        when: u64,
-        decoupled_at: &mut Option<u64>,
-    ) -> Result<ReconfigRun, Error> {
-        // Fault hook: a stale registry read fails this attempt at the
-        // software level; the retry re-reads the registry.
-        if self
-            .soc
-            .fault_plan_mut()
-            .is_some_and(FaultPlan::next_registry_miss)
-        {
-            return Err(Error::BitstreamNotRegistered { tile, kind });
-        }
-        let bitstream = self.registry.lookup(tile, kind)?.clone();
-        let start = match *decoupled_at {
-            // Still decoupled from the previous failed attempt.
-            Some(t) => t.max(when),
-            None => {
-                let t = self.soc.csr_write_at(tile, csr::DECOUPLE, 1, when)?;
-                *decoupled_at = Some(t);
-                t
-            }
-        };
-        Ok(self.soc.reconfigure_at(tile, kind, &bitstream, start)?)
-    }
-
-    /// Whether a failed attempt is worth retrying: data corruption caught
-    /// in flight and stale software state are; protocol violations and
-    /// wrong-device bitstreams are not.
-    fn is_transient(e: &Error) -> bool {
-        match e {
-            Error::BitstreamNotRegistered { .. } => true,
-            Error::Soc(presp_soc::Error::Fpga(fe)) => matches!(
-                fe,
-                presp_fpga::Error::CrcMismatch { .. }
-                    | presp_fpga::Error::MalformedBitstream { .. }
-            ),
-            _ => false,
-        }
-    }
-
-    /// Ends a request whose every attempt failed: the tile stays decoupled
-    /// (isolated), its failure streak grows, and repeated exhaustion
-    /// quarantines it.
-    fn give_up(
-        &mut self,
-        tile: TileCoord,
-        kind: AcceleratorKind,
-        attempts: u32,
-    ) -> Result<Option<ReconfigRun>, Error> {
-        self.stats.retries_exhausted += 1;
-        let now = self.soc.horizon();
-        self.tile_time.insert(tile, now);
-        let streak = self.failure_streak.entry(tile).or_insert(0);
-        *streak += 1;
-        if *streak >= self.policy.quarantine_after && self.quarantined.insert(tile) {
-            self.stats.quarantines += 1;
-            self.soc
-                .tracer_mut()
-                .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
-                    tile: loc(tile),
-                    entered: true,
-                });
-        }
-        Err(Error::RetriesExhausted {
-            tile,
-            kind,
-            attempts,
-        })
+        let shard = self
+            .tiles
+            .entry(tile)
+            .or_insert_with(|| TileState::new(tile));
+        protocol::request_reconfiguration_at(shard, &mut self.core, &self.policy, kind, at)
     }
 
     /// [`Self::request_reconfiguration_at`] at the tile's own idle time.
@@ -593,21 +387,11 @@ impl ReconfigManager {
     /// Returns [`Error::NoDriver`] when the tile's active driver does not
     /// service the operation (e.g. mid-reconfiguration), plus SoC errors.
     pub fn run_at(&mut self, tile: TileCoord, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
-        let active = self.drivers.active(tile).ok_or(Error::NoDriver {
-            tile,
-            needed: op.kind(),
-        })?;
-        if !op.runs_on(active) {
-            return Err(Error::NoDriver {
-                tile,
-                needed: op.kind(),
-            });
-        }
-        let start = at.max(self.tile_idle_at(tile));
-        let run = self.soc.run_accelerator_at(tile, op, start)?;
-        self.tile_time.insert(tile, run.end);
-        self.stats.runs += 1;
-        Ok(run)
+        let shard = self
+            .tiles
+            .entry(tile)
+            .or_insert_with(|| TileState::new(tile));
+        protocol::run_at(shard, &mut self.core, op, at, None)
     }
 
     /// Runs `op` on `tile` at the tile's own idle time.
@@ -627,7 +411,7 @@ impl ReconfigManager {
     ///
     /// Propagates SoC errors.
     pub fn run_on_cpu_at(&mut self, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
-        Ok(self.soc.run_on_cpu_at(op, at)?)
+        protocol::run_on_cpu_at(&mut self.core, op, at, None)
     }
 
     /// Ensures `kind` is loaded in `tile` and runs `op` there, degrading to
@@ -647,27 +431,11 @@ impl ReconfigManager {
         op: &AccelOp,
         at: u64,
     ) -> Result<(AccelRun, ExecPath), Error> {
-        let attempted = self
-            .request_reconfiguration_at(tile, kind, at)
-            .map(|_| ())
-            .and_then(|()| self.run_at(tile, op, at));
-        match attempted {
-            Ok(run) => Ok((run, ExecPath::Accelerator)),
-            Err(e) if e.is_degradable() && self.policy.cpu_fallback => {
-                // Start the software run after the failed recovery
-                // concluded on this tile's timeline.
-                let start = at.max(self.tile_idle_at(tile));
-                self.soc
-                    .tracer_mut()
-                    .instant(ClockDomain::SocCycles, start, || TraceEvent::CpuFallback {
-                        kind: kind.name(),
-                    });
-                let run = self.soc.run_on_cpu_at(op, start)?;
-                self.stats.fallback_runs += 1;
-                Ok((run, ExecPath::CpuFallback))
-            }
-            Err(e) => Err(e),
-        }
+        let shard = self
+            .tiles
+            .entry(tile)
+            .or_insert_with(|| TileState::new(tile));
+        protocol::run_with_fallback_at(shard, &mut self.core, &self.policy, kind, op, at, None)
     }
 
     /// [`Self::run_with_fallback_at`] at the tile's own idle time.
@@ -805,7 +573,7 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(swap.start >= t2);
-        assert!(mgr.drivers().services(tile, AcceleratorKind::Sort));
+        assert!(mgr.driver_services(tile, AcceleratorKind::Sort));
         let sorted = mgr
             .run(
                 tile,
@@ -830,14 +598,14 @@ mod tests {
             .unwrap();
         // The shared ICAP serializes the two loads.
         assert!(r1.end > r0.end || r0.end > r1.end);
-        assert!(mgr.drivers().services(tiles[0], AcceleratorKind::Mac));
-        assert!(mgr.drivers().services(tiles[1], AcceleratorKind::Sort));
+        assert!(mgr.driver_services(tiles[0], AcceleratorKind::Mac));
+        assert!(mgr.driver_services(tiles[1], AcceleratorKind::Sort));
         assert_eq!(mgr.stats().reconfigurations, 2);
     }
 
     #[test]
     fn scrub_state_machine_tracks_repairs() {
-        use presp_fpga::fault::FaultConfig;
+        use presp_fpga::fault::{FaultConfig, FaultPlan};
         let (mut mgr, tiles) = manager(1);
         let tile = tiles[0];
         assert_eq!(mgr.tile_health(tile), TileHealth::Healthy);
@@ -865,7 +633,7 @@ mod tests {
 
     #[test]
     fn uncorrectable_upset_quarantines_and_golden_restore_recovers() {
-        use presp_fpga::fault::FaultConfig;
+        use presp_fpga::fault::{FaultConfig, FaultPlan};
         let (mut mgr, tiles) = manager(1);
         let tile = tiles[0];
         mgr.request_reconfiguration(tile, AcceleratorKind::Mac)
@@ -933,5 +701,55 @@ mod tests {
             .unwrap();
         assert_eq!(run.value, AccelValue::Vector(vec![1.0, 2.0]));
         assert_eq!(mgr.stats().reconfigurations, 0);
+    }
+
+    #[test]
+    fn driver_events_are_recorded_per_tile() {
+        let (mut mgr, tiles) = manager(2);
+        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
+        mgr.request_reconfiguration(tiles[1], AcceleratorKind::Sort)
+            .unwrap();
+        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Sort)
+            .unwrap();
+        let events = mgr.driver_events(tiles[0]);
+        assert_eq!(
+            events,
+            vec![
+                DriverEvent::Probed {
+                    tile: tiles[0],
+                    kind: AcceleratorKind::Mac
+                },
+                DriverEvent::Removed {
+                    tile: tiles[0],
+                    kind: AcceleratorKind::Mac
+                },
+                DriverEvent::Probed {
+                    tile: tiles[0],
+                    kind: AcceleratorKind::Sort
+                },
+            ]
+        );
+        assert_eq!(mgr.driver_events(tiles[1]).len(), 1);
+        assert_eq!(mgr.active_driver(tiles[0]), Some(AcceleratorKind::Sort));
+    }
+
+    #[test]
+    fn enabled_bitstream_cache_skips_reverification_on_swaps() {
+        let (mut mgr, tiles) = manager(1);
+        let tile = tiles[0];
+        mgr.set_bitstream_cache_capacity(4);
+        for _ in 0..3 {
+            mgr.request_reconfiguration(tile, AcceleratorKind::Mac)
+                .unwrap();
+            mgr.request_reconfiguration(tile, AcceleratorKind::Sort)
+                .unwrap();
+        }
+        let cache = mgr.bitstream_cache_stats();
+        // Each swap performs a precheck lookup plus one per attempt; after
+        // the first Mac/Sort misses everything is served from the cache.
+        assert_eq!(cache.misses, 2);
+        assert!(cache.hits >= 8, "cache hits: {}", cache.hits);
+        assert!(mgr.stats().consistent());
     }
 }

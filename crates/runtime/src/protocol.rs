@@ -1,0 +1,386 @@
+//! The DPR protocol, factored over a tile shard and the device core.
+//!
+//! These functions are the one implementation of the Section V protocol
+//! (wait-for-idle → decouple → DFXC → re-couple → driver swap, with
+//! retry/backoff/quarantine recovery and ECC scrubbing) shared by both
+//! runtimes: the deterministic [`crate::manager::ReconfigManager`] calls
+//! them with its directly-owned shards, and the OS-threaded
+//! [`crate::scheduler::Scheduler`] calls them while holding the per-tile
+//! shard lock and the device-core lock. Every trace event, counter
+//! update and virtual-time decision lives here, so both paths are
+//! byte-identical by construction.
+//!
+//! The `precomputed` parameters carry a behavioral result evaluated
+//! *outside* the locks (accelerator instances are stateless, so the
+//! value is a pure function of the operation); passing `None` evaluates
+//! it in place, which is what the deterministic manager does.
+
+use crate::device::{loc, DeviceCore};
+use crate::error::Error;
+use crate::manager::{ExecPath, RecoveryPolicy};
+use crate::tile::{TileHealth, TileState};
+use presp_accel::catalog::AcceleratorKind;
+use presp_accel::{AccelOp, AccelValue};
+use presp_events::trace::ClockDomain;
+use presp_events::{backoff, TraceEvent};
+use presp_fpga::fault::FaultPlan;
+use presp_soc::sim::{csr, AccelRun, ReconfigRun, ScrubReport};
+
+/// A behavioral result evaluated ahead of time, outside any lock.
+/// `None` means "evaluate in place".
+pub(crate) type Precomputed = Option<Result<AccelValue, presp_accel::Error>>;
+
+/// Ensures `kind` is loaded in the shard's tile, reconfiguring if
+/// needed, with the request arriving at cycle `at`. See
+/// [`crate::manager::ReconfigManager::request_reconfiguration_at`] for
+/// the full contract.
+pub(crate) fn request_reconfiguration_at(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    policy: &RecoveryPolicy,
+    kind: AcceleratorKind,
+    at: u64,
+) -> Result<Option<ReconfigRun>, Error> {
+    let tile = tile_state.coord();
+    core.stats_mut().reconfig_requests += 1;
+    if tile_state.is_quarantined() {
+        core.stats_mut().rejected += 1;
+        return Err(Error::TileQuarantined { tile });
+    }
+    if tile_state.services(kind) {
+        core.stats_mut().cache_hits += 1;
+        core.soc_mut()
+            .tracer_mut()
+            .instant(ClockDomain::SocCycles, at, || {
+                TraceEvent::BitstreamCacheHit {
+                    tile: loc(tile),
+                    kind: kind.name(),
+                }
+            });
+        return Ok(None);
+    }
+    // A pair that was never registered — or whose stored stream fails
+    // its integrity re-check — is a permanent error; transient
+    // staleness is injected per attempt below.
+    if let Err(e) = core.fetch_bitstream(tile, kind, at) {
+        core.stats_mut().rejected += 1;
+        return Err(e);
+    }
+    // Wait for the accelerator in the tile to complete its execution.
+    let idle = at.max(tile_state.idle_at());
+    // Unregister the outgoing driver: from here until probe, other
+    // threads' submissions fail fast instead of touching a tile that is
+    // being rewritten.
+    tile_state.remove_driver();
+    let mut decoupled_at: Option<u64> = None;
+    let mut when = idle;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match attempt_load(tile_state, core, kind, when, &mut decoupled_at) {
+            Ok(reconf) => {
+                let coupled = match core
+                    .soc_mut()
+                    .csr_write_at(tile, csr::DECOUPLE, 0, reconf.end)
+                {
+                    Ok(t) => t,
+                    Err(e) => {
+                        core.stats_mut().rejected += 1;
+                        return Err(e.into());
+                    }
+                };
+                core.soc_mut().tracer_mut().emit(
+                    ClockDomain::SocCycles,
+                    reconf.start,
+                    coupled - reconf.start,
+                    || TraceEvent::ReconfigAttempt {
+                        tile: loc(tile),
+                        kind: kind.name(),
+                        attempt: u64::from(attempts),
+                        ok: true,
+                    },
+                );
+                tile_state.probe_driver(kind);
+                tile_state.set_idle_at(coupled);
+                tile_state.clear_failures();
+                // Every frame of the region was rewritten (and its
+                // golden image refreshed): the tile is healthy again.
+                tile_state.set_health(TileHealth::Healthy);
+                core.stats_mut().reconfigurations += 1;
+                core.stats_mut().reconfig_cycles += coupled - idle;
+                return Ok(Some(ReconfigRun {
+                    end: coupled,
+                    ..reconf
+                }));
+            }
+            Err(e) if is_transient(&e) => {
+                let failed_at = core.soc().horizon().max(when);
+                core.soc_mut().tracer_mut().emit(
+                    ClockDomain::SocCycles,
+                    when,
+                    failed_at - when,
+                    || TraceEvent::ReconfigAttempt {
+                        tile: loc(tile),
+                        kind: kind.name(),
+                        attempt: u64::from(attempts),
+                        ok: false,
+                    },
+                );
+                if attempts > policy.max_retries {
+                    return give_up(tile_state, core, policy, kind, attempts);
+                }
+                core.stats_mut().retries += 1;
+                let backoff = backoff::exponential(
+                    policy.backoff_cycles,
+                    policy.backoff_multiplier,
+                    attempts,
+                );
+                core.soc_mut().tracer_mut().emit(
+                    ClockDomain::SocCycles,
+                    failed_at,
+                    backoff,
+                    || TraceEvent::RetryBackoff {
+                        tile: loc(tile),
+                        attempt: u64::from(attempts),
+                        cycles: backoff,
+                    },
+                );
+                when = failed_at.saturating_add(backoff);
+            }
+            Err(e) => {
+                core.stats_mut().rejected += 1;
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// One load attempt: (re-)read the registry (through the cache), decouple
+/// if this is the first attempt, and trigger the DFXC.
+fn attempt_load(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    kind: AcceleratorKind,
+    when: u64,
+    decoupled_at: &mut Option<u64>,
+) -> Result<ReconfigRun, Error> {
+    let tile = tile_state.coord();
+    // Fault hook: a stale registry read fails this attempt at the
+    // software level; the retry re-reads the registry.
+    if core
+        .soc_mut()
+        .fault_plan_mut()
+        .is_some_and(FaultPlan::next_registry_miss)
+    {
+        return Err(Error::BitstreamNotRegistered { tile, kind });
+    }
+    let bitstream = core.fetch_bitstream(tile, kind, when)?;
+    let start = match *decoupled_at {
+        // Still decoupled from the previous failed attempt.
+        Some(t) => t.max(when),
+        None => {
+            let t = core.soc_mut().csr_write_at(tile, csr::DECOUPLE, 1, when)?;
+            *decoupled_at = Some(t);
+            t
+        }
+    };
+    Ok(core
+        .soc_mut()
+        .reconfigure_at(tile, kind, &bitstream, start)?)
+}
+
+/// Whether a failed attempt is worth retrying: data corruption caught
+/// in flight and stale software state are; protocol violations and
+/// wrong-device bitstreams are not.
+fn is_transient(e: &Error) -> bool {
+    match e {
+        Error::BitstreamNotRegistered { .. } => true,
+        Error::Soc(presp_soc::Error::Fpga(fe)) => matches!(
+            fe,
+            presp_fpga::Error::CrcMismatch { .. } | presp_fpga::Error::MalformedBitstream { .. }
+        ),
+        _ => false,
+    }
+}
+
+/// Ends a request whose every attempt failed: the tile stays decoupled
+/// (isolated), its failure streak grows, and repeated exhaustion
+/// quarantines it.
+fn give_up(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    policy: &RecoveryPolicy,
+    kind: AcceleratorKind,
+    attempts: u32,
+) -> Result<Option<ReconfigRun>, Error> {
+    let tile = tile_state.coord();
+    core.stats_mut().retries_exhausted += 1;
+    let now = core.soc().horizon();
+    tile_state.set_idle_at(now);
+    let streak = tile_state.record_failure();
+    if streak >= policy.quarantine_after && tile_state.quarantine() {
+        core.stats_mut().quarantines += 1;
+        core.soc_mut()
+            .tracer_mut()
+            .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
+                tile: loc(tile),
+                entered: true,
+            });
+    }
+    Err(Error::RetriesExhausted {
+        tile,
+        kind,
+        attempts,
+    })
+}
+
+/// Runs `op` on the shard's tile at cycle `at`. See
+/// [`crate::manager::ReconfigManager::run_at`].
+pub(crate) fn run_at(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    op: &AccelOp,
+    at: u64,
+    precomputed: Precomputed,
+) -> Result<AccelRun, Error> {
+    let tile = tile_state.coord();
+    let active = tile_state.active_driver().ok_or(Error::NoDriver {
+        tile,
+        needed: op.kind(),
+    })?;
+    if !op.runs_on(active) {
+        return Err(Error::NoDriver {
+            tile,
+            needed: op.kind(),
+        });
+    }
+    let start = at.max(tile_state.idle_at());
+    let run = match precomputed {
+        Some(outcome) => core
+            .soc_mut()
+            .run_accelerator_prepared_at(tile, op, start, outcome)?,
+        None => core.soc_mut().run_accelerator_at(tile, op, start)?,
+    };
+    tile_state.set_idle_at(run.end);
+    core.stats_mut().runs += 1;
+    Ok(run)
+}
+
+/// Runs `op` in software on the CPU tile at cycle `at`.
+pub(crate) fn run_on_cpu_at(
+    core: &mut DeviceCore,
+    op: &AccelOp,
+    at: u64,
+    precomputed: Precomputed,
+) -> Result<AccelRun, Error> {
+    Ok(match precomputed {
+        Some(outcome) => core.soc_mut().run_on_cpu_prepared_at(op, at, outcome)?,
+        None => core.soc_mut().run_on_cpu_at(op, at)?,
+    })
+}
+
+/// Reconfigure-then-run with CPU degradation. See
+/// [`crate::manager::ReconfigManager::run_with_fallback_at`].
+pub(crate) fn run_with_fallback_at(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    policy: &RecoveryPolicy,
+    kind: AcceleratorKind,
+    op: &AccelOp,
+    at: u64,
+    precomputed: Precomputed,
+) -> Result<(AccelRun, ExecPath), Error> {
+    let attempted = request_reconfiguration_at(tile_state, core, policy, kind, at)
+        .map(|_| ())
+        .and_then(|()| run_at(tile_state, core, op, at, precomputed.clone()));
+    match attempted {
+        Ok(run) => Ok((run, ExecPath::Accelerator)),
+        Err(e) if e.is_degradable() && policy.cpu_fallback => {
+            // Start the software run after the failed recovery
+            // concluded on this tile's timeline.
+            let start = at.max(tile_state.idle_at());
+            core.soc_mut()
+                .tracer_mut()
+                .instant(ClockDomain::SocCycles, start, || TraceEvent::CpuFallback {
+                    kind: kind.name(),
+                });
+            let run = run_on_cpu_at(core, op, start, precomputed)?;
+            core.stats_mut().fallback_runs += 1;
+            Ok((run, ExecPath::CpuFallback))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Scrubs the shard's tile starting no earlier than `at`. See
+/// [`crate::manager::ReconfigManager::scrub_tile_at`].
+pub(crate) fn scrub_tile_at(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    at: u64,
+) -> Result<ScrubReport, Error> {
+    let tile = tile_state.coord();
+    if tile_state.is_quarantined() {
+        return Err(Error::TileQuarantined { tile });
+    }
+    let region = core.soc().tile_region(tile);
+    tile_state.set_health(TileHealth::Scrubbing);
+    let report = match core.soc_mut().scrub_frames_at(&region, at) {
+        Ok(report) => report,
+        Err(e) => {
+            tile_state.set_health(TileHealth::Healthy);
+            return Err(e.into());
+        }
+    };
+    core.stats_mut().scrub_passes += 1;
+    core.stats_mut().frames_repaired += report.corrected.len() as u64;
+    if !report.uncorrectable.is_empty() {
+        // An uncorrectable upset: the fabric cannot be trusted, so the
+        // tile leaves service exactly like a retry-exhausted tile — the
+        // driver is unloaded and further requests degrade to the CPU.
+        tile_state.remove_driver();
+        if tile_state.quarantine() {
+            core.stats_mut().quarantines += 1;
+            core.stats_mut().scrub_quarantines += 1;
+            let now = core.soc().horizon();
+            core.soc_mut()
+                .tracer_mut()
+                .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
+                    tile: loc(tile),
+                    entered: true,
+                });
+        }
+    } else if report.corrected.is_empty() {
+        tile_state.set_health(TileHealth::Healthy);
+    } else {
+        tile_state.set_health(TileHealth::Degraded);
+    }
+    Ok(report)
+}
+
+/// Restores the tile's region from its golden image. See
+/// [`crate::manager::ReconfigManager::restore_golden`].
+pub(crate) fn restore_golden(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+) -> Result<usize, Error> {
+    let frames = core.soc_mut().restore_golden(tile_state.coord())?;
+    tile_state.set_health(TileHealth::Healthy);
+    Ok(frames)
+}
+
+/// Releases the tile from quarantine; returns whether it was quarantined.
+/// See [`crate::manager::ReconfigManager::release_quarantine`].
+pub(crate) fn release_quarantine(tile_state: &mut TileState, core: &mut DeviceCore) -> bool {
+    let released = tile_state.release_quarantine();
+    if released {
+        let now = core.soc().horizon();
+        core.soc_mut()
+            .tracer_mut()
+            .instant(ClockDomain::SocCycles, now, || TraceEvent::Quarantine {
+                tile: loc(tile_state.coord()),
+                entered: false,
+            });
+    }
+    released
+}

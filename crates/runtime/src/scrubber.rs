@@ -4,11 +4,13 @@
 //! controller) that walks configuration frames through the ICAP readback
 //! port, repairs single-bit upsets with the per-frame ECC, and raises an
 //! alarm on uncorrectable damage. This module is that daemon for the
-//! simulated stack: a second worker thread sharing the
-//! [`ThreadedManager`]'s device lock, so scrub passes and reconfiguration
-//! requests serialize on the manager exactly like two kernel work items
-//! contending for one PRC (and, underneath, on the SoC's shared ICAP
-//! timeline).
+//! simulated stack: a maintenance worker attached to the sharded
+//! [`crate::scheduler::Scheduler`]. A scrub pass takes the target tile's
+//! shard lock and then the device-core lock — the same `tile_state` →
+//! `core` order every scheduler worker commits under — so scrub passes
+//! and reconfiguration requests serialize on the shared ICAP exactly like
+//! two kernel work items contending for one PRC. Scrubs are maintenance,
+//! not requests: they bypass the admission queue and the ticket gate.
 //!
 //! Like [`crate::threaded`], the daemon is generic over [`SyncFacade`]:
 //! production uses `ScrubberDaemon` (= `ScrubberDaemon<StdSync>`), while
@@ -16,14 +18,15 @@
 //! `presp-check`'s schedule explorer — including a committed lock-order
 //! mutant the checker must catch and replay.
 //!
-//! Lock order invariant: `manager` → `scrub_stats`, everywhere. The
-//! worker takes the device lock, scrubs, and only then (after release)
-//! touches its own counters; [`ScrubberDaemon::stats`] takes `manager`
-//! first so its snapshot is consistent with the manager's scrub counters.
+//! Lock order invariant: `tile_state` → `core` for the pass itself, and
+//! `core` → `scrub_stats` for consistent snapshots; the worker updates
+//! its own counters only *after* releasing the device locks.
 
 use crate::error::Error;
+use crate::protocol;
+use crate::scheduler::Shared;
 use crate::sync::{Arc, StdSync, SyncFacade, TryRecv};
-use crate::threaded::{Shared, ThreadedManager};
+use crate::threaded::ThreadedManager;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::ScrubReport;
 
@@ -55,14 +58,14 @@ impl ScrubberStats {
 }
 
 /// Committed known-bad protocol variants for checker validation, mirroring
-/// [`crate::threaded`]'s mutants: off by default, compiled only into this
+/// [`crate::scheduler`]'s mutants: off by default, compiled only into this
 /// crate's own test build.
 #[cfg(test)]
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct ScrubMutantConfig {
-    /// The scrub worker acquires `scrub_stats` → `manager` (updating its
-    /// counters *inside* one big critical section) while
-    /// [`ScrubberDaemon::stats`] acquires `manager` → `scrub_stats`: a
+    /// The scrub worker acquires `scrub_stats` → `tile_state` → `core`
+    /// (updating its counters *inside* one big critical section) while
+    /// [`ScrubberDaemon::stats`] acquires `core` → `scrub_stats`: a
     /// lock-order inversion across the two threads.
     pub lock_inversion: bool,
 }
@@ -122,8 +125,8 @@ impl<S: SyncFacade> Clone for ScrubberDaemon<S> {
 
 impl<S: SyncFacade> ScrubberDaemon<S> {
     /// Attaches a scrubber to `manager`, spawning its worker thread. The
-    /// two daemons share the device lock; scrubs interleave safely with
-    /// reconfigurations and accelerator runs.
+    /// daemon shares the manager's tile shards and device core; scrubs
+    /// interleave safely with reconfigurations and accelerator runs.
     pub fn attach(manager: &ThreadedManager<S>) -> ScrubberDaemon<S> {
         Self::boot(
             manager,
@@ -145,7 +148,7 @@ impl<S: SyncFacade> ScrubberDaemon<S> {
         manager: &ThreadedManager<S>,
         #[cfg(test)] mutants: ScrubMutantConfig,
     ) -> ScrubberDaemon<S> {
-        let shared = Arc::clone(&manager.shared);
+        let shared = Arc::clone(&manager.sched.shared);
         let stats = Arc::new(S::mutex_labeled("scrub_stats", ScrubberStats::default()));
         let (tx, rx) = S::channel::<ScrubRequest<S>>();
         let worker_shared = Arc::clone(&shared);
@@ -158,12 +161,10 @@ impl<S: SyncFacade> ScrubberDaemon<S> {
                         let result = if mutants.lock_inversion {
                             // MUTANT: counters updated inside one big
                             // critical section, stats grabbed first —
-                            // scrub_stats → manager, the reverse of
-                            // `stats()`.
+                            // scrub_stats → tile_state → core, the
+                            // reverse of `stats()`.
                             let mut st = S::lock(&worker_stats);
-                            let mut mgr = S::lock(&worker_shared.manager);
-                            let at = mgr.makespan();
-                            let result = mgr.scrub_tile_at(tile, at);
+                            let result = Self::scrub_pass(&worker_shared, tile);
                             if let Ok(report) = &result {
                                 st.record(report);
                             }
@@ -175,29 +176,23 @@ impl<S: SyncFacade> ScrubberDaemon<S> {
                         let result = Self::scrub_one(&worker_shared, &worker_stats, tile);
                         // A pass may quarantine the tile: wake any thread
                         // parked in `run_blocking` so it can observe that.
-                        S::notify_all(&worker_shared.reconfig_done);
+                        if let Some(shard) = worker_shared.shards.get(&tile) {
+                            S::notify_all(&shard.reconfig_done);
+                        }
                         let _ = S::send(&done, result);
                     }
                     ScrubRequest::ScrubAll { done } => {
-                        let result = {
-                            let mut mgr = S::lock(&worker_shared.manager);
-                            let at = mgr.makespan();
-                            mgr.scrub_all_at(at)
-                        };
-                        if let Ok(reports) = &result {
-                            let mut st = S::lock(&worker_stats);
-                            for (_, report) in reports {
-                                st.record(report);
-                            }
+                        let result = Self::scrub_sweep(&worker_shared, &worker_stats);
+                        for shard in worker_shared.shards.values() {
+                            S::notify_all(&shard.reconfig_done);
                         }
-                        S::notify_all(&worker_shared.reconfig_done);
                         let _ = S::send(&done, result);
                     }
                     ScrubRequest::Stop => break,
                 }
             }
             // Drain: answer every pending request before exiting, exactly
-            // like the reconfiguration worker.
+            // like the scheduler workers.
             loop {
                 match S::try_recv(&rx) {
                     TryRecv::Value(ScrubRequest::Scrub { done, .. }) => {
@@ -219,22 +214,60 @@ impl<S: SyncFacade> ScrubberDaemon<S> {
         }
     }
 
-    /// The clean protocol: device lock → scrub → release → own counters.
+    /// One pass over `tile`: shard lock → core lock → scrub → release.
+    fn scrub_pass(shared: &Shared<S>, tile: TileCoord) -> Result<ScrubReport, Error> {
+        let shard = shared
+            .shards
+            .get(&tile)
+            .ok_or(Error::Soc(presp_soc::Error::NoSuchTile { coord: tile }))?;
+        let mut state = S::lock(&shard.state);
+        let mut core = S::lock(&shared.core);
+        let at = core.soc().horizon();
+        protocol::scrub_tile_at(&mut state, &mut core, at)
+    }
+
+    /// The clean protocol: device locks → scrub → release → own counters.
     fn scrub_one(
         shared: &Shared<S>,
         stats: &S::Mutex<ScrubberStats>,
         tile: TileCoord,
     ) -> Result<ScrubReport, Error> {
-        let result = {
-            let mut mgr = S::lock(&shared.manager);
-            let at = mgr.makespan();
-            mgr.scrub_tile_at(tile, at)
-        };
+        let result = Self::scrub_pass(shared, tile);
         if let Ok(report) = &result {
             let mut st = S::lock(stats);
             st.record(report);
         }
         result
+    }
+
+    /// A full sweep: every configured, non-quarantined tile, one at a
+    /// time (the shard locks are never held pairwise), all anchored at
+    /// the sweep's starting horizon like the deterministic manager's
+    /// `scrub_all_at`.
+    fn scrub_sweep(
+        shared: &Shared<S>,
+        stats: &S::Mutex<ScrubberStats>,
+    ) -> Result<Vec<(TileCoord, ScrubReport)>, Error> {
+        let at = S::lock(&shared.core).soc().horizon();
+        let mut reports = Vec::new();
+        for (&tile, shard) in &shared.shards {
+            let report = {
+                let mut state = S::lock(&shard.state);
+                if state.is_quarantined() {
+                    continue;
+                }
+                let mut core = S::lock(&shared.core);
+                if core.soc().tile_region(tile).is_empty() {
+                    continue;
+                }
+                protocol::scrub_tile_at(&mut state, &mut core, at)?
+            };
+            let mut st = S::lock(stats);
+            st.record(&report);
+            drop(st);
+            reports.push((tile, report));
+        }
+        Ok(reports)
     }
 
     /// Enqueues a scrub pass over `tile`'s configuration frames and blocks
@@ -271,11 +304,11 @@ impl<S: SyncFacade> ScrubberDaemon<S> {
     }
 
     /// Daemon counters, snapshotted consistently with the manager's own
-    /// scrub bookkeeping: takes the device lock first (the crate-wide
-    /// `manager` → `scrub_stats` order), so a scrub pass is never half
-    /// counted.
+    /// scrub bookkeeping: takes the device-core lock first (the
+    /// crate-wide `core` → `scrub_stats` order), so a scrub pass is never
+    /// half counted.
     pub fn stats(&self) -> ScrubberStats {
-        let _mgr = S::lock(&self.shared.manager);
+        let _core = S::lock(&self.shared.core);
         *S::lock(&self.stats)
     }
 
@@ -326,11 +359,11 @@ mod tests {
     /// Arms a fault plan with one forced SEU at the current makespan
     /// (drained by the next scrub pass), through the shared device lock.
     fn force_seu(mgr: &ThreadedManager, double_bit: bool) {
-        let mut guard = mgr.shared.manager.lock().unwrap();
-        let at = guard.makespan();
+        let mut core = mgr.sched.shared.core.lock().unwrap();
+        let at = core.soc().horizon();
         let mut plan = FaultPlan::new(11, FaultConfig::uniform(0.0));
         plan.force_seu(at, double_bit);
-        guard.soc_mut().set_fault_plan(Some(plan));
+        core.soc_mut().set_fault_plan(Some(plan));
     }
 
     #[test]
@@ -457,8 +490,8 @@ mod tests {
         let s = presp_check::sync::spawn_named("scrub_caller", move || {
             let _ = worker.scrub_blocking(tile);
         });
-        // `stats()` takes manager → scrub_stats while the mutant worker
-        // takes scrub_stats → manager.
+        // `stats()` takes core → scrub_stats while the mutant worker
+        // takes scrub_stats → tile_state → core.
         let _snapshot = scrubber.stats();
         s.join().unwrap();
         scrubber.shutdown();
@@ -487,8 +520,8 @@ mod tests {
 
     #[test]
     fn clean_scrub_protocol_explores_without_findings() {
-        // Scrubber + manager, mutants off: a quick bounded sweep here; the
-        // 10k-schedule sweep lives in the workspace-level model_check
+        // Scrubber + scheduler, mutants off: a quick bounded sweep here;
+        // the 10k-schedule sweep lives in the workspace-level model_check
         // suite.
         let report = Checker::new(Config {
             max_schedules: 500,

@@ -1,93 +1,37 @@
-//! The OS-threaded workqueue demonstrator.
+//! The OS-threaded workqueue front-end.
 //!
 //! The paper's manager "uses the built-in kernel workqueue to manage
-//! multiple reconfiguration requests": application threads (one per
-//! reconfigurable tile) enqueue requests; the queue executes them as soon
-//! as the PRC is ready; callers wait for completion while the device is
-//! locked. This module reproduces that concurrency structure with real OS
-//! threads — an mpsc channel as the workqueue, a worker thread as the
-//! kernel work item, and a mutex/condvar pair guarding the shared
-//! manager — while the deterministic virtual-time manager underneath keeps
-//! results reproducible.
+//! multiple reconfiguration requests": application threads enqueue
+//! requests; the queue executes them as soon as the PRC is ready; callers
+//! wait for completion. This module is the blocking API over the sharded
+//! [`crate::scheduler::Scheduler`]: per-tile queues drained by a pool of
+//! worker threads, with only the ICAP/NoC critical section serializing
+//! (in global ticket order, so results are reproducible for any worker
+//! count — see the scheduler docs).
 //!
 //! The whole protocol is generic over [`SyncFacade`]: production code
 //! instantiates [`ThreadedManager`] (= `ThreadedManager<StdSync>`, plain
 //! `std::sync` primitives), while the model-check suites instantiate
-//! `ThreadedManager<CheckSync>` and run the *same* request/reply/notify
-//! protocol under `presp-check`'s schedule explorer. Lock labels
-//! (`"manager"`, `"worker"`) feed its lock-order graph.
+//! `ThreadedManager<CheckSync>` and run the *same*
+//! claim/gate/commit/reply protocol under `presp-check`'s schedule
+//! explorer. Lock labels (`"sched_queue"`, `"gate"`, `"tile_state"`,
+//! `"core"`, `"worker"`) feed its lock-order graph.
 
+use crate::cache::CacheStats;
 use crate::error::Error;
-use crate::manager::{ExecPath, ReconfigManager, RecoveryPolicy};
+use crate::manager::{ExecPath, ManagerStats, RecoveryPolicy};
 use crate::registry::BitstreamRegistry;
-use crate::sync::{Arc, StdSync, SyncFacade, TryRecv};
+use crate::scheduler::{MutantConfig, Pending, Scheduler, SchedulerStats, DEFAULT_CACHE_CAPACITY};
+use crate::sync::{StdSync, SyncFacade};
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::AccelOp;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::{AccelRun, Soc};
-use std::time::Duration;
-
-/// A request travelling through the workqueue.
-enum Request<S: SyncFacade> {
-    Reconfigure {
-        tile: TileCoord,
-        kind: AcceleratorKind,
-        done: S::Sender<Result<(), Error>>,
-    },
-    Run {
-        tile: TileCoord,
-        op: Box<AccelOp>,
-        done: S::Sender<Result<AccelRun, Error>>,
-    },
-    Execute {
-        tile: TileCoord,
-        kind: AcceleratorKind,
-        op: Box<AccelOp>,
-        done: S::Sender<Result<(AccelRun, ExecPath), Error>>,
-    },
-    Shutdown,
-}
-
-/// Deliberate concurrency-bug switches for checker validation: the
-/// mutants below are *committed known-bad protocol variants* that the
-/// model-check suite must detect (and replay deterministically). They are
-/// compiled only into this crate's own test build and are all off by
-/// default.
-#[cfg(test)]
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct MutantConfig {
-    /// The worker acquires `manager` → `audit` while a caller-side probe
-    /// acquires `audit` → `manager`: a classic lock-order inversion.
-    pub lock_inversion: bool,
-    /// The worker bumps a run counter *after* replying, outside any lock,
-    /// while callers read it after `recv` — no happens-before edge.
-    pub unsynced_stats: bool,
-}
-
-/// Shared state guarded like the kernel manager guards its device list.
-///
-/// `pub(crate)` so the scrubber daemon ([`crate::scrubber`]) can attach to
-/// the *same* device lock — both workers serialize on `manager`, exactly
-/// like two kernel work items contending for one PRC.
-pub(crate) struct Shared<S: SyncFacade> {
-    pub(crate) manager: S::Mutex<ReconfigManager>,
-    /// Signalled whenever a reconfiguration completes, waking threads that
-    /// blocked on a locked tile.
-    pub(crate) reconfig_done: S::Condvar,
-    #[cfg(test)]
-    mutants: MutantConfig,
-    /// A secondary lock only the mutants touch (stands in for any
-    /// ancillary structure a real driver would guard separately).
-    #[cfg(test)]
-    audit: S::Mutex<Vec<&'static str>>,
-    /// Storage the `unsynced_stats` mutant shares without a lock; under
-    /// the checker every access is happens-before verified.
-    #[cfg(test)]
-    racy_runs: presp_check::RaceCell<u64>,
-}
 
 /// A thread-safe handle to the DPR runtime: clone it into as many
-/// application threads as there are reconfigurable tiles.
+/// application threads as you like. Requests to independent tiles are
+/// prepared concurrently by the worker pool; the shared device commits
+/// them in admission order.
 ///
 /// # Example
 ///
@@ -107,153 +51,105 @@ pub(crate) struct Shared<S: SyncFacade> {
 /// # Ok(()) }
 /// ```
 pub struct ThreadedManager<S: SyncFacade = StdSync> {
-    queue: S::Sender<Request<S>>,
-    pub(crate) shared: Arc<Shared<S>>,
-    worker: Arc<S::Mutex<Option<S::JoinHandle<()>>>>,
+    pub(crate) sched: Scheduler<S>,
 }
 
 impl<S: SyncFacade> Clone for ThreadedManager<S> {
     fn clone(&self) -> ThreadedManager<S> {
         ThreadedManager {
-            queue: S::clone_sender(&self.queue),
-            shared: Arc::clone(&self.shared),
-            worker: Arc::clone(&self.worker),
+            sched: self.sched.clone(),
         }
     }
 }
 
 impl ThreadedManager<StdSync> {
-    /// Boots the workqueue worker over a SoC and registry, with the
-    /// default [`RecoveryPolicy`].
+    /// Boots the worker pool over a SoC and registry with the default
+    /// [`RecoveryPolicy`], one worker per reconfigurable tile and the
+    /// default verified-bitstream cache.
     pub fn spawn(soc: Soc, registry: BitstreamRegistry) -> ThreadedManager {
         ThreadedManager::spawn_with_policy(soc, registry, RecoveryPolicy::default())
     }
 }
 
 impl<S: SyncFacade> ThreadedManager<S> {
-    /// Boots the workqueue worker with an explicit recovery policy, under
-    /// any sync facade.
+    /// Boots with an explicit recovery policy, under any sync facade.
+    /// Worker count defaults to the number of reconfigurable tiles.
     pub fn spawn_with_policy(
         soc: Soc,
         registry: BitstreamRegistry,
         policy: RecoveryPolicy,
     ) -> ThreadedManager<S> {
-        Self::boot(
-            soc,
-            registry,
-            policy,
-            #[cfg(test)]
-            MutantConfig::default(),
-        )
+        let workers = soc.config().reconfigurable_tiles().len().max(1);
+        ThreadedManager::spawn_with_workers(soc, registry, policy, workers)
+    }
+
+    /// Boots an explicit number of worker threads. `workers = 1` degrades
+    /// to the old single-worker workqueue; any count produces identical
+    /// virtual-time results (see [`crate::scheduler`]).
+    pub fn spawn_with_workers(
+        soc: Soc,
+        registry: BitstreamRegistry,
+        policy: RecoveryPolicy,
+        workers: usize,
+    ) -> ThreadedManager<S> {
+        ThreadedManager {
+            sched: Scheduler::boot(
+                soc,
+                registry,
+                policy,
+                workers,
+                DEFAULT_CACHE_CAPACITY,
+                MutantConfig::default(),
+            ),
+        }
     }
 
     /// Boots with explicit mutants enabled — checker-validation only.
-    #[cfg(test)]
-    pub(crate) fn spawn_with_mutants(
+    #[doc(hidden)]
+    pub fn spawn_with_mutants(
         soc: Soc,
         registry: BitstreamRegistry,
         policy: RecoveryPolicy,
+        workers: usize,
         mutants: MutantConfig,
     ) -> ThreadedManager<S> {
-        Self::boot(soc, registry, policy, mutants)
+        ThreadedManager {
+            sched: Scheduler::boot(
+                soc,
+                registry,
+                policy,
+                workers,
+                DEFAULT_CACHE_CAPACITY,
+                mutants,
+            ),
+        }
     }
 
-    fn boot(
-        soc: Soc,
-        registry: BitstreamRegistry,
-        policy: RecoveryPolicy,
-        #[cfg(test)] mutants: MutantConfig,
-    ) -> ThreadedManager<S> {
-        let shared = Arc::new(Shared::<S> {
-            manager: S::mutex_labeled(
-                "manager",
-                ReconfigManager::with_policy(soc, registry, policy),
-            ),
-            reconfig_done: S::condvar(),
-            #[cfg(test)]
-            mutants,
-            #[cfg(test)]
-            audit: S::mutex_labeled("audit", Vec::new()),
-            #[cfg(test)]
-            racy_runs: presp_check::RaceCell::new("racy_runs", 0),
-        });
-        let (tx, rx) = S::channel::<Request<S>>();
-        let worker_shared = Arc::clone(&shared);
-        let handle = S::spawn("presp-worker", move || {
-            // The workqueue: requests are "queued up and executed as soon
-            // as the PRC is ready" — one at a time, the ICAP is unique.
-            while let Some(request) = S::recv(&rx) {
-                match request {
-                    Request::Reconfigure { tile, kind, done } => {
-                        let result = {
-                            let mut mgr = S::lock(&worker_shared.manager);
-                            #[cfg(test)]
-                            if worker_shared.mutants.lock_inversion {
-                                // MUTANT: nested acquisition opposite to
-                                // `audit_probe` — manager → audit.
-                                S::lock(&worker_shared.audit).push("reconfigure");
-                            }
-                            mgr.request_reconfiguration(tile, kind).map(|_| ())
-                        };
-                        S::notify_all(&worker_shared.reconfig_done);
-                        let _ = S::send(&done, result);
-                    }
-                    Request::Run { tile, op, done } => {
-                        let result = {
-                            let mut mgr = S::lock(&worker_shared.manager);
-                            mgr.run(tile, &op)
-                        };
-                        let _ = S::send(&done, result);
-                    }
-                    Request::Execute {
-                        tile,
-                        kind,
-                        op,
-                        done,
-                    } => {
-                        let result = {
-                            let mut mgr = S::lock(&worker_shared.manager);
-                            mgr.run_with_fallback(tile, kind, &op)
-                        };
-                        S::notify_all(&worker_shared.reconfig_done);
-                        let _ = S::send(&done, result);
-                        #[cfg(test)]
-                        if worker_shared.mutants.unsynced_stats {
-                            // MUTANT: bookkeeping after the reply, outside
-                            // any lock — races with `unsynced_runs()`.
-                            let n = worker_shared.racy_runs.read();
-                            worker_shared.racy_runs.write(n + 1);
-                        }
-                    }
-                    Request::Shutdown => break,
-                }
-            }
-            // Drain the queue so no caller is left waiting on a dropped
-            // `done` sender: every pending request is answered with
-            // `ManagerStopped` before the worker exits.
-            loop {
-                match S::try_recv(&rx) {
-                    TryRecv::Value(Request::Reconfigure { done, .. }) => {
-                        let _ = S::send(&done, Err(Error::ManagerStopped));
-                    }
-                    TryRecv::Value(Request::Run { done, .. }) => {
-                        let _ = S::send(&done, Err(Error::ManagerStopped));
-                    }
-                    TryRecv::Value(Request::Execute { done, .. }) => {
-                        let _ = S::send(&done, Err(Error::ManagerStopped));
-                    }
-                    TryRecv::Value(Request::Shutdown) => {}
-                    TryRecv::Empty | TryRecv::Disconnected => break,
-                }
-            }
-            // Unblock any thread parked in `run_blocking`'s wait loop.
-            S::notify_all(&worker_shared.reconfig_done);
-        });
-        ThreadedManager {
-            queue: tx,
-            shared,
-            worker: Arc::new(S::mutex_labeled("worker", Some(handle))),
-        }
+    /// The underlying scheduler (asynchronous submissions, scheduling
+    /// metrics).
+    pub fn scheduler(&self) -> &Scheduler<S> {
+        &self.sched
+    }
+
+    /// Submits a reconfiguration without blocking; identical pending
+    /// requests coalesce into one load.
+    pub fn submit_reconfigure(&self, tile: TileCoord, kind: AcceleratorKind) -> Pending<S, ()> {
+        self.sched.submit_reconfigure(tile, kind)
+    }
+
+    /// Submits an accelerator invocation without blocking.
+    pub fn submit_run(&self, tile: TileCoord, op: AccelOp) -> Pending<S, AccelRun> {
+        self.sched.submit_run(tile, op)
+    }
+
+    /// Submits an ensure-loaded-then-run request without blocking.
+    pub fn submit_execute(
+        &self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        op: AccelOp,
+    ) -> Pending<S, (AccelRun, ExecPath)> {
+        self.sched.submit_execute(tile, kind, op)
     }
 
     /// Enqueues a reconfiguration and blocks until it completes.
@@ -267,17 +163,7 @@ impl<S: SyncFacade> ThreadedManager<S> {
         tile: TileCoord,
         kind: AcceleratorKind,
     ) -> Result<(), Error> {
-        let (done_tx, done_rx) = S::channel();
-        S::send(
-            &self.queue,
-            Request::Reconfigure {
-                tile,
-                kind,
-                done: done_tx,
-            },
-        )
-        .map_err(|_| Error::ManagerStopped)?;
-        S::recv(&done_rx).ok_or(Error::ManagerStopped)?
+        self.sched.submit_reconfigure(tile, kind).wait()
     }
 
     /// Enqueues an accelerator invocation and blocks for its result.
@@ -293,30 +179,12 @@ impl<S: SyncFacade> ThreadedManager<S> {
     /// SoC errors.
     pub fn run_blocking(&self, tile: TileCoord, op: AccelOp) -> Result<AccelRun, Error> {
         loop {
-            let (done_tx, done_rx) = S::channel();
-            S::send(
-                &self.queue,
-                Request::Run {
-                    tile,
-                    op: Box::new(op.clone()),
-                    done: done_tx,
-                },
-            )
-            .map_err(|_| Error::ManagerStopped)?;
-            match S::recv(&done_rx).ok_or(Error::ManagerStopped)? {
+            match self.sched.submit_run(tile, op.clone()).wait() {
                 Err(Error::NoDriver { .. }) => {
                     // Wait for a reconfiguration to finish, then retry —
                     // unless the tile was quarantined, in which case no
                     // reconfiguration will ever complete here.
-                    let guard = S::lock(&self.shared.manager);
-                    if guard.is_quarantined(tile) {
-                        return Err(Error::TileQuarantined { tile });
-                    }
-                    let _unused = S::wait_timeout(
-                        &self.shared.reconfig_done,
-                        guard,
-                        Duration::from_millis(50),
-                    );
+                    self.sched.wait_for_reconfig(tile)?;
                 }
                 other => return other,
             }
@@ -339,66 +207,60 @@ impl<S: SyncFacade> ThreadedManager<S> {
         kind: AcceleratorKind,
         op: AccelOp,
     ) -> Result<(AccelRun, ExecPath), Error> {
-        let (done_tx, done_rx) = S::channel();
-        S::send(
-            &self.queue,
-            Request::Execute {
-                tile,
-                kind,
-                op: Box::new(op),
-                done: done_tx,
-            },
-        )
-        .map_err(|_| Error::ManagerStopped)?;
-        S::recv(&done_rx).ok_or(Error::ManagerStopped)?
+        self.sched.submit_execute(tile, kind, op).wait()
     }
 
     /// Manager statistics snapshot.
     ///
-    /// Read-only post-mortem path: recovers from a poisoned manager lock
-    /// (a panicking worker must not take crash forensics down with it).
-    pub fn stats(&self) -> crate::manager::ManagerStats {
-        S::lock_recover(&self.shared.manager).stats()
+    /// Read-only post-mortem path: recovers from a poisoned device-core
+    /// lock (a panicking worker must not take crash forensics down with
+    /// it).
+    pub fn stats(&self) -> ManagerStats {
+        self.sched.stats()
+    }
+
+    /// Wall-clock scheduling metrics: queue-wait percentiles, coalesced
+    /// submissions, backlog high-water mark.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.sched.scheduler_stats()
+    }
+
+    /// Hit/miss counters of the verified-bitstream cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.sched.cache_stats()
     }
 
     /// Latest completion cycle on the shared virtual clock — the
-    /// application makespan across everything the worker dispatched.
+    /// application makespan across everything the workers dispatched.
     /// OS-thread interleaving varies between runs; this virtual-time
     /// reading is still exact for the operations performed.
     ///
-    /// Like [`ThreadedManager::stats`], survives a poisoned manager lock.
+    /// Like [`ThreadedManager::stats`], survives a poisoned core lock.
     pub fn makespan(&self) -> u64 {
-        S::lock_recover(&self.shared.manager).makespan()
+        self.sched.makespan()
     }
 
     /// Attaches a trace sink to the underlying SoC: worker-dispatched
     /// operations emit structured records through it.
+    ///
+    /// Post-mortem path like [`ThreadedManager::stats`]: recovers from a
+    /// poisoned core lock, so a crashed worker cannot make the trace log
+    /// unreachable. (This used to go through the panicking lock and died
+    /// exactly when forensics were needed.)
     pub fn attach_tracer(&self, sink: presp_events::SharedSink) {
-        S::lock(&self.shared.manager).soc_mut().attach_tracer(sink);
-    }
-
-    /// Stops the worker and joins it. Idempotent, and — like the other
-    /// post-mortem paths — tolerant of poisoned locks.
-    pub fn shutdown(&self) {
-        let _ = S::send(&self.queue, Request::Shutdown);
-        if let Some(handle) = S::lock_recover(&self.worker).take() {
-            let _ = S::join(handle);
-        }
-    }
-
-    /// Caller-side probe of the mutant-only audit log: acquires `audit` →
-    /// `manager`, the reverse of the `lock_inversion` worker path.
-    #[cfg(test)]
-    pub(crate) fn audit_probe(&self) -> (usize, u64) {
-        let audit = S::lock(&self.shared.audit);
-        let mgr = S::lock(&self.shared.manager);
-        (audit.len(), mgr.stats().reconfigurations)
+        self.sched.attach_tracer(sink);
     }
 
     /// Caller-side unlocked read the `unsynced_stats` mutant races with.
-    #[cfg(test)]
-    pub(crate) fn unsynced_runs(&self) -> u64 {
-        self.shared.racy_runs.read()
+    #[doc(hidden)]
+    pub fn unsynced_runs(&self) -> u64 {
+        self.sched.unsynced_runs()
+    }
+
+    /// Stops the workers and joins them. Idempotent, and — like the other
+    /// post-mortem paths — tolerant of poisoned locks.
+    pub fn shutdown(&self) {
+        self.sched.shutdown();
     }
 }
 
@@ -449,6 +311,7 @@ mod tests {
             soc,
             registry,
             RecoveryPolicy::default(),
+            1,
             mutants,
         );
         (mgr, tiles)
@@ -556,6 +419,7 @@ mod tests {
         }
         swapper.join().unwrap();
         assert_eq!(successes, 20);
+        assert!(mgr.stats().consistent(), "{:?}", mgr.stats());
         mgr.shutdown();
     }
 
@@ -572,7 +436,7 @@ mod tests {
     fn shutdown_under_load_answers_every_caller() {
         // Shut down while four threads are mid-burst: every call must get
         // an answer — a result or ManagerStopped — and every thread must
-        // join. A dropped `done` sender or a hung worker fails this test.
+        // join. A dropped reply sender or a hung worker fails this test.
         let (mgr, tiles) = boot(2);
         let handles: Vec<_> = (0..4)
             .map(|i| {
@@ -611,7 +475,7 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().expect("worker thread panicked"), 50);
         }
-        // The worker is joined; a fresh request is refused, not lost.
+        // The workers are joined; a fresh request is refused, not lost.
         let err = mgr.run_blocking(
             tiles[0],
             AccelOp::Mac {
@@ -623,8 +487,31 @@ mod tests {
     }
 
     #[test]
-    fn stats_survive_a_poisoned_manager_lock() {
-        // Regression: post-mortem paths used `.expect("manager lock")` and
+    fn unknown_tile_is_refused_not_hung() {
+        let (mgr, _tiles) = boot(1);
+        let off_grid = TileCoord::new(9, 9);
+        let err = mgr.reconfigure_blocking(off_grid, AcceleratorKind::Mac);
+        assert!(matches!(
+            err,
+            Err(Error::Soc(presp_soc::Error::NoSuchTile { .. }))
+        ));
+        let err = mgr.run_blocking(
+            off_grid,
+            AccelOp::Mac {
+                a: vec![1.0],
+                b: vec![1.0],
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(Error::Soc(presp_soc::Error::NoSuchTile { .. }))
+        ));
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn stats_survive_a_poisoned_core_lock() {
+        // Regression: post-mortem paths used `.expect("lock")` and
         // panicked if any thread had crashed inside a critical section,
         // losing exactly the stats needed to debug the crash.
         let (mgr, tiles) = boot(1);
@@ -632,8 +519,8 @@ mod tests {
             .unwrap();
         let poisoner = mgr.clone();
         let _ = std::thread::spawn(move || {
-            let _guard = poisoner.shared.manager.lock().unwrap();
-            panic!("crash while holding the manager lock");
+            let _guard = poisoner.sched.shared.core.lock().unwrap();
+            panic!("crash while holding the core lock");
         })
         .join();
         // The lock is now poisoned; forensics must still work.
@@ -645,27 +532,67 @@ mod tests {
         mgr.shutdown(); // still idempotent post-poison
     }
 
+    #[test]
+    fn attach_tracer_survives_a_poisoned_core_lock() {
+        // Regression: `attach_tracer` went through the panicking lock
+        // while every other post-mortem path recovered — so a crashed
+        // worker made the trace log unreachable exactly when it was
+        // needed. It must behave like `stats`/`makespan`.
+        let (mgr, tiles) = boot(1);
+        mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
+        let poisoner = mgr.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.sched.shared.core.lock().unwrap();
+            panic!("crash while holding the core lock");
+        })
+        .join();
+        // The old implementation panicked right here; attaching must
+        // succeed and the sink must really reach the SoC.
+        let sink = presp_events::MemorySink::shared();
+        mgr.attach_tracer(sink.clone());
+        let mut core = match mgr.sched.shared.core.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        core.soc_mut()
+            .tracer_mut()
+            .instant(presp_events::trace::ClockDomain::SocCycles, 0, || {
+                presp_events::TraceEvent::CpuFallback {
+                    kind: "post-poison probe".into(),
+                }
+            });
+        drop(core);
+        assert!(
+            !sink.lock().unwrap().records().is_empty(),
+            "the post-poison tracer must still capture events"
+        );
+        mgr.shutdown();
+    }
+
     // ---- model-checked protocol (CheckSync) ---------------------------
 
-    fn lock_inversion_model() {
+    fn shard_core_inversion_model() {
         let (mgr, tiles) = boot_checked(MutantConfig {
-            lock_inversion: true,
+            shard_core_inversion: true,
             ..MutantConfig::default()
         });
+        let scrubber = crate::scrubber::ScrubberDaemon::attach(&mgr);
         let app = mgr.clone();
         let tile = tiles[0];
         let h = presp_check::sync::spawn_named("app", move || {
             app.reconfigure_blocking(tile, AcceleratorKind::Mac)
                 .unwrap();
         });
-        let _probe = mgr.audit_probe();
+        let _ = scrubber.scrub_blocking(tile);
         h.join().unwrap();
+        scrubber.shutdown();
         mgr.shutdown();
     }
 
     #[test]
-    fn checker_catches_lock_order_inversion_mutant() {
-        let report = mutant_checker().explore(lock_inversion_model);
+    fn checker_catches_shard_core_inversion_mutant() {
+        let report = mutant_checker().explore(shard_core_inversion_model);
         let failure = report
             .failure
             .expect("the inversion mutant must deadlock some schedule");
@@ -674,7 +601,7 @@ mod tests {
             "expected deadlock, got: {failure}"
         );
         // The printed schedule replays the identical deadlock.
-        let replay = mutant_checker().replay(&failure.schedule, lock_inversion_model);
+        let replay = mutant_checker().replay(&failure.schedule, shard_core_inversion_model);
         assert!(
             matches!(
                 replay.failure.as_ref().map(|f| &f.kind),
@@ -723,8 +650,8 @@ mod tests {
     #[test]
     fn clean_protocol_explores_without_findings() {
         // Same protocol, mutants off: a quick bounded sweep here; the
-        // 10k-schedule sweep lives in the workspace-level model_check
-        // suite.
+        // 10k-schedule multi-worker sweep lives in the workspace-level
+        // model_check suite.
         let report = Checker::new(Config {
             max_schedules: 500,
             preemption_bound: Some(2),

@@ -1,0 +1,231 @@
+//! Per-tile shard state.
+//!
+//! The runtime used to keep every piece of per-tile bookkeeping — the
+//! active driver, the idle horizon, the health state machine, the
+//! quarantine flag and the failure streak — in parallel maps inside one
+//! `ReconfigManager` god object, all guarded by a single lock. This
+//! module is the sharded replacement: one [`TileState`] per
+//! reconfigurable tile, owning exactly the state whose consistency is
+//! per-tile. Two requests to *different* tiles touch disjoint
+//! `TileState`s and can proceed concurrently; only the genuinely shared
+//! device resources (ICAP, configuration memory, NoC — see
+//! [`crate::device`]) still serialize.
+//!
+//! `TileState` is pure data with no locking of its own. The deterministic
+//! [`crate::manager::ReconfigManager`] owns its shards directly; the
+//! OS-threaded [`crate::scheduler::Scheduler`] wraps each one in a
+//! per-tile mutex (label `"tile_state"`) and is the only doorway through
+//! which shard state is mutated on the concurrent path — a boundary
+//! `presp-lint` enforces.
+
+use crate::driver::DriverEvent;
+use presp_accel::catalog::AcceleratorKind;
+use presp_soc::config::TileCoord;
+
+/// Configuration-memory health of one reconfigurable tile, as tracked by
+/// the scrubbing machinery.
+///
+/// `Healthy → Scrubbing → {Healthy, Degraded, Quarantined}`: a scrub pass
+/// moves the tile through `Scrubbing`; a clean readback returns it to
+/// `Healthy`, repaired single-bit upsets leave it `Degraded` (the fabric
+/// is correct again but took hits), and an uncorrectable upset removes it
+/// from service. A successful reconfiguration rewrites every frame and
+/// resets the tile to `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TileHealth {
+    /// No known upsets.
+    Healthy,
+    /// A scrub pass is reading the tile's frames back.
+    Scrubbing,
+    /// Correctable upsets were detected and repaired by the last pass.
+    Degraded,
+    /// An uncorrectable upset (or repeated load failure) removed the tile
+    /// from service; work degrades to the CPU until it is restored.
+    Quarantined,
+}
+
+/// Everything the runtime tracks about one reconfigurable tile.
+///
+/// The fields mirror the old manager's per-tile maps one for one: the
+/// driver slot (with its probe/remove event log), the virtual-time idle
+/// horizon, the health state machine, the quarantine flag and the
+/// consecutive-failure streak that feeds the quarantine policy.
+#[derive(Debug, Clone)]
+pub struct TileState {
+    coord: TileCoord,
+    driver: Option<AcceleratorKind>,
+    driver_events: Vec<DriverEvent>,
+    idle_at: u64,
+    health: TileHealth,
+    quarantined: bool,
+    failure_streak: u32,
+}
+
+impl TileState {
+    /// A fresh, healthy, empty shard for `coord`.
+    pub fn new(coord: TileCoord) -> TileState {
+        TileState {
+            coord,
+            driver: None,
+            driver_events: Vec::new(),
+            idle_at: 0,
+            health: TileHealth::Healthy,
+            quarantined: false,
+            failure_streak: 0,
+        }
+    }
+
+    /// The tile this shard describes.
+    pub fn coord(&self) -> TileCoord {
+        self.coord
+    }
+
+    /// The driver currently bound to the tile.
+    pub fn active_driver(&self) -> Option<AcceleratorKind> {
+        self.driver
+    }
+
+    /// Whether the tile's active driver can service an operation for
+    /// `kind`.
+    pub fn services(&self, kind: AcceleratorKind) -> bool {
+        self.driver == Some(kind)
+    }
+
+    /// Unregisters the driver (before reconfiguration). From here until
+    /// the next probe, submissions fail fast instead of touching a tile
+    /// that is being rewritten.
+    pub fn remove_driver(&mut self) -> Option<AcceleratorKind> {
+        let removed = self.driver.take();
+        if let Some(kind) = removed {
+            self.driver_events.push(DriverEvent::Removed {
+                tile: self.coord,
+                kind,
+            });
+        }
+        removed
+    }
+
+    /// Probes the driver for `kind` (after reconfiguration).
+    pub fn probe_driver(&mut self, kind: AcceleratorKind) {
+        self.driver = Some(kind);
+        self.driver_events.push(DriverEvent::Probed {
+            tile: self.coord,
+            kind,
+        });
+    }
+
+    /// The recorded driver lifecycle events, oldest first.
+    pub fn driver_events(&self) -> &[DriverEvent] {
+        &self.driver_events
+    }
+
+    /// Virtual time at which the tile becomes idle.
+    pub fn idle_at(&self) -> u64 {
+        self.idle_at
+    }
+
+    /// Advances the idle horizon to `at`.
+    pub fn set_idle_at(&mut self, at: u64) {
+        self.idle_at = at;
+    }
+
+    /// Configuration-memory health. Quarantine dominates whatever the
+    /// scrub state machine last recorded.
+    pub fn health(&self) -> TileHealth {
+        if self.quarantined {
+            TileHealth::Quarantined
+        } else {
+            self.health
+        }
+    }
+
+    /// Moves the scrub state machine.
+    pub fn set_health(&mut self, health: TileHealth) {
+        self.health = health;
+    }
+
+    /// Whether the tile is quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Quarantines the tile. Returns `true` on the transition (i.e. the
+    /// tile was not already quarantined).
+    pub fn quarantine(&mut self) -> bool {
+        let entered = !self.quarantined;
+        self.quarantined = true;
+        self.health = TileHealth::Quarantined;
+        entered
+    }
+
+    /// Releases the quarantine, clearing the failure streak and health
+    /// history. Returns whether the tile was quarantined.
+    pub fn release_quarantine(&mut self) -> bool {
+        let released = self.quarantined;
+        self.quarantined = false;
+        self.failure_streak = 0;
+        self.health = TileHealth::Healthy;
+        released
+    }
+
+    /// Consecutive retry-exhausted requests on this tile.
+    pub fn failure_streak(&self) -> u32 {
+        self.failure_streak
+    }
+
+    /// Records one more retry-exhausted request; returns the new streak.
+    pub fn record_failure(&mut self) -> u32 {
+        self.failure_streak += 1;
+        self.failure_streak
+    }
+
+    /// Clears the failure streak (after a successful load).
+    pub fn clear_failures(&mut self) {
+        self.failure_streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_swap_records_events_in_order() {
+        let mut t = TileState::new(TileCoord::new(1, 0));
+        assert_eq!(t.active_driver(), None);
+        t.probe_driver(AcceleratorKind::Mac);
+        assert!(t.services(AcceleratorKind::Mac));
+        assert!(!t.services(AcceleratorKind::Sort));
+        assert_eq!(t.remove_driver(), Some(AcceleratorKind::Mac));
+        t.probe_driver(AcceleratorKind::Sort);
+        assert_eq!(t.driver_events().len(), 3);
+        // Removing an empty slot records nothing.
+        let mut empty = TileState::new(TileCoord::new(2, 0));
+        assert_eq!(empty.remove_driver(), None);
+        assert!(empty.driver_events().is_empty());
+    }
+
+    #[test]
+    fn quarantine_dominates_health_and_release_resets() {
+        let mut t = TileState::new(TileCoord::new(1, 0));
+        t.set_health(TileHealth::Degraded);
+        assert_eq!(t.health(), TileHealth::Degraded);
+        assert!(t.quarantine());
+        assert!(!t.quarantine(), "second entry is not a transition");
+        assert_eq!(t.health(), TileHealth::Quarantined);
+        t.record_failure();
+        assert!(t.release_quarantine());
+        assert!(!t.release_quarantine());
+        assert_eq!(t.health(), TileHealth::Healthy);
+        assert_eq!(t.failure_streak(), 0);
+    }
+
+    #[test]
+    fn failure_streak_counts_and_clears() {
+        let mut t = TileState::new(TileCoord::new(1, 0));
+        assert_eq!(t.record_failure(), 1);
+        assert_eq!(t.record_failure(), 2);
+        t.clear_failures();
+        assert_eq!(t.failure_streak(), 0);
+    }
+}

@@ -871,6 +871,42 @@ impl Soc {
         op: &AccelOp,
         at: u64,
     ) -> Result<AccelRun, Error> {
+        self.run_accelerator_inner(tile, op, at, None)
+    }
+
+    /// [`Soc::run_accelerator_at`] with the behavioral result computed
+    /// ahead of time.
+    ///
+    /// Accelerator instances are stateless between invocations, so the
+    /// value an operation produces is a pure function of the operation
+    /// itself. A caller that executed the behavioral model outside the
+    /// device lock passes the outcome here; the SoC performs the exact
+    /// same protocol (decoupler check, DMA timing, power metering, trace
+    /// emission, timeline claim) and substitutes `precomputed` where it
+    /// would have invoked the wrapper's model. The trace and every cycle
+    /// count are byte-identical to the unprepared path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Soc::run_accelerator_at`]; a precomputed `Err` surfaces at
+    /// the same protocol point as an in-place execution failure.
+    pub fn run_accelerator_prepared_at(
+        &mut self,
+        tile: TileCoord,
+        op: &AccelOp,
+        at: u64,
+        precomputed: Result<AccelValue, presp_accel::Error>,
+    ) -> Result<AccelRun, Error> {
+        self.run_accelerator_inner(tile, op, at, Some(precomputed))
+    }
+
+    fn run_accelerator_inner(
+        &mut self,
+        tile: TileCoord,
+        op: &AccelOp,
+        at: u64,
+        precomputed: Option<Result<AccelValue, presp_accel::Error>>,
+    ) -> Result<AccelRun, Error> {
         self.advance_seus_to(at);
         let mem = self.config.mem();
         let state = self
@@ -943,10 +979,14 @@ impl Soc {
                 direction: "out",
             },
         );
-        // Execute the behavioral model.
-        let value = match &mut self.tile_mut(tile)?.wrapper {
-            WrapperState::Configured(instance) => instance.execute(op)?,
-            _ => unreachable!("kind resolution guaranteed a configured wrapper"),
+        // Execute the behavioral model (or substitute the precomputed
+        // result at the same protocol point).
+        let value = match precomputed {
+            Some(outcome) => outcome?,
+            None => match &mut self.tile_mut(tile)?.wrapper {
+                WrapperState::Configured(instance) => instance.execute(op)?,
+                _ => unreachable!("kind resolution guaranteed a configured wrapper"),
+            },
         };
         let end = self.deliver_irq(dram_out, tile);
         self.tile_mut(tile)?.timeline.claim(at, start, end);
@@ -967,6 +1007,31 @@ impl Soc {
     ///
     /// Returns accelerator execution errors.
     pub fn run_on_cpu_at(&mut self, op: &AccelOp, at: u64) -> Result<AccelRun, Error> {
+        self.run_on_cpu_inner(op, at, None)
+    }
+
+    /// [`Soc::run_on_cpu_at`] with the behavioral result computed ahead of
+    /// time — the CPU-path counterpart of
+    /// [`Soc::run_accelerator_prepared_at`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Soc::run_on_cpu_at`].
+    pub fn run_on_cpu_prepared_at(
+        &mut self,
+        op: &AccelOp,
+        at: u64,
+        precomputed: Result<AccelValue, presp_accel::Error>,
+    ) -> Result<AccelRun, Error> {
+        self.run_on_cpu_inner(op, at, Some(precomputed))
+    }
+
+    fn run_on_cpu_inner(
+        &mut self,
+        op: &AccelOp,
+        at: u64,
+        precomputed: Option<Result<AccelValue, presp_accel::Error>>,
+    ) -> Result<AccelRun, Error> {
         let cpu = self.config.cpu();
         let cycles = software_cycles(op);
         let state = self.tile_mut(cpu)?;
@@ -976,7 +1041,10 @@ impl Soc {
             .software
             .entry(op.kind())
             .or_insert_with(|| AccelInstance::new(op.kind()));
-        let value = instance.execute(op)?;
+        let value = match precomputed {
+            Some(outcome) => outcome?,
+            None => instance.execute(op)?,
+        };
         self.meter
             .add_active(dynamic_power_w(AcceleratorKind::Cpu), cycles);
         self.tracer.emit(ClockDomain::SocCycles, start, cycles, || {

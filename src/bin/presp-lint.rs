@@ -1,6 +1,6 @@
 //! `presp-lint`: workspace source discipline, enforced mechanically.
 //!
-//! Three properties of this codebase are architectural, not stylistic,
+//! Four properties of this codebase are architectural, not stylistic,
 //! and none is expressible as a rustc/clippy lint:
 //!
 //! 1. **Sync discipline** — `crates/runtime` must route every
@@ -19,6 +19,14 @@
 //!    their ECC shadow may only be mutated through `ConfigMemory`'s
 //!    methods. A direct `frames.insert(...)` elsewhere would bypass the
 //!    ECC refresh and silently defeat the SEU scrubber.
+//!
+//! 4. **Tile-shard doorway** — inside `crates/runtime`, per-tile shard
+//!    state (`TileState`) is named only by its definition, the protocol
+//!    functions, and the two managers that own shards (the deterministic
+//!    `manager` and the multi-worker `scheduler`). Any other module
+//!    touching a shard directly would bypass the scheduler's per-tile
+//!    FIFO, the commit-order gate, and the `tile_state` → `core` lock
+//!    order the model checker verifies.
 //!
 //! The lint is a plain substring scanner over non-comment, non-test
 //! source lines: deliberately dumb, zero dependencies, and fast enough to
@@ -86,6 +94,14 @@ const RULES: &[Rule] = &[
         ],
         why: "configuration frames and their ECC shadow mutate only through \
               the ConfigMemory doorway (SEU-scrubbing integrity)",
+    },
+    Rule {
+        root: "crates/runtime/src",
+        exempt_files: &["tile.rs", "manager.rs", "scheduler.rs", "protocol.rs"],
+        forbidden: &["TileState"],
+        why: "per-tile shard state is touched only through the scheduler/\
+              manager doorway (per-tile FIFO, commit gate, and the \
+              tile_state → core lock order)",
     },
 ];
 

@@ -162,7 +162,7 @@ fn driver_events_record_the_swap_history() {
     manager
         .request_reconfiguration(tile, AcceleratorKind::Sort)
         .unwrap();
-    let events = manager.drivers().events().to_vec();
+    let events = manager.driver_events(tile);
     assert_eq!(
         events,
         vec![

@@ -8,6 +8,11 @@
 //! explored terminal state must be race-free, deadlock-free, lock-order
 //! acyclic, and leave `ManagerStats` consistent.
 //!
+//! The sharded sweep does the same with the full multi-worker scheduler:
+//! four workers × four tiles, overlapped asynchronous submissions, and a
+//! committed lock-inversion mutant the checker must catch *and* replay
+//! deterministically from its printed schedule.
+//!
 //! The schedule budget defaults to 10 000 and can be turned up or down
 //! with `PRESP_CHECK_MAX_SCHEDULES` (CI uses it as a wall-clock knob).
 
@@ -193,6 +198,164 @@ fn scrubber_protocol_is_clean_across_schedules() {
     assert!(
         report.schedules > 100,
         "scenario too small to be meaningful: {report}"
+    );
+}
+
+// ---- sharded multi-worker protocol ----------------------------------
+
+/// Four workers × four tiles over the sharded scheduler: asynchronous
+/// reconfigurations fan out to every tile while a second app thread
+/// drives the ensure-loaded blocking path on tile 0. All four workers
+/// race over the queue, the ticket gate, the tile shards and the device
+/// core, so every edge of the `gate` → `tile_state` → `core` lock-order
+/// graph is exercised in every schedule.
+fn sharded_multi_worker_model() {
+    let cfg = SocConfig::grid_3x3_reconf("model4", 4).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    for (i, &tile) in tiles.iter().enumerate() {
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+    }
+    let mgr = ThreadedManager::<CheckSync>::spawn_with_workers(
+        soc,
+        registry,
+        RecoveryPolicy::default(),
+        4,
+    );
+
+    // Fan out: one asynchronous reconfiguration per tile, all admitted
+    // before any completion is awaited, so the four workers can overlap.
+    let pendings: Vec<_> = tiles
+        .iter()
+        .map(|&tile| mgr.submit_reconfigure(tile, AcceleratorKind::Mac))
+        .collect();
+
+    // A second app thread exercises the blocking ensure-loaded path on
+    // tile 0 concurrently with the fan-out.
+    let runner = {
+        let mgr = mgr.clone();
+        let tile = tiles[0];
+        presp::check::sync::spawn_named("runner", move || {
+            let (run, _path) = mgr
+                .execute_blocking(
+                    tile,
+                    AcceleratorKind::Mac,
+                    AccelOp::Mac {
+                        a: vec![2.0],
+                        b: vec![3.0],
+                    },
+                )
+                .unwrap();
+            assert_eq!(run.value, AccelValue::Scalar(6.0));
+        })
+    };
+
+    for pending in pendings {
+        pending.wait().unwrap();
+    }
+    runner.join().unwrap();
+
+    let stats = mgr.stats();
+    assert!(stats.consistent(), "inconsistent stats: {stats:?}");
+    // Four tiles each loaded MAC at least once (the execute may add a
+    // fifth load or coalesce, depending on the schedule).
+    assert!(
+        stats.reconfigurations + stats.cache_hits >= 4,
+        "missing loads: {stats:?}"
+    );
+    mgr.shutdown();
+}
+
+#[test]
+fn sharded_multi_worker_protocol_is_clean_across_schedules() {
+    let budget = schedule_budget();
+    let checker = Checker::new(Config {
+        max_schedules: budget,
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(sharded_multi_worker_model);
+    assert!(report.ok(), "{report}");
+    assert!(
+        report.exhausted || report.schedules >= budget,
+        "explorer stopped early: {report}"
+    );
+    assert!(
+        report.schedules > 100,
+        "scenario too small to be meaningful: {report}"
+    );
+}
+
+/// The committed shard↔core lock-inversion mutant: the worker commits
+/// reconfigurations acquiring `core` → `tile_state`, the reverse of the
+/// scrubber's (and every other path's) `tile_state` → `core`. Racing a
+/// reconfiguration against a scrub pass must deadlock some schedule.
+fn sharded_inversion_model() {
+    use presp::runtime::scheduler::MutantConfig;
+    use presp::runtime::scrubber::ScrubberDaemon;
+
+    let cfg = SocConfig::grid_3x3_reconf("mutant", 1).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    registry
+        .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+        .unwrap();
+    // One worker: the inversion is a two-party cycle (worker vs scrub
+    // daemon); extra workers only dilute the bounded exploration.
+    let mgr = ThreadedManager::<CheckSync>::spawn_with_mutants(
+        soc,
+        registry,
+        RecoveryPolicy::default(),
+        1,
+        MutantConfig {
+            shard_core_inversion: true,
+            ..MutantConfig::default()
+        },
+    );
+    let scrubber = ScrubberDaemon::attach(&mgr);
+    let tile = tiles[0];
+    let app = {
+        let mgr = mgr.clone();
+        presp::check::sync::spawn_named("app", move || {
+            mgr.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                .unwrap();
+        })
+    };
+    let _ = scrubber.scrub_blocking(tile);
+    app.join().unwrap();
+    scrubber.shutdown();
+    mgr.shutdown();
+}
+
+#[test]
+fn sweep_catches_and_replays_the_shard_core_inversion_mutant() {
+    use presp::check::FailureKind;
+    let checker = Checker::new(Config {
+        max_schedules: schedule_budget(),
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(sharded_inversion_model);
+    let failure = report
+        .failure
+        .expect("the inversion mutant must deadlock some schedule");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "expected deadlock, got: {failure}"
+    );
+    // The printed schedule replays the identical deadlock: the bug report
+    // is a reproducer, not a coin flip.
+    let replay = checker.replay(&failure.schedule, sharded_inversion_model);
+    assert!(
+        matches!(
+            replay.failure.as_ref().map(|f| &f.kind),
+            Some(FailureKind::Deadlock { .. })
+        ),
+        "replay must reproduce the deadlock: {replay}"
     );
 }
 

@@ -472,6 +472,229 @@ fn scrubbed_runs_are_trace_identical_per_seed() {
     }
 }
 
+// ---- multi-worker determinism -------------------------------------------
+
+/// Replays a seeded blocking script through the sharded worker pool and
+/// captures everything virtual-time observable: stats, makespan and the
+/// full trace log. The ticket gate commits critical sections in strict
+/// admission order, so the triple must be *identical for any worker
+/// count* — `workers = 4` must replay `workers = 1` byte for byte.
+fn run_threaded_schedule(seed: u64, workers: usize) -> (ManagerStats, u64, String) {
+    use presp::events::trace::log_lines;
+    use presp::events::MemorySink;
+
+    let cfg = SocConfig::grid_3x3_reconf("mw-stress", 4).unwrap();
+    let mut soc = Soc::new(&cfg).unwrap();
+    soc.set_fault_plan(Some(FaultPlan::new(seed, FaultConfig::uniform(0.1))));
+    let sink = MemorySink::shared();
+    soc.attach_tracer(sink.clone());
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    for (i, &tile) in tiles.iter().enumerate() {
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+        registry
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .unwrap();
+    }
+    let manager: ThreadedManager =
+        ThreadedManager::spawn_with_workers(soc, registry, stress_policy(), workers);
+
+    // Single blocking submitter: each request completes before the next
+    // is admitted, so the submission order — and therefore the ticket
+    // order the gate commits in — is a pure function of the seed.
+    let mut queues: Vec<VecDeque<(TileCoord, AcceleratorKind, AccelOp, AccelValue)>> = (0
+        ..APP_THREADS)
+        .map(|t| {
+            (0..OPS_PER_THREAD)
+                .map(|j| {
+                    let (kind, op, expected) = job_op(t, j);
+                    (tiles[(t + j) % tiles.len()], kind, op, expected)
+                })
+                .collect()
+        })
+        .collect();
+    let mut sched = SplitMix64::new(seed ^ 0xD47E_D47E_D47E_D47E);
+    loop {
+        let alive: Vec<usize> = (0..queues.len())
+            .filter(|&i| !queues[i].is_empty())
+            .collect();
+        if alive.is_empty() {
+            break;
+        }
+        let pick = alive[sched.below(alive.len() as u64) as usize];
+        let (tile, kind, op, expected) = queues[pick].pop_front().unwrap();
+        let (run, path) = manager
+            .execute_blocking(tile, kind, op)
+            .unwrap_or_else(|e| panic!("seed {seed}: lost request on {tile}: {e}"));
+        assert_eq!(
+            run.value, expected,
+            "seed {seed}: wrong result via {path:?}"
+        );
+    }
+
+    let stats = manager.stats();
+    assert!(
+        stats.consistent(),
+        "seed {seed}: inconsistent stats {stats:?}"
+    );
+    let makespan = manager.makespan();
+    manager.shutdown();
+    let trace = log_lines(sink.lock().unwrap().records());
+    (stats, makespan, trace)
+}
+
+#[test]
+fn worker_count_does_not_change_the_virtual_world() {
+    for seed in [1, 13, 77] {
+        let (stats_1, makespan_1, trace_1) = run_threaded_schedule(seed, 1);
+        let (stats_4, makespan_4, trace_4) = run_threaded_schedule(seed, 4);
+        assert_eq!(stats_1, stats_4, "seed {seed}: stats diverged");
+        assert_eq!(makespan_1, makespan_4, "seed {seed}: makespan diverged");
+        assert_eq!(
+            trace_1, trace_4,
+            "seed {seed}: trace logs are not byte-identical across worker counts"
+        );
+    }
+}
+
+/// Asynchronous flavor: the whole seeded script is admitted before any
+/// completion is awaited, so with four workers the behavioral
+/// evaluations genuinely overlap — yet the ticket gate keeps every
+/// virtual-time outcome (values, stats, makespan) equal to the
+/// single-worker run. (`Execute` jobs never coalesce, so the comparison
+/// is exact; queue-depth trace fields are wall-clock shaped and excluded
+/// by comparing outcomes, not logs.)
+fn run_async_burst(seed: u64, workers: usize) -> (ManagerStats, u64) {
+    let cfg = SocConfig::grid_3x3_reconf("mw-async", 4).unwrap();
+    let mut soc = Soc::new(&cfg).unwrap();
+    soc.set_fault_plan(Some(FaultPlan::new(seed, FaultConfig::uniform(0.1))));
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    for (i, &tile) in tiles.iter().enumerate() {
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+        registry
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .unwrap();
+    }
+    let manager: ThreadedManager =
+        ThreadedManager::spawn_with_workers(soc, registry, stress_policy(), workers);
+
+    let mut queues: Vec<VecDeque<(TileCoord, AcceleratorKind, AccelOp, AccelValue)>> = (0
+        ..APP_THREADS)
+        .map(|t| {
+            (0..OPS_PER_THREAD)
+                .map(|j| {
+                    let (kind, op, expected) = job_op(t, j);
+                    (tiles[(t + j) % tiles.len()], kind, op, expected)
+                })
+                .collect()
+        })
+        .collect();
+    let mut sched = SplitMix64::new(seed ^ 0xA5F0_A5F0_A5F0_A5F0);
+    let mut pendings = Vec::new();
+    loop {
+        let alive: Vec<usize> = (0..queues.len())
+            .filter(|&i| !queues[i].is_empty())
+            .collect();
+        if alive.is_empty() {
+            break;
+        }
+        let pick = alive[sched.below(alive.len() as u64) as usize];
+        let (tile, kind, op, expected) = queues[pick].pop_front().unwrap();
+        pendings.push((manager.submit_execute(tile, kind, op), expected, tile));
+    }
+    for (pending, expected, tile) in pendings {
+        let (run, path) = pending
+            .wait()
+            .unwrap_or_else(|e| panic!("seed {seed}: lost request on {tile}: {e}"));
+        assert_eq!(
+            run.value, expected,
+            "seed {seed}: wrong result via {path:?}"
+        );
+    }
+
+    let stats = manager.stats();
+    assert!(
+        stats.consistent(),
+        "seed {seed}: inconsistent stats {stats:?}"
+    );
+    let makespan = manager.makespan();
+    manager.shutdown();
+    (stats, makespan)
+}
+
+#[test]
+fn async_overlap_still_replays_the_single_worker_outcome() {
+    for seed in [5, 21, 143] {
+        let (stats_1, makespan_1) = run_async_burst(seed, 1);
+        let (stats_4, makespan_4) = run_async_burst(seed, 4);
+        assert_eq!(stats_1, stats_4, "seed {seed}: stats diverged");
+        assert_eq!(makespan_1, makespan_4, "seed {seed}: makespan diverged");
+    }
+}
+
+#[test]
+fn coalesced_reconfigure_burst_loads_once_and_answers_everyone() {
+    let cfg = SocConfig::grid_3x3_reconf("coalesce", 2).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    for (i, &tile) in tiles.iter().enumerate() {
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+        registry
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .unwrap();
+    }
+    let manager: ThreadedManager =
+        ThreadedManager::spawn_with_workers(soc, registry, stress_policy(), 1);
+
+    // Occupy the single worker: its lock-free behavioral evaluation of a
+    // two-million-element sort takes real wall time, during which it
+    // cannot claim anything else.
+    let big: Vec<f32> = (0..2_000_000).rev().map(|i| i as f32).collect();
+    let busy = manager.submit_execute(tiles[1], AcceleratorKind::Sort, AccelOp::Sort { data: big });
+
+    // Burst: ten identical reconfigurations on the other tile. The first
+    // is enqueued behind the busy worker; the other nine tail-fold into
+    // it — deterministically, because claim order follows the global
+    // ticket order and the only worker is pinned on the sort.
+    let burst: Vec<_> = (0..10)
+        .map(|_| manager.submit_reconfigure(tiles[0], AcceleratorKind::Mac))
+        .collect();
+    for pending in burst {
+        pending.wait().expect("every coalesced waiter is answered");
+    }
+    let (run, _path) = busy.wait().unwrap();
+    match run.value {
+        AccelValue::Vector(v) => {
+            assert_eq!(v.len(), 2_000_000);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "sort came back wrong");
+        }
+        other => panic!("unexpected result {other:?}"),
+    }
+
+    let stats = manager.stats();
+    // 10 burst requests + 1 ensure-load inside the execute; one physical
+    // load each for the burst and the execute.
+    assert_eq!(stats.coalesced, 9, "{stats:?}");
+    assert_eq!(stats.reconfig_requests, 11, "{stats:?}");
+    assert_eq!(stats.reconfigurations, 2, "{stats:?}");
+    assert!(stats.consistent(), "{stats:?}");
+    let sched_stats = manager.scheduler_stats();
+    assert_eq!(sched_stats.coalesced, 9);
+    // Two real jobs reached a worker: the execute and the folded load.
+    assert_eq!(sched_stats.admitted, 2);
+    assert_eq!(sched_stats.completed, 2);
+    assert!(sched_stats.wait_samples() >= 2);
+    manager.shutdown();
+}
+
 #[test]
 fn os_thread_stress_with_faults_completes_and_shuts_down_cleanly() {
     let cfg = SocConfig::grid_3x3_reconf("os-stress", TILES).unwrap();

@@ -100,3 +100,108 @@ fn sequence_numbers_are_dense_and_ordered() {
         assert_eq!(r.seq, i as u64, "gap in trace sequence at {i}");
     }
 }
+
+/// A seeded single-tile DPR session on the deterministic manager:
+/// reconfigurations, swaps, runs, retries under injected CRC faults, scrub
+/// passes under injected SEUs and CPU fallbacks. The trace log is a pure
+/// function of the seeds, so it doubles as a semantics-preservation oracle
+/// across runtime refactors.
+fn golden_single_tile_run() -> String {
+    use presp::accel::{AccelOp, AcceleratorKind};
+    use presp::fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
+    use presp::fpga::frame::FrameAddress;
+    use presp::runtime::manager::ReconfigManager;
+    use presp::runtime::registry::BitstreamRegistry;
+    use presp::soc::config::SocConfig;
+    use presp::soc::sim::Soc;
+
+    fn bitstream(soc: &Soc, col: u32, frames: u32) -> Bitstream {
+        let device = soc.part().device();
+        let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        let words = device.part().family().frame_words();
+        for minor in 0..frames {
+            b.add_frame(FrameAddress::new(0, col, minor), vec![col + minor; words])
+                .unwrap();
+        }
+        b.build(true)
+    }
+
+    let cfg = SocConfig::grid_3x3_reconf("golden-dpr", 1).unwrap();
+    let mut soc = Soc::new(&cfg).unwrap();
+    soc.set_fault_plan(Some(FaultPlan::new(
+        42,
+        FaultConfig::uniform(0.2).with_seu(400.0, 0.25),
+    )));
+    let sink = MemorySink::shared();
+    soc.attach_tracer(sink.clone());
+    let tile = cfg.reconfigurable_tiles()[0];
+    let mut registry = BitstreamRegistry::new();
+    registry
+        .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2, 4))
+        .unwrap();
+    registry
+        .register(tile, AcceleratorKind::Sort, bitstream(&soc, 20, 8))
+        .unwrap();
+    let mut manager = ReconfigManager::with_policy(
+        soc,
+        registry,
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_cycles: 32,
+            backoff_multiplier: 2,
+            quarantine_after: 2,
+            cpu_fallback: true,
+        },
+    );
+
+    for j in 0..12u32 {
+        let (kind, op) = if j % 2 == 0 {
+            (
+                AcceleratorKind::Mac,
+                AccelOp::Mac {
+                    a: vec![1.0 + j as f32; 8],
+                    b: vec![2.0; 8],
+                },
+            )
+        } else {
+            (
+                AcceleratorKind::Sort,
+                AccelOp::Sort {
+                    data: vec![3.0, 1.0 + j as f32, 2.0],
+                },
+            )
+        };
+        manager
+            .run_with_fallback(tile, kind, &op)
+            .expect("operation completes, possibly degraded");
+        if j % 4 == 3 && !manager.is_quarantined(tile) {
+            let at = manager.makespan();
+            manager.scrub_all_at(at).expect("scrub sweep completes");
+        }
+    }
+
+    let records = sink.lock().expect("sink lock").take();
+    assert!(!records.is_empty(), "golden run emitted nothing");
+    log_lines(&records)
+}
+
+#[test]
+fn single_tile_dpr_trace_matches_committed_golden() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/dpr_single_tile.trace");
+    let rendered = golden_single_tile_run();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("golden file updated: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "the single-tile DPR trace drifted from the pre-refactor golden \
+         log; the runtime's virtual-time semantics changed. If that is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
