@@ -591,6 +591,39 @@ impl<S: SyncFacade> Scheduler<S> {
             .attach_tracer(sink);
     }
 
+    /// Installs (or disarms, with `None`) a fault plan on the underlying
+    /// SoC. Spec-driven harnesses arm a seeded plan before driving a
+    /// workload and disarm it before a confirmation sweep; quiesce the
+    /// workload first — swapping the plan mid-request changes which hook
+    /// draws the in-flight request sees.
+    pub fn set_fault_plan(&self, plan: Option<presp_fpga::fault::FaultPlan>) {
+        S::lock_recover(&self.shared.core)
+            .soc_mut()
+            .set_fault_plan(plan);
+    }
+
+    /// Faults the installed plan has injected so far (all zero when no
+    /// plan is armed). Post-mortem path: recovers from a poisoned core
+    /// lock.
+    pub fn injected_faults(&self) -> presp_fpga::fault::InjectedFaults {
+        S::lock_recover(&self.shared.core)
+            .soc()
+            .fault_plan()
+            .map(presp_fpga::fault::FaultPlan::injected)
+            .unwrap_or_default()
+    }
+
+    /// Tiles currently quarantined, in coordinate order. Post-mortem
+    /// path: recovers from poisoned shard locks.
+    pub fn quarantined_tiles(&self) -> Vec<TileCoord> {
+        self.shared
+            .shards
+            .iter()
+            .filter(|(_, shard)| S::lock_recover(&shard.state).is_quarantined())
+            .map(|(&coord, _)| coord)
+            .collect()
+    }
+
     /// Caller-side unlocked read the `unsynced_stats` mutant races with.
     #[doc(hidden)]
     pub fn unsynced_runs(&self) -> u64 {

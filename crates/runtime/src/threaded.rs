@@ -104,6 +104,29 @@ impl<S: SyncFacade> ThreadedManager<S> {
         }
     }
 
+    /// Boots with every spec-driven knob explicit: worker count and
+    /// verified-bitstream cache capacity (`0` disables the cache). This
+    /// is the constructor declarative scenario harnesses use — every
+    /// argument maps one-to-one onto a scenario-file field.
+    pub fn spawn_with_config(
+        soc: Soc,
+        registry: BitstreamRegistry,
+        policy: RecoveryPolicy,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> ThreadedManager<S> {
+        ThreadedManager {
+            sched: Scheduler::boot(
+                soc,
+                registry,
+                policy,
+                workers,
+                cache_capacity,
+                MutantConfig::default(),
+            ),
+        }
+    }
+
     /// Boots with explicit mutants enabled — checker-validation only.
     #[doc(hidden)]
     pub fn spawn_with_mutants(
@@ -249,6 +272,22 @@ impl<S: SyncFacade> ThreadedManager<S> {
     /// exactly when forensics were needed.)
     pub fn attach_tracer(&self, sink: presp_events::SharedSink) {
         self.sched.attach_tracer(sink);
+    }
+
+    /// Installs (or disarms) a fault plan on the underlying SoC — see
+    /// [`crate::scheduler::Scheduler::set_fault_plan`].
+    pub fn set_fault_plan(&self, plan: Option<presp_fpga::fault::FaultPlan>) {
+        self.sched.set_fault_plan(plan);
+    }
+
+    /// Faults the installed plan has injected so far.
+    pub fn injected_faults(&self) -> presp_fpga::fault::InjectedFaults {
+        self.sched.injected_faults()
+    }
+
+    /// Tiles currently quarantined, in coordinate order.
+    pub fn quarantined_tiles(&self) -> Vec<TileCoord> {
+        self.sched.quarantined_tiles()
     }
 
     /// Caller-side unlocked read the `unsynced_stats` mutant races with.

@@ -1,0 +1,864 @@
+//! The scenario engine: a [`ScenarioSpec`] in, deterministic
+//! observations and assertion verdicts out.
+//!
+//! Per `(seed, worker-count)` cell of the matrix the engine boots a
+//! fresh `Soc` + [`ThreadedManager`] (and a [`ScrubberDaemon`] when the
+//! spec asks for one), arms a seeded [`FaultPlan`], drives the declared
+//! workload through a *single blocking submitter*, and snapshots every
+//! virtual-time observable. Blocking submission makes the admission
+//! order — and therefore the ticket order the scheduler's gate commits
+//! in — a pure function of the seed, so the stats, makespan and trace
+//! log of a run are byte-identical across repeats and across worker
+//! counts. Wall-clock quantities (queue-wait percentiles, backlog
+//! high-water marks) are deliberately *not* observed.
+//!
+//! The submitter interleaving mirrors the `stress_dpr` harness exactly:
+//! each logical client has a fixed script of operations cycling through
+//! the catalog, and a seeded [`SplitMix64`] draws which client issues
+//! next. Porting a storm from that harness into a scenario file keeps
+//! the schedule — and the invariants it exercises — intact.
+
+use crate::spec::{Assertion, CatalogKind, ScenarioSpec, WorkloadSpec};
+use presp_accel::{AccelOp, AccelValue, AcceleratorKind};
+use presp_events::trace::{chrome_trace_json, log_lines};
+use presp_events::MemorySink;
+use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
+use presp_fpga::fault::{FaultPlan, InjectedFaults, SplitMix64};
+use presp_fpga::frame::FrameAddress;
+use presp_runtime::manager::ExecPath;
+use presp_runtime::registry::BitstreamRegistry;
+use presp_runtime::scrubber::ScrubberDaemon;
+use presp_runtime::threaded::ThreadedManager;
+use presp_soc::config::{SocConfig, TileCoord};
+use presp_soc::sim::Soc;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Domain-separation constant for the submitter's interleaving draw —
+/// the same one the `stress_dpr` threaded harness uses, so ported
+/// scenarios replay the identical schedule.
+const INTERLEAVE_SALT: u64 = 0xD47E_D47E_D47E_D47E;
+
+/// Everything deterministic observed from one `(seed, workers)` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunObservation {
+    /// The seed this run was driven under.
+    pub seed: u64,
+    /// The worker count it ran with.
+    pub workers: usize,
+    /// Deterministic totals, keyed by [`crate::spec::STAT_KEYS`] entries.
+    pub stats: BTreeMap<&'static str, u64>,
+    /// Whether `ManagerStats::consistent()` held.
+    pub stats_consistent: bool,
+    /// Latest completion cycle on the virtual clock.
+    pub makespan: u64,
+    /// The full trace log (`log_lines` rendering, virtual-time only).
+    pub trace_log: String,
+    /// Event-name → occurrence-count index over the trace.
+    pub event_counts: BTreeMap<String, u64>,
+    /// Tiles left quarantined after the run.
+    pub quarantined: Vec<TileCoord>,
+}
+
+/// A scenario's complete observation set plus the Chrome trace of its
+/// first run (for `--trace-dir` artifacts).
+#[derive(Debug, Clone)]
+pub struct ScenarioObservations {
+    /// One entry per `(seed, workers)` cell, seeds outer, workers inner.
+    pub runs: Vec<RunObservation>,
+    /// Chrome-trace JSON of the first cell's run.
+    pub first_chrome_trace: String,
+}
+
+/// One assertion's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionResult {
+    /// The check token (e.g. `"stats_consistent"`, `"stat_min"`).
+    pub check: String,
+    /// Whether it held.
+    pub passed: bool,
+    /// Human-readable explanation (always set; on failure it names the
+    /// observed value and the bound).
+    pub detail: String,
+    /// The seed that reproduces the failure (first failing run's seed;
+    /// the scenario's first seed when the check is aggregate).
+    pub replay_seed: u64,
+}
+
+/// A scenario's verdict: observations plus per-assertion results.
+#[derive(Debug, Clone)]
+pub struct ScenarioVerdict {
+    /// The spec that ran.
+    pub spec: ScenarioSpec,
+    /// What the engine observed.
+    pub observations: ScenarioObservations,
+    /// One result per declared assertion, in declaration order.
+    pub results: Vec<AssertionResult>,
+}
+
+impl ScenarioVerdict {
+    /// Whether every assertion held.
+    pub fn passed(&self) -> bool {
+        self.results.iter().all(|r| r.passed)
+    }
+}
+
+fn kind_of(kind: CatalogKind) -> AcceleratorKind {
+    match kind {
+        CatalogKind::Mac => AcceleratorKind::Mac,
+        CatalogKind::Sort => AcceleratorKind::Sort,
+    }
+}
+
+/// The canonical partial bitstream for column `col` — identical to the
+/// stress harness's so registry contents (and therefore cache and ICAP
+/// behavior) match ported scenarios.
+fn bitstream(soc: &Soc, col: u32) -> Bitstream {
+    let device = soc.part().device();
+    let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+    let words = device.part().family().frame_words();
+    b.add_frame(FrameAddress::new(0, 1 + col % 60, 0), vec![col; words])
+        .expect("canonical frame address is in range");
+    b.build(true)
+}
+
+/// Registry column base per accelerator kind (mirrors `stress_dpr`).
+fn column_base(kind: CatalogKind) -> u32 {
+    match kind {
+        CatalogKind::Mac => 2,
+        CatalogKind::Sort => 30,
+    }
+}
+
+/// Operation `j` of logical client `t`'s script: cycles through the
+/// catalog, with CPU-recomputable expected values. With the full
+/// `[mac, sort]` catalog and the `(t + j) % 2` selector this is exactly
+/// `stress_dpr::job_op`.
+fn job_op(catalog: &[CatalogKind], t: usize, j: usize) -> (AcceleratorKind, AccelOp, AccelValue) {
+    match catalog[(t + j) % catalog.len()] {
+        CatalogKind::Mac => {
+            let a = (1 + t) as f32;
+            let b = (1 + j) as f32;
+            (
+                AcceleratorKind::Mac,
+                AccelOp::Mac {
+                    a: vec![a; 4],
+                    b: vec![b; 4],
+                },
+                AccelValue::Scalar(4.0 * a * b),
+            )
+        }
+        CatalogKind::Sort => {
+            let data = vec![3.0, 1.0 + t as f32, 2.0 + j as f32];
+            let mut sorted = data.clone();
+            sorted.sort_by(f32::total_cmp);
+            (
+                AcceleratorKind::Sort,
+                AccelOp::Sort { data },
+                AccelValue::Vector(sorted),
+            )
+        }
+    }
+}
+
+/// Engine-side accounting the drive loop accumulates.
+#[derive(Debug, Default)]
+struct DriveTally {
+    submitted: u64,
+    completed_ok: u64,
+    cpu_fallbacks: u64,
+    value_mismatches: u64,
+    lost_requests: u64,
+    final_sweep_dirty: u64,
+}
+
+fn any_fault_configured(spec: &ScenarioSpec) -> bool {
+    let f = &spec.faults;
+    f.icap_flip_rate > 0.0
+        || f.dfxc_stall_rate > 0.0
+        || f.registry_miss_rate > 0.0
+        || f.decoupler_delay_rate > 0.0
+        || f.seu_per_mcycle > 0.0
+}
+
+/// Runs one `(seed, workers)` cell and returns its observation plus the
+/// raw trace records (for the Chrome export of the first cell).
+fn run_cell(
+    spec: &ScenarioSpec,
+    seed: u64,
+    workers: usize,
+) -> (RunObservation, Vec<presp_events::trace::TraceRecord>) {
+    let cfg = SocConfig::grid_3x3_reconf(&spec.fabric.soc_name, spec.fabric.reconf_tiles)
+        .expect("reconf_tiles validated at parse (1..=6)");
+    let mut soc = Soc::new(&cfg).expect("a validated grid config boots");
+    if any_fault_configured(spec) {
+        soc.set_fault_plan(Some(FaultPlan::new(seed, spec.faults)));
+    }
+    let sink = MemorySink::shared();
+    soc.attach_tracer(sink.clone());
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    for (i, &tile) in tiles.iter().enumerate() {
+        for &kind in &spec.catalog {
+            registry
+                .register(
+                    tile,
+                    kind_of(kind),
+                    bitstream(&soc, column_base(kind) + i as u32),
+                )
+                .expect("tile/kind pairs are unique");
+        }
+    }
+    let manager: ThreadedManager = ThreadedManager::spawn_with_config(
+        soc,
+        registry,
+        spec.policy,
+        workers,
+        spec.cache_capacity,
+    );
+    let scrubber = spec
+        .scrubber
+        .enabled
+        .then(|| ScrubberDaemon::attach(&manager));
+
+    let mut tally = DriveTally::default();
+    match spec.workload {
+        WorkloadSpec::Blocking {
+            clients,
+            ops_per_client,
+        } => drive_blocking(
+            spec,
+            seed,
+            &manager,
+            scrubber.as_ref(),
+            &tiles,
+            clients,
+            ops_per_client,
+            &mut tally,
+        ),
+        WorkloadSpec::CoalesceBurst {
+            burst,
+            pin_sort_len,
+        } => drive_coalesce_burst(&manager, &tiles, burst, pin_sort_len, &mut tally),
+    }
+
+    // Final sweep: drain whatever struck during the storm, disarm the
+    // fault source, and confirm every tile reads back clean.
+    if let Some(daemon) = scrubber.as_ref() {
+        if spec.scrubber.final_sweep {
+            let _ = daemon.scrub_all_blocking();
+            manager.set_fault_plan(None);
+            if let Ok(confirm) = daemon.scrub_all_blocking() {
+                tally.final_sweep_dirty +=
+                    confirm.iter().filter(|(_, r)| !r.is_clean()).count() as u64;
+            }
+        }
+    }
+
+    let mgr_stats = manager.stats();
+    let sched_stats = manager.scheduler_stats();
+    let cache_stats = manager.cache_stats();
+    let injected: InjectedFaults = manager.injected_faults();
+    let quarantined = manager.quarantined_tiles();
+    let makespan = manager.makespan();
+    let scrubber_stats = scrubber.as_ref().map(|d| d.stats());
+    if let Some(daemon) = scrubber {
+        daemon.shutdown();
+    }
+    manager.shutdown();
+    let records = sink.lock().expect("sink lock").records().to_vec();
+    let trace_log = log_lines(&records);
+    let mut event_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for record in &records {
+        *event_counts
+            .entry(record.event.name().to_string())
+            .or_insert(0) += 1;
+    }
+
+    let mut stats: BTreeMap<&'static str, u64> = BTreeMap::new();
+    stats.insert("reconfig_requests", mgr_stats.reconfig_requests);
+    stats.insert("reconfigurations", mgr_stats.reconfigurations);
+    stats.insert("driver_cache_hits", mgr_stats.cache_hits);
+    stats.insert("coalesced", mgr_stats.coalesced);
+    stats.insert("retries_exhausted", mgr_stats.retries_exhausted);
+    stats.insert("rejected", mgr_stats.rejected);
+    stats.insert("retries", mgr_stats.retries);
+    stats.insert("quarantines", mgr_stats.quarantines);
+    stats.insert("reconfig_cycles", mgr_stats.reconfig_cycles);
+    stats.insert("runs", mgr_stats.runs);
+    stats.insert("fallback_runs", mgr_stats.fallback_runs);
+    stats.insert("scrub_passes", mgr_stats.scrub_passes);
+    stats.insert("frames_repaired", mgr_stats.frames_repaired);
+    stats.insert("scrub_quarantines", mgr_stats.scrub_quarantines);
+    stats.insert("sched_admitted", sched_stats.admitted);
+    stats.insert("sched_completed", sched_stats.completed);
+    stats.insert("sched_coalesced", sched_stats.coalesced);
+    stats.insert("bitstream_cache_hits", cache_stats.hits);
+    stats.insert("bitstream_cache_misses", cache_stats.misses);
+    stats.insert("bitstream_cache_evictions", cache_stats.evictions);
+    let scrub = scrubber_stats.unwrap_or_default();
+    stats.insert("scrubber_passes", scrub.passes);
+    stats.insert("scrubber_clean_passes", scrub.clean_passes);
+    stats.insert("scrubber_frames_repaired", scrub.frames_repaired);
+    stats.insert("scrubber_quarantines", scrub.quarantines);
+    stats.insert("injected_total", injected.total());
+    stats.insert("injected_icap_corruptions", injected.icap_corruptions);
+    stats.insert("injected_dfxc_stalls", injected.dfxc_stalls);
+    stats.insert("injected_registry_misses", injected.registry_misses);
+    stats.insert("injected_decoupler_delays", injected.decoupler_delays);
+    stats.insert("injected_seu_upsets", injected.seu_upsets);
+    stats.insert("injected_seu_double_bits", injected.seu_double_bits);
+    stats.insert("submitted", tally.submitted);
+    stats.insert("completed_ok", tally.completed_ok);
+    stats.insert("cpu_fallback_completions", tally.cpu_fallbacks);
+    stats.insert("value_mismatches", tally.value_mismatches);
+    stats.insert("lost_requests", tally.lost_requests);
+    stats.insert("quarantined_tiles", quarantined.len() as u64);
+    stats.insert("final_sweep_dirty", tally.final_sweep_dirty);
+
+    (
+        RunObservation {
+            seed,
+            workers,
+            stats,
+            stats_consistent: mgr_stats.consistent(),
+            makespan,
+            trace_log,
+            event_counts,
+            quarantined,
+        },
+        records,
+    )
+}
+
+/// The seeded blocking submitter: fixed per-client scripts, a seeded
+/// draw picking which client issues next, every operation awaited before
+/// the next is admitted.
+#[allow(clippy::too_many_arguments)]
+fn drive_blocking(
+    spec: &ScenarioSpec,
+    seed: u64,
+    manager: &ThreadedManager,
+    scrubber: Option<&ScrubberDaemon>,
+    tiles: &[TileCoord],
+    clients: usize,
+    ops_per_client: usize,
+    tally: &mut DriveTally,
+) {
+    let mut queues: Vec<VecDeque<(TileCoord, AcceleratorKind, AccelOp, AccelValue)>> = (0..clients)
+        .map(|t| {
+            (0..ops_per_client)
+                .map(|j| {
+                    let (kind, op, expected) = job_op(&spec.catalog, t, j);
+                    (tiles[(t + j) % tiles.len()], kind, op, expected)
+                })
+                .collect()
+        })
+        .collect();
+    let mut sched = SplitMix64::new(seed ^ INTERLEAVE_SALT);
+    loop {
+        let alive: Vec<usize> = (0..queues.len())
+            .filter(|&i| !queues[i].is_empty())
+            .collect();
+        if alive.is_empty() {
+            break;
+        }
+        let pick = alive[sched.below(alive.len() as u64) as usize];
+        let (tile, kind, op, expected) = queues[pick].pop_front().expect("alive queue");
+        tally.submitted += 1;
+        match manager.execute_blocking(tile, kind, op) {
+            Ok((run, path)) => {
+                tally.completed_ok += 1;
+                if path == ExecPath::CpuFallback {
+                    tally.cpu_fallbacks += 1;
+                }
+                if run.value != expected {
+                    tally.value_mismatches += 1;
+                }
+            }
+            Err(_) => tally.lost_requests += 1,
+        }
+        if let Some(daemon) = scrubber {
+            let every = spec.scrubber.sweep_every_ops;
+            if every > 0 && tally.submitted.is_multiple_of(every) {
+                let _ = daemon.scrub_all_blocking();
+            }
+        }
+    }
+}
+
+/// The coalescing probe: pin the single worker on a large sort, then
+/// burst identical reconfigurations at another tile; all but the first
+/// tail-fold into one physical load.
+fn drive_coalesce_burst(
+    manager: &ThreadedManager,
+    tiles: &[TileCoord],
+    burst: usize,
+    pin_sort_len: usize,
+    tally: &mut DriveTally,
+) {
+    let big: Vec<f32> = (0..pin_sort_len).rev().map(|i| i as f32).collect();
+    let busy = manager.submit_execute(tiles[1], AcceleratorKind::Sort, AccelOp::Sort { data: big });
+    let pending: Vec<_> = (0..burst)
+        .map(|_| manager.submit_reconfigure(tiles[0], AcceleratorKind::Mac))
+        .collect();
+    tally.submitted = burst as u64 + 1;
+    for p in pending {
+        match p.wait() {
+            Ok(()) => tally.completed_ok += 1,
+            Err(_) => tally.lost_requests += 1,
+        }
+    }
+    match busy.wait() {
+        Ok((run, path)) => {
+            tally.completed_ok += 1;
+            if path == ExecPath::CpuFallback {
+                tally.cpu_fallbacks += 1;
+            }
+            let sorted_ok = matches!(
+                &run.value,
+                AccelValue::Vector(v)
+                    if v.len() == pin_sort_len && v.windows(2).all(|w| w[0] <= w[1])
+            );
+            if !sorted_ok {
+                tally.value_mismatches += 1;
+            }
+        }
+        Err(_) => tally.lost_requests += 1,
+    }
+}
+
+/// Runs the full `(seed, workers)` matrix of a spec.
+pub fn observe(spec: &ScenarioSpec) -> ScenarioObservations {
+    let mut runs = Vec::new();
+    let mut first_chrome_trace = String::new();
+    for offset in 0..spec.seeds.count {
+        let seed = spec.seeds.start + offset;
+        for &workers in &spec.workers {
+            let (obs, records) = run_cell(spec, seed, workers);
+            if runs.is_empty() {
+                first_chrome_trace = chrome_trace_json(&records);
+            }
+            runs.push(obs);
+        }
+    }
+    ScenarioObservations {
+        runs,
+        first_chrome_trace,
+    }
+}
+
+/// Totals a stat across every run.
+fn total(runs: &[RunObservation], key: &str) -> u64 {
+    runs.iter()
+        .map(|r| r.stats.get(key).copied().unwrap_or(0))
+        .sum()
+}
+
+/// Totals every stat across every run (the report's `totals` object).
+pub fn totals(runs: &[RunObservation]) -> BTreeMap<&'static str, u64> {
+    let mut out = BTreeMap::new();
+    for key in crate::spec::STAT_KEYS {
+        out.insert(*key, total(runs, key));
+    }
+    out
+}
+
+fn pass(check: &str, detail: String, seed: u64) -> AssertionResult {
+    AssertionResult {
+        check: check.to_string(),
+        passed: true,
+        detail,
+        replay_seed: seed,
+    }
+}
+
+fn fail(check: &str, detail: String, seed: u64) -> AssertionResult {
+    AssertionResult {
+        check: check.to_string(),
+        passed: false,
+        detail,
+        replay_seed: seed,
+    }
+}
+
+/// Evaluates one assertion against the observation set.
+fn evaluate(
+    assertion: &Assertion,
+    spec: &ScenarioSpec,
+    obs: &ScenarioObservations,
+) -> AssertionResult {
+    let runs = &obs.runs;
+    let first_seed = spec.seeds.start;
+    match assertion {
+        Assertion::StatsConsistent => match runs.iter().find(|r| !r.stats_consistent) {
+            None => pass(
+                "stats_consistent",
+                format!("ManagerStats::consistent() held across {} runs", runs.len()),
+                first_seed,
+            ),
+            Some(r) => fail(
+                "stats_consistent",
+                format!(
+                    "request accounting inconsistent at seed {} / {} workers",
+                    r.seed, r.workers
+                ),
+                r.seed,
+            ),
+        },
+        Assertion::NoLostRequests => {
+            match runs.iter().find(|r| {
+                r.stats["lost_requests"] != 0 || r.stats["completed_ok"] != r.stats["submitted"]
+            }) {
+                None => pass(
+                    "no_lost_requests",
+                    format!(
+                        "all {} submitted operations completed",
+                        total(runs, "submitted")
+                    ),
+                    first_seed,
+                ),
+                Some(r) => fail(
+                    "no_lost_requests",
+                    format!(
+                        "seed {} / {} workers: {} of {} submissions completed ({} lost)",
+                        r.seed,
+                        r.workers,
+                        r.stats["completed_ok"],
+                        r.stats["submitted"],
+                        r.stats["lost_requests"]
+                    ),
+                    r.seed,
+                ),
+            }
+        }
+        Assertion::BitIdenticalOutputs => {
+            match runs.iter().find(|r| r.stats["value_mismatches"] != 0) {
+                None => pass(
+                    "bit_identical_outputs",
+                    "every completed value matched the CPU model bit for bit".to_string(),
+                    first_seed,
+                ),
+                Some(r) => fail(
+                    "bit_identical_outputs",
+                    format!(
+                        "seed {} / {} workers: {} values diverged from the CPU model",
+                        r.seed, r.workers, r.stats["value_mismatches"]
+                    ),
+                    r.seed,
+                ),
+            }
+        }
+        Assertion::SameSeedTraceIdentical => {
+            let first = &runs[0];
+            let (replay, _records) = run_cell(spec, first.seed, first.workers);
+            let mut diffs = Vec::new();
+            if replay.stats != first.stats {
+                diffs.push("stats");
+            }
+            if replay.makespan != first.makespan {
+                diffs.push("makespan");
+            }
+            if replay.trace_log != first.trace_log {
+                diffs.push("trace log");
+            }
+            if diffs.is_empty() {
+                pass(
+                    "same_seed_trace_identical",
+                    format!(
+                        "re-running seed {} / {} workers reproduced stats, makespan \
+                         and trace byte for byte",
+                        first.seed, first.workers
+                    ),
+                    first.seed,
+                )
+            } else {
+                fail(
+                    "same_seed_trace_identical",
+                    format!(
+                        "seed {} / {} workers diverged on replay: {}",
+                        first.seed,
+                        first.workers,
+                        diffs.join(", ")
+                    ),
+                    first.seed,
+                )
+            }
+        }
+        Assertion::OutcomeEqualityAcrossWorkers => {
+            // Runs are grouped seeds-outer: runs[i * W + w] is seed i
+            // under spec.workers[w].
+            let w = spec.workers.len();
+            for group in runs.chunks(w) {
+                let base = &group[0];
+                for other in &group[1..] {
+                    let mut diffs = Vec::new();
+                    if other.stats != base.stats {
+                        diffs.push("stats");
+                    }
+                    if other.makespan != base.makespan {
+                        diffs.push("makespan");
+                    }
+                    if other.trace_log != base.trace_log {
+                        diffs.push("trace log");
+                    }
+                    if !diffs.is_empty() {
+                        return fail(
+                            "outcome_equality_across_workers",
+                            format!(
+                                "seed {}: workers={} and workers={} diverged on {}",
+                                base.seed,
+                                base.workers,
+                                other.workers,
+                                diffs.join(", ")
+                            ),
+                            base.seed,
+                        );
+                    }
+                }
+            }
+            pass(
+                "outcome_equality_across_workers",
+                format!(
+                    "worker counts {:?} produced identical outcomes across {} seeds",
+                    spec.workers, spec.seeds.count
+                ),
+                first_seed,
+            )
+        }
+        Assertion::FinalScrubClean => {
+            match runs.iter().find(|r| r.stats["final_sweep_dirty"] != 0) {
+                None => pass(
+                    "final_scrub_clean",
+                    "every confirmation sweep came back clean".to_string(),
+                    first_seed,
+                ),
+                Some(r) => fail(
+                    "final_scrub_clean",
+                    format!(
+                        "seed {} / {} workers: {} tiles still dirty after the \
+                         confirmation sweep",
+                        r.seed, r.workers, r.stats["final_sweep_dirty"]
+                    ),
+                    r.seed,
+                ),
+            }
+        }
+        Assertion::StatMin { stat, value } => {
+            let observed = total(runs, stat);
+            if observed >= *value {
+                pass(
+                    "stat_min",
+                    format!("total {stat} = {observed} >= {value}"),
+                    first_seed,
+                )
+            } else {
+                fail(
+                    "stat_min",
+                    format!("total {stat} = {observed}, expected at least {value}"),
+                    first_seed,
+                )
+            }
+        }
+        Assertion::StatMax { stat, value } => {
+            let observed = total(runs, stat);
+            if observed <= *value {
+                pass(
+                    "stat_max",
+                    format!("total {stat} = {observed} <= {value}"),
+                    first_seed,
+                )
+            } else {
+                fail(
+                    "stat_max",
+                    format!("total {stat} = {observed}, expected at most {value}"),
+                    first_seed,
+                )
+            }
+        }
+        Assertion::StatEq { stat, value } => {
+            let observed = total(runs, stat);
+            if observed == *value {
+                pass("stat_eq", format!("total {stat} = {observed}"), first_seed)
+            } else {
+                fail(
+                    "stat_eq",
+                    format!("total {stat} = {observed}, expected exactly {value}"),
+                    first_seed,
+                )
+            }
+        }
+        Assertion::TraceContains { event } => {
+            let hits: u64 = runs
+                .iter()
+                .map(|r| r.event_counts.get(event).copied().unwrap_or(0))
+                .sum();
+            if hits > 0 {
+                pass(
+                    "trace_contains",
+                    format!("event '{event}' appeared {hits} times across all traces"),
+                    first_seed,
+                )
+            } else {
+                let mut detail =
+                    format!("event '{event}' never appeared in any trace; seen events: ");
+                let mut seen: Vec<&String> =
+                    runs.iter().flat_map(|r| r.event_counts.keys()).collect();
+                seen.sort();
+                seen.dedup();
+                for (i, name) in seen.iter().enumerate() {
+                    if i > 0 {
+                        detail.push_str(", ");
+                    }
+                    let _ = write!(detail, "{name}");
+                }
+                fail("trace_contains", detail, first_seed)
+            }
+        }
+        Assertion::TraceAbsent { event } => {
+            match runs
+                .iter()
+                .find(|r| r.event_counts.get(event).copied().unwrap_or(0) > 0)
+            {
+                None => pass(
+                    "trace_absent",
+                    format!("event '{event}' never appeared, as required"),
+                    first_seed,
+                ),
+                Some(r) => fail(
+                    "trace_absent",
+                    format!(
+                        "seed {} / {} workers: forbidden event '{event}' appeared {} times",
+                        r.seed, r.workers, r.event_counts[event]
+                    ),
+                    r.seed,
+                ),
+            }
+        }
+        Assertion::MakespanMax { value } => match runs.iter().max_by_key(|r| r.makespan) {
+            Some(r) if r.makespan > *value => fail(
+                "makespan_max",
+                format!(
+                    "seed {} / {} workers: makespan {} cycles exceeds the {} bound",
+                    r.seed, r.workers, r.makespan, value
+                ),
+                r.seed,
+            ),
+            Some(r) => pass(
+                "makespan_max",
+                format!("worst makespan {} cycles <= {} bound", r.makespan, value),
+                first_seed,
+            ),
+            None => fail("makespan_max", "no runs observed".to_string(), first_seed),
+        },
+    }
+}
+
+/// Runs a scenario end to end: the full matrix, then every assertion.
+pub fn run(spec: &ScenarioSpec) -> ScenarioVerdict {
+    let observations = observe(spec);
+    let results = spec
+        .assertions
+        .iter()
+        .map(|a| evaluate(a, spec, &observations))
+        .collect();
+    ScenarioVerdict {
+        spec: spec.clone(),
+        observations,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(doc: &str) -> ScenarioSpec {
+        ScenarioSpec::parse(doc).expect("valid spec")
+    }
+
+    #[test]
+    fn fault_free_blocking_scenario_passes_its_invariants() {
+        let verdict = run(&spec(
+            r#"{
+                "name": "engine_smoke",
+                "fabric": {"soc_name": "engine-smoke", "reconf_tiles": 2},
+                "catalog": ["mac", "sort"],
+                "seeds": {"count": 2},
+                "workload": {"kind": "blocking", "clients": 2, "ops_per_client": 4},
+                "assertions": [
+                    {"check": "stats_consistent"},
+                    {"check": "no_lost_requests"},
+                    {"check": "bit_identical_outputs"},
+                    {"check": "same_seed_trace_identical"},
+                    {"check": "stat_eq", "stat": "cpu_fallback_completions", "value": 0},
+                    {"check": "stat_eq", "stat": "injected_total", "value": 0}
+                ]
+            }"#,
+        ));
+        assert!(
+            verdict.passed(),
+            "{:#?}",
+            verdict
+                .results
+                .iter()
+                .filter(|r| !r.passed)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(verdict.observations.runs.len(), 2);
+        assert!(verdict
+            .observations
+            .first_chrome_trace
+            .contains("traceEvents"));
+    }
+
+    #[test]
+    fn failing_stat_bound_reports_observed_and_expected() {
+        let verdict = run(&spec(
+            r#"{
+                "name": "engine_bound",
+                "fabric": {"soc_name": "engine-bound", "reconf_tiles": 1},
+                "catalog": ["mac"],
+                "seeds": {"count": 1},
+                "workload": {"kind": "blocking", "clients": 1, "ops_per_client": 2},
+                "assertions": [{"check": "stat_min", "stat": "retries", "value": 999}]
+            }"#,
+        ));
+        assert!(!verdict.passed());
+        let r = &verdict.results[0];
+        assert!(r.detail.contains("retries"), "{}", r.detail);
+        assert!(r.detail.contains("999"), "{}", r.detail);
+    }
+
+    #[test]
+    fn fault_storm_injects_and_recovers() {
+        let verdict = run(&spec(
+            r#"{
+                "name": "engine_storm",
+                "fabric": {"soc_name": "engine-storm", "reconf_tiles": 2},
+                "catalog": ["mac", "sort"],
+                "seeds": {"count": 5},
+                "faults": {"uniform_rate": 0.15},
+                "policy": {"max_retries": 2, "backoff_cycles": 32,
+                           "backoff_multiplier": 2, "quarantine_after": 2,
+                           "cpu_fallback": true},
+                "workload": {"kind": "blocking", "clients": 4, "ops_per_client": 6},
+                "assertions": [
+                    {"check": "stats_consistent"},
+                    {"check": "no_lost_requests"},
+                    {"check": "bit_identical_outputs"},
+                    {"check": "stat_min", "stat": "injected_total", "value": 1}
+                ]
+            }"#,
+        ));
+        assert!(
+            verdict.passed(),
+            "{:#?}",
+            verdict
+                .results
+                .iter()
+                .filter(|r| !r.passed)
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end validation of the JUnit XML surface.
+//!
+//! Runs a real mixed matrix — one passing scenario, one scenario with an
+//! impossible bound, one file that is not valid scenario JSON — through
+//! the runner, then checks the emitted document with a small structural
+//! XML checker: declaration first, every open tag closed in order, no
+//! raw metacharacters in text. CI consumes this XML sight unseen, so the
+//! shape is part of the crate's contract, not a formatting detail.
+
+use presp_scenario::runner;
+use std::path::PathBuf;
+
+/// A minimal structural XML well-formedness check: tags balance in LIFO
+/// order, attributes are quoted, text content carries no raw `<` or `&`.
+fn assert_well_formed(xml: &str) {
+    let rest = xml
+        .strip_prefix("<?xml version=\"1.0\" encoding=\"UTF-8\"?>")
+        .expect("document must open with an XML declaration");
+    let mut stack: Vec<String> = Vec::new();
+    let mut chars = rest.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '<' => {
+                let close = rest[i..].find('>').map(|o| i + o).expect("unclosed tag");
+                let tag = &rest[i + 1..close];
+                if let Some(name) = tag.strip_prefix('/') {
+                    let open = stack
+                        .pop()
+                        .unwrap_or_else(|| panic!("closing tag </{name}> with empty stack"));
+                    assert_eq!(open, name, "tag mismatch: <{open}> closed by </{name}>");
+                } else if !tag.ends_with('/') {
+                    let name = tag.split_whitespace().next().expect("empty tag");
+                    assert_eq!(
+                        tag.matches('"').count() % 2,
+                        0,
+                        "unbalanced attribute quotes in <{tag}>"
+                    );
+                    stack.push(name.to_string());
+                }
+                while chars.peek().is_some_and(|&(j, _)| j <= close) {
+                    chars.next();
+                }
+            }
+            '&' => {
+                let entity = &rest[i..rest.len().min(i + 6)];
+                assert!(
+                    ["&amp;", "&lt;", "&gt;", "&quot;", "&apos;"]
+                        .iter()
+                        .any(|e| entity.starts_with(e)),
+                    "raw '&' in text content near: {entity:?}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        stack.is_empty(),
+        "unclosed tags at end of document: {stack:?}"
+    );
+}
+
+/// Writes the mixed matrix into a fresh temp directory and returns it.
+fn write_matrix() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("presp-junit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp matrix dir");
+    std::fs::write(
+        dir.join("a_passing.json"),
+        r#"{
+            "name": "a_passing",
+            "fabric": {"soc_name": "junit-pass", "reconf_tiles": 1},
+            "catalog": ["mac"],
+            "seeds": {"count": 2},
+            "workload": {"kind": "blocking", "clients": 2, "ops_per_client": 2},
+            "assertions": [{"check": "stats_consistent"},
+                           {"check": "no_lost_requests"}]
+        }"#,
+    )
+    .expect("write passing scenario");
+    std::fs::write(
+        dir.join("b_failing.json"),
+        r#"{
+            "name": "b_failing",
+            "fabric": {"soc_name": "junit-fail", "reconf_tiles": 1},
+            "catalog": ["mac"],
+            "seeds": {"start": 7, "count": 2},
+            "workload": {"kind": "blocking", "clients": 2, "ops_per_client": 2},
+            "assertions": [{"check": "stat_min", "stat": "quarantines", "value": 999},
+                           {"check": "stat_min", "stat": "retries", "value": 999}]
+        }"#,
+    )
+    .expect("write failing scenario");
+    std::fs::write(dir.join("c_broken.json"), r#"{"name": "c_broken<&>"}"#)
+        .expect("write broken scenario");
+    dir
+}
+
+#[test]
+fn junit_document_is_well_formed_with_one_testcase_per_scenario() {
+    let dir = write_matrix();
+    let outcome = runner::run_paths(std::slice::from_ref(&dir)).expect("matrix resolves");
+    let xml = outcome.junit_xml();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_well_formed(&xml);
+
+    // One testcase per scenario file, pass or fail.
+    assert_eq!(xml.matches("<testcase ").count(), 3, "{xml}");
+    assert!(xml.contains("tests=\"3\""), "{xml}");
+    assert!(xml.contains("failures=\"2\""), "{xml}");
+    assert!(xml.contains("name=\"a_passing\""), "{xml}");
+    assert!(xml.contains("name=\"b_failing\""), "{xml}");
+
+    // The failure carries the assertion that failed and the seed that
+    // replays it (seeds start at 7 in the failing scenario).
+    assert!(
+        xml.contains("<failure message=\"stat_min (replay seed 7)\""),
+        "{xml}"
+    );
+    assert!(xml.contains("quarantines"), "{xml}");
+
+    // The load failure is a failed testcase named after the file stem,
+    // with its metacharacters escaped.
+    assert!(xml.contains("name=\"c_broken\""), "{xml}");
+    assert!(xml.contains("scenario failed to load"), "{xml}");
+    assert!(
+        !xml.contains("c_broken<&>"),
+        "raw metacharacters leaked: {xml}"
+    );
+
+    assert!(!outcome.all_passed());
+}
+
+#[test]
+fn junit_for_all_green_matrix_has_no_failures() {
+    let dir = std::env::temp_dir().join(format!("presp-junit-green-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp matrix dir");
+    std::fs::write(
+        dir.join("green.json"),
+        r#"{
+            "name": "green",
+            "fabric": {"soc_name": "junit-green", "reconf_tiles": 1},
+            "catalog": ["sort"],
+            "seeds": {"count": 1},
+            "workload": {"kind": "blocking", "clients": 1, "ops_per_client": 3},
+            "assertions": [{"check": "stats_consistent"},
+                           {"check": "bit_identical_outputs"}]
+        }"#,
+    )
+    .expect("write green scenario");
+    let outcome = runner::run_paths(std::slice::from_ref(&dir)).expect("matrix resolves");
+    let xml = outcome.junit_xml();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_well_formed(&xml);
+    assert!(outcome.all_passed());
+    assert!(xml.contains("failures=\"0\""), "{xml}");
+    assert!(!xml.contains("<failure"), "{xml}");
+    assert!(
+        xml.contains("<testcase name=\"green\" classname=\"presp-scenario\""),
+        "{xml}"
+    );
+}

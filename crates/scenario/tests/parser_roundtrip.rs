@@ -1,0 +1,321 @@
+//! Property tests for the scenario language.
+//!
+//! The contract under test is exact: `parse(serialize(spec)) == spec`
+//! for every valid spec, and every malformed document is rejected with a
+//! message that names the offending key and the accepted values. Specs
+//! are generated over the full surface of the language — both workload
+//! kinds, every assertion shape, optional sections present and absent —
+//! within the parser's own validity envelope.
+
+use presp_fpga::fault::FaultConfig;
+use presp_runtime::manager::RecoveryPolicy;
+use presp_scenario::spec::{
+    Assertion, CatalogKind, FabricSpec, ScenarioSpec, ScrubberSpec, SeedSpec, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_of_serialize_is_identity(
+        name_n in 0u64..1_000_000,
+        with_description in proptest::bool::ANY,
+        tiles in 2usize..7,
+        catalog_sel in 0u64..3,
+        seed_start in 0u64..100_000,
+        seed_count in 1u64..50,
+        workers_sel in 0u64..4,
+        cache_capacity in 0usize..5,
+        rate_n in 0u64..21,
+        stall_max in 1u64..512,
+        delay_max in 1u64..128,
+        seu_n in 0u64..1000,
+        dbl_n in 0u64..11,
+        max_retries in 0u32..6,
+        backoff in 1u64..256,
+        multiplier in 1u64..5,
+        quarantine_after in 1u32..5,
+        cpu_fallback in proptest::bool::ANY,
+        scrub_enabled in proptest::bool::ANY,
+        sweep_every in 0u64..9,
+        final_sweep in proptest::bool::ANY,
+        coalesce_workload in proptest::bool::ANY,
+        clients in 1usize..8,
+        ops in 1usize..12,
+        burst in 2usize..16,
+        pin_extra in 0usize..100_000,
+        assertion_sel in 0u64..64,
+        stat_sel in 0usize..1_000,
+        bound in 0u64..1_000_000,
+    ) {
+        // Coalesce-burst validity demands a single worker and a mac+sort
+        // catalog; everything else roams freely.
+        let workers = if coalesce_workload {
+            vec![1]
+        } else {
+            match workers_sel {
+                0 => vec![1],
+                1 => vec![2],
+                2 => vec![1, 4],
+                _ => vec![2, 3, 5],
+            }
+        };
+        let catalog = if coalesce_workload {
+            vec![CatalogKind::Mac, CatalogKind::Sort]
+        } else {
+            match catalog_sel {
+                0 => vec![CatalogKind::Mac],
+                1 => vec![CatalogKind::Sort],
+                _ => vec![CatalogKind::Mac, CatalogKind::Sort],
+            }
+        };
+        let workload = if coalesce_workload {
+            WorkloadSpec::CoalesceBurst { burst, pin_sort_len: 1000 + pin_extra }
+        } else {
+            WorkloadSpec::Blocking { clients, ops_per_client: ops }
+        };
+        let scrubber = ScrubberSpec {
+            enabled: scrub_enabled,
+            sweep_every_ops: sweep_every,
+            final_sweep,
+        };
+
+        let stat = presp_scenario::spec::STAT_KEYS[stat_sel % presp_scenario::spec::STAT_KEYS.len()]
+            .to_string();
+        let mut assertions = vec![Assertion::StatsConsistent];
+        if assertion_sel & 1 != 0 {
+            assertions.push(Assertion::NoLostRequests);
+        }
+        if assertion_sel & 2 != 0 {
+            assertions.push(Assertion::BitIdenticalOutputs);
+        }
+        if assertion_sel & 4 != 0 {
+            assertions.push(Assertion::StatMin { stat: stat.clone(), value: bound });
+        }
+        if assertion_sel & 8 != 0 {
+            assertions.push(Assertion::StatMax { stat: stat.clone(), value: bound });
+        }
+        if assertion_sel & 16 != 0 {
+            assertions.push(Assertion::TraceContains { event: "seu.injected".to_string() });
+            assertions.push(Assertion::TraceAbsent { event: "cpu.fallback".to_string() });
+        }
+        if assertion_sel & 32 != 0 {
+            assertions.push(Assertion::MakespanMax { value: bound });
+        }
+        if workers.len() >= 2 {
+            assertions.push(Assertion::OutcomeEqualityAcrossWorkers);
+        }
+        if scrub_enabled && final_sweep {
+            assertions.push(Assertion::FinalScrubClean);
+        }
+
+        let spec = ScenarioSpec {
+            name: format!("case_{name_n}"),
+            description: if with_description {
+                format!("generated case {name_n}")
+            } else {
+                String::new()
+            },
+            fabric: FabricSpec {
+                soc_name: format!("soc-{name_n}"),
+                reconf_tiles: tiles,
+            },
+            catalog,
+            seeds: SeedSpec { start: seed_start, count: seed_count },
+            workers,
+            cache_capacity,
+            faults: FaultConfig {
+                icap_flip_rate: rate_n as f64 / 40.0,
+                dfxc_stall_rate: rate_n as f64 / 80.0,
+                dfxc_stall_max_cycles: stall_max,
+                registry_miss_rate: rate_n as f64 / 60.0,
+                decoupler_delay_rate: rate_n as f64 / 100.0,
+                decoupler_delay_max_cycles: delay_max,
+                seu_per_mcycle: seu_n as f64,
+                seu_double_bit_rate: dbl_n as f64 / 10.0,
+            },
+            policy: RecoveryPolicy {
+                max_retries,
+                backoff_cycles: backoff,
+                backoff_multiplier: multiplier,
+                quarantine_after,
+                cpu_fallback,
+            },
+            scrubber,
+            workload,
+            assertions,
+        };
+
+        let serialized = spec.serialize();
+        let reparsed = ScenarioSpec::parse(&serialized);
+        prop_assert!(
+            reparsed.is_ok(),
+            "serialized spec failed to reparse: {:?}\n{serialized}",
+            reparsed.err()
+        );
+        prop_assert_eq!(reparsed.unwrap(), spec);
+    }
+
+    #[test]
+    fn serialization_is_deterministic(
+        name_n in 0u64..1_000_000,
+        tiles in 1usize..7,
+        seed_count in 1u64..100,
+    ) {
+        let spec = ScenarioSpec {
+            name: format!("det_{name_n}"),
+            description: String::new(),
+            fabric: FabricSpec { soc_name: "det".to_string(), reconf_tiles: tiles },
+            catalog: vec![CatalogKind::Mac],
+            seeds: SeedSpec { start: 0, count: seed_count },
+            workers: vec![1],
+            cache_capacity: 0,
+            faults: FaultConfig::default(),
+            policy: RecoveryPolicy::default(),
+            scrubber: ScrubberSpec::default(),
+            workload: WorkloadSpec::Blocking { clients: 1, ops_per_client: 1 },
+            assertions: vec![Assertion::StatsConsistent],
+        };
+        prop_assert_eq!(spec.serialize(), spec.serialize());
+    }
+}
+
+/// Asserts that `input` is rejected and the message contains every
+/// fragment — the "actionable message" contract.
+fn assert_rejects(input: &str, fragments: &[&str]) {
+    let err = ScenarioSpec::parse(input).expect_err("document must be rejected");
+    for fragment in fragments {
+        assert!(
+            err.0.contains(fragment),
+            "rejection message for {input:?} should mention {fragment:?}, got: {}",
+            err.0
+        );
+    }
+}
+
+/// A minimal valid scenario document to mutate in rejection tests.
+fn valid_doc() -> String {
+    r#"{
+        "name": "ok",
+        "fabric": {"soc_name": "ok", "reconf_tiles": 1},
+        "catalog": ["mac"],
+        "seeds": {"count": 1},
+        "workload": {"kind": "blocking", "clients": 1, "ops_per_client": 1},
+        "assertions": [{"check": "stats_consistent"}]
+    }"#
+    .to_string()
+}
+
+#[test]
+fn valid_doc_parses() {
+    ScenarioSpec::parse(&valid_doc()).expect("baseline document must parse");
+}
+
+#[test]
+fn rejects_unknown_top_level_key() {
+    assert_rejects(
+        &valid_doc().replace("\"name\"", "\"nam\""),
+        &[
+            "unknown key 'nam'",
+            "top-level",
+            "name, description, fabric",
+        ],
+    );
+}
+
+#[test]
+fn rejects_bad_name_charset() {
+    assert_rejects(
+        &valid_doc().replace("\"ok\",", "\"has spaces\","),
+        &["'name'", "[a-zA-Z0-9_]", "has spaces"],
+    );
+}
+
+#[test]
+fn rejects_unknown_catalog_kind() {
+    assert_rejects(
+        &valid_doc().replace("[\"mac\"]", "[\"fft\"]"),
+        &["unknown accelerator kind 'fft'", "mac, sort"],
+    );
+}
+
+#[test]
+fn rejects_out_of_range_tiles() {
+    assert_rejects(
+        &valid_doc().replace("\"reconf_tiles\": 1", "\"reconf_tiles\": 9"),
+        &["'fabric.reconf_tiles'", "between 1 and 6", "got 9"],
+    );
+}
+
+#[test]
+fn rejects_out_of_range_rate() {
+    let doc = valid_doc().replace(
+        "\"catalog\"",
+        "\"faults\": {\"icap_flip_rate\": 1.5}, \"catalog\"",
+    );
+    assert_rejects(&doc, &["'icap_flip_rate'", "between 0 and 1", "1.5"]);
+}
+
+#[test]
+fn rejects_unknown_check() {
+    assert_rejects(
+        &valid_doc().replace("stats_consistent", "stats_consistant"),
+        &[
+            "unknown check 'stats_consistant'",
+            "assertions[0]",
+            "stats_consistent",
+        ],
+    );
+}
+
+#[test]
+fn rejects_unknown_stat_key() {
+    let doc = valid_doc().replace(
+        "{\"check\": \"stats_consistent\"}",
+        "{\"check\": \"stat_min\", \"stat\": \"retrys\", \"value\": 1}",
+    );
+    assert_rejects(&doc, &["unknown stat 'retrys'", "retries"]);
+}
+
+#[test]
+fn rejects_empty_assertions() {
+    let doc = valid_doc().replace("[{\"check\": \"stats_consistent\"}]", "[]");
+    assert_rejects(&doc, &["at least one check", "tests nothing"]);
+}
+
+#[test]
+fn rejects_worker_equality_with_one_worker_count() {
+    let doc = valid_doc().replace(
+        "{\"check\": \"stats_consistent\"}",
+        "{\"check\": \"outcome_equality_across_workers\"}",
+    );
+    assert_rejects(&doc, &["outcome_equality_across_workers", "at least two"]);
+}
+
+#[test]
+fn rejects_final_scrub_clean_without_scrubber() {
+    let doc = valid_doc().replace(
+        "{\"check\": \"stats_consistent\"}",
+        "{\"check\": \"final_scrub_clean\"}",
+    );
+    assert_rejects(&doc, &["final_scrub_clean", "final_sweep"]);
+}
+
+#[test]
+fn rejects_coalesce_burst_with_multiple_workers() {
+    let doc = valid_doc()
+        .replace("[\"mac\"]", "[\"mac\", \"sort\"]")
+        .replace("\"reconf_tiles\": 1", "\"reconf_tiles\": 2")
+        .replace(
+            "{\"kind\": \"blocking\", \"clients\": 1, \"ops_per_client\": 1}",
+            "{\"kind\": \"coalesce_burst\", \"burst\": 4, \"pin_sort_len\": 2000}",
+        )
+        .replace("\"seeds\"", "\"workers\": [2], \"seeds\"");
+    assert_rejects(&doc, &["coalesce_burst", "\"workers\": [1]"]);
+}
+
+#[test]
+fn rejects_invalid_json_with_position() {
+    assert_rejects("{\"name\": }", &["invalid JSON"]);
+}

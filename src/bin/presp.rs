@@ -1,17 +1,29 @@
 //! The PR-ESP command-line front-end — the analogue of the paper's "single
 //! make target" that turns an SoC configuration into full and partial
-//! bitstreams.
+//! bitstreams, plus the declarative scenario runner that does the same
+//! for runtime experiments.
 //!
 //! ```text
-//! presp designs                      list the built-in paper designs
-//! presp classify <design>            size metrics, class and strategy
-//! presp flow <design> [--no-compress]  run the full flow, print the report
-//! presp config <design>              dump the SoC configuration as JSON
+//! presp designs [--json]               list the built-in paper designs
+//! presp classify <design> [--json]     size metrics, class and strategy
+//! presp flow <design> [--no-compress] [--json]  run the full flow
+//! presp config <design>                dump the SoC configuration as JSON
+//! presp test <path>... [--json] [--junit <file>] [--report <file>]
+//!            [--trace-dir <dir>]       run declarative scenario files
 //! ```
+//!
+//! Exit codes: `0` success, `1` operational failure (unknown design,
+//! failed flow, failed scenario assertion), `2` usage or load error.
+//! `--json` emits the same machine-readable documents the bench
+//! binaries produce (`presp_events::json` pretty form, snake_case keys).
 
 use presp::core::design::SocDesign;
 use presp::core::flow::PrEspFlow;
 use presp::core::strategy::choose_strategy;
+use presp::events::json::JsonValue;
+use presp_scenario::report::ReportEntry;
+use presp_scenario::runner;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn builtin(name: &str) -> Option<SocDesign> {
@@ -38,9 +50,291 @@ const DESIGNS: [&str; 11] = [
 ];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: presp <designs|classify|flow|config> [design] [--no-compress]");
-    eprintln!("       designs: {}", DESIGNS.join(", "));
+    eprintln!("usage: presp <command> [args]");
+    eprintln!("  designs [--json]                      list the built-in paper designs");
+    eprintln!("  classify <design> [--json]            size metrics, class and strategy");
+    eprintln!("  flow <design> [--no-compress] [--json]  run the full flow");
+    eprintln!("  config <design>                       dump the SoC configuration as JSON");
+    eprintln!("  test <path>... [--json] [--junit <file>] [--report <file>] [--trace-dir <dir>]");
+    eprintln!("                                        run declarative scenario files");
+    eprintln!("  designs: {}", DESIGNS.join(", "));
     ExitCode::from(2)
+}
+
+// JSON helpers in the bench `export` style (snake_case keys, pretty
+// printing, trailing newline on emit).
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::Number(v)
+}
+
+fn int(v: u64) -> JsonValue {
+    JsonValue::Number(v as f64)
+}
+
+fn s(v: &str) -> JsonValue {
+    JsonValue::String(v.to_string())
+}
+
+fn emit(doc: &JsonValue) {
+    println!("{}", doc.pretty());
+}
+
+fn design_row(name: &str) -> JsonValue {
+    let d = builtin(name).expect("listed designs exist");
+    let spec = d.to_spec().expect("built-ins are buildable");
+    let (kappa, alpha, gamma) = spec.size_metrics();
+    obj(vec![
+        ("design", s(name)),
+        ("part", s(&d.part.to_string())),
+        ("tiles", int((d.config.rows() * d.config.cols()) as u64)),
+        (
+            "reconfigurable_tiles",
+            int(spec.reconfigurable().len() as u64),
+        ),
+        ("kappa_pct", num(kappa)),
+        ("alpha_av_pct", num(alpha)),
+        ("gamma", num(gamma)),
+    ])
+}
+
+fn cmd_designs(json: bool) -> ExitCode {
+    if json {
+        emit(&JsonValue::Array(
+            DESIGNS.iter().map(|name| design_row(name)).collect(),
+        ));
+        return ExitCode::SUCCESS;
+    }
+    for name in DESIGNS {
+        let d = builtin(name).expect("listed designs exist");
+        let spec = d.to_spec().expect("built-ins are buildable");
+        let (kappa, alpha, gamma) = spec.size_metrics();
+        println!(
+            "{name:<6} {} tiles={} rms={} κ={:.3} α_av={:.3} γ={:.2}",
+            d.part,
+            d.config.rows() * d.config.cols(),
+            spec.reconfigurable().len(),
+            kappa,
+            alpha,
+            gamma
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_classify(design: &SocDesign, json: bool) -> ExitCode {
+    let spec = design.to_spec().expect("built-ins are buildable");
+    let (kappa, alpha, gamma) = spec.size_metrics();
+    match choose_strategy(&spec) {
+        Ok((class, strategy)) => {
+            if json {
+                emit(&obj(vec![
+                    ("design", s(&design.name)),
+                    ("kappa_pct", num(kappa)),
+                    ("alpha_av_pct", num(alpha)),
+                    ("gamma", num(gamma)),
+                    ("class", s(&class.to_string())),
+                    ("strategy", s(&strategy.to_string())),
+                ]));
+            } else {
+                println!("κ = {kappa:.3}, α_av = {alpha:.3}, γ = {gamma:.2}");
+                println!("{class} → {strategy}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("classification failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_flow(design: &SocDesign, compressed: bool, json: bool) -> ExitCode {
+    let flow = PrEspFlow::new().with_compression(compressed);
+    match flow.run(design) {
+        Ok(out) => {
+            if json {
+                let pbs: Vec<JsonValue> = out
+                    .partial_bitstreams
+                    .iter()
+                    .map(|info| {
+                        obj(vec![
+                            ("region", s(&info.region)),
+                            ("kind", s(&info.kind.name())),
+                            ("size_bytes", int(info.bitstream.size_bytes() as u64)),
+                        ])
+                    })
+                    .collect();
+                emit(&obj(vec![
+                    ("design", s(&design.name)),
+                    ("class", s(&out.class.to_string())),
+                    ("strategy", s(&out.strategy.to_string())),
+                    ("synth_min", num(out.report.synth.wall.0)),
+                    (
+                        "t_static_min",
+                        out.report
+                            .pnr
+                            .t_static
+                            .map_or(JsonValue::Null, |t| num(t.0)),
+                    ),
+                    (
+                        "max_omega_min",
+                        out.report
+                            .pnr
+                            .max_omega
+                            .map_or(JsonValue::Null, |o| num(o.0)),
+                    ),
+                    ("total_min", num(out.report.total.0)),
+                    ("monolithic_total_min", num(out.monolithic.total.0)),
+                    (
+                        "full_bitstream_bytes",
+                        int(out.full_bitstream.size_bytes() as u64),
+                    ),
+                    ("partial_bitstreams", JsonValue::Array(pbs)),
+                ]));
+                return ExitCode::SUCCESS;
+            }
+            println!("design:     {}", design.name);
+            println!("class:      {}", out.class);
+            println!("strategy:   {}", out.strategy);
+            println!("synthesis:  {}", out.report.synth.wall);
+            if let Some(t) = out.report.pnr.t_static {
+                println!("t_static:   {t}");
+            }
+            if let Some(o) = out.report.pnr.max_omega {
+                println!("max Omega:  {o}");
+            }
+            println!(
+                "total:      {}  (monolithic: {})",
+                out.report.total, out.monolithic.total
+            );
+            println!(
+                "full bitstream: {} KB",
+                out.full_bitstream.size_bytes() / 1024
+            );
+            for info in &out.partial_bitstreams {
+                println!(
+                    "  pbs {:<10} {:<24} {:>6} KB",
+                    info.region,
+                    info.kind.name(),
+                    info.bitstream.size_bytes() / 1024
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("flow failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `presp test`: runs scenario files/directories, prints a verdict per
+/// scenario (or the JSON report under `--json`), writes the requested
+/// artifacts, and exits `0` (all passed), `1` (assertion failures) or
+/// `2` (usage/load errors).
+fn cmd_test(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut json = false;
+    let mut junit_path: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--junit" | "--report" | "--trace-dir" => {
+                let Some(value) = it.next() else {
+                    eprintln!("{arg} requires a path argument");
+                    return usage();
+                };
+                let slot = match arg.as_str() {
+                    "--junit" => &mut junit_path,
+                    "--report" => &mut report_path,
+                    _ => &mut trace_dir,
+                };
+                *slot = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}' for presp test");
+                return usage();
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("presp test requires at least one scenario file or directory");
+        return usage();
+    }
+
+    let outcome = match runner::run_paths(&paths) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, outcome.report_json()) {
+            eprintln!("cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &junit_path {
+        if let Err(e) = std::fs::write(path, outcome.junit_xml()) {
+            eprintln!("cannot write JUnit XML {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = outcome.write_traces(dir) {
+            eprintln!("cannot write traces under {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if json {
+        print!("{}", outcome.report_json());
+    } else {
+        for entry in &outcome.entries {
+            match entry {
+                ReportEntry::LoadFailed { file, error } => {
+                    println!("LOAD FAIL {file}: {error}");
+                }
+                ReportEntry::Ran { file, verdict } => {
+                    let mark = if verdict.passed() { "pass" } else { "FAIL" };
+                    println!(
+                        "{mark} {name} ({file}, {runs} runs)",
+                        name = verdict.spec.name,
+                        runs = verdict.observations.runs.len()
+                    );
+                    for r in verdict.results.iter().filter(|r| !r.passed) {
+                        println!(
+                            "     {}: {} (replay seed {})",
+                            r.check, r.detail, r.replay_seed
+                        );
+                    }
+                }
+            }
+        }
+        let total = outcome.entries.len();
+        let passed = outcome.entries.iter().filter(|e| e.passed()).count();
+        println!("{passed}/{total} scenarios passed");
+    }
+    if outcome.all_passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -48,25 +342,11 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         return usage();
     };
+    let json = args.iter().any(|a| a == "--json");
 
     match command.as_str() {
-        "designs" => {
-            for name in DESIGNS {
-                let d = builtin(name).expect("listed designs exist");
-                let spec = d.to_spec().expect("built-ins are buildable");
-                let (kappa, alpha, gamma) = spec.size_metrics();
-                println!(
-                    "{name:<6} {} tiles={} rms={} κ={:.3} α_av={:.3} γ={:.2}",
-                    d.part,
-                    d.config.rows() * d.config.cols(),
-                    spec.reconfigurable().len(),
-                    kappa,
-                    alpha,
-                    gamma
-                );
-            }
-            ExitCode::SUCCESS
-        }
+        "designs" => cmd_designs(json),
+        "test" => cmd_test(&args[1..]),
         "classify" | "flow" | "config" => {
             let Some(name) = args.get(1) else {
                 return usage();
@@ -80,59 +360,10 @@ fn main() -> ExitCode {
                     println!("{}", design.config.to_json());
                     ExitCode::SUCCESS
                 }
-                "classify" => {
-                    let spec = design.to_spec().expect("built-ins are buildable");
-                    let (kappa, alpha, gamma) = spec.size_metrics();
-                    match choose_strategy(&spec) {
-                        Ok((class, strategy)) => {
-                            println!("κ = {kappa:.3}, α_av = {alpha:.3}, γ = {gamma:.2}");
-                            println!("{class} → {strategy}");
-                            ExitCode::SUCCESS
-                        }
-                        Err(e) => {
-                            eprintln!("classification failed: {e}");
-                            ExitCode::FAILURE
-                        }
-                    }
-                }
+                "classify" => cmd_classify(&design, json),
                 _ => {
                     let compressed = !args.iter().any(|a| a == "--no-compress");
-                    let flow = PrEspFlow::new().with_compression(compressed);
-                    match flow.run(&design) {
-                        Ok(out) => {
-                            println!("design:     {}", design.name);
-                            println!("class:      {}", out.class);
-                            println!("strategy:   {}", out.strategy);
-                            println!("synthesis:  {}", out.report.synth.wall);
-                            if let Some(t) = out.report.pnr.t_static {
-                                println!("t_static:   {t}");
-                            }
-                            if let Some(o) = out.report.pnr.max_omega {
-                                println!("max Omega:  {o}");
-                            }
-                            println!(
-                                "total:      {}  (monolithic: {})",
-                                out.report.total, out.monolithic.total
-                            );
-                            println!(
-                                "full bitstream: {} KB",
-                                out.full_bitstream.size_bytes() / 1024
-                            );
-                            for info in &out.partial_bitstreams {
-                                println!(
-                                    "  pbs {:<10} {:<24} {:>6} KB",
-                                    info.region,
-                                    info.kind.name(),
-                                    info.bitstream.size_bytes() / 1024
-                                );
-                            }
-                            ExitCode::SUCCESS
-                        }
-                        Err(e) => {
-                            eprintln!("flow failed: {e}");
-                            ExitCode::FAILURE
-                        }
-                    }
+                    cmd_flow(&design, compressed, json)
                 }
             }
         }
