@@ -1,14 +1,20 @@
 //! Runtime throughput of the sharded DPR scheduler: a mixed open-loop
 //! workload (reconfigure bursts, ensure-loaded executes, plain runs)
-//! from several client threads over four independent tiles, replayed
-//! against a single-worker pool and a four-worker pool.
+//! from sixteen client threads over a 64-tile reconfigurable fabric,
+//! replayed against one-, four- and sixteen-worker pools with sharded
+//! per-worker tracing attached.
 //!
 //! The ticket gate makes the virtual-time outcomes identical for any
 //! worker count; what the worker pool buys is wall-clock overlap of the
-//! behavioral evaluation, measured here as requests/s, queue-wait
-//! percentiles, and the coalesce / bitstream-cache hit rates. Writes
-//! `BENCH_runtime.json`; `--json` prints the same document; `--smoke`
-//! shrinks the workload for CI.
+//! lock-free prepare stage (behavioral evaluation + bitstream
+//! pre-fetch), measured here as requests/s, queue-wait percentiles, the
+//! coalesce / bitstream-cache hit rates, and the per-stage wall-clock
+//! breakdown (prepare / gate wait / commit / trace drain). Writes
+//! `BENCH_runtime.json` (schema `presp-bench-runtime/v2`); `--json`
+//! prints the same document; `--smoke` shrinks the workload for CI;
+//! `--check` re-runs only the 16-worker cell and fails when its
+//! requests/s regressed more than 20 % against the committed
+//! `BENCH_runtime.json`.
 //!
 //! Evaluation latency is emulated (`PRESP_BENCH_EVAL_DELAY_MICROS`, set
 //! below): each run/execute's lock-free prepare stage blocks for a fixed
@@ -19,8 +25,9 @@
 //! multi-core host the CPU-bound sort payload parallelizes on top.
 
 use presp_accel::{AccelOp, AcceleratorKind};
-use presp_bench::{export, render};
-use presp_events::json::JsonValue;
+use presp_bench::export::{self, RuntimeRun, RuntimeWorkload};
+use presp_bench::render;
+use presp_events::ShardedSink;
 use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
 use presp_fpga::frame::FrameAddress;
 use presp_runtime::registry::BitstreamRegistry;
@@ -30,30 +37,15 @@ use presp_soc::config::{SocConfig, TileCoord};
 use presp_soc::sim::Soc;
 use std::time::Instant;
 
-const TILES: usize = 4;
-const CLIENTS: usize = 4;
+const TILES: usize = 64;
+const CLIENTS: usize = 16;
+const WORKER_MATRIX: [usize; 3] = [1, 4, 16];
+/// Allowed requests/s regression in `--check` mode before failing.
+const CHECK_TOLERANCE: f64 = 0.20;
 
 struct Workload {
     rounds: usize,
     sort_len: usize,
-}
-
-struct RunResult {
-    workers: usize,
-    requests: u64,
-    elapsed_secs: f64,
-    p50_wait_micros: u64,
-    p99_wait_micros: u64,
-    coalesce_rate: f64,
-    cache_hit_rate: f64,
-    reconfigurations: u64,
-    makespan: u64,
-}
-
-impl RunResult {
-    fn requests_per_sec(&self) -> f64 {
-        self.requests as f64 / self.elapsed_secs
-    }
 }
 
 fn bitstream(soc: &Soc, col: u32) -> Bitstream {
@@ -66,7 +58,7 @@ fn bitstream(soc: &Soc, col: u32) -> Bitstream {
 }
 
 fn boot(workers: usize) -> (ThreadedManager, Vec<TileCoord>) {
-    let cfg = SocConfig::grid_3x3_reconf("throughput", TILES).unwrap();
+    let cfg = SocConfig::grid_reconf("throughput", TILES).unwrap();
     let soc = Soc::new(&cfg).unwrap();
     let tiles = cfg.reconfigurable_tiles();
     let mut registry = BitstreamRegistry::new();
@@ -75,7 +67,7 @@ fn boot(workers: usize) -> (ThreadedManager, Vec<TileCoord>) {
             .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
             .unwrap();
         registry
-            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 130 + i as u32))
             .unwrap();
     }
     let manager =
@@ -83,24 +75,29 @@ fn boot(workers: usize) -> (ThreadedManager, Vec<TileCoord>) {
     (manager, tiles)
 }
 
-/// One client's round: a coalescible reconfigure burst, a heavy
-/// ensure-loaded sort (the behavioral evaluation dominates and is what
-/// the worker pool overlaps), a plain run on the loaded sorter, and a
-/// swap back to MAC. Submissions are open-loop within the round — all
-/// admitted before any completion is awaited.
+/// One client's round: a coalescible reconfigure burst and a heavy
+/// ensure-loaded sort on one tile (the behavioral evaluation dominates
+/// and is what the worker pool overlaps), a MAC execute on an
+/// *independent* second tile (so the two evaluation chains overlap
+/// rather than serializing through one tile's FIFO), and a tile rotation
+/// between rounds so the whole 64-tile fabric — and the bitstream cache
+/// behind it — stays under pressure. Submissions are open-loop within
+/// the round: all admitted before any completion is awaited.
 ///
-/// The barrier phase-aligns the clients' submissions: the ticket gate
+/// The barriers phase-align the clients' submissions: the ticket gate
 /// commits in strict global admission order, so a heavy job blocks every
-/// *later-admitted* commit. Batching the four independent heavies into
-/// adjacent tickets (the pattern a parallel application naturally
-/// produces) is what lets the pool overlap them; unaligned submission
-/// degenerates to the single-worker schedule by design.
+/// *later-admitted* commit. Batching the thirty-two independent
+/// evaluations of a round into adjacent tickets (the pattern a parallel
+/// application naturally produces) is what lets the pool overlap them;
+/// unaligned submission degenerates to the single-worker schedule by
+/// design.
 ///
 /// Returns the number of requests submitted.
 fn client_round(
     manager: &ThreadedManager,
     barrier: &std::sync::Barrier,
     tile: TileCoord,
+    mac_tile: TileCoord,
     round: usize,
     sort_len: usize,
 ) -> u64 {
@@ -112,9 +109,8 @@ fn client_round(
         .map(|i| ((i * 2_654_435_761 + round * 40_503) % 1_000_003) as f32)
         .collect();
     let heavy = manager.submit_execute(tile, AcceleratorKind::Sort, AccelOp::Sort { data });
-    barrier.wait();
     let mac = manager.submit_execute(
-        tile,
+        mac_tile,
         AcceleratorKind::Mac,
         AccelOp::Mac {
             a: vec![round as f32; 8],
@@ -131,20 +127,31 @@ fn client_round(
     5
 }
 
-fn run_workload(workers: usize, wl: &Workload) -> RunResult {
+fn run_workload(workers: usize, wl: &Workload) -> RuntimeRun {
     let (manager, tiles) = boot(workers);
+    let sink = ShardedSink::new(workers);
+    manager.attach_sharded_tracer(&sink);
     let barrier = std::sync::Arc::new(std::sync::Barrier::new(CLIENTS));
     let start = Instant::now();
     let handles: Vec<_> = (0..CLIENTS)
         .map(|c| {
             let manager = manager.clone();
             let barrier = std::sync::Arc::clone(&barrier);
-            let tile = tiles[c % TILES];
+            let tiles = tiles.clone();
             let rounds = wl.rounds;
             let sort_len = wl.sort_len;
             std::thread::spawn(move || {
                 (0..rounds)
-                    .map(|round| client_round(&manager, &barrier, tile, round, sort_len))
+                    .map(|round| {
+                        // Rotate through the fabric: every tile sees
+                        // traffic, and the 128-entry (tile, kind) working
+                        // set overflows the 16-entry bitstream cache. The
+                        // MAC tile is offset half the fabric away, so no
+                        // two in-flight chains share a tile in any round.
+                        let tile = tiles[(c + round * CLIENTS) % TILES];
+                        let mac_tile = tiles[(c + round * CLIENTS + TILES / 2) % TILES];
+                        client_round(&manager, &barrier, tile, mac_tile, round, sort_len)
+                    })
                     .sum::<u64>()
             })
         })
@@ -156,9 +163,16 @@ fn run_workload(workers: usize, wl: &Workload) -> RunResult {
     assert!(stats.consistent(), "inconsistent stats: {stats:?}");
     let sched = manager.scheduler_stats();
     let cache = manager.cache_stats();
+    let makespan = manager.makespan();
+    manager.shutdown();
+    let drain_started = Instant::now();
+    let merged = sink.drain_merged();
+    let stage_trace_drain_nanos = drain_started.elapsed().as_nanos() as u64;
+    assert!(!merged.is_empty(), "traced workload emitted nothing");
+
     let submitted = sched.admitted + sched.coalesced;
-    let result = RunResult {
-        workers,
+    RuntimeRun {
+        workers: workers as u64,
         requests,
         elapsed_secs,
         p50_wait_micros: sched.wait_percentile_micros(50.0),
@@ -170,50 +184,58 @@ fn run_workload(workers: usize, wl: &Workload) -> RunResult {
         },
         cache_hit_rate: cache.hit_rate(),
         reconfigurations: stats.reconfigurations,
-        makespan: manager.makespan(),
-    };
-    manager.shutdown();
-    result
+        makespan,
+        stage_prepare_nanos: sched.stage_prepare_nanos,
+        stage_gate_wait_nanos: sched.stage_gate_wait_nanos,
+        stage_commit_nanos: sched.stage_commit_nanos,
+        stage_trace_drain_nanos,
+    }
 }
 
-fn run_json(r: &RunResult) -> JsonValue {
-    JsonValue::Object(vec![
-        ("workers".to_string(), JsonValue::Number(r.workers as f64)),
-        ("requests".to_string(), JsonValue::Number(r.requests as f64)),
-        (
-            "elapsed_secs".to_string(),
-            JsonValue::Number(r.elapsed_secs),
-        ),
-        (
-            "requests_per_sec".to_string(),
-            JsonValue::Number(r.requests_per_sec()),
-        ),
-        (
-            "p50_wait_micros".to_string(),
-            JsonValue::Number(r.p50_wait_micros as f64),
-        ),
-        (
-            "p99_wait_micros".to_string(),
-            JsonValue::Number(r.p99_wait_micros as f64),
-        ),
-        (
-            "coalesce_rate".to_string(),
-            JsonValue::Number(r.coalesce_rate),
-        ),
-        (
-            "cache_hit_rate".to_string(),
-            JsonValue::Number(r.cache_hit_rate),
-        ),
-        (
-            "reconfigurations".to_string(),
-            JsonValue::Number(r.reconfigurations as f64),
-        ),
-        ("makespan".to_string(), JsonValue::Number(r.makespan as f64)),
-    ])
+/// The committed 16-worker requests/s figure from `BENCH_runtime.json`.
+fn committed_requests_per_sec(workers: u64) -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_runtime.json").ok()?;
+    let doc = presp_events::json::parse(&text).ok()?;
+    doc.get("runs")?.as_array()?.iter().find_map(|run| {
+        if run.get("workers")?.as_usize()? as u64 != workers {
+            return None;
+        }
+        match run.get("requests_per_sec")? {
+            presp_events::json::JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    })
+}
+
+/// Perf-smoke gate: re-measure only the 16-worker cell on the full
+/// workload and fail when it regressed more than [`CHECK_TOLERANCE`]
+/// against the committed document. Exits the process with the verdict.
+fn run_check(wl: &Workload) -> ! {
+    let workers = *WORKER_MATRIX.last().unwrap() as u64;
+    let Some(committed) = committed_requests_per_sec(workers) else {
+        eprintln!("BENCH_runtime.json has no committed {workers}-worker requests_per_sec");
+        std::process::exit(1);
+    };
+    let fresh = run_workload(workers as usize, wl).requests_per_sec();
+    let floor = committed * (1.0 - CHECK_TOLERANCE);
+    println!(
+        "perf check: fresh {workers}-worker run {fresh:.0} req/s vs committed {committed:.0} \
+         req/s (floor {floor:.0})"
+    );
+    if fresh < floor {
+        eprintln!(
+            "FAIL: requests/s regressed more than {:.0} %",
+            100.0 * CHECK_TOLERANCE
+        );
+        std::process::exit(1);
+    }
+    println!("OK");
+    std::process::exit(0);
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let check = std::env::args().any(|a| a == "--check");
     let wl = if smoke {
         Workload {
             rounds: 3,
@@ -222,7 +244,7 @@ fn main() {
     } else {
         Workload {
             rounds: 20,
-            sort_len: 10_000,
+            sort_len: 4_000,
         }
     };
     // Emulated per-evaluation device latency (see module docs). Respect an
@@ -233,34 +255,29 @@ fn main() {
             if smoke { "500" } else { "2000" },
         );
     }
+    if check {
+        // The gate compares against the committed full-workload figures.
+        run_check(&Workload {
+            rounds: 20,
+            sort_len: 4_000,
+        });
+    }
 
-    let single = run_workload(1, &wl);
-    let quad = run_workload(4, &wl);
+    let runs: Vec<RuntimeRun> = WORKER_MATRIX
+        .iter()
+        .map(|&workers| run_workload(workers, &wl))
+        .collect();
     // (The gate's worker-count invariance holds per submission order;
     // racing clients produce a fresh order each run, so the makespans
     // here are near-equal, not identical — the byte-identical claim is
-    // proven by the deterministic stress suite.)
-    let speedup = quad.requests_per_sec() / single.requests_per_sec();
-
-    let doc = JsonValue::Object(vec![
-        (
-            "workload".to_string(),
-            JsonValue::Object(vec![
-                ("clients".to_string(), JsonValue::Number(CLIENTS as f64)),
-                ("tiles".to_string(), JsonValue::Number(TILES as f64)),
-                ("rounds".to_string(), JsonValue::Number(wl.rounds as f64)),
-                (
-                    "sort_len".to_string(),
-                    JsonValue::Number(wl.sort_len as f64),
-                ),
-            ]),
-        ),
-        (
-            "runs".to_string(),
-            JsonValue::Array(vec![run_json(&single), run_json(&quad)]),
-        ),
-        ("speedup".to_string(), JsonValue::Number(speedup)),
-    ]);
+    // proven by the deterministic stress suite and the scenario matrix.)
+    let workload = RuntimeWorkload {
+        clients: CLIENTS as u64,
+        tiles: TILES as u64,
+        rounds: wl.rounds as u64,
+        sort_len: wl.sort_len as u64,
+    };
+    let doc = export::runtime_document(&workload, &runs);
     export::write_json("BENCH_runtime.json", &doc).expect("write BENCH_runtime.json");
 
     if export::json_requested() {
@@ -268,8 +285,11 @@ fn main() {
         return;
     }
 
-    println!("Runtime throughput — sharded scheduler, 1 vs 4 workers\n");
-    let rows: Vec<Vec<String>> = [&single, &quad]
+    println!(
+        "Runtime throughput — sharded scheduler, {TILES} tiles x {CLIENTS} clients, \
+         workers {WORKER_MATRIX:?}\n"
+    );
+    let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
             vec![
@@ -279,6 +299,10 @@ fn main() {
                 format!("{}", r.p99_wait_micros),
                 format!("{:.1}%", 100.0 * r.coalesce_rate),
                 format!("{:.1}%", 100.0 * r.cache_hit_rate),
+                format!("{:.1}", r.stage_prepare_nanos as f64 / 1e6),
+                format!("{:.1}", r.stage_gate_wait_nanos as f64 / 1e6),
+                format!("{:.1}", r.stage_commit_nanos as f64 / 1e6),
+                format!("{:.2}", r.stage_trace_drain_nanos as f64 / 1e6),
             ]
         })
         .collect();
@@ -291,11 +315,22 @@ fn main() {
                 "p50 wait us",
                 "p99 wait us",
                 "coalesced",
-                "cache hits"
+                "cache hits",
+                "prepare ms",
+                "gate ms",
+                "commit ms",
+                "drain ms",
             ],
             &rows
         )
     );
-    println!("speedup (4 workers / 1 worker): {speedup:.2}x");
+    let base = runs[0].requests_per_sec();
+    for r in &runs[1..] {
+        println!(
+            "speedup ({} workers / 1 worker): {:.2}x",
+            r.workers,
+            r.requests_per_sec() / base
+        );
+    }
     println!("wrote BENCH_runtime.json");
 }

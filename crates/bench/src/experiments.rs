@@ -328,7 +328,7 @@ pub fn table6() -> Vec<Table6Row> {
         let sink = MemorySink::shared();
         let mut tracer = Tracer::to_sink(sink.clone());
         let out = flow.run_traced(&design, &mut tracer).expect("flow runs");
-        let records = sink.lock().expect("sink lock").take();
+        let records = presp_events::sink::drain(&sink);
         for (i, (coord, accels)) in design.tile_accels.iter().enumerate() {
             let region = region_name(*coord);
             let pbs_kb = out.mean_pbs_kb(&region).expect("region has bitstreams");

@@ -55,6 +55,119 @@ fn arr<T>(items: &[T], f: impl Fn(&T) -> JsonValue) -> JsonValue {
     JsonValue::Array(items.iter().map(f).collect())
 }
 
+/// Schema tag of `BENCH_runtime.json`. `v2` is a strict superset of the
+/// untagged `v1` layout: every v1 field survives unchanged and each run
+/// gains a `stages` object with the per-stage wall-clock breakdown
+/// (prepare / gate wait / commit / trace drain).
+pub const RUNTIME_SCHEMA: &str = "presp-bench-runtime/v2";
+
+/// The runtime throughput benchmark's workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeWorkload {
+    pub clients: u64,
+    pub tiles: u64,
+    pub rounds: u64,
+    pub sort_len: u64,
+}
+
+/// One worker-count cell of the runtime throughput benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeRun {
+    pub workers: u64,
+    pub requests: u64,
+    pub elapsed_secs: f64,
+    pub p50_wait_micros: u64,
+    pub p99_wait_micros: u64,
+    pub coalesce_rate: f64,
+    pub cache_hit_rate: f64,
+    pub reconfigurations: u64,
+    pub makespan: u64,
+    /// Summed across workers: lock-free behavioral evaluation +
+    /// bitstream pre-fetch.
+    pub stage_prepare_nanos: u64,
+    /// Summed across workers: blocked at the commit-order ticket gate.
+    pub stage_gate_wait_nanos: u64,
+    /// Summed across workers: inside the shard + core critical section.
+    pub stage_commit_nanos: u64,
+    /// Wall clock of the final sharded-sink merge-drain.
+    pub stage_trace_drain_nanos: u64,
+}
+
+impl RuntimeRun {
+    pub fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.elapsed_secs
+    }
+}
+
+fn runtime_run_json(r: &RuntimeRun) -> JsonValue {
+    let per_request = |nanos: u64| {
+        if r.requests == 0 {
+            0.0
+        } else {
+            nanos as f64 / 1_000.0 / r.requests as f64
+        }
+    };
+    obj(vec![
+        ("workers", int(r.workers)),
+        ("requests", int(r.requests)),
+        ("elapsed_secs", num(r.elapsed_secs)),
+        ("requests_per_sec", num(r.requests_per_sec())),
+        ("p50_wait_micros", int(r.p50_wait_micros)),
+        ("p99_wait_micros", int(r.p99_wait_micros)),
+        ("coalesce_rate", num(r.coalesce_rate)),
+        ("cache_hit_rate", num(r.cache_hit_rate)),
+        ("reconfigurations", int(r.reconfigurations)),
+        ("makespan", int(r.makespan)),
+        (
+            "stages",
+            obj(vec![
+                ("prepare_nanos", int(r.stage_prepare_nanos)),
+                ("gate_wait_nanos", int(r.stage_gate_wait_nanos)),
+                ("commit_nanos", int(r.stage_commit_nanos)),
+                ("trace_drain_nanos", int(r.stage_trace_drain_nanos)),
+                (
+                    "prepare_micros_per_request",
+                    num(per_request(r.stage_prepare_nanos)),
+                ),
+                (
+                    "gate_wait_micros_per_request",
+                    num(per_request(r.stage_gate_wait_nanos)),
+                ),
+                (
+                    "commit_micros_per_request",
+                    num(per_request(r.stage_commit_nanos)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// `BENCH_runtime.json` ([`RUNTIME_SCHEMA`]): the workload shape, one
+/// entry per worker count in `runs` order, the legacy `speedup` field
+/// (second run vs first) and `speedup_max` (last run vs first).
+pub fn runtime_document(workload: &RuntimeWorkload, runs: &[RuntimeRun]) -> JsonValue {
+    let base = runs.first().map(RuntimeRun::requests_per_sec);
+    let ratio = |r: Option<&RuntimeRun>| match (base, r) {
+        (Some(base), Some(r)) if base > 0.0 => num(r.requests_per_sec() / base),
+        _ => JsonValue::Null,
+    };
+    obj(vec![
+        ("schema", s(RUNTIME_SCHEMA)),
+        (
+            "workload",
+            obj(vec![
+                ("clients", int(workload.clients)),
+                ("tiles", int(workload.tiles)),
+                ("rounds", int(workload.rounds)),
+                ("sort_len", int(workload.sort_len)),
+            ]),
+        ),
+        ("runs", arr(runs, runtime_run_json)),
+        ("speedup", ratio(runs.get(1))),
+        ("speedup_max", ratio(runs.last())),
+    ])
+}
+
 /// Table I as a JSON array of strategy-matrix rows.
 pub fn table1_json(rows: &[(&str, &str, &str, &str)]) -> JsonValue {
     arr(rows, |(label, lo, eq, hi)| {

@@ -48,6 +48,18 @@ impl VirtualClock {
         self.horizon = self.horizon.max(end);
         self.now = self.now.max(end);
     }
+
+    /// Folds a whole batch of completion times into the clock at once.
+    ///
+    /// Equivalent to calling [`VirtualClock::observe`] per element, but
+    /// the maximum is computed outside the clock so a caller holding the
+    /// clock behind a lock touches it once per batch instead of once per
+    /// event. An empty batch is a no-op.
+    pub fn advance_batch(&mut self, ends: impl IntoIterator<Item = u64>) {
+        if let Some(max) = ends.into_iter().max() {
+            self.observe(max);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -63,6 +75,21 @@ mod tests {
         assert_eq!(clock.horizon(), 100);
         clock.observe(150);
         assert_eq!(clock.horizon(), 150);
+    }
+
+    #[test]
+    fn advance_batch_matches_per_event_observes() {
+        let mut batched = VirtualClock::new();
+        let mut serial = VirtualClock::new();
+        let ends = [40u64, 170, 90, 170, 12];
+        batched.advance_batch(ends);
+        for end in ends {
+            serial.observe(end);
+        }
+        assert_eq!(batched, serial);
+        // Empty batches leave the clock untouched.
+        batched.advance_batch(std::iter::empty());
+        assert_eq!(batched.horizon(), 170);
     }
 
     #[test]

@@ -1,14 +1,48 @@
 //! Trace sinks: where emitted records go.
+//!
+//! This module is the *doorway* for sink access: every lock acquisition
+//! on a shared sink lives here, behind poison-recovering helpers
+//! ([`record_to`], [`snapshot`], [`drain`]). A worker that panics while
+//! holding a sink lock poisons the mutex, but trace records are plain
+//! data — there is no invariant a half-finished `record` call can break
+//! that would make the already-collected records unusable — so readers
+//! recover the guard instead of propagating the panic (the same facade
+//! pattern the threaded runtime uses for its stats mutex). Code outside
+//! this file must not call `.lock()` on a sink directly; `presp-lint`
+//! enforces the doorway.
 
 use crate::trace::{TraceRecord, TraceSink};
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The shared handle a [`crate::Tracer`] writes through. `Arc<Mutex<_>>`
 /// so one sink can collect records from several traced components (e.g.
 /// a SoC and the runtime manager driving it) and cross thread
 /// boundaries.
 pub type SharedSink = Arc<Mutex<dyn TraceSink + Send>>;
+
+/// Writes one record through a shared sink handle, recovering a
+/// poisoned lock. This is the only write path [`crate::Tracer::emit`]
+/// uses.
+pub fn record_to(sink: &SharedSink, record: TraceRecord) {
+    sink.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .record(record);
+}
+
+/// The records a shared sink has retained so far, oldest first,
+/// recovering a poisoned lock instead of panicking the drain path.
+pub fn snapshot<T: TraceSink + ?Sized>(sink: &Mutex<T>) -> Vec<TraceRecord> {
+    sink.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .collected()
+}
+
+/// Takes every retained record out of a shared sink, leaving it empty,
+/// recovering a poisoned lock instead of panicking the drain path.
+pub fn drain<T: TraceSink + ?Sized>(sink: &Mutex<T>) -> Vec<TraceRecord> {
+    sink.lock().unwrap_or_else(PoisonError::into_inner).drain()
+}
 
 /// An unbounded in-memory sink; the default for tests and exports.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +76,14 @@ impl MemorySink {
 impl TraceSink for MemorySink {
     fn record(&mut self, record: TraceRecord) {
         self.records.push(record);
+    }
+
+    fn collected(&self) -> Vec<TraceRecord> {
+        self.records.clone()
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        self.take()
     }
 }
 
@@ -88,6 +130,110 @@ impl TraceSink for RingBufferSink {
         }
         self.records.push_back(record);
     }
+
+    fn collected(&self) -> Vec<TraceRecord> {
+        self.records()
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        self.dropped = 0;
+        std::mem::take(&mut self.records).into()
+    }
+}
+
+/// One shard of a [`ShardedSink`]: an unbounded buffer a single worker
+/// appends to. Each shard sees a strictly increasing (but gapped)
+/// subsequence of the tracer's seq numbers; the merge restores the
+/// total order.
+#[derive(Debug, Default)]
+struct ShardBuffer {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceSink for ShardBuffer {
+    fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    fn collected(&self) -> Vec<TraceRecord> {
+        self.records.clone()
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// Per-worker trace shards with a deterministic seq-number merge.
+///
+/// A single shared sink serializes every emit in a multi-worker run.
+/// `ShardedSink` hands each worker its own shard handle ([`Self::shard`])
+/// so concurrent commits only contend on their private shard mutex;
+/// [`Self::drain_merged`] re-establishes the global emission order by
+/// merging on the tracer-assigned `seq` — which is already total because
+/// the runtime's commit gate serializes tracer access. Same-seed runs
+/// therefore produce byte-identical merged logs at any shard count.
+#[derive(Clone)]
+pub struct ShardedSink {
+    shards: Vec<Arc<Mutex<ShardBuffer>>>,
+}
+
+impl std::fmt::Debug for ShardedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSink")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl ShardedSink {
+    /// A sink with `shards` independent buffers (at least one).
+    pub fn new(shards: usize) -> ShardedSink {
+        ShardedSink {
+            shards: (0..shards.max(1))
+                .map(|_| Arc::new(Mutex::new(ShardBuffer::default())))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false: a sharded sink holds at least one shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// A tracer-attachable handle to shard `i` (wrapping around, so any
+    /// worker index maps to a valid shard).
+    pub fn shard(&self, i: usize) -> SharedSink {
+        self.shards[i % self.shards.len()].clone()
+    }
+
+    /// Drains every shard and merges the records into tracer emission
+    /// order (ascending `seq`), recovering poisoned shard locks.
+    pub fn drain_merged(&self) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> = Vec::new();
+        for shard in &self.shards {
+            all.extend(drain(shard));
+        }
+        // Seq numbers are unique per tracer, so the unstable sort is
+        // deterministic.
+        all.sort_unstable_by_key(|r| r.seq);
+        all
+    }
+
+    /// The merged records retained so far without draining the shards.
+    pub fn collected_merged(&self) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> = Vec::new();
+        for shard in &self.shards {
+            all.extend(snapshot(shard));
+        }
+        all.sort_unstable_by_key(|r| r.seq);
+        all
+    }
 }
 
 #[cfg(test)]
@@ -129,5 +275,75 @@ mod tests {
         assert_eq!(kept[0].seq, 7);
         assert_eq!(kept[2].seq, 9);
         assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
+    fn drain_resets_the_ring() {
+        let mut ring = RingBufferSink::new(3);
+        for i in 0..5 {
+            ring.record(irq(i));
+        }
+        assert_eq!(TraceSink::drain(&mut ring).len(), 3);
+        assert_eq!(ring.dropped(), 0);
+        assert!(ring.records().is_empty());
+    }
+
+    #[test]
+    fn poisoned_ring_sink_still_drains() {
+        // Regression: a worker panicking mid-record used to poison the
+        // sink mutex and panic the drain path. The doorway helpers
+        // recover the guard — trace records are plain data.
+        let sink = RingBufferSink::shared(8);
+        for i in 0..4 {
+            sink.lock().unwrap().record(irq(i)); // presp-lint: allow
+        }
+        let poisoner = sink.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap(); // presp-lint: allow
+            panic!("poison the sink mutex");
+        })
+        .join();
+        assert!(sink.is_poisoned());
+        assert_eq!(snapshot(&sink).len(), 4);
+        assert_eq!(drain(&sink).len(), 4);
+        assert!(snapshot(&sink).is_empty());
+    }
+
+    #[test]
+    fn record_to_recovers_a_poisoned_sink() {
+        let sink = MemorySink::shared();
+        let poisoner = sink.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap(); // presp-lint: allow
+            panic!("poison the sink mutex");
+        })
+        .join();
+        let shared: SharedSink = sink.clone();
+        record_to(&shared, irq(0));
+        assert_eq!(snapshot(&sink).len(), 1);
+    }
+
+    #[test]
+    fn sharded_sink_merges_by_seq() {
+        let sharded = ShardedSink::new(4);
+        assert_eq!(sharded.len(), 4);
+        // Interleave records across shards the way rotating workers
+        // would: shard i holds seqs i, i+4, i+8, ...
+        for seq in 0..12 {
+            record_to(&sharded.shard(seq as usize), irq(seq));
+        }
+        let collected = sharded.collected_merged();
+        let merged = sharded.drain_merged();
+        assert_eq!(collected, merged);
+        let seqs: Vec<u64> = merged.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..12).collect::<Vec<u64>>());
+        assert!(sharded.drain_merged().is_empty());
+    }
+
+    #[test]
+    fn sharded_sink_shard_index_wraps() {
+        let sharded = ShardedSink::new(2);
+        record_to(&sharded.shard(5), irq(0));
+        assert_eq!(snapshot(&sharded.shards[1]).len(), 1);
     }
 }

@@ -602,6 +602,13 @@ pub struct TraceRecord {
 pub trait TraceSink: Send {
     /// Accepts one record.
     fn record(&mut self, record: TraceRecord);
+
+    /// The records retained so far, oldest first. Bounded sinks return
+    /// only what they still hold.
+    fn collected(&self) -> Vec<TraceRecord>;
+
+    /// Takes all retained records, leaving the sink empty.
+    fn drain(&mut self) -> Vec<TraceRecord>;
 }
 
 /// The per-component trace handle.
@@ -672,9 +679,7 @@ impl Tracer {
             event: build(),
         };
         self.seq += 1;
-        if let Ok(mut sink) = sink.lock() {
-            sink.record(record);
-        }
+        crate::sink::record_to(sink, record);
     }
 
     /// Records an instant event at `ts`.
@@ -831,7 +836,7 @@ mod tests {
         tracer.instant(ClockDomain::SocCycles, 15, || TraceEvent::Irq {
             source: Loc::new(1, 2),
         });
-        let records = sink.lock().unwrap().records().to_vec();
+        let records = crate::sink::snapshot(&sink);
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].seq, 0);
         assert_eq!(records[1].seq, 1);

@@ -270,6 +270,28 @@ impl Bitstream {
             ..self.clone()
         }
     }
+
+    /// An exact copy whose word stream is written into `buf` (cleared
+    /// first), reusing its allocation. The zero-alloc clone for arena
+    /// callers that recycle decompressed-stream buffers across requests;
+    /// pair with [`Bitstream::into_words`] to recover the buffer.
+    pub fn clone_reusing(&self, mut buf: Vec<u32>) -> Bitstream {
+        buf.clear();
+        buf.extend_from_slice(&self.words);
+        Bitstream {
+            kind: self.kind,
+            idcode: self.idcode,
+            compressed: self.compressed,
+            words: buf,
+            frames: self.frames,
+            integrity: self.integrity,
+        }
+    }
+
+    /// Consumes the bitstream, returning its word buffer for reuse.
+    pub fn into_words(self) -> Vec<u32> {
+        self.words
+    }
 }
 
 impl fmt::Display for Bitstream {
@@ -546,6 +568,28 @@ mod tests {
         assert!(compressed.size_bytes() < raw.size_bytes() / 4);
         assert_eq!(raw.frame_count(), 36);
         assert_eq!(compressed.frame_count(), 36);
+    }
+
+    #[test]
+    fn clone_reusing_reuses_the_buffer_and_roundtrips() {
+        let d = device();
+        let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+        builder
+            .add_frame(FrameAddress::new(0, 1, 0), frame_of(&d, 0xAB))
+            .unwrap();
+        let bs = builder.build(true);
+        let buf: Vec<u32> = Vec::with_capacity(bs.words().len() + 7);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        let copy = bs.clone_reusing(buf);
+        assert_eq!(copy.words(), bs.words());
+        assert_eq!(copy.frame_count(), bs.frame_count());
+        assert_eq!(copy.integrity(), bs.integrity());
+        assert!(copy.verify_integrity());
+        let recovered = copy.into_words();
+        // The allocation survived the round trip untouched.
+        assert_eq!(recovered.as_ptr(), ptr);
+        assert_eq!(recovered.capacity(), cap);
     }
 
     #[test]

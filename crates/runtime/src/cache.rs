@@ -99,6 +99,27 @@ impl BitstreamCache {
         tile: TileCoord,
         kind: AcceleratorKind,
     ) -> Result<(Arc<Bitstream>, bool), Error> {
+        self.lookup_with(registry, tile, kind, &mut None)
+    }
+
+    /// [`BitstreamCache::lookup`] with an optionally prepared stream: on
+    /// a miss, a verified copy the caller fetched from the same registry
+    /// ahead of time (outside the device-core lock) is consumed instead
+    /// of paying the registry's verified clone here. Hit/miss accounting,
+    /// cache contents and results are identical either way — the registry
+    /// is immutable after boot, so a prepared copy cannot go stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::registry::BitstreamRegistry::lookup`] errors
+    /// on the unprepared miss path.
+    pub fn lookup_with(
+        &mut self,
+        registry: &BitstreamRegistry,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        prepared: &mut Option<Arc<Bitstream>>,
+    ) -> Result<(Arc<Bitstream>, bool), Error> {
         self.stamp += 1;
         if self.capacity > 0 {
             if let Some(entry) = self.entries.get_mut(&(tile, kind)) {
@@ -108,7 +129,10 @@ impl BitstreamCache {
             }
         }
         self.stats.misses += 1;
-        let stream = Arc::new(registry.lookup(tile, kind)?.clone());
+        let stream = match prepared.take() {
+            Some(stream) => stream,
+            None => Arc::new(registry.lookup(tile, kind)?.clone()),
+        };
         if self.capacity > 0 {
             if self.entries.len() >= self.capacity {
                 // Evict the least-recently-used entry.

@@ -22,10 +22,11 @@ use crate::registry::BitstreamRegistry;
 use crate::sync::Arc;
 use presp_accel::catalog::AcceleratorKind;
 use presp_events::trace::ClockDomain;
-use presp_events::{Loc, TraceEvent};
+use presp_events::{Loc, SharedSink, TraceEvent};
 use presp_fpga::bitstream::Bitstream;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::Soc;
+use std::fmt;
 
 /// The tile's location as a trace record coordinate.
 pub(crate) fn loc(coord: TileCoord) -> Loc {
@@ -34,12 +35,30 @@ pub(crate) fn loc(coord: TileCoord) -> Loc {
 
 /// The shared device resources: SoC, registry (+ verified-bitstream
 /// cache) and aggregate statistics.
-#[derive(Debug)]
+///
+/// The registry is behind an `Arc` because it is immutable after boot:
+/// the scheduler's workers read it lock-free during their prepare stage
+/// while the core's copy serves the in-lock paths.
 pub struct DeviceCore {
     soc: Soc,
-    registry: BitstreamRegistry,
+    registry: Arc<BitstreamRegistry>,
     cache: BitstreamCache,
     stats: ManagerStats,
+    /// Per-worker trace shards installed by the scheduler's sharded
+    /// tracer; empty on the single-sink and deterministic paths.
+    trace_shards: Vec<SharedSink>,
+}
+
+impl fmt::Debug for DeviceCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceCore")
+            .field("soc", &self.soc)
+            .field("registry", &self.registry)
+            .field("cache", &self.cache)
+            .field("stats", &self.stats)
+            .field("trace_shards", &self.trace_shards.len())
+            .finish()
+    }
 }
 
 impl DeviceCore {
@@ -47,11 +66,23 @@ impl DeviceCore {
     /// registry's verified lookups; pass
     /// [`BitstreamCache::disabled`] to re-verify on every load.
     pub(crate) fn new(soc: Soc, registry: BitstreamRegistry, cache: BitstreamCache) -> DeviceCore {
+        DeviceCore::new_shared(soc, Arc::new(registry), cache)
+    }
+
+    /// [`DeviceCore::new`] over a registry handle the caller keeps a
+    /// clone of (the scheduler shares it with its workers' lock-free
+    /// prepare stage).
+    pub(crate) fn new_shared(
+        soc: Soc,
+        registry: Arc<BitstreamRegistry>,
+        cache: BitstreamCache,
+    ) -> DeviceCore {
         DeviceCore {
             soc,
             registry,
             cache,
             stats: ManagerStats::default(),
+            trace_shards: Vec::new(),
         }
     }
 
@@ -95,21 +126,43 @@ impl DeviceCore {
         self.cache = cache;
     }
 
+    /// Installs the scheduler's per-worker trace shards; worker `i`
+    /// re-attaches its shard before each commit.
+    pub(crate) fn set_trace_shards(&mut self, shards: Vec<SharedSink>) {
+        self.trace_shards = shards;
+    }
+
+    /// Worker `i`'s trace shard, if sharded tracing is installed.
+    pub(crate) fn trace_shard(&self, i: usize) -> Option<SharedSink> {
+        if self.trace_shards.is_empty() {
+            None
+        } else {
+            Some(self.trace_shards[i % self.trace_shards.len()].clone())
+        }
+    }
+
     /// The verified bitstream for `(tile, kind)`, served from the LRU
     /// cache when possible. A hit skips the registry's integrity re-check
     /// and is traced as [`TraceEvent::PbsCacheHit`] at cycle `at`; a miss
-    /// pays the full verified lookup.
+    /// pays the full verified lookup — or consumes `prepared`, a verified
+    /// copy the caller fetched from the same registry ahead of time
+    /// (outside the device-core lock). Cache behavior, stats and traces
+    /// are byte-identical either way.
     ///
     /// # Errors
     ///
-    /// Propagates [`BitstreamRegistry::lookup`] errors on the miss path.
-    pub(crate) fn fetch_bitstream(
+    /// Propagates [`BitstreamRegistry::lookup`] errors on the unprepared
+    /// miss path.
+    pub(crate) fn fetch_bitstream_with(
         &mut self,
         tile: TileCoord,
         kind: AcceleratorKind,
         at: u64,
+        prepared: &mut Option<Arc<Bitstream>>,
     ) -> Result<Arc<Bitstream>, Error> {
-        let (stream, hit) = self.cache.lookup(&self.registry, tile, kind)?;
+        let (stream, hit) = self
+            .cache
+            .lookup_with(&self.registry, tile, kind, prepared)?;
         if hit {
             self.soc
                 .tracer_mut()

@@ -363,7 +363,14 @@ impl ReconfigManager {
             .tiles
             .entry(tile)
             .or_insert_with(|| TileState::new(tile));
-        protocol::request_reconfiguration_at(shard, &mut self.core, &self.policy, kind, at)
+        protocol::request_reconfiguration_at(
+            shard,
+            &mut self.core,
+            &self.policy,
+            kind,
+            at,
+            &mut None,
+        )
     }
 
     /// [`Self::request_reconfiguration_at`] at the tile's own idle time.
@@ -435,7 +442,16 @@ impl ReconfigManager {
             .tiles
             .entry(tile)
             .or_insert_with(|| TileState::new(tile));
-        protocol::run_with_fallback_at(shard, &mut self.core, &self.policy, kind, op, at, None)
+        protocol::run_with_fallback_at(
+            shard,
+            &mut self.core,
+            &self.policy,
+            kind,
+            op,
+            at,
+            None,
+            &mut None,
+        )
     }
 
     /// [`Self::run_with_fallback_at`] at the tile's own idle time.

@@ -30,6 +30,13 @@ use presp_soc::sim::{csr, AccelRun, ReconfigRun, ScrubReport};
 /// `None` means "evaluate in place".
 pub(crate) type Precomputed = Option<Result<AccelValue, presp_accel::Error>>;
 
+/// A verified bitstream fetched ahead of time, outside any lock (the
+/// registry is immutable after boot, so a prepared copy cannot go
+/// stale). `None` means "fetch in place, under the core lock" — the
+/// deterministic manager's path. Consumed at most once, on the first
+/// cache miss of the request.
+pub(crate) type PreparedBitstream = Option<crate::sync::Arc<presp_fpga::bitstream::Bitstream>>;
+
 /// Ensures `kind` is loaded in the shard's tile, reconfiguring if
 /// needed, with the request arriving at cycle `at`. See
 /// [`crate::manager::ReconfigManager::request_reconfiguration_at`] for
@@ -40,6 +47,7 @@ pub(crate) fn request_reconfiguration_at(
     policy: &RecoveryPolicy,
     kind: AcceleratorKind,
     at: u64,
+    prepared: &mut PreparedBitstream,
 ) -> Result<Option<ReconfigRun>, Error> {
     let tile = tile_state.coord();
     core.stats_mut().reconfig_requests += 1;
@@ -62,7 +70,7 @@ pub(crate) fn request_reconfiguration_at(
     // A pair that was never registered — or whose stored stream fails
     // its integrity re-check — is a permanent error; transient
     // staleness is injected per attempt below.
-    if let Err(e) = core.fetch_bitstream(tile, kind, at) {
+    if let Err(e) = core.fetch_bitstream_with(tile, kind, at, prepared) {
         core.stats_mut().rejected += 1;
         return Err(e);
     }
@@ -77,7 +85,7 @@ pub(crate) fn request_reconfiguration_at(
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        match attempt_load(tile_state, core, kind, when, &mut decoupled_at) {
+        match attempt_load(tile_state, core, kind, when, &mut decoupled_at, prepared) {
             Ok(reconf) => {
                 let coupled = match core
                     .soc_mut()
@@ -163,6 +171,7 @@ fn attempt_load(
     kind: AcceleratorKind,
     when: u64,
     decoupled_at: &mut Option<u64>,
+    prepared: &mut PreparedBitstream,
 ) -> Result<ReconfigRun, Error> {
     let tile = tile_state.coord();
     // Fault hook: a stale registry read fails this attempt at the
@@ -174,7 +183,7 @@ fn attempt_load(
     {
         return Err(Error::BitstreamNotRegistered { tile, kind });
     }
-    let bitstream = core.fetch_bitstream(tile, kind, when)?;
+    let bitstream = core.fetch_bitstream_with(tile, kind, when, prepared)?;
     let start = match *decoupled_at {
         // Still decoupled from the previous failed attempt.
         Some(t) => t.max(when),
@@ -281,6 +290,7 @@ pub(crate) fn run_on_cpu_at(
 
 /// Reconfigure-then-run with CPU degradation. See
 /// [`crate::manager::ReconfigManager::run_with_fallback_at`].
+#[allow(clippy::too_many_arguments)] // mirrors the manager API's full knob set
 pub(crate) fn run_with_fallback_at(
     tile_state: &mut TileState,
     core: &mut DeviceCore,
@@ -289,8 +299,9 @@ pub(crate) fn run_with_fallback_at(
     op: &AccelOp,
     at: u64,
     precomputed: Precomputed,
+    prepared: &mut PreparedBitstream,
 ) -> Result<(AccelRun, ExecPath), Error> {
-    let attempted = request_reconfiguration_at(tile_state, core, policy, kind, at)
+    let attempted = request_reconfiguration_at(tile_state, core, policy, kind, at, prepared)
         .map(|_| ())
         .and_then(|()| run_at(tile_state, core, op, at, precomputed.clone()));
     match attempted {

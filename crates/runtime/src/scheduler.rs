@@ -6,21 +6,32 @@
 //! sharded replacement built on the [`crate::tile`] / [`crate::device`]
 //! split:
 //!
-//! * **Per-tile queues, N workers.** Each tile has its own FIFO; a pool
-//!   of workers claims jobs (one in flight per tile) and evaluates the
+//! * **Per-tile queues, N workers.** Each tile's FIFO lives in its own
+//!   shard behind a `tile_queue` mutex; a small `sched_admission` lock
+//!   holds only the global ticket counter, the aggregate stats and the
+//!   *claimable-head index* — a `ticket → tile` map of every tile whose
+//!   queue head is free to claim. Workers claim by popping the index
+//!   minimum (O(log tiles), not an O(tiles) scan), then evaluate the
 //!   behavioral accelerator result *outside any lock* — accelerator
 //!   instances are stateless, so the value is a pure function of the
-//!   operation. Only the short ICAP/NoC/virtual-time critical section
-//!   then runs under the shard + device-core locks.
+//!   operation — and pre-fetch the verified bitstream from the
+//!   boot-immutable registry into a per-worker arena. Only the short
+//!   ICAP/NoC/virtual-time critical section then runs under the shard +
+//!   device-core locks.
 //! * **The ticket gate.** Every admitted job carries a global ticket and
 //!   commits its critical section in strict ticket order. This keeps the
 //!   shared virtual timeline — and therefore stats, results, makespan and
-//!   the trace log — *identical for any worker count*: `workers = 4`
+//!   the trace log — *identical for any worker count*: `workers = 16`
 //!   replays the exact schedule `workers = 1` would produce, while the
 //!   expensive behavioral work still overlaps across workers. Liveness
-//!   holds because workers always claim the lowest pending head ticket:
+//!   holds because workers always claim the lowest claimable head ticket:
 //!   the minimum unretired ticket is always claimed or claimable, so the
 //!   gate can never wedge.
+//! * **Sharded tracing.** With [`Scheduler::attach_sharded_tracer`] each
+//!   worker re-attaches its own trace shard before committing (the
+//!   tracer's seq counter survives re-attachment), so concurrent commits
+//!   never contend on one sink mutex; draining merges shards back into
+//!   seq order, byte-identical to the single-sink log.
 //! * **Request coalescing.** A reconfiguration submitted while an
 //!   identical `(tile, kind)` one is queued or in flight folds into it:
 //!   all waiters are answered by the single underlying load
@@ -29,20 +40,26 @@
 //!   with a bounded LRU of verified streams ([`crate::cache`]).
 //!
 //! Lock order (enforced by the `presp-check` lock-order graph under
-//! exploration): `gate` → `tile_state` → `core`; `sched_queue` is taken
-//! alone or before `core`. The committed [`MutantConfig`] variants invert
-//! edges of this graph so the model-check suite can prove it notices.
+//! exploration): `sched_admission` → `tile_queue` on the admission side
+//! (never interleaved with the commit-side locks), and `gate` →
+//! `tile_state` → `core` on the commit side. The committed
+//! [`MutantConfig`] variants invert edges of this graph so the
+//! model-check suite can prove it notices.
 
 use crate::cache::{BitstreamCache, CacheStats};
 use crate::device::{loc, DeviceCore};
 use crate::error::Error;
 use crate::manager::{ExecPath, ManagerStats, RecoveryPolicy};
-use crate::protocol::{self, Precomputed};
+use crate::protocol::{self, Precomputed, PreparedBitstream};
 use crate::registry::BitstreamRegistry;
 use crate::sync::{Arc, StdSync, SyncFacade};
 use crate::tile::TileState;
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::{AccelInstance, AccelOp};
+
+/// Reply channels of requests that coalesced into an in-flight
+/// reconfiguration, collected at completion and answered together.
+type CoalescedWaiters<S> = Vec<<S as SyncFacade>::Sender<Result<(), Error>>>;
 use presp_events::trace::ClockDomain;
 use presp_events::TraceEvent;
 use presp_soc::config::TileCoord;
@@ -71,6 +88,11 @@ pub struct MutantConfig {
     /// The worker bumps a run counter *after* replying, outside any lock,
     /// while callers read it after `recv` — no happens-before edge.
     pub unsynced_stats: bool,
+    /// The worker's completion path acquires `tile_queue` →
+    /// `sched_admission`, the reverse of every admission path's
+    /// `sched_admission` → `tile_queue`: a submitter racing a completing
+    /// worker deadlocks.
+    pub queue_admission_inversion: bool,
 }
 
 /// Wall-clock scheduling metrics, aggregated across all workers.
@@ -88,6 +110,16 @@ pub struct SchedulerStats {
     pub coalesced: u64,
     /// Largest per-tile backlog observed at admission.
     pub max_queue_depth: u64,
+    /// Wall-clock nanoseconds workers spent in the lock-free prepare
+    /// stage (behavioral evaluation + bitstream pre-fetch), summed
+    /// across workers.
+    pub stage_prepare_nanos: u64,
+    /// Wall-clock nanoseconds workers spent waiting at the commit-order
+    /// ticket gate, summed across workers.
+    pub stage_gate_wait_nanos: u64,
+    /// Wall-clock nanoseconds workers spent inside the shard + core
+    /// commit critical section, summed across workers.
+    pub stage_commit_nanos: u64,
     wait_micros: Vec<u64>,
 }
 
@@ -151,6 +183,8 @@ struct Inflight<S: SyncFacade> {
     extra_waiters: Vec<S::Sender<Result<(), Error>>>,
 }
 
+/// One tile's FIFO, behind its own `tile_queue` mutex (nested under
+/// `sched_admission` whenever both are held).
 struct TileQueue<S: SyncFacade> {
     jobs: VecDeque<Job<S>>,
     /// A worker holds this tile's head job; per-tile FIFO order.
@@ -169,12 +203,19 @@ impl<S: SyncFacade> TileQueue<S> {
     }
 }
 
-/// Everything guarded by the `sched_queue` lock.
-struct SchedQueue<S: SyncFacade> {
-    tiles: BTreeMap<TileCoord, TileQueue<S>>,
+/// Everything guarded by the `sched_admission` lock: the global ticket
+/// counter, the claimable-head index, the stop flag and the aggregate
+/// scheduler stats. Deliberately small — the per-tile FIFOs live in
+/// their own shards.
+struct Admission {
     next_ticket: u64,
     stopping: bool,
     stats: SchedulerStats,
+    /// Claimable heads: `front ticket → tile` for every tile whose queue
+    /// is non-empty and not checked out. Invariant maintained at push,
+    /// claim and complete; workers pop the minimum, which is what keeps
+    /// the ticket gate live.
+    heads: BTreeMap<u64, TileCoord>,
 }
 
 enum Admitted<S: SyncFacade> {
@@ -184,129 +225,6 @@ enum Admitted<S: SyncFacade> {
     Coalesced,
     /// Refused before queueing; answer the caller directly.
     Refused(Error, S::Sender<Result<(), Error>>),
-}
-
-impl<S: SyncFacade> SchedQueue<S> {
-    fn admit_reconfigure(
-        &mut self,
-        tile: TileCoord,
-        kind: AcceleratorKind,
-        done: S::Sender<Result<(), Error>>,
-    ) -> Admitted<S> {
-        if self.stopping {
-            return Admitted::Refused(Error::ManagerStopped, done);
-        }
-        let Some(tq) = self.tiles.get_mut(&tile) else {
-            return Admitted::Refused(
-                Error::Soc(presp_soc::Error::NoSuchTile { coord: tile }),
-                done,
-            );
-        };
-        // Tail coalescing: identical to the youngest queued request —
-        // folding preserves per-tile FIFO semantics exactly.
-        if let Some(Job {
-            payload:
-                Payload::Reconfigure {
-                    kind: tail,
-                    done: waiters,
-                },
-            ..
-        }) = tq.jobs.back_mut()
-        {
-            if *tail == kind {
-                waiters.push(done);
-                self.stats.coalesced += 1;
-                return Admitted::Coalesced;
-            }
-        }
-        // In-flight coalescing: nothing queued behind the claimed job, so
-        // joining it cannot reorder anything.
-        if tq.jobs.is_empty() {
-            if let Some(inflight) = tq.inflight.as_mut() {
-                if inflight.kind == kind {
-                    inflight.extra_waiters.push(done);
-                    self.stats.coalesced += 1;
-                    return Admitted::Coalesced;
-                }
-            }
-        }
-        self.push(
-            tile,
-            Payload::Reconfigure {
-                kind,
-                done: vec![done],
-            },
-        );
-        Admitted::Enqueued
-    }
-
-    /// Admits a non-coalescable job; returns `false` (caller answers with
-    /// the error) when the scheduler is stopping or the tile is unknown.
-    fn admit_job(&mut self, tile: TileCoord, payload: Payload<S>) -> Result<(), Error> {
-        if self.stopping {
-            return Err(Error::ManagerStopped);
-        }
-        if !self.tiles.contains_key(&tile) {
-            return Err(Error::Soc(presp_soc::Error::NoSuchTile { coord: tile }));
-        }
-        self.push(tile, payload);
-        Ok(())
-    }
-
-    fn push(&mut self, tile: TileCoord, payload: Payload<S>) {
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
-        let tq = self.tiles.get_mut(&tile).expect("tile checked by caller");
-        let depth = tq.jobs.len() as u64 + 1;
-        tq.jobs.push_back(Job {
-            ticket,
-            tile,
-            depth,
-            admitted: Instant::now(),
-            payload,
-        });
-        self.stats.admitted += 1;
-        self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth);
-    }
-
-    /// Claims the head job with the globally lowest ticket among tiles
-    /// with no job already in flight. Always picking the minimum is what
-    /// keeps the ticket gate live: the oldest unretired job is never
-    /// passed over for long.
-    fn claim(&mut self) -> Option<Job<S>> {
-        let tile = self
-            .tiles
-            .iter()
-            .filter(|(_, tq)| !tq.checked_out)
-            .filter_map(|(coord, tq)| tq.jobs.front().map(|job| (job.ticket, *coord)))
-            .min()
-            .map(|(_, coord)| coord)?;
-        let tq = self.tiles.get_mut(&tile).expect("tile found above");
-        tq.checked_out = true;
-        let job = tq.jobs.pop_front().expect("head job found above");
-        if let Payload::Reconfigure { kind, .. } = &job.payload {
-            tq.inflight = Some(Inflight {
-                kind: *kind,
-                extra_waiters: Vec::new(),
-            });
-        }
-        self.stats.record_wait(job.admitted.elapsed());
-        Some(job)
-    }
-
-    /// Returns the tile to claimable state and collects any waiters that
-    /// coalesced into the in-flight reconfiguration.
-    fn complete(&mut self, tile: TileCoord) -> Vec<S::Sender<Result<(), Error>>> {
-        let tq = self.tiles.get_mut(&tile).expect("completed tile exists");
-        tq.checked_out = false;
-        let extras = tq
-            .inflight
-            .take()
-            .map(|inflight| inflight.extra_waiters)
-            .unwrap_or_default();
-        self.stats.completed += 1;
-        extras
-    }
 }
 
 /// Commit-order gate: jobs pass in strict global ticket order, so the
@@ -328,28 +246,206 @@ impl Gate {
     }
 }
 
-/// One tile's concurrent shard: the [`TileState`] under its own lock plus
-/// the condvar signalled when a reconfiguration on this tile completes.
+/// One tile's concurrent shard: the [`TileState`] under its own lock, the
+/// tile's FIFO under its own lock, plus the condvar signalled when a
+/// reconfiguration on this tile completes.
 pub(crate) struct TileShard<S: SyncFacade> {
     pub(crate) state: S::Mutex<TileState>,
     pub(crate) reconfig_done: S::Condvar,
+    queue: S::Mutex<TileQueue<S>>,
+}
+
+/// Wall-clock time a worker spent in each pipeline stage for one job;
+/// flushed into [`SchedulerStats`] under `sched_admission` at completion.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageNanos {
+    prepare: u64,
+    gate_wait: u64,
+    commit: u64,
 }
 
 /// State shared between submitters, the worker pool and the scrubber.
 pub(crate) struct Shared<S: SyncFacade> {
     pub(crate) shards: BTreeMap<TileCoord, TileShard<S>>,
     pub(crate) core: S::Mutex<DeviceCore>,
-    queue: S::Mutex<SchedQueue<S>>,
+    admission: S::Mutex<Admission>,
     /// Signalled when a job is admitted or a tile becomes claimable.
     work: S::Condvar,
     gate: S::Mutex<Gate>,
     /// Signalled when the gate advances.
     gate_cv: S::Condvar,
+    /// The boot-immutable registry, shared with the workers' lock-free
+    /// prepare stage (the core holds the same handle).
+    registry: Arc<BitstreamRegistry>,
     pub(crate) policy: RecoveryPolicy,
     mutants: MutantConfig,
     /// Storage the `unsynced_stats` mutant shares without a lock; under
     /// the checker every access is happens-before verified.
     racy_runs: presp_check::RaceCell<u64>,
+}
+
+impl<S: SyncFacade> Shared<S> {
+    /// Admits a reconfiguration, coalescing where possible. Lock order:
+    /// `sched_admission` → `tile_queue`.
+    fn admit_reconfigure(
+        &self,
+        tile: TileCoord,
+        kind: AcceleratorKind,
+        done: S::Sender<Result<(), Error>>,
+    ) -> Admitted<S> {
+        let mut adm = S::lock(&self.admission);
+        if adm.stopping {
+            return Admitted::Refused(Error::ManagerStopped, done);
+        }
+        let Some(shard) = self.shards.get(&tile) else {
+            return Admitted::Refused(
+                Error::Soc(presp_soc::Error::NoSuchTile { coord: tile }),
+                done,
+            );
+        };
+        let mut tq = S::lock(&shard.queue);
+        // Tail coalescing: identical to the youngest queued request —
+        // folding preserves per-tile FIFO semantics exactly.
+        if let Some(Job {
+            payload:
+                Payload::Reconfigure {
+                    kind: tail,
+                    done: waiters,
+                },
+            ..
+        }) = tq.jobs.back_mut()
+        {
+            if *tail == kind {
+                waiters.push(done);
+                adm.stats.coalesced += 1;
+                return Admitted::Coalesced;
+            }
+        }
+        // In-flight coalescing: nothing queued behind the claimed job, so
+        // joining it cannot reorder anything.
+        if tq.jobs.is_empty() {
+            if let Some(inflight) = tq.inflight.as_mut() {
+                if inflight.kind == kind {
+                    inflight.extra_waiters.push(done);
+                    adm.stats.coalesced += 1;
+                    return Admitted::Coalesced;
+                }
+            }
+        }
+        Self::push(
+            &mut adm,
+            &mut tq,
+            tile,
+            Payload::Reconfigure {
+                kind,
+                done: vec![done],
+            },
+        );
+        Admitted::Enqueued
+    }
+
+    /// Admits a non-coalescable job; the caller answers with the error
+    /// when the scheduler is stopping or the tile is unknown.
+    fn admit_job(&self, tile: TileCoord, payload: Payload<S>) -> Result<(), Error> {
+        let mut adm = S::lock(&self.admission);
+        if adm.stopping {
+            return Err(Error::ManagerStopped);
+        }
+        let Some(shard) = self.shards.get(&tile) else {
+            return Err(Error::Soc(presp_soc::Error::NoSuchTile { coord: tile }));
+        };
+        let mut tq = S::lock(&shard.queue);
+        Self::push(&mut adm, &mut tq, tile, payload);
+        Ok(())
+    }
+
+    /// Assigns the next global ticket and appends the job; ticket
+    /// assignment is atomic with the queue push (both locks held), which
+    /// the gate's liveness depends on.
+    fn push(adm: &mut Admission, tq: &mut TileQueue<S>, tile: TileCoord, payload: Payload<S>) {
+        let ticket = adm.next_ticket;
+        adm.next_ticket += 1;
+        let depth = tq.jobs.len() as u64 + 1;
+        if tq.jobs.is_empty() && !tq.checked_out {
+            adm.heads.insert(ticket, tile);
+        }
+        tq.jobs.push_back(Job {
+            ticket,
+            tile,
+            depth,
+            admitted: Instant::now(),
+            payload,
+        });
+        adm.stats.admitted += 1;
+        adm.stats.max_queue_depth = adm.stats.max_queue_depth.max(depth);
+    }
+
+    /// Claims the job with the globally lowest claimable head ticket by
+    /// popping the admission index minimum. Always picking the minimum is
+    /// what keeps the ticket gate live: the oldest unretired job is never
+    /// passed over for long.
+    fn claim(&self, adm: &mut Admission) -> Option<Job<S>> {
+        let (ticket, tile) = adm.heads.pop_first()?;
+        let shard = self.shards.get(&tile).expect("indexed tile exists");
+        let mut tq = S::lock(&shard.queue);
+        tq.checked_out = true;
+        let job = tq.jobs.pop_front().expect("indexed head job exists");
+        debug_assert_eq!(job.ticket, ticket, "head index out of sync");
+        if let Payload::Reconfigure { kind, .. } = &job.payload {
+            tq.inflight = Some(Inflight {
+                kind: *kind,
+                extra_waiters: Vec::new(),
+            });
+        }
+        adm.stats.record_wait(job.admitted.elapsed());
+        Some(job)
+    }
+
+    /// Returns the tile to claimable state, re-indexes its next head,
+    /// flushes the worker's stage timings and collects any waiters that
+    /// coalesced into the in-flight reconfiguration. The boolean reports
+    /// whether a queued job became claimable — the only case workers need
+    /// waking for (waking the whole pool per completion measurably hurts
+    /// on small hosts).
+    fn complete(&self, tile: TileCoord, stages: StageNanos) -> (CoalescedWaiters<S>, bool) {
+        let shard = self.shards.get(&tile).expect("completed tile exists");
+        if self.mutants.queue_admission_inversion {
+            // MUTANT: nested acquisition opposite to every admission
+            // path's sched_admission → tile_queue.
+            let mut tq = S::lock(&shard.queue);
+            let mut adm = S::lock(&self.admission);
+            Self::finish(&mut adm, &mut tq, tile, stages)
+        } else {
+            let mut adm = S::lock(&self.admission);
+            let mut tq = S::lock(&shard.queue);
+            Self::finish(&mut adm, &mut tq, tile, stages)
+        }
+    }
+
+    fn finish(
+        adm: &mut Admission,
+        tq: &mut TileQueue<S>,
+        tile: TileCoord,
+        stages: StageNanos,
+    ) -> (CoalescedWaiters<S>, bool) {
+        tq.checked_out = false;
+        let reindexed = if let Some(job) = tq.jobs.front() {
+            adm.heads.insert(job.ticket, tile);
+            true
+        } else {
+            false
+        };
+        let extras = tq
+            .inflight
+            .take()
+            .map(|inflight| inflight.extra_waiters)
+            .unwrap_or_default();
+        adm.stats.completed += 1;
+        adm.stats.stage_prepare_nanos += stages.prepare;
+        adm.stats.stage_gate_wait_nanos += stages.gate_wait;
+        adm.stats.stage_commit_nanos += stages.commit;
+        (extras, reindexed)
+    }
 }
 
 /// An admitted request's completion handle.
@@ -415,6 +511,7 @@ impl<S: SyncFacade> Scheduler<S> {
         cache_capacity: usize,
         mutants: MutantConfig,
     ) -> Scheduler<S> {
+        let registry = Arc::new(registry);
         let shards: BTreeMap<TileCoord, TileShard<S>> = soc
             .config()
             .iter()
@@ -424,23 +521,28 @@ impl<S: SyncFacade> Scheduler<S> {
                     TileShard {
                         state: S::mutex_labeled("tile_state", TileState::new(coord)),
                         reconfig_done: S::condvar(),
+                        queue: S::mutex_labeled("tile_queue", TileQueue::new()),
                     },
                 )
             })
             .collect();
-        let queue = SchedQueue {
-            tiles: shards.keys().map(|&t| (t, TileQueue::new())).collect(),
+        let admission = Admission {
             next_ticket: 0,
             stopping: false,
             stats: SchedulerStats::default(),
+            heads: BTreeMap::new(),
         };
         let shared = Arc::new(Shared {
             shards,
             core: S::mutex_labeled(
                 "core",
-                DeviceCore::new(soc, registry, BitstreamCache::new(cache_capacity)),
+                DeviceCore::new_shared(
+                    soc,
+                    Arc::clone(&registry),
+                    BitstreamCache::new(cache_capacity),
+                ),
             ),
-            queue: S::mutex_labeled("sched_queue", queue),
+            admission: S::mutex_labeled("sched_admission", admission),
             work: S::condvar(),
             gate: S::mutex_labeled(
                 "gate",
@@ -450,6 +552,7 @@ impl<S: SyncFacade> Scheduler<S> {
                 },
             ),
             gate_cv: S::condvar(),
+            registry,
             policy,
             mutants,
             racy_runs: presp_check::RaceCell::new("racy_runs", 0),
@@ -465,7 +568,7 @@ impl<S: SyncFacade> Scheduler<S> {
                         3 => "presp-worker-3",
                         _ => "presp-worker-n",
                     },
-                    move || worker_loop(&shared),
+                    move || worker_loop(&shared, i),
                 )
             })
             .collect();
@@ -479,11 +582,7 @@ impl<S: SyncFacade> Scheduler<S> {
     /// queued or in-flight one when possible.
     pub fn submit_reconfigure(&self, tile: TileCoord, kind: AcceleratorKind) -> Pending<S, ()> {
         let (tx, rx) = S::channel();
-        let admitted = {
-            let mut q = S::lock(&self.shared.queue);
-            q.admit_reconfigure(tile, kind, tx)
-        };
-        match admitted {
+        match self.shared.admit_reconfigure(tile, kind, tx) {
             Admitted::Enqueued => S::notify_all(&self.shared.work),
             Admitted::Coalesced => {}
             Admitted::Refused(e, tx) => {
@@ -496,17 +595,13 @@ impl<S: SyncFacade> Scheduler<S> {
     /// Admits an accelerator invocation on `tile`.
     pub fn submit_run(&self, tile: TileCoord, op: AccelOp) -> Pending<S, AccelRun> {
         let (tx, rx) = S::channel();
-        let admitted = {
-            let mut q = S::lock(&self.shared.queue);
-            q.admit_job(
-                tile,
-                Payload::Run {
-                    op: Box::new(op),
-                    done: tx,
-                },
-            )
-        };
-        match admitted {
+        match self.shared.admit_job(
+            tile,
+            Payload::Run {
+                op: Box::new(op),
+                done: tx,
+            },
+        ) {
             Ok(()) => {
                 S::notify_all(&self.shared.work);
                 Pending { rx }
@@ -523,18 +618,14 @@ impl<S: SyncFacade> Scheduler<S> {
         op: AccelOp,
     ) -> Pending<S, (AccelRun, ExecPath)> {
         let (tx, rx) = S::channel();
-        let admitted = {
-            let mut q = S::lock(&self.shared.queue);
-            q.admit_job(
-                tile,
-                Payload::Execute {
-                    kind,
-                    op: Box::new(op),
-                    done: tx,
-                },
-            )
-        };
-        match admitted {
+        match self.shared.admit_job(
+            tile,
+            Payload::Execute {
+                kind,
+                op: Box::new(op),
+                done: tx,
+            },
+        ) {
             Ok(()) => {
                 S::notify_all(&self.shared.work);
                 Pending { rx }
@@ -568,7 +659,7 @@ impl<S: SyncFacade> Scheduler<S> {
 
     /// Wall-clock scheduling metrics. Recovers from a poisoned lock.
     pub fn scheduler_stats(&self) -> SchedulerStats {
-        S::lock_recover(&self.shared.queue).stats.clone()
+        S::lock_recover(&self.shared.admission).stats.clone()
     }
 
     /// Hit/miss counters of the verified-bitstream cache.
@@ -589,6 +680,20 @@ impl<S: SyncFacade> Scheduler<S> {
         S::lock_recover(&self.shared.core)
             .soc_mut()
             .attach_tracer(sink);
+    }
+
+    /// Attaches a sharded trace sink: worker `i` commits through shard
+    /// `i mod sink.len()`, so concurrent commits never contend on one
+    /// sink mutex. The tracer's seq counter survives per-commit shard
+    /// re-attachment and commits are gate-serialized, so
+    /// [`presp_events::ShardedSink::drain_merged`] reproduces the exact
+    /// single-sink log byte for byte at any worker count.
+    pub fn attach_sharded_tracer(&self, sink: &presp_events::ShardedSink) {
+        let mut core = S::lock_recover(&self.shared.core);
+        core.set_trace_shards((0..sink.len()).map(|i| sink.shard(i)).collect());
+        // Attach shard 0 immediately so emissions before the first
+        // worker commit (boot-time spans, scrubber passes) are recorded.
+        core.soc_mut().attach_tracer(sink.shard(0));
     }
 
     /// Installs (or disarms, with `None`) a fault plan on the underlying
@@ -636,10 +741,12 @@ impl<S: SyncFacade> Scheduler<S> {
     /// poisoned locks.
     pub fn shutdown(&self) {
         let drained: Vec<Job<S>> = {
-            let mut q = S::lock_recover(&self.shared.queue);
-            q.stopping = true;
+            let mut adm = S::lock_recover(&self.shared.admission);
+            adm.stopping = true;
+            adm.heads.clear();
             let mut out = Vec::new();
-            for tq in q.tiles.values_mut() {
+            for shard in self.shared.shards.values() {
+                let mut tq = S::lock_recover(&shard.queue);
                 out.extend(tq.jobs.drain(..));
             }
             out
@@ -697,6 +804,31 @@ fn bench_eval_delay() -> Option<Duration> {
     })
 }
 
+/// A per-worker pool of word buffers recycled across prepared bitstream
+/// clones, so the steady-state prepare stage allocates nothing: the
+/// buffer travels into the prepared `Arc<Bitstream>` and comes back via
+/// [`presp_fpga::bitstream::Bitstream::into_words`] when the commit did
+/// not retain the copy.
+#[derive(Default)]
+struct PrepareArena {
+    pool: Vec<Vec<u32>>,
+}
+
+impl PrepareArena {
+    /// How many idle buffers a worker keeps; one in flight + one spare.
+    const KEEP: usize = 2;
+
+    fn take(&mut self) -> Vec<u32> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    fn give(&mut self, buf: Vec<u32>) {
+        if self.pool.len() < Self::KEEP {
+            self.pool.push(buf);
+        }
+    }
+}
+
 /// A committed job's reply, sent after all locks are released.
 enum Reply<S: SyncFacade> {
     Reconfigure {
@@ -714,22 +846,28 @@ enum Reply<S: SyncFacade> {
     },
 }
 
-fn worker_loop<S: SyncFacade>(shared: &Shared<S>) {
+fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
+    let mut arena = PrepareArena::default();
     loop {
-        // -- claim: pop the lowest-ticket head job of a free tile -------
+        // -- claim: pop the lowest claimable head ticket ----------------
         let job = {
-            let mut q = S::lock(&shared.queue);
+            let mut adm = S::lock(&shared.admission);
             loop {
-                if let Some(job) = q.claim() {
+                if let Some(job) = shared.claim(&mut adm) {
                     break job;
                 }
-                if q.stopping {
+                if adm.stopping {
                     return;
                 }
-                q = S::wait(&shared.work, q);
+                adm = S::wait(&shared.work, adm);
             }
         };
         let (ticket, tile, depth) = (job.ticket, job.tile, job.depth);
+        let shard = shared
+            .shards
+            .get(&tile)
+            .expect("shard exists for admitted tile");
+        let prepare_started = Instant::now();
         // -- prepare: evaluate the behavioral result outside any lock ---
         // Accelerator instances are stateless and `execute` re-checks
         // kind compatibility itself, so this is a pure function of the
@@ -746,16 +884,39 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>) {
             }
             Payload::Reconfigure { .. } => None,
         };
-        let shard = shared
-            .shards
-            .get(&tile)
-            .expect("shard exists for admitted tile");
+        // -- prepare: pre-fetch the verified bitstream outside the core
+        // lock. The registry is immutable after boot, so the verified
+        // clone (into a recycled arena buffer) is exactly what the
+        // commit-time cache miss would have produced; lookup errors are
+        // left for the commit path to reproduce. A brief solo peek at
+        // the tile state skips the work when the driver is already
+        // loaded or the tile is out of service.
+        let mut prepared: PreparedBitstream = match &job.payload {
+            Payload::Reconfigure { kind, .. } | Payload::Execute { kind, .. } => {
+                let skip = {
+                    let state = S::lock(&shard.state);
+                    state.is_quarantined() || state.services(*kind)
+                };
+                if skip {
+                    None
+                } else {
+                    shared
+                        .registry
+                        .lookup(tile, *kind)
+                        .ok()
+                        .map(|stream| Arc::new(stream.clone_reusing(arena.take())))
+                }
+            }
+            Payload::Run { .. } => None,
+        };
         let is_reconfigure = matches!(job.payload, Payload::Reconfigure { .. });
+        let gate_started = Instant::now();
         // -- gate: commit critical sections in strict ticket order ------
         let mut gate = S::lock(&shared.gate);
         while gate.next != ticket {
             gate = S::wait(&shared.gate_cv, gate);
         }
+        let commit_started = Instant::now();
         let reply: Reply<S> = {
             let (mut state, mut core) = if shared.mutants.shard_core_inversion && is_reconfigure {
                 // MUTANT: nested acquisition opposite to the scrubber's
@@ -768,6 +929,11 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>) {
                 let core = S::lock(&shared.core);
                 (state, core)
             };
+            // Route this commit's trace records to the worker's own
+            // shard (seq survives re-attachment; merge restores order).
+            if let Some(sink) = core.trace_shard(worker) {
+                core.soc_mut().tracer_mut().attach(sink);
+            }
             let now = core.soc().horizon();
             core.soc_mut()
                 .tracer_mut()
@@ -787,6 +953,7 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>) {
                         &shared.policy,
                         kind,
                         at,
+                        &mut prepared,
                     )
                     .map(|_| ()),
                 },
@@ -804,6 +971,7 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>) {
                         &op,
                         at,
                         precomputed,
+                        &mut prepared,
                     ),
                 },
             }
@@ -811,15 +979,26 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>) {
         gate.retire(ticket);
         drop(gate);
         S::notify_all(&shared.gate_cv);
+        let stages = StageNanos {
+            prepare: (gate_started - prepare_started).as_nanos() as u64,
+            gate_wait: (commit_started - gate_started).as_nanos() as u64,
+            commit: commit_started.elapsed().as_nanos() as u64,
+        };
+        // Recycle the prepared buffer when the commit did not retain the
+        // copy (cache hit, services short-circuit, or an error path).
+        if let Some(arc) = prepared.take() {
+            if let Ok(stream) = Arc::try_unwrap(arc) {
+                arena.give(stream.into_words());
+            }
+        }
         if matches!(reply, Reply::Reconfigure { .. } | Reply::Execute { .. }) {
             S::notify_all(&shard.reconfig_done);
         }
         // -- complete: free the tile, collect coalesced waiters ---------
-        let extra_waiters = {
-            let mut q = S::lock(&shared.queue);
-            q.complete(tile)
-        };
-        S::notify_all(&shared.work);
+        let (extra_waiters, claimable) = shared.complete(tile, stages);
+        if claimable {
+            S::notify_all(&shared.work);
+        }
         // -- reply ------------------------------------------------------
         match reply {
             Reply::Reconfigure { kind, done, result } => {

@@ -14,8 +14,8 @@
 //! `std::sync` primitives), while the model-check suites instantiate
 //! `ThreadedManager<CheckSync>` and run the *same*
 //! claim/gate/commit/reply protocol under `presp-check`'s schedule
-//! explorer. Lock labels (`"sched_queue"`, `"gate"`, `"tile_state"`,
-//! `"core"`, `"worker"`) feed its lock-order graph.
+//! explorer. Lock labels (`"sched_admission"`, `"tile_queue"`, `"gate"`,
+//! `"tile_state"`, `"core"`, `"worker"`) feed its lock-order graph.
 
 use crate::cache::CacheStats;
 use crate::error::Error;
@@ -272,6 +272,15 @@ impl<S: SyncFacade> ThreadedManager<S> {
     /// exactly when forensics were needed.)
     pub fn attach_tracer(&self, sink: presp_events::SharedSink) {
         self.sched.attach_tracer(sink);
+    }
+
+    /// Attaches a sharded trace sink: worker `i` commits through shard
+    /// `i mod sink.len()`, so concurrent commits never contend on one
+    /// sink mutex, and [`presp_events::ShardedSink::drain_merged`]
+    /// reproduces the exact single-sink log byte for byte at any worker
+    /// count — see [`crate::scheduler::Scheduler::attach_sharded_tracer`].
+    pub fn attach_sharded_tracer(&self, sink: &presp_events::ShardedSink) {
+        self.sched.attach_sharded_tracer(sink);
     }
 
     /// Installs (or disarms) a fault plan on the underlying SoC — see
@@ -603,7 +612,7 @@ mod tests {
             });
         drop(core);
         assert!(
-            !sink.lock().unwrap().records().is_empty(),
+            !presp_events::sink::snapshot(&sink).is_empty(),
             "the post-poison tracer must still capture events"
         );
         mgr.shutdown();
@@ -641,6 +650,50 @@ mod tests {
         );
         // The printed schedule replays the identical deadlock.
         let replay = mutant_checker().replay(&failure.schedule, shard_core_inversion_model);
+        assert!(
+            matches!(
+                replay.failure.as_ref().map(|f| &f.kind),
+                Some(FailureKind::Deadlock { .. })
+            ),
+            "replay must reproduce the deadlock: {replay}"
+        );
+    }
+
+    fn queue_admission_inversion_model() {
+        let (mgr, tiles) = boot_checked(MutantConfig {
+            queue_admission_inversion: true,
+            ..MutantConfig::default()
+        });
+        let tile = tiles[0];
+        let app = mgr.clone();
+        // A submitter (sched_admission → tile_queue) racing the worker's
+        // mutant completion path (tile_queue → sched_admission).
+        let h = presp_check::sync::spawn_named("app", move || {
+            let _ = app.reconfigure_blocking(tile, AcceleratorKind::Mac);
+        });
+        let _ = mgr.execute_blocking(
+            tile,
+            AcceleratorKind::Mac,
+            AccelOp::Mac {
+                a: vec![1.0],
+                b: vec![2.0],
+            },
+        );
+        h.join().unwrap();
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn checker_catches_queue_admission_inversion_mutant() {
+        let report = mutant_checker().explore(queue_admission_inversion_model);
+        let failure = report
+            .failure
+            .expect("the queue/admission inversion mutant must deadlock some schedule");
+        assert!(
+            matches!(failure.kind, FailureKind::Deadlock { .. }),
+            "expected deadlock, got: {failure}"
+        );
+        let replay = mutant_checker().replay(&failure.schedule, queue_admission_inversion_model);
         assert!(
             matches!(
                 replay.failure.as_ref().map(|f| &f.kind),

@@ -188,8 +188,16 @@ fn run_cell(
     seed: u64,
     workers: usize,
 ) -> (RunObservation, Vec<presp_events::trace::TraceRecord>) {
-    let cfg = SocConfig::grid_3x3_reconf(&spec.fabric.soc_name, spec.fabric.reconf_tiles)
-        .expect("reconf_tiles validated at parse (1..=6)");
+    // Up to 6 tiles keep the canonical 3x3 grid (existing scenario
+    // reports stay byte-identical); larger fabrics boot the scaled
+    // near-square grid.
+    let cfg = if spec.fabric.reconf_tiles <= 6 {
+        SocConfig::grid_3x3_reconf(&spec.fabric.soc_name, spec.fabric.reconf_tiles)
+            .expect("reconf_tiles validated at parse (1..=64)")
+    } else {
+        SocConfig::grid_reconf(&spec.fabric.soc_name, spec.fabric.reconf_tiles)
+            .expect("reconf_tiles validated at parse (1..=64)")
+    };
     let mut soc = Soc::new(&cfg).expect("a validated grid config boots");
     if any_fault_configured(spec) {
         soc.set_fault_plan(Some(FaultPlan::new(seed, spec.faults)));
@@ -266,7 +274,7 @@ fn run_cell(
         daemon.shutdown();
     }
     manager.shutdown();
-    let records = sink.lock().expect("sink lock").records().to_vec();
+    let records = presp_events::sink::snapshot(&sink);
     let trace_log = log_lines(&records);
     let mut event_counts: BTreeMap<String, u64> = BTreeMap::new();
     for record in &records {

@@ -65,14 +65,15 @@ impl CatalogKind {
     }
 }
 
-/// The simulated fabric: a 3×3 ESP-style grid (CPU + MEM + AUX) with
+/// The simulated fabric: an ESP-style grid (CPU + MEM + AUX) with
 /// `reconf_tiles` reconfigurable sockets — the shape of the paper's
-/// SoC_A–SoC_D / SoC_X–SoC_Z deployments.
+/// SoC_A–SoC_D / SoC_X–SoC_Z deployments. Up to 6 tiles boot the
+/// canonical 3×3 grid; larger counts boot a near-square scaled grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FabricSpec {
     /// SoC configuration name (appears in traces and reports).
     pub soc_name: String,
-    /// Reconfigurable tile count, `1..=6`.
+    /// Reconfigurable tile count, `1..=64`.
     pub reconf_tiles: usize,
 }
 
@@ -356,10 +357,11 @@ fn parse_fabric(doc: &JsonValue) -> Result<FabricSpec, ScenarioError> {
     reject_unknown_keys(fabric, "'fabric'", &["soc_name", "reconf_tiles"])?;
     let soc_name = get_str(fabric, "'fabric'", "soc_name")?;
     let reconf_tiles = get_usize(fabric, "'fabric'", "reconf_tiles")?;
-    if !(1..=6).contains(&reconf_tiles) {
+    if !(1..=64).contains(&reconf_tiles) {
         return err(format!(
-            "'fabric.reconf_tiles' must be between 1 and 6 (got {reconf_tiles}): \
-             the 3x3 grid holds at most 6 reconfigurable tiles"
+            "'fabric.reconf_tiles' must be between 1 and 64 (got {reconf_tiles}): \
+             up to 6 tiles boot the canonical 3x3 grid, larger counts a \
+             near-square scaled grid"
         ));
     }
     Ok(FabricSpec {
@@ -1024,8 +1026,22 @@ mod tests {
 
     #[test]
     fn too_many_tiles_is_rejected_with_the_bound() {
-        let doc = minimal().replace("\"reconf_tiles\": 2", "\"reconf_tiles\": 9");
+        let doc = minimal().replace("\"reconf_tiles\": 2", "\"reconf_tiles\": 65");
         let e = ScenarioSpec::parse(&doc).unwrap_err();
-        assert!(e.0.contains("between 1 and 6"), "{e}");
+        assert!(e.0.contains("between 1 and 64"), "{e}");
+    }
+
+    #[test]
+    fn large_fabrics_up_to_64_tiles_parse() {
+        let doc = minimal().replace("\"reconf_tiles\": 2", "\"reconf_tiles\": 64");
+        let spec = ScenarioSpec::parse(&doc).unwrap();
+        assert_eq!(spec.fabric.reconf_tiles, 64);
+    }
+
+    #[test]
+    fn zero_tiles_is_rejected_with_the_bound() {
+        let doc = minimal().replace("\"reconf_tiles\": 2", "\"reconf_tiles\": 0");
+        let e = ScenarioSpec::parse(&doc).unwrap_err();
+        assert!(e.0.contains("between 1 and 64"), "{e}");
     }
 }

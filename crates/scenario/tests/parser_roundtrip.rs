@@ -243,8 +243,8 @@ fn rejects_unknown_catalog_kind() {
 #[test]
 fn rejects_out_of_range_tiles() {
     assert_rejects(
-        &valid_doc().replace("\"reconf_tiles\": 1", "\"reconf_tiles\": 9"),
-        &["'fabric.reconf_tiles'", "between 1 and 6", "got 9"],
+        &valid_doc().replace("\"reconf_tiles\": 1", "\"reconf_tiles\": 65"),
+        &["'fabric.reconf_tiles'", "between 1 and 64", "got 65"],
     );
 }
 

@@ -193,6 +193,25 @@ impl SocConfig {
         SocConfig::new(name, 3, 3, tiles)
     }
 
+    /// A near-square SoC with CPU, MEM and AUX plus `n` reconfigurable
+    /// tiles, for scale-out workloads past the 3×3 grid's 6-tile cap.
+    /// The grid is sized to the smallest near-square rectangle (at
+    /// least 3 columns) holding `n + 3` tiles; unused positions are
+    /// [`TileKind::Empty`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails for `n ≥ 1`; the `Result` mirrors [`SocConfig::new`].
+    pub fn grid_reconf(name: impl Into<String>, n: usize) -> Result<SocConfig, Error> {
+        let total = n + 3;
+        let cols = (1..).find(|c| c * c >= total).unwrap_or(3).max(3);
+        let rows = total.div_ceil(cols);
+        let mut tiles = vec![TileKind::Cpu, TileKind::Mem, TileKind::Aux];
+        tiles.extend(std::iter::repeat_n(TileKind::Reconfigurable, n));
+        tiles.resize(rows * cols, TileKind::Empty);
+        SocConfig::new(name, rows, cols, tiles)
+    }
+
     /// Configuration name.
     pub fn name(&self) -> &str {
         &self.name
@@ -360,6 +379,20 @@ mod tests {
     fn too_many_reconf_tiles_rejected() {
         assert!(SocConfig::grid_3x3_reconf("x", 7).is_err());
         assert!(SocConfig::grid_3x3_reconf("x", 6).is_ok());
+    }
+
+    #[test]
+    fn grid_reconf_scales_past_the_3x3_cap() {
+        // 64 reconfigurable tiles + CPU/MEM/AUX = 67 positions → 8×9.
+        let cfg = SocConfig::grid_reconf("soc_big", 64).unwrap();
+        assert_eq!(cfg.reconfigurable_tiles().len(), 64);
+        assert_eq!((cfg.rows(), cfg.cols()), (8, 9));
+        assert_eq!(cfg.tile(cfg.cpu()).unwrap(), TileKind::Cpu);
+        assert_eq!(cfg.tile(cfg.aux()).unwrap(), TileKind::Aux);
+        // Small counts still validate (near-square, ≥3 columns).
+        let small = SocConfig::grid_reconf("soc_small", 1).unwrap();
+        assert_eq!(small.reconfigurable_tiles().len(), 1);
+        assert_eq!((small.rows(), small.cols()), (2, 3));
     }
 
     #[test]

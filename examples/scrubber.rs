@@ -107,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(manager.tile_health(tile), TileHealth::Healthy);
 
     // Everything above is in the trace.
-    let records = sink.lock().unwrap().records().to_vec();
+    let records = presp::events::sink::snapshot(&sink);
     let count = |f: fn(&TraceEvent) -> bool| records.iter().filter(|r| f(&r.event)).count();
     println!(
         "trace: {} SEU injections, {} scrub passes, {} frame repairs, {} rollbacks",

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let records = sink.lock().expect("sink lock").take();
+    let records = presp::events::sink::drain(&sink);
     println!("captured {} trace records", records.len());
     std::fs::write(&out_path, chrome_trace_json(&records))?;
     println!("wrote {out_path} — load it in chrome://tracing or ui.perfetto.dev");

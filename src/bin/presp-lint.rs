@@ -1,6 +1,6 @@
 //! `presp-lint`: workspace source discipline, enforced mechanically.
 //!
-//! Four properties of this codebase are architectural, not stylistic,
+//! Five properties of this codebase are architectural, not stylistic,
 //! and none is expressible as a rustc/clippy lint:
 //!
 //! 1. **Sync discipline** — `crates/runtime` must route every
@@ -27,6 +27,13 @@
 //!    touching a shard directly would bypass the scheduler's per-tile
 //!    FIFO, the commit-order gate, and the `tile_state` → `core` lock
 //!    order the model checker verifies.
+//!
+//! 5. **Trace-sink doorway** — the shared trace sink mutex is acquired
+//!    only inside `crates/events/src/sink.rs` (`record_to`, `snapshot`,
+//!    `drain`), which recover from poisoning via
+//!    `PoisonError::into_inner`. A raw `sink.lock(` anywhere else would
+//!    reintroduce the unwrap-on-poison crash the doorway exists to
+//!    prevent, and would bypass the sharded sink's seq-ordered merge.
 //!
 //! The lint is a plain substring scanner over non-comment, non-test
 //! source lines: deliberately dumb, zero dependencies, and fast enough to
@@ -102,6 +109,40 @@ const RULES: &[Rule] = &[
         why: "per-tile shard state is touched only through the scheduler/\
               manager doorway (per-tile FIFO, commit gate, and the \
               tile_state → core lock order)",
+    },
+    Rule {
+        root: "crates",
+        exempt_files: &["sink.rs"],
+        forbidden: &["sink.lock("],
+        why: "trace sinks are read only through the presp_events::sink \
+              doorway (snapshot/drain recover from poisoning; raw locks \
+              bypass the seq-ordered merge)",
+    },
+    Rule {
+        // The lint's own pattern literals would match (strings are not
+        // stripped), so the scanner binary is its own doorway here.
+        root: "src",
+        exempt_files: &["presp-lint.rs"],
+        forbidden: &["sink.lock("],
+        why: "trace sinks are read only through the presp_events::sink \
+              doorway (snapshot/drain recover from poisoning; raw locks \
+              bypass the seq-ordered merge)",
+    },
+    Rule {
+        root: "tests",
+        exempt_files: &[],
+        forbidden: &["sink.lock("],
+        why: "trace sinks are read only through the presp_events::sink \
+              doorway (snapshot/drain recover from poisoning; raw locks \
+              bypass the seq-ordered merge)",
+    },
+    Rule {
+        root: "examples",
+        exempt_files: &[],
+        forbidden: &["sink.lock("],
+        why: "trace sinks are read only through the presp_events::sink \
+              doorway (snapshot/drain recover from poisoning; raw locks \
+              bypass the seq-ordered merge)",
     },
 ];
 

@@ -66,7 +66,7 @@ fn single_bit_upset_is_detected_corrected_and_traced() {
     assert_eq!(run.value, AccelValue::Scalar(12.0));
 
     // Injection, the scrub pass, and the repair are all in the trace.
-    let records = sink.lock().unwrap().records().to_vec();
+    let records = presp::events::sink::snapshot(&sink);
     let injected: Vec<_> = records
         .iter()
         .filter_map(|r| match r.event {
@@ -175,7 +175,7 @@ fn faulted_icap_write_rolls_back_to_the_pre_transaction_image() {
         before.diff(manager.soc().dfxc().config_memory()).is_empty(),
         "fabric state equals the pre-transaction snapshot"
     );
-    let records = sink.lock().unwrap().records().to_vec();
+    let records = presp::events::sink::snapshot(&sink);
     assert!(
         records
             .iter()

@@ -225,6 +225,10 @@ fn sharded_multi_worker_model() {
         RecoveryPolicy::default(),
         4,
     );
+    // Sharded tracing in the model: every worker commits through its own
+    // shard, so the sink protocol itself is under exploration too.
+    let sink = presp::events::ShardedSink::new(4);
+    mgr.attach_sharded_tracer(&sink);
 
     // Fan out: one asynchronous reconfiguration per tile, all admitted
     // before any completion is awaited, so the four workers can overlap.
@@ -267,6 +271,14 @@ fn sharded_multi_worker_model() {
         "missing loads: {stats:?}"
     );
     mgr.shutdown();
+
+    // The merged shard drain is a dense, strictly ordered seq sequence in
+    // every explored schedule — the invariant byte-identical logs rest on.
+    let merged = sink.drain_merged();
+    assert!(!merged.is_empty(), "sharded commits must trace");
+    for (i, record) in merged.iter().enumerate() {
+        assert_eq!(record.seq, i as u64, "merged seq must be dense");
+    }
 }
 
 #[test]
@@ -350,6 +362,77 @@ fn sweep_catches_and_replays_the_shard_core_inversion_mutant() {
     // The printed schedule replays the identical deadlock: the bug report
     // is a reproducer, not a coin flip.
     let replay = checker.replay(&failure.schedule, sharded_inversion_model);
+    assert!(
+        matches!(
+            replay.failure.as_ref().map(|f| &f.kind),
+            Some(FailureKind::Deadlock { .. })
+        ),
+        "replay must reproduce the deadlock: {replay}"
+    );
+}
+
+/// The committed queue↔admission lock-inversion mutant: the worker's
+/// completion path acquires `tile_queue` → `sched_admission`, the reverse
+/// of every admission path's `sched_admission` → `tile_queue`. A
+/// submitter racing a completing worker must deadlock some schedule.
+fn queue_admission_inversion_model() {
+    use presp::runtime::scheduler::MutantConfig;
+
+    let cfg = SocConfig::grid_3x3_reconf("mutantq", 1).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    registry
+        .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+        .unwrap();
+    let mgr = ThreadedManager::<CheckSync>::spawn_with_mutants(
+        soc,
+        registry,
+        RecoveryPolicy::default(),
+        1,
+        MutantConfig {
+            queue_admission_inversion: true,
+            ..MutantConfig::default()
+        },
+    );
+    let tile = tiles[0];
+    let app = {
+        let mgr = mgr.clone();
+        presp::check::sync::spawn_named("app", move || {
+            let _ = mgr.reconfigure_blocking(tile, AcceleratorKind::Mac);
+        })
+    };
+    // Main thread submits to the same tile while the worker completes the
+    // app thread's job: admission-side vs completion-side lock orders.
+    let _ = mgr.execute_blocking(
+        tile,
+        AcceleratorKind::Mac,
+        AccelOp::Mac {
+            a: vec![1.0],
+            b: vec![2.0],
+        },
+    );
+    app.join().unwrap();
+    mgr.shutdown();
+}
+
+#[test]
+fn sweep_catches_and_replays_the_queue_admission_inversion_mutant() {
+    use presp::check::FailureKind;
+    let checker = Checker::new(Config {
+        max_schedules: schedule_budget(),
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(queue_admission_inversion_model);
+    let failure = report
+        .failure
+        .expect("the queue/admission inversion mutant must deadlock some schedule");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "expected deadlock, got: {failure}"
+    );
+    let replay = checker.replay(&failure.schedule, queue_admission_inversion_model);
     assert!(
         matches!(
             replay.failure.as_ref().map(|f| &f.kind),

@@ -400,7 +400,7 @@ fn run_scrubbed_schedule(seed: u64) -> ScrubOutcome {
         "seed {seed}: inconsistent stats {stats:?}"
     );
     let quarantined = manager.quarantined_tiles();
-    let records = sink.lock().unwrap().records().to_vec();
+    let records = presp::events::sink::snapshot(&sink);
     let seu_events = records
         .iter()
         .filter(|r| matches!(r.event, TraceEvent::SeuInjected { .. }))
@@ -541,7 +541,7 @@ fn run_threaded_schedule(seed: u64, workers: usize) -> (ManagerStats, u64, Strin
     );
     let makespan = manager.makespan();
     manager.shutdown();
-    let trace = log_lines(sink.lock().unwrap().records());
+    let trace = log_lines(&presp::events::sink::snapshot(&sink));
     (stats, makespan, trace)
 }
 

@@ -49,7 +49,7 @@ fn traced_run(fault_seed: u64, scene_seed: u64, frames: usize) -> Vec<TraceRecor
             .expect("frame completes");
     }
 
-    let records = sink.lock().expect("sink lock").take();
+    let records = presp::events::sink::drain(&sink);
     assert!(!records.is_empty(), "traced run emitted nothing");
     records
 }
@@ -98,6 +98,118 @@ fn sequence_numbers_are_dense_and_ordered() {
     let records = traced_run(17, 3, 2);
     for (i, r) in records.iter().enumerate() {
         assert_eq!(r.seq, i as u64, "gap in trace sequence at {i}");
+    }
+}
+
+/// Drives the OS-threaded scheduler with `workers` workers and a sharded
+/// trace sink (one shard per worker), fanning out batches of asynchronous
+/// requests from a single submitter thread, and returns the merged trace
+/// plus the virtual-time makespan.
+///
+/// A single submitter makes the admission order — and therefore the
+/// global ticket order — deterministic; the commit-order gate then
+/// serializes every traced critical section by ticket, so the merged log
+/// must be identical for any worker count even though 16 workers overlap
+/// their lock-free prepare stages.
+fn sharded_threaded_run(workers: usize) -> (Vec<TraceRecord>, u64) {
+    use presp::accel::{AccelOp, AcceleratorKind};
+    use presp::events::ShardedSink;
+    use presp::fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
+    use presp::fpga::frame::FrameAddress;
+    use presp::runtime::registry::BitstreamRegistry;
+    use presp::runtime::threaded::ThreadedManager;
+    use presp::soc::config::SocConfig;
+    use presp::soc::sim::Soc;
+
+    fn bitstream(soc: &Soc, col: u32) -> Bitstream {
+        let device = soc.part().device();
+        let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        let words = device.part().family().frame_words();
+        b.add_frame(FrameAddress::new(0, col, 0), vec![col; words])
+            .unwrap();
+        b.build(true)
+    }
+
+    let cfg = SocConfig::grid_3x3_reconf("shard-trace", 4).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    for (i, &tile) in tiles.iter().enumerate() {
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+        registry
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .unwrap();
+    }
+    let mgr: ThreadedManager =
+        ThreadedManager::spawn_with_workers(soc, registry, RecoveryPolicy::default(), workers);
+    let sink = ShardedSink::new(workers);
+    mgr.attach_sharded_tracer(&sink);
+
+    for round in 0..4u32 {
+        let kind = if round % 2 == 0 {
+            AcceleratorKind::Mac
+        } else {
+            AcceleratorKind::Sort
+        };
+        // One reconfiguration per tile, all admitted before any wait, so
+        // the workers genuinely overlap; one tile per (tile, kind) pair
+        // per batch keeps the run coalescing-free.
+        let pendings: Vec<_> = tiles
+            .iter()
+            .map(|&tile| mgr.submit_reconfigure(tile, kind))
+            .collect();
+        for pending in pendings {
+            pending.wait().expect("reconfigure completes");
+        }
+        let pendings: Vec<_> = tiles
+            .iter()
+            .map(|&tile| {
+                let op = match kind {
+                    AcceleratorKind::Sort => AccelOp::Sort {
+                        data: vec![3.0, 1.0 + round as f32, 2.0],
+                    },
+                    _ => AccelOp::Mac {
+                        a: vec![1.0 + round as f32; 4],
+                        b: vec![2.0; 4],
+                    },
+                };
+                mgr.submit_execute(tile, kind, op)
+            })
+            .collect();
+        for pending in pendings {
+            pending.wait().expect("execute completes");
+        }
+    }
+
+    let makespan = mgr.makespan();
+    mgr.shutdown();
+    let records = sink.drain_merged();
+    assert!(!records.is_empty(), "sharded run emitted nothing");
+    (records, makespan)
+}
+
+#[test]
+fn sharded_trace_merge_is_byte_identical_across_worker_counts() {
+    let (one, makespan_one) = sharded_threaded_run(1);
+    let (sixteen, makespan_sixteen) = sharded_threaded_run(16);
+    assert_eq!(
+        makespan_one, makespan_sixteen,
+        "virtual-time makespan diverged across worker counts"
+    );
+    assert_eq!(
+        log_lines(&one),
+        log_lines(&sixteen),
+        "merged trace logs diverged between 1 and 16 workers"
+    );
+}
+
+#[test]
+fn sharded_trace_merge_has_dense_ordered_sequence_numbers() {
+    let (records, _) = sharded_threaded_run(16);
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "gap in merged trace sequence at {i}");
     }
 }
 
@@ -180,7 +292,7 @@ fn golden_single_tile_run() -> String {
         }
     }
 
-    let records = sink.lock().expect("sink lock").take();
+    let records = presp::events::sink::drain(&sink);
     assert!(!records.is_empty(), "golden run emitted nothing");
     log_lines(&records)
 }
