@@ -1,0 +1,30 @@
+//! Regression fixture for the old `presp-lint` cfg(test) region skipper.
+//!
+//! The old scanner stopped at the *first* `#[cfg(test)] mod` line and
+//! never scanned the rest of the file, and a naive brace counter would be
+//! desynchronized by the `{` inside the string literal below. Both flaws
+//! silently exempt the production import after the test module. The
+//! token-level region tracker must resume after the module's real closing
+//! brace and flag that import at its exact line.
+
+pub fn production() -> usize {
+    42
+}
+
+#[cfg(test)]
+mod tests {
+    use super::production;
+
+    #[test]
+    fn brace_inside_string_desyncs_naive_scanners() {
+        let tricky = "unbalanced { brace";
+        assert_eq!(tricky.len(), 18);
+        assert_eq!(production(), 42);
+    }
+}
+
+use std::sync::Mutex; // FLAG:sync-facade
+
+pub fn after_tests(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|p| p.into_inner())
+}

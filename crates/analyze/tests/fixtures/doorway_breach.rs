@@ -1,0 +1,15 @@
+//! Violating fixture for the pattern rules: a direct `std::sync` import
+//! in facade-disciplined code. Note the same pattern inside the string
+//! and the comment below must NOT be flagged — only the real import is.
+
+fn describe() -> &'static str {
+    "this string mentions std::sync and must not trip the rule"
+}
+
+// a comment mentioning std::sync must not trip the rule either
+
+use std::sync::Mutex; // FLAG:sync-facade
+
+fn guarded(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -1,0 +1,30 @@
+//! Violating fixture: `backward` nests the two locks against the declared
+//! `alpha -> beta` order. The analyzer must report the undeclared
+//! `beta -> alpha` edge at the exact inner-acquisition line, and the
+//! resulting `{alpha, beta}` cycle.
+
+struct Shared {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+fn build() -> Shared {
+    Shared {
+        alpha: S::mutex_labeled("alpha", 0),
+        beta: S::mutex_labeled("beta", 0),
+    }
+}
+
+fn forward(s: &Shared) {
+    let a = S::lock(&s.alpha);
+    let b = S::lock(&s.beta);
+    drop(b);
+    drop(a);
+}
+
+fn backward(s: &Shared) {
+    let b = S::lock(&s.beta);
+    let a = S::lock(&s.alpha); // FLAG:lock-order
+    drop(a);
+    drop(b);
+}

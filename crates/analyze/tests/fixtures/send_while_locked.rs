@@ -1,0 +1,20 @@
+//! Violating fixture: a channel send while the `alpha` guard is live. A
+//! bounded (or rendezvous) channel would block inside the critical
+//! section; even an unbounded one forces the receiver to contend.
+
+struct Shared {
+    alpha: Mutex<u32>,
+    done_tx: Sender<u32>,
+}
+
+fn build(v: u32) -> Shared {
+    Shared {
+        alpha: S::mutex_labeled("alpha", v),
+        done_tx: S::channel().0,
+    }
+}
+
+fn notify(s: &Shared) {
+    let g = S::lock(&s.alpha);
+    let _ = S::send(&s.done_tx, *g); // FLAG:send-while-locked
+}

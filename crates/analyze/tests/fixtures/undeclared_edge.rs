@@ -1,0 +1,31 @@
+//! Violating fixture: `takes_both` nests `gamma` inside `alpha`, an edge
+//! the declared lock-order DAG (`alpha -> beta` only) does not allow. No
+//! cycle — just the undeclared edge, at the inner acquisition line.
+
+struct Shared {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+}
+
+fn build() -> Shared {
+    Shared {
+        alpha: S::mutex_labeled("alpha", 0),
+        beta: S::mutex_labeled("beta", 0),
+        gamma: S::mutex_labeled("gamma", 0),
+    }
+}
+
+fn declared(s: &Shared) {
+    let a = S::lock(&s.alpha);
+    let b = S::lock(&s.beta);
+    drop(b);
+    drop(a);
+}
+
+fn takes_both(s: &Shared) {
+    let a = S::lock(&s.alpha);
+    let g = S::lock(&s.gamma); // FLAG:lock-order
+    drop(g);
+    drop(a);
+}

@@ -1,0 +1,11 @@
+//! Violating fixture: a raw `.lock().unwrap()` outside the designated
+//! poison-recovery doorway files. One poisoned lock and every later
+//! reader panics; the facade's `lock`/`lock_recover` is the doorway.
+
+struct Counter {
+    inner: std::sync::Mutex<u64>,
+}
+
+fn read(c: &Counter) -> u64 {
+    *c.inner.lock().unwrap() // FLAG:unwrap-on-lock
+}

@@ -1,0 +1,25 @@
+//! Violating fixture: a condvar wait on `beta` while the unrelated
+//! `alpha` guard stays held. The wait releases only the guard it
+//! consumes; `alpha` is pinned for the entire (possibly unbounded) wait.
+
+struct Shared {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    beta_cv: Condvar,
+}
+
+fn build() -> Shared {
+    Shared {
+        alpha: S::mutex_labeled("alpha", 0),
+        beta: S::mutex_labeled("beta", 0),
+        beta_cv: S::condvar(),
+    }
+}
+
+fn wait_for_signal(s: &Shared) {
+    let a = S::lock(&s.alpha);
+    let mut b = S::lock(&s.beta);
+    b = S::wait(&s.beta_cv, b); // FLAG:wait-wrong-lock
+    drop(b);
+    drop(a);
+}

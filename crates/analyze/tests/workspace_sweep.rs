@@ -1,0 +1,117 @@
+//! Clean-sweep test over the real workspace: the shipped `analyze.json`
+//! manifest must find nothing in the production tree by default, and the
+//! static lock graph must contain exactly the declared edges. With
+//! `include_mutants` the committed inversion mutants must surface as
+//! findings at the exact marked lines.
+
+use presp_analyze::manifest::Manifest;
+use presp_analyze::{analyze, Options};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn load_manifest() -> Manifest {
+    Manifest::load(&workspace_root().join("analyze.json")).unwrap()
+}
+
+#[test]
+fn real_workspace_is_clean_by_default() {
+    let analysis = analyze(&workspace_root(), &load_manifest(), &Options::default());
+    assert!(
+        analysis.is_clean(),
+        "unexpected findings:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        analysis.files_scanned >= 200,
+        "sweep covered only {} files",
+        analysis.files_scanned
+    );
+}
+
+#[test]
+fn static_graph_matches_declared_dag_exactly() {
+    let manifest = load_manifest();
+    let analysis = analyze(&workspace_root(), &manifest, &Options::default());
+    let declared: BTreeSet<(String, String)> = manifest.lock_order.edges.iter().cloned().collect();
+    let observed: BTreeSet<(String, String)> = analysis.graph.edge_pairs().into_iter().collect();
+    assert_eq!(
+        observed, declared,
+        "static lock graph must realize exactly the declared DAG"
+    );
+}
+
+#[test]
+fn committed_mutants_are_flagged_statically_at_marked_lines() {
+    let root = workspace_root();
+    let analysis = analyze(
+        &root,
+        &load_manifest(),
+        &Options {
+            include_mutants: true,
+        },
+    );
+
+    let order: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order")
+        .collect();
+    let edges: BTreeSet<&str> = order.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        edges
+            .iter()
+            .any(|e| e.contains("`tile_queue -> sched_admission`")),
+        "queue_admission_inversion mutant must surface: {edges:?}"
+    );
+    assert!(
+        edges.iter().any(|e| e.contains("`core -> tile_state`")),
+        "shard_core_inversion mutant must surface: {edges:?}"
+    );
+    assert!(
+        edges.iter().any(|e| e.contains("`scrub_stats ->")),
+        "scrubber lock_inversion mutant must surface: {edges:?}"
+    );
+
+    let cycles = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-cycle")
+        .count();
+    assert!(cycles >= 2, "both inversions close cycles, found {cycles}");
+
+    // Exact-line precision without hardcoding numbers: a direct finding
+    // sits on a line literally carrying the mutant marker; a finding
+    // propagated through a call chain ("via a -> b") sits at the call
+    // site, with the marked acquisition above it in the same file.
+    for f in &order {
+        let text = std::fs::read_to_string(root.join(&f.file)).unwrap();
+        let line = text.lines().nth(f.line - 1).unwrap_or("");
+        if line.contains("presp-analyze: mutant") {
+            continue;
+        }
+        let propagated = f.message.contains(" -> ") && f.message.contains("via");
+        let marked_above = text
+            .lines()
+            .take(f.line - 1)
+            .any(|l| l.contains("presp-analyze: mutant"));
+        assert!(
+            propagated && marked_above,
+            "{}:{} is neither a marked mutant line nor a call-site witness \
+             of one: {line}",
+            f.file,
+            f.line
+        );
+    }
+}

@@ -105,6 +105,12 @@ pub struct Report {
     /// explored schedules — a potential deadlock even if no explored
     /// schedule deadlocked.
     pub lock_cycles: Vec<Vec<String>>,
+    /// Every `(outer, inner)` lock-order edge the explored schedules
+    /// witnessed: `inner` was acquired while `outer` was held. This is the
+    /// dynamic counterpart of the static graph `presp-analyze` derives —
+    /// on covered schedules the static graph must be a superset, which the
+    /// cross-check test enforces.
+    pub lock_edges: Vec<(String, String)>,
 }
 
 impl Report {

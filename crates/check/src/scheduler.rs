@@ -1009,15 +1009,15 @@ impl Checker {
                 break;
             }
         }
-        let lock_cycles = lock_order
+        let graph = lock_order
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .cycles();
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Report {
             schedules,
             exhausted,
             failure,
-            lock_cycles,
+            lock_cycles: graph.cycles(),
+            lock_edges: graph.edges(),
         }
     }
 
@@ -1064,15 +1064,15 @@ impl Checker {
             kind,
             schedule: schedule_string(&outcome.decisions),
         });
-        let lock_cycles = lock_order
+        let graph = lock_order
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .cycles();
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Report {
             schedules: 1,
             exhausted: false,
             failure,
-            lock_cycles,
+            lock_cycles: graph.cycles(),
+            lock_edges: graph.edges(),
         }
     }
 }

@@ -412,8 +412,8 @@ impl<S: SyncFacade> Shared<S> {
         if self.mutants.queue_admission_inversion {
             // MUTANT: nested acquisition opposite to every admission
             // path's sched_admission → tile_queue.
-            let mut tq = S::lock(&shard.queue);
-            let mut adm = S::lock(&self.admission);
+            let mut tq = S::lock(&shard.queue); // presp-analyze: mutant
+            let mut adm = S::lock(&self.admission); // presp-analyze: mutant
             Self::finish(&mut adm, &mut tq, tile, stages)
         } else {
             let mut adm = S::lock(&self.admission);
@@ -921,8 +921,8 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
             let (mut state, mut core) = if shared.mutants.shard_core_inversion && is_reconfigure {
                 // MUTANT: nested acquisition opposite to the scrubber's
                 // (and submit path's) tile_state → core.
-                let core = S::lock(&shared.core);
-                let state = S::lock(&shard.state);
+                let core = S::lock(&shared.core); // presp-analyze: mutant
+                let state = S::lock(&shard.state); // presp-analyze: mutant
                 (state, core)
             } else {
                 let state = S::lock(&shard.state);

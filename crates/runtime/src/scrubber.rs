@@ -163,7 +163,7 @@ impl<S: SyncFacade> ScrubberDaemon<S> {
                             // critical section, stats grabbed first —
                             // scrub_stats → tile_state → core, the
                             // reverse of `stats()`.
-                            let mut st = S::lock(&worker_stats);
+                            let mut st = S::lock(&worker_stats); // presp-analyze: mutant
                             let result = Self::scrub_pass(&worker_shared, tile);
                             if let Ok(report) = &result {
                                 st.record(report);

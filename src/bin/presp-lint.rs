@@ -1,338 +1,22 @@
-//! `presp-lint`: workspace source discipline, enforced mechanically.
+//! `presp-lint`: compatibility wrapper over [`presp_analyze`].
 //!
-//! Five properties of this codebase are architectural, not stylistic,
-//! and none is expressible as a rustc/clippy lint:
+//! The substring scanner that used to live here has been replaced by the
+//! token-level analyzer in `crates/analyze`; its five hard-coded doorway
+//! and discipline rules are now data in the workspace `analyze.json`
+//! manifest, alongside the static lock-order and held-guard hazard passes
+//! the old scanner could not express. This binary keeps the historical
+//! name and exit-code contract (0 clean, 1 findings) for scripts and CI
+//! configs that still invoke `presp-lint`; new callers should prefer
+//! `presp-analyze`, which also offers `--json` and `--mutants`.
 //!
-//! 1. **Sync discipline** — `crates/runtime` must route every
-//!    synchronization primitive through its `sync` facade module so the
-//!    identical protocol code runs under `std::sync` in production and
-//!    under the `presp-check` model checker in CI. A direct `std::sync` /
-//!    `std::thread` import anywhere else in the crate would silently
-//!    exempt that code from model checking.
-//!
-//! 2. **Determinism** — the simulation crates (`soc`, `cad`, `events`,
-//!    `fpga`) operate on virtual time; wall-clock reads or real sleeps
-//!    (`SystemTime::now`, `Instant::now`, `thread::sleep`) would make
-//!    results irreproducible and break schedule replay.
-//!
-//! 3. **Configuration-memory doorway** — inside `crates/fpga`, frames and
-//!    their ECC shadow may only be mutated through `ConfigMemory`'s
-//!    methods. A direct `frames.insert(...)` elsewhere would bypass the
-//!    ECC refresh and silently defeat the SEU scrubber.
-//!
-//! 4. **Tile-shard doorway** — inside `crates/runtime`, per-tile shard
-//!    state (`TileState`) is named only by its definition, the protocol
-//!    functions, and the two managers that own shards (the deterministic
-//!    `manager` and the multi-worker `scheduler`). Any other module
-//!    touching a shard directly would bypass the scheduler's per-tile
-//!    FIFO, the commit-order gate, and the `tile_state` → `core` lock
-//!    order the model checker verifies.
-//!
-//! 5. **Trace-sink doorway** — the shared trace sink mutex is acquired
-//!    only inside `crates/events/src/sink.rs` (`record_to`, `snapshot`,
-//!    `drain`), which recover from poisoning via
-//!    `PoisonError::into_inner`. A raw `sink.lock(` anywhere else would
-//!    reintroduce the unwrap-on-poison crash the doorway exists to
-//!    prevent, and would bypass the sharded sink's seq-ordered merge.
-//!
-//! The lint is a plain substring scanner over non-comment, non-test
-//! source lines: deliberately dumb, zero dependencies, and fast enough to
-//! run on every CI build. `#[cfg(test)] mod …` regions are skipped (tests
-//! may use OS threads and real time); a line can opt out explicitly with
-//! a `presp-lint: allow` marker and a written justification.
-//!
-//! Exit status: 0 when clean, 1 with one `file:line: message` per finding.
-
-use std::fmt;
-use std::path::{Path, PathBuf};
-
-/// One rule: forbidden substrings within a directory subtree.
-struct Rule {
-    /// Subtree the rule applies to, relative to the workspace root.
-    root: &'static str,
-    /// File names exempt from this rule (the designated doorway).
-    exempt_files: &'static [&'static str],
-    /// Substrings that must not appear in effective source lines.
-    forbidden: &'static [&'static str],
-    /// Human explanation attached to findings.
-    why: &'static str,
-}
-
-const RULES: &[Rule] = &[
-    Rule {
-        root: "crates/runtime/src",
-        exempt_files: &["sync.rs"],
-        forbidden: &["std::sync", "std::thread", "parking_lot", "crossbeam"],
-        why: "runtime code must use the crate::sync facade (model-checkability)",
-    },
-    Rule {
-        root: "crates/soc/src",
-        exempt_files: &[],
-        forbidden: &["SystemTime::now", "Instant::now", "thread::sleep"],
-        why: "simulation crates are virtual-time only (determinism)",
-    },
-    Rule {
-        root: "crates/cad/src",
-        exempt_files: &[],
-        forbidden: &["SystemTime::now", "Instant::now", "thread::sleep"],
-        why: "simulation crates are virtual-time only (determinism)",
-    },
-    Rule {
-        root: "crates/events/src",
-        exempt_files: &[],
-        forbidden: &["SystemTime::now", "Instant::now", "thread::sleep"],
-        why: "simulation crates are virtual-time only (determinism)",
-    },
-    Rule {
-        root: "crates/fpga/src",
-        exempt_files: &[],
-        forbidden: &["SystemTime::now", "Instant::now", "thread::sleep"],
-        why: "simulation crates are virtual-time only (determinism)",
-    },
-    Rule {
-        root: "crates/fpga/src",
-        exempt_files: &["config_memory.rs"],
-        forbidden: &[
-            "frames.insert(",
-            "frames.remove(",
-            "frames.get_mut(",
-            "ecc.insert(",
-            "ecc.remove(",
-        ],
-        why: "configuration frames and their ECC shadow mutate only through \
-              the ConfigMemory doorway (SEU-scrubbing integrity)",
-    },
-    Rule {
-        root: "crates/runtime/src",
-        exempt_files: &["tile.rs", "manager.rs", "scheduler.rs", "protocol.rs"],
-        forbidden: &["TileState"],
-        why: "per-tile shard state is touched only through the scheduler/\
-              manager doorway (per-tile FIFO, commit gate, and the \
-              tile_state → core lock order)",
-    },
-    Rule {
-        root: "crates",
-        exempt_files: &["sink.rs"],
-        forbidden: &["sink.lock("],
-        why: "trace sinks are read only through the presp_events::sink \
-              doorway (snapshot/drain recover from poisoning; raw locks \
-              bypass the seq-ordered merge)",
-    },
-    Rule {
-        // The lint's own pattern literals would match (strings are not
-        // stripped), so the scanner binary is its own doorway here.
-        root: "src",
-        exempt_files: &["presp-lint.rs"],
-        forbidden: &["sink.lock("],
-        why: "trace sinks are read only through the presp_events::sink \
-              doorway (snapshot/drain recover from poisoning; raw locks \
-              bypass the seq-ordered merge)",
-    },
-    Rule {
-        root: "tests",
-        exempt_files: &[],
-        forbidden: &["sink.lock("],
-        why: "trace sinks are read only through the presp_events::sink \
-              doorway (snapshot/drain recover from poisoning; raw locks \
-              bypass the seq-ordered merge)",
-    },
-    Rule {
-        root: "examples",
-        exempt_files: &[],
-        forbidden: &["sink.lock("],
-        why: "trace sinks are read only through the presp_events::sink \
-              doorway (snapshot/drain recover from poisoning; raw locks \
-              bypass the seq-ordered merge)",
-    },
-];
-
-/// A single violation.
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    pattern: &'static str,
-    why: &'static str,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: forbidden `{}` — {}",
-            self.file.display(),
-            self.line,
-            self.pattern,
-            self.why
-        )
-    }
-}
-
-/// Strips `//` comments and (statefully) `/* … */` block comments.
-/// `in_block` carries block-comment state across lines. String literals
-/// are not parsed — a forbidden pattern inside a string would still be
-/// flagged, which is acceptable for a discipline lint (use an allow
-/// marker if it ever matters).
-fn effective_line(line: &str, in_block: &mut bool) -> String {
-    let mut out = String::with_capacity(line.len());
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block {
-            if bytes[i..].starts_with(b"*/") {
-                *in_block = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-        } else if bytes[i..].starts_with(b"/*") {
-            *in_block = true;
-            i += 2;
-        } else if bytes[i..].starts_with(b"//") {
-            break; // line comment: rest of line is commentary
-        } else {
-            out.push(bytes[i] as char);
-            i += 1;
-        }
-    }
-    out
-}
-
-/// Scans one file against one rule.
-fn scan_file(path: &Path, rule: &Rule, findings: &mut Vec<Finding>) {
-    let Ok(source) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let mut in_block = false;
-    let mut pending_cfg_test = false;
-    for (idx, raw) in source.lines().enumerate() {
-        // Tests legitimately use OS threads / real time: once the
-        // conventional trailing `#[cfg(test)] mod …` begins, stop.
-        let trimmed = raw.trim();
-        if trimmed == "#[cfg(test)]" {
-            pending_cfg_test = true;
-            continue;
-        }
-        if pending_cfg_test {
-            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
-                break;
-            }
-            if !trimmed.is_empty() && !trimmed.starts_with("#[") {
-                pending_cfg_test = false;
-            }
-        }
-        if raw.contains("presp-lint: allow") {
-            // Opt-out marker: the justification lives next to the code.
-            let _ = effective_line(raw, &mut in_block); // keep block state
-            continue;
-        }
-        let effective = effective_line(raw, &mut in_block);
-        for pattern in rule.forbidden {
-            if effective.contains(pattern) {
-                findings.push(Finding {
-                    file: path.to_path_buf(),
-                    line: idx + 1,
-                    pattern,
-                    why: rule.why,
-                });
-            }
-        }
-    }
-}
-
-/// Recursively collects `.rs` files under `dir`.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
+//! The rewrite also fixes a real bug in the old scanner: its
+//! `#[cfg(test)] mod` skipper stopped scanning at the *first* test module
+//! and counted braces naively, so a brace inside a string or comment —
+//! or any production code after a test module — was silently exempt. The
+//! lexer-based region tracker in `presp_analyze::lexer` is immune to both
+//! (see `crates/analyze/tests/fixtures/cfg_test_desync.rs`).
 
 fn main() {
-    // Run from the workspace root (CI) or any subdirectory (walk up to
-    // the directory containing `crates/`).
-    let mut root = std::env::current_dir().expect("current dir");
-    while !root.join("crates").is_dir() {
-        if !root.pop() {
-            eprintln!("presp-lint: workspace root (containing crates/) not found");
-            std::process::exit(2);
-        }
-    }
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
-    for rule in RULES {
-        let subtree = root.join(rule.root);
-        let mut files = Vec::new();
-        rust_files(&subtree, &mut files);
-        for file in files {
-            let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if rule.exempt_files.contains(&name) {
-                continue;
-            }
-            scanned += 1;
-            scan_file(&file, rule, &mut findings);
-        }
-    }
-    if findings.is_empty() {
-        println!("presp-lint: {scanned} files clean");
-    } else {
-        for finding in &findings {
-            eprintln!("{finding}");
-        }
-        eprintln!(
-            "presp-lint: {} finding(s) in {scanned} files",
-            findings.len()
-        );
-        std::process::exit(1);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn comments_are_stripped() {
-        let mut in_block = false;
-        assert_eq!(
-            effective_line("let x = 1; // std::thread::spawn", &mut in_block),
-            "let x = 1; "
-        );
-        assert_eq!(effective_line("a /* std::sync */ b", &mut in_block), "a  b");
-        assert!(!in_block);
-        assert_eq!(effective_line("x /* open", &mut in_block), "x ");
-        assert!(in_block, "block comment state carries across lines");
-        assert_eq!(effective_line("std::sync */ y", &mut in_block), " y");
-        assert!(!in_block);
-    }
-
-    #[test]
-    fn cfg_test_region_and_allow_marker_are_skipped() {
-        let dir = std::env::temp_dir().join("presp-lint-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let file = dir.join("sample.rs");
-        std::fs::write(
-            &file,
-            "use std::thread; // presp-lint: allow — doorway test\n\
-             use std::sync::Mutex;\n\
-             #[cfg(test)]\n\
-             mod tests {\n\
-                 use std::thread;\n\
-             }\n",
-        )
-        .unwrap();
-        let mut findings = Vec::new();
-        scan_file(&file, &RULES[0], &mut findings);
-        std::fs::remove_file(&file).unwrap();
-        assert_eq!(findings.len(), 1, "only the unmarked non-test line");
-        assert_eq!(findings[0].line, 2);
-        assert_eq!(findings[0].pattern, "std::sync");
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(presp_analyze::run_cli("presp-lint", &args));
 }

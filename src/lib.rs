@@ -21,6 +21,8 @@
 //!   the runtime's threaded protocol is verified with.
 //! * [`core`] — the PR-ESP flow: parse → synthesize → floorplan →
 //!   size-driven parallel P&R → bitstreams → deploy.
+//! * [`analyze`] — the token-level static analyzer (lock-order graph,
+//!   held-guard hazards, doorway rules) driven by `analyze.json`.
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@
 //! ```
 
 pub use presp_accel as accel;
+pub use presp_analyze as analyze;
 pub use presp_cad as cad;
 pub use presp_check as check;
 pub use presp_core as core;
