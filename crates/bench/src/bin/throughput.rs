@@ -25,11 +25,13 @@
 //! multi-core host the CPU-bound sort payload parallelizes on top.
 
 use presp_accel::{AccelOp, AcceleratorKind};
-use presp_bench::export::{self, RuntimeRun, RuntimeWorkload};
+use presp_bench::export::{self, OverloadRun, RuntimeRun, RuntimeWorkload};
 use presp_bench::render;
 use presp_events::ShardedSink;
 use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
 use presp_fpga::frame::FrameAddress;
+use presp_runtime::error::Error;
+use presp_runtime::manager::OverloadPolicy;
 use presp_runtime::registry::BitstreamRegistry;
 use presp_runtime::threaded::ThreadedManager;
 use presp_runtime::RecoveryPolicy;
@@ -192,6 +194,143 @@ fn run_workload(workers: usize, wl: &Workload) -> RuntimeRun {
     }
 }
 
+/// The overload cell: bounded per-tile queues and virtual-time deadlines
+/// under an open-loop burst that deliberately outruns the fabric — the
+/// regime the throughput matrix never enters. Sixteen clients hammer four
+/// tiles whose queues hold four requests each; the admission controller
+/// sheds the overflow at the door and the deadline watchdog degrades
+/// late commits to the CPU path. Reports the shed and deadline-miss
+/// rates; every submission is still answered (shed requests get an
+/// `Overloaded` verdict, not silence).
+fn run_overload(workers: usize, smoke: bool) -> OverloadRun {
+    const OVERLOAD_TILES: usize = 4;
+    let queue_capacity = 4u64;
+    let deadline_cycles = 30_000u64;
+    let sort_len = if smoke { 8_000 } else { 20_000 };
+    let rounds = if smoke { 2 } else { 8 };
+    let burst = 6usize;
+
+    let cfg = SocConfig::grid_3x3_reconf("overload", OVERLOAD_TILES).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    for (i, &tile) in tiles.iter().enumerate() {
+        registry
+            .register(tile, AcceleratorKind::Mac, bitstream(&soc, 2 + i as u32))
+            .unwrap();
+        registry
+            .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
+            .unwrap();
+    }
+    let policy = RecoveryPolicy {
+        cpu_fallback: true,
+        queue_capacity,
+        deadline_cycles,
+        overload: OverloadPolicy::RejectNew,
+        ..RecoveryPolicy::default()
+    };
+    let manager: ThreadedManager =
+        ThreadedManager::spawn_with_workers(soc, registry, policy, workers);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let manager = manager.clone();
+            let tiles = tiles.clone();
+            std::thread::spawn(move || {
+                let mut submitted = 0u64;
+                let mut completed = 0u64;
+                for round in 0..rounds {
+                    let tile = tiles[(c + round) % OVERLOAD_TILES];
+                    let mut pendings = Vec::with_capacity(burst + 1);
+                    pendings.push(manager.submit_execute(
+                        tile,
+                        AcceleratorKind::Sort,
+                        AccelOp::Sort {
+                            data: (0..sort_len).rev().map(|i| i as f32).collect(),
+                        },
+                    ));
+                    for j in 0..burst {
+                        pendings.push(manager.submit_execute(
+                            tile,
+                            AcceleratorKind::Mac,
+                            AccelOp::Mac {
+                                a: vec![(1 + c + j) as f32; 8],
+                                b: vec![2.0; 8],
+                            },
+                        ));
+                    }
+                    submitted += pendings.len() as u64;
+                    for pending in pendings {
+                        match pending.wait() {
+                            Ok(_) => completed += 1,
+                            Err(Error::Overloaded { .. }) => {}
+                            Err(e) => panic!("overload cell lost a request: {e}"),
+                        }
+                    }
+                }
+                (submitted, completed)
+            })
+        })
+        .collect();
+    let (submitted, completed) = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold((0u64, 0u64), |(s, c), (ds, dc)| (s + ds, c + dc));
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let stats = manager.stats();
+    assert!(stats.consistent(), "inconsistent stats: {stats:?}");
+    manager.shutdown();
+    assert_eq!(
+        completed + stats.shed,
+        submitted,
+        "shed accounting does not close: {stats:?}"
+    );
+    OverloadRun {
+        workers: workers as u64,
+        queue_capacity,
+        deadline_cycles,
+        submitted,
+        completed,
+        shed: stats.shed,
+        deadline_misses: stats.deadline_misses,
+        elapsed_secs,
+    }
+}
+
+/// `--overload` entry: run the overload cell and merge its rates into
+/// the committed `BENCH_runtime.json` without touching the throughput
+/// `runs` the `--check` gate reads.
+fn run_overload_mode(smoke: bool) -> ! {
+    let run = run_overload(4, smoke);
+    let doc = std::fs::read_to_string("BENCH_runtime.json")
+        .ok()
+        .and_then(|text| presp_events::json::parse(&text).ok())
+        .unwrap_or(presp_events::json::JsonValue::Null);
+    let merged = export::merge_overload(doc, &run);
+    export::write_json("BENCH_runtime.json", &merged).expect("write BENCH_runtime.json");
+    println!(
+        "overload cell — {} workers, queue capacity {}, deadline {} cycles",
+        run.workers, run.queue_capacity, run.deadline_cycles
+    );
+    println!(
+        "  submitted {} / completed {} / shed {} ({:.1}%) / deadline misses {} ({:.1}%)",
+        run.submitted,
+        run.completed,
+        run.shed,
+        100.0 * run.shed_rate(),
+        run.deadline_misses,
+        100.0 * run.deadline_miss_rate()
+    );
+    if run.shed == 0 {
+        eprintln!("FAIL: the overload burst never filled a queue");
+        std::process::exit(1);
+    }
+    println!("wrote BENCH_runtime.json (overload object)");
+    std::process::exit(0);
+}
+
 /// The committed 16-worker requests/s figure from `BENCH_runtime.json`.
 fn committed_requests_per_sec(workers: u64) -> Option<f64> {
     let text = std::fs::read_to_string("BENCH_runtime.json").ok()?;
@@ -236,6 +375,9 @@ fn run_check(wl: &Workload) -> ! {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let check = std::env::args().any(|a| a == "--check");
+    if std::env::args().any(|a| a == "--overload") {
+        run_overload_mode(smoke);
+    }
     let wl = if smoke {
         Workload {
             rounds: 3,

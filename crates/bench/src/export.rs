@@ -99,6 +99,77 @@ impl RuntimeRun {
     }
 }
 
+/// The overload cell of the runtime benchmark: bounded per-tile queues
+/// and per-request deadlines under an open-loop burst that outruns the
+/// fabric. Written into `BENCH_runtime.json` as the optional `overload`
+/// object (the base schema stays a superset — readers of `runs` are
+/// unaffected).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadRun {
+    pub workers: u64,
+    pub queue_capacity: u64,
+    pub deadline_cycles: u64,
+    pub submitted: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub deadline_misses: u64,
+    pub elapsed_secs: f64,
+}
+
+impl OverloadRun {
+    /// Fraction of submissions refused at the admission door.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Fraction of submissions that blew their virtual-time deadline.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.submitted as f64
+        }
+    }
+}
+
+fn overload_json(r: &OverloadRun) -> JsonValue {
+    obj(vec![
+        ("workers", int(r.workers)),
+        ("queue_capacity", int(r.queue_capacity)),
+        ("deadline_cycles", int(r.deadline_cycles)),
+        ("submitted", int(r.submitted)),
+        ("completed", int(r.completed)),
+        ("shed", int(r.shed)),
+        ("deadline_misses", int(r.deadline_misses)),
+        ("shed_rate", num(r.shed_rate())),
+        ("deadline_miss_rate", num(r.deadline_miss_rate())),
+        ("elapsed_secs", num(r.elapsed_secs)),
+    ])
+}
+
+/// Merges the overload cell into an existing `BENCH_runtime.json`
+/// document, replacing any previous `overload` object in place so the
+/// committed throughput `runs` (and the `--check` gate reading them)
+/// survive untouched. A non-object document is replaced by a fresh one
+/// carrying only the schema tag and the overload cell.
+pub fn merge_overload(doc: JsonValue, run: &OverloadRun) -> JsonValue {
+    match doc {
+        JsonValue::Object(mut fields) => {
+            fields.retain(|(k, _)| k != "overload");
+            fields.push(("overload".to_string(), overload_json(run)));
+            JsonValue::Object(fields)
+        }
+        _ => obj(vec![
+            ("schema", s(RUNTIME_SCHEMA)),
+            ("overload", overload_json(run)),
+        ]),
+    }
+}
+
 fn runtime_run_json(r: &RuntimeRun) -> JsonValue {
     let per_request = |nanos: u64| {
         if r.requests == 0 {
@@ -384,6 +455,61 @@ mod tests {
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[0].get("component").unwrap().as_str(), Some("mac"));
         assert_eq!(arr[1].get("luts").unwrap().as_usize(), Some(33690));
+    }
+
+    #[test]
+    fn merge_overload_replaces_without_touching_runs() {
+        let run = OverloadRun {
+            workers: 4,
+            queue_capacity: 4,
+            deadline_cycles: 5_000,
+            submitted: 200,
+            completed: 150,
+            shed: 50,
+            deadline_misses: 20,
+            elapsed_secs: 0.5,
+        };
+        let doc = obj(vec![
+            ("schema", s(RUNTIME_SCHEMA)),
+            ("runs", JsonValue::Array(vec![int(1)])),
+            ("overload", s("stale")),
+        ]);
+        let merged = merge_overload(doc, &run);
+        let text = merged.pretty();
+        let parsed = json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("runs").unwrap().as_array().unwrap().len(), 1);
+        let ov = parsed.get("overload").unwrap();
+        assert_eq!(ov.get("shed").unwrap().as_usize(), Some(50));
+        assert!(matches!(
+            ov.get("shed_rate"),
+            Some(JsonValue::Number(r)) if (*r - 0.25).abs() < 1e-9
+        ));
+        assert!(matches!(
+            ov.get("deadline_miss_rate"),
+            Some(JsonValue::Number(r)) if (*r - 0.10).abs() < 1e-9
+        ));
+        assert!(!text.contains("stale"), "old overload object survived");
+    }
+
+    #[test]
+    fn merge_overload_into_non_object_starts_fresh() {
+        let run = OverloadRun {
+            workers: 1,
+            queue_capacity: 2,
+            deadline_cycles: 0,
+            submitted: 0,
+            completed: 0,
+            shed: 0,
+            deadline_misses: 0,
+            elapsed_secs: 0.0,
+        };
+        let merged = merge_overload(JsonValue::Null, &run);
+        assert_eq!(merged.get("schema").unwrap().as_str(), Some(RUNTIME_SCHEMA));
+        // Zero submissions must not divide by zero.
+        assert!(matches!(
+            merged.get("overload").unwrap().get("shed_rate"),
+            Some(JsonValue::Number(r)) if *r == 0.0
+        ));
     }
 
     #[test]

@@ -97,6 +97,24 @@ pub trait SyncFacade: Sized + Send + Sync + 'static {
     fn join<T: Send + 'static>(handle: Self::JoinHandle<T>) -> Result<T, crate::sync::JoinError>;
     /// Cedes the processor (a schedule point under [`CheckSync`]).
     fn yield_now();
+    /// Stalls the calling thread for roughly `duration` — the doorway
+    /// fault injection uses to model slow workers. Under [`CheckSync`]
+    /// this is just a schedule point: the model has no wall clock, so a
+    /// stall degenerates to a yield and the explorer covers every
+    /// interleaving a real delay could produce.
+    fn stall(duration: Duration) {
+        let _ = duration;
+        Self::yield_now();
+    }
+    /// Whether the calling thread is unwinding from a panic. Cleanup
+    /// guards (the scheduler's claim guard) branch on this to heal
+    /// shared state from a dying worker. Under [`CheckSync`] a panic
+    /// fails the whole model, so the healing branch is never reached
+    /// during exploration — panic recovery is exercised on the
+    /// production facade, hang recovery under the model.
+    fn panicking() -> bool {
+        std::thread::panicking()
+    }
 }
 
 /// Production facade: plain `std::sync` / `std::thread`.
@@ -200,6 +218,10 @@ impl SyncFacade for StdSync {
     fn yield_now() {
         std::thread::yield_now();
     }
+
+    fn stall(duration: Duration) {
+        std::thread::sleep(duration);
+    }
 }
 
 /// Model-checking facade: the instrumented shims in [`crate::sync`].
@@ -292,5 +314,15 @@ impl SyncFacade for CheckSync {
 
     fn yield_now() {
         shim::yield_now();
+    }
+
+    fn panicking() -> bool {
+        // Always false under the checker. A real model panic fails the
+        // execution (the checker reports it), and the checker also
+        // unwinds blocked threads with its own control-flow panic when a
+        // schedule aborts — a cleanup guard that re-entered the scheduler
+        // during that unwind would turn every reported failure into a
+        // process abort.
+        false
     }
 }

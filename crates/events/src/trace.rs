@@ -293,6 +293,45 @@ pub enum TraceEvent {
         /// Accelerator kind.
         kind: String,
     },
+    /// A scheduler worker died (panicked) while holding a commit-order
+    /// ticket; the supervisor detected the death and will heal the gate.
+    WorkerDied {
+        /// Death ordinal (gate-ordered): the how-many-th worker death
+        /// recorded, not an OS worker slot — slots are wall-clock
+        /// dependent, ordinals keep the trace deterministic per seed.
+        worker: u64,
+        /// The ticket the worker held when it died.
+        ticket: u64,
+    },
+    /// A claimed-but-uncommitted job was returned to its tile queue by
+    /// the supervisor after its claimant died or wedged; a surviving
+    /// worker re-claims it under the same ticket, so commit order is
+    /// preserved.
+    TicketRedispatched {
+        /// The tile whose queue the job returned to.
+        tile: Loc,
+        /// The preserved admission ticket.
+        ticket: u64,
+        /// How many times this job has been redispatched (1-based).
+        attempt: u64,
+    },
+    /// A request reached its commit slot after its virtual-time deadline;
+    /// it was cancelled (reconfigure) or degraded to the CPU (execute).
+    DeadlineMissed {
+        /// The tile the request targeted.
+        tile: Loc,
+        /// The request's admission ticket.
+        ticket: u64,
+        /// Virtual cycles past the deadline at commit.
+        late: u64,
+    },
+    /// A request shed at the queue door by the admission controller.
+    RequestShed {
+        /// The tile whose queue was at capacity.
+        tile: Loc,
+        /// The shed request's admission ticket.
+        ticket: u64,
+    },
     /// One WAMI pipeline stage of one frame.
     FrameStage {
         /// Frame index.
@@ -354,6 +393,10 @@ impl TraceEvent {
             TraceEvent::SchedDispatch { .. } => "sched.dispatch",
             TraceEvent::RequestCoalesced { .. } => "sched.coalesced",
             TraceEvent::PbsCacheHit { .. } => "pbs_cache.hit",
+            TraceEvent::WorkerDied { .. } => "sched.worker_died",
+            TraceEvent::TicketRedispatched { .. } => "sched.redispatch",
+            TraceEvent::DeadlineMissed { .. } => "sched.deadline_miss",
+            TraceEvent::RequestShed { .. } => "sched.shed",
             TraceEvent::FrameStage { .. } => "frame.stage",
             TraceEvent::FrameDone { .. } => "frame",
             TraceEvent::FlowStage { .. } => "flow.stage",
@@ -384,7 +427,11 @@ impl TraceEvent {
             | TraceEvent::CpuFallback { .. }
             | TraceEvent::SchedDispatch { .. }
             | TraceEvent::RequestCoalesced { .. }
-            | TraceEvent::PbsCacheHit { .. } => "runtime",
+            | TraceEvent::PbsCacheHit { .. }
+            | TraceEvent::WorkerDied { .. }
+            | TraceEvent::TicketRedispatched { .. }
+            | TraceEvent::DeadlineMissed { .. }
+            | TraceEvent::RequestShed { .. } => "runtime",
             TraceEvent::FrameStage { .. } | TraceEvent::FrameDone { .. } => "wami",
             TraceEvent::FlowStage { .. } | TraceEvent::BitstreamGenerated { .. } => "cad",
         }
@@ -546,6 +593,26 @@ impl TraceEvent {
             ],
             TraceEvent::PbsCacheHit { tile, kind } => {
                 vec![("tile", loc(*tile)), ("kind", s(kind))]
+            }
+            TraceEvent::WorkerDied { worker, ticket } => {
+                vec![("worker", n(*worker)), ("ticket", n(*ticket))]
+            }
+            TraceEvent::TicketRedispatched {
+                tile,
+                ticket,
+                attempt,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("ticket", n(*ticket)),
+                ("attempt", n(*attempt)),
+            ],
+            TraceEvent::DeadlineMissed { tile, ticket, late } => vec![
+                ("tile", loc(*tile)),
+                ("ticket", n(*ticket)),
+                ("late", n(*late)),
+            ],
+            TraceEvent::RequestShed { tile, ticket } => {
+                vec![("tile", loc(*tile)), ("ticket", n(*ticket))]
             }
             TraceEvent::FrameStage { frame, stage } => {
                 vec![("frame", n(*frame)), ("stage", s(stage))]
@@ -998,6 +1065,24 @@ mod tests {
             TraceEvent::PbsCacheHit {
                 tile: loc,
                 kind: "mac".into(),
+            },
+            TraceEvent::WorkerDied {
+                worker: 1,
+                ticket: 7,
+            },
+            TraceEvent::TicketRedispatched {
+                tile: loc,
+                ticket: 7,
+                attempt: 1,
+            },
+            TraceEvent::DeadlineMissed {
+                tile: loc,
+                ticket: 7,
+                late: 12,
+            },
+            TraceEvent::RequestShed {
+                tile: loc,
+                ticket: 7,
             },
             TraceEvent::FrameStage {
                 frame: 0,

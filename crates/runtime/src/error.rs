@@ -63,6 +63,19 @@ pub enum Error {
         /// The kernel's name.
         kernel: String,
     },
+    /// The request's virtual-time deadline elapsed before its commit slot
+    /// arrived and CPU fallback could not (or was not allowed to) absorb
+    /// it.
+    DeadlineExceeded {
+        /// The tile the request targeted.
+        tile: TileCoord,
+    },
+    /// The per-tile queue was at capacity and the admission controller
+    /// refused (or shed) the request instead of growing the backlog.
+    Overloaded {
+        /// The tile whose queue was full.
+        tile: TileCoord,
+    },
     /// SoC-level failure.
     Soc(presp_soc::Error),
 }
@@ -119,6 +132,15 @@ impl fmt::Display for Error {
             }
             Error::Unallocated { kernel } => {
                 write!(f, "kernel '{kernel}' is not allocated to any tile")
+            }
+            Error::DeadlineExceeded { tile } => {
+                write!(
+                    f,
+                    "request for tile {tile} missed its virtual-time deadline"
+                )
+            }
+            Error::Overloaded { tile } => {
+                write!(f, "tile {tile} queue is at capacity; request shed")
             }
             Error::Soc(e) => write!(f, "soc error: {e}"),
         }

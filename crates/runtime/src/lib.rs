@@ -28,6 +28,11 @@
 //!   core that walks configuration frames, repairs SEUs with the
 //!   per-frame ECC, and quarantines tiles with uncorrectable damage.
 //!   Model-checked alongside the scheduler.
+//! * [`supervisor`] — worker supervision: seeded software-fault plans
+//!   (worker panics, hangs, stalls) and the watchdog counters. The
+//!   scheduler's supervisor thread heals the commit-order gate by
+//!   redispatching claimed-but-uncommitted jobs under their original
+//!   tickets and respawns dead workers within a bounded restart budget.
 //! * [`sync`] — the sync facade: the runtime's only doorway to
 //!   synchronization primitives, enforced by the `presp-lint` tool.
 //! * [`app`] — the WAMI application scheduler: maps the Fig. 3 dataflow
@@ -74,6 +79,7 @@ pub(crate) mod protocol;
 pub mod registry;
 pub mod scheduler;
 pub mod scrubber;
+pub mod supervisor;
 pub mod sync;
 pub mod threaded;
 pub mod tile;
@@ -82,3 +88,6 @@ pub use error::Error;
 pub use manager::{ExecPath, ReconfigManager, RecoveryPolicy, TileHealth};
 pub use registry::BitstreamRegistry;
 pub use scrubber::{ScrubberDaemon, ScrubberStats};
+pub use supervisor::{
+    install_quiet_panic_hook, SupervisorStats, WorkerFault, WorkerFaultConfig, WorkerFaultPlan,
+};

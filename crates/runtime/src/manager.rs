@@ -40,6 +40,20 @@ use std::collections::BTreeMap;
 
 pub use crate::tile::TileHealth;
 
+/// What the admission controller does when a bounded per-tile queue is
+/// already at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OverloadPolicy {
+    /// Refuse the incoming request with [`Error::Overloaded`]; the queued
+    /// backlog is untouched.
+    #[default]
+    RejectNew,
+    /// Shed the oldest queued request (answering its waiters with
+    /// [`Error::Overloaded`]) and admit the new one — freshness beats
+    /// fairness.
+    ShedOldest,
+}
+
 /// How the manager responds to reconfiguration failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoveryPolicy {
@@ -55,6 +69,42 @@ pub struct RecoveryPolicy {
     /// Whether [`ReconfigManager::run_with_fallback_at`] may degrade to
     /// the CPU software path when the accelerator path is unavailable.
     pub cpu_fallback: bool,
+    /// Per-request deadline in virtual cycles, measured from admission to
+    /// commit; 0 disables deadline accounting. A reconfiguration past its
+    /// deadline is cancelled with [`Error::DeadlineExceeded`]; an execute
+    /// past its deadline skips the accelerator and degrades to the CPU
+    /// path. Only the threaded scheduler enforces deadlines.
+    #[serde(default)]
+    pub deadline_cycles: u64,
+    /// Bound on each per-tile queue; 0 means unbounded (the pre-admission
+    /// behavior). Only the threaded scheduler enforces the bound.
+    #[serde(default)]
+    pub queue_capacity: u64,
+    /// What to do with a request that would overflow a bounded queue.
+    #[serde(default)]
+    pub overload: OverloadPolicy,
+    /// Per-tile circuit breaker: refuse admission to quarantined tiles at
+    /// the queue door instead of enqueueing work that will fail at commit.
+    #[serde(default)]
+    pub breaker: bool,
+    /// Whether the threaded scheduler boots its supervisor thread:
+    /// workers register their claims, dead or wedged tickets are
+    /// redispatched under the same ticket, and dead workers are
+    /// respawned out of [`RecoveryPolicy::restart_budget`]. Off by
+    /// default — unsupervised schedulers pay zero bookkeeping.
+    #[serde(default)]
+    pub supervised: bool,
+    /// How many worker respawns the supervisor may perform over the
+    /// scheduler's lifetime (only meaningful with
+    /// [`RecoveryPolicy::supervised`]).
+    #[serde(default = "default_restart_budget")]
+    pub restart_budget: u32,
+}
+
+/// Serde default for [`RecoveryPolicy::restart_budget`] (also used by
+/// [`RecoveryPolicy::default`]).
+fn default_restart_budget() -> u32 {
+    4
 }
 
 impl Default for RecoveryPolicy {
@@ -65,6 +115,12 @@ impl Default for RecoveryPolicy {
             backoff_multiplier: 2,
             quarantine_after: 2,
             cpu_fallback: true,
+            deadline_cycles: 0,
+            queue_capacity: 0,
+            overload: OverloadPolicy::RejectNew,
+            breaker: false,
+            supervised: false,
+            restart_budget: default_restart_budget(),
         }
     }
 }
@@ -121,6 +177,16 @@ pub struct ManagerStats {
     /// Quarantines triggered by uncorrectable upsets (also counted in
     /// [`ManagerStats::quarantines`]).
     pub scrub_quarantines: u64,
+    /// Requests cancelled (or degraded to CPU) because their virtual-time
+    /// deadline elapsed before commit. Part of the request-accounting
+    /// invariant: a deadline miss is the request's single outcome.
+    #[serde(default)]
+    pub deadline_misses: u64,
+    /// Requests shed at the queue door by the admission controller
+    /// (outside the request-accounting invariant: a shed request never
+    /// reaches the reconfiguration ledger).
+    #[serde(default)]
+    pub shed: u64,
 }
 
 impl ManagerStats {
@@ -133,6 +199,7 @@ impl ManagerStats {
                 + self.coalesced
                 + self.retries_exhausted
                 + self.rejected
+                + self.deadline_misses
     }
 }
 

@@ -39,19 +39,43 @@
 //! * **The bitstream cache.** The device core fronts registry lookups
 //!   with a bounded LRU of verified streams ([`crate::cache`]).
 //!
+//! * **Supervision** (`policy.supervised`). Workers register every
+//!   claim (a recoverable stash of the job) with a supervisor table; a
+//!   watchdog thread steals claims whose owner wedged before its commit
+//!   slot, returns them to their tile queue *under the same ticket*,
+//!   and respawns dead workers out of a bounded restart budget. A claim
+//!   guard performs the same healing inline when a worker panics. The
+//!   healed timeline is byte-identical to a fault-free run apart from
+//!   the explicit `sched.worker_died` / `sched.redispatch` records,
+//!   which are emitted at the healed job's own commit slot (gate
+//!   ordered), never at the wall-clock moment of the fault.
+//! * **Deadlines and admission control.** `policy.deadline_cycles`
+//!   stamps every reconfigure/execute with a virtual-time deadline at
+//!   submission; a job reaching its commit slot late is cancelled
+//!   ([`Error::DeadlineExceeded`]) or degraded to the CPU, accounted in
+//!   [`ManagerStats::deadline_misses`]. `policy.queue_capacity` bounds
+//!   each tile queue: overflow either refuses the newcomer or sheds the
+//!   oldest queued request ([`crate::manager::OverloadPolicy`]), and
+//!   `policy.breaker` refuses quarantined tiles at the door. Sheds are
+//!   explicit ([`Error::Overloaded`], [`ManagerStats::shed`],
+//!   `sched.shed` trace records) instead of latency collapse.
+//!
 //! Lock order (enforced by the `presp-check` lock-order graph under
 //! exploration): `sched_admission` → `tile_queue` on the admission side
-//! (never interleaved with the commit-side locks), and `gate` →
-//! `tile_state` → `core` on the commit side. The committed
-//! [`MutantConfig`] variants invert edges of this graph so the
-//! model-check suite can prove it notices.
+//! (never interleaved with the commit-side locks), `gate` →
+//! `tile_state` → `core` on the commit side, and `supervisor` → `gate`
+//! in the watchdog's steal scan. Everything else the supervision layer
+//! touches (fault plan, breaker peek, shed settlement) uses top-level
+//! acquisitions only. The committed [`MutantConfig`] variants invert
+//! edges of this graph so the model-check suite can prove it notices.
 
 use crate::cache::{BitstreamCache, CacheStats};
 use crate::device::{loc, DeviceCore};
 use crate::error::Error;
-use crate::manager::{ExecPath, ManagerStats, RecoveryPolicy};
+use crate::manager::{ExecPath, ManagerStats, OverloadPolicy, RecoveryPolicy};
 use crate::protocol::{self, Precomputed, PreparedBitstream};
 use crate::registry::BitstreamRegistry;
+use crate::supervisor::{InjectedWorkerPanic, SupervisorStats, WorkerFault, WorkerFaultPlan};
 use crate::sync::{Arc, StdSync, SyncFacade};
 use crate::tile::TileState;
 use presp_accel::catalog::AcceleratorKind;
@@ -93,6 +117,11 @@ pub struct MutantConfig {
     /// `sched_admission` → `tile_queue`: a submitter racing a completing
     /// worker deadlocks.
     pub queue_admission_inversion: bool,
+    /// A supervised worker marks its claim `committing` while already
+    /// holding the commit gate — `gate` → `supervisor`, the reverse of
+    /// the watchdog's steal scan (`supervisor` → `gate`): worker and
+    /// supervisor deadlock.
+    pub supervisor_gate_inversion: bool,
 }
 
 /// Wall-clock scheduling metrics, aggregated across all workers.
@@ -131,14 +160,20 @@ impl SchedulerStats {
     /// Queue-wait percentile in microseconds (`p` in `[0, 100]`), the
     /// time between admission and a worker claiming the job. Zero when
     /// nothing completed yet.
+    ///
+    /// Nearest-rank definition: the smallest sample such that at least
+    /// `p` percent of the samples are ≤ it (rank `⌈p/100·N⌉`,
+    /// 1-based). The previous rounded-interpolation index over-reported
+    /// small samples — p50 of `[10, 20, 30, 40]` came back 30 instead
+    /// of 20.
     pub fn wait_percentile_micros(&self, p: f64) -> u64 {
         if self.wait_micros.is_empty() {
             return 0;
         }
         let mut sorted = self.wait_micros.clone();
         sorted.sort_unstable();
-        let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
     }
 
     /// Number of queue-wait samples recorded.
@@ -166,6 +201,41 @@ enum Payload<S: SyncFacade> {
     },
 }
 
+impl<S: SyncFacade> Payload<S> {
+    /// A recoverable copy — cloned reply senders, cloned operation —
+    /// kept in the supervisor's claim table so a dead or wedged
+    /// worker's job can be redispatched without losing its waiters.
+    fn stash(&self) -> Payload<S> {
+        match self {
+            Payload::Reconfigure { kind, done } => Payload::Reconfigure {
+                kind: *kind,
+                done: done.iter().map(|tx| S::clone_sender(tx)).collect(),
+            },
+            Payload::Run { op, done } => Payload::Run {
+                op: op.clone(),
+                done: S::clone_sender(done),
+            },
+            Payload::Execute { kind, op, done } => Payload::Execute {
+                kind: *kind,
+                op: op.clone(),
+                done: S::clone_sender(done),
+            },
+        }
+    }
+}
+
+/// One healed fault in a job's history, carried inside the rebuilt job
+/// so the re-claiming worker can emit the `sched.worker_died` /
+/// `sched.redispatch` records at the job's own commit slot — gate
+/// ordered, hence byte-identical traces for a given seed no matter when
+/// the healing happened on the wall clock.
+#[derive(Debug, Clone, Copy)]
+struct Redispatch {
+    /// True when the previous claimant died (panicked); false when it
+    /// wedged and the supervisor stole the claim.
+    died: bool,
+}
+
 struct Job<S: SyncFacade> {
     ticket: u64,
     tile: TileCoord,
@@ -173,6 +243,11 @@ struct Job<S: SyncFacade> {
     /// [`TraceEvent::SchedDispatch`].
     depth: u64,
     admitted: Instant,
+    /// Absolute virtual-cycle deadline (`policy.deadline_cycles`),
+    /// stamped at submission; `None` when deadlines are disabled.
+    deadline_at: Option<u64>,
+    /// Healed faults of previous claimants, oldest first.
+    redispatch: Vec<Redispatch>,
     payload: Payload<S>,
 }
 
@@ -189,6 +264,10 @@ struct TileQueue<S: SyncFacade> {
     jobs: VecDeque<Job<S>>,
     /// A worker holds this tile's head job; per-tile FIFO order.
     checked_out: bool,
+    /// Monotone count of head-job checkouts, for the [`Scheduler::
+    /// tile_claims`] probe — latching, unlike `checked_out`, so an
+    /// observer can't miss a short-lived claim window.
+    claims: u64,
     inflight: Option<Inflight<S>>,
 }
 
@@ -198,6 +277,7 @@ impl<S: SyncFacade> TileQueue<S> {
         TileQueue {
             jobs: VecDeque::new(),
             checked_out: false,
+            claims: 0,
             inflight: None,
         }
     }
@@ -227,6 +307,21 @@ enum Admitted<S: SyncFacade> {
     Refused(Error, S::Sender<Result<(), Error>>),
 }
 
+/// A request displaced (or refused) by the bounded-queue admission
+/// controller, settled by [`Shared::settle_shed`] after the admission
+/// locks are released.
+struct Shed<S: SyncFacade> {
+    tile: TileCoord,
+    /// The displaced ticket; `None` when the newcomer itself was refused
+    /// before a ticket was assigned (the `sched.shed` record then traces
+    /// the ticket the request would have taken).
+    ticket: Option<u64>,
+    /// The displaced payload, answered with [`Error::Overloaded`];
+    /// `None` when a refused newcomer's waiters are answered on the
+    /// submit side instead.
+    victim: Option<Payload<S>>,
+}
+
 /// Commit-order gate: jobs pass in strict global ticket order, so the
 /// virtual-time critical sections replay the single-worker schedule
 /// regardless of how many workers overlap their lock-free preparation.
@@ -235,6 +330,11 @@ struct Gate {
     /// Tickets retired out of order (drained at shutdown while a lower
     /// ticket was still in flight).
     retired: BTreeSet<u64>,
+    /// Worker-death ordinal counter. `sched.worker_died` records carry
+    /// this (not the OS worker slot) and are emitted at the healed job's
+    /// commit slot, so the numbering is gate-ordered — deterministic for
+    /// a given fault seed regardless of wall-clock timing.
+    deaths: u64,
 }
 
 impl Gate {
@@ -264,6 +364,62 @@ struct StageNanos {
     commit: u64,
 }
 
+/// One claimed-but-uncommitted job in the supervisor's table: enough to
+/// rebuild the job under the *same* ticket should its claimant die or
+/// wedge.
+struct Claim<S: SyncFacade> {
+    tile: TileCoord,
+    depth: u64,
+    deadline_at: Option<u64>,
+    /// Healed faults of previous claimants, carried through redispatch.
+    redispatch: Vec<Redispatch>,
+    /// The claimant reached [`Shared::begin_commit`]; stealing is no
+    /// longer safe (the commit may be mid-flight).
+    committing: bool,
+    /// The supervisor took the claim back; the wedged owner must abandon
+    /// the job when it wakes.
+    stolen: bool,
+    /// The owner parked in [`Shared::park_hung`].
+    hung: bool,
+    /// Recoverable copy of the job's payload (cloned senders + op).
+    stash: Payload<S>,
+}
+
+/// Everything behind the `supervisor` mutex.
+struct SupervisorState<S: SyncFacade> {
+    /// Shutdown (or out-of-workers bailout) in progress; the watchdog
+    /// exits and parked workers release their claims.
+    stop: bool,
+    claims: BTreeMap<u64, Claim<S>>,
+    /// Worker slots whose thread died, queued for respawn.
+    dead: Vec<usize>,
+    /// Worker threads currently able to make progress (parked hung
+    /// workers count: a steal returns them to the pool).
+    live_workers: usize,
+    restarts_left: u32,
+    stats: SupervisorStats,
+}
+
+/// Arms gate healing for the duration of one claim: if the owning worker
+/// unwinds from a panic, the drop handler heals the supervisor table and
+/// the commit-order gate from the dying thread. On every normal exit
+/// path it is a no-op — the worker settles its own claim through
+/// [`Shared::begin_commit`] / [`Shared::end_commit`].
+struct ClaimGuard<'a, S: SyncFacade> {
+    shared: &'a Shared<S>,
+    ticket: u64,
+    worker: usize,
+}
+
+impl<S: SyncFacade> Drop for ClaimGuard<'_, S> {
+    fn drop(&mut self) {
+        if !S::panicking() {
+            return;
+        }
+        self.shared.heal_dead_worker(self.ticket, self.worker);
+    }
+}
+
 /// State shared between submitters, the worker pool and the scrubber.
 pub(crate) struct Shared<S: SyncFacade> {
     pub(crate) shards: BTreeMap<TileCoord, TileShard<S>>,
@@ -277,6 +433,16 @@ pub(crate) struct Shared<S: SyncFacade> {
     /// The boot-immutable registry, shared with the workers' lock-free
     /// prepare stage (the core holds the same handle).
     registry: Arc<BitstreamRegistry>,
+    /// The supervision table (`supervisor` lock): registered claims,
+    /// dead worker slots and the restart budget.
+    supervisor: S::Mutex<SupervisorState<S>>,
+    /// Signalled when a claim changes state or a worker dies.
+    supervisor_cv: S::Condvar,
+    /// Signalled to release workers parked in an injected hang.
+    hang_cv: S::Condvar,
+    /// The installed worker-software-fault plan (`worker_faults` lock);
+    /// `None` injects nothing.
+    worker_faults: S::Mutex<Option<WorkerFaultPlan>>,
     pub(crate) policy: RecoveryPolicy,
     mutants: MutantConfig,
     /// Storage the `unsynced_stats` mutant shares without a lock; under
@@ -286,21 +452,27 @@ pub(crate) struct Shared<S: SyncFacade> {
 
 impl<S: SyncFacade> Shared<S> {
     /// Admits a reconfiguration, coalescing where possible. Lock order:
-    /// `sched_admission` → `tile_queue`.
+    /// `sched_admission` → `tile_queue`. The second return is a shed the
+    /// caller must settle *after* releasing its interest in the reply
+    /// channel (see [`Shared::settle_shed`]).
     fn admit_reconfigure(
         &self,
         tile: TileCoord,
         kind: AcceleratorKind,
+        deadline_at: Option<u64>,
         done: S::Sender<Result<(), Error>>,
-    ) -> Admitted<S> {
+    ) -> (Admitted<S>, Option<Shed<S>>) {
         let mut adm = S::lock(&self.admission);
         if adm.stopping {
-            return Admitted::Refused(Error::ManagerStopped, done);
+            return (Admitted::Refused(Error::ManagerStopped, done), None);
         }
         let Some(shard) = self.shards.get(&tile) else {
-            return Admitted::Refused(
-                Error::Soc(presp_soc::Error::NoSuchTile { coord: tile }),
-                done,
+            return (
+                Admitted::Refused(
+                    Error::Soc(presp_soc::Error::NoSuchTile { coord: tile }),
+                    done,
+                ),
+                None,
             );
         };
         let mut tq = S::lock(&shard.queue);
@@ -318,7 +490,7 @@ impl<S: SyncFacade> Shared<S> {
             if *tail == kind {
                 waiters.push(done);
                 adm.stats.coalesced += 1;
-                return Admitted::Coalesced;
+                return (Admitted::Coalesced, None);
             }
         }
         // In-flight coalescing: nothing queued behind the claimed job, so
@@ -328,10 +500,19 @@ impl<S: SyncFacade> Shared<S> {
                 if inflight.kind == kind {
                     inflight.extra_waiters.push(done);
                     adm.stats.coalesced += 1;
-                    return Admitted::Coalesced;
+                    return (Admitted::Coalesced, None);
                 }
             }
         }
+        let shed = match self.check_capacity(&mut adm, &mut tq, tile) {
+            Ok(shed) => shed,
+            Err(door) => {
+                return (
+                    Admitted::Refused(Error::Overloaded { tile }, done),
+                    Some(door),
+                )
+            }
+        };
         Self::push(
             &mut adm,
             &mut tq,
@@ -340,29 +521,87 @@ impl<S: SyncFacade> Shared<S> {
                 kind,
                 done: vec![done],
             },
+            deadline_at,
         );
-        Admitted::Enqueued
+        (Admitted::Enqueued, shed)
     }
 
     /// Admits a non-coalescable job; the caller answers with the error
-    /// when the scheduler is stopping or the tile is unknown.
-    fn admit_job(&self, tile: TileCoord, payload: Payload<S>) -> Result<(), Error> {
+    /// when the scheduler is stopping, the tile is unknown or the queue
+    /// refused the newcomer — and settles the shed, if any, after.
+    fn admit_job(
+        &self,
+        tile: TileCoord,
+        deadline_at: Option<u64>,
+        payload: Payload<S>,
+    ) -> (Result<(), Error>, Option<Shed<S>>) {
         let mut adm = S::lock(&self.admission);
         if adm.stopping {
-            return Err(Error::ManagerStopped);
+            return (Err(Error::ManagerStopped), None);
         }
         let Some(shard) = self.shards.get(&tile) else {
-            return Err(Error::Soc(presp_soc::Error::NoSuchTile { coord: tile }));
+            return (
+                Err(Error::Soc(presp_soc::Error::NoSuchTile { coord: tile })),
+                None,
+            );
         };
         let mut tq = S::lock(&shard.queue);
-        Self::push(&mut adm, &mut tq, tile, payload);
-        Ok(())
+        let shed = match self.check_capacity(&mut adm, &mut tq, tile) {
+            Ok(shed) => shed,
+            Err(door) => return (Err(Error::Overloaded { tile }), Some(door)),
+        };
+        Self::push(&mut adm, &mut tq, tile, payload, deadline_at);
+        (Ok(()), shed)
+    }
+
+    /// Bounded-queue admission check, `sched_admission` + `tile_queue`
+    /// held (no new lock edges). Coalesced submissions never reach here —
+    /// folding does not grow the queue, so it is always allowed at
+    /// capacity — and a claimed job does not count against the bound.
+    /// `Err` means the newcomer itself must be refused.
+    fn check_capacity(
+        &self,
+        adm: &mut Admission,
+        tq: &mut TileQueue<S>,
+        tile: TileCoord,
+    ) -> Result<Option<Shed<S>>, Shed<S>> {
+        let cap = self.policy.queue_capacity;
+        if cap == 0 || (tq.jobs.len() as u64) < cap {
+            return Ok(None);
+        }
+        match self.policy.overload {
+            OverloadPolicy::RejectNew => Err(Shed {
+                tile,
+                ticket: None,
+                victim: None,
+            }),
+            OverloadPolicy::ShedOldest => {
+                let victim = tq.jobs.pop_front().expect("full queue has a front");
+                adm.heads.remove(&victim.ticket);
+                if !tq.checked_out {
+                    if let Some(front) = tq.jobs.front() {
+                        adm.heads.insert(front.ticket, tile);
+                    }
+                }
+                Ok(Some(Shed {
+                    tile,
+                    ticket: Some(victim.ticket),
+                    victim: Some(victim.payload),
+                }))
+            }
+        }
     }
 
     /// Assigns the next global ticket and appends the job; ticket
     /// assignment is atomic with the queue push (both locks held), which
     /// the gate's liveness depends on.
-    fn push(adm: &mut Admission, tq: &mut TileQueue<S>, tile: TileCoord, payload: Payload<S>) {
+    fn push(
+        adm: &mut Admission,
+        tq: &mut TileQueue<S>,
+        tile: TileCoord,
+        payload: Payload<S>,
+        deadline_at: Option<u64>,
+    ) {
         let ticket = adm.next_ticket;
         adm.next_ticket += 1;
         let depth = tq.jobs.len() as u64 + 1;
@@ -374,6 +613,8 @@ impl<S: SyncFacade> Shared<S> {
             tile,
             depth,
             admitted: Instant::now(),
+            deadline_at,
+            redispatch: Vec::new(),
             payload,
         });
         adm.stats.admitted += 1;
@@ -389,13 +630,18 @@ impl<S: SyncFacade> Shared<S> {
         let shard = self.shards.get(&tile).expect("indexed tile exists");
         let mut tq = S::lock(&shard.queue);
         tq.checked_out = true;
+        tq.claims += 1;
         let job = tq.jobs.pop_front().expect("indexed head job exists");
         debug_assert_eq!(job.ticket, ticket, "head index out of sync");
         if let Payload::Reconfigure { kind, .. } = &job.payload {
-            tq.inflight = Some(Inflight {
-                kind: *kind,
-                extra_waiters: Vec::new(),
-            });
+            // Preserve an existing entry: a redispatched claim must keep
+            // the waiters that coalesced into its first claim.
+            if tq.inflight.is_none() {
+                tq.inflight = Some(Inflight {
+                    kind: *kind,
+                    extra_waiters: Vec::new(),
+                });
+            }
         }
         adm.stats.record_wait(job.admitted.elapsed());
         Some(job)
@@ -445,6 +691,321 @@ impl<S: SyncFacade> Shared<S> {
         adm.stats.stage_gate_wait_nanos += stages.gate_wait;
         adm.stats.stage_commit_nanos += stages.commit;
         (extras, reindexed)
+    }
+
+    // ---- supervision ---------------------------------------------------
+    // Every method below uses top-level lock acquisitions only, except
+    // `redispatch_claim` (the declared admission-side edge
+    // `sched_admission` → `tile_queue`); the `supervisor` → `gate` edge
+    // lives in `supervisor_loop`'s steal scan.
+
+    /// The fault (if any) scripted for this claim of `ticket`. `None`
+    /// without supervision, without a plan, or on a redispatched
+    /// re-claim (faults fire once per ticket).
+    fn draw_fault(&self, ticket: u64) -> Option<WorkerFault> {
+        if !self.policy.supervised {
+            return None;
+        }
+        S::lock(&self.worker_faults).as_mut()?.decide(ticket)
+    }
+
+    /// Registers a claim (recoverable stash + metadata) with the
+    /// supervisor, so a dead or wedged claimant can be healed.
+    fn register_claim(&self, job: &Job<S>) {
+        let mut sup = S::lock(&self.supervisor);
+        sup.claims.insert(
+            job.ticket,
+            Claim {
+                tile: job.tile,
+                depth: job.depth,
+                deadline_at: job.deadline_at,
+                redispatch: job.redispatch.clone(),
+                committing: false,
+                stolen: false,
+                hung: false,
+                stash: job.payload.stash(),
+            },
+        );
+    }
+
+    /// Marks the claim as committing — the watchdog will no longer steal
+    /// it. Returns `false` when the supervisor already stole the claim;
+    /// the worker must abandon the job (its redispatched copy is someone
+    /// else's now).
+    fn begin_commit(&self, ticket: u64) -> bool {
+        let mut sup = S::lock(&self.supervisor);
+        match sup.claims.get_mut(&ticket) {
+            Some(claim) if !claim.stolen => {
+                claim.committing = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Retires a settled claim after its reply went out.
+    fn end_commit(&self, ticket: u64) {
+        S::lock(&self.supervisor).claims.remove(&ticket);
+    }
+
+    /// Parks a wedged worker on `ticket` until the supervisor steals the
+    /// claim or shutdown releases it. On return the job is no longer this
+    /// worker's problem and it may resume its claim loop.
+    fn park_hung(&self, ticket: u64) {
+        {
+            let mut sup = S::lock(&self.supervisor);
+            match sup.claims.get_mut(&ticket) {
+                Some(claim) => claim.hung = true,
+                None => return,
+            }
+        }
+        S::notify_all(&self.supervisor_cv);
+        let mut sup = S::lock(&self.supervisor);
+        loop {
+            let released = match sup.claims.get(&ticket) {
+                None => true,
+                Some(claim) => claim.stolen,
+            };
+            if released {
+                return;
+            }
+            if sup.stop {
+                // Shutdown raced the park: settle the claim ourselves.
+                let claim = sup.claims.remove(&ticket).expect("present above");
+                drop(sup);
+                {
+                    let mut gate = S::lock_recover(&self.gate);
+                    gate.retire(ticket);
+                }
+                S::notify_all(&self.gate_cv);
+                answer_stopped::<S>(claim.stash);
+                return;
+            }
+            sup = S::wait(&self.hang_cv, sup);
+        }
+    }
+
+    /// Heals the scheduler after the worker owning `ticket` died: queues
+    /// the slot for respawn and either frees the tile (the claim already
+    /// committed) or returns the stash to its tile queue under the same
+    /// ticket. Runs on the dying thread mid-unwind (via [`ClaimGuard`]),
+    /// so every lock acquisition is poison-tolerant.
+    fn heal_dead_worker(&self, ticket: u64, worker: usize) {
+        let claim = {
+            let mut sup = S::lock_recover(&self.supervisor);
+            sup.stats.worker_deaths += 1;
+            sup.live_workers = sup.live_workers.saturating_sub(1);
+            sup.dead.push(worker);
+            sup.claims.remove(&ticket)
+        };
+        S::notify_all(&self.supervisor_cv);
+        let Some(claim) = claim else { return };
+        if claim.stolen {
+            return;
+        }
+        let committed = { S::lock_recover(&self.gate).next > ticket };
+        if committed {
+            // Died between retiring the ticket and completing: the
+            // protocol work happened, only the tile bookkeeping (and the
+            // reply, which the panic already consumed) is outstanding.
+            self.release_tile(claim.tile);
+        } else {
+            self.redispatch_claim(ticket, claim, true);
+        }
+    }
+
+    /// Frees a tile whose claimed job committed but whose claimant died
+    /// before completing. Coalesced in-flight waiters are answered with
+    /// [`Error::ManagerStopped`] — their load's fate is unknowable once
+    /// the replying worker is gone.
+    fn release_tile(&self, tile: TileCoord) {
+        let Some(shard) = self.shards.get(&tile) else {
+            return;
+        };
+        let (extras, claimable) = {
+            let mut adm = S::lock_recover(&self.admission);
+            let mut tq = S::lock_recover(&shard.queue);
+            if !tq.checked_out {
+                return;
+            }
+            Self::finish(&mut adm, &mut tq, tile, StageNanos::default())
+        };
+        if claimable {
+            S::notify_all(&self.work);
+        }
+        for tx in extras {
+            let _ = S::send(&tx, Err(Error::ManagerStopped));
+        }
+    }
+
+    /// Returns a stolen or orphaned claim to the *front* of its tile
+    /// queue under the same ticket, preserving per-tile FIFO and the
+    /// global gate order. When the scheduler is already stopping the
+    /// ticket is retired and the waiters answered instead.
+    fn redispatch_claim(&self, ticket: u64, claim: Claim<S>, died: bool) {
+        {
+            let mut sup = S::lock_recover(&self.supervisor);
+            sup.stats.redispatches += 1;
+        }
+        let Claim {
+            tile,
+            depth,
+            deadline_at,
+            mut redispatch,
+            stash,
+            ..
+        } = claim;
+        redispatch.push(Redispatch { died });
+        let mut stash = Some(stash);
+        {
+            let mut adm = S::lock_recover(&self.admission);
+            if !adm.stopping {
+                if let Some(shard) = self.shards.get(&tile) {
+                    let mut tq = S::lock_recover(&shard.queue);
+                    tq.checked_out = false;
+                    adm.heads.insert(ticket, tile);
+                    tq.jobs.push_front(Job {
+                        ticket,
+                        tile,
+                        depth,
+                        admitted: Instant::now(),
+                        deadline_at,
+                        redispatch,
+                        payload: stash.take().expect("taken once"),
+                    });
+                }
+            }
+        }
+        match stash {
+            Some(stash) => {
+                {
+                    let mut gate = S::lock_recover(&self.gate);
+                    gate.retire(ticket);
+                }
+                S::notify_all(&self.gate_cv);
+                answer_stopped::<S>(stash);
+            }
+            None => S::notify_all(&self.work),
+        }
+    }
+
+    /// Flips the scheduler to stopping: clears the claimable index,
+    /// drains every tile queue, retires the drained tickets (in-flight
+    /// workers still pass the gate) and answers their waiters with
+    /// [`Error::ManagerStopped`]. Idempotent; shared between shutdown
+    /// and the supervisor's out-of-workers bailout.
+    fn drain_to_stop(&self) {
+        let drained: Vec<Job<S>> = {
+            let mut adm = S::lock_recover(&self.admission);
+            adm.stopping = true;
+            adm.heads.clear();
+            let mut out = Vec::new();
+            for shard in self.shards.values() {
+                let mut tq = S::lock_recover(&shard.queue);
+                out.extend(tq.jobs.drain(..));
+            }
+            out
+        };
+        {
+            let mut gate = S::lock_recover(&self.gate);
+            for job in &drained {
+                gate.retire(job.ticket);
+            }
+        }
+        S::notify_all(&self.gate_cv);
+        for job in drained {
+            answer_stopped::<S>(job.payload);
+        }
+    }
+
+    // ---- deadlines & admission control ---------------------------------
+
+    /// The absolute virtual-cycle deadline for a request admitted now;
+    /// `None` when deadlines are disabled.
+    fn deadline_from_now(&self) -> Option<u64> {
+        if self.policy.deadline_cycles == 0 {
+            return None;
+        }
+        let horizon = { S::lock(&self.core).soc().horizon() };
+        Some(horizon + self.policy.deadline_cycles)
+    }
+
+    /// Circuit breaker: whether `tile` must be refused at the queue
+    /// door. A solo top-level peek, taken before any admission lock, so
+    /// the breaker adds no lock-order edges.
+    fn breaker_trips(&self, tile: TileCoord) -> bool {
+        self.policy.breaker
+            && self
+                .shards
+                .get(&tile)
+                .is_some_and(|shard| S::lock(&shard.state).is_quarantined())
+    }
+
+    /// Settles a shed outside the admission locks: retires the displaced
+    /// ticket, bumps [`ManagerStats::shed`], emits the `sched.shed`
+    /// record at the current horizon and answers the displaced waiters
+    /// with [`Error::Overloaded`]. Door refusals (no ticket assigned)
+    /// trace the ticket the request would have taken.
+    fn settle_shed(&self, shed: Shed<S>) {
+        let ticket = match shed.ticket {
+            Some(ticket) => ticket,
+            None => S::lock(&self.admission).next_ticket,
+        };
+        if shed.ticket.is_some() {
+            {
+                let mut gate = S::lock(&self.gate);
+                gate.retire(ticket);
+            }
+            S::notify_all(&self.gate_cv);
+        }
+        {
+            let mut core = S::lock(&self.core);
+            core.stats_mut().shed += 1;
+            let now = core.soc().horizon();
+            core.soc_mut()
+                .tracer_mut()
+                .instant(ClockDomain::SocCycles, now, || TraceEvent::RequestShed {
+                    tile: loc(shed.tile),
+                    ticket,
+                });
+        }
+        if let Some(victim) = shed.victim {
+            answer_overloaded::<S>(victim, shed.tile);
+        }
+    }
+}
+
+/// Answers every waiter of a payload with [`Error::ManagerStopped`].
+fn answer_stopped<S: SyncFacade>(payload: Payload<S>) {
+    match payload {
+        Payload::Reconfigure { done, .. } => {
+            for tx in done {
+                let _ = S::send(&tx, Err(Error::ManagerStopped));
+            }
+        }
+        Payload::Run { done, .. } => {
+            let _ = S::send(&done, Err(Error::ManagerStopped));
+        }
+        Payload::Execute { done, .. } => {
+            let _ = S::send(&done, Err(Error::ManagerStopped));
+        }
+    }
+}
+
+/// Answers every waiter of a shed payload with [`Error::Overloaded`].
+fn answer_overloaded<S: SyncFacade>(payload: Payload<S>, tile: TileCoord) {
+    match payload {
+        Payload::Reconfigure { done, .. } => {
+            for tx in done {
+                let _ = S::send(&tx, Err(Error::Overloaded { tile }));
+            }
+        }
+        Payload::Run { done, .. } => {
+            let _ = S::send(&done, Err(Error::Overloaded { tile }));
+        }
+        Payload::Execute { done, .. } => {
+            let _ = S::send(&done, Err(Error::Overloaded { tile }));
+        }
     }
 }
 
@@ -549,15 +1110,30 @@ impl<S: SyncFacade> Scheduler<S> {
                 Gate {
                     next: 0,
                     retired: BTreeSet::new(),
+                    deaths: 0,
                 },
             ),
             gate_cv: S::condvar(),
             registry,
+            supervisor: S::mutex_labeled(
+                "supervisor",
+                SupervisorState {
+                    stop: false,
+                    claims: BTreeMap::new(),
+                    dead: Vec::new(),
+                    live_workers: workers.max(1),
+                    restarts_left: policy.restart_budget,
+                    stats: SupervisorStats::default(),
+                },
+            ),
+            supervisor_cv: S::condvar(),
+            hang_cv: S::condvar(),
+            worker_faults: S::mutex_labeled("worker_faults", None),
             policy,
             mutants,
             racy_runs: presp_check::RaceCell::new("racy_runs", 0),
         });
-        let handles = (0..workers.max(1))
+        let handles: Vec<_> = (0..workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 S::spawn(
@@ -572,42 +1148,85 @@ impl<S: SyncFacade> Scheduler<S> {
                 )
             })
             .collect();
+        let workers_handle: WorkerHandles<S> = Arc::new(S::mutex_labeled("worker", Some(handles)));
+        if shared.policy.supervised {
+            let sup_shared = Arc::clone(&shared);
+            let sup_workers = Arc::clone(&workers_handle);
+            let handle = S::spawn("presp-supervisor", move || {
+                supervisor_loop(&sup_shared, &sup_workers);
+            });
+            if let Some(handles) = S::lock(&workers_handle).as_mut() {
+                handles.push(handle);
+            }
+        }
         Scheduler {
             shared,
-            workers: Arc::new(S::mutex_labeled("worker", Some(handles))),
+            workers: workers_handle,
         }
     }
 
     /// Admits a reconfiguration request, coalescing it into an identical
-    /// queued or in-flight one when possible.
+    /// queued or in-flight one when possible. With `policy.breaker` a
+    /// quarantined tile is refused at the door; a full bounded queue
+    /// refuses or sheds per `policy.overload`.
     pub fn submit_reconfigure(&self, tile: TileCoord, kind: AcceleratorKind) -> Pending<S, ()> {
         let (tx, rx) = S::channel();
-        match self.shared.admit_reconfigure(tile, kind, tx) {
+        if self.shared.breaker_trips(tile) {
+            self.shared.settle_shed(Shed {
+                tile,
+                ticket: None,
+                victim: None,
+            });
+            let _ = S::send(&tx, Err(Error::TileQuarantined { tile }));
+            return Pending { rx };
+        }
+        let deadline_at = self.shared.deadline_from_now();
+        let (admitted, shed) = self.shared.admit_reconfigure(tile, kind, deadline_at, tx);
+        match admitted {
             Admitted::Enqueued => S::notify_all(&self.shared.work),
             Admitted::Coalesced => {}
             Admitted::Refused(e, tx) => {
                 let _ = S::send(&tx, Err(e));
             }
         }
+        if let Some(shed) = shed {
+            self.shared.settle_shed(shed);
+        }
         Pending { rx }
     }
 
-    /// Admits an accelerator invocation on `tile`.
+    /// Admits an accelerator invocation on `tile`. Runs never carry a
+    /// deadline — a missed deadline is a reconfiguration-ledger outcome
+    /// and plain runs are outside that ledger.
     pub fn submit_run(&self, tile: TileCoord, op: AccelOp) -> Pending<S, AccelRun> {
+        if self.shared.breaker_trips(tile) {
+            self.shared.settle_shed(Shed {
+                tile,
+                ticket: None,
+                victim: None,
+            });
+            return Pending::ready(Err(Error::TileQuarantined { tile }));
+        }
         let (tx, rx) = S::channel();
-        match self.shared.admit_job(
+        let (admitted, shed) = self.shared.admit_job(
             tile,
+            None,
             Payload::Run {
                 op: Box::new(op),
                 done: tx,
             },
-        ) {
+        );
+        let pending = match admitted {
             Ok(()) => {
                 S::notify_all(&self.shared.work);
                 Pending { rx }
             }
             Err(e) => Pending::ready(Err(e)),
+        };
+        if let Some(shed) = shed {
+            self.shared.settle_shed(shed);
         }
+        pending
     }
 
     /// Admits an ensure-loaded-then-run request on `tile`.
@@ -617,21 +1236,36 @@ impl<S: SyncFacade> Scheduler<S> {
         kind: AcceleratorKind,
         op: AccelOp,
     ) -> Pending<S, (AccelRun, ExecPath)> {
+        if self.shared.breaker_trips(tile) {
+            self.shared.settle_shed(Shed {
+                tile,
+                ticket: None,
+                victim: None,
+            });
+            return Pending::ready(Err(Error::TileQuarantined { tile }));
+        }
+        let deadline_at = self.shared.deadline_from_now();
         let (tx, rx) = S::channel();
-        match self.shared.admit_job(
+        let (admitted, shed) = self.shared.admit_job(
             tile,
+            deadline_at,
             Payload::Execute {
                 kind,
                 op: Box::new(op),
                 done: tx,
             },
-        ) {
+        );
+        let pending = match admitted {
             Ok(()) => {
                 S::notify_all(&self.shared.work);
                 Pending { rx }
             }
             Err(e) => Pending::ready(Err(e)),
+        };
+        if let Some(shed) = shed {
+            self.shared.settle_shed(shed);
         }
+        pending
     }
 
     /// Waits (bounded) for a reconfiguration to complete on `tile`, or
@@ -649,6 +1283,19 @@ impl<S: SyncFacade> Scheduler<S> {
         }
         let _unused = S::wait_timeout(&shard.reconfig_done, state, Duration::from_millis(50));
         Ok(())
+    }
+
+    /// Monotone count of head-job checkouts on `tile`. Latching probe for
+    /// open-loop harnesses that must order a burst after a pinning
+    /// request has actually been picked up: sample before submitting,
+    /// then spin until the count moves — a short-lived claim window can't
+    /// be missed the way polling an instantaneous "claimed" flag could.
+    /// Unknown tiles read as zero.
+    pub fn tile_claims(&self, tile: TileCoord) -> u64 {
+        self.shared
+            .shards
+            .get(&tile)
+            .map_or(0, |shard| S::lock(&shard.queue).claims)
     }
 
     /// Aggregate manager statistics. Post-mortem path: recovers from a
@@ -735,46 +1382,79 @@ impl<S: SyncFacade> Scheduler<S> {
         self.shared.racy_runs.read()
     }
 
+    /// Installs (or disarms, with `None`) a worker-software-fault plan.
+    /// Only a supervised scheduler (`policy.supervised`) consults the
+    /// plan; arm it before driving a workload.
+    pub fn set_worker_fault_plan(&self, plan: Option<WorkerFaultPlan>) {
+        *S::lock_recover(&self.shared.worker_faults) = plan;
+    }
+
+    /// Supervision counters, with the installed fault plan's injection
+    /// counters folded in. Post-mortem path: recovers from poisoned
+    /// locks.
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        let mut stats = S::lock_recover(&self.shared.supervisor).stats;
+        if let Some(plan) = S::lock_recover(&self.shared.worker_faults).as_ref() {
+            stats.merge_injections(plan.injected());
+        }
+        stats
+    }
+
+    /// Tickets admitted but neither committed nor retired, plus claims
+    /// still registered with the supervisor. Zero on any quiesced
+    /// scheduler — the "no orphaned tickets" invariant the supervision
+    /// layer preserves across worker deaths, hangs and sheds.
+    pub fn orphaned_tickets(&self) -> u64 {
+        let claims = S::lock_recover(&self.shared.supervisor).claims.len() as u64;
+        let next_ticket = S::lock_recover(&self.shared.admission).next_ticket;
+        let gate_next = S::lock_recover(&self.shared.gate).next;
+        claims + next_ticket.saturating_sub(gate_next)
+    }
+
     /// Stops the workers and joins them: pending unclaimed jobs are
     /// answered with [`Error::ManagerStopped`], their tickets retired so
-    /// in-flight workers still pass the gate. Idempotent and tolerant of
-    /// poisoned locks.
+    /// in-flight workers still pass the gate; hung claims are released
+    /// the same way and the supervisor thread is told to exit.
+    /// Idempotent and tolerant of poisoned locks.
     pub fn shutdown(&self) {
-        let drained: Vec<Job<S>> = {
-            let mut adm = S::lock_recover(&self.shared.admission);
-            adm.stopping = true;
-            adm.heads.clear();
-            let mut out = Vec::new();
-            for shard in self.shared.shards.values() {
-                let mut tq = S::lock_recover(&shard.queue);
-                out.extend(tq.jobs.drain(..));
-            }
-            out
-        };
+        self.shared.drain_to_stop();
         S::notify_all(&self.shared.work);
-        {
-            let mut gate = S::lock_recover(&self.shared.gate);
-            for job in &drained {
-                gate.retire(job.ticket);
+        // Supervised teardown: release wedged workers and their claims.
+        let wedged: Vec<(u64, Payload<S>)> = {
+            let mut sup = S::lock_recover(&self.shared.supervisor);
+            sup.stop = true;
+            let hung: Vec<u64> = sup
+                .claims
+                .iter()
+                .filter(|(_, c)| c.hung && !c.committing && !c.stolen)
+                .map(|(&ticket, _)| ticket)
+                .collect();
+            hung.into_iter()
+                .map(|ticket| {
+                    let claim = sup.claims.remove(&ticket).expect("listed above");
+                    (ticket, claim.stash)
+                })
+                .collect()
+        };
+        S::notify_all(&self.shared.supervisor_cv);
+        S::notify_all(&self.shared.hang_cv);
+        if !wedged.is_empty() {
+            {
+                let mut gate = S::lock_recover(&self.shared.gate);
+                for (ticket, _) in &wedged {
+                    gate.retire(*ticket);
+                }
+            }
+            S::notify_all(&self.shared.gate_cv);
+            for (_, stash) in wedged {
+                answer_stopped::<S>(stash);
             }
         }
-        S::notify_all(&self.shared.gate_cv);
-        for job in drained {
-            match job.payload {
-                Payload::Reconfigure { done, .. } => {
-                    for tx in done {
-                        let _ = S::send(&tx, Err(Error::ManagerStopped));
-                    }
-                }
-                Payload::Run { done, .. } => {
-                    let _ = S::send(&done, Err(Error::ManagerStopped));
-                }
-                Payload::Execute { done, .. } => {
-                    let _ = S::send(&done, Err(Error::ManagerStopped));
-                }
-            }
-        }
-        if let Some(handles) = S::lock_recover(&self.workers).take() {
+        // Take the handles in a standalone statement: the workers-lock
+        // guard must drop before joining, or a supervisor respawn racing
+        // shutdown would deadlock pushing into the held lock.
+        let handles = S::lock_recover(&self.workers).take();
+        if let Some(handles) = handles {
             for handle in handles {
                 let _ = S::join(handle);
             }
@@ -848,6 +1528,7 @@ enum Reply<S: SyncFacade> {
 
 fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
     let mut arena = PrepareArena::default();
+    let supervised = shared.policy.supervised;
     loop {
         // -- claim: pop the lowest claimable head ticket ----------------
         let job = {
@@ -867,6 +1548,26 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
             .shards
             .get(&tile)
             .expect("shard exists for admitted tile");
+        if supervised {
+            shared.register_claim(&job);
+        }
+        // Heals the gate should this thread unwind while owning the
+        // claim; a no-op on every normal exit path.
+        let _claim_guard = supervised.then(|| ClaimGuard {
+            shared,
+            ticket,
+            worker,
+        });
+        let fault = shared.draw_fault(ticket);
+        if matches!(fault, Some(WorkerFault::Panic)) {
+            // Mid-prepare, before any protocol lock: the claim guard and
+            // the supervisor do all the healing.
+            std::panic::panic_any(InjectedWorkerPanic);
+        }
+        if let Some(WorkerFault::Stall { micros }) = fault {
+            // A slow host thread; the commit gate absorbs the delay.
+            S::stall(Duration::from_micros(micros));
+        }
         let prepare_started = Instant::now();
         // -- prepare: evaluate the behavioral result outside any lock ---
         // Accelerator instances are stateless and `execute` re-checks
@@ -910,8 +1611,37 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
             Payload::Run { .. } => None,
         };
         let is_reconfigure = matches!(job.payload, Payload::Reconfigure { .. });
+        if matches!(fault, Some(WorkerFault::Hang)) {
+            // Wedge before the commit slot. The supervisor steals the
+            // claim and redispatches the stash under the same ticket;
+            // this thread abandons its copy of the job on return.
+            shared.park_hung(ticket);
+            continue;
+        }
         let gate_started = Instant::now();
         // -- gate: commit critical sections in strict ticket order ------
+        // (The commit flag is settled before the gate binding below so the
+        // acquisition stays a statement-level `let` — the static analyzer's
+        // guard model is lexical and must witness `gate` live across the
+        // nested `tile_state`/`core` acquisitions.)
+        if supervised {
+            if shared.mutants.supervisor_gate_inversion {
+                // MUTANT: flags the claim as committing while already
+                // holding the gate — the reverse of the supervisor's steal
+                // scan (`supervisor` → `gate`).
+                let gate = S::lock(&shared.gate); // presp-analyze: mutant
+                let mut sup = S::lock(&shared.supervisor); // presp-analyze: mutant
+                if let Some(claim) = sup.claims.get_mut(&ticket) {
+                    claim.committing = true;
+                }
+                drop(sup);
+                drop(gate);
+            } else if !shared.begin_commit(ticket) {
+                // The supervisor stole this claim while we prepared; its
+                // redispatched copy is someone else's job now.
+                continue;
+            }
+        }
         let mut gate = S::lock(&shared.gate);
         while gate.next != ticket {
             gate = S::wait(&shared.gate_cv, gate);
@@ -935,6 +1665,31 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
                 core.soc_mut().tracer_mut().attach(sink);
             }
             let now = core.soc().horizon();
+            // Healed faults of earlier claimants are recorded here, at
+            // the job's own commit slot: gate-ordered, so the merged
+            // trace is deterministic for a given fault seed no matter
+            // when the healing happened on the wall clock.
+            for (i, past) in job.redispatch.iter().enumerate() {
+                if past.died {
+                    let ordinal = gate.deaths;
+                    gate.deaths += 1;
+                    core.soc_mut()
+                        .tracer_mut()
+                        .instant(ClockDomain::SocCycles, now, || TraceEvent::WorkerDied {
+                            worker: ordinal,
+                            ticket,
+                        });
+                }
+                core.soc_mut()
+                    .tracer_mut()
+                    .instant(ClockDomain::SocCycles, now, || {
+                        TraceEvent::TicketRedispatched {
+                            tile: loc(tile),
+                            ticket,
+                            attempt: (i + 1) as u64,
+                        }
+                    });
+            }
             core.soc_mut()
                 .tracer_mut()
                 .instant(ClockDomain::SocCycles, now, || TraceEvent::SchedDispatch {
@@ -943,7 +1698,34 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
                     depth,
                 });
             let at = state.idle_at();
+            // Deadline check at the commit slot: the request's virtual
+            // start is where the tile timeline and global horizon meet.
+            let begin = at.max(now);
+            let late = job
+                .deadline_at
+                .map_or(0, |deadline| begin.saturating_sub(deadline));
+            let deadline_missed = late > 0;
+            if deadline_missed {
+                // The miss is the request's single ledger outcome: the
+                // protocol call that would count it is skipped.
+                core.stats_mut().reconfig_requests += 1;
+                core.stats_mut().deadline_misses += 1;
+                core.soc_mut()
+                    .tracer_mut()
+                    .instant(ClockDomain::SocCycles, begin, || {
+                        TraceEvent::DeadlineMissed {
+                            tile: loc(tile),
+                            ticket,
+                            late,
+                        }
+                    });
+            }
             match job.payload {
+                Payload::Reconfigure { kind, done } if deadline_missed => Reply::Reconfigure {
+                    kind,
+                    done,
+                    result: Err(Error::DeadlineExceeded { tile }),
+                },
                 Payload::Reconfigure { kind, done } => Reply::Reconfigure {
                     kind,
                     done,
@@ -960,6 +1742,25 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
                 Payload::Run { op, done } => Reply::Run {
                     done,
                     result: protocol::run_at(&mut state, &mut core, &op, at, precomputed),
+                },
+                Payload::Execute { kind, op, done } if deadline_missed => Reply::Execute {
+                    done,
+                    result: if shared.policy.cpu_fallback {
+                        // Too late for the accelerator path; degrade to
+                        // the CPU so application work still completes.
+                        core.soc_mut()
+                            .tracer_mut()
+                            .instant(ClockDomain::SocCycles, begin, || TraceEvent::CpuFallback {
+                                kind: kind.name(),
+                            });
+                        let run = protocol::run_on_cpu_at(&mut core, &op, begin, precomputed);
+                        if run.is_ok() {
+                            core.stats_mut().fallback_runs += 1;
+                        }
+                        run.map(|run| (run, ExecPath::CpuFallback))
+                    } else {
+                        Err(Error::DeadlineExceeded { tile })
+                    },
                 },
                 Payload::Execute { kind, op, done } => Reply::Execute {
                     done,
@@ -1035,5 +1836,129 @@ fn worker_loop<S: SyncFacade>(shared: &Shared<S>, worker: usize) {
                 }
             }
         }
+        if supervised {
+            shared.end_commit(ticket);
+        }
+    }
+}
+
+/// One watchdog action, decided under the `supervisor` lock and executed
+/// outside it.
+enum Duty<S: SyncFacade> {
+    /// Shutdown: exit the watchdog.
+    Stop,
+    /// Respawn a dead worker into the given slot.
+    Respawn(usize),
+    /// Steal a wedged claim (already removed from the table) and
+    /// redispatch it under its ticket.
+    Steal(u64, Claim<S>),
+    /// Out of workers and out of restart budget: drain so waiters get
+    /// [`Error::ManagerStopped`] instead of hanging forever.
+    Drain,
+}
+
+/// The supervisor thread: respawns dead workers out of the restart
+/// budget and steals claims wedged in front of the commit gate. Only the
+/// ticket the gate is blocked on is ever scanned — that is the one claim
+/// whose owner being wedged stalls the whole scheduler — making the scan
+/// `supervisor` → `gate`, the one declared supervision lock edge.
+fn supervisor_loop<S: SyncFacade>(shared: &Arc<Shared<S>>, workers: &WorkerHandles<S>) {
+    /// Watchdog poll interval when nothing signals. Under the model
+    /// checker the timeout fires at quiescence instead, which is exactly
+    /// "every live worker is parked" — the wedge the watchdog exists
+    /// to break.
+    const POLL: Duration = Duration::from_millis(2);
+    loop {
+        let duty: Duty<S> = {
+            let mut sup = S::lock(&shared.supervisor);
+            loop {
+                // Dead slots drain ahead of the stop flag: a death is
+                // queued before its redispatched reply can land, so
+                // draining here makes the respawn count a deterministic
+                // min(deaths, budget) even when shutdown races the poll.
+                // (A worker respawned during shutdown sees `stopping`
+                // and exits immediately.)
+                if let Some(slot) = sup.dead.pop() {
+                    if sup.restarts_left > 0 {
+                        sup.restarts_left -= 1;
+                        sup.live_workers += 1;
+                        sup.stats.worker_respawns += 1;
+                        break Duty::Respawn(slot);
+                    }
+                    if sup.live_workers == 0 && !sup.stop {
+                        break Duty::Drain;
+                    }
+                    // Budget exhausted but other workers survive: the
+                    // pool shrinks and the dead claim was already healed.
+                    continue;
+                }
+                if sup.stop {
+                    break Duty::Stop;
+                }
+                let blocking = { S::lock(&shared.gate).next };
+                let wedged = sup
+                    .claims
+                    .get(&blocking)
+                    .is_some_and(|claim| claim.hung && !claim.committing && !claim.stolen);
+                if wedged {
+                    let claim = sup.claims.remove(&blocking).expect("checked above");
+                    break Duty::Steal(blocking, claim);
+                }
+                let (guard, _timed_out) = S::wait_timeout(&shared.supervisor_cv, sup, POLL);
+                sup = guard;
+            }
+        };
+        match duty {
+            Duty::Stop => return,
+            Duty::Respawn(slot) => {
+                let sh = Arc::clone(shared);
+                let handle = S::spawn("presp-worker-r", move || worker_loop(&sh, slot));
+                // `None` means shutdown already took the handles; the
+                // respawned worker then sees `stopping` and exits on its
+                // own, just unjoined.
+                if let Some(handles) = S::lock_recover(workers).as_mut() {
+                    handles.push(handle);
+                }
+            }
+            Duty::Steal(ticket, claim) => {
+                // Release the wedged owner; it observes its claim gone
+                // and abandons the job, rejoining the worker pool.
+                S::notify_all(&shared.hang_cv);
+                shared.redispatch_claim(ticket, claim, false);
+            }
+            Duty::Drain => {
+                shared.drain_to_stop();
+                S::lock_recover(&shared.supervisor).stop = true;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_percentile_is_nearest_rank() {
+        let mut stats = SchedulerStats::default();
+        stats.wait_micros.extend([40, 10, 30, 20]);
+        assert_eq!(stats.wait_percentile_micros(0.0), 10);
+        assert_eq!(stats.wait_percentile_micros(25.0), 10);
+        // The old rounded-interpolation index reported 30 here.
+        assert_eq!(stats.wait_percentile_micros(50.0), 20);
+        assert_eq!(stats.wait_percentile_micros(75.0), 30);
+        assert_eq!(stats.wait_percentile_micros(99.0), 40);
+        assert_eq!(stats.wait_percentile_micros(100.0), 40);
+    }
+
+    #[test]
+    fn wait_percentile_handles_empty_and_singleton() {
+        assert_eq!(SchedulerStats::default().wait_percentile_micros(50.0), 0);
+        let mut one = SchedulerStats::default();
+        one.wait_micros.push(7);
+        assert_eq!(one.wait_percentile_micros(0.0), 7);
+        assert_eq!(one.wait_percentile_micros(50.0), 7);
+        assert_eq!(one.wait_percentile_micros(100.0), 7);
     }
 }

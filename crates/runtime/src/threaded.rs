@@ -299,6 +299,26 @@ impl<S: SyncFacade> ThreadedManager<S> {
         self.sched.quarantined_tiles()
     }
 
+    /// Installs (or disarms) a worker-software-fault plan — see
+    /// [`crate::scheduler::Scheduler::set_worker_fault_plan`]. Only a
+    /// supervised manager (`RecoveryPolicy::supervised`) consults it.
+    pub fn set_worker_fault_plan(&self, plan: Option<crate::supervisor::WorkerFaultPlan>) {
+        self.sched.set_worker_fault_plan(plan);
+    }
+
+    /// Supervision counters (deaths, respawns, steals, redispatches)
+    /// with the fault plan's injection counters folded in.
+    pub fn supervisor_stats(&self) -> crate::supervisor::SupervisorStats {
+        self.sched.supervisor_stats()
+    }
+
+    /// Tickets admitted but neither committed nor retired. Zero on any
+    /// quiesced manager — the supervision layer's "no orphaned tickets"
+    /// invariant.
+    pub fn orphaned_tickets(&self) -> u64 {
+        self.sched.orphaned_tickets()
+    }
+
     /// Caller-side unlocked read the `unsynced_stats` mutant races with.
     #[doc(hidden)]
     pub fn unsynced_runs(&self) -> u64 {
@@ -315,6 +335,8 @@ impl<S: SyncFacade> ThreadedManager<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manager::OverloadPolicy;
+    use crate::supervisor::{install_quiet_panic_hook, WorkerFault, WorkerFaultPlan};
     use presp_accel::AccelValue;
     use presp_check::{CheckSync, Checker, Config, FailureKind};
     use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
@@ -331,6 +353,14 @@ mod tests {
     }
 
     fn boot(n: usize) -> (ThreadedManager, Vec<TileCoord>) {
+        boot_with(n, RecoveryPolicy::default(), n.max(1))
+    }
+
+    fn boot_with(
+        n: usize,
+        policy: RecoveryPolicy,
+        workers: usize,
+    ) -> (ThreadedManager, Vec<TileCoord>) {
         let cfg = SocConfig::grid_3x3_reconf("threaded", n).unwrap();
         let soc = Soc::new(&cfg).unwrap();
         let tiles = cfg.reconfigurable_tiles();
@@ -343,7 +373,29 @@ mod tests {
                 .register(tile, AcceleratorKind::Sort, bitstream(&soc, 30 + i as u32))
                 .unwrap();
         }
-        (ThreadedManager::spawn(soc, registry), tiles)
+        (
+            ThreadedManager::spawn_with_workers(soc, registry, policy, workers),
+            tiles,
+        )
+    }
+
+    fn supervised_policy() -> RecoveryPolicy {
+        RecoveryPolicy {
+            supervised: true,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// Polls until `f` holds. Respawns and steals run on the
+    /// supervisor's wall-clock watchdog, so tests wait for them briefly.
+    fn wait_until(mut f: impl FnMut() -> bool) {
+        for _ in 0..2000 {
+            if f() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("condition not reached within 2s");
     }
 
     /// Boots a model-checked manager inside an exploration body.
@@ -618,6 +670,222 @@ mod tests {
         mgr.shutdown();
     }
 
+    // ---- supervision, deadlines & admission control -------------------
+
+    #[test]
+    fn panicking_worker_is_healed_and_respawned() {
+        install_quiet_panic_hook();
+        let (mgr, tiles) = boot_with(2, supervised_policy(), 2);
+        mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Panic)])));
+        // Ticket 0's worker panics mid-prepare: the claim guard heals the
+        // gate and the job is redispatched under the same ticket, so the
+        // blocked caller still gets its result.
+        mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
+        let run = mgr
+            .run_blocking(
+                tiles[0],
+                AccelOp::Mac {
+                    a: vec![2.0],
+                    b: vec![4.0],
+                },
+            )
+            .unwrap();
+        assert_eq!(run.value, AccelValue::Scalar(8.0));
+        wait_until(|| mgr.supervisor_stats().worker_respawns == 1);
+        let sup = mgr.supervisor_stats();
+        assert_eq!(sup.worker_deaths, 1);
+        assert_eq!(sup.redispatches, 1);
+        assert_eq!(sup.panics_injected, 1);
+        // Quiescent invariant: the replying worker may still be mid
+        // post-commit bookkeeping when the waiter wakes, so poll.
+        wait_until(|| mgr.orphaned_tickets() == 0);
+        assert!(mgr.stats().consistent(), "{:?}", mgr.stats());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn hung_worker_claim_is_stolen_and_redispatched() {
+        let (mgr, tiles) = boot_with(1, supervised_policy(), 1);
+        mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+        // The only worker wedges after prepare; the watchdog steals the
+        // claim blocking the gate and the released worker redoes it.
+        mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
+        let sup = mgr.supervisor_stats();
+        assert_eq!(sup.hangs_injected, 1);
+        assert_eq!(sup.redispatches, 1);
+        assert_eq!(sup.worker_deaths, 0);
+        // Quiescent invariant: the replying worker may still be mid
+        // post-commit bookkeeping when the waiter wakes, so poll.
+        wait_until(|| mgr.orphaned_tickets() == 0);
+        assert!(mgr.stats().consistent(), "{:?}", mgr.stats());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn reconfiguration_past_its_deadline_is_cancelled() {
+        let policy = RecoveryPolicy {
+            deadline_cycles: 1,
+            ..supervised_policy()
+        };
+        let (mgr, tiles) = boot_with(1, policy, 1);
+        mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+        // A hangs until the watchdog steals it (wall-clock), so B is
+        // admitted meanwhile with a deadline 1 virtual cycle out. A
+        // commits first, on time at virtual time 0; B commits after A's
+        // whole reconfiguration and has missed.
+        let a = mgr.submit_reconfigure(tiles[0], AcceleratorKind::Mac);
+        let b = mgr.submit_reconfigure(tiles[0], AcceleratorKind::Sort);
+        a.wait().unwrap();
+        let err = b.wait();
+        assert!(
+            matches!(err, Err(Error::DeadlineExceeded { .. })),
+            "got {err:?}"
+        );
+        let stats = mgr.stats();
+        assert_eq!(stats.deadline_misses, 1);
+        assert!(stats.consistent(), "{stats:?}");
+        // Quiescent invariant: the replying worker may still be mid
+        // post-commit bookkeeping when the waiter wakes, so poll.
+        wait_until(|| mgr.orphaned_tickets() == 0);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn execute_past_its_deadline_degrades_to_cpu() {
+        let policy = RecoveryPolicy {
+            deadline_cycles: 1,
+            ..supervised_policy()
+        };
+        let (mgr, tiles) = boot_with(1, policy, 1);
+        mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+        let a = mgr.submit_reconfigure(tiles[0], AcceleratorKind::Mac);
+        let b = mgr.submit_execute(
+            tiles[0],
+            AcceleratorKind::Sort,
+            AccelOp::Sort {
+                data: vec![3.0, 1.0, 2.0],
+            },
+        );
+        a.wait().unwrap();
+        // The execute missed its deadline: it skips the accelerator (no
+        // reconfiguration, no fabric time) and degrades to the CPU path.
+        let (run, path) = b.wait().unwrap();
+        assert_eq!(path, ExecPath::CpuFallback);
+        assert_eq!(run.value, AccelValue::Vector(vec![1.0, 2.0, 3.0]));
+        let stats = mgr.stats();
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(stats.fallback_runs, 1);
+        assert!(stats.consistent(), "{stats:?}");
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_new_requests_when_full() {
+        let policy = RecoveryPolicy {
+            queue_capacity: 1,
+            ..supervised_policy()
+        };
+        let (mgr, tiles) = boot_with(1, policy, 1);
+        mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+        let a = mgr.submit_reconfigure(tiles[0], AcceleratorKind::Mac);
+        // Once A is claimed (and hung) the queue is empty again; B fills
+        // the single slot and C finds the door closed.
+        wait_until(|| mgr.supervisor_stats().hangs_injected == 1);
+        let b = mgr.submit_reconfigure(tiles[0], AcceleratorKind::Sort);
+        let err = mgr
+            .submit_run(
+                tiles[0],
+                AccelOp::Mac {
+                    a: vec![1.0],
+                    b: vec![1.0],
+                },
+            )
+            .wait();
+        assert!(matches!(err, Err(Error::Overloaded { .. })), "got {err:?}");
+        a.wait().unwrap();
+        b.wait().unwrap();
+        assert_eq!(mgr.stats().shed, 1);
+        // Quiescent invariant: the replying worker may still be mid
+        // post-commit bookkeeping when the waiter wakes, so poll.
+        wait_until(|| mgr.orphaned_tickets() == 0);
+        assert!(mgr.stats().consistent(), "{:?}", mgr.stats());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_sheds_oldest_under_shed_oldest_policy() {
+        let policy = RecoveryPolicy {
+            queue_capacity: 1,
+            overload: OverloadPolicy::ShedOldest,
+            ..supervised_policy()
+        };
+        let (mgr, tiles) = boot_with(1, policy, 1);
+        mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+        let a = mgr.submit_reconfigure(tiles[0], AcceleratorKind::Mac);
+        wait_until(|| mgr.supervisor_stats().hangs_injected == 1);
+        let b = mgr.submit_reconfigure(tiles[0], AcceleratorKind::Sort);
+        // C displaces the oldest queued request (B): B's waiter learns it
+        // was shed, C takes the slot and completes.
+        let c = mgr.submit_run(
+            tiles[0],
+            AccelOp::Mac {
+                a: vec![2.0],
+                b: vec![3.0],
+            },
+        );
+        let err = b.wait();
+        assert!(matches!(err, Err(Error::Overloaded { .. })), "got {err:?}");
+        a.wait().unwrap();
+        let run = c.wait().unwrap();
+        assert_eq!(run.value, AccelValue::Scalar(6.0));
+        assert_eq!(mgr.stats().shed, 1);
+        // Quiescent invariant: the replying worker may still be mid
+        // post-commit bookkeeping when the waiter wakes, so poll.
+        wait_until(|| mgr.orphaned_tickets() == 0);
+        assert!(mgr.stats().consistent(), "{:?}", mgr.stats());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn circuit_breaker_refuses_quarantined_tiles_at_the_door() {
+        use presp_fpga::fault::{FaultConfig, FaultPlan};
+        let policy = RecoveryPolicy {
+            max_retries: 0,
+            quarantine_after: 1,
+            breaker: true,
+            ..supervised_policy()
+        };
+        let (mgr, tiles) = boot_with(1, policy, 1);
+        let mut plan = FaultPlan::new(11, FaultConfig::uniform(0.0));
+        for n in 0..4 {
+            plan.force_icap_fault(n);
+        }
+        mgr.set_fault_plan(Some(plan));
+        let err = mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Mac);
+        assert!(
+            matches!(err, Err(Error::RetriesExhausted { .. })),
+            "got {err:?}"
+        );
+        assert_eq!(mgr.quarantined_tiles(), vec![tiles[0]]);
+        // The breaker now refuses at the queue door: no ticket burned, no
+        // worker woken, the shed counter records the refusal.
+        let err = mgr.reconfigure_blocking(tiles[0], AcceleratorKind::Sort);
+        assert!(
+            matches!(err, Err(Error::TileQuarantined { .. })),
+            "got {err:?}"
+        );
+        let stats = mgr.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected, 0, "the breaker fires before the ledger");
+        assert!(stats.consistent(), "{stats:?}");
+        // Quiescent invariant: the replying worker may still be mid
+        // post-commit bookkeeping when the waiter wakes, so poll.
+        wait_until(|| mgr.orphaned_tickets() == 0);
+        mgr.shutdown();
+    }
+
     // ---- model-checked protocol (CheckSync) ---------------------------
 
     fn shard_core_inversion_model() {
@@ -736,6 +1004,99 @@ mod tests {
             replay.failure.as_ref().map(|f| &f.kind),
             Some(&failure.kind),
             "replay must reproduce the race: {replay}"
+        );
+    }
+
+    /// Boots a supervised model-checked manager inside an exploration
+    /// body: one tile, one worker, plus the supervisor thread.
+    fn boot_checked_supervised(
+        mutants: MutantConfig,
+    ) -> (ThreadedManager<CheckSync>, Vec<TileCoord>) {
+        let cfg = SocConfig::grid_3x3_reconf("model", 1).unwrap();
+        let soc = Soc::new(&cfg).unwrap();
+        let tiles = cfg.reconfigurable_tiles();
+        let mut registry = BitstreamRegistry::new();
+        registry
+            .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+            .unwrap();
+        let mgr = ThreadedManager::<CheckSync>::spawn_with_mutants(
+            soc,
+            registry,
+            supervised_policy(),
+            1,
+            mutants,
+        );
+        (mgr, tiles)
+    }
+
+    fn supervised_hang_model() {
+        let (mgr, tiles) = boot_checked_supervised(MutantConfig::default());
+        mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+        let app = mgr.clone();
+        let tile = tiles[0];
+        // The only worker wedges; under CheckSync the supervisor's
+        // watchdog timeout fires exactly at quiescence — the wedged
+        // state — so every schedule exercises the steal/redispatch path.
+        let h = presp_check::sync::spawn_named("app", move || {
+            app.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                .unwrap();
+        });
+        h.join().unwrap();
+        // Shutdown joins the workers, so the post-commit bookkeeping is
+        // quiescent and the orphan invariant must hold exactly.
+        mgr.shutdown();
+        assert_eq!(mgr.orphaned_tickets(), 0, "healed gate left orphans");
+        let sup = mgr.supervisor_stats();
+        assert_eq!(sup.hangs_injected, 1);
+        assert_eq!(sup.redispatches, 1);
+    }
+
+    #[test]
+    fn supervised_hang_recovery_explores_without_findings() {
+        let report = Checker::new(Config {
+            max_schedules: 500,
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+        })
+        .explore(supervised_hang_model);
+        assert!(report.ok(), "{report}");
+    }
+
+    fn supervisor_gate_inversion_model() {
+        let (mgr, tiles) = boot_checked_supervised(MutantConfig {
+            supervisor_gate_inversion: true,
+            ..MutantConfig::default()
+        });
+        mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+        let app = mgr.clone();
+        let tile = tiles[0];
+        // The hang forces a steal, so the supervisor's scan (supervisor →
+        // gate) overlaps the mutant worker's commit path (gate →
+        // supervisor): the classic two-lock cycle.
+        let h = presp_check::sync::spawn_named("app", move || {
+            let _ = app.reconfigure_blocking(tile, AcceleratorKind::Mac);
+        });
+        h.join().unwrap();
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn checker_catches_supervisor_gate_inversion_mutant() {
+        let report = mutant_checker().explore(supervisor_gate_inversion_model);
+        let failure = report
+            .failure
+            .expect("the supervisor/gate inversion mutant must deadlock some schedule");
+        assert!(
+            matches!(failure.kind, FailureKind::Deadlock { .. }),
+            "expected deadlock, got: {failure}"
+        );
+        let replay = mutant_checker().replay(&failure.schedule, supervisor_gate_inversion_model);
+        assert!(
+            matches!(
+                replay.failure.as_ref().map(|f| &f.kind),
+                Some(FailureKind::Deadlock { .. })
+            ),
+            "replay must reproduce the deadlock: {replay}"
         );
     }
 

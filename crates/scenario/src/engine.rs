@@ -25,9 +25,11 @@ use presp_events::MemorySink;
 use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
 use presp_fpga::fault::{FaultPlan, InjectedFaults, SplitMix64};
 use presp_fpga::frame::FrameAddress;
+use presp_runtime::error::Error;
 use presp_runtime::manager::ExecPath;
 use presp_runtime::registry::BitstreamRegistry;
 use presp_runtime::scrubber::ScrubberDaemon;
+use presp_runtime::supervisor::{install_quiet_panic_hook, WorkerFaultPlan};
 use presp_runtime::threaded::ThreadedManager;
 use presp_soc::config::{SocConfig, TileCoord};
 use presp_soc::sim::Soc;
@@ -169,7 +171,21 @@ struct DriveTally {
     cpu_fallbacks: u64,
     value_mismatches: u64,
     lost_requests: u64,
+    overloaded: u64,
+    deadline_missed: u64,
     final_sweep_dirty: u64,
+}
+
+impl DriveTally {
+    /// Folds an error verdict in: admission refusals and deadline
+    /// cancellations are *answered* requests, not lost ones.
+    fn record_error(&mut self, e: &Error) {
+        match e {
+            Error::Overloaded { .. } => self.overloaded += 1,
+            Error::DeadlineExceeded { .. } => self.deadline_missed += 1,
+            _ => self.lost_requests += 1,
+        }
+    }
 }
 
 fn any_fault_configured(spec: &ScenarioSpec) -> bool {
@@ -179,6 +195,11 @@ fn any_fault_configured(spec: &ScenarioSpec) -> bool {
         || f.registry_miss_rate > 0.0
         || f.decoupler_delay_rate > 0.0
         || f.seu_per_mcycle > 0.0
+}
+
+fn any_worker_fault_configured(spec: &ScenarioSpec) -> bool {
+    let w = &spec.worker_faults;
+    w.panic_rate > 0.0 || w.hang_rate > 0.0 || w.stall_rate > 0.0
 }
 
 /// Runs one `(seed, workers)` cell and returns its observation plus the
@@ -224,6 +245,12 @@ fn run_cell(
         workers,
         spec.cache_capacity,
     );
+    if any_worker_fault_configured(spec) {
+        if spec.worker_faults.panic_rate > 0.0 {
+            install_quiet_panic_hook();
+        }
+        manager.set_worker_fault_plan(Some(WorkerFaultPlan::seeded(seed, spec.worker_faults)));
+    }
     let scrubber = spec
         .scrubber
         .enabled
@@ -248,6 +275,10 @@ fn run_cell(
             burst,
             pin_sort_len,
         } => drive_coalesce_burst(&manager, &tiles, burst, pin_sort_len, &mut tally),
+        WorkloadSpec::OverloadBurst {
+            burst,
+            pin_sort_len,
+        } => drive_overload_burst(&manager, &tiles, burst, pin_sort_len, &mut tally),
     }
 
     // Final sweep: drain whatever struck during the storm, disarm the
@@ -263,17 +294,23 @@ fn run_cell(
         }
     }
 
+    let scrubber_stats = scrubber.as_ref().map(|d| d.stats());
+    if let Some(daemon) = scrubber {
+        daemon.shutdown();
+    }
+    // Snapshot only after shutdown joins the workers: a blocking
+    // submitter's reply can land while the worker is still mid
+    // post-commit bookkeeping, so pre-shutdown counters (and the
+    // orphaned-ticket gauge) are not yet quiescent.
+    manager.shutdown();
     let mgr_stats = manager.stats();
     let sched_stats = manager.scheduler_stats();
     let cache_stats = manager.cache_stats();
     let injected: InjectedFaults = manager.injected_faults();
     let quarantined = manager.quarantined_tiles();
     let makespan = manager.makespan();
-    let scrubber_stats = scrubber.as_ref().map(|d| d.stats());
-    if let Some(daemon) = scrubber {
-        daemon.shutdown();
-    }
-    manager.shutdown();
+    let sup_stats = manager.supervisor_stats();
+    let orphaned_tickets = manager.orphaned_tickets();
     let records = presp_events::sink::snapshot(&sink);
     let trace_log = log_lines(&records);
     let mut event_counts: BTreeMap<String, u64> = BTreeMap::new();
@@ -298,6 +335,15 @@ fn run_cell(
     stats.insert("scrub_passes", mgr_stats.scrub_passes);
     stats.insert("frames_repaired", mgr_stats.frames_repaired);
     stats.insert("scrub_quarantines", mgr_stats.scrub_quarantines);
+    stats.insert("deadline_misses", mgr_stats.deadline_misses);
+    stats.insert("shed", mgr_stats.shed);
+    stats.insert("worker_deaths", sup_stats.worker_deaths);
+    stats.insert("worker_respawns", sup_stats.worker_respawns);
+    stats.insert("redispatches", sup_stats.redispatches);
+    stats.insert("injected_worker_panics", sup_stats.panics_injected);
+    stats.insert("injected_worker_hangs", sup_stats.hangs_injected);
+    stats.insert("injected_worker_stalls", sup_stats.stalls_injected);
+    stats.insert("orphaned_tickets", orphaned_tickets);
     stats.insert("sched_admitted", sched_stats.admitted);
     stats.insert("sched_completed", sched_stats.completed);
     stats.insert("sched_coalesced", sched_stats.coalesced);
@@ -321,6 +367,8 @@ fn run_cell(
     stats.insert("cpu_fallback_completions", tally.cpu_fallbacks);
     stats.insert("value_mismatches", tally.value_mismatches);
     stats.insert("lost_requests", tally.lost_requests);
+    stats.insert("overloaded_rejections", tally.overloaded);
+    stats.insert("deadline_cancellations", tally.deadline_missed);
     stats.insert("quarantined_tiles", quarantined.len() as u64);
     stats.insert("final_sweep_dirty", tally.final_sweep_dirty);
 
@@ -384,7 +432,7 @@ fn drive_blocking(
                     tally.value_mismatches += 1;
                 }
             }
-            Err(_) => tally.lost_requests += 1,
+            Err(e) => tally.record_error(&e),
         }
         if let Some(daemon) = scrubber {
             let every = spec.scrubber.sweep_every_ops;
@@ -414,7 +462,7 @@ fn drive_coalesce_burst(
     for p in pending {
         match p.wait() {
             Ok(()) => tally.completed_ok += 1,
-            Err(_) => tally.lost_requests += 1,
+            Err(e) => tally.record_error(&e),
         }
     }
     match busy.wait() {
@@ -432,7 +480,80 @@ fn drive_coalesce_burst(
                 tally.value_mismatches += 1;
             }
         }
-        Err(_) => tally.lost_requests += 1,
+        Err(e) => tally.record_error(&e),
+    }
+}
+
+/// The open-loop overload probe: pin a worker on a large sort at the
+/// second tile, then fire `burst` *distinct* MAC executions (distinct
+/// operands, so nothing coalesces) at the first tile without awaiting;
+/// the admission controller's verdicts are folded into the tally as
+/// answered — not lost — requests.
+fn drive_overload_burst(
+    manager: &ThreadedManager,
+    tiles: &[TileCoord],
+    burst: usize,
+    pin_sort_len: usize,
+    tally: &mut DriveTally,
+) {
+    let big: Vec<f32> = (0..pin_sort_len).rev().map(|i| i as f32).collect();
+    let claims_before = manager.scheduler().tile_claims(tiles[1]);
+    let busy = manager.submit_execute(tiles[1], AcceleratorKind::Sort, AccelOp::Sort { data: big });
+    // The burst must race the bounded queue, not worker startup: spin
+    // until the pin sort has been checked out (the claim counter is
+    // latching, so a fast completion can't be missed), so a worker is
+    // provably pinned when the burst begins and the shed count is
+    // reproducible.
+    while manager.scheduler().tile_claims(tiles[1]) == claims_before {
+        std::thread::yield_now();
+    }
+    let pending: Vec<_> = (0..burst)
+        .map(|j| {
+            let a = 1.0 + j as f32;
+            (
+                4.0 * a * 2.0,
+                manager.submit_execute(
+                    tiles[0],
+                    AcceleratorKind::Mac,
+                    AccelOp::Mac {
+                        a: vec![a; 4],
+                        b: vec![2.0; 4],
+                    },
+                ),
+            )
+        })
+        .collect();
+    tally.submitted = burst as u64 + 1;
+    for (expected, p) in pending {
+        match p.wait() {
+            Ok((run, path)) => {
+                tally.completed_ok += 1;
+                if path == ExecPath::CpuFallback {
+                    tally.cpu_fallbacks += 1;
+                }
+                if run.value != AccelValue::Scalar(expected) {
+                    tally.value_mismatches += 1;
+                }
+            }
+            Err(e) => tally.record_error(&e),
+        }
+    }
+    match busy.wait() {
+        Ok((run, path)) => {
+            tally.completed_ok += 1;
+            if path == ExecPath::CpuFallback {
+                tally.cpu_fallbacks += 1;
+            }
+            let sorted_ok = matches!(
+                &run.value,
+                AccelValue::Vector(v)
+                    if v.len() == pin_sort_len && v.windows(2).all(|w| w[0] <= w[1])
+            );
+            if !sorted_ok {
+                tally.value_mismatches += 1;
+            }
+        }
+        Err(e) => tally.record_error(&e),
     }
 }
 
@@ -515,13 +636,19 @@ fn evaluate(
             ),
         },
         Assertion::NoLostRequests => {
+            // A shed or deadline-cancelled request was *answered* (the
+            // caller got a verdict); only a silently vanished one is lost.
             match runs.iter().find(|r| {
-                r.stats["lost_requests"] != 0 || r.stats["completed_ok"] != r.stats["submitted"]
+                let answered = r.stats["completed_ok"]
+                    + r.stats["overloaded_rejections"]
+                    + r.stats["deadline_cancellations"];
+                r.stats["lost_requests"] != 0 || answered != r.stats["submitted"]
             }) {
                 None => pass(
                     "no_lost_requests",
                     format!(
-                        "all {} submitted operations completed",
+                        "all {} submitted operations were answered \
+                         (completed, shed, or deadline-cancelled)",
                         total(runs, "submitted")
                     ),
                     first_seed,
@@ -529,10 +656,12 @@ fn evaluate(
                 Some(r) => fail(
                     "no_lost_requests",
                     format!(
-                        "seed {} / {} workers: {} of {} submissions completed ({} lost)",
+                        "seed {} / {} workers: {} of {} submissions answered ({} lost)",
                         r.seed,
                         r.workers,
-                        r.stats["completed_ok"],
+                        r.stats["completed_ok"]
+                            + r.stats["overloaded_rejections"]
+                            + r.stats["deadline_cancellations"],
                         r.stats["submitted"],
                         r.stats["lost_requests"]
                     ),
@@ -759,6 +888,63 @@ fn evaluate(
             ),
             None => fail("makespan_max", "no runs observed".to_string(), first_seed),
         },
+        Assertion::DeadlineMissMax { value } => {
+            let observed = total(runs, "deadline_misses");
+            if observed <= *value {
+                pass(
+                    "deadline_miss_max",
+                    format!("total deadline_misses = {observed} <= {value}"),
+                    first_seed,
+                )
+            } else {
+                fail(
+                    "deadline_miss_max",
+                    format!("total deadline_misses = {observed}, expected at most {value}"),
+                    first_seed,
+                )
+            }
+        }
+        Assertion::ShedRateMax { percent } => {
+            let submitted = total(runs, "submitted");
+            let shed = total(runs, "shed");
+            // Integer cross-multiply: shed/submitted <= percent/100
+            // without rounding surprises.
+            if shed * 100 <= *percent * submitted {
+                pass(
+                    "shed_rate_max",
+                    format!("{shed} of {submitted} submissions shed, within the {percent}% bound"),
+                    first_seed,
+                )
+            } else {
+                fail(
+                    "shed_rate_max",
+                    format!("{shed} of {submitted} submissions shed, above the {percent}% bound"),
+                    first_seed,
+                )
+            }
+        }
+        Assertion::NoOrphanedTickets => {
+            match runs.iter().find(|r| r.stats["orphaned_tickets"] != 0) {
+                None => pass(
+                    "no_orphaned_tickets",
+                    format!(
+                        "every run quiesced with zero claimed-but-uncommitted \
+                         tickets across {} runs",
+                        runs.len()
+                    ),
+                    first_seed,
+                ),
+                Some(r) => fail(
+                    "no_orphaned_tickets",
+                    format!(
+                        "seed {} / {} workers: {} tickets were claimed but never \
+                         committed or retired",
+                        r.seed, r.workers, r.stats["orphaned_tickets"]
+                    ),
+                    r.seed,
+                ),
+            }
+        }
     }
 }
 
@@ -836,6 +1022,95 @@ mod tests {
         let r = &verdict.results[0];
         assert!(r.detail.contains("retries"), "{}", r.detail);
         assert!(r.detail.contains("999"), "{}", r.detail);
+    }
+
+    #[test]
+    fn supervised_crash_storm_heals_every_request() {
+        let verdict = run(&spec(
+            r#"{
+                "name": "engine_crash",
+                "fabric": {"soc_name": "engine-crash", "reconf_tiles": 2},
+                "catalog": ["mac", "sort"],
+                "seeds": {"count": 3},
+                "workers": [2],
+                "worker_faults": {"panic_rate": 0.25, "hang_rate": 0.15,
+                                  "max_panics": 4, "max_hangs": 4},
+                "policy": {"supervised": true, "restart_budget": 8},
+                "workload": {"kind": "blocking", "clients": 3, "ops_per_client": 6},
+                "assertions": [
+                    {"check": "stats_consistent"},
+                    {"check": "no_lost_requests"},
+                    {"check": "bit_identical_outputs"},
+                    {"check": "no_orphaned_tickets"},
+                    {"check": "stat_min", "stat": "injected_worker_panics", "value": 1},
+                    {"check": "stat_eq", "stat": "lost_requests", "value": 0}
+                ]
+            }"#,
+        ));
+        assert!(
+            verdict.passed(),
+            "{:#?}",
+            verdict
+                .results
+                .iter()
+                .filter(|r| !r.passed)
+                .collect::<Vec<_>>()
+        );
+        let deaths: u64 = verdict
+            .observations
+            .runs
+            .iter()
+            .map(|r| r.stats["worker_deaths"])
+            .sum();
+        let redispatches: u64 = verdict
+            .observations
+            .runs
+            .iter()
+            .map(|r| r.stats["redispatches"])
+            .sum();
+        assert!(
+            deaths >= 1,
+            "a 25% panic rate over 18 ops must kill someone"
+        );
+        assert!(
+            redispatches >= deaths,
+            "every death's claim is redispatched"
+        );
+    }
+
+    #[test]
+    fn overload_burst_sheds_and_stays_consistent() {
+        let verdict = run(&spec(
+            r#"{
+                "name": "engine_overload",
+                "fabric": {"soc_name": "engine-overload", "reconf_tiles": 2},
+                "catalog": ["mac", "sort"],
+                "seeds": {"count": 1},
+                "policy": {"queue_capacity": 2, "overload": "reject_new"},
+                "workload": {"kind": "overload_burst", "burst": 12, "pin_sort_len": 20000},
+                "assertions": [
+                    {"check": "stats_consistent"},
+                    {"check": "no_lost_requests"},
+                    {"check": "no_orphaned_tickets"},
+                    {"check": "shed_rate_max", "percent": 100}
+                ]
+            }"#,
+        ));
+        assert!(
+            verdict.passed(),
+            "{:#?}",
+            verdict
+                .results
+                .iter()
+                .filter(|r| !r.passed)
+                .collect::<Vec<_>>()
+        );
+        let r = &verdict.observations.runs[0];
+        assert_eq!(
+            r.stats["completed_ok"] + r.stats["overloaded_rejections"],
+            r.stats["submitted"],
+            "every burst request is answered: completed or shed"
+        );
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use presp_events::json::{self, JsonValue};
 use presp_fpga::fault::FaultConfig;
-use presp_runtime::manager::RecoveryPolicy;
+use presp_runtime::manager::{OverloadPolicy, RecoveryPolicy};
+use presp_runtime::supervisor::WorkerFaultConfig;
 use std::fmt;
 
 /// A scenario-language error: parse failures and semantic validation
@@ -124,6 +125,18 @@ pub enum WorkloadSpec {
         /// headroom for the burst to enqueue).
         pin_sort_len: usize,
     },
+    /// The open-loop overload probe: a worker is pinned on a large sort
+    /// while `burst` *distinct* MAC executions (so nothing coalesces)
+    /// are fired at the first tile without awaiting; the admission
+    /// controller's verdicts (`Overloaded`, `DeadlineExceeded`) are then
+    /// collected. Requires at least two tiles and both catalog kinds.
+    OverloadBurst {
+        /// Distinct execute requests fired at the first tile while the
+        /// worker is pinned.
+        burst: usize,
+        /// Length of the worker-pinning sort.
+        pin_sort_len: usize,
+    },
 }
 
 /// One declarative assertion over a scenario's observations.
@@ -186,6 +199,22 @@ pub enum Assertion {
         /// Inclusive bound, in SoC cycles.
         value: u64,
     },
+    /// The manager's `deadline_misses` counter, totalled across all
+    /// runs, is at most `value`.
+    DeadlineMissMax {
+        /// Inclusive upper bound on total deadline misses.
+        value: u64,
+    },
+    /// Shed requests (admission refusals and displaced victims) as a
+    /// percentage of submissions, across all runs, is at most `percent`.
+    ShedRateMax {
+        /// Inclusive upper bound, in whole percent (`0..=100`).
+        percent: u64,
+    },
+    /// Every run ends (post-shutdown, so the scheduler is quiescent)
+    /// with zero claimed-but-uncommitted tickets — nothing the
+    /// supervisor failed to heal.
+    NoOrphanedTickets,
 }
 
 /// Every stat key the `stat_min`/`stat_max`/`stat_eq` assertions accept.
@@ -206,6 +235,16 @@ pub const STAT_KEYS: &[&str] = &[
     "scrub_passes",
     "frames_repaired",
     "scrub_quarantines",
+    "deadline_misses",
+    "shed",
+    // SupervisorStats
+    "worker_deaths",
+    "worker_respawns",
+    "redispatches",
+    "injected_worker_panics",
+    "injected_worker_hangs",
+    "injected_worker_stalls",
+    "orphaned_tickets",
     // SchedulerStats (the deterministic subset)
     "sched_admitted",
     "sched_completed",
@@ -233,6 +272,8 @@ pub const STAT_KEYS: &[&str] = &[
     "cpu_fallback_completions",
     "value_mismatches",
     "lost_requests",
+    "overloaded_rejections",
+    "deadline_cancellations",
     "quarantined_tiles",
     "final_sweep_dirty",
 ];
@@ -257,6 +298,9 @@ pub struct ScenarioSpec {
     pub cache_capacity: usize,
     /// Fault/SEU plan knobs (a [`FaultConfig`], seeded per run).
     pub faults: FaultConfig,
+    /// Software worker-fault knobs (a [`WorkerFaultConfig`], seeded per
+    /// run; all-zero injects nothing).
+    pub worker_faults: WorkerFaultConfig,
     /// Manager recovery policy.
     pub policy: RecoveryPolicy,
     /// Scrubber policy.
@@ -491,6 +535,14 @@ fn parse_faults(doc: &JsonValue) -> Result<FaultConfig, ScenarioError> {
     })
 }
 
+/// The JSON token of an overload policy.
+fn overload_token(policy: OverloadPolicy) -> &'static str {
+    match policy {
+        OverloadPolicy::RejectNew => "reject_new",
+        OverloadPolicy::ShedOldest => "shed_oldest",
+    }
+}
+
 fn parse_policy(doc: &JsonValue) -> Result<RecoveryPolicy, ScenarioError> {
     let Some(policy) = doc.get("policy") else {
         return Ok(RecoveryPolicy::default());
@@ -504,10 +556,30 @@ fn parse_policy(doc: &JsonValue) -> Result<RecoveryPolicy, ScenarioError> {
             "backoff_multiplier",
             "quarantine_after",
             "cpu_fallback",
+            "deadline_cycles",
+            "queue_capacity",
+            "overload",
+            "breaker",
+            "supervised",
+            "restart_budget",
         ],
     )?;
     let ctx = "'policy'";
     let default = RecoveryPolicy::default();
+    let overload = match policy.get("overload") {
+        None => default.overload,
+        Some(JsonValue::String(s)) => match s.as_str() {
+            "reject_new" => OverloadPolicy::RejectNew,
+            "shed_oldest" => OverloadPolicy::ShedOldest,
+            other => {
+                return err(format!(
+                    "unknown 'policy.overload' value '{other}' \
+                     (expected one of: reject_new, shed_oldest)"
+                ))
+            }
+        },
+        Some(_) => return err("'overload' in 'policy' must be a string"),
+    };
     Ok(RecoveryPolicy {
         max_retries: opt_u64(policy, ctx, "max_retries", u64::from(default.max_retries))? as u32,
         backoff_cycles: opt_u64(policy, ctx, "backoff_cycles", default.backoff_cycles)?,
@@ -524,6 +596,42 @@ fn parse_policy(doc: &JsonValue) -> Result<RecoveryPolicy, ScenarioError> {
             u64::from(default.quarantine_after),
         )? as u32,
         cpu_fallback: opt_bool(policy, ctx, "cpu_fallback", default.cpu_fallback)?,
+        deadline_cycles: opt_u64(policy, ctx, "deadline_cycles", default.deadline_cycles)?,
+        queue_capacity: opt_u64(policy, ctx, "queue_capacity", default.queue_capacity)?,
+        overload,
+        breaker: opt_bool(policy, ctx, "breaker", default.breaker)?,
+        supervised: opt_bool(policy, ctx, "supervised", default.supervised)?,
+        restart_budget: opt_u64(
+            policy,
+            ctx,
+            "restart_budget",
+            u64::from(default.restart_budget),
+        )? as u32,
+    })
+}
+
+const WORKER_FAULT_KEYS: &[&str] = &[
+    "panic_rate",
+    "hang_rate",
+    "stall_rate",
+    "stall_max_micros",
+    "max_panics",
+    "max_hangs",
+];
+
+fn parse_worker_faults(doc: &JsonValue) -> Result<WorkerFaultConfig, ScenarioError> {
+    let Some(wf) = doc.get("worker_faults") else {
+        return Ok(WorkerFaultConfig::default());
+    };
+    reject_unknown_keys(wf, "'worker_faults'", WORKER_FAULT_KEYS)?;
+    let ctx = "'worker_faults'";
+    Ok(WorkerFaultConfig {
+        panic_rate: opt_rate(wf, ctx, "panic_rate", 0.0)?,
+        hang_rate: opt_rate(wf, ctx, "hang_rate", 0.0)?,
+        stall_rate: opt_rate(wf, ctx, "stall_rate", 0.0)?,
+        stall_max_micros: opt_u64(wf, ctx, "stall_max_micros", 0)?,
+        max_panics: opt_u64(wf, ctx, "max_panics", 0)?,
+        max_hangs: opt_u64(wf, ctx, "max_hangs", 0)?,
     })
 }
 
@@ -588,8 +696,26 @@ fn parse_workload(doc: &JsonValue) -> Result<WorkloadSpec, ScenarioError> {
                 pin_sort_len: pin,
             })
         }
+        "overload_burst" => {
+            reject_unknown_keys(workload, "'workload'", &["kind", "burst", "pin_sort_len"])?;
+            let burst = get_usize(workload, "'workload'", "burst")?;
+            let pin = get_usize(workload, "'workload'", "pin_sort_len")?;
+            if burst < 1 {
+                return err("'workload.burst' must be at least 1 (got 0)".to_string());
+            }
+            if pin < 1000 {
+                return err(format!(
+                    "'workload.pin_sort_len' must be at least 1000 to pin the worker (got {pin})"
+                ));
+            }
+            Ok(WorkloadSpec::OverloadBurst {
+                burst,
+                pin_sort_len: pin,
+            })
+        }
         other => err(format!(
-            "unknown workload kind '{other}' (expected one of: blocking, coalesce_burst)"
+            "unknown workload kind '{other}' \
+             (expected one of: blocking, coalesce_burst, overload_burst)"
         )),
     }
 }
@@ -641,11 +767,29 @@ fn parse_assertion(value: &JsonValue, index: usize) -> Result<Assertion, Scenari
                 value: get_u64(value, &ctx, "value")?,
             })
         }
+        "deadline_miss_max" => {
+            reject_unknown_keys(value, &ctx, &["check", "value"])?;
+            Ok(Assertion::DeadlineMissMax {
+                value: get_u64(value, &ctx, "value")?,
+            })
+        }
+        "shed_rate_max" => {
+            reject_unknown_keys(value, &ctx, &["check", "percent"])?;
+            let percent = get_u64(value, &ctx, "percent")?;
+            if percent > 100 {
+                return err(format!(
+                    "'percent' in {ctx} must be between 0 and 100 (got {percent})"
+                ));
+            }
+            Ok(Assertion::ShedRateMax { percent })
+        }
+        "no_orphaned_tickets" => bare(value, Assertion::NoOrphanedTickets),
         other => err(format!(
             "unknown check '{other}' in {ctx} (expected one of: stats_consistent, \
              no_lost_requests, bit_identical_outputs, same_seed_trace_identical, \
              outcome_equality_across_workers, final_scrub_clean, stat_min, stat_max, \
-             stat_eq, trace_contains, trace_absent, makespan_max)"
+             stat_eq, trace_contains, trace_absent, makespan_max, deadline_miss_max, \
+             shed_rate_max, no_orphaned_tickets)"
         )),
     }
 }
@@ -659,6 +803,7 @@ const TOP_KEYS: &[&str] = &[
     "workers",
     "cache_capacity",
     "faults",
+    "worker_faults",
     "policy",
     "scrubber",
     "workload",
@@ -705,6 +850,7 @@ impl ScenarioSpec {
             Some(_) => get_usize(doc, "the top level", "cache_capacity")?,
         };
         let faults = parse_faults(doc)?;
+        let worker_faults = parse_worker_faults(doc)?;
         let policy = parse_policy(doc)?;
         let scrubber = parse_scrubber(doc)?;
         let workload = parse_workload(doc)?;
@@ -734,6 +880,7 @@ impl ScenarioSpec {
             workers,
             cache_capacity,
             faults,
+            worker_faults,
             policy,
             scrubber,
             workload,
@@ -765,6 +912,30 @@ impl ScenarioSpec {
                     "workload 'coalesce_burst' requires both 'mac' and 'sort' in 'catalog'",
                 );
             }
+        }
+        if let WorkloadSpec::OverloadBurst { .. } = self.workload {
+            if self.fabric.reconf_tiles < 2 {
+                return err(
+                    "workload 'overload_burst' requires 'fabric.reconf_tiles' >= 2 \
+                     (one tile pins the worker, the other receives the burst)",
+                );
+            }
+            if !self.catalog.contains(&CatalogKind::Mac)
+                || !self.catalog.contains(&CatalogKind::Sort)
+            {
+                return err(
+                    "workload 'overload_burst' requires both 'mac' and 'sort' in 'catalog'",
+                );
+            }
+        }
+        if (self.worker_faults.panic_rate > 0.0 || self.worker_faults.hang_rate > 0.0)
+            && !self.policy.supervised
+        {
+            return err(
+                "'worker_faults' with 'panic_rate' or 'hang_rate' > 0 requires \
+                 \"policy\": {\"supervised\": true} — without the supervisor a \
+                 crashed or wedged claim is never healed and its request is lost",
+            );
         }
         for assertion in &self.assertions {
             match assertion {
@@ -818,6 +989,14 @@ impl ScenarioSpec {
                 ("burst", n(*burst as u64)),
                 ("pin_sort_len", n(*pin_sort_len as u64)),
             ]),
+            WorkloadSpec::OverloadBurst {
+                burst,
+                pin_sort_len,
+            } => obj(vec![
+                ("kind", s("overload_burst")),
+                ("burst", n(*burst as u64)),
+                ("pin_sort_len", n(*pin_sort_len as u64)),
+            ]),
         };
 
         let assertion_json = |a: &Assertion| match a {
@@ -855,6 +1034,15 @@ impl ScenarioSpec {
             Assertion::MakespanMax { value } => {
                 obj(vec![("check", s("makespan_max")), ("value", n(*value))])
             }
+            Assertion::DeadlineMissMax { value } => obj(vec![
+                ("check", s("deadline_miss_max")),
+                ("value", n(*value)),
+            ]),
+            Assertion::ShedRateMax { percent } => obj(vec![
+                ("check", s("shed_rate_max")),
+                ("percent", n(*percent)),
+            ]),
+            Assertion::NoOrphanedTickets => obj(vec![("check", s("no_orphaned_tickets"))]),
         };
 
         obj(vec![
@@ -903,6 +1091,17 @@ impl ScenarioSpec {
                 ]),
             ),
             (
+                "worker_faults",
+                obj(vec![
+                    ("panic_rate", f(self.worker_faults.panic_rate)),
+                    ("hang_rate", f(self.worker_faults.hang_rate)),
+                    ("stall_rate", f(self.worker_faults.stall_rate)),
+                    ("stall_max_micros", n(self.worker_faults.stall_max_micros)),
+                    ("max_panics", n(self.worker_faults.max_panics)),
+                    ("max_hangs", n(self.worker_faults.max_hangs)),
+                ]),
+            ),
+            (
                 "policy",
                 obj(vec![
                     ("max_retries", n(u64::from(self.policy.max_retries))),
@@ -913,6 +1112,12 @@ impl ScenarioSpec {
                         n(u64::from(self.policy.quarantine_after)),
                     ),
                     ("cpu_fallback", JsonValue::Bool(self.policy.cpu_fallback)),
+                    ("deadline_cycles", n(self.policy.deadline_cycles)),
+                    ("queue_capacity", n(self.policy.queue_capacity)),
+                    ("overload", s(overload_token(self.policy.overload))),
+                    ("breaker", JsonValue::Bool(self.policy.breaker)),
+                    ("supervised", JsonValue::Bool(self.policy.supervised)),
+                    ("restart_budget", n(u64::from(self.policy.restart_budget))),
                 ]),
             ),
             (
@@ -1022,6 +1227,85 @@ mod tests {
         let e = ScenarioSpec::parse(&doc).unwrap_err();
         assert!(e.0.contains("unknown stat 'retrys'"), "{e}");
         assert!(e.0.contains("retries"), "{e}");
+    }
+
+    #[test]
+    fn supervision_policy_and_worker_faults_parse_and_roundtrip() {
+        let doc = minimal().replace(
+            "\"assertions\": [{\"check\": \"stats_consistent\"}]",
+            r#""worker_faults": {"panic_rate": 0.1, "hang_rate": 0.05,
+                               "max_panics": 3, "max_hangs": 2},
+            "policy": {"supervised": true, "restart_budget": 6,
+                       "deadline_cycles": 50000, "queue_capacity": 8,
+                       "overload": "shed_oldest", "breaker": true},
+            "assertions": [
+                {"check": "no_orphaned_tickets"},
+                {"check": "deadline_miss_max", "value": 4},
+                {"check": "shed_rate_max", "percent": 25}
+            ]"#,
+        );
+        let spec = ScenarioSpec::parse(&doc).unwrap();
+        assert!(spec.policy.supervised);
+        assert_eq!(spec.policy.restart_budget, 6);
+        assert_eq!(spec.policy.deadline_cycles, 50_000);
+        assert_eq!(spec.policy.queue_capacity, 8);
+        assert_eq!(spec.policy.overload, OverloadPolicy::ShedOldest);
+        assert!(spec.policy.breaker);
+        assert_eq!(spec.worker_faults.panic_rate, 0.1);
+        assert_eq!(spec.worker_faults.max_hangs, 2);
+        assert_eq!(
+            spec.assertions,
+            vec![
+                Assertion::NoOrphanedTickets,
+                Assertion::DeadlineMissMax { value: 4 },
+                Assertion::ShedRateMax { percent: 25 },
+            ]
+        );
+        let round = ScenarioSpec::parse(&spec.serialize()).unwrap();
+        assert_eq!(spec, round);
+    }
+
+    #[test]
+    fn unknown_overload_token_names_the_accepted_values() {
+        let doc = minimal().replace(
+            "\"assertions\"",
+            "\"policy\": {\"overload\": \"drop_random\"}, \"assertions\"",
+        );
+        let e = ScenarioSpec::parse(&doc).unwrap_err();
+        assert!(e.0.contains("drop_random"), "{e}");
+        assert!(e.0.contains("reject_new, shed_oldest"), "{e}");
+    }
+
+    #[test]
+    fn worker_faults_without_supervision_are_rejected() {
+        let doc = minimal().replace(
+            "\"assertions\"",
+            "\"worker_faults\": {\"panic_rate\": 0.2, \"max_panics\": 1}, \"assertions\"",
+        );
+        let e = ScenarioSpec::parse(&doc).unwrap_err();
+        assert!(e.0.contains("supervised"), "{e}");
+    }
+
+    #[test]
+    fn shed_rate_percent_above_100_is_rejected() {
+        let doc = minimal().replace(
+            "{\"check\": \"stats_consistent\"}",
+            "{\"check\": \"shed_rate_max\", \"percent\": 101}",
+        );
+        let e = ScenarioSpec::parse(&doc).unwrap_err();
+        assert!(e.0.contains("between 0 and 100"), "{e}");
+    }
+
+    #[test]
+    fn overload_burst_requires_two_tiles() {
+        let doc = minimal()
+            .replace("\"reconf_tiles\": 2", "\"reconf_tiles\": 1")
+            .replace(
+                "{\"kind\": \"blocking\", \"clients\": 2, \"ops_per_client\": 3}",
+                "{\"kind\": \"overload_burst\", \"burst\": 8, \"pin_sort_len\": 4000}",
+            );
+        let e = ScenarioSpec::parse(&doc).unwrap_err();
+        assert!(e.0.contains("reconf_tiles"), "{e}");
     }
 
     #[test]

@@ -132,6 +132,47 @@ fn junit_document_is_well_formed_with_one_testcase_per_scenario() {
 }
 
 #[test]
+fn hostile_assertion_text_cannot_break_the_xml() {
+    // The event name of a trace assertion is arbitrary user text that
+    // flows into the <failure> body verbatim when the check fails; pack
+    // it with every XML metacharacter plus a CDATA-closer and an entity
+    // to prove nothing reaches the document raw.
+    let dir = std::env::temp_dir().join(format!("presp-junit-hostile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp matrix dir");
+    std::fs::write(
+        dir.join("hostile.json"),
+        r#"{
+            "name": "hostile",
+            "fabric": {"soc_name": "junit-hostile", "reconf_tiles": 1},
+            "catalog": ["mac"],
+            "seeds": {"count": 1},
+            "workload": {"kind": "blocking", "clients": 1, "ops_per_client": 1},
+            "assertions": [
+                {"check": "trace_contains",
+                 "event": "]]><injected attr=\"x\">&amp;'</injected>"}
+            ]
+        }"#,
+    )
+    .expect("write hostile scenario");
+    let outcome = runner::run_paths(std::slice::from_ref(&dir)).expect("matrix resolves");
+    let xml = outcome.junit_xml();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(!outcome.all_passed(), "the hostile event never appears");
+    assert_well_formed(&xml);
+    assert!(xml.contains("failures=\"1\""), "{xml}");
+    assert!(
+        !xml.contains("<injected"),
+        "hostile markup leaked into the document: {xml}"
+    );
+    assert!(
+        xml.contains("]]&gt;&lt;injected attr=&quot;x&quot;&gt;&amp;amp;&apos;"),
+        "hostile text must survive, escaped: {xml}"
+    );
+}
+
+#[test]
 fn junit_for_all_green_matrix_has_no_failures() {
     let dir = std::env::temp_dir().join(format!("presp-junit-green-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

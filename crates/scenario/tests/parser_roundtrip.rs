@@ -8,7 +8,8 @@
 //! within the parser's own validity envelope.
 
 use presp_fpga::fault::FaultConfig;
-use presp_runtime::manager::RecoveryPolicy;
+use presp_runtime::manager::{OverloadPolicy, RecoveryPolicy};
+use presp_runtime::supervisor::WorkerFaultConfig;
 use presp_scenario::spec::{
     Assertion, CatalogKind, FabricSpec, ScenarioSpec, ScrubberSpec, SeedSpec, WorkloadSpec,
 };
@@ -41,13 +42,23 @@ proptest! {
         sweep_every in 0u64..9,
         final_sweep in proptest::bool::ANY,
         coalesce_workload in proptest::bool::ANY,
+        overload_workload in proptest::bool::ANY,
         clients in 1usize..8,
         ops in 1usize..12,
         burst in 2usize..16,
         pin_extra in 0usize..100_000,
-        assertion_sel in 0u64..64,
+        assertion_sel in 0u64..512,
         stat_sel in 0usize..1_000,
         bound in 0u64..1_000_000,
+        supervised in proptest::bool::ANY,
+        deadline in 0u64..100_000,
+        queue_capacity in 0u64..16,
+        shed_oldest in proptest::bool::ANY,
+        breaker in proptest::bool::ANY,
+        restart_budget in 0u32..8,
+        wf_rate_n in 0u64..21,
+        wf_stall_max in 0u64..200,
+        wf_budget in 0u64..5,
     ) {
         // Coalesce-burst validity demands a single worker and a mac+sort
         // catalog; everything else roams freely.
@@ -61,7 +72,10 @@ proptest! {
                 _ => vec![2, 3, 5],
             }
         };
-        let catalog = if coalesce_workload {
+        // Overload-burst shares coalesce-burst's mac+sort / two-tile
+        // envelope but allows any worker vector.
+        let overload_workload = overload_workload && !coalesce_workload;
+        let catalog = if coalesce_workload || overload_workload {
             vec![CatalogKind::Mac, CatalogKind::Sort]
         } else {
             match catalog_sel {
@@ -72,8 +86,28 @@ proptest! {
         };
         let workload = if coalesce_workload {
             WorkloadSpec::CoalesceBurst { burst, pin_sort_len: 1000 + pin_extra }
+        } else if overload_workload {
+            WorkloadSpec::OverloadBurst { burst, pin_sort_len: 1000 + pin_extra }
         } else {
             WorkloadSpec::Blocking { clients, ops_per_client: ops }
+        };
+        // Panic/hang injection is only valid under a supervised policy
+        // (the parser rejects the combination otherwise).
+        let worker_faults = if supervised {
+            WorkerFaultConfig {
+                panic_rate: wf_rate_n as f64 / 50.0,
+                hang_rate: wf_rate_n as f64 / 80.0,
+                stall_rate: wf_rate_n as f64 / 60.0,
+                stall_max_micros: wf_stall_max,
+                max_panics: wf_budget,
+                max_hangs: wf_budget,
+            }
+        } else {
+            WorkerFaultConfig {
+                stall_rate: wf_rate_n as f64 / 60.0,
+                stall_max_micros: wf_stall_max,
+                ..WorkerFaultConfig::default()
+            }
         };
         let scrubber = ScrubberSpec {
             enabled: scrub_enabled,
@@ -102,6 +136,15 @@ proptest! {
         }
         if assertion_sel & 32 != 0 {
             assertions.push(Assertion::MakespanMax { value: bound });
+        }
+        if assertion_sel & 64 != 0 {
+            assertions.push(Assertion::DeadlineMissMax { value: bound });
+        }
+        if assertion_sel & 128 != 0 {
+            assertions.push(Assertion::ShedRateMax { percent: bound % 101 });
+        }
+        if assertion_sel & 256 != 0 {
+            assertions.push(Assertion::NoOrphanedTickets);
         }
         if workers.len() >= 2 {
             assertions.push(Assertion::OutcomeEqualityAcrossWorkers);
@@ -135,12 +178,23 @@ proptest! {
                 seu_per_mcycle: seu_n as f64,
                 seu_double_bit_rate: dbl_n as f64 / 10.0,
             },
+            worker_faults,
             policy: RecoveryPolicy {
                 max_retries,
                 backoff_cycles: backoff,
                 backoff_multiplier: multiplier,
                 quarantine_after,
                 cpu_fallback,
+                deadline_cycles: deadline,
+                queue_capacity,
+                overload: if shed_oldest {
+                    OverloadPolicy::ShedOldest
+                } else {
+                    OverloadPolicy::RejectNew
+                },
+                breaker,
+                supervised,
+                restart_budget,
             },
             scrubber,
             workload,
@@ -172,6 +226,7 @@ proptest! {
             workers: vec![1],
             cache_capacity: 0,
             faults: FaultConfig::default(),
+            worker_faults: WorkerFaultConfig::default(),
             policy: RecoveryPolicy::default(),
             scrubber: ScrubberSpec::default(),
             workload: WorkloadSpec::Blocking { clients: 1, ops_per_client: 1 },
@@ -313,6 +368,27 @@ fn rejects_coalesce_burst_with_multiple_workers() {
         )
         .replace("\"seeds\"", "\"workers\": [2], \"seeds\"");
     assert_rejects(&doc, &["coalesce_burst", "\"workers\": [1]"]);
+}
+
+#[test]
+fn rejects_unknown_worker_fault_key() {
+    let doc = valid_doc().replace(
+        "\"catalog\"",
+        "\"worker_faults\": {\"panic_rat\": 0.1}, \"catalog\"",
+    );
+    assert_rejects(
+        &doc,
+        &["unknown key 'panic_rat'", "'worker_faults'", "panic_rate"],
+    );
+}
+
+#[test]
+fn rejects_panic_injection_without_supervision() {
+    let doc = valid_doc().replace(
+        "\"catalog\"",
+        "\"worker_faults\": {\"panic_rate\": 0.5, \"max_panics\": 1}, \"catalog\"",
+    );
+    assert_rejects(&doc, &["supervised", "never healed"]);
 }
 
 #[test]

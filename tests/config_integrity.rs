@@ -152,6 +152,7 @@ fn faulted_icap_write_rolls_back_to_the_pre_transaction_image() {
         backoff_multiplier: 2,
         quarantine_after: 8,
         cpu_fallback: false,
+        ..RecoveryPolicy::default()
     });
     let sink = MemorySink::shared();
     manager.soc_mut().attach_tracer(sink.clone());

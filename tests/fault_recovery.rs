@@ -30,6 +30,7 @@ fn policy() -> RecoveryPolicy {
         backoff_multiplier: 2,
         quarantine_after: 2,
         cpu_fallback: true,
+        ..RecoveryPolicy::default()
     }
 }
 
@@ -319,6 +320,7 @@ fn wami_frame_completes_on_cpu_after_tiles_quarantine() {
             backoff_multiplier: 2,
             quarantine_after: 1,
             cpu_fallback: true,
+            ..RecoveryPolicy::default()
         });
         manager
             .soc_mut()

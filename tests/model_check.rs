@@ -371,6 +371,148 @@ fn sweep_catches_and_replays_the_shard_core_inversion_mutant() {
     );
 }
 
+/// The supervised protocol under exploration: the only worker hangs on
+/// ticket 0 (scripted), the watchdog's quiescence timeout steals the
+/// claim blocking the gate and the released worker redoes the job under
+/// its original ticket, while a second request sits admitted behind it.
+/// Every schedule must end with the gate healed — no orphaned tickets,
+/// no lost requests — and the supervisor's steal scan exercises the
+/// `supervisor` → `gate` lock-order edge throughout.
+fn supervised_recovery_model() {
+    use presp::runtime::{WorkerFault, WorkerFaultPlan};
+    let cfg = SocConfig::grid_3x3_reconf("sup", 1).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    registry
+        .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+        .unwrap();
+    let policy = RecoveryPolicy {
+        supervised: true,
+        ..RecoveryPolicy::default()
+    };
+    let mgr = ThreadedManager::<CheckSync>::spawn_with_workers(soc, registry, policy, 1);
+    mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+    let tile = tiles[0];
+    let app = {
+        let mgr = mgr.clone();
+        presp::check::sync::spawn_named("app", move || {
+            mgr.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                .unwrap();
+        })
+    };
+    // Whichever request draws ticket 0 hangs; the other is admitted
+    // behind it and must still commit in ticket order after the steal.
+    let (run, _path) = mgr
+        .execute_blocking(
+            tile,
+            AcceleratorKind::Mac,
+            AccelOp::Mac {
+                a: vec![2.0],
+                b: vec![3.0],
+            },
+        )
+        .unwrap();
+    assert_eq!(run.value, AccelValue::Scalar(6.0));
+    app.join().unwrap();
+    // Shutdown joins the workers, so the orphan invariant is quiescent.
+    mgr.shutdown();
+    assert_eq!(mgr.orphaned_tickets(), 0, "healed gate left orphans");
+    let stats = mgr.stats();
+    assert!(stats.consistent(), "inconsistent stats: {stats:?}");
+    let sup = mgr.supervisor_stats();
+    assert_eq!(sup.hangs_injected, 1, "scripted hang must fire: {sup:?}");
+    assert!(sup.redispatches >= 1, "steal must redispatch: {sup:?}");
+}
+
+#[test]
+fn supervised_protocol_is_clean_across_schedules() {
+    let budget = schedule_budget();
+    let checker = Checker::new(Config {
+        max_schedules: budget,
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(supervised_recovery_model);
+    assert!(report.ok(), "{report}");
+    assert!(
+        report.exhausted || report.schedules >= budget,
+        "explorer stopped early: {report}"
+    );
+    assert!(
+        report.schedules > 100,
+        "scenario too small to be meaningful: {report}"
+    );
+}
+
+/// The committed supervisor↔gate lock-inversion mutant: the worker's
+/// commit path flags its claim as committing while already holding the
+/// gate (`gate` → `supervisor`), the reverse of the watchdog's steal
+/// scan (`supervisor` → `gate`). A forced steal racing the redispatched
+/// commit must deadlock some schedule.
+fn supervisor_gate_inversion_model() {
+    use presp::runtime::scheduler::MutantConfig;
+    use presp::runtime::{WorkerFault, WorkerFaultPlan};
+
+    let cfg = SocConfig::grid_3x3_reconf("mutants", 1).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    registry
+        .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+        .unwrap();
+    let policy = RecoveryPolicy {
+        supervised: true,
+        ..RecoveryPolicy::default()
+    };
+    let mgr = ThreadedManager::<CheckSync>::spawn_with_mutants(
+        soc,
+        registry,
+        policy,
+        1,
+        MutantConfig {
+            supervisor_gate_inversion: true,
+            ..MutantConfig::default()
+        },
+    );
+    mgr.set_worker_fault_plan(Some(WorkerFaultPlan::scripted(&[(0, WorkerFault::Hang)])));
+    let tile = tiles[0];
+    let app = {
+        let mgr = mgr.clone();
+        presp::check::sync::spawn_named("app", move || {
+            let _ = mgr.reconfigure_blocking(tile, AcceleratorKind::Mac);
+        })
+    };
+    app.join().unwrap();
+    mgr.shutdown();
+}
+
+#[test]
+fn sweep_catches_and_replays_the_supervisor_gate_inversion_mutant() {
+    use presp::check::FailureKind;
+    let checker = Checker::new(Config {
+        max_schedules: schedule_budget(),
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(supervisor_gate_inversion_model);
+    let failure = report
+        .failure
+        .expect("the supervisor/gate inversion mutant must deadlock some schedule");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "expected deadlock, got: {failure}"
+    );
+    let replay = checker.replay(&failure.schedule, supervisor_gate_inversion_model);
+    assert!(
+        matches!(
+            replay.failure.as_ref().map(|f| &f.kind),
+            Some(FailureKind::Deadlock { .. })
+        ),
+        "replay must reproduce the deadlock: {replay}"
+    );
+}
+
 /// The committed queue↔admission lock-inversion mutant: the worker's
 /// completion path acquires `tile_queue` → `sched_admission`, the reverse
 /// of every admission path's `sched_admission` → `tile_queue`. A

@@ -48,6 +48,7 @@ fn stress_policy() -> RecoveryPolicy {
         backoff_multiplier: 2,
         quarantine_after: 2,
         cpu_fallback: true,
+        ..RecoveryPolicy::default()
     }
 }
 

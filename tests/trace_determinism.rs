@@ -32,6 +32,7 @@ fn traced_run(fault_seed: u64, scene_seed: u64, frames: usize) -> Vec<TraceRecor
             backoff_multiplier: 2,
             quarantine_after: 2,
             cpu_fallback: true,
+            ..RecoveryPolicy::default()
         });
         manager.soc_mut().set_fault_plan(Some(FaultPlan::new(
             fault_seed,
@@ -263,6 +264,7 @@ fn golden_single_tile_run() -> String {
             backoff_multiplier: 2,
             quarantine_after: 2,
             cpu_fallback: true,
+            ..RecoveryPolicy::default()
         },
     );
 

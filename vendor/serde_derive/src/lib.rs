@@ -5,17 +5,19 @@
 //! consumer, `presp-soc::config`, uses a hand-rolled parser). The derive
 //! macros therefore expand to nothing: `#[derive(Serialize, Deserialize)]`
 //! stays valid on every type without pulling in the real framework.
+//! The `serde` helper attribute is registered so field annotations like
+//! `#[serde(default)]` parse; they are ignored like the derive bodies.
 
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// No-op `Deserialize` derive.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
