@@ -227,6 +227,23 @@ pub enum TraceEvent {
         /// Frames restored to their pre-transaction content.
         frames: u64,
     },
+    /// A tile's region physically relocated to a new column base.
+    RegionMoved {
+        /// The tile whose region moved.
+        tile: Loc,
+        /// Frames rewritten at the new base.
+        frames: u64,
+        /// Signed column delta of the move.
+        delta: i64,
+    },
+    /// A tile's region erased and retired (its lease was switched or
+    /// vacated); the fabric columns return to the free pool.
+    RegionReleased {
+        /// The tile whose region was retired.
+        tile: Loc,
+        /// Frames erased.
+        frames: u64,
+    },
     /// One runtime reconfiguration attempt (manager retry loop).
     ReconfigAttempt {
         /// Target tile.
@@ -332,6 +349,13 @@ pub enum TraceEvent {
         /// The shed request's admission ticket.
         ticket: u64,
     },
+    /// One defragmenter repack pass over the fabric.
+    DefragPass {
+        /// Region moves applied this pass.
+        moves: u64,
+        /// Frames physically relocated.
+        frames: u64,
+    },
     /// One WAMI pipeline stage of one frame.
     FrameStage {
         /// Frame index.
@@ -385,6 +409,9 @@ impl TraceEvent {
             TraceEvent::ScrubPass { .. } => "scrub.pass",
             TraceEvent::FrameRepaired { .. } => "frame.repaired",
             TraceEvent::RollbackCompleted { .. } => "rollback.completed",
+            TraceEvent::RegionMoved { .. } => "region.moved",
+            TraceEvent::RegionReleased { .. } => "region.released",
+            TraceEvent::DefragPass { .. } => "defrag.pass",
             TraceEvent::ReconfigAttempt { .. } => "reconfig.attempt",
             TraceEvent::RetryBackoff { .. } => "retry.backoff",
             TraceEvent::Quarantine { .. } => "quarantine",
@@ -418,7 +445,9 @@ impl TraceEvent {
             | TraceEvent::SeuInjected { .. }
             | TraceEvent::ScrubPass { .. }
             | TraceEvent::FrameRepaired { .. }
-            | TraceEvent::RollbackCompleted { .. } => "soc",
+            | TraceEvent::RollbackCompleted { .. }
+            | TraceEvent::RegionMoved { .. }
+            | TraceEvent::RegionReleased { .. } => "soc",
             TraceEvent::NocTransfer { .. } => "noc",
             TraceEvent::ReconfigAttempt { .. }
             | TraceEvent::RetryBackoff { .. }
@@ -431,7 +460,8 @@ impl TraceEvent {
             | TraceEvent::WorkerDied { .. }
             | TraceEvent::TicketRedispatched { .. }
             | TraceEvent::DeadlineMissed { .. }
-            | TraceEvent::RequestShed { .. } => "runtime",
+            | TraceEvent::RequestShed { .. }
+            | TraceEvent::DefragPass { .. } => "runtime",
             TraceEvent::FrameStage { .. } | TraceEvent::FrameDone { .. } => "wami",
             TraceEvent::FlowStage { .. } | TraceEvent::BitstreamGenerated { .. } => "cad",
         }
@@ -546,6 +576,18 @@ impl TraceEvent {
             TraceEvent::RollbackCompleted { tile, frames } => {
                 vec![("tile", loc(*tile)), ("frames", n(*frames))]
             }
+            TraceEvent::RegionMoved {
+                tile,
+                frames,
+                delta,
+            } => vec![
+                ("tile", loc(*tile)),
+                ("frames", n(*frames)),
+                ("delta", JsonValue::Number(*delta as f64)),
+            ],
+            TraceEvent::RegionReleased { tile, frames } => {
+                vec![("tile", loc(*tile)), ("frames", n(*frames))]
+            }
             TraceEvent::ReconfigAttempt {
                 tile,
                 kind,
@@ -613,6 +655,9 @@ impl TraceEvent {
             ],
             TraceEvent::RequestShed { tile, ticket } => {
                 vec![("tile", loc(*tile)), ("ticket", n(*ticket))]
+            }
+            TraceEvent::DefragPass { moves, frames } => {
+                vec![("moves", n(*moves)), ("frames", n(*frames))]
             }
             TraceEvent::FrameStage { frame, stage } => {
                 vec![("frame", n(*frame)), ("stage", s(stage))]
@@ -1032,6 +1077,15 @@ mod tests {
                 tile: loc,
                 frames: 1,
             },
+            TraceEvent::RegionMoved {
+                tile: loc,
+                frames: 2,
+                delta: -3,
+            },
+            TraceEvent::RegionReleased {
+                tile: loc,
+                frames: 2,
+            },
             TraceEvent::ReconfigAttempt {
                 tile: loc,
                 kind: "mac".into(),
@@ -1083,6 +1137,10 @@ mod tests {
             TraceEvent::RequestShed {
                 tile: loc,
                 ticket: 7,
+            },
+            TraceEvent::DefragPass {
+                moves: 1,
+                frames: 2,
             },
             TraceEvent::FrameStage {
                 frame: 0,

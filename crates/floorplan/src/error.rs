@@ -22,6 +22,12 @@ pub enum Error {
         /// The duplicated name.
         name: String,
     },
+    /// A region-lease move targets an illegal destination (occupied,
+    /// unmanaged, or kind-incompatible columns) or an unknown lease.
+    BadMove {
+        /// Human-readable description of the illegal move.
+        detail: String,
+    },
     /// Device-model error (propagated from `presp-fpga`).
     Fabric(presp_fpga::Error),
 }
@@ -37,6 +43,7 @@ impl fmt::Display for Error {
             }
             Error::NoSpace { name } => write!(f, "no legal placement found for region '{name}'"),
             Error::DuplicateName { name } => write!(f, "duplicate region name '{name}'"),
+            Error::BadMove { detail } => write!(f, "illegal region move: {detail}"),
             Error::Fabric(e) => write!(f, "fabric error: {e}"),
         }
     }

@@ -35,6 +35,8 @@
 
 mod error;
 mod planner;
+mod region;
 
 pub use error::Error;
 pub use planner::{Floorplan, Floorplanner, PlannerConfig, RegionRequest};
+pub use region::{FitPolicy, FragmentationStats, RegionAllocator, RegionLease, RegionMove};

@@ -1,6 +1,7 @@
 //! The FLORA-style best-fit floorplanner.
 
 use crate::error::Error;
+use crate::region::RegionAllocator;
 use presp_fpga::fabric::Device;
 use presp_fpga::pblock::Pblock;
 use presp_fpga::resources::Resources;
@@ -52,6 +53,10 @@ pub struct Floorplan {
     wasted_luts: u64,
     /// Resources left for the static part (device minus all pblocks).
     static_headroom: Resources,
+    /// Sum of the resources every region requested — kept so the headroom
+    /// metrics can be recomputed after regions move at runtime.
+    #[serde(default)]
+    requested: Resources,
 }
 
 impl Floorplan {
@@ -74,6 +79,21 @@ impl Floorplan {
     /// part.
     pub fn static_headroom(&self) -> Resources {
         self.static_headroom
+    }
+
+    /// Recomputes [`Floorplan::wasted_luts`] and
+    /// [`Floorplan::static_headroom`] against the *live* region leases of a
+    /// running allocator instead of the static pblock grid.
+    ///
+    /// The plan-time numbers are measured against the rectangles this plan
+    /// placed; once the runtime moves or resizes regions (amorphous
+    /// floorplanning) those rectangles no longer describe what the fabric
+    /// actually provides, and the static-grid numbers silently drift from
+    /// the truth. Call this after any lease change to keep them honest.
+    pub fn refresh_from_leases(&mut self, device: &Device, allocator: &RegionAllocator) {
+        let provided = allocator.live_resources(device);
+        self.wasted_luts = provided.lut.saturating_sub(self.requested.lut);
+        self.static_headroom = device.total_resources().saturating_sub(&provided);
     }
 }
 
@@ -138,6 +158,7 @@ impl Floorplanner {
         let mut provided_luts = 0u64;
         let mut requested_luts = 0u64;
         let mut provided_total = Resources::ZERO;
+        let mut requested_total = Resources::ZERO;
 
         for request in order {
             let need = request
@@ -157,6 +178,7 @@ impl Floorplanner {
             provided_luts += capacity.lut;
             requested_luts += request.resources.lut;
             provided_total += capacity;
+            requested_total += request.resources;
             placed.push(pblock);
             pblocks.insert(request.name.clone(), pblock);
         }
@@ -165,6 +187,7 @@ impl Floorplanner {
             pblocks,
             wasted_luts: provided_luts.saturating_sub(requested_luts),
             static_headroom: device_total.saturating_sub(&provided_total),
+            requested: requested_total,
         })
     }
 
@@ -335,6 +358,35 @@ mod tests {
         let cap = |p: &Floorplan| d.pblock_resources(p.pblock("rt").unwrap()).unwrap().lut;
         assert!(cap(&slack) >= 2 * reqs[0].resources.lut);
         assert!(cap(&tight) < cap(&slack));
+    }
+
+    #[test]
+    fn headroom_metrics_track_live_leases_not_the_static_grid() {
+        use crate::region::FitPolicy;
+        use presp_fpga::fabric::ColumnKind;
+
+        let d = device();
+        let reqs = vec![RegionRequest::new("rt0", Resources::luts(2_000))];
+        let mut plan = Floorplanner::new(&d).floorplan(&reqs).unwrap();
+        let static_waste = plan.wasted_luts();
+        let static_headroom = plan.static_headroom();
+
+        // At runtime the region was grown to a two-column CLB lease, not
+        // the planner's rectangle: 2 × 400 LUT/row × 7 rows = 5 600
+        // provided.
+        let mut alloc = RegionAllocator::new(&d, FitPolicy::FirstFit);
+        alloc.allocate(&[ColumnKind::Clb, ColumnKind::Clb]).unwrap();
+        plan.refresh_from_leases(&d, &alloc);
+        assert_eq!(plan.wasted_luts(), 5_600 - 2_000);
+        assert_eq!(
+            plan.static_headroom(),
+            d.total_resources()
+                .saturating_sub(&alloc.live_resources(&d))
+        );
+        // The stale static-grid numbers really were different — the bug this
+        // refresh fixes.
+        assert_ne!(plan.wasted_luts(), static_waste);
+        assert_ne!(plan.static_headroom(), static_headroom);
     }
 
     #[test]

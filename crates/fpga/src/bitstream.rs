@@ -307,6 +307,218 @@ impl fmt::Display for Bitstream {
     }
 }
 
+/// The fabric extent a partial bitstream configures — what the placement
+/// layer consults before leasing a region and what relocation rewrites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    /// Distinct fabric columns addressed by FAR writes, ascending.
+    pub columns: Vec<u32>,
+    /// Lowest clock-region row addressed.
+    pub min_row: u32,
+    /// Highest clock-region row addressed.
+    pub max_row: u32,
+}
+
+impl Footprint {
+    /// Leftmost column the stream writes.
+    pub fn base_column(&self) -> u32 {
+        self.columns[0]
+    }
+
+    /// Width of the covering column span (holes included): the number of
+    /// contiguous columns a region lease must provide.
+    pub fn width(&self) -> u32 {
+        self.columns[self.columns.len() - 1] - self.columns[0] + 1
+    }
+}
+
+impl Bitstream {
+    /// Scans the packet stream and reports the fabric extent it configures.
+    ///
+    /// Works on raw and MFW-compressed streams alike: both address frames
+    /// exclusively through type-1 FAR writes (FDRI bursts auto-increment
+    /// only the minor index, never the column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedBitstream`] for packet-layer violations or
+    /// a stream that writes no frames at all.
+    pub fn footprint(&self) -> Result<Footprint, Error> {
+        let mut columns: Vec<u32> = Vec::new();
+        let mut min_row = u32::MAX;
+        let mut max_row = 0u32;
+        let mut synced = false;
+        let mut i = 0usize;
+        while i < self.words.len() {
+            let w = self.words[i];
+            if !synced {
+                i += 1;
+                synced = w == SYNC_WORD;
+                continue;
+            }
+            let header = decode_header(w)?;
+            i += 1;
+            let count = match header {
+                PacketHeader::Nop => 0,
+                PacketHeader::Type2Write { count } => count as usize,
+                PacketHeader::Type1Write { reg, count } => {
+                    let count = count as usize;
+                    if reg == ConfigReg::Far && count == 1 && i < self.words.len() {
+                        let addr = FrameAddress::unpack(self.words[i]);
+                        if let Err(pos) = columns.binary_search(&addr.column) {
+                            columns.insert(pos, addr.column);
+                        }
+                        min_row = min_row.min(addr.row);
+                        max_row = max_row.max(addr.row);
+                    }
+                    if reg == ConfigReg::Cmd
+                        && count == 1
+                        && i < self.words.len()
+                        && Command::from_value(self.words[i]) == Some(Command::Desync)
+                    {
+                        synced = false;
+                    }
+                    count
+                }
+            };
+            if i + count > self.words.len() {
+                return Err(Error::MalformedBitstream {
+                    detail: format!("truncated packet: wanted {count} payload words"),
+                });
+            }
+            i += count;
+        }
+        if columns.is_empty() {
+            return Err(Error::MalformedBitstream {
+                detail: "bitstream writes no frames: nothing to place".into(),
+            });
+        }
+        Ok(Footprint {
+            columns,
+            min_row,
+            max_row,
+        })
+    }
+
+    /// Rewrites the stream to target a region `col_delta` columns away,
+    /// keeping the configured payload bit-identical.
+    ///
+    /// Every type-1 FAR payload word is re-addressed and the in-stream CRC
+    /// re-folded over the rewritten addresses and the untouched frame data,
+    /// so the relocated stream passes the ICAP's CRC check exactly like the
+    /// original; the storage-integrity CRC is recomputed to match the new
+    /// words. Raw and MFW-compressed streams relocate identically — which
+    /// is what makes relocate-then-decompress equal decompress-then-relocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IdcodeMismatch`] when the stream targets another
+    /// part, [`Error::BadFrameAddress`] when a rewritten address leaves the
+    /// fabric or lands on a column of a different kind (the frame geometry
+    /// would differ), and [`Error::MalformedBitstream`] for packet-layer
+    /// violations.
+    pub fn relocate(&self, device: &Device, col_delta: i64) -> Result<Bitstream, Error> {
+        if self.idcode != device.part().idcode() {
+            return Err(Error::IdcodeMismatch {
+                found: self.idcode,
+                device: device.part().idcode(),
+            });
+        }
+        let mut words = self.words.clone();
+        let mut crc = CrcAccumulator::new();
+        let mut synced = false;
+        let mut i = 0usize;
+        while i < words.len() {
+            let w = words[i];
+            if !synced {
+                i += 1;
+                synced = w == SYNC_WORD;
+                continue;
+            }
+            let header = decode_header(w)?;
+            i += 1;
+            let count = match header {
+                PacketHeader::Nop => 0,
+                PacketHeader::Type2Write { count } => {
+                    let count = count as usize;
+                    if i + count > words.len() {
+                        return Err(Error::MalformedBitstream {
+                            detail: format!("truncated packet: wanted {count} payload words"),
+                        });
+                    }
+                    for k in 0..count {
+                        crc.update(words[i + k]);
+                    }
+                    count
+                }
+                PacketHeader::Type1Write { reg, count } => {
+                    let count = count as usize;
+                    if i + count > words.len() {
+                        return Err(Error::MalformedBitstream {
+                            detail: format!("truncated packet: wanted {count} payload words"),
+                        });
+                    }
+                    match reg {
+                        ConfigReg::Far if count == 1 => {
+                            let old = FrameAddress::unpack(words[i]);
+                            let col = old.column as i64 + col_delta;
+                            if col < 0 || col as usize >= device.columns() {
+                                return Err(Error::BadFrameAddress {
+                                    detail: format!(
+                                        "relocated column {col} outside the fabric's {} columns",
+                                        device.columns()
+                                    ),
+                                });
+                            }
+                            let src_kind = device.column_kind(old.column as usize);
+                            let dst_kind = device.column_kind(col as usize);
+                            if src_kind != dst_kind {
+                                return Err(Error::BadFrameAddress {
+                                    detail: format!(
+                                        "relocation maps {src_kind:?} column {} onto {dst_kind:?} \
+                                         column {col}: frame geometry differs",
+                                        old.column
+                                    ),
+                                });
+                            }
+                            let new = FrameAddress::new(old.row, col as u32, old.minor);
+                            device.validate_frame(new)?;
+                            let packed = new.pack();
+                            words[i] = packed;
+                            crc.update(packed);
+                        }
+                        ConfigReg::Fdri => {
+                            for k in 0..count {
+                                crc.update(words[i + k]);
+                            }
+                        }
+                        ConfigReg::Cmd if count == 1 => match Command::from_value(words[i]) {
+                            Some(Command::Rcrc) => crc = CrcAccumulator::new(),
+                            Some(Command::Desync) => synced = false,
+                            _ => {}
+                        },
+                        ConfigReg::Crc if count == 1 => {
+                            words[i] = crc.value();
+                        }
+                        _ => {}
+                    }
+                    count
+                }
+            };
+            i += count;
+        }
+        let integrity = Bitstream::stream_integrity(&words);
+        Ok(Bitstream {
+            kind: self.kind,
+            idcode: self.idcode,
+            compressed: self.compressed,
+            words,
+            frames: self.frames,
+            integrity,
+        })
+    }
+}
+
 /// Builds bitstreams from frame data.
 ///
 /// # Example
@@ -730,6 +942,252 @@ mod tests {
                 prop_assert_eq!(builder.frame_count(), staged.len());
                 prop_assert_eq!(builder.build(false).frame_count(), staged.len());
                 prop_assert_eq!(builder.build(true).frame_count(), staged.len());
+            }
+        }
+    }
+
+    mod relocation {
+        use super::*;
+        use crate::ecc::FrameRepair;
+        use crate::fabric::ColumnKind;
+        use crate::icap::Icap;
+        use proptest::prelude::*;
+
+        fn clb_columns(d: &Device) -> Vec<u32> {
+            (0..d.columns())
+                .filter(|&i| d.column_kind(i) == ColumnKind::Clb)
+                .map(|i| i as u32)
+                .collect()
+        }
+
+        #[test]
+        fn footprint_reports_the_covering_span() {
+            let d = device();
+            let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+            builder
+                .add_frame(FrameAddress::new(1, 5, 0), frame_of(&d, 1))
+                .unwrap();
+            builder
+                .add_frame(FrameAddress::new(2, 8, 3), frame_of(&d, 2))
+                .unwrap();
+            let fp = builder.build(false).footprint().unwrap();
+            assert_eq!(fp.columns, vec![5, 8]);
+            assert_eq!(fp.base_column(), 5);
+            assert_eq!(fp.width(), 4);
+            assert_eq!((fp.min_row, fp.max_row), (1, 2));
+            // Compression addresses the same columns through MFW replay.
+            assert_eq!(builder.build(true).footprint().unwrap(), fp);
+        }
+
+        #[test]
+        fn footprint_of_an_empty_stream_is_an_error() {
+            let d = device();
+            let bs = BitstreamBuilder::new(&d, BitstreamKind::Partial).build(false);
+            assert!(matches!(
+                bs.footprint(),
+                Err(Error::MalformedBitstream { .. })
+            ));
+        }
+
+        #[test]
+        fn relocate_by_zero_is_the_identity() {
+            let d = device();
+            let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+            builder
+                .add_frame(FrameAddress::new(0, 2, 0), frame_of(&d, 0xAB))
+                .unwrap();
+            let bs = builder.build(true);
+            let moved = bs.relocate(&d, 0).unwrap();
+            assert_eq!(moved.words(), bs.words());
+            assert_eq!(moved.integrity(), bs.integrity());
+        }
+
+        #[test]
+        fn relocate_rejects_leaving_the_fabric() {
+            let d = device();
+            let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+            builder
+                .add_frame(FrameAddress::new(0, 2, 0), frame_of(&d, 1))
+                .unwrap();
+            let bs = builder.build(false);
+            assert!(matches!(
+                bs.relocate(&d, -3),
+                Err(Error::BadFrameAddress { .. })
+            ));
+            assert!(matches!(
+                bs.relocate(&d, d.columns() as i64),
+                Err(Error::BadFrameAddress { .. })
+            ));
+        }
+
+        #[test]
+        fn relocate_rejects_a_column_kind_change() {
+            let d = device();
+            let clbs = clb_columns(&d);
+            // Find a Clb column whose right neighbour is not Clb: shifting by
+            // one maps Clb frame geometry onto a different column kind.
+            let src = clbs
+                .iter()
+                .copied()
+                .find(|&c| {
+                    (c as usize + 1) < d.columns()
+                        && d.column_kind(c as usize + 1) != ColumnKind::Clb
+                })
+                .expect("interleaved fabric has a Clb column with a non-Clb neighbour");
+            let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+            builder
+                .add_frame(FrameAddress::new(0, src, 0), frame_of(&d, 1))
+                .unwrap();
+            let err = builder.build(false).relocate(&d, 1).unwrap_err();
+            assert!(matches!(err, Error::BadFrameAddress { .. }), "{err}");
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Relocation commutes with decompression over random regions:
+            /// relocating the MFW-compressed stream and then loading it
+            /// configures the exact same fabric state as loading the raw
+            /// relocated stream, and both match a stream built directly at
+            /// the destination. Frame counts and storage integrity survive
+            /// the move.
+            #[test]
+            fn relocate_commutes_with_decompression(
+                values in proptest::collection::vec(0u32..4, 1..16),
+                row in 0u32..7,
+                src_pick in 0usize..1000,
+                dst_pick in 0usize..1000,
+                width in 1u32..4,
+            ) {
+                let d = device();
+                let clbs = clb_columns(&d);
+                let src = clbs[src_pick % clbs.len()];
+                let dst = clbs[dst_pick % clbs.len()];
+                let delta = dst as i64 - src as i64;
+                // Every column of the span must keep its kind at the
+                // destination, or relocation (rightly) refuses.
+                prop_assume!((0..width).all(|i| {
+                    let s = src as usize + i as usize;
+                    let t = (src as i64 + i as i64 + delta) as usize;
+                    s < d.columns()
+                        && t < d.columns()
+                        && d.column_kind(s) == d.column_kind(t)
+                        && d.column_kind(s).reconfigurable()
+                }));
+                let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+                let mut shifted = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+                for (i, v) in values.iter().enumerate() {
+                    let col = src + (i as u32 % width);
+                    let minor = i as u32 / width;
+                    builder
+                        .add_frame(FrameAddress::new(row, col, minor), frame_of(&d, *v))
+                        .unwrap();
+                    shifted
+                        .add_frame(
+                            FrameAddress::new(row, (col as i64 + delta) as u32, minor),
+                            frame_of(&d, *v),
+                        )
+                        .unwrap();
+                }
+                let raw = builder.build(false).relocate(&d, delta).unwrap();
+                let compressed = builder.build(true).relocate(&d, delta).unwrap();
+                prop_assert_eq!(raw.frame_count(), values.len());
+                prop_assert_eq!(compressed.frame_count(), values.len());
+                prop_assert!(raw.verify_integrity());
+                prop_assert!(compressed.verify_integrity());
+                let mut icap_raw = Icap::new(&d);
+                let mut icap_cmp = Icap::new(&d);
+                let mut icap_direct = Icap::new(&d);
+                icap_raw.load(&raw).unwrap();
+                icap_cmp.load(&compressed).unwrap();
+                icap_direct.load(&shifted.build(false)).unwrap();
+                prop_assert!(icap_raw.memory().diff(icap_cmp.memory()).is_empty());
+                prop_assert!(icap_raw.memory().diff(icap_direct.memory()).is_empty());
+            }
+
+            /// The re-folded in-stream CRC still guards the moved stream:
+            /// any single-bit flip in a covered word of the *relocated*
+            /// bitstream fails the load with a CRC mismatch.
+            #[test]
+            fn crc_detects_any_single_bit_flip_after_relocation(
+                n_frames in 1usize..8,
+                pick in 0usize..1_000_000,
+                bit in 0u32..32,
+                dst_pick in 0usize..1000,
+            ) {
+                let d = device();
+                let fw = d.part().family().frame_words();
+                let clbs = clb_columns(&d);
+                let src = clbs[0];
+                let dst = clbs[dst_pick % clbs.len()];
+                let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+                for minor in 0..n_frames {
+                    builder.add_frame(
+                        FrameAddress::new(1, src, minor as u32),
+                        frame_of(&d, 0x5A5A_0000 + minor as u32),
+                    ).unwrap();
+                }
+                let bs = builder.build(false).relocate(&d, dst as i64 - src as i64).unwrap();
+                // Same linear single-run layout as the unmoved stream:
+                // 8 preamble words, FAR write (2), FDRI header (1), payload,
+                // then [CRC hdr, CRC, CMD hdr, DESYNC].
+                let payload = n_frames * fw;
+                prop_assert_eq!(bs.words().len(), 11 + payload + 4);
+                let k = pick % (payload + 2);
+                let index = match k {
+                    k if k == payload => bs.words().len() - 3, // the CRC word
+                    k if k == payload + 1 => 9,                // the rewritten FAR value
+                    k => 11 + k,
+                };
+                let mut words = bs.words().to_vec();
+                words[index] ^= 1 << bit;
+                let mut icap = Icap::new(&d);
+                let result = icap.load(&bs.with_words(words));
+                prop_assert!(
+                    matches!(result, Err(Error::CrcMismatch { .. }) | Err(Error::BadFrameAddress { .. })),
+                    "flip at word {} bit {} was not detected: {:?}", index, bit, result
+                );
+            }
+
+            /// The ECC shadow is in lockstep after a move: every frame a
+            /// relocated stream wrote scrubs Clean, and the configured
+            /// address count matches the frame accounting.
+            #[test]
+            fn ecc_scrubs_clean_after_relocated_load(
+                values in proptest::collection::vec(0u32..64, 1..12),
+                row in 0u32..7,
+                dst_pick in 0usize..1000,
+                compress in proptest::bool::ANY,
+            ) {
+                let d = device();
+                let clbs = clb_columns(&d);
+                let src = clbs[0];
+                let dst = clbs[dst_pick % clbs.len()];
+                let mut builder = BitstreamBuilder::new(&d, BitstreamKind::Partial);
+                for (minor, v) in values.iter().enumerate() {
+                    builder
+                        .add_frame(FrameAddress::new(row, src, minor as u32), frame_of(&d, *v))
+                        .unwrap();
+                }
+                let moved = builder.build(compress).relocate(&d, dst as i64 - src as i64).unwrap();
+                let mut icap = Icap::new(&d);
+                let report = icap.load(&moved).unwrap();
+                prop_assert_eq!(report.frames_written, values.len());
+                let addrs = icap.last_written().to_vec();
+                prop_assert_eq!(addrs.len(), values.len());
+                for addr in addrs {
+                    prop_assert_eq!(addr.column, dst);
+                    prop_assert_eq!(
+                        icap.memory_mut().scrub_frame(addr).unwrap(),
+                        FrameRepair::Clean
+                    );
+                }
+                // All-zero frames are stored as erased, so only non-zero
+                // payloads count as configured.
+                prop_assert_eq!(
+                    icap.memory().configured_addresses().len(),
+                    values.iter().filter(|&&v| v != 0).count()
+                );
             }
         }
     }

@@ -42,6 +42,51 @@ impl RegionSnapshot {
     pub fn is_empty(&self) -> bool {
         self.frames.is_empty()
     }
+
+    /// Returns a copy of this snapshot re-addressed `col_delta` columns
+    /// away, payload and check codes bit-exact.
+    ///
+    /// This is the configuration-memory half of region relocation: restore
+    /// the shifted snapshot and the ECC shadow at the destination is in the
+    /// exact state it held at the source — an upset captured mid-move stays
+    /// detectable instead of being silently re-encoded as truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadFrameAddress`] when a shifted address leaves the
+    /// fabric or lands on a column of a different kind.
+    pub fn shift_columns(&self, device: &Device, col_delta: i64) -> Result<RegionSnapshot, Error> {
+        let mut frames = BTreeMap::new();
+        for (addr, entry) in &self.frames {
+            let col = addr.column as i64 + col_delta;
+            if col < 0 || col as usize >= device.columns() {
+                return Err(Error::BadFrameAddress {
+                    detail: format!(
+                        "shifted column {col} outside the fabric's {} columns",
+                        device.columns()
+                    ),
+                });
+            }
+            let src_kind = device.column_kind(addr.column as usize);
+            let dst_kind = device.column_kind(col as usize);
+            if src_kind != dst_kind {
+                return Err(Error::BadFrameAddress {
+                    detail: format!(
+                        "shift maps {src_kind:?} column {} onto {dst_kind:?} column {col}: \
+                         frame geometry differs",
+                        addr.column
+                    ),
+                });
+            }
+            let new = FrameAddress::new(addr.row, col as u32, addr.minor);
+            device.validate_frame(new)?;
+            frames.insert(new, entry.clone());
+        }
+        Ok(RegionSnapshot {
+            frames,
+            frame_words: self.frame_words,
+        })
+    }
 }
 
 /// The frame-addressable configuration memory of a device.

@@ -23,6 +23,7 @@ use crate::sync::Arc;
 use presp_accel::catalog::AcceleratorKind;
 use presp_events::trace::ClockDomain;
 use presp_events::{Loc, SharedSink, TraceEvent};
+use presp_floorplan::{FitPolicy, RegionAllocator};
 use presp_fpga::bitstream::Bitstream;
 use presp_soc::config::TileCoord;
 use presp_soc::sim::Soc;
@@ -47,6 +48,14 @@ pub struct DeviceCore {
     /// Per-worker trace shards installed by the scheduler's sharded
     /// tracer; empty on the single-sink and deterministic paths.
     trace_shards: Vec<SharedSink>,
+    /// The amorphous-floorplanning placement authority: `None` keeps the
+    /// legacy fixed-socket behavior (bitstreams load exactly where they
+    /// were built); `Some` routes every load through footprint → lease →
+    /// relocation.
+    allocator: Option<RegionAllocator>,
+    /// Completed defragmentation moves, monotone. Compared against the
+    /// per-tile oversized watermark to attribute an admit to a repack.
+    repack_moves: u64,
 }
 
 impl fmt::Debug for DeviceCore {
@@ -83,7 +92,60 @@ impl DeviceCore {
             cache,
             stats: ManagerStats::default(),
             trace_shards: Vec::new(),
+            allocator: None,
+            repack_moves: 0,
         }
+    }
+
+    /// Switches the core from fixed sockets to amorphous floorplanning:
+    /// every subsequent load consults a [`RegionAllocator`] over the
+    /// device's frame columns and relocates its bitstream into the leased
+    /// span. Must be enabled before the first load — tiles already
+    /// configured occupy fabric the fresh allocator would hand out again.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`presp_soc::Error::RegionConflict`] when any tile has
+    /// already been loaded.
+    pub(crate) fn enable_regions(
+        &mut self,
+        policy: FitPolicy,
+        window: Option<std::ops::Range<u32>>,
+    ) -> Result<(), Error> {
+        for tile in self.soc.config().reconfigurable_tiles() {
+            if !self.soc.tile_region(tile).is_empty() {
+                return Err(Error::Soc(presp_soc::Error::RegionConflict {
+                    coord: tile,
+                    detail: "amorphous floorplanning must be enabled before the first load".into(),
+                }));
+            }
+        }
+        let device = self.soc.part().device();
+        self.allocator = Some(match window {
+            Some(range) => RegionAllocator::new_within(&device, policy, range),
+            None => RegionAllocator::new(&device, policy),
+        });
+        Ok(())
+    }
+
+    /// The region allocator, when amorphous floorplanning is enabled.
+    pub fn allocator(&self) -> Option<&RegionAllocator> {
+        self.allocator.as_ref()
+    }
+
+    /// Mutable access to the region allocator.
+    pub(crate) fn allocator_mut(&mut self) -> Option<&mut RegionAllocator> {
+        self.allocator.as_mut()
+    }
+
+    /// Completed defragmentation moves so far.
+    pub(crate) fn repack_moves(&self) -> u64 {
+        self.repack_moves
+    }
+
+    /// Records one completed defragmentation move.
+    pub(crate) fn record_repack_move(&mut self) {
+        self.repack_moves += 1;
     }
 
     /// The underlying SoC.

@@ -76,6 +76,17 @@ pub enum Error {
         /// The tile whose queue was full.
         tile: TileCoord,
     },
+    /// Amorphous floorplanning is enabled and the fabric — as currently
+    /// fragmented — has no free column span wide enough for the
+    /// bitstream's footprint. Not transient: retrying without changing
+    /// the placement (releasing leases or running the defragmenter)
+    /// cannot succeed.
+    RegionUnavailable {
+        /// The tile whose load was refused.
+        tile: TileCoord,
+        /// Columns the bitstream's footprint needs, holes included.
+        width: u32,
+    },
     /// SoC-level failure.
     Soc(presp_soc::Error),
 }
@@ -141,6 +152,13 @@ impl fmt::Display for Error {
             }
             Error::Overloaded { tile } => {
                 write!(f, "tile {tile} queue is at capacity; request shed")
+            }
+            Error::RegionUnavailable { tile, width } => {
+                write!(
+                    f,
+                    "no free region span of {width} columns for tile {tile}: \
+                     fabric too fragmented"
+                )
             }
             Error::Soc(e) => write!(f, "soc error: {e}"),
         }

@@ -28,6 +28,13 @@
 //!   core that walks configuration frames, repairs SEUs with the
 //!   per-frame ECC, and quarantines tiles with uncorrectable damage.
 //!   Model-checked alongside the scheduler.
+//! * [`defrag`] — the online defragmenter daemon: under amorphous
+//!   floorplanning (flexible-boundary regions leased from a
+//!   [`presp_floorplan`] allocator instead of fixed sockets), a
+//!   maintenance worker that quiesces the commit gate, plans the
+//!   allocator's left-slide compaction and relocates idle regions so an
+//!   oversized request refused for fragmentation can be admitted.
+//!   Model-checked alongside the scheduler.
 //! * [`supervisor`] — worker supervision: seeded software-fault plans
 //!   (worker panics, hangs, stalls) and the watchdog counters. The
 //!   scheduler's supervisor thread heals the commit-order gate by
@@ -71,6 +78,7 @@
 
 pub mod app;
 pub mod cache;
+pub mod defrag;
 pub mod device;
 pub mod driver;
 pub mod error;
@@ -84,8 +92,9 @@ pub mod sync;
 pub mod threaded;
 pub mod tile;
 
+pub use defrag::{DefragStats, Defragmenter};
 pub use error::Error;
-pub use manager::{ExecPath, ReconfigManager, RecoveryPolicy, TileHealth};
+pub use manager::{ExecPath, ReconfigManager, RecoveryPolicy, RepackReport, TileHealth};
 pub use registry::BitstreamRegistry;
 pub use scrubber::{ScrubberDaemon, ScrubberStats};
 pub use supervisor::{

@@ -33,6 +33,7 @@ use crate::registry::BitstreamRegistry;
 use crate::tile::TileState;
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::AccelOp;
+use presp_floorplan::{FitPolicy, FragmentationStats, RegionLease};
 use presp_soc::config::TileCoord;
 use presp_soc::sim::{AccelRun, ReconfigRun, ScrubReport, Soc};
 use serde::{Deserialize, Serialize};
@@ -187,6 +188,23 @@ pub struct ManagerStats {
     /// reaches the reconfiguration ledger).
     #[serde(default)]
     pub shed: u64,
+    /// Requests refused with [`Error::RegionUnavailable`] — the fabric,
+    /// as fragmented at that moment, had no free span wide enough for
+    /// the bitstream's footprint. A subset of
+    /// [`ManagerStats::rejected`], so the accounting invariant is
+    /// untouched.
+    #[serde(default)]
+    pub oversized_rejected: u64,
+    /// Reconfigurations that succeeded on a tile whose previous request
+    /// was refused for fragmentation (a subset of
+    /// [`ManagerStats::reconfigurations`]).
+    #[serde(default)]
+    pub oversized_admitted: u64,
+    /// Oversized admits where at least one defragmentation move landed
+    /// between the refusal and the admit — the repack is what created
+    /// the span (a subset of [`ManagerStats::oversized_admitted`]).
+    #[serde(default)]
+    pub repack_admitted: u64,
 }
 
 impl ManagerStats {
@@ -201,6 +219,19 @@ impl ManagerStats {
                 + self.rejected
                 + self.deadline_misses
     }
+}
+
+/// Result of one defragmentation (repack) pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepackReport {
+    /// Region moves applied (allocator and fabric in lockstep).
+    pub moves: u64,
+    /// Frames physically relocated (bookkeeping slides of never-loaded
+    /// leases move none).
+    pub frames_moved: u64,
+    /// Planned moves skipped: the owning tile was quarantined, vanished,
+    /// or refused the move.
+    pub skipped: u64,
 }
 
 /// The deterministic (virtual-time) reconfiguration manager.
@@ -349,6 +380,102 @@ impl ReconfigManager {
             .entry(tile)
             .or_insert_with(|| TileState::new(tile));
         protocol::release_quarantine(shard, &mut self.core)
+    }
+
+    /// Switches the manager from fixed sockets to amorphous
+    /// floorplanning: every subsequent load consults a
+    /// [`presp_floorplan::RegionAllocator`] over the device's frame
+    /// columns and relocates its bitstream into the leased span.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`presp_soc::Error::RegionConflict`] when any tile has
+    /// already been loaded — regions must be enabled before the first
+    /// load.
+    pub fn enable_regions(&mut self, policy: FitPolicy) -> Result<(), Error> {
+        self.core.enable_regions(policy, None)
+    }
+
+    /// [`Self::enable_regions`] restricted to the columns in `window` —
+    /// the partially reconfigurable share of the fabric, with everything
+    /// outside reserved for the static system.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::enable_regions`].
+    pub fn enable_regions_within(
+        &mut self,
+        policy: FitPolicy,
+        window: std::ops::Range<u32>,
+    ) -> Result<(), Error> {
+        self.core.enable_regions(policy, Some(window))
+    }
+
+    /// Fragmentation counters of the region allocator; `None` on the
+    /// fixed-socket path.
+    pub fn fragmentation(&self) -> Option<FragmentationStats> {
+        self.core.allocator().map(|a| a.stats())
+    }
+
+    /// The tile's live region lease, when amorphous floorplanning is
+    /// enabled and the tile has loaded at least once.
+    pub fn tile_lease(&self, tile: TileCoord) -> Option<RegionLease> {
+        self.tiles.get(&tile).and_then(|s| s.lease().cloned())
+    }
+
+    /// Runs one defragmentation pass starting no earlier than `at`:
+    /// plans the allocator's greedy left-slide compaction and executes
+    /// each move transactionally (decouple → lockstep frame/ECC/golden
+    /// move → re-couple) on the owning tile. Quarantined tiles are
+    /// never moved; their planned moves (and any move a skip
+    /// invalidated downstream) are counted as skipped rather than
+    /// failing the pass. A no-op when regions are disabled or the
+    /// fabric is already packed.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible beyond the `Result` shape shared with the
+    /// threaded path; per-move refusals are folded into
+    /// [`RepackReport::skipped`].
+    pub fn repack_at(&mut self, at: u64) -> Result<RepackReport, Error> {
+        let plan = protocol::plan_repack(&self.core);
+        let mut report = RepackReport::default();
+        for mv in &plan {
+            let owner = self
+                .tiles
+                .values()
+                .find(|s| s.lease().is_some_and(|l| l.id == mv.id))
+                .map(TileState::coord);
+            let Some(tile) = owner else {
+                report.skipped += 1;
+                continue;
+            };
+            let shard = self
+                .tiles
+                .entry(tile)
+                .or_insert_with(|| TileState::new(tile));
+            if shard.is_quarantined() {
+                report.skipped += 1;
+                continue;
+            }
+            match protocol::repack_move(shard, &mut self.core, mv, at) {
+                Ok(frames) => {
+                    report.moves += 1;
+                    report.frames_moved += frames;
+                }
+                Err(_) => report.skipped += 1,
+            }
+        }
+        let now = self.core.soc().horizon().max(at);
+        self.core.soc_mut().tracer_mut().instant(
+            presp_events::trace::ClockDomain::SocCycles,
+            now,
+            || presp_events::TraceEvent::DefragPass {
+                moves: report.moves,
+                frames: report.frames_moved,
+            },
+        );
+        Ok(report)
     }
 
     /// The underlying SoC (for inspection).
@@ -552,6 +679,20 @@ mod tests {
         for minor in 0..frames {
             b.add_frame(FrameAddress::new(0, col, minor), vec![col + minor; words])
                 .unwrap();
+        }
+        b.build(true)
+    }
+
+    /// A partial stream with `frames` frames in each of `cols`.
+    fn span_bitstream(soc: &Soc, cols: std::ops::Range<u32>, frames: u32) -> Bitstream {
+        let device = soc.part().device();
+        let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+        let words = device.part().family().frame_words();
+        for col in cols {
+            for minor in 0..frames {
+                b.add_frame(FrameAddress::new(0, col, minor), vec![col + minor; words])
+                    .unwrap();
+            }
         }
         b.build(true)
     }
@@ -815,6 +956,100 @@ mod tests {
         );
         assert_eq!(mgr.driver_events(tiles[1]).len(), 1);
         assert_eq!(mgr.active_driver(tiles[0]), Some(AcceleratorKind::Sort));
+    }
+
+    #[test]
+    fn amorphous_regions_reject_oversized_then_repack_admits() {
+        use presp_floorplan::FitPolicy;
+        use presp_fpga::fabric::ColumnKind;
+        let cfg = SocConfig::grid_reconf("amorphous", 7).unwrap();
+        let soc = Soc::new(&cfg).unwrap();
+        let tiles = cfg.reconfigurable_tiles();
+        // The recipe below is pinned to the Vc707 column interleave —
+        // assert it so a fabric-model change fails loudly here.
+        let d = soc.part().device();
+        use ColumnKind::{Bram, Clb, Dsp};
+        let expect = [Clb, Clb, Bram, Clb, Clb, Dsp, Clb, Clb, Clb, Clb, Clb];
+        for (i, kind) in expect.iter().enumerate() {
+            assert_eq!(d.column_kind(i + 1), *kind, "column {}", i + 1);
+        }
+        let mut registry = BitstreamRegistry::new();
+        for &tile in &tiles {
+            registry
+                .register(tile, AcceleratorKind::Mac, bitstream(&soc, 1, 4))
+                .unwrap();
+            registry
+                .register(tile, AcceleratorKind::Sort, bitstream(&soc, 3, 4))
+                .unwrap();
+            registry
+                .register(tile, AcceleratorKind::Gemm, span_bitstream(&soc, 7..10, 4))
+                .unwrap();
+        }
+        let mut mgr = ReconfigManager::new(soc, registry);
+        mgr.enable_regions_within(FitPolicy::FirstFit, 1..12)
+            .unwrap();
+        // Seven 1-column loads pack the window's CLB columns first-fit:
+        // bases 1, 2, 4, 5, 7, 8, 9 (columns 3 and 6 are BRAM/DSP).
+        for &t in &tiles {
+            mgr.request_reconfiguration(t, AcceleratorKind::Mac)
+                .unwrap();
+        }
+        assert_eq!(mgr.tile_lease(tiles[0]).unwrap().base, 1);
+        assert_eq!(mgr.tile_lease(tiles[6]).unwrap().base, 9);
+        // Swap the tile at column 8 onto the BRAM column: its CLB column
+        // frees, leaving holes at 8 and [10, 11].
+        mgr.request_reconfiguration(tiles[5], AcceleratorKind::Sort)
+            .unwrap();
+        assert_eq!(mgr.tile_lease(tiles[5]).unwrap().base, 3);
+        let frag = mgr.fragmentation().unwrap();
+        // Free: the DSP column 6, the vacated 8 and the tail [10, 11].
+        assert_eq!(frag.free_columns, 4);
+        assert_eq!(frag.largest_free_span, 2);
+        // Oversized: columns are free but no 3-wide CLB span exists.
+        let err = mgr.request_reconfiguration(tiles[1], AcceleratorKind::Gemm);
+        assert!(
+            matches!(err, Err(Error::RegionUnavailable { width: 3, .. })),
+            "{err:?}"
+        );
+        assert_eq!(mgr.stats().oversized_rejected, 1);
+        assert!(mgr.fragmentation().unwrap().external_fragmentation() > 0.0);
+        // The refusal left the tile's old lease (and frames) intact.
+        assert_eq!(mgr.tile_lease(tiles[1]).unwrap().base, 2);
+        // One repack move (9 → 8) heals the fragmentation.
+        let report = mgr.repack_at(mgr.makespan()).unwrap();
+        assert_eq!(report.moves, 1);
+        assert_eq!(report.skipped, 0);
+        assert!(report.frames_moved > 0);
+        assert_eq!(mgr.tile_lease(tiles[6]).unwrap().base, 8);
+        assert_eq!(mgr.fragmentation().unwrap().largest_free_span, 3);
+        // Retry: admitted into the repacked span and attributed to it.
+        mgr.request_reconfiguration(tiles[1], AcceleratorKind::Gemm)
+            .unwrap()
+            .unwrap();
+        let lease = mgr.tile_lease(tiles[1]).unwrap();
+        assert_eq!((lease.base, lease.width()), (9, 3));
+        assert!(mgr.driver_services(tiles[1], AcceleratorKind::Gemm));
+        let stats = mgr.stats();
+        assert_eq!(stats.oversized_admitted, 1);
+        assert_eq!(stats.repack_admitted, 1);
+        assert!(stats.consistent());
+    }
+
+    #[test]
+    fn enabled_regions_before_first_load_only() {
+        use presp_floorplan::FitPolicy;
+        let (mut mgr, tiles) = manager(1);
+        mgr.request_reconfiguration(tiles[0], AcceleratorKind::Mac)
+            .unwrap();
+        let err = mgr.enable_regions(FitPolicy::FirstFit);
+        assert!(matches!(
+            err,
+            Err(Error::Soc(presp_soc::Error::RegionConflict { .. }))
+        ));
+        // Repack without regions is a clean no-op.
+        let report = mgr.repack_at(0).unwrap();
+        assert_eq!(report, RepackReport::default());
+        assert!(mgr.fragmentation().is_none());
     }
 
     #[test]

@@ -18,11 +18,15 @@
 use crate::device::{loc, DeviceCore};
 use crate::error::Error;
 use crate::manager::{ExecPath, RecoveryPolicy};
+use crate::sync::Arc;
 use crate::tile::{TileHealth, TileState};
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::{AccelOp, AccelValue};
 use presp_events::trace::ClockDomain;
 use presp_events::{backoff, TraceEvent};
+use presp_floorplan::RegionMove;
+use presp_fpga::bitstream::Bitstream;
+use presp_fpga::fabric::Device;
 use presp_fpga::fault::FaultPlan;
 use presp_soc::sim::{csr, AccelRun, ReconfigRun, ScrubReport};
 
@@ -114,6 +118,12 @@ pub(crate) fn request_reconfiguration_at(
                 // Every frame of the region was rewritten (and its
                 // golden image refreshed): the tile is healthy again.
                 tile_state.set_health(TileHealth::Healthy);
+                if let Some(mark) = tile_state.take_oversized_mark() {
+                    core.stats_mut().oversized_admitted += 1;
+                    if core.repack_moves() > mark {
+                        core.stats_mut().repack_admitted += 1;
+                    }
+                }
                 core.stats_mut().reconfigurations += 1;
                 core.stats_mut().reconfig_cycles += coupled - idle;
                 return Ok(Some(ReconfigRun {
@@ -193,9 +203,196 @@ fn attempt_load(
             t
         }
     };
-    Ok(core
+    let placed = place_bitstream(tile_state, core, &bitstream, start)?;
+    Ok(core.soc_mut().reconfigure_at(tile, kind, &placed, start)?)
+}
+
+/// Amorphous-floorplanning placement: maps the fetched bitstream onto
+/// the tile's region lease, switching the lease when the footprint's
+/// column-kind pattern changed, and relocates the stream to the leased
+/// base column. The fixed-socket path (allocator disabled) returns the
+/// stream untouched.
+///
+/// Ordering is deliberate: a replacement span is allocated *before* the
+/// old one's frames are erased, so a refused allocation leaves the
+/// tile's current configuration intact (the old lease is re-seeded at
+/// its original base, which was never released to anyone else).
+fn place_bitstream(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    bitstream: &Arc<Bitstream>,
+    at: u64,
+) -> Result<Arc<Bitstream>, Error> {
+    if core.allocator().is_none() {
+        return Ok(Arc::clone(bitstream));
+    }
+    let tile = tile_state.coord();
+    let footprint = bitstream.footprint()?;
+    let device = core.soc().part().device();
+    let base = footprint.base_column();
+    let width = footprint.width();
+    if (base + width) as usize > device.columns() {
+        return Err(presp_fpga::Error::BadFrameAddress {
+            detail: format!(
+                "footprint [{base}, {}) exceeds the device's {} columns",
+                base + width,
+                device.columns()
+            ),
+        }
+        .into());
+    }
+    let pattern: Vec<_> = (base..base + width)
+        .map(|c| device.column_kind(c as usize))
+        .collect();
+    // Fast path: the live lease already provides exactly this span
+    // shape — relocate straight into it.
+    if let Some(lease) = tile_state.lease() {
+        if lease.kinds == pattern {
+            let delta = i64::from(lease.base) - i64::from(base);
+            return relocate_to(bitstream, &device, delta);
+        }
+    }
+    // Lease switch: return the old span to the allocator, claim a new
+    // one, then vacate the old frames from the fabric.
+    let old = tile_state.take_lease();
+    let allocated = match core.allocator_mut() {
+        Some(alloc) => {
+            if let Some(old) = &old {
+                alloc.release(old.id);
+            }
+            alloc.allocate(&pattern)
+        }
+        None => return Ok(Arc::clone(bitstream)),
+    };
+    match allocated {
+        Some(lease) => {
+            if old.is_some() {
+                // The lease moved: erase and retire the frames earlier
+                // loads wrote at the old base before the new span is
+                // written, keeping the tile's region a single span.
+                core.soc_mut().release_tile_region(tile, at)?;
+            }
+            let delta = i64::from(lease.base) - i64::from(base);
+            tile_state.set_lease(Some(lease));
+            relocate_to(bitstream, &device, delta)
+        }
+        None => {
+            // No free span fits. Re-seed the old lease — its span was
+            // released above and handed out to nobody since, so the
+            // reservation cannot fail — stamp the tile's oversized
+            // watermark and refuse. Deliberately not transient:
+            // retrying without repacking cannot succeed.
+            if let Some(old) = old {
+                let restored = core
+                    .allocator_mut()
+                    .and_then(|a| a.reserve_at(old.base, &old.kinds));
+                tile_state.set_lease(restored);
+            }
+            core.stats_mut().oversized_rejected += 1;
+            let mark = core.repack_moves();
+            tile_state.mark_oversized(mark);
+            Err(Error::RegionUnavailable { tile, width })
+        }
+    }
+}
+
+/// Relocates `bitstream` by `delta` columns; zero is a free clone.
+fn relocate_to(
+    bitstream: &Arc<Bitstream>,
+    device: &Device,
+    delta: i64,
+) -> Result<Arc<Bitstream>, Error> {
+    if delta == 0 {
+        return Ok(Arc::clone(bitstream));
+    }
+    Ok(Arc::new(bitstream.relocate(device, delta)?))
+}
+
+/// Plans a defragmentation pass over the live leases: the allocator's
+/// greedy left-slide compaction, in application order. Empty when
+/// amorphous floorplanning is disabled or the fabric is already packed.
+pub(crate) fn plan_repack(core: &DeviceCore) -> Vec<RegionMove> {
+    core.allocator()
+        .map(|a| a.plan_compaction())
+        .unwrap_or_default()
+}
+
+/// Executes one planned compaction move on the tile owning the lease.
+///
+/// The allocator commits first — [`presp_floorplan::region::RegionAllocator::apply_move`]
+/// validates the destination against every live lease, including
+/// frame-less ones the fabric cannot see — and is rolled back if the
+/// physical move is refused. The physical half (decouple → lockstep
+/// frame/ECC/golden move → re-couple) is skipped for a lease that never
+/// loaded; otherwise the tile's idle horizon advances past the
+/// re-couple, so the move occupies the tile's own timeline as well as
+/// the shared ICAP. Returns the number of frames physically moved.
+pub(crate) fn repack_move(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    mv: &RegionMove,
+    at: u64,
+) -> Result<u64, Error> {
+    let tile = tile_state.coord();
+    let owned = tile_state
+        .lease()
+        .is_some_and(|l| l.id == mv.id && l.base == mv.from);
+    if !owned {
+        return Err(Error::Soc(presp_soc::Error::RegionConflict {
+            coord: tile,
+            detail: format!("tile does not own lease {} at column {}", mv.id, mv.from),
+        }));
+    }
+    if let Some(alloc) = core.allocator_mut() {
+        alloc.apply_move(mv.id, mv.to).map_err(|e| {
+            Error::Soc(presp_soc::Error::RegionConflict {
+                coord: tile,
+                detail: e.to_string(),
+            })
+        })?;
+    }
+    let physical = if core.soc().tile_region(tile).is_empty() {
+        // Never loaded: a pure bookkeeping slide.
+        Ok(0)
+    } else {
+        move_frames(tile_state, core, mv.delta(), at)
+    };
+    match physical {
+        Ok(frames) => {
+            if let Some(mut lease) = tile_state.take_lease() {
+                lease.base = mv.to;
+                tile_state.set_lease(Some(lease));
+            }
+            core.record_repack_move();
+            Ok(frames)
+        }
+        Err(e) => {
+            // Roll the allocator back; the source span is still free.
+            if let Some(alloc) = core.allocator_mut() {
+                let _ = alloc.apply_move(mv.id, mv.from);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The physical half of [`repack_move`]: decouple the tile, slide its
+/// frames (with ECC and golden images in lockstep), re-couple.
+fn move_frames(
+    tile_state: &mut TileState,
+    core: &mut DeviceCore,
+    delta: i64,
+    at: u64,
+) -> Result<u64, Error> {
+    let tile = tile_state.coord();
+    let start = at.max(tile_state.idle_at());
+    let decoupled = core.soc_mut().csr_write_at(tile, csr::DECOUPLE, 1, start)?;
+    let run = core.soc_mut().move_tile_region_at(tile, delta, decoupled)?;
+    let coupled = core
         .soc_mut()
-        .reconfigure_at(tile, kind, &bitstream, start)?)
+        .csr_write_at(tile, csr::DECOUPLE, 0, run.end)?;
+    tile_state.set_idle_at(coupled);
+    Ok(run.frames as u64)
 }
 
 /// Whether a failed attempt is worth retrying: data corruption caught

@@ -80,6 +80,7 @@ use crate::sync::{Arc, StdSync, SyncFacade};
 use crate::tile::TileState;
 use presp_accel::catalog::AcceleratorKind;
 use presp_accel::{AccelInstance, AccelOp};
+use presp_floorplan::{FitPolicy, FragmentationStats};
 
 /// Reply channels of requests that coalesced into an in-flight
 /// reconfiguration, collected at completion and answered together.
@@ -149,6 +150,17 @@ pub struct SchedulerStats {
     /// Wall-clock nanoseconds workers spent inside the shard + core
     /// commit critical section, summed across workers.
     pub stage_commit_nanos: u64,
+    /// Managed columns currently unleased (amorphous floorplanning only;
+    /// zero on the fixed-socket path). Snapshotted from the allocator at
+    /// [`Scheduler::scheduler_stats`] time.
+    pub free_columns: u64,
+    /// Longest contiguous run of free managed columns at snapshot time.
+    pub largest_free_span: u64,
+    /// External-fragmentation ratio in `[0, 1]`: the share of free
+    /// columns a request sized to the largest free span cannot use
+    /// (`1 − largest_free_span / free_columns`; `0` when nothing is
+    /// free or regions are disabled).
+    pub external_fragmentation: f64,
     wait_micros: Vec<u64>,
 }
 
@@ -325,7 +337,7 @@ struct Shed<S: SyncFacade> {
 /// Commit-order gate: jobs pass in strict global ticket order, so the
 /// virtual-time critical sections replay the single-worker schedule
 /// regardless of how many workers overlap their lock-free preparation.
-struct Gate {
+pub(crate) struct Gate {
     next: u64,
     /// Tickets retired out of order (drained at shutdown while a lower
     /// ticket was still in flight).
@@ -420,14 +432,18 @@ impl<S: SyncFacade> Drop for ClaimGuard<'_, S> {
     }
 }
 
-/// State shared between submitters, the worker pool and the scrubber.
+/// State shared between submitters, the worker pool and the maintenance
+/// daemons (scrubber, defragmenter).
 pub(crate) struct Shared<S: SyncFacade> {
     pub(crate) shards: BTreeMap<TileCoord, TileShard<S>>,
     pub(crate) core: S::Mutex<DeviceCore>,
     admission: S::Mutex<Admission>,
     /// Signalled when a job is admitted or a tile becomes claimable.
     work: S::Condvar,
-    gate: S::Mutex<Gate>,
+    /// The commit-order ticket gate. `pub(crate)` for the defragmenter:
+    /// holding this mutex quiesces every worker's commit critical
+    /// section, keeping a compaction plan valid move to move.
+    pub(crate) gate: S::Mutex<Gate>,
     /// Signalled when the gate advances.
     gate_cv: S::Condvar,
     /// The boot-immutable registry, shared with the workers' lock-free
@@ -1304,9 +1320,67 @@ impl<S: SyncFacade> Scheduler<S> {
         S::lock_recover(&self.shared.core).stats()
     }
 
-    /// Wall-clock scheduling metrics. Recovers from a poisoned lock.
+    /// Wall-clock scheduling metrics, plus a fragmentation snapshot when
+    /// amorphous floorplanning is enabled. Recovers from poisoned locks.
+    /// Two-phase: the admission guard is scoped closed before the core
+    /// lock is taken, so this read path adds no `sched_admission` →
+    /// `core` lock-order edge.
     pub fn scheduler_stats(&self) -> SchedulerStats {
-        S::lock_recover(&self.shared.admission).stats.clone()
+        let mut stats = {
+            let adm = S::lock_recover(&self.shared.admission);
+            adm.stats.clone()
+        };
+        let core = S::lock_recover(&self.shared.core);
+        if let Some(frag) = core.allocator().map(|a| a.stats()) {
+            stats.free_columns = frag.free_columns as u64;
+            stats.largest_free_span = frag.largest_free_span as u64;
+            stats.external_fragmentation = frag.external_fragmentation();
+        }
+        stats
+    }
+
+    /// Switches the device core from fixed sockets to amorphous
+    /// floorplanning over the whole fabric. Must run before the first
+    /// load; see the device core's `enable_regions`.
+    ///
+    /// # Errors
+    ///
+    /// [`presp_soc::Error::RegionConflict`] when any tile already loaded.
+    pub fn enable_regions(&self, policy: FitPolicy) -> Result<(), Error> {
+        S::lock(&self.shared.core).enable_regions(policy, None)
+    }
+
+    /// [`Scheduler::enable_regions`] confined to the column window
+    /// `window` — the PR share of the fabric, with the static system
+    /// outside it.
+    ///
+    /// # Errors
+    ///
+    /// [`presp_soc::Error::RegionConflict`] when any tile already loaded.
+    pub fn enable_regions_within(
+        &self,
+        policy: FitPolicy,
+        window: std::ops::Range<u32>,
+    ) -> Result<(), Error> {
+        S::lock(&self.shared.core).enable_regions(policy, Some(window))
+    }
+
+    /// Fragmentation snapshot of the region allocator; `None` on the
+    /// fixed-socket path.
+    pub fn fragmentation(&self) -> Option<FragmentationStats> {
+        S::lock_recover(&self.shared.core)
+            .allocator()
+            .map(|a| a.stats())
+    }
+
+    /// The live region lease of `tile` (amorphous floorplanning only);
+    /// `None` for unknown tiles, unloaded tiles, or the fixed-socket
+    /// path.
+    pub fn tile_lease(&self, tile: TileCoord) -> Option<presp_floorplan::RegionLease> {
+        self.shared
+            .shards
+            .get(&tile)
+            .and_then(|shard| S::lock(&shard.state).lease().cloned())
     }
 
     /// Hit/miss counters of the verified-bitstream cache.

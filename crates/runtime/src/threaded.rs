@@ -253,6 +253,43 @@ impl<S: SyncFacade> ThreadedManager<S> {
         self.sched.cache_stats()
     }
 
+    /// Switches the device core from fixed sockets to amorphous
+    /// floorplanning over the whole fabric — see
+    /// [`crate::scheduler::Scheduler::enable_regions`]. Must run before
+    /// the first load.
+    ///
+    /// # Errors
+    ///
+    /// [`presp_soc::Error::RegionConflict`] when any tile already loaded.
+    pub fn enable_regions(&self, policy: presp_floorplan::FitPolicy) -> Result<(), Error> {
+        self.sched.enable_regions(policy)
+    }
+
+    /// [`ThreadedManager::enable_regions`] confined to the column window
+    /// `window` — the PR share of the fabric.
+    ///
+    /// # Errors
+    ///
+    /// [`presp_soc::Error::RegionConflict`] when any tile already loaded.
+    pub fn enable_regions_within(
+        &self,
+        policy: presp_floorplan::FitPolicy,
+        window: std::ops::Range<u32>,
+    ) -> Result<(), Error> {
+        self.sched.enable_regions_within(policy, window)
+    }
+
+    /// Fragmentation snapshot of the region allocator; `None` on the
+    /// fixed-socket path.
+    pub fn fragmentation(&self) -> Option<presp_floorplan::FragmentationStats> {
+        self.sched.fragmentation()
+    }
+
+    /// The live region lease of `tile` (amorphous floorplanning only).
+    pub fn tile_lease(&self, tile: TileCoord) -> Option<presp_floorplan::RegionLease> {
+        self.sched.tile_lease(tile)
+    }
+
     /// Latest completion cycle on the shared virtual clock — the
     /// application makespan across everything the workers dispatched.
     /// OS-thread interleaving varies between runs; this virtual-time

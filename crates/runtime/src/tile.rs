@@ -20,6 +20,7 @@
 
 use crate::driver::DriverEvent;
 use presp_accel::catalog::AcceleratorKind;
+use presp_floorplan::RegionLease;
 use presp_soc::config::TileCoord;
 
 /// Configuration-memory health of one reconfigurable tile, as tracked by
@@ -59,6 +60,17 @@ pub struct TileState {
     health: TileHealth,
     quarantined: bool,
     failure_streak: u32,
+    /// The tile's live region lease under amorphous floorplanning;
+    /// `None` on the fixed-socket path (regions disabled) or before the
+    /// first load. The lease's base/kinds mirror the allocator's copy in
+    /// [`crate::device::DeviceCore`] — both mutate only through the
+    /// protocol functions, under the same locks.
+    lease: Option<RegionLease>,
+    /// Repack-moves watermark stamped when a load was refused for lack
+    /// of a free span ([`crate::error::Error::RegionUnavailable`]);
+    /// cleared on the next successful load, which is then counted as an
+    /// oversized admit (and a repack admit when the watermark moved).
+    oversized_mark: Option<u64>,
 }
 
 impl TileState {
@@ -72,6 +84,8 @@ impl TileState {
             health: TileHealth::Healthy,
             quarantined: false,
             failure_streak: 0,
+            lease: None,
+            oversized_mark: None,
         }
     }
 
@@ -182,6 +196,32 @@ impl TileState {
     /// Clears the failure streak (after a successful load).
     pub fn clear_failures(&mut self) {
         self.failure_streak = 0;
+    }
+
+    /// The tile's live region lease (amorphous floorplanning only).
+    pub fn lease(&self) -> Option<&RegionLease> {
+        self.lease.as_ref()
+    }
+
+    /// Installs (or clears) the tile's region lease.
+    pub(crate) fn set_lease(&mut self, lease: Option<RegionLease>) {
+        self.lease = lease;
+    }
+
+    /// Takes the tile's region lease, leaving `None`.
+    pub(crate) fn take_lease(&mut self) -> Option<RegionLease> {
+        self.lease.take()
+    }
+
+    /// Stamps the oversized-rejection watermark with the device's current
+    /// repack-move count.
+    pub(crate) fn mark_oversized(&mut self, repack_moves: u64) {
+        self.oversized_mark = Some(repack_moves);
+    }
+
+    /// Takes the oversized watermark (cleared on a successful load).
+    pub(crate) fn take_oversized_mark(&mut self) -> Option<u64> {
+        self.oversized_mark.take()
     }
 }
 

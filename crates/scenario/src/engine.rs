@@ -25,6 +25,7 @@ use presp_events::MemorySink;
 use presp_fpga::bitstream::{Bitstream, BitstreamBuilder, BitstreamKind};
 use presp_fpga::fault::{FaultPlan, InjectedFaults, SplitMix64};
 use presp_fpga::frame::FrameAddress;
+use presp_runtime::defrag::Defragmenter;
 use presp_runtime::error::Error;
 use presp_runtime::manager::ExecPath;
 use presp_runtime::registry::BitstreamRegistry;
@@ -40,6 +41,10 @@ use std::fmt::Write as _;
 /// the same one the `stress_dpr` threaded harness uses, so ported
 /// scenarios replay the identical schedule.
 const INTERLEAVE_SALT: u64 = 0xD47E_D47E_D47E_D47E;
+
+/// Domain-separation constant for the fragment-churn kind draw, so the
+/// churn stream is independent of the submitter interleaving stream.
+const CHURN_SALT: u64 = 0xF4A6_F4A6_F4A6_F4A6;
 
 /// Everything deterministic observed from one `(seed, workers)` run.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +137,35 @@ fn column_base(kind: CatalogKind) -> u32 {
     }
 }
 
+/// A deeper partial bitstream: `frames` minor frames in one column.
+/// Region workloads use multi-frame footprints so relocation moves a
+/// measurable number of frames.
+fn deep_bitstream(soc: &Soc, col: u32, frames: u32) -> Bitstream {
+    let device = soc.part().device();
+    let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+    let words = device.part().family().frame_words();
+    for minor in 0..frames {
+        b.add_frame(FrameAddress::new(0, col, minor), vec![col + minor; words])
+            .expect("canonical frame address is in range");
+    }
+    b.build(true)
+}
+
+/// A column-spanning partial bitstream: the wide (multi-column) GEMM
+/// footprint the region workloads use to provoke fragmentation refusals.
+fn span_bitstream(soc: &Soc, cols: std::ops::Range<u32>, frames: u32) -> Bitstream {
+    let device = soc.part().device();
+    let mut b = BitstreamBuilder::new(&device, BitstreamKind::Partial);
+    let words = device.part().family().frame_words();
+    for col in cols {
+        for minor in 0..frames {
+            b.add_frame(FrameAddress::new(0, col, minor), vec![col + minor; words])
+                .expect("canonical frame address is in range");
+        }
+    }
+    b.build(true)
+}
+
 /// Operation `j` of logical client `t`'s script: cycles through the
 /// catalog, with CPU-recomputable expected values. With the full
 /// `[mac, sort]` catalog and the `(t + j) % 2` selector this is exactly
@@ -174,15 +208,18 @@ struct DriveTally {
     overloaded: u64,
     deadline_missed: u64,
     final_sweep_dirty: u64,
+    region_rejections: u64,
 }
 
 impl DriveTally {
-    /// Folds an error verdict in: admission refusals and deadline
-    /// cancellations are *answered* requests, not lost ones.
+    /// Folds an error verdict in: admission refusals, deadline
+    /// cancellations and fragmentation refusals are *answered* requests,
+    /// not lost ones.
     fn record_error(&mut self, e: &Error) {
         match e {
             Error::Overloaded { .. } => self.overloaded += 1,
             Error::DeadlineExceeded { .. } => self.deadline_missed += 1,
+            Error::RegionUnavailable { .. } => self.region_rejections += 1,
             _ => self.lost_requests += 1,
         }
     }
@@ -227,15 +264,38 @@ fn run_cell(
     soc.attach_tracer(sink.clone());
     let tiles = cfg.reconfigurable_tiles();
     let mut registry = BitstreamRegistry::new();
-    for (i, &tile) in tiles.iter().enumerate() {
-        for &kind in &spec.catalog {
+    let region_workload = matches!(
+        spec.workload,
+        WorkloadSpec::DefragProbe | WorkloadSpec::FragmentChurn { .. }
+    );
+    if region_workload {
+        // The amorphous recipe: 1-column MAC (CLB), 1-column sort (BRAM)
+        // and the 3-column GEMM span, four frames deep, identical on
+        // every tile — with regions enabled the allocator relocates each
+        // load to its leased base, so the registered columns only fix
+        // the footprint shape.
+        for &tile in &tiles {
             registry
-                .register(
-                    tile,
-                    kind_of(kind),
-                    bitstream(&soc, column_base(kind) + i as u32),
-                )
+                .register(tile, AcceleratorKind::Mac, deep_bitstream(&soc, 1, 4))
                 .expect("tile/kind pairs are unique");
+            registry
+                .register(tile, AcceleratorKind::Sort, deep_bitstream(&soc, 3, 4))
+                .expect("tile/kind pairs are unique");
+            registry
+                .register(tile, AcceleratorKind::Gemm, span_bitstream(&soc, 7..10, 4))
+                .expect("tile/kind pairs are unique");
+        }
+    } else {
+        for (i, &tile) in tiles.iter().enumerate() {
+            for &kind in &spec.catalog {
+                registry
+                    .register(
+                        tile,
+                        kind_of(kind),
+                        bitstream(&soc, column_base(kind) + i as u32),
+                    )
+                    .expect("tile/kind pairs are unique");
+            }
         }
     }
     let manager: ThreadedManager = ThreadedManager::spawn_with_config(
@@ -245,6 +305,14 @@ fn run_cell(
         workers,
         spec.cache_capacity,
     );
+    if spec.regions.enabled {
+        match spec.regions.window {
+            Some((lo, hi)) => manager.enable_regions_within(spec.regions.policy, lo..hi),
+            None => manager.enable_regions(spec.regions.policy),
+        }
+        .expect("region window validated at parse names managed columns");
+    }
+    let defrag = spec.regions.defrag.then(|| Defragmenter::attach(&manager));
     if any_worker_fault_configured(spec) {
         if spec.worker_faults.panic_rate > 0.0 {
             install_quiet_panic_hook();
@@ -279,6 +347,12 @@ fn run_cell(
             burst,
             pin_sort_len,
         } => drive_overload_burst(&manager, &tiles, burst, pin_sort_len, &mut tally),
+        WorkloadSpec::DefragProbe => {
+            drive_defrag_probe(&manager, defrag.as_ref(), &tiles, &mut tally)
+        }
+        WorkloadSpec::FragmentChurn { rounds } => {
+            drive_fragment_churn(seed, &manager, defrag.as_ref(), &tiles, rounds, &mut tally)
+        }
     }
 
     // Final sweep: drain whatever struck during the storm, disarm the
@@ -296,6 +370,10 @@ fn run_cell(
 
     let scrubber_stats = scrubber.as_ref().map(|d| d.stats());
     if let Some(daemon) = scrubber {
+        daemon.shutdown();
+    }
+    let defrag_stats = defrag.as_ref().map(|d| d.stats());
+    if let Some(daemon) = defrag {
         daemon.shutdown();
     }
     // Snapshot only after shutdown joins the workers: a blocking
@@ -337,6 +415,13 @@ fn run_cell(
     stats.insert("scrub_quarantines", mgr_stats.scrub_quarantines);
     stats.insert("deadline_misses", mgr_stats.deadline_misses);
     stats.insert("shed", mgr_stats.shed);
+    stats.insert("oversized_rejected", mgr_stats.oversized_rejected);
+    stats.insert("oversized_admitted", mgr_stats.oversized_admitted);
+    stats.insert("repack_admitted", mgr_stats.repack_admitted);
+    let defrag = defrag_stats.unwrap_or_default();
+    stats.insert("defrag_passes", defrag.passes);
+    stats.insert("defrag_moves", defrag.moves);
+    stats.insert("frames_moved", defrag.frames_moved);
     stats.insert("worker_deaths", sup_stats.worker_deaths);
     stats.insert("worker_respawns", sup_stats.worker_respawns);
     stats.insert("redispatches", sup_stats.redispatches);
@@ -371,6 +456,7 @@ fn run_cell(
     stats.insert("deadline_cancellations", tally.deadline_missed);
     stats.insert("quarantined_tiles", quarantined.len() as u64);
     stats.insert("final_sweep_dirty", tally.final_sweep_dirty);
+    stats.insert("region_rejections", tally.region_rejections);
 
     (
         RunObservation {
@@ -557,6 +643,83 @@ fn drive_overload_burst(
     }
 }
 
+/// The deterministic fragmentation probe — the amorphous floorplanning
+/// recipe driven end to end through the threaded scheduler. Seven
+/// 1-column MAC loads pack the region window, one BRAM-sort swap opens
+/// two non-adjacent holes, and the 3-column GEMM request is refused for
+/// fragmentation (`region_rejections` and the manager's
+/// `oversized_rejected` both record it). With a defragmenter attached,
+/// one synchronous repack pass slides the fragmented leases left and the
+/// retry must be admitted (`repack_admitted`); without one the request
+/// stays refused — the same spec with `regions.defrag` toggled proves
+/// both directions.
+fn drive_defrag_probe(
+    manager: &ThreadedManager,
+    defrag: Option<&Defragmenter>,
+    tiles: &[TileCoord],
+    tally: &mut DriveTally,
+) {
+    let reconfigure = |tile, kind, tally: &mut DriveTally| {
+        tally.submitted += 1;
+        match manager.reconfigure_blocking(tile, kind) {
+            Ok(()) => tally.completed_ok += 1,
+            Err(e) => tally.record_error(&e),
+        }
+    };
+    for &tile in &tiles[..7] {
+        reconfigure(tile, AcceleratorKind::Mac, tally);
+    }
+    reconfigure(tiles[5], AcceleratorKind::Sort, tally);
+    // Free columns exist now, but no 3-wide span: the wide request is
+    // refused at admission.
+    reconfigure(tiles[1], AcceleratorKind::Gemm, tally);
+    if let Some(daemon) = defrag {
+        let _ = daemon.repack_blocking();
+        reconfigure(tiles[1], AcceleratorKind::Gemm, tally);
+    }
+}
+
+/// Seeded region churn: every round each tile draws MAC / sort / GEMM
+/// from a seeded stream and reconfigures to it, fragmenting the window
+/// as 1- and 3-column leases come and go. A fragmentation refusal
+/// triggers one repack-and-retry when a defragmenter is attached; the
+/// retry's verdict answers the original request either way.
+fn drive_fragment_churn(
+    seed: u64,
+    manager: &ThreadedManager,
+    defrag: Option<&Defragmenter>,
+    tiles: &[TileCoord],
+    rounds: usize,
+    tally: &mut DriveTally,
+) {
+    const KINDS: [AcceleratorKind; 3] = [
+        AcceleratorKind::Mac,
+        AcceleratorKind::Sort,
+        AcceleratorKind::Gemm,
+    ];
+    let mut churn = SplitMix64::new(seed ^ CHURN_SALT);
+    for _ in 0..rounds {
+        for &tile in tiles {
+            let kind = KINDS[churn.below(KINDS.len() as u64) as usize];
+            tally.submitted += 1;
+            match manager.reconfigure_blocking(tile, kind) {
+                Ok(()) => tally.completed_ok += 1,
+                Err(refusal @ Error::RegionUnavailable { .. }) => match defrag {
+                    Some(daemon) => {
+                        let _ = daemon.repack_blocking();
+                        match manager.reconfigure_blocking(tile, kind) {
+                            Ok(()) => tally.completed_ok += 1,
+                            Err(e) => tally.record_error(&e),
+                        }
+                    }
+                    None => tally.record_error(&refusal),
+                },
+                Err(e) => tally.record_error(&e),
+            }
+        }
+    }
+}
+
 /// Runs the full `(seed, workers)` matrix of a spec.
 pub fn observe(spec: &ScenarioSpec) -> ScenarioObservations {
     let mut runs = Vec::new();
@@ -641,14 +804,16 @@ fn evaluate(
             match runs.iter().find(|r| {
                 let answered = r.stats["completed_ok"]
                     + r.stats["overloaded_rejections"]
-                    + r.stats["deadline_cancellations"];
+                    + r.stats["deadline_cancellations"]
+                    + r.stats["region_rejections"];
                 r.stats["lost_requests"] != 0 || answered != r.stats["submitted"]
             }) {
                 None => pass(
                     "no_lost_requests",
                     format!(
                         "all {} submitted operations were answered \
-                         (completed, shed, or deadline-cancelled)",
+                         (completed, shed, deadline-cancelled, or refused \
+                         for fragmentation)",
                         total(runs, "submitted")
                     ),
                     first_seed,
@@ -661,7 +826,8 @@ fn evaluate(
                         r.workers,
                         r.stats["completed_ok"]
                             + r.stats["overloaded_rejections"]
-                            + r.stats["deadline_cancellations"],
+                            + r.stats["deadline_cancellations"]
+                            + r.stats["region_rejections"],
                         r.stats["submitted"],
                         r.stats["lost_requests"]
                     ),
@@ -1110,6 +1276,74 @@ mod tests {
             r.stats["completed_ok"] + r.stats["overloaded_rejections"],
             r.stats["submitted"],
             "every burst request is answered: completed or shed"
+        );
+    }
+
+    #[test]
+    fn defrag_probe_turns_reject_into_admit() {
+        let verdict = run(&spec(
+            r#"{
+                "name": "engine_defrag",
+                "fabric": {"soc_name": "engine-defrag", "reconf_tiles": 7},
+                "catalog": ["mac", "sort"],
+                "seeds": {"count": 1},
+                "workers": [1, 2],
+                "regions": {"enabled": true, "policy": "first_fit",
+                            "window": [1, 12], "defrag": true},
+                "workload": {"kind": "defrag_probe"},
+                "assertions": [
+                    {"check": "stats_consistent"},
+                    {"check": "no_lost_requests"},
+                    {"check": "same_seed_trace_identical"},
+                    {"check": "outcome_equality_across_workers"},
+                    {"check": "stat_eq", "stat": "oversized_rejected", "value": 2},
+                    {"check": "stat_eq", "stat": "repack_admitted", "value": 2},
+                    {"check": "stat_eq", "stat": "defrag_moves", "value": 2},
+                    {"check": "trace_contains", "event": "defrag.pass"},
+                    {"check": "trace_contains", "event": "region.moved"}
+                ]
+            }"#,
+        ));
+        assert!(
+            verdict.passed(),
+            "{:#?}",
+            verdict
+                .results
+                .iter()
+                .filter(|r| !r.passed)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn defrag_probe_without_defragmenter_stays_refused() {
+        let verdict = run(&spec(
+            r#"{
+                "name": "engine_defrag_off",
+                "fabric": {"soc_name": "engine-defrag-off", "reconf_tiles": 7},
+                "catalog": ["mac", "sort"],
+                "seeds": {"count": 1},
+                "regions": {"enabled": true, "window": [1, 12]},
+                "workload": {"kind": "defrag_probe"},
+                "assertions": [
+                    {"check": "stats_consistent"},
+                    {"check": "no_lost_requests"},
+                    {"check": "stat_eq", "stat": "oversized_rejected", "value": 1},
+                    {"check": "stat_eq", "stat": "oversized_admitted", "value": 0},
+                    {"check": "stat_eq", "stat": "repack_admitted", "value": 0},
+                    {"check": "stat_eq", "stat": "defrag_passes", "value": 0},
+                    {"check": "trace_absent", "event": "defrag.pass"}
+                ]
+            }"#,
+        ));
+        assert!(
+            verdict.passed(),
+            "{:#?}",
+            verdict
+                .results
+                .iter()
+                .filter(|r| !r.passed)
+                .collect::<Vec<_>>()
         );
     }
 

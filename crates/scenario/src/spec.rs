@@ -15,6 +15,7 @@
 //! in `tests/parser_roundtrip.rs`).
 
 use presp_events::json::{self, JsonValue};
+use presp_floorplan::FitPolicy;
 use presp_fpga::fault::FaultConfig;
 use presp_runtime::manager::{OverloadPolicy, RecoveryPolicy};
 use presp_runtime::supervisor::WorkerFaultConfig;
@@ -100,6 +101,24 @@ pub struct ScrubberSpec {
     pub final_sweep: bool,
 }
 
+/// Amorphous-floorplanning policy for the run: flexible-boundary
+/// regions leased from the [`presp_floorplan`] allocator instead of
+/// fixed sockets, with an optional online defragmenter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionsSpec {
+    /// Whether admission goes through the dynamic region allocator.
+    pub enabled: bool,
+    /// Span-selection policy.
+    pub policy: FitPolicy,
+    /// Reconfigurable column window `[lo, hi)`; `None` manages every
+    /// reconfigurable column of the device.
+    pub window: Option<(u32, u32)>,
+    /// Whether a [`presp_runtime::defrag::Defragmenter`] is attached —
+    /// and whether a request refused for fragmentation is retried after
+    /// one synchronous repack pass.
+    pub defrag: bool,
+}
+
 /// The workload the engine drives through the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadSpec {
@@ -136,6 +155,25 @@ pub enum WorkloadSpec {
         burst: usize,
         /// Length of the worker-pinning sort.
         pin_sort_len: usize,
+    },
+    /// The deterministic fragmentation probe: seven 1-column loads pack
+    /// the region window, one swap opens two non-adjacent holes, and a
+    /// 3-column GEMM request is refused for fragmentation. With
+    /// `regions.defrag` on, one synchronous repack pass runs and the
+    /// retry must be admitted; with it off, the request stays refused.
+    /// Requires `regions.enabled`, a window, at least seven tiles and
+    /// both catalog kinds (the engine registers the wide GEMM bitstream
+    /// itself).
+    DefragProbe,
+    /// Seeded region churn: every round each tile draws an accelerator
+    /// (1-column MAC, 1-column BRAM sort, 3-column GEMM) from a seeded
+    /// stream and reconfigures to it, fragmenting the window; a request
+    /// refused for fragmentation triggers one repack-and-retry when
+    /// `regions.defrag` is on. Requires `regions.enabled` and both
+    /// catalog kinds.
+    FragmentChurn {
+        /// Churn rounds (each round issues one draw per tile).
+        rounds: usize,
     },
 }
 
@@ -237,6 +275,14 @@ pub const STAT_KEYS: &[&str] = &[
     "scrub_quarantines",
     "deadline_misses",
     "shed",
+    // Amorphous-floorplanning accounting (ManagerStats)
+    "oversized_rejected",
+    "oversized_admitted",
+    "repack_admitted",
+    // Defragmenter counters
+    "defrag_passes",
+    "defrag_moves",
+    "frames_moved",
     // SupervisorStats
     "worker_deaths",
     "worker_respawns",
@@ -276,6 +322,7 @@ pub const STAT_KEYS: &[&str] = &[
     "deadline_cancellations",
     "quarantined_tiles",
     "final_sweep_dirty",
+    "region_rejections",
 ];
 
 /// A complete declarative scenario.
@@ -305,6 +352,8 @@ pub struct ScenarioSpec {
     pub policy: RecoveryPolicy,
     /// Scrubber policy.
     pub scrubber: ScrubberSpec,
+    /// Amorphous-floorplanning policy.
+    pub regions: RegionsSpec,
     /// The workload mix.
     pub workload: WorkloadSpec,
     /// The checks that decide pass/fail.
@@ -652,6 +701,66 @@ fn parse_scrubber(doc: &JsonValue) -> Result<ScrubberSpec, ScenarioError> {
     })
 }
 
+/// The JSON token of a fit policy.
+fn fit_token(policy: FitPolicy) -> &'static str {
+    match policy {
+        FitPolicy::FirstFit => "first_fit",
+        FitPolicy::BestFit => "best_fit",
+    }
+}
+
+fn parse_regions(doc: &JsonValue) -> Result<RegionsSpec, ScenarioError> {
+    let Some(regions) = doc.get("regions") else {
+        return Ok(RegionsSpec::default());
+    };
+    reject_unknown_keys(
+        regions,
+        "'regions'",
+        &["enabled", "policy", "window", "defrag"],
+    )?;
+    let ctx = "'regions'";
+    let policy = match regions.get("policy") {
+        None => FitPolicy::default(),
+        Some(JsonValue::String(s)) => match s.as_str() {
+            "first_fit" => FitPolicy::FirstFit,
+            "best_fit" => FitPolicy::BestFit,
+            other => {
+                return err(format!(
+                    "unknown 'regions.policy' value '{other}' \
+                     (expected one of: first_fit, best_fit)"
+                ))
+            }
+        },
+        Some(_) => return err("'policy' in 'regions' must be a string"),
+    };
+    let window = match regions.get("window") {
+        None => None,
+        Some(JsonValue::Array(items)) => {
+            let bounds: Option<Vec<u32>> = items
+                .iter()
+                .map(|v| v.as_usize().map(|n| n as u32))
+                .collect();
+            match bounds.as_deref() {
+                Some([lo, hi]) if lo < hi => Some((*lo, *hi)),
+                _ => {
+                    return err("'regions.window' must be a two-element array [lo, hi] \
+                         of column indices with lo < hi")
+                }
+            }
+        }
+        Some(_) => {
+            return err("'regions.window' must be a two-element array [lo, hi] \
+                 of column indices with lo < hi")
+        }
+    };
+    Ok(RegionsSpec {
+        enabled: opt_bool(regions, ctx, "enabled", false)?,
+        policy,
+        window,
+        defrag: opt_bool(regions, ctx, "defrag", false)?,
+    })
+}
+
 fn parse_workload(doc: &JsonValue) -> Result<WorkloadSpec, ScenarioError> {
     let Some(workload) = doc.get("workload") else {
         return err("missing required key 'workload' at the top level");
@@ -713,9 +822,24 @@ fn parse_workload(doc: &JsonValue) -> Result<WorkloadSpec, ScenarioError> {
                 pin_sort_len: pin,
             })
         }
+        "defrag_probe" => {
+            reject_unknown_keys(workload, "'workload'", &["kind"])?;
+            Ok(WorkloadSpec::DefragProbe)
+        }
+        "fragment_churn" => {
+            reject_unknown_keys(workload, "'workload'", &["kind", "rounds"])?;
+            let rounds = get_usize(workload, "'workload'", "rounds")?;
+            if !(1..=1_000).contains(&rounds) {
+                return err(format!(
+                    "'workload.rounds' must be between 1 and 1000 (got {rounds})"
+                ));
+            }
+            Ok(WorkloadSpec::FragmentChurn { rounds })
+        }
         other => err(format!(
             "unknown workload kind '{other}' \
-             (expected one of: blocking, coalesce_burst, overload_burst)"
+             (expected one of: blocking, coalesce_burst, overload_burst, \
+             defrag_probe, fragment_churn)"
         )),
     }
 }
@@ -806,6 +930,7 @@ const TOP_KEYS: &[&str] = &[
     "worker_faults",
     "policy",
     "scrubber",
+    "regions",
     "workload",
     "assertions",
 ];
@@ -853,6 +978,7 @@ impl ScenarioSpec {
         let worker_faults = parse_worker_faults(doc)?;
         let policy = parse_policy(doc)?;
         let scrubber = parse_scrubber(doc)?;
+        let regions = parse_regions(doc)?;
         let workload = parse_workload(doc)?;
 
         let Some(assertions_value) = doc.get("assertions") else {
@@ -883,6 +1009,7 @@ impl ScenarioSpec {
             worker_faults,
             policy,
             scrubber,
+            regions,
             workload,
             assertions,
         };
@@ -925,6 +1052,53 @@ impl ScenarioSpec {
             {
                 return err(
                     "workload 'overload_burst' requires both 'mac' and 'sort' in 'catalog'",
+                );
+            }
+        }
+        if self.regions.defrag && !self.regions.enabled {
+            return err(
+                "\"regions\": {\"defrag\": true} requires \"enabled\": true — \
+                 the defragmenter repacks allocator leases, which only exist \
+                 under amorphous floorplanning",
+            );
+        }
+        if let WorkloadSpec::DefragProbe = self.workload {
+            if !self.regions.enabled {
+                return err(
+                    "workload 'defrag_probe' requires \"regions\": {\"enabled\": true} — \
+                     the probe exercises the dynamic region allocator",
+                );
+            }
+            if self.regions.window.is_none() {
+                return err(
+                    "workload 'defrag_probe' requires 'regions.window' (e.g. [1, 12]) — \
+                     the packing recipe is calibrated to an 11-column window",
+                );
+            }
+            if self.fabric.reconf_tiles < 7 {
+                return err(
+                    "workload 'defrag_probe' requires 'fabric.reconf_tiles' >= 7 \
+                     (seven 1-column loads pack the window before the wide request)",
+                );
+            }
+            if !self.catalog.contains(&CatalogKind::Mac)
+                || !self.catalog.contains(&CatalogKind::Sort)
+            {
+                return err("workload 'defrag_probe' requires both 'mac' and 'sort' in 'catalog'");
+            }
+        }
+        if let WorkloadSpec::FragmentChurn { .. } = self.workload {
+            if !self.regions.enabled {
+                return err(
+                    "workload 'fragment_churn' requires \"regions\": {\"enabled\": true} — \
+                     churn only fragments when admission leases flexible regions",
+                );
+            }
+            if !self.catalog.contains(&CatalogKind::Mac)
+                || !self.catalog.contains(&CatalogKind::Sort)
+            {
+                return err(
+                    "workload 'fragment_churn' requires both 'mac' and 'sort' in 'catalog'",
                 );
             }
         }
@@ -996,6 +1170,11 @@ impl ScenarioSpec {
                 ("kind", s("overload_burst")),
                 ("burst", n(*burst as u64)),
                 ("pin_sort_len", n(*pin_sort_len as u64)),
+            ]),
+            WorkloadSpec::DefragProbe => obj(vec![("kind", s("defrag_probe"))]),
+            WorkloadSpec::FragmentChurn { rounds } => obj(vec![
+                ("kind", s("fragment_churn")),
+                ("rounds", n(*rounds as u64)),
             ]),
         };
 
@@ -1128,6 +1307,17 @@ impl ScenarioSpec {
                     ("final_sweep", JsonValue::Bool(self.scrubber.final_sweep)),
                 ]),
             ),
+            ("regions", {
+                let mut fields = vec![
+                    ("enabled", JsonValue::Bool(self.regions.enabled)),
+                    ("policy", s(fit_token(self.regions.policy))),
+                ];
+                if let Some((lo, hi)) = self.regions.window {
+                    fields.push(("window", JsonValue::Array(vec![n(lo as u64), n(hi as u64)])));
+                }
+                fields.push(("defrag", JsonValue::Bool(self.regions.defrag)));
+                obj(fields)
+            }),
             ("workload", workload),
             (
                 "assertions",
@@ -1167,6 +1357,48 @@ mod tests {
         assert_eq!(spec.faults, FaultConfig::default());
         assert_eq!(spec.policy, RecoveryPolicy::default());
         assert!(!spec.scrubber.enabled);
+    }
+
+    #[test]
+    fn regions_section_parses_and_roundtrips() {
+        let doc = minimal().replace(
+            "\"assertions\"",
+            r#""regions": {"enabled": true, "policy": "best_fit",
+                          "window": [1, 12], "defrag": true},
+            "assertions""#,
+        );
+        let spec = ScenarioSpec::parse(&doc).unwrap();
+        assert!(spec.regions.enabled);
+        assert_eq!(spec.regions.policy, FitPolicy::BestFit);
+        assert_eq!(spec.regions.window, Some((1, 12)));
+        assert!(spec.regions.defrag);
+        let round = ScenarioSpec::parse(&spec.serialize()).unwrap();
+        assert_eq!(spec, round);
+    }
+
+    #[test]
+    fn defrag_workloads_parse_with_their_envelope() {
+        let doc = minimal()
+            .replace("\"reconf_tiles\": 2", "\"reconf_tiles\": 7")
+            .replace(
+                "\"assertions\"",
+                "\"regions\": {\"enabled\": true, \"window\": [1, 12], \
+                 \"defrag\": true}, \"assertions\"",
+            )
+            .replace(
+                "{\"kind\": \"blocking\", \"clients\": 2, \"ops_per_client\": 3}",
+                "{\"kind\": \"defrag_probe\"}",
+            );
+        let spec = ScenarioSpec::parse(&doc).unwrap();
+        assert_eq!(spec.workload, WorkloadSpec::DefragProbe);
+        let churn = doc.replace(
+            "{\"kind\": \"defrag_probe\"}",
+            "{\"kind\": \"fragment_churn\", \"rounds\": 6}",
+        );
+        let spec = ScenarioSpec::parse(&churn).unwrap();
+        assert_eq!(spec.workload, WorkloadSpec::FragmentChurn { rounds: 6 });
+        let round = ScenarioSpec::parse(&spec.serialize()).unwrap();
+        assert_eq!(spec, round);
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! kinds, every assertion shape, optional sections present and absent —
 //! within the parser's own validity envelope.
 
+use presp_floorplan::FitPolicy;
 use presp_fpga::fault::FaultConfig;
 use presp_runtime::manager::{OverloadPolicy, RecoveryPolicy};
 use presp_runtime::supervisor::WorkerFaultConfig;
 use presp_scenario::spec::{
-    Assertion, CatalogKind, FabricSpec, ScenarioSpec, ScrubberSpec, SeedSpec, WorkloadSpec,
+    Assertion, CatalogKind, FabricSpec, RegionsSpec, ScenarioSpec, ScrubberSpec, SeedSpec,
+    WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -59,6 +61,9 @@ proptest! {
         wf_rate_n in 0u64..21,
         wf_stall_max in 0u64..200,
         wf_budget in 0u64..5,
+        regions_sel in 0u64..4,
+        win_lo in 1u32..5,
+        win_width in 2u32..9,
     ) {
         // Coalesce-burst validity demands a single worker and a mac+sort
         // catalog; everything else roams freely.
@@ -113,6 +118,24 @@ proptest! {
             enabled: scrub_enabled,
             sweep_every_ops: sweep_every,
             final_sweep,
+        };
+        // Defrag is only valid with regions enabled (the parser rejects
+        // the combination otherwise).
+        let regions = match regions_sel {
+            0 => RegionsSpec::default(),
+            1 => RegionsSpec { enabled: true, ..RegionsSpec::default() },
+            2 => RegionsSpec {
+                enabled: true,
+                policy: FitPolicy::BestFit,
+                window: Some((win_lo, win_lo + win_width)),
+                defrag: false,
+            },
+            _ => RegionsSpec {
+                enabled: true,
+                policy: FitPolicy::FirstFit,
+                window: Some((win_lo, win_lo + win_width)),
+                defrag: true,
+            },
         };
 
         let stat = presp_scenario::spec::STAT_KEYS[stat_sel % presp_scenario::spec::STAT_KEYS.len()]
@@ -197,6 +220,7 @@ proptest! {
                 restart_budget,
             },
             scrubber,
+            regions,
             workload,
             assertions,
         };
@@ -229,6 +253,7 @@ proptest! {
             worker_faults: WorkerFaultConfig::default(),
             policy: RecoveryPolicy::default(),
             scrubber: ScrubberSpec::default(),
+            regions: RegionsSpec::default(),
             workload: WorkloadSpec::Blocking { clients: 1, ops_per_client: 1 },
             assertions: vec![Assertion::StatsConsistent],
         };
@@ -394,4 +419,72 @@ fn rejects_panic_injection_without_supervision() {
 #[test]
 fn rejects_invalid_json_with_position() {
     assert_rejects("{\"name\": }", &["invalid JSON"]);
+}
+
+#[test]
+fn rejects_defrag_without_regions() {
+    let doc = valid_doc().replace(
+        "\"catalog\"",
+        "\"regions\": {\"defrag\": true}, \"catalog\"",
+    );
+    assert_rejects(&doc, &["defrag", "\"enabled\": true"]);
+}
+
+#[test]
+fn rejects_unknown_fit_policy_token() {
+    let doc = valid_doc().replace(
+        "\"catalog\"",
+        "\"regions\": {\"enabled\": true, \"policy\": \"worst_fit\"}, \"catalog\"",
+    );
+    assert_rejects(&doc, &["worst_fit", "first_fit, best_fit"]);
+}
+
+#[test]
+fn rejects_degenerate_region_window() {
+    let doc = valid_doc().replace(
+        "\"catalog\"",
+        "\"regions\": {\"enabled\": true, \"window\": [12, 1]}, \"catalog\"",
+    );
+    assert_rejects(&doc, &["'regions.window'", "lo < hi"]);
+}
+
+#[test]
+fn rejects_defrag_probe_without_regions() {
+    let doc = valid_doc()
+        .replace("[\"mac\"]", "[\"mac\", \"sort\"]")
+        .replace("\"reconf_tiles\": 1", "\"reconf_tiles\": 7")
+        .replace(
+            "{\"kind\": \"blocking\", \"clients\": 1, \"ops_per_client\": 1}",
+            "{\"kind\": \"defrag_probe\"}",
+        );
+    assert_rejects(&doc, &["defrag_probe", "\"regions\": {\"enabled\": true}"]);
+}
+
+#[test]
+fn rejects_defrag_probe_with_too_few_tiles() {
+    let doc = valid_doc()
+        .replace("[\"mac\"]", "[\"mac\", \"sort\"]")
+        .replace(
+            "\"catalog\"",
+            "\"regions\": {\"enabled\": true, \"window\": [1, 12]}, \"catalog\"",
+        )
+        .replace(
+            "{\"kind\": \"blocking\", \"clients\": 1, \"ops_per_client\": 1}",
+            "{\"kind\": \"defrag_probe\"}",
+        );
+    assert_rejects(&doc, &["defrag_probe", "reconf_tiles", ">= 7"]);
+}
+
+#[test]
+fn rejects_fragment_churn_without_regions() {
+    let doc = valid_doc()
+        .replace("[\"mac\"]", "[\"mac\", \"sort\"]")
+        .replace(
+            "{\"kind\": \"blocking\", \"clients\": 1, \"ops_per_client\": 1}",
+            "{\"kind\": \"fragment_churn\", \"rounds\": 4}",
+        );
+    assert_rejects(
+        &doc,
+        &["fragment_churn", "\"regions\": {\"enabled\": true}"],
+    );
 }

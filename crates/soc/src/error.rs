@@ -47,6 +47,14 @@ pub enum Error {
         /// The offending register offset.
         offset: u64,
     },
+    /// A region move targeted frames that belong to another tile or are
+    /// otherwise occupied.
+    RegionConflict {
+        /// The tile whose move was refused.
+        coord: TileCoord,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -66,6 +74,9 @@ impl fmt::Display for Error {
             Error::Accel(e) => write!(f, "accelerator error: {e}"),
             Error::Fpga(e) => write!(f, "configuration error: {e}"),
             Error::BadRegister { offset } => write!(f, "no register at offset {offset:#x}"),
+            Error::RegionConflict { coord, detail } => {
+                write!(f, "region move conflict at {coord}: {detail}")
+            }
         }
     }
 }

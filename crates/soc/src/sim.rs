@@ -106,6 +106,21 @@ impl ReconfigRun {
     }
 }
 
+/// Timing of one transactional region move (amorphous floorplanning).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionMoveRun {
+    /// Cycle the readback actually started on the ICAP.
+    pub start: u64,
+    /// Cycle the rewrite at the new base completed.
+    pub end: u64,
+    /// Cycles spent waiting for the shared ICAP port.
+    pub waited: u64,
+    /// Frames relocated.
+    pub frames: usize,
+    /// Signed column delta applied to every frame address.
+    pub delta: i64,
+}
+
 /// One configuration-memory upset applied by the fault plan's SEU stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SeuRecord {
@@ -388,6 +403,203 @@ impl Soc {
             .restore(&snap)
             .map_err(Error::Fpga)?;
         Ok(snap.len())
+    }
+
+    /// Transactionally relocates `tile`'s whole region `col_delta` columns
+    /// away: every frame (payload *and* ECC check codes, bit-exact) is
+    /// re-addressed, the old frames are erased, and the tile's region
+    /// bookkeeping and golden store move in lockstep. The wrapper state —
+    /// including the configured accelerator — is untouched: the logic
+    /// simply lives at a new base.
+    ///
+    /// The move is a readback-plus-rewrite through the shared ICAP, so it
+    /// occupies the port for two passes over the region and competes with
+    /// concurrent reconfigurations and scrub traffic. The tile must be
+    /// decoupled (the same quiesce rule as [`Soc::reconfigure_at`]).
+    ///
+    /// All validation happens before the first frame is touched, so a
+    /// refused move leaves the fabric bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTile`] / [`Error::WrongTileKind`] /
+    /// [`Error::DecouplerProtocol`] for protocol violations,
+    /// [`Error::RegionConflict`] when the tile has no region or the
+    /// destination overlaps another tile's frames, and
+    /// [`Error::Fpga`] when the shifted addresses are illegal.
+    pub fn move_tile_region_at(
+        &mut self,
+        tile: TileCoord,
+        col_delta: i64,
+        at: u64,
+    ) -> Result<RegionMoveRun, Error> {
+        self.advance_seus_to(at);
+        {
+            let state = self
+                .tiles
+                .get(&tile)
+                .ok_or(Error::NoSuchTile { coord: tile })?;
+            if !matches!(state.kind, TileKind::Reconfigurable) {
+                return Err(Error::WrongTileKind {
+                    coord: tile,
+                    expected: "reconfigurable",
+                });
+            }
+            if !state.wrapper.is_decoupled() {
+                return Err(Error::DecouplerProtocol {
+                    coord: tile,
+                    detail: "region move while coupled to the NoC".into(),
+                });
+            }
+        }
+        let old_region = self.tile_regions.get(&tile).cloned().unwrap_or_default();
+        if old_region.is_empty() {
+            return Err(Error::RegionConflict {
+                coord: tile,
+                detail: "tile has no region to move (never loaded)".into(),
+            });
+        }
+        if col_delta == 0 {
+            let run = RegionMoveRun {
+                start: at,
+                end: at,
+                waited: 0,
+                frames: old_region.len(),
+                delta: 0,
+            };
+            return Ok(run);
+        }
+        let device = self.part.device();
+        // Snapshot the source region bit-exact and pre-validate the whole
+        // destination before mutating anything.
+        let snap = self
+            .dfxc
+            .config_memory()
+            .snapshot(old_region.iter())
+            .map_err(Error::Fpga)?;
+        let shifted = snap
+            .shift_columns(&device, col_delta)
+            .map_err(Error::Fpga)?;
+        let new_region: BTreeSet<FrameAddress> = shifted.addresses().into_iter().collect();
+        for (other, region) in &self.tile_regions {
+            if *other == tile {
+                continue;
+            }
+            if let Some(hit) = new_region.intersection(region).next() {
+                return Err(Error::RegionConflict {
+                    coord: tile,
+                    detail: format!("destination frame {hit:?} belongs to tile {other}"),
+                });
+            }
+        }
+        // Physically move: erase the source, restore the snapshot at the
+        // destination. Erase-first makes overlapping slides (|delta| <
+        // region width) safe, and restore preserves any payload/ECC
+        // disagreement instead of laundering an in-flight upset.
+        self.dfxc
+            .config_memory_mut()
+            .clear_frames(old_region.iter())
+            .map_err(Error::Fpga)?;
+        self.dfxc
+            .config_memory_mut()
+            .restore(&shifted)
+            .map_err(Error::Fpga)?;
+        // ICAP cost: readback of the region plus rewrite at the new base.
+        let words = 2 * old_region.len() as u64 * self.dfxc.config_memory().frame_words() as u64;
+        let cycles = (words as f64 / ICAP_CLOCK_MHZ * SOC_CYCLES_PER_MICRO).ceil() as u64;
+        let r = self.icap.reserve(at, cycles);
+        let state = self.tile_mut(tile)?;
+        state.timeline.claim(at, r.start, r.end);
+        // Region bookkeeping and the golden store move with the frames.
+        let frames = old_region.len();
+        self.tile_regions.insert(tile, new_region);
+        if let Some(golden) = self.golden.remove(&tile) {
+            let moved = golden
+                .shift_columns(&device, col_delta)
+                .map_err(Error::Fpga)?;
+            self.golden.insert(tile, moved);
+        }
+        self.tracer
+            .emit(ClockDomain::SocCycles, r.start, r.duration(), || {
+                TraceEvent::RegionMoved {
+                    tile: loc(tile),
+                    frames: frames as u64,
+                    delta: col_delta,
+                }
+            });
+        self.clock.observe(r.end);
+        Ok(RegionMoveRun {
+            start: r.start,
+            end: r.end,
+            waited: r.waited,
+            frames,
+            delta: col_delta,
+        })
+    }
+
+    /// Erases `tile`'s whole region and retires its bookkeeping: the
+    /// frames are cleared through the ICAP, the region set and the golden
+    /// store are dropped, and the fabric columns the tile occupied become
+    /// writable by other tiles again. This is the vacate half of a lease
+    /// switch in amorphous floorplanning — a tile about to be loaded at a
+    /// different base must first return its old span to the free pool,
+    /// because [`Soc::reconfigure_at`] unions every written frame into the
+    /// tile's region and stale frames would otherwise stay configured
+    /// (scrubbed, move-blocking, golden-snapshotted) forever.
+    ///
+    /// The tile must be decoupled, exactly like a reconfiguration or a
+    /// region move. A tile with no region is a no-op returning zero
+    /// frames. The erase streams blank frames through the shared ICAP
+    /// (one pass over the region) and claims the tile's timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTile`] / [`Error::WrongTileKind`] for bad
+    /// coordinates, [`Error::DecouplerProtocol`] when the tile is still
+    /// coupled, and [`Error::Fpga`] when the erase itself fails.
+    pub fn release_tile_region(&mut self, tile: TileCoord, at: u64) -> Result<usize, Error> {
+        self.advance_seus_to(at);
+        {
+            let state = self
+                .tiles
+                .get(&tile)
+                .ok_or(Error::NoSuchTile { coord: tile })?;
+            if !matches!(state.kind, TileKind::Reconfigurable) {
+                return Err(Error::WrongTileKind {
+                    coord: tile,
+                    expected: "reconfigurable",
+                });
+            }
+            if !state.wrapper.is_decoupled() {
+                return Err(Error::DecouplerProtocol {
+                    coord: tile,
+                    detail: "region release while coupled to the NoC".into(),
+                });
+            }
+        }
+        let Some(region) = self.tile_regions.remove(&tile) else {
+            return Ok(0);
+        };
+        self.golden.remove(&tile);
+        self.dfxc
+            .config_memory_mut()
+            .clear_frames(region.iter())
+            .map_err(Error::Fpga)?;
+        let frames = region.len();
+        let words = frames as u64 * self.dfxc.config_memory().frame_words() as u64;
+        let cycles = (words as f64 / ICAP_CLOCK_MHZ * SOC_CYCLES_PER_MICRO).ceil() as u64;
+        let r = self.icap.reserve(at, cycles);
+        let state = self.tile_mut(tile)?;
+        state.timeline.claim(at, r.start, r.end);
+        self.tracer
+            .emit(ClockDomain::SocCycles, r.start, r.duration(), || {
+                TraceEvent::RegionReleased {
+                    tile: loc(tile),
+                    frames: frames as u64,
+                }
+            });
+        self.clock.observe(r.end);
+        Ok(frames)
     }
 
     /// Drains the fault plan's SEU stream up to `cycle`, flipping bits in
@@ -1196,6 +1408,173 @@ mod tests {
             )
             .unwrap();
         assert_eq!(run.value, AccelValue::Scalar(12.0));
+    }
+
+    /// Two distinct CLB columns of the device, ascending.
+    fn two_clb_columns(soc: &Soc) -> (u32, u32) {
+        let device = soc.part().device();
+        let mut clbs = (0..device.columns())
+            .filter(|&i| device.column_kind(i) == presp_fpga::fabric::ColumnKind::Clb)
+            .map(|i| i as u32);
+        (clbs.next().unwrap(), clbs.next_back().unwrap())
+    }
+
+    #[test]
+    fn region_move_relocates_frames_golden_and_wrapper_survives() {
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let (src, dst) = two_clb_columns(&soc);
+        let delta = dst as i64 - src as i64;
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        let bs = mac_bitstream(&soc, src);
+        let reconf = soc
+            .reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1)
+            .unwrap();
+        let old_region = soc.tile_region(tile);
+        let run = soc.move_tile_region_at(tile, delta, reconf.end).unwrap();
+        assert_eq!(run.frames, old_region.len());
+        assert!(run.end > run.start);
+        // Frames live at the new base, bit-exact; the old base is erased.
+        let new_region = soc.tile_region(tile);
+        assert_eq!(new_region.len(), old_region.len());
+        for (old, new) in old_region.iter().zip(&new_region) {
+            assert_eq!(new.column, dst);
+            assert_eq!((new.row, new.minor), (old.row, old.minor));
+            assert_eq!(
+                soc.dfxc.config_memory().frame(*new),
+                vec![0x5A5A_0000 + new.minor; soc.dfxc.config_memory().frame_words()]
+            );
+            assert!(!soc.dfxc.config_memory().is_configured(*old));
+        }
+        // ECC moved in lockstep: the whole region scrubs clean.
+        let report = soc.scrub_frames_at(&new_region, run.end).unwrap();
+        assert!(report.is_clean());
+        // The golden store follows, so escalation still restores correctly.
+        let golden = soc.golden_snapshot(tile).unwrap().addresses();
+        assert_eq!(golden, new_region);
+        // The wrapper (and its configured accelerator) is untouched.
+        let t2 = soc.csr_write_at(tile, csr::DECOUPLE, 0, run.end).unwrap();
+        let out = soc
+            .run_accelerator_at(
+                tile,
+                &AccelOp::Mac {
+                    a: vec![3.0],
+                    b: vec![4.0],
+                },
+                t2,
+            )
+            .unwrap();
+        assert_eq!(out.value, AccelValue::Scalar(12.0));
+    }
+
+    #[test]
+    fn region_move_requires_decoupling_and_a_region() {
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        assert!(matches!(
+            soc.move_tile_region_at(tile, 1, 0),
+            Err(Error::DecouplerProtocol { .. })
+        ));
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        assert!(matches!(
+            soc.move_tile_region_at(tile, 1, t1),
+            Err(Error::RegionConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn region_move_refuses_to_clobber_another_tiles_region() {
+        let mut soc = reconf_soc(2);
+        let tiles = soc.config().reconfigurable_tiles();
+        let (src, dst) = two_clb_columns(&soc);
+        let t1 = soc.csr_write_at(tiles[0], csr::DECOUPLE, 1, 0).unwrap();
+        let bs0 = mac_bitstream(&soc, src);
+        let r0 = soc
+            .reconfigure_at(tiles[0], AcceleratorKind::Mac, &bs0, t1)
+            .unwrap();
+        let t2 = soc
+            .csr_write_at(tiles[1], csr::DECOUPLE, 1, r0.end)
+            .unwrap();
+        let bs1 = mac_bitstream(&soc, dst);
+        let r1 = soc
+            .reconfigure_at(tiles[1], AcceleratorKind::Mac, &bs1, t2)
+            .unwrap();
+        let before = soc.dfxc.config_memory().configured_addresses();
+        let err = soc.move_tile_region_at(tiles[0], dst as i64 - src as i64, r1.end);
+        assert!(matches!(err, Err(Error::RegionConflict { .. })), "{err:?}");
+        // A refused move leaves the fabric bit-identical.
+        assert_eq!(soc.dfxc.config_memory().configured_addresses(), before);
+        assert_eq!(soc.tile_region(tiles[0])[0].column, src);
+    }
+
+    #[test]
+    fn region_move_keeps_an_inflight_upset_detectable() {
+        let mut soc = reconf_soc(1);
+        let tile = soc.config().reconfigurable_tiles()[0];
+        let (src, dst) = two_clb_columns(&soc);
+        let t1 = soc.csr_write_at(tile, csr::DECOUPLE, 1, 0).unwrap();
+        let bs = mac_bitstream(&soc, src);
+        let reconf = soc
+            .reconfigure_at(tile, AcceleratorKind::Mac, &bs, t1)
+            .unwrap();
+        // An SEU strikes between the load and the move...
+        let struck = soc.tile_region(tile)[0];
+        soc.dfxc
+            .config_memory_mut()
+            .corrupt_bit(struck, 3, 17)
+            .unwrap();
+        let run = soc
+            .move_tile_region_at(tile, dst as i64 - src as i64, reconf.end)
+            .unwrap();
+        // ...and is still caught (and repaired) at the new address: the
+        // move copies check codes bit-exact instead of re-encoding the
+        // corrupted payload as truth.
+        let report = soc
+            .scrub_frames_at(&soc.tile_region(tile), run.end)
+            .unwrap();
+        assert_eq!(report.corrected.len(), 1);
+        assert_eq!(report.corrected[0].0.column, dst);
+        assert!(report.uncorrectable.is_empty());
+    }
+
+    #[test]
+    fn region_release_erases_frames_and_frees_the_span_for_others() {
+        let mut soc = reconf_soc(2);
+        let tiles = soc.config().reconfigurable_tiles();
+        let (src, dst) = two_clb_columns(&soc);
+        // Releasing before any load (or while coupled) follows the same
+        // protocol as a move.
+        assert!(matches!(
+            soc.release_tile_region(tiles[0], 0),
+            Err(Error::DecouplerProtocol { .. })
+        ));
+        let t1 = soc.csr_write_at(tiles[0], csr::DECOUPLE, 1, 0).unwrap();
+        assert_eq!(soc.release_tile_region(tiles[0], t1).unwrap(), 0);
+        let bs = mac_bitstream(&soc, src);
+        let reconf = soc
+            .reconfigure_at(tiles[0], AcceleratorKind::Mac, &bs, t1)
+            .unwrap();
+        let old_region = soc.tile_region(tiles[0]);
+        assert!(!old_region.is_empty());
+        let freed = soc.release_tile_region(tiles[0], reconf.end).unwrap();
+        assert_eq!(freed, old_region.len());
+        // Bookkeeping retired: no region, no golden, frames erased.
+        assert!(soc.tile_region(tiles[0]).is_empty());
+        assert!(soc.golden_snapshot(tiles[0]).is_none());
+        for addr in &old_region {
+            assert!(!soc.dfxc.config_memory().is_configured(*addr));
+        }
+        // Another tile can now move into the vacated span.
+        let t2 = soc
+            .csr_write_at(tiles[1], csr::DECOUPLE, 1, soc.horizon())
+            .unwrap();
+        let bs1 = mac_bitstream(&soc, dst);
+        let r1 = soc
+            .reconfigure_at(tiles[1], AcceleratorKind::Mac, &bs1, t2)
+            .unwrap();
+        soc.move_tile_region_at(tiles[1], src as i64 - dst as i64, r1.end)
+            .unwrap();
+        assert_eq!(soc.tile_region(tiles[1])[0].column, src);
     }
 
     #[test]

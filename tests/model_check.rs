@@ -591,6 +591,125 @@ fn sweep_catches_and_replays_the_queue_admission_inversion_mutant() {
 // contention) are exactly where off-by-one accounting would skew the
 // contention numbers the paper's Fig. 4 comparison rests on.
 
+/// The amorphous-floorplanning protocol under exploration: regions
+/// enabled on the only tile, one app thread swapping the accelerator
+/// (region allocate/release through the scheduler) racing the defrag
+/// daemon's gate-quiesced repack pass. Every schedule must leave the
+/// stats consistent and the `defrag` → `gate` → `tile_state` → `core`
+/// lock order acyclic.
+fn defrag_model() {
+    use presp::floorplan::FitPolicy;
+    use presp::runtime::defrag::Defragmenter;
+
+    let cfg = SocConfig::grid_3x3_reconf("defrag_ws", 1).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    registry
+        .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+        .unwrap();
+    let mgr =
+        ThreadedManager::<CheckSync>::spawn_with_policy(soc, registry, RecoveryPolicy::default());
+    mgr.enable_regions(FitPolicy::FirstFit).unwrap();
+    let defrag = Defragmenter::attach(&mgr);
+    let tile = tiles[0];
+    let app = {
+        let mgr = mgr.clone();
+        presp::check::sync::spawn_named("app", move || {
+            mgr.reconfigure_blocking(tile, AcceleratorKind::Mac)
+                .unwrap();
+        })
+    };
+    defrag.repack_blocking().unwrap();
+    app.join().unwrap();
+    let stats = mgr.stats();
+    assert!(stats.consistent(), "inconsistent stats: {stats:?}");
+    defrag.shutdown();
+    mgr.shutdown();
+}
+
+#[test]
+fn defrag_protocol_is_clean_across_schedules() {
+    let budget = schedule_budget();
+    let checker = Checker::new(Config {
+        max_schedules: budget,
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(defrag_model);
+    assert!(report.ok(), "{report}");
+    assert!(
+        report.exhausted || report.schedules >= budget,
+        "explorer stopped early: {report}"
+    );
+    assert!(
+        report.schedules > 100,
+        "scenario too small to be meaningful: {report}"
+    );
+}
+
+/// The committed defrag gate-inversion mutant: the repack pass probes
+/// every shard's `tile_state` *before* taking the commit gate — the
+/// reverse of each worker's `gate` → `tile_state` commit acquisition —
+/// so a worker inside its commit slot and the pass deadlock in some
+/// schedule.
+fn defrag_inversion_model() {
+    use presp::runtime::defrag::{DefragMutantConfig, Defragmenter};
+
+    let cfg = SocConfig::grid_3x3_reconf("defrag_mutant", 1).unwrap();
+    let soc = Soc::new(&cfg).unwrap();
+    let tiles = cfg.reconfigurable_tiles();
+    let mut registry = BitstreamRegistry::new();
+    registry
+        .register(tiles[0], AcceleratorKind::Mac, bitstream(&soc, 2))
+        .unwrap();
+    let mgr =
+        ThreadedManager::<CheckSync>::spawn_with_policy(soc, registry, RecoveryPolicy::default());
+    let defrag = Defragmenter::attach_with_mutants(
+        &mgr,
+        DefragMutantConfig {
+            gate_inversion: true,
+        },
+    );
+    let tile = tiles[0];
+    let app = {
+        let mgr = mgr.clone();
+        presp::check::sync::spawn_named("app", move || {
+            let _ = mgr.reconfigure_blocking(tile, AcceleratorKind::Mac);
+        })
+    };
+    let _ = defrag.repack_blocking();
+    app.join().unwrap();
+    defrag.shutdown();
+    mgr.shutdown();
+}
+
+#[test]
+fn sweep_catches_and_replays_the_defrag_gate_inversion_mutant() {
+    use presp::check::FailureKind;
+    let checker = Checker::new(Config {
+        max_schedules: schedule_budget(),
+        preemption_bound: Some(2),
+        max_steps: 50_000,
+    });
+    let report = checker.explore(defrag_inversion_model);
+    let failure = report
+        .failure
+        .expect("the defrag gate-inversion mutant must deadlock some schedule");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "expected deadlock, got: {failure}"
+    );
+    let replay = checker.replay(&failure.schedule, defrag_inversion_model);
+    assert!(
+        matches!(
+            replay.failure.as_ref().map(|f| &f.kind),
+            Some(FailureKind::Deadlock { .. })
+        ),
+        "replay must reproduce the deadlock: {replay}"
+    );
+}
+
 #[test]
 fn zero_length_reservation_holds_nothing_but_counts() {
     let mut tl = ResourceTimeline::new();
